@@ -1,0 +1,19 @@
+/// Figure 4 (right): k-Means runtime vs number of clusters.
+/// Paper sweep: k ∈ {3, 5, 10, 25, 50}, n=4M, d=10, i=3.
+
+#include "bench/kmeans_bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace soda::bench;
+  Scale scale = ParseScale(argc, argv);
+  const size_t n = 4000000 / scale.heavy_divisor;
+  std::printf("=== Figure 4 (right): k-Means, varying #clusters ===\n");
+  std::printf("scale=%s; n=%s, d=10, i=3; seconds\n\n", scale.name,
+              Human(n).c_str());
+  PrintKMeansHeader("clusters");
+
+  for (size_t k : {3, 5, 10, 25, 50}) {
+    RunKMeansRow(std::to_string(k), {n, 10, k});
+  }
+  return 0;
+}

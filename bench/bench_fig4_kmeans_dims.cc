@@ -1,0 +1,19 @@
+/// Figure 4 (middle): k-Means runtime vs number of dimensions.
+/// Paper sweep: d ∈ {3, 5, 10, 25, 50}, n=4M, k=5, i=3.
+
+#include "bench/kmeans_bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace soda::bench;
+  Scale scale = ParseScale(argc, argv);
+  const size_t n = 4000000 / scale.heavy_divisor;
+  std::printf("=== Figure 4 (middle): k-Means, varying #dimensions ===\n");
+  std::printf("scale=%s; n=%s, k=5, i=3; seconds\n\n", scale.name,
+              Human(n).c_str());
+  PrintKMeansHeader("dimensions");
+
+  for (size_t d : {3, 5, 10, 25, 50}) {
+    RunKMeansRow(std::to_string(d), {n, d, 5});
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+/// Figure 4 (left): k-Means runtime vs number of tuples.
+/// Paper sweep: n ∈ {160k, 800k, 4M, 20M, 100M, 500M}, d=10, k=5, i=3.
+
+#include "bench/kmeans_bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace soda::bench;
+  Scale scale = ParseScale(argc, argv);
+  std::printf("=== Figure 4 (left): k-Means, varying #tuples ===\n");
+  std::printf("scale=%s (paper sizes / %zu); d=10, k=5, i=3; seconds\n\n",
+              scale.name, scale.heavy_divisor);
+  PrintKMeansHeader("tuples");
+
+  const size_t paper_n[] = {160000, 800000, 4000000, 20000000, 100000000,
+                            500000000};
+  for (size_t n : paper_n) {
+    size_t scaled = n / scale.heavy_divisor;
+    RunKMeansRow(Human(scaled), {scaled, 10, 5});
+  }
+  return 0;
+}

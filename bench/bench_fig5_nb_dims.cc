@@ -1,0 +1,19 @@
+/// Figure 5 (right): Naive Bayes training runtime vs number of dimensions.
+/// Paper sweep: d ∈ {3, 5, 10, 25, 50}, n=4M.
+
+#include "bench/nb_bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace soda::bench;
+  Scale scale = ParseScale(argc, argv);
+  const size_t n = 4000000 / scale.heavy_divisor;
+  std::printf("=== Figure 5 (right): Naive Bayes training, varying #dimensions ===\n");
+  std::printf("scale=%s; n=%s, labels={0,1}; seconds\n\n", scale.name,
+              Human(n).c_str());
+  PrintNbHeader("dimensions");
+
+  for (size_t d : {3, 5, 10, 25, 50}) {
+    RunNbRow(std::to_string(d), n, d);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+/// Figure 5 (middle): Naive Bayes training runtime vs number of tuples.
+/// Paper sweep: n ∈ {160k ... 500M}, d=10, two uniform labels.
+
+#include "bench/nb_bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace soda::bench;
+  Scale scale = ParseScale(argc, argv);
+  std::printf("=== Figure 5 (middle): Naive Bayes training, varying #tuples ===\n");
+  std::printf("scale=%s; d=10, labels={0,1}; seconds\n\n", scale.name);
+  PrintNbHeader("tuples");
+
+  const size_t paper_n[] = {160000, 800000, 4000000, 20000000, 100000000,
+                            500000000};
+  for (size_t n : paper_n) {
+    size_t scaled = n / scale.heavy_divisor;
+    RunNbRow(Human(scaled), scaled, 10);
+  }
+  return 0;
+}

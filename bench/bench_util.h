@@ -1,0 +1,110 @@
+/// \file bench_util.h
+/// Shared scaffolding for the figure/table reproduction harnesses.
+///
+/// Every harness prints the same series the paper reports. Absolute times
+/// depend on this machine; the *shapes* (system ordering, scaling slopes,
+/// crossovers) are what EXPERIMENTS.md validates against the paper.
+///
+/// Scaling: `--scale=ci|medium|paper` (or SODA_SCALE env var) divides the
+/// paper's dataset sizes by 100 / 10 / 1 while keeping every sweep's
+/// structure intact (DESIGN.md §5).
+
+#ifndef SODA_BENCH_BENCH_UTIL_H_
+#define SODA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/timer.h"
+
+namespace soda::bench {
+
+struct Scale {
+  const char* name;
+  size_t divisor;        ///< operator / contender dataset divisor
+  size_t heavy_divisor;  ///< divisor for sweeps dominated by the layer-3
+                         ///< SQL variants (interpreted plans are orders of
+                         ///< magnitude slower than HyPer's codegen, so CI
+                         ///< uses smaller inputs there; shapes unchanged)
+};
+
+inline Scale ParseScale(int argc, char** argv) {
+  const char* request = std::getenv("SODA_SCALE");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) request = argv[i] + 8;
+  }
+  if (request) {
+    if (!std::strcmp(request, "paper")) return {"paper", 1, 1};
+    if (!std::strcmp(request, "medium")) return {"medium", 10, 100};
+    if (!std::strcmp(request, "ci")) return {"ci", 100, 1000};
+    std::fprintf(stderr, "unknown scale '%s' (want ci|medium|paper)\n",
+                 request);
+    std::exit(2);
+  }
+  return {"ci", 100, 1000};
+}
+
+/// Times one engine query; exits loudly on error (benchmark results must
+/// never silently come from failed queries).
+inline double TimeQuery(Engine& engine, const std::string& sql,
+                        ExecStats* stats = nullptr) {
+  Timer timer;
+  auto result = engine.Execute(sql);
+  double seconds = timer.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "benchmark query failed: %s\nSQL: %s\n",
+                 result.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  if (stats) *stats = result->stats();
+  return seconds;
+}
+
+/// Times an arbitrary callable returning Result<T>.
+template <typename Fn>
+double TimeCall(Fn&& fn) {
+  Timer timer;
+  auto result = fn();
+  double seconds = timer.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "benchmark call failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return seconds;
+}
+
+/// Fixed-width row printer for the result tables.
+inline void PrintHeader(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%-22s", c.c_str());
+  std::printf("\n");
+  for (const auto& c : cols) {
+    (void)c;
+    std::printf("%-22s", "--------------------");
+  }
+  std::printf("\n");
+}
+
+inline void PrintCell(const std::string& v) { std::printf("%-22s", v.c_str()); }
+inline void PrintSeconds(double s) { std::printf("%-22.4f", s); }
+inline void EndRow() { std::printf("\n"); }
+
+inline std::string Human(size_t n) {
+  char buf[32];
+  if (n >= 1000000 && n % 1000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%zum", n / 1000000);
+  } else if (n >= 1000 && n % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuk", n / 1000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", n);
+  }
+  return buf;
+}
+
+}  // namespace soda::bench
+
+#endif  // SODA_BENCH_BENCH_UTIL_H_

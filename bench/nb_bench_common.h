@@ -1,0 +1,45 @@
+/// \file nb_bench_common.h
+/// Shared driver for the two Naive Bayes panels of Figure 5 (training
+/// phase only, as in the paper §8.1.2).
+
+#ifndef SODA_BENCH_NB_BENCH_COMMON_H_
+#define SODA_BENCH_NB_BENCH_COMMON_H_
+
+#include "bench/bench_util.h"
+#include "bench_support/workloads.h"
+#include "contenders/contender.h"
+
+namespace soda::bench {
+
+inline void PrintNbHeader(const char* param_name) {
+  PrintHeader({param_name, "HyPer Operator", "HyPer SQL", "Spark(sim)",
+               "MATLAB(sim)", "MADlib(sim)"});
+}
+
+/// One (n, d) Naive Bayes training configuration through all systems.
+/// Naive Bayes is not iterative, so there is no separate ITERATE variant —
+/// the layer-3 implementation is a single aggregation query (§6.2).
+inline void RunNbRow(const std::string& label, size_t n, size_t d) {
+  Engine engine;
+  auto labeled = workloads::GenerateLabeledTable(&engine.catalog(), "labeled",
+                                                 n, d, n * 17 + d);
+  if (!labeled.ok()) std::exit(1);
+
+  PrintCell(label);
+  PrintSeconds(
+      TimeQuery(engine, workloads::NaiveBayesOperatorSql("labeled", d)));
+  PrintSeconds(TimeQuery(engine, workloads::NaiveBayesSql("labeled", d)));
+
+  auto spark = MakeRddEngine();
+  PrintSeconds(TimeCall([&] { return spark->NaiveBayesTrain(**labeled); }));
+  auto matlab = MakeSingleThreadedEngine();
+  PrintSeconds(TimeCall([&] { return matlab->NaiveBayesTrain(**labeled); }));
+  auto madlib = MakeUdfEngine();
+  PrintSeconds(TimeCall([&] { return madlib->NaiveBayesTrain(**labeled); }));
+  EndRow();
+  std::fflush(stdout);
+}
+
+}  // namespace soda::bench
+
+#endif  // SODA_BENCH_NB_BENCH_COMMON_H_

@@ -1,0 +1,129 @@
+/// Customer segmentation — the paper's "data mining on vector data"
+/// motif end to end.
+///
+/// An online shop keeps an RFM table (recency / frequency / monetary
+/// value) *inside the operational database*; segments are recomputed
+/// ad hoc, with no export to a dedicated analytics tool (the paper's
+/// argument against layer 1 of Fig. 1). The distance lambda normalizes
+/// the wildly different feature scales — the kind of per-task metric §7's
+/// lambdas exist for — and profiling/labeling of segments happens in the
+/// same SQL session.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+void Check(const soda::Status& st) {
+  if (!st.ok()) {
+    std::printf("error: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+soda::QueryResult Exec(soda::Engine& engine, const std::string& sql) {
+  auto result = engine.Execute(sql);
+  Check(result.status());
+  return std::move(result.ValueOrDie());
+}
+
+}  // namespace
+
+int main() {
+  soda::Engine engine;
+  std::printf("=== customer segmentation with lambda-parameterized k-Means ===\n\n");
+
+  // Operational table: one row per customer.
+  Check(engine
+            .Execute("CREATE TABLE customers (id INTEGER, recency FLOAT, "
+                     "frequency FLOAT, monetary FLOAT)")
+            .status());
+
+  // Synthesize four behavioural archetypes.
+  {
+    auto table = engine.catalog().GetTable("customers");
+    Check(table.status());
+    soda::Rng rng(2024);
+    struct Archetype {
+      double recency, frequency, monetary;
+    };
+    const Archetype archetypes[] = {
+        {5, 40, 2000},    // champions: bought yesterday, buy often, spend big
+        {60, 20, 800},    // loyal but cooling off
+        {200, 2, 150},    // hibernating
+        {10, 1, 50},      // fresh one-timers
+    };
+    for (int id = 0; id < 5000; ++id) {
+      const Archetype& a = archetypes[rng.Below(4)];
+      Check((*table)->AppendRow(
+          {soda::Value::BigInt(id),
+           soda::Value::Double(std::max(0.0, a.recency * (0.5 + rng.NextDouble()))),
+           soda::Value::Double(std::max(0.0, a.frequency * (0.5 + rng.NextDouble()))),
+           soda::Value::Double(std::max(0.0, a.monetary * (0.5 + rng.NextDouble())))}));
+    }
+  }
+
+  auto overview = Exec(engine,
+                       "SELECT count(*) customers, avg(recency) avg_recency, "
+                       "avg(frequency) avg_frequency, avg(monetary) avg_monetary "
+                       "FROM customers");
+  std::printf("-- population overview\n%s\n", overview.ToString().c_str());
+
+  // Scale-normalized distance: recency spans ~0-400 days, frequency ~0-80
+  // orders, monetary ~0-4000 currency units. Without the lambda, monetary
+  // would dominate every assignment.
+  const std::string distance =
+      "lambda(a, b) ((a.recency - b.recency) / 400.0)^2 + "
+      "((a.frequency - b.frequency) / 80.0)^2 + "
+      "((a.monetary - b.monetary) / 4000.0)^2";
+
+  // Segment in one query: operator output is a relation of centers.
+  auto centers = Exec(
+      engine,
+      "SELECT * FROM KMEANS("
+      "(SELECT recency, frequency, monetary FROM customers), "
+      "(SELECT recency, frequency, monetary FROM customers LIMIT 4), " +
+          distance + ", 15) ORDER BY cluster");
+  std::printf("-- segment centers (normalized-distance k-Means, k=4)\n%s\n",
+              centers.ToString().c_str());
+
+  // Persist the centers and label every customer by nearest segment — all
+  // in SQL, using the same lambda expressed as a plain scalar expression.
+  Check(engine
+            .Execute("CREATE TABLE segments (cluster INTEGER, recency FLOAT, "
+                     "frequency FLOAT, monetary FLOAT)")
+            .status());
+  Check(engine
+            .Execute("INSERT INTO segments SELECT * FROM KMEANS("
+                     "(SELECT recency, frequency, monetary FROM customers), "
+                     "(SELECT recency, frequency, monetary FROM customers "
+                     "LIMIT 4), " +
+                     distance + ", 15)")
+            .status());
+
+  auto profile = Exec(
+      engine,
+      "SELECT s.cluster, count(*) size, avg(c.recency) days_since_order, "
+      "avg(c.frequency) orders, avg(c.monetary) spend "
+      "FROM customers c, segments s, "
+      "(SELECT c2.id cid, min(((c2.recency - s2.recency) / 400.0)^2 + "
+      "((c2.frequency - s2.frequency) / 80.0)^2 + "
+      "((c2.monetary - s2.monetary) / 4000.0)^2) best "
+      " FROM customers c2, segments s2 GROUP BY c2.id) m "
+      "WHERE m.cid = c.id AND "
+      "((c.recency - s.recency) / 400.0)^2 + "
+      "((c.frequency - s.frequency) / 80.0)^2 + "
+      "((c.monetary - s.monetary) / 4000.0)^2 = m.best "
+      "GROUP BY s.cluster ORDER BY spend DESC");
+  std::printf("-- segment profiles (assignment + profiling in plain SQL)\n%s\n",
+              profile.ToString().c_str());
+
+  std::printf(
+      "Segments stay fresh: re-running the KMEANS query after new orders\n"
+      "arrive re-segments without any ETL cycle (paper §1).\n");
+  return 0;
+}

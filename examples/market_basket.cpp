@@ -1,0 +1,130 @@
+/// Market-basket analysis — frequent itemsets in pure SQL.
+///
+/// The paper (§4.2) singles out the a-priori algorithm as one that "works
+/// well in SQL": each level's candidate generation and support counting is
+/// a self-join plus GROUP BY/HAVING, with the anti-monotonicity pruning
+/// expressed as joins against the previous level's frequent sets. This
+/// example mines frequent pairs and triples from synthetic transactions
+/// and derives association rules with confidence — all layer-3 SQL, no
+/// operator needed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+soda::QueryResult Exec(soda::Engine& engine, const std::string& sql) {
+  auto result = engine.Execute(sql);
+  if (!result.ok()) {
+    std::printf("error: %s\nSQL: %s\n", result.status().ToString().c_str(),
+                sql.c_str());
+    std::exit(1);
+  }
+  return std::move(result.ValueOrDie());
+}
+
+}  // namespace
+
+int main() {
+  soda::Engine engine;
+  std::printf("=== frequent itemsets with a-priori in SQL (paper §4.2) ===\n\n");
+
+  // Transactions as (basket, item) pairs. Items 0..19; a few engineered
+  // co-occurrence patterns: {1,2} often together, {1,2,3} fairly often,
+  // {7,8} together.
+  (void)engine.Execute("CREATE TABLE baskets (tid INTEGER, item INTEGER)");
+  {
+    auto table = engine.catalog().GetTable("baskets");
+    soda::Rng rng(31);
+    for (int tid = 0; tid < 3000; ++tid) {
+      auto add = [&](int item) {
+        (void)(*table)->AppendRow(
+            {soda::Value::BigInt(tid), soda::Value::BigInt(item)});
+      };
+      if (rng.Below(100) < 40) {
+        add(1);
+        add(2);
+        if (rng.Below(100) < 50) add(3);
+      }
+      if (rng.Below(100) < 25) {
+        add(7);
+        add(8);
+      }
+      // Random noise items (distinct per basket with high probability).
+      size_t extras = 1 + rng.Below(4);
+      for (size_t e = 0; e < extras; ++e) {
+        add(static_cast<int>(10 + rng.Below(10)));
+      }
+    }
+  }
+  const int kMinSupport = 300;  // absolute support threshold (10%)
+
+  auto overview = Exec(engine, "SELECT count(*) total_rows FROM baskets");
+  std::printf("-- %lld (tid, item) rows; min support %d baskets\n\n",
+              static_cast<long long>(overview.GetInt(0, 0)), kMinSupport);
+
+  // L1: frequent single items.
+  (void)engine.Execute("CREATE TABLE l1 (item INTEGER, support INTEGER)");
+  (void)Exec(engine,
+             "INSERT INTO l1 SELECT item, count(*) FROM ("
+             "SELECT DISTINCT tid, item FROM baskets) b GROUP BY item "
+             "HAVING count(*) >= " + std::to_string(kMinSupport));
+  auto l1 = Exec(engine, "SELECT * FROM l1 ORDER BY support DESC, item");
+  std::printf("-- L1: frequent items\n%s\n", l1.ToString(8).c_str());
+
+  // L2: candidate pairs from L1 x L1 (a < b), counted per basket —
+  // the a-priori join + prune + count in one statement.
+  (void)engine.Execute(
+      "CREATE TABLE l2 (item_a INTEGER, item_b INTEGER, support INTEGER)");
+  (void)Exec(engine,
+             "INSERT INTO l2 "
+             "SELECT x.item, y.item, count(*) FROM "
+             "(SELECT DISTINCT tid, item FROM baskets) x "
+             "JOIN (SELECT DISTINCT tid, item FROM baskets) y "
+             "  ON x.tid = y.tid "
+             "JOIN l1 fa ON fa.item = x.item "
+             "JOIN l1 fb ON fb.item = y.item "
+             "WHERE x.item < y.item "
+             "GROUP BY x.item, y.item "
+             "HAVING count(*) >= " + std::to_string(kMinSupport));
+  auto l2 = Exec(engine, "SELECT * FROM l2 ORDER BY support DESC");
+  std::printf("-- L2: frequent pairs\n%s\n", l2.ToString(8).c_str());
+
+  // L3: extend frequent pairs by a frequent item, pruning with the
+  // anti-monotonicity property (every 2-subset must be in L2).
+  auto l3 = Exec(engine,
+                 "SELECT p.item_a, p.item_b, z.item item_c, count(*) support "
+                 "FROM l2 p "
+                 "JOIN (SELECT DISTINCT tid, item FROM baskets) x "
+                 "  ON x.item = p.item_a "
+                 "JOIN (SELECT DISTINCT tid, item FROM baskets) y "
+                 "  ON y.tid = x.tid AND y.item = p.item_b "
+                 "JOIN (SELECT DISTINCT tid, item FROM baskets) z "
+                 "  ON z.tid = x.tid "
+                 "JOIN l2 pr1 ON pr1.item_a = p.item_a AND pr1.item_b = z.item "
+                 "JOIN l2 pr2 ON pr2.item_a = p.item_b AND pr2.item_b = z.item "
+                 "WHERE z.item > p.item_b "
+                 "GROUP BY p.item_a, p.item_b, z.item "
+                 "HAVING count(*) >= " + std::to_string(kMinSupport) +
+                 " ORDER BY support DESC");
+  std::printf("-- L3: frequent triples (anti-monotone pruning via L2 joins)\n%s\n",
+              l3.ToString(5).c_str());
+
+  // Association rules a -> b with confidence = support(ab) / support(a).
+  auto rules = Exec(engine,
+                    "SELECT p.item_a, p.item_b, p.support pair_support, "
+                    "CAST(p.support AS FLOAT) / fa.support confidence "
+                    "FROM l2 p JOIN l1 fa ON fa.item = p.item_a "
+                    "ORDER BY confidence DESC LIMIT 5");
+  std::printf("-- top rules a -> b by confidence\n%s\n",
+              rules.ToString(5).c_str());
+
+  std::printf(
+      "Every step is an ordinary optimizable SQL query over live data —\n"
+      "layer 3 of the paper's Figure 1, no export, no custom language.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+/// Social-network influencer ranking — the paper's graph-analytics motif.
+///
+/// Generates an LDBC-SNB-like person-knows-person graph (§8.1.3), ranks
+/// people with the physical PageRank operator (temporary CSR + reverse id
+/// mapping, §6.3), joins ranks back to profile data, and contrasts the
+/// operator with the ITERATE SQL formulation — the §8.4.2 comparison in
+/// miniature, including a weighted variant via an edge-weight lambda.
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "bench_support/workloads.h"
+#include "core/engine.h"
+#include "graph/ldbc_generator.h"
+#include "util/timer.h"
+
+namespace {
+
+soda::QueryResult Exec(soda::Engine& engine, const std::string& sql) {
+  auto result = engine.Execute(sql);
+  if (!result.ok()) {
+    std::printf("error: %s\nSQL: %s\n", result.status().ToString().c_str(),
+                sql.c_str());
+    std::exit(1);
+  }
+  return std::move(result.ValueOrDie());
+}
+
+}  // namespace
+
+int main() {
+  soda::Engine engine;
+  std::printf("=== who matters in the social graph? ===\n\n");
+
+  // An LDBC-like graph: 4000 people, heavy-tailed friendships.
+  soda::GeneratedGraph graph = soda::GenerateSocialGraph(4000, 24, 7);
+  if (!soda::workloads::RegisterGraph(&engine.catalog(), "knows", graph)
+           .ok()) {
+    return 1;
+  }
+  std::printf("generated %zu people, %zu directed friendship edges\n\n",
+              graph.num_vertices, graph.num_edges);
+
+  // A profile table keyed by the same (sparse, shuffled) person ids.
+  (void)engine.Execute("CREATE TABLE people (id INTEGER, handle TEXT)");
+  {
+    auto people = engine.catalog().GetTable("people");
+    std::set<int64_t> ids(graph.src.begin(), graph.src.end());
+    for (int64_t id : ids) {
+      (void)(*people)->AppendRow(
+          {soda::Value::BigInt(id),
+           soda::Value::Varchar("person_" + std::to_string(id))});
+    }
+  }
+
+  // Rank + join + top-10, one query (paper Fig. 2a: post-processing of an
+  // operator's output is ordinary SQL).
+  soda::Timer timer;
+  auto top = Exec(engine,
+                  "SELECT p.handle, pr.rank FROM PAGERANK("
+                  "(SELECT src, dst FROM knows), 0.85, 0.0, 30) pr "
+                  "JOIN people p ON p.id = pr.vertex "
+                  "ORDER BY pr.rank DESC, p.handle LIMIT 10");
+  double operator_seconds = timer.ElapsedSeconds();
+  std::printf("-- top influencers (physical operator, %0.3fs)\n%s\n",
+              operator_seconds, top.ToString(10).c_str());
+
+  // The same computation in pure SQL with ITERATE (layer 3).
+  (void)engine.Execute("CREATE TABLE deg (src INTEGER, cnt INTEGER)");
+  (void)engine.Execute("INSERT INTO deg " +
+                       soda::workloads::DegreeTableSql("knows"));
+  timer.Reset();
+  auto sql_top = Exec(engine, soda::workloads::PageRankIterateSql(
+                                  "knows", "deg", graph.num_vertices, 0.85,
+                                  30));
+  double iterate_seconds = timer.ElapsedSeconds();
+  std::printf(
+      "-- same ranking via the ITERATE SQL formulation: %0.3fs "
+      "(%0.1fx the operator; §8.4.2: joins vs the CSR index)\n",
+      iterate_seconds, iterate_seconds / operator_seconds);
+  std::printf("   top vertex agrees: operator=%s, iterate=%lld\n\n",
+              top.GetString(0, 0).c_str(),
+              static_cast<long long>(sql_top.GetInt(0, 0)));
+
+  // Weighted variant: close friendships (low id distance as a stand-in
+  // for interaction strength) count more — just a different lambda.
+  auto weighted = Exec(engine,
+                       "SELECT p.handle, pr.rank FROM PAGERANK("
+                       "(SELECT src, dst FROM knows), 0.85, 0.0, 30, "
+                       "lambda(e) 1.0 / (1.0 + abs(e.src - e.dst) / 1000.0)"
+                       ") pr JOIN people p ON p.id = pr.vertex "
+                       "ORDER BY pr.rank DESC, p.handle LIMIT 5");
+  std::printf("-- top-5 under interaction-weighted edges (edge lambda, §7)\n%s\n",
+              weighted.ToString(5).c_str());
+
+  return 0;
+}

@@ -1,0 +1,115 @@
+/// Spam classification — the paper's supervised-learning motif (§6.2).
+///
+/// Message feature vectors live in a relational table; a Gaussian Naive
+/// Bayes model is trained by the NAIVE_BAYES_TRAIN operator, *stored as a
+/// relation* (the paper's answer to "the model does not match any of the
+/// relational entities"), applied with NAIVE_BAYES_PREDICT, and evaluated
+/// — train/test split, scoring, confusion matrix — entirely in SQL.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+soda::QueryResult Exec(soda::Engine& engine, const std::string& sql) {
+  auto result = engine.Execute(sql);
+  if (!result.ok()) {
+    std::printf("error: %s\nSQL: %s\n", result.status().ToString().c_str(),
+                sql.c_str());
+    std::exit(1);
+  }
+  return std::move(result.ValueOrDie());
+}
+
+}  // namespace
+
+int main() {
+  soda::Engine engine;
+  std::printf("=== in-database spam filtering with Naive Bayes ===\n\n");
+
+  // Features per message: exclamation density, ALL-CAPS ratio, link count,
+  // message length. Spam skews every one of them.
+  (void)engine.Execute(
+      "CREATE TABLE messages (id INTEGER, is_spam INTEGER, exclaim FLOAT, "
+      "caps FLOAT, links FLOAT, length FLOAT)");
+  {
+    auto table = engine.catalog().GetTable("messages");
+    soda::Rng rng(99);
+    for (int id = 0; id < 8000; ++id) {
+      bool spam = rng.Below(100) < 30;  // 30% spam base rate
+      double exclaim = spam ? 4 + rng.Gaussian() * 2 : 0.5 + rng.Gaussian();
+      double caps = spam ? 0.4 + rng.Gaussian() * 0.15
+                         : 0.05 + rng.Gaussian() * 0.05;
+      double links = spam ? 3 + rng.Gaussian() : 0.3 + rng.Gaussian() * 0.5;
+      double length = spam ? 300 + rng.Gaussian() * 120
+                           : 600 + rng.Gaussian() * 250;
+      (void)(*table)->AppendRow(
+          {soda::Value::BigInt(id), soda::Value::BigInt(spam ? 1 : 0),
+           soda::Value::Double(exclaim), soda::Value::Double(caps),
+           soda::Value::Double(links), soda::Value::Double(length)});
+    }
+  }
+
+  // Train/test split in SQL (80/20 by id hash).
+  auto split = Exec(engine,
+                    "SELECT sum(CASE WHEN id % 5 < 4 THEN 1 ELSE 0 END) train_rows, "
+                    "sum(CASE WHEN id % 5 = 4 THEN 1 ELSE 0 END) test_rows, "
+                    "avg(CAST(is_spam AS FLOAT)) spam_rate FROM messages");
+  std::printf("-- dataset\n%s\n", split.ToString().c_str());
+
+  // Train on the 80%% split; the model is a relation we can inspect.
+  (void)engine.Execute("DROP TABLE IF EXISTS model");
+  (void)engine.Execute(
+      "CREATE TABLE model (class INTEGER, attr INTEGER, prior FLOAT, "
+      "mean FLOAT, variance FLOAT, cnt INTEGER)");
+  auto train = engine.Execute(
+      "INSERT INTO model SELECT * FROM NAIVE_BAYES_TRAIN("
+      "(SELECT is_spam, exclaim, caps, links, length FROM messages "
+      "WHERE id % 5 < 4))");
+  if (!train.ok()) {
+    std::printf("training failed: %s\n", train.status().ToString().c_str());
+    return 1;
+  }
+  auto model = Exec(engine, "SELECT * FROM model ORDER BY class, attr");
+  std::printf("-- the model IS a relation (paper §6.2)\n%s\n",
+              model.ToString(8).c_str());
+
+  // Predict the held-out 20% and score in the same query: join predictions
+  // (positional id via a re-join on the feature values is fragile, so we
+  // predict features + keep the truth column alongside).
+  auto confusion = Exec(
+      engine,
+      "SELECT t.is_spam truth, p.predicted, count(*) n "
+      "FROM NAIVE_BAYES_PREDICT((SELECT * FROM model), "
+      "(SELECT exclaim, caps, links, length FROM messages "
+      " WHERE id % 5 = 4 ORDER BY id)) p "
+      "JOIN (SELECT exclaim, caps, links, length, is_spam FROM messages "
+      "      WHERE id % 5 = 4) t "
+      "ON t.exclaim = p.exclaim AND t.caps = p.caps AND t.links = p.links "
+      "AND t.length = p.length "
+      "GROUP BY t.is_spam, p.predicted ORDER BY truth, p.predicted");
+  std::printf("-- confusion matrix on the held-out split\n%s\n",
+              confusion.ToString().c_str());
+
+  // Accuracy in one more query.
+  auto accuracy = Exec(
+      engine,
+      "SELECT avg(CASE WHEN t.is_spam = p.predicted THEN 1.0 ELSE 0.0 END) "
+      "accuracy "
+      "FROM NAIVE_BAYES_PREDICT((SELECT * FROM model), "
+      "(SELECT exclaim, caps, links, length FROM messages "
+      " WHERE id % 5 = 4)) p "
+      "JOIN (SELECT exclaim, caps, links, length, is_spam FROM messages "
+      "      WHERE id % 5 = 4) t "
+      "ON t.exclaim = p.exclaim AND t.caps = p.caps AND t.links = p.links "
+      "AND t.length = p.length");
+  std::printf("-- held-out accuracy: %.3f\n", accuracy.GetDouble(0, 0));
+  std::printf(
+      "\nNew mail flows into `messages` transactionally; re-running the\n"
+      "INSERT INTO model retrains on fresh data — no stale models, no ETL.\n");
+  return 0;
+}

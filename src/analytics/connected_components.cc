@@ -1,0 +1,85 @@
+#include "analytics/connected_components.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "graph/csr.h"
+#include "util/parallel.h"
+
+namespace soda {
+
+Result<TablePtr> RunConnectedComponents(const Table& edges,
+                                        ConnectedComponentsStats* stats) {
+  if (edges.num_columns() < 2 ||
+      edges.column(0).type() != DataType::kBigInt ||
+      edges.column(1).type() != DataType::kBigInt) {
+    return Status::InvalidArgument(
+        "connected components require BIGINT (src, dst) edge columns");
+  }
+  const size_t e = edges.num_rows();
+  // Undirected closure: materialize both directions before the CSR build.
+  std::vector<int64_t> src, dst;
+  src.reserve(2 * e);
+  dst.reserve(2 * e);
+  const int64_t* s = edges.column(0).I64Data();
+  const int64_t* d = edges.column(1).I64Data();
+  for (size_t i = 0; i < e; ++i) {
+    src.push_back(s[i]);
+    dst.push_back(d[i]);
+    src.push_back(d[i]);
+    dst.push_back(s[i]);
+  }
+  SODA_ASSIGN_OR_RETURN(CsrGraph csr, CsrBuilder::Build(src, dst));
+  const size_t v = csr.num_vertices();
+
+  Schema out_schema({Field("vertex", DataType::kBigInt),
+                     Field("component", DataType::kBigInt)});
+  auto out = std::make_shared<Table>("components", out_schema);
+  if (v == 0) {
+    if (stats) *stats = {};
+    return out;
+  }
+
+  // Labels carry the *original* ids so the final component label is the
+  // component's smallest original id (stable across input orders).
+  std::vector<int64_t> label(v), next(v);
+  for (uint32_t i = 0; i < v; ++i) label[i] = csr.OriginalId(i);
+
+  int64_t iterations = 0;
+  for (;;) {
+    std::atomic<bool> changed{false};
+    ParallelFor(v, [&](size_t begin, size_t end, size_t) {
+      bool local_changed = false;
+      for (size_t vert = begin; vert < end; ++vert) {
+        int64_t best = label[vert];
+        for (const uint32_t* n = csr.NeighborsBegin(static_cast<uint32_t>(vert));
+             n != csr.NeighborsEnd(static_cast<uint32_t>(vert)); ++n) {
+          best = std::min(best, label[*n]);
+        }
+        next[vert] = best;
+        if (best != label[vert]) local_changed = true;
+      }
+      if (local_changed) changed.store(true, std::memory_order_relaxed);
+    });
+    ++iterations;
+    label.swap(next);
+    if (!changed.load()) break;
+  }
+
+  std::unordered_set<int64_t> distinct(label.begin(), label.end());
+  if (stats) {
+    stats->iterations_run = iterations;
+    stats->num_components = distinct.size();
+    stats->num_vertices = v;
+  }
+
+  out->Reserve(v);
+  for (uint32_t i = 0; i < v; ++i) {
+    out->column(0).AppendBigInt(csr.OriginalId(i));
+    out->column(1).AppendBigInt(label[i]);
+  }
+  return out;
+}
+
+}  // namespace soda

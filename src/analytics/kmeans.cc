@@ -1,0 +1,209 @@
+#include "analytics/kmeans.h"
+
+#include <atomic>
+#include <cstring>
+#include <limits>
+
+#include "util/parallel.h"
+
+namespace soda {
+
+namespace {
+
+/// Copies an all-numeric table into a dense row-major double matrix
+/// (paper §6.1: the operator provides "efficient internal data
+/// representations"). Parallel over rows.
+Status Densify(const Table& t, std::vector<double>* out) {
+  const size_t n = t.num_rows();
+  const size_t d = t.num_columns();
+  for (size_t c = 0; c < d; ++c) {
+    if (!IsNumeric(t.column(c).type())) {
+      return Status::TypeError("k-Means requires numeric columns; column '" +
+                               t.schema().field(c).name + "' is " +
+                               DataTypeToString(t.column(c).type()));
+    }
+  }
+  out->resize(n * d);
+  ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+    for (size_t c = 0; c < d; ++c) {
+      const Column& col = t.column(c);
+      if (col.type() == DataType::kDouble) {
+        const double* src = col.F64Data();
+        for (size_t i = begin; i < end; ++i) (*out)[i * d + c] = src[i];
+      } else {
+        const int64_t* src = col.I64Data();
+        for (size_t i = begin; i < end; ++i) {
+          (*out)[i * d + c] = static_cast<double>(src[i]);
+        }
+      }
+    }
+  });
+  return Status::OK();
+}
+
+double SquaredL2(const double* a, const double* b, size_t d) {
+  double acc = 0;
+  for (size_t j = 0; j < d; ++j) {
+    double diff = a[j] - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Thread-local accumulation state for one assignment round.
+struct WorkerAccum {
+  std::vector<double> sums;    // k * d
+  std::vector<int64_t> counts; // k
+  size_t changed = 0;
+
+  void Reset(size_t k, size_t d) {
+    sums.assign(k * d, 0.0);
+    counts.assign(k, 0);
+    changed = 0;
+  }
+};
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(const Table& data,
+                               const Table& initial_centers,
+                               const KMeansOptions& options) {
+  const size_t n = data.num_rows();
+  const size_t d = data.num_columns();
+  const size_t k = initial_centers.num_rows();
+  if (k == 0) {
+    return Status::InvalidArgument("k-Means requires at least one center");
+  }
+  if (initial_centers.num_columns() != d) {
+    return Status::InvalidArgument(
+        "k-Means centers must have the same number of columns as the data (" +
+        std::to_string(initial_centers.num_columns()) + " vs " +
+        std::to_string(d) + ")");
+  }
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be >= 0");
+  }
+  if (options.min_change_fraction < 0 || options.min_change_fraction > 1) {
+    return Status::InvalidArgument(
+        "min_change_fraction must be in [0, 1]");
+  }
+
+  std::vector<double> points;
+  SODA_RETURN_NOT_OK(Densify(data, &points));
+  std::vector<double> centers;
+  SODA_RETURN_NOT_OK(Densify(initial_centers, &centers));
+
+  // Previous assignment per tuple, for the convergence check (§6.1: the
+  // algorithm converges when no tuple changes its assigned cluster).
+  std::vector<uint32_t> assignment(n, std::numeric_limits<uint32_t>::max());
+
+  const LambdaKernel* lambda = options.distance;
+  std::vector<WorkerAccum> workers(NumWorkers());
+
+  KMeansResult result;
+  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    for (auto& w : workers) w.Reset(k, d);
+
+    ParallelFor(n, [&](size_t begin, size_t end, size_t worker) {
+      WorkerAccum& acc = workers[worker];
+      for (size_t i = begin; i < end; ++i) {
+        const double* p = points.data() + i * d;
+        uint32_t best = 0;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < k; ++c) {
+          const double* ctr = centers.data() + c * d;
+          double dist =
+              lambda ? lambda->Eval(p, ctr) : SquaredL2(p, ctr, d);
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = static_cast<uint32_t>(c);
+          }
+        }
+        if (assignment[i] != best) {
+          assignment[i] = best;
+          acc.changed++;
+        }
+        double* sum = acc.sums.data() + best * d;
+        for (size_t j = 0; j < d; ++j) sum[j] += p[j];
+        acc.counts[best]++;
+      }
+    });
+
+    // Global merge — the only synchronized step.
+    std::vector<double> sums(k * d, 0.0);
+    std::vector<int64_t> counts(k, 0);
+    size_t changed = 0;
+    for (const auto& w : workers) {
+      if (w.counts.empty()) continue;
+      for (size_t c = 0; c < k; ++c) counts[c] += w.counts[c];
+      for (size_t j = 0; j < k * d; ++j) sums[j] += w.sums[j];
+      changed += w.changed;
+    }
+
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its center
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t j = 0; j < d; ++j) {
+        centers[c * d + j] = sums[c * d + j] * inv;
+      }
+    }
+
+    result.iterations_run = iter + 1;
+    if (static_cast<double>(changed) <=
+        options.min_change_fraction * static_cast<double>(n)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Output relation: cluster id + final center coordinates.
+  Schema out_schema;
+  out_schema.AddField(Field("cluster", DataType::kBigInt));
+  for (const auto& f : initial_centers.schema().fields()) {
+    out_schema.AddField(Field(f.name, DataType::kDouble));
+  }
+  auto out = std::make_shared<Table>("kmeans", out_schema);
+  out->Reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    out->column(0).AppendBigInt(static_cast<int64_t>(c));
+    for (size_t j = 0; j < d; ++j) {
+      out->column(j + 1).AppendDouble(centers[c * d + j]);
+    }
+  }
+  result.centers = std::move(out);
+  return result;
+}
+
+Result<std::vector<uint32_t>> AssignClusters(const Table& data,
+                                             const Table& centers,
+                                             const LambdaKernel* distance) {
+  const size_t n = data.num_rows();
+  const size_t d = data.num_columns();
+  if (centers.num_columns() != d || centers.num_rows() == 0) {
+    return Status::InvalidArgument("centers incompatible with data");
+  }
+  std::vector<double> points, ctrs;
+  SODA_RETURN_NOT_OK(Densify(data, &points));
+  SODA_RETURN_NOT_OK(Densify(centers, &ctrs));
+  const size_t k = centers.num_rows();
+  std::vector<uint32_t> assignment(n);
+  ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* p = points.data() + i * d;
+      uint32_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double dist = distance ? distance->Eval(p, ctrs.data() + c * d)
+                               : SquaredL2(p, ctrs.data() + c * d, d);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<uint32_t>(c);
+        }
+      }
+      assignment[i] = best;
+    }
+  });
+  return assignment;
+}
+
+}  // namespace soda

@@ -1,0 +1,157 @@
+#include "analytics/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "analytics/stats.h"
+#include "util/parallel.h"
+
+namespace soda {
+
+namespace {
+/// Variance floor: a zero-variance Gaussian degenerates; the standard fix.
+constexpr double kMinVariance = 1e-9;
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+Schema NaiveBayesModelSchema() {
+  return Schema({Field("class", DataType::kBigInt),
+                 Field("attr", DataType::kBigInt),
+                 Field("prior", DataType::kDouble),
+                 Field("mean", DataType::kDouble),
+                 Field("variance", DataType::kDouble),
+                 Field("cnt", DataType::kBigInt)});
+}
+
+Result<TablePtr> TrainNaiveBayes(const Table& labeled) {
+  SODA_ASSIGN_OR_RETURN(GroupedMoments gm, ComputeGroupedMoments(labeled));
+  const int64_t total = gm.total_count();
+  const double num_classes = static_cast<double>(gm.classes.size());
+
+  auto model = std::make_shared<Table>("nb_model", NaiveBayesModelSchema());
+  model->Reserve(gm.classes.size() * gm.num_attributes);
+  for (size_t c = 0; c < gm.classes.size(); ++c) {
+    const int64_t class_count = gm.cells[c].empty() ? 0 : gm.cells[c][0].count;
+    // PR(c) = (|c| + 1) / (|D| + |C|), paper §6.2.
+    const double prior = (static_cast<double>(class_count) + 1.0) /
+                         (static_cast<double>(total) + num_classes);
+    for (size_t a = 0; a < gm.num_attributes; ++a) {
+      const Moments& m = gm.cells[c][a];
+      model->column(0).AppendBigInt(gm.classes[c]);
+      model->column(1).AppendBigInt(static_cast<int64_t>(a) + 1);
+      model->column(2).AppendDouble(prior);
+      model->column(3).AppendDouble(m.Mean());
+      model->column(4).AppendDouble(std::max(m.Variance(), kMinVariance));
+      model->column(5).AppendBigInt(m.count);
+    }
+  }
+  return model;
+}
+
+Result<TablePtr> PredictNaiveBayes(const Table& model, const Table& data) {
+  // Decode the relational model into per-class parameter vectors.
+  if (!model.schema().TypesEqual(NaiveBayesModelSchema())) {
+    return Status::InvalidArgument(
+        "model relation does not match the Naive Bayes model schema " +
+        NaiveBayesModelSchema().ToString());
+  }
+  struct ClassParams {
+    double log_prior = 0;
+    std::vector<double> mean;
+    std::vector<double> variance;
+  };
+  std::map<int64_t, ClassParams> classes;
+  size_t num_attrs = 0;
+  for (size_t r = 0; r < model.num_rows(); ++r) {
+    int64_t cls = model.column(0).GetBigInt(r);
+    size_t attr = static_cast<size_t>(model.column(1).GetBigInt(r));
+    if (attr == 0) return Status::InvalidArgument("model attr ids are 1-based");
+    num_attrs = std::max(num_attrs, attr);
+    auto& p = classes[cls];
+    if (p.mean.size() < attr) {
+      p.mean.resize(attr);
+      p.variance.resize(attr, kMinVariance);
+    }
+    p.log_prior = std::log(std::max(model.column(2).GetDouble(r),
+                                    std::numeric_limits<double>::min()));
+    p.mean[attr - 1] = model.column(3).GetDouble(r);
+    p.variance[attr - 1] =
+        std::max(model.column(4).GetDouble(r), kMinVariance);
+  }
+  if (classes.empty()) {
+    return Status::InvalidArgument("empty Naive Bayes model");
+  }
+  if (data.num_columns() != num_attrs) {
+    return Status::InvalidArgument(
+        "data has " + std::to_string(data.num_columns()) +
+        " attributes but the model was trained on " +
+        std::to_string(num_attrs));
+  }
+  for (size_t c = 0; c < data.num_columns(); ++c) {
+    if (!IsNumeric(data.column(c).type())) {
+      return Status::TypeError("prediction attributes must be numeric");
+    }
+  }
+
+  // Flatten classes for the hot loop.
+  std::vector<int64_t> labels;
+  std::vector<ClassParams> params;
+  for (auto& [cls, p] : classes) {
+    if (p.mean.size() != num_attrs) {
+      return Status::InvalidArgument("model is missing attributes for class " +
+                                     std::to_string(cls));
+    }
+    labels.push_back(cls);
+    params.push_back(std::move(p));
+  }
+  // Precompute the Gaussian log-normalizers.
+  std::vector<std::vector<double>> log_norm(params.size());
+  for (size_t c = 0; c < params.size(); ++c) {
+    log_norm[c].resize(num_attrs);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      log_norm[c][a] = -0.5 * std::log(kTwoPi * params[c].variance[a]);
+    }
+  }
+
+  const size_t n = data.num_rows();
+  std::vector<int64_t> predicted(n);
+  ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+    std::vector<double> x(num_attrs);
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t a = 0; a < num_attrs; ++a) {
+        x[a] = data.column(a).GetNumeric(i);
+      }
+      double best_score = -std::numeric_limits<double>::infinity();
+      int64_t best_label = labels[0];
+      for (size_t c = 0; c < params.size(); ++c) {
+        double score = params[c].log_prior;
+        for (size_t a = 0; a < num_attrs; ++a) {
+          double diff = x[a] - params[c].mean[a];
+          score += log_norm[c][a] -
+                   0.5 * diff * diff / params[c].variance[a];
+        }
+        if (score > best_score) {
+          best_score = score;
+          best_label = labels[c];
+        }
+      }
+      predicted[i] = best_label;
+    }
+  });
+
+  Schema out_schema = data.schema();
+  out_schema.AddField(Field("predicted", DataType::kBigInt));
+  auto out = std::make_shared<Table>("nb_predict", out_schema);
+  for (size_t c = 0; c < data.num_columns(); ++c) {
+    Column col(data.column(c).type());
+    col.AppendSlice(data.column(c), 0, n);
+    SODA_RETURN_NOT_OK(out->SetColumn(c, std::move(col)));
+  }
+  SODA_RETURN_NOT_OK(out->SetColumn(
+      data.num_columns(), Column::FromBigInts(std::move(predicted))));
+  return out;
+}
+
+}  // namespace soda

@@ -1,0 +1,38 @@
+/// \file naive_bayes.h
+/// The physical Naive Bayes operators (paper §6.2).
+///
+/// Two separate physical operators, exactly as the paper describes:
+/// *training* consumes a labeled relation and produces a relational model
+/// (the model "does not match any of the relational entities ... we
+/// implemented model creation and application as two separate operators");
+/// *testing* consumes the model relation plus an unlabeled relation and
+/// predicts labels. Training accumulates per-thread hash tables of
+/// sufficient statistics (count, sum, sum of squares per class and
+/// attribute — shared with the SUMMARIZE building block) and merges them
+/// once. The a-priori probability uses the paper's Laplace-smoothed
+/// estimator PR(c) = (|c| + 1) / (|D| + |C|).
+
+#ifndef SODA_ANALYTICS_NAIVE_BAYES_H_
+#define SODA_ANALYTICS_NAIVE_BAYES_H_
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Model relation schema: (class BIGINT, attr BIGINT /*1-based*/,
+/// prior DOUBLE, mean DOUBLE, variance DOUBLE, cnt BIGINT).
+Schema NaiveBayesModelSchema();
+
+/// Trains a Gaussian Naive Bayes model. `labeled`'s first column is an
+/// integer class label; the remaining columns are numeric attributes.
+Result<TablePtr> TrainNaiveBayes(const Table& labeled);
+
+/// Applies a model to `data` (numeric attribute columns matching the
+/// model's attribute count). Output: the data columns plus a trailing
+/// `predicted BIGINT` column. Parallel over tuples.
+Result<TablePtr> PredictNaiveBayes(const Table& model, const Table& data);
+
+}  // namespace soda
+
+#endif  // SODA_ANALYTICS_NAIVE_BAYES_H_

@@ -1,0 +1,160 @@
+#include "analytics/pagerank.h"
+
+#include <atomic>
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/csr.h"
+#include "util/parallel.h"
+
+namespace soda {
+
+Result<TablePtr> RunPageRank(const Table& edges,
+                             const PageRankOptions& options,
+                             PageRankStats* stats) {
+  if (edges.num_columns() < 2) {
+    return Status::InvalidArgument(
+        "PageRank requires an edge relation with (src, dst) columns");
+  }
+  const Column& src_col = edges.column(0);
+  const Column& dst_col = edges.column(1);
+  if (src_col.type() != DataType::kBigInt ||
+      dst_col.type() != DataType::kBigInt) {
+    return Status::TypeError("PageRank edge endpoints must be BIGINT");
+  }
+  if (!(options.damping >= 0.0 && options.damping <= 1.0)) {
+    return Status::InvalidArgument("damping factor must be in [0, 1]");
+  }
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be >= 0");
+  }
+
+  const size_t e = edges.num_rows();
+  std::vector<int64_t> src(src_col.I64Data(), src_col.I64Data() + e);
+  std::vector<int64_t> dst(dst_col.I64Data(), dst_col.I64Data() + e);
+
+  // Optional per-edge weights via the lambda (single tuple parameter =
+  // the whole edge row, densified to doubles).
+  std::vector<double> weights;
+  if (options.edge_weight) {
+    const size_t d = edges.num_columns();
+    weights.resize(e);
+    ParallelFor(e, [&](size_t begin, size_t end, size_t) {
+      std::vector<double> row(d);
+      for (size_t i = begin; i < end; ++i) {
+        for (size_t c = 0; c < d; ++c) {
+          row[c] = edges.column(c).GetNumeric(i);
+        }
+        weights[i] = options.edge_weight->Eval(row.data(), nullptr);
+      }
+    });
+    for (size_t i = 0; i < e; ++i) {
+      if (!(weights[i] >= 0)) {
+        return Status::ExecutionError(
+            "edge-weight lambda produced a negative or NaN weight");
+      }
+    }
+  }
+
+  // Temporary CSR over *incoming* edges (pull-based iteration: vertex v
+  // reads its in-neighbors' ranks), paper §6.3. Re-labeling to dense ids
+  // happens inside the builder.
+  SODA_ASSIGN_OR_RETURN(
+      CsrGraph in_csr,
+      CsrBuilder::Build(dst, src, weights.empty() ? nullptr : &weights));
+  const size_t v = in_csr.num_vertices();
+  if (stats) {
+    stats->num_vertices = v;
+    stats->num_edges = e;
+  }
+
+  Schema out_schema(
+      {Field("vertex", DataType::kBigInt), Field("rank", DataType::kDouble)});
+  auto out = std::make_shared<Table>("pagerank", out_schema);
+  if (v == 0) return out;
+
+  // Out-degree (or total outgoing weight) per dense vertex. The in-CSR's
+  // original-id mapping covers every vertex, so map src ids through it by
+  // rebuilding a dense lookup.
+  std::vector<double> out_weight(v, 0.0);
+  {
+    std::unordered_map<int64_t, uint32_t> to_dense;
+    to_dense.reserve(v * 2);
+    for (uint32_t i = 0; i < v; ++i) to_dense.emplace(in_csr.OriginalId(i), i);
+    for (size_t i = 0; i < e; ++i) {
+      out_weight[to_dense[src[i]]] += weights.empty() ? 1.0 : weights[i];
+    }
+  }
+
+  std::vector<double> rank(v, 1.0 / static_cast<double>(v));
+  std::vector<double> next(v, 0.0);
+  // Per-edge transition contribution rank[u] * w(u,v) / W_out(u); we
+  // precompute 1/W_out to keep the inner loop multiply-only.
+  std::vector<double> inv_out(v, 0.0);
+  for (size_t i = 0; i < v; ++i) {
+    if (out_weight[i] > 0) inv_out[i] = 1.0 / out_weight[i];
+  }
+
+  const double d = options.damping;
+  const double base = (1.0 - d) / static_cast<double>(v);
+  double delta = 0;
+  int64_t iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Dangling mass: vertices without outgoing edges distribute their rank
+    // uniformly (keeps the ranks a probability distribution).
+    double dangling = 0;
+    for (size_t i = 0; i < v; ++i) {
+      if (out_weight[i] == 0) dangling += rank[i];
+    }
+    const double redistribute = d * dangling / static_cast<double>(v);
+
+    // New ranks, one vertex per slot — no synchronization inside the
+    // iteration (paper §6.3), since each v writes only next[v].
+    const bool weighted = in_csr.has_weights();
+    ParallelFor(v, [&](size_t begin, size_t end, size_t) {
+      for (size_t vert = begin; vert < end; ++vert) {
+        double acc = 0;
+        const uint32_t* nb = in_csr.NeighborsBegin(static_cast<uint32_t>(vert));
+        const uint32_t* nbe = in_csr.NeighborsEnd(static_cast<uint32_t>(vert));
+        if (weighted) {
+          const double* w =
+              in_csr.weights().data() +
+              (nb - in_csr.targets().data());
+          for (; nb != nbe; ++nb, ++w) {
+            acc += rank[*nb] * inv_out[*nb] * *w;
+          }
+        } else {
+          for (; nb != nbe; ++nb) {
+            acc += rank[*nb] * inv_out[*nb];
+          }
+        }
+        next[vert] = base + redistribute + d * acc;
+      }
+    });
+
+    // End-of-iteration aggregation of the workers' delta (paper §6.3:
+    // "at the end of each iteration we aggregate each worker's data to
+    // determine how much the new ranks differ").
+    delta = 0;
+    for (size_t i = 0; i < v; ++i) delta += std::fabs(next[i] - rank[i]);
+    rank.swap(next);
+    if (options.epsilon > 0 && delta <= options.epsilon) {
+      ++iter;
+      break;
+    }
+  }
+  if (stats) {
+    stats->iterations_run = iter;
+    stats->last_delta = delta;
+  }
+
+  // Reverse mapping operator: dense internal ids -> original ids (§6.3).
+  out->Reserve(v);
+  for (uint32_t i = 0; i < v; ++i) {
+    out->column(0).AppendBigInt(in_csr.OriginalId(i));
+    out->column(1).AppendDouble(rank[i]);
+  }
+  return out;
+}
+
+}  // namespace soda

@@ -1,0 +1,95 @@
+/// \file workloads.h
+/// Workload synthesis for the paper's evaluation (§8.1) plus the SQL text
+/// of the layer-3 algorithm implementations ("HyPer Iterate" and
+/// "HyPer SQL" in Figures 4/5).
+///
+/// Vector data is uniform synthetic, as in §8.1.1 ("we create artificial,
+/// uniformly distributed datasets"); labeled data uses two uniform labels
+/// with label-shifted attribute means so classifiers have signal
+/// (§8.1.2); graphs come from graph/ldbc_generator.h.
+
+#ifndef SODA_BENCH_SUPPORT_WORKLOADS_H_
+#define SODA_BENCH_SUPPORT_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/ldbc_generator.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace soda::workloads {
+
+/// Creates and registers `name(id BIGINT, x1..xd DOUBLE)` with n uniform
+/// rows in [0, 100)^d. Parallel columnar bulk load. Deterministic in seed.
+Result<TablePtr> GenerateVectorTable(Catalog* catalog,
+                                     const std::string& name, size_t n,
+                                     size_t d, uint64_t seed = 7);
+
+/// Creates and registers `name(label BIGINT, x1..xd DOUBLE)`: two labels
+/// {0,1} with uniform priors; attribute j of class c is uniform in
+/// [c*30, c*30+100) so classes are separable but overlapping.
+Result<TablePtr> GenerateLabeledTable(Catalog* catalog,
+                                      const std::string& name, size_t n,
+                                      size_t d, uint64_t seed = 11);
+
+/// Creates and registers `name(src BIGINT, dst BIGINT)` from a generated
+/// graph.
+Result<TablePtr> RegisterGraph(Catalog* catalog, const std::string& name,
+                               const GeneratedGraph& graph);
+
+/// Creates and registers `name(cid BIGINT, x1..xd DOUBLE)` with k initial
+/// centers sampled uniformly from `data`'s feature columns (the paper's
+/// "random selection of k initial cluster centers", §8.1.1).
+Result<TablePtr> SampleInitialCenters(Catalog* catalog,
+                                      const std::string& name,
+                                      const Table& data, size_t k,
+                                      uint64_t seed = 13);
+
+// --- SQL builders (layer 3) ------------------------------------------------
+
+/// Comma-joined "x1, x2, ..." style column list.
+std::string FeatureList(size_t d, const std::string& prefix = "",
+                        const std::string& table_alias = "");
+
+/// k-Means via the non-appending ITERATE construct ("HyPer Iterate").
+/// `data`/`centers` name tables created by the generators above.
+std::string KMeansIterateSql(const std::string& data,
+                             const std::string& centers, size_t d,
+                             int64_t iterations);
+
+/// k-Means via WITH RECURSIVE ("HyPer SQL").
+std::string KMeansRecursiveCteSql(const std::string& data,
+                                  const std::string& centers, size_t d,
+                                  int64_t iterations);
+
+/// k-Means via the physical operator with a lambda distance ("HyPer
+/// Operator", Listing 3). `lambda_body` defaults to squared L2 when empty;
+/// pass e.g. an L1 body for k-Medians-style clustering.
+std::string KMeansOperatorSql(const std::string& data,
+                              const std::string& centers, size_t d,
+                              int64_t iterations,
+                              const std::string& lambda_body = "");
+
+/// PageRank SQL variants. `deg` names a materialized
+/// (src BIGINT, cnt BIGINT) out-degree table; `num_vertices` is inlined
+/// into the 1/N terms (soda has no scalar subqueries — see DESIGN.md).
+std::string DegreeTableSql(const std::string& edges);
+std::string PageRankIterateSql(const std::string& edges,
+                               const std::string& deg, size_t num_vertices,
+                               double damping, int64_t iterations);
+std::string PageRankRecursiveCteSql(const std::string& edges,
+                                    const std::string& deg,
+                                    size_t num_vertices, double damping,
+                                    int64_t iterations);
+std::string PageRankOperatorSql(const std::string& edges, double damping,
+                                double epsilon, int64_t iterations);
+
+/// Naive Bayes training in plain SQL (single aggregation; the algorithm is
+/// not iterative) and via the physical operator.
+std::string NaiveBayesSql(const std::string& labeled, size_t d);
+std::string NaiveBayesOperatorSql(const std::string& labeled, size_t d);
+
+}  // namespace soda::workloads
+
+#endif  // SODA_BENCH_SUPPORT_WORKLOADS_H_

@@ -1,0 +1,81 @@
+#include "contenders/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/naive_bayes.h"
+
+namespace soda::contender_detail {
+
+Status ExportMatrix(const Table& t, std::vector<double>* out, size_t* n,
+                    size_t* d) {
+  *n = t.num_rows();
+  *d = t.num_columns();
+  for (size_t c = 0; c < *d; ++c) {
+    if (!IsNumeric(t.column(c).type())) {
+      return Status::TypeError("contender export requires numeric columns");
+    }
+  }
+  out->resize(*n * *d);
+  for (size_t c = 0; c < *d; ++c) {
+    const Column& col = t.column(c);
+    for (size_t i = 0; i < *n; ++i) {
+      (*out)[i * *d + c] = col.GetNumeric(i);
+    }
+  }
+  return Status::OK();
+}
+
+TablePtr PackCenters(const std::vector<double>& centers, size_t k, size_t d) {
+  Schema schema;
+  schema.AddField(Field("cluster", DataType::kBigInt));
+  for (size_t j = 0; j < d; ++j) {
+    schema.AddField(Field("x" + std::to_string(j + 1), DataType::kDouble));
+  }
+  auto out = std::make_shared<Table>("centers", schema);
+  out->Reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    out->column(0).AppendBigInt(static_cast<int64_t>(c));
+    for (size_t j = 0; j < d; ++j) {
+      out->column(j + 1).AppendDouble(centers[c * d + j]);
+    }
+  }
+  return out;
+}
+
+TablePtr PackRanks(const std::vector<int64_t>& vertices,
+                   const std::vector<double>& ranks) {
+  Schema schema(
+      {Field("vertex", DataType::kBigInt), Field("rank", DataType::kDouble)});
+  auto out = std::make_shared<Table>("pagerank", schema);
+  out->Reserve(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    out->column(0).AppendBigInt(vertices[i]);
+    out->column(1).AppendDouble(ranks[i]);
+  }
+  return out;
+}
+
+TablePtr PackNaiveBayesModel(const std::vector<ClassMoments>& classes,
+                             int64_t total_count) {
+  auto out = std::make_shared<Table>("nb_model", NaiveBayesModelSchema());
+  const double num_classes = static_cast<double>(classes.size());
+  for (const auto& cm : classes) {
+    const double prior = (static_cast<double>(cm.count) + 1.0) /
+                         (static_cast<double>(total_count) + num_classes);
+    const double n = static_cast<double>(std::max<int64_t>(cm.count, 1));
+    for (size_t a = 0; a < cm.sum.size(); ++a) {
+      double mean = cm.sum[a] / n;
+      double var = std::max(cm.sumsq[a] / n - mean * mean, 1e-9);
+      out->column(0).AppendBigInt(cm.label);
+      out->column(1).AppendBigInt(static_cast<int64_t>(a) + 1);
+      out->column(2).AppendDouble(prior);
+      out->column(3).AppendDouble(mean);
+      out->column(4).AppendDouble(var);
+      out->column(5).AppendBigInt(cm.count);
+    }
+  }
+  return out;
+}
+
+}  // namespace soda::contender_detail

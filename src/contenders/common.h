@@ -1,0 +1,43 @@
+/// \file common.h
+/// Shared helpers for the contender simulations: data export from the
+/// engine's tables into each contender's native format, and result
+/// packaging back into relations. The export copies are intentional —
+/// they model the ETL / data-transfer cost of layers 1-2 (paper Fig. 1).
+
+#ifndef SODA_CONTENDERS_COMMON_H_
+#define SODA_CONTENDERS_COMMON_H_
+
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace soda::contender_detail {
+
+/// Exports an all-numeric table as a dense row-major matrix (n x d).
+Status ExportMatrix(const Table& t, std::vector<double>* out, size_t* n,
+                    size_t* d);
+
+/// Packages k centers (row-major k x d) as the standard k-Means result
+/// relation (cluster BIGINT, x1..xd DOUBLE).
+TablePtr PackCenters(const std::vector<double>& centers, size_t k, size_t d);
+
+/// Packages (vertex, rank) pairs as the standard PageRank result relation.
+TablePtr PackRanks(const std::vector<int64_t>& vertices,
+                   const std::vector<double>& ranks);
+
+/// Packages per-class Gaussian parameters as the standard model relation
+/// (class, attr, prior, mean, variance, cnt), matching
+/// NaiveBayesModelSchema().
+struct ClassMoments {
+  int64_t label = 0;
+  int64_t count = 0;
+  std::vector<double> sum;
+  std::vector<double> sumsq;
+};
+TablePtr PackNaiveBayesModel(const std::vector<ClassMoments>& classes,
+                             int64_t total_count);
+
+}  // namespace soda::contender_detail
+
+#endif  // SODA_CONTENDERS_COMMON_H_

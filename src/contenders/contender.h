@@ -1,0 +1,62 @@
+/// \file contender.h
+/// Simulated contender systems for the paper's evaluation (§8.2).
+///
+/// The paper compares HyPer against MATLAB R2015, Apache Spark 1.5 MLlib,
+/// and MADlib 1.8 on Greenplum. None of those is available (or sensible)
+/// inside this reproduction, so each is replaced by a small engine that
+/// preserves the *performance-relevant execution paradigm* the paper
+/// attributes to it (see DESIGN.md §3):
+///
+///  - SingleThreadedEngine (MATLAB proxy): identical algorithms, dense
+///    arrays, strictly one thread ("MATLAB runs both algorithms
+///    single-threaded and therefore cannot compete").
+///  - RddEngine (Spark proxy): immutable partitioned collections, a new
+///    materialized dataset per stage, per-task scheduling overhead, and an
+///    up-front load step that copies the data out of the database — with
+///    MLlib's distance-bound shortcuts disabled, as the paper does.
+///  - UdfEngine (MADlib proxy): black-box row-at-a-time user-defined
+///    functions over boxed tuples, with intermediate results written back
+///    to relations after every UDF invocation.
+///
+/// Every contender *starts from the engine's base tables* and therefore
+/// pays its own export/import cost, mirroring layer 1/2 of Figure 1.
+
+#ifndef SODA_CONTENDERS_CONTENDER_H_
+#define SODA_CONTENDERS_CONTENDER_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Common interface: the three algorithms of the paper's evaluation.
+class Contender {
+ public:
+  virtual ~Contender() = default;
+  virtual std::string name() const = 0;
+
+  /// Lloyd's k-Means for `iterations` rounds; returns the final centers
+  /// as (cluster BIGINT, coords... DOUBLE).
+  virtual Result<TablePtr> KMeans(const Table& data, const Table& centers,
+                                  int64_t iterations) = 0;
+
+  /// PageRank with damping 0.85 over (src, dst) edges for `iterations`
+  /// rounds; returns (vertex BIGINT, rank DOUBLE).
+  virtual Result<TablePtr> PageRank(const Table& edges, double damping,
+                                    int64_t iterations) = 0;
+
+  /// Gaussian Naive Bayes training; returns a model relation
+  /// (class, attr, prior, mean, variance, cnt).
+  virtual Result<TablePtr> NaiveBayesTrain(const Table& labeled) = 0;
+};
+
+std::unique_ptr<Contender> MakeSingleThreadedEngine();  ///< MATLAB proxy
+std::unique_ptr<Contender> MakeRddEngine();             ///< Spark proxy
+std::unique_ptr<Contender> MakeUdfEngine();             ///< MADlib proxy
+
+}  // namespace soda
+
+#endif  // SODA_CONTENDERS_CONTENDER_H_

@@ -1,0 +1,267 @@
+/// \file rdd_engine.cc
+/// Apache Spark MLlib proxy (paper §8.2).
+///
+/// Models the execution paradigm the paper measures against:
+///  - data is *loaded* out of the database into partitioned, immutable,
+///    row-object collections (the RDD) before any computation;
+///  - every stage materializes a new collection (RDDs are immutable);
+///  - shuffles merge per-partition hash maps at a stage barrier;
+///  - per-row closures operate on row objects (std::vector<double> per
+///    tuple), modelling JVM object overhead structurally;
+///  - MLlib's k-Means shortcut optimizations (norm-based distance bounds)
+///    are NOT applied, matching §8.2's "we therefore disabled the
+///    following optimizations".
+/// Stages run on the shared pool, one task per partition.
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "contenders/common.h"
+#include "contenders/contender.h"
+#include "util/parallel.h"
+
+namespace soda {
+
+namespace {
+
+using contender_detail::ClassMoments;
+using contender_detail::PackCenters;
+using contender_detail::PackNaiveBayesModel;
+using contender_detail::PackRanks;
+
+/// A partitioned collection of row objects.
+using Row = std::vector<double>;
+using Partition = std::vector<Row>;
+
+size_t DefaultParallelism() { return NumWorkers() * 4; }
+
+/// Load stage: copy a table into row-object partitions (the ETL cost of a
+/// dedicated system, Fig. 1 layer 1).
+Result<std::vector<Partition>> LoadRdd(const Table& t) {
+  const size_t n = t.num_rows();
+  const size_t d = t.num_columns();
+  for (size_t c = 0; c < d; ++c) {
+    if (!IsNumeric(t.column(c).type())) {
+      return Status::TypeError("RDD load requires numeric columns");
+    }
+  }
+  const size_t parts = DefaultParallelism();
+  std::vector<Partition> rdd(parts);
+  const size_t per = (n + parts - 1) / std::max<size_t>(parts, 1);
+  ParallelFor(parts, [&](size_t begin, size_t end, size_t) {
+    for (size_t p = begin; p < end; ++p) {
+      size_t lo = p * per, hi = std::min(n, lo + per);
+      if (lo >= hi) continue;
+      Partition& part = rdd[p];
+      part.reserve(hi - lo);
+      for (size_t i = lo; i < hi; ++i) {
+        Row row(d);
+        for (size_t c = 0; c < d; ++c) row[c] = t.column(c).GetNumeric(i);
+        part.push_back(std::move(row));
+      }
+    }
+  }, /*morsel=*/1);
+  return rdd;
+}
+
+class RddEngine : public Contender {
+ public:
+  std::string name() const override { return "RDD (Spark MLlib sim)"; }
+
+  Result<TablePtr> KMeans(const Table& data, const Table& centers,
+                          int64_t iterations) override {
+    SODA_ASSIGN_OR_RETURN(std::vector<Partition> rdd, LoadRdd(data));
+    std::vector<double> ctr_matrix;
+    size_t k, d;
+    SODA_RETURN_NOT_OK(
+        contender_detail::ExportMatrix(centers, &ctr_matrix, &k, &d));
+    if (k == 0) return Status::InvalidArgument("no centers");
+
+    struct PartStats {
+      std::vector<double> sums;
+      std::vector<int64_t> counts;
+    };
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+      // Stage: mapPartitions — each task digests one partition into local
+      // cluster statistics (a fresh object per stage, RDD-style).
+      std::vector<PartStats> stats(rdd.size());
+      ParallelFor(rdd.size(), [&](size_t begin, size_t end, size_t) {
+        for (size_t p = begin; p < end; ++p) {
+          PartStats st;
+          st.sums.assign(k * d, 0.0);
+          st.counts.assign(k, 0);
+          for (const Row& row : rdd[p]) {
+            size_t best = 0;
+            double best_dist = std::numeric_limits<double>::infinity();
+            for (size_t c = 0; c < k; ++c) {
+              const double* ctr = ctr_matrix.data() + c * d;
+              double dist = 0;
+              for (size_t j = 0; j < d; ++j) {
+                double diff = row[j] - ctr[j];
+                dist += diff * diff;
+              }
+              if (dist < best_dist) {
+                best_dist = dist;
+                best = c;
+              }
+            }
+            st.counts[best]++;
+            for (size_t j = 0; j < d; ++j) st.sums[best * d + j] += row[j];
+          }
+          stats[p] = std::move(st);
+        }
+      }, /*morsel=*/1);
+
+      // Shuffle barrier: reduce partition statistics on the driver.
+      std::vector<double> sums(k * d, 0.0);
+      std::vector<int64_t> counts(k, 0);
+      for (const auto& st : stats) {
+        if (st.counts.empty()) continue;
+        for (size_t c = 0; c < k; ++c) counts[c] += st.counts[c];
+        for (size_t j = 0; j < k * d; ++j) sums[j] += st.sums[j];
+      }
+      for (size_t c = 0; c < k; ++c) {
+        if (!counts[c]) continue;
+        for (size_t j = 0; j < d; ++j) {
+          ctr_matrix[c * d + j] =
+              sums[c * d + j] / static_cast<double>(counts[c]);
+        }
+      }
+    }
+    return PackCenters(ctr_matrix, k, d);
+  }
+
+  Result<TablePtr> PageRank(const Table& edges, double damping,
+                            int64_t iterations) override {
+    SODA_ASSIGN_OR_RETURN(std::vector<Partition> edge_rdd, LoadRdd(edges));
+
+    // collect distinct vertices + out-degrees (a shuffle).
+    std::vector<std::unordered_map<int64_t, double>> local_deg(edge_rdd.size());
+    ParallelFor(edge_rdd.size(), [&](size_t begin, size_t end, size_t) {
+      for (size_t p = begin; p < end; ++p) {
+        for (const Row& e : edge_rdd[p]) {
+          local_deg[p][static_cast<int64_t>(e[0])] += 1.0;
+          local_deg[p].emplace(static_cast<int64_t>(e[1]), 0.0);
+        }
+      }
+    }, 1);
+    std::unordered_map<int64_t, double> out_deg;
+    for (auto& m : local_deg) {
+      for (auto& [vtx, c] : m) out_deg[vtx] += c;
+    }
+    const size_t v = out_deg.size();
+    if (v == 0) return PackRanks({}, {});
+
+    // ranks as a hash map RDD (re-materialized every iteration, the
+    // paired-RDD join pattern of naive Spark PageRank).
+    std::unordered_map<int64_t, double> rank;
+    rank.reserve(v * 2);
+    for (const auto& [vtx, _] : out_deg) {
+      rank.emplace(vtx, 1.0 / static_cast<double>(v));
+    }
+    const double base = (1.0 - damping) / static_cast<double>(v);
+
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+      double dangling = 0;
+      for (const auto& [vtx, deg] : out_deg) {
+        if (deg == 0) dangling += rank[vtx];
+      }
+      const double redistribute = damping * dangling / static_cast<double>(v);
+
+      // Stage: per-partition contribution maps (flatMap + local combine).
+      std::vector<std::unordered_map<int64_t, double>> contribs(
+          edge_rdd.size());
+      ParallelFor(edge_rdd.size(), [&](size_t begin, size_t end, size_t) {
+        for (size_t p = begin; p < end; ++p) {
+          auto& local = contribs[p];
+          for (const Row& e : edge_rdd[p]) {
+            int64_t s = static_cast<int64_t>(e[0]);
+            int64_t t = static_cast<int64_t>(e[1]);
+            local[t] += rank.at(s) / out_deg.at(s);
+          }
+        }
+      }, 1);
+
+      // Shuffle barrier: reduceByKey into the next rank map.
+      std::unordered_map<int64_t, double> next;
+      next.reserve(v * 2);
+      for (const auto& [vtx, _] : out_deg) {
+        next.emplace(vtx, base + redistribute);
+      }
+      for (auto& local : contribs) {
+        for (auto& [vtx, c] : local) next[vtx] += damping * c;
+      }
+      rank = std::move(next);
+    }
+
+    std::vector<int64_t> vertices;
+    std::vector<double> ranks;
+    vertices.reserve(v);
+    ranks.reserve(v);
+    for (const auto& [vtx, r] : rank) {
+      vertices.push_back(vtx);
+      ranks.push_back(r);
+    }
+    return PackRanks(vertices, ranks);
+  }
+
+  Result<TablePtr> NaiveBayesTrain(const Table& labeled) override {
+    SODA_ASSIGN_OR_RETURN(std::vector<Partition> rdd, LoadRdd(labeled));
+    if (labeled.num_columns() < 2) {
+      return Status::InvalidArgument("labeled data needs label + attributes");
+    }
+    const size_t d = labeled.num_columns() - 1;
+
+    std::vector<std::unordered_map<int64_t, ClassMoments>> locals(rdd.size());
+    ParallelFor(rdd.size(), [&](size_t begin, size_t end, size_t) {
+      for (size_t p = begin; p < end; ++p) {
+        auto& local = locals[p];
+        for (const Row& row : rdd[p]) {
+          int64_t label = static_cast<int64_t>(row[0]);
+          ClassMoments& cm = local[label];
+          if (cm.sum.empty()) {
+            cm.label = label;
+            cm.sum.assign(d, 0);
+            cm.sumsq.assign(d, 0);
+          }
+          cm.count++;
+          for (size_t a = 0; a < d; ++a) {
+            cm.sum[a] += row[1 + a];
+            cm.sumsq[a] += row[1 + a] * row[1 + a];
+          }
+        }
+      }
+    }, 1);
+
+    std::unordered_map<int64_t, ClassMoments> merged;
+    int64_t total = 0;
+    for (auto& local : locals) {
+      for (auto& [label, cm] : local) {
+        ClassMoments& target = merged[label];
+        if (target.sum.empty()) {
+          target = cm;
+        } else {
+          target.count += cm.count;
+          for (size_t a = 0; a < d; ++a) {
+            target.sum[a] += cm.sum[a];
+            target.sumsq[a] += cm.sumsq[a];
+          }
+        }
+        total += cm.count;
+      }
+    }
+    std::vector<ClassMoments> classes;
+    classes.reserve(merged.size());
+    for (auto& [_, cm] : merged) classes.push_back(std::move(cm));
+    return PackNaiveBayesModel(classes, total);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Contender> MakeRddEngine() {
+  return std::make_unique<RddEngine>();
+}
+
+}  // namespace soda

@@ -1,0 +1,154 @@
+/// \file single_threaded_engine.cc
+/// MATLAB proxy (paper §8.2/§8.4.3): the same algorithms over dense
+/// arrays, strictly single-threaded — "MATLAB does not contain parallel
+/// versions of the chosen algorithms" — with an up-front export of the
+/// data out of the database.
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "contenders/common.h"
+#include "contenders/contender.h"
+
+namespace soda {
+
+namespace {
+
+using contender_detail::ClassMoments;
+using contender_detail::ExportMatrix;
+using contender_detail::PackCenters;
+using contender_detail::PackNaiveBayesModel;
+using contender_detail::PackRanks;
+
+class SingleThreadedEngine : public Contender {
+ public:
+  std::string name() const override { return "SingleThreaded (MATLAB sim)"; }
+
+  Result<TablePtr> KMeans(const Table& data, const Table& centers,
+                          int64_t iterations) override {
+    std::vector<double> points, ctrs;
+    size_t n, d, k, d2;
+    SODA_RETURN_NOT_OK(ExportMatrix(data, &points, &n, &d));
+    SODA_RETURN_NOT_OK(ExportMatrix(centers, &ctrs, &k, &d2));
+    if (d != d2 || k == 0) {
+      return Status::InvalidArgument("centers incompatible with data");
+    }
+
+    std::vector<double> sums(k * d);
+    std::vector<int64_t> counts(k);
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      std::fill(counts.begin(), counts.end(), 0);
+      for (size_t i = 0; i < n; ++i) {
+        const double* p = points.data() + i * d;
+        size_t best = 0;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < k; ++c) {
+          const double* ctr = ctrs.data() + c * d;
+          double dist = 0;
+          for (size_t j = 0; j < d; ++j) {
+            double diff = p[j] - ctr[j];
+            dist += diff * diff;
+          }
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = c;
+          }
+        }
+        counts[best]++;
+        for (size_t j = 0; j < d; ++j) sums[best * d + j] += p[j];
+      }
+      for (size_t c = 0; c < k; ++c) {
+        if (!counts[c]) continue;
+        for (size_t j = 0; j < d; ++j) {
+          ctrs[c * d + j] = sums[c * d + j] / static_cast<double>(counts[c]);
+        }
+      }
+    }
+    return PackCenters(ctrs, k, d);
+  }
+
+  Result<TablePtr> PageRank(const Table& edges, double damping,
+                            int64_t iterations) override {
+    const size_t e = edges.num_rows();
+    const int64_t* src = edges.column(0).I64Data();
+    const int64_t* dst = edges.column(1).I64Data();
+
+    // Densify ids (sequential hash build).
+    std::unordered_map<int64_t, uint32_t> dense;
+    std::vector<int64_t> original;
+    auto intern = [&](int64_t id) {
+      auto [it, inserted] =
+          dense.emplace(id, static_cast<uint32_t>(original.size()));
+      if (inserted) original.push_back(id);
+      return it->second;
+    };
+    std::vector<uint32_t> s(e), t(e);
+    for (size_t i = 0; i < e; ++i) {
+      s[i] = intern(src[i]);
+      t[i] = intern(dst[i]);
+    }
+    const size_t v = original.size();
+    if (v == 0) return PackRanks({}, {});
+
+    std::vector<double> out_deg(v, 0);
+    for (size_t i = 0; i < e; ++i) out_deg[s[i]] += 1.0;
+
+    std::vector<double> rank(v, 1.0 / static_cast<double>(v)), next(v);
+    const double base = (1.0 - damping) / static_cast<double>(v);
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+      double dangling = 0;
+      for (size_t i = 0; i < v; ++i) {
+        if (out_deg[i] == 0) dangling += rank[i];
+      }
+      std::fill(next.begin(), next.end(),
+                base + damping * dangling / static_cast<double>(v));
+      // Edge-scatter formulation, like MATLAB's sparse M*r.
+      for (size_t i = 0; i < e; ++i) {
+        next[t[i]] += damping * rank[s[i]] / out_deg[s[i]];
+      }
+      rank.swap(next);
+    }
+    return PackRanks(original, rank);
+  }
+
+  Result<TablePtr> NaiveBayesTrain(const Table& labeled) override {
+    std::vector<double> rows;
+    size_t n, width;
+    SODA_RETURN_NOT_OK(ExportMatrix(labeled, &rows, &n, &width));
+    if (width < 2) {
+      return Status::InvalidArgument("labeled data needs label + attributes");
+    }
+    const size_t d = width - 1;
+    std::unordered_map<int64_t, size_t> index;
+    std::vector<ClassMoments> classes;
+    for (size_t i = 0; i < n; ++i) {
+      int64_t label = static_cast<int64_t>(rows[i * width]);
+      auto [it, inserted] = index.emplace(label, classes.size());
+      if (inserted) {
+        ClassMoments cm;
+        cm.label = label;
+        cm.sum.assign(d, 0);
+        cm.sumsq.assign(d, 0);
+        classes.push_back(std::move(cm));
+      }
+      ClassMoments& cm = classes[it->second];
+      cm.count++;
+      for (size_t a = 0; a < d; ++a) {
+        double x = rows[i * width + 1 + a];
+        cm.sum[a] += x;
+        cm.sumsq[a] += x * x;
+      }
+    }
+    return PackNaiveBayesModel(classes, static_cast<int64_t>(n));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Contender> MakeSingleThreadedEngine() {
+  return std::make_unique<SingleThreadedEngine>();
+}
+
+}  // namespace soda

@@ -1,0 +1,249 @@
+/// \file udf_engine.cc
+/// MADlib-on-Greenplum proxy (paper §8.2) — layer 2 of Figure 1.
+///
+/// Models black-box UDF execution: the driver iterates over relations
+/// tuple-at-a-time, boxes every row into `Value` objects, and calls the
+/// algorithm step through a virtual `RowUdf` interface the "database"
+/// cannot inspect or inline (paper §4.1: UDFs are "run by the database
+/// system as a black box"). Intermediate state (cluster assignments, rank
+/// tables) is written back to relations after every UDF pass, modelling
+/// MADlib's materialization between SQL-driven invocations. Execution is
+/// not parallelized across tuples — the per-call boxing dominates, which
+/// is the behaviour the paper measures (MADlib "cannot compete with
+/// solutions that integrate data analytics deeper and produce better
+/// execution code").
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "contenders/common.h"
+#include "contenders/contender.h"
+
+namespace soda {
+
+namespace {
+
+using contender_detail::ClassMoments;
+using contender_detail::PackCenters;
+using contender_detail::PackNaiveBayesModel;
+using contender_detail::PackRanks;
+
+/// The black-box per-row function: receives a boxed tuple, returns a boxed
+/// tuple. Virtual so the call cannot be inlined into the scan loop.
+class RowUdf {
+ public:
+  virtual ~RowUdf() = default;
+  virtual std::vector<Value> Process(const std::vector<Value>& row) = 0;
+};
+
+/// The "database side": scans a relation tuple-at-a-time, boxes each row,
+/// invokes the UDF, and materializes its outputs into a result relation.
+Result<TablePtr> RunUdfScan(const Table& input, const Schema& out_schema,
+                            RowUdf& udf) {
+  auto out = std::make_shared<Table>("udf_result", out_schema);
+  const size_t n = input.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Value> row = input.GetRow(i);  // boxing
+    std::vector<Value> result = udf.Process(row);
+    if (!result.empty()) {
+      SODA_RETURN_NOT_OK(out->AppendRow(result));
+    }
+  }
+  return out;
+}
+
+class UdfEngine : public Contender {
+ public:
+  std::string name() const override { return "UDF (MADlib sim)"; }
+
+  Result<TablePtr> KMeans(const Table& data, const Table& centers,
+                          int64_t iterations) override {
+    size_t k, d;
+    std::vector<double> ctrs;
+    SODA_RETURN_NOT_OK(
+        contender_detail::ExportMatrix(centers, &ctrs, &k, &d));
+    if (k == 0 || data.num_columns() != d) {
+      return Status::InvalidArgument("centers incompatible with data");
+    }
+
+    // Each iteration: one UDF pass assigning tuples (materialized as an
+    // assignment relation), then a driver-side aggregation pass over it.
+    Schema assign_schema;
+    assign_schema.AddField(Field("cluster", DataType::kBigInt));
+    for (size_t j = 0; j < d; ++j) {
+      assign_schema.AddField(
+          Field("x" + std::to_string(j + 1), DataType::kDouble));
+    }
+
+    class AssignUdf : public RowUdf {
+     public:
+      AssignUdf(const std::vector<double>* ctrs, size_t k, size_t d)
+          : ctrs_(ctrs), k_(k), d_(d) {}
+      std::vector<Value> Process(const std::vector<Value>& row) override {
+        size_t best = 0;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < k_; ++c) {
+          double dist = 0;
+          for (size_t j = 0; j < d_; ++j) {
+            double diff = row[j].AsDouble() - (*ctrs_)[c * d_ + j];
+            dist += diff * diff;
+          }
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = c;
+          }
+        }
+        std::vector<Value> out;
+        out.reserve(d_ + 1);
+        out.push_back(Value::BigInt(static_cast<int64_t>(best)));
+        for (size_t j = 0; j < d_; ++j) out.push_back(row[j]);
+        return out;
+      }
+      const std::vector<double>* ctrs_;
+      size_t k_, d_;
+    };
+
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+      AssignUdf udf(&ctrs, k, d);
+      SODA_ASSIGN_OR_RETURN(TablePtr assigned,
+                            RunUdfScan(data, assign_schema, udf));
+      // Aggregation pass over the materialized assignment relation.
+      std::vector<double> sums(k * d, 0.0);
+      std::vector<int64_t> counts(k, 0);
+      for (size_t i = 0; i < assigned->num_rows(); ++i) {
+        std::vector<Value> row = assigned->GetRow(i);  // boxing again
+        size_t c = static_cast<size_t>(row[0].AsBigInt());
+        counts[c]++;
+        for (size_t j = 0; j < d; ++j) {
+          sums[c * d + j] += row[j + 1].AsDouble();
+        }
+      }
+      for (size_t c = 0; c < k; ++c) {
+        if (!counts[c]) continue;
+        for (size_t j = 0; j < d; ++j) {
+          ctrs[c * d + j] = sums[c * d + j] / static_cast<double>(counts[c]);
+        }
+      }
+    }
+    return PackCenters(ctrs, k, d);
+  }
+
+  Result<TablePtr> PageRank(const Table& edges, double damping,
+                            int64_t iterations) override {
+    // Driver collects degrees via a boxed scan.
+    std::unordered_map<int64_t, double> out_deg;
+    const size_t e = edges.num_rows();
+    for (size_t i = 0; i < e; ++i) {
+      std::vector<Value> row = edges.GetRow(i);
+      out_deg[row[0].AsBigInt()] += 1.0;
+      out_deg.emplace(row[1].AsBigInt(), 0.0);
+    }
+    const size_t v = out_deg.size();
+    if (v == 0) return PackRanks({}, {});
+
+    std::unordered_map<int64_t, double> rank;
+    for (const auto& [vtx, _] : out_deg) {
+      rank.emplace(vtx, 1.0 / static_cast<double>(v));
+    }
+    const double base = (1.0 - damping) / static_cast<double>(v);
+
+    // One UDF pass per iteration emitting boxed (dst, contribution) rows,
+    // materialized and then re-aggregated by the driver.
+    Schema contrib_schema({Field("dst", DataType::kBigInt),
+                           Field("contrib", DataType::kDouble)});
+    class ContribUdf : public RowUdf {
+     public:
+      ContribUdf(const std::unordered_map<int64_t, double>* rank,
+                 const std::unordered_map<int64_t, double>* deg)
+          : rank_(rank), deg_(deg) {}
+      std::vector<Value> Process(const std::vector<Value>& row) override {
+        int64_t s = row[0].AsBigInt();
+        return {row[1],
+                Value::Double(rank_->at(s) / deg_->at(s))};
+      }
+      const std::unordered_map<int64_t, double>* rank_;
+      const std::unordered_map<int64_t, double>* deg_;
+    };
+
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+      double dangling = 0;
+      for (const auto& [vtx, deg] : out_deg) {
+        if (deg == 0) dangling += rank[vtx];
+      }
+      ContribUdf udf(&rank, &out_deg);
+      SODA_ASSIGN_OR_RETURN(TablePtr contribs,
+                            RunUdfScan(edges, contrib_schema, udf));
+      std::unordered_map<int64_t, double> next;
+      const double redistribute = damping * dangling / static_cast<double>(v);
+      for (const auto& [vtx, _] : out_deg) {
+        next.emplace(vtx, base + redistribute);
+      }
+      for (size_t i = 0; i < contribs->num_rows(); ++i) {
+        std::vector<Value> row = contribs->GetRow(i);
+        next[row[0].AsBigInt()] += damping * row[1].AsDouble();
+      }
+      rank = std::move(next);
+    }
+
+    std::vector<int64_t> vertices;
+    std::vector<double> ranks;
+    for (const auto& [vtx, r] : rank) {
+      vertices.push_back(vtx);
+      ranks.push_back(r);
+    }
+    return PackRanks(vertices, ranks);
+  }
+
+  Result<TablePtr> NaiveBayesTrain(const Table& labeled) override {
+    if (labeled.num_columns() < 2) {
+      return Status::InvalidArgument("labeled data needs label + attributes");
+    }
+    const size_t d = labeled.num_columns() - 1;
+    std::unordered_map<int64_t, ClassMoments> merged;
+    int64_t total = 0;
+
+    class MomentsUdf : public RowUdf {
+     public:
+      MomentsUdf(std::unordered_map<int64_t, ClassMoments>* merged,
+                 int64_t* total, size_t d)
+          : merged_(merged), total_(total), d_(d) {}
+      std::vector<Value> Process(const std::vector<Value>& row) override {
+        int64_t label = row[0].AsBigInt();
+        ClassMoments& cm = (*merged_)[label];
+        if (cm.sum.empty()) {
+          cm.label = label;
+          cm.sum.assign(d_, 0);
+          cm.sumsq.assign(d_, 0);
+        }
+        cm.count++;
+        (*total_)++;
+        for (size_t a = 0; a < d_; ++a) {
+          double x = row[1 + a].AsDouble();
+          cm.sum[a] += x;
+          cm.sumsq[a] += x * x;
+        }
+        return {};  // aggregate-style UDF: no per-row output
+      }
+      std::unordered_map<int64_t, ClassMoments>* merged_;
+      int64_t* total_;
+      size_t d_;
+    };
+
+    MomentsUdf udf(&merged, &total, d);
+    SODA_ASSIGN_OR_RETURN(TablePtr ignored,
+                          RunUdfScan(labeled, Schema(), udf));
+    (void)ignored;
+    std::vector<ClassMoments> classes;
+    for (auto& [_, cm] : merged) classes.push_back(std::move(cm));
+    return PackNaiveBayesModel(classes, total);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Contender> MakeUdfEngine() {
+  return std::make_unique<UdfEngine>();
+}
+
+}  // namespace soda

@@ -1,0 +1,320 @@
+#include "core/engine.h"
+
+#include "exec/executor.h"
+#include "expr/evaluator.h"
+#include "expr/fold.h"
+#include "sql/binder.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+
+namespace soda {
+
+namespace {
+
+Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
+                                  const EngineOptions& options) {
+  Binder binder(catalog);
+  SODA_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelectStatement(stmt));
+  if (options.optimize) {
+    plan = OptimizePlan(std::move(plan), catalog);
+  }
+  ExecContext ctx;
+  ctx.catalog = catalog;
+  ctx.max_iterations = options.max_iterations;
+  SODA_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(*plan, ctx));
+  return QueryResult(std::move(result), ctx.stats);
+}
+
+Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
+                                  const EngineOptions& options);
+
+Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
+                                  Catalog* catalog,
+                                  const EngineOptions& options) {
+  if (stmt.if_not_exists && catalog->HasTable(stmt.name)) {
+    return QueryResult();
+  }
+  if (stmt.as_select) {
+    // CREATE TABLE .. AS SELECT: materialize first, register second, so a
+    // failing query leaves no half-created table behind.
+    SODA_ASSIGN_OR_RETURN(QueryResult result,
+                          ExecuteSelect(*stmt.as_select, catalog, options));
+    Schema schema;
+    for (const auto& f : result.schema().fields()) {
+      schema.AddField(Field(f.name, f.type));  // strip qualifiers
+    }
+    SODA_ASSIGN_OR_RETURN(TablePtr table,
+                          catalog->CreateTable(stmt.name, schema));
+    const Table& src = *result.table();
+    for (size_t c = 0; c < src.num_columns(); ++c) {
+      table->column(c).AppendSlice(src.column(c), 0, src.num_rows());
+    }
+    return QueryResult();
+  }
+  Schema schema;
+  for (const auto& [name, type] : stmt.columns) {
+    schema.AddField(Field(name, type));
+  }
+  SODA_ASSIGN_OR_RETURN(TablePtr table,
+                        catalog->CreateTable(stmt.name, std::move(schema)));
+  (void)table;
+  return QueryResult();
+}
+
+/// Evaluates an optional WHERE over a full table; `selected[i]` is set for
+/// rows where the predicate is TRUE (all rows when `where` is null).
+Result<std::vector<uint8_t>> EvaluateRowMask(const Table& table,
+                                             const ParseExpr* where,
+                                             Catalog* catalog) {
+  std::vector<uint8_t> selected(table.num_rows(), where ? 0 : 1);
+  if (!where) return selected;
+  Binder binder(catalog);
+  Schema schema = table.schema().WithQualifier(table.name());
+  SODA_ASSIGN_OR_RETURN(ExprPtr pred, binder.BindScalar(*where, schema));
+  if (pred->type != DataType::kBool) {
+    return Status::BindError("WHERE clause must be boolean");
+  }
+  DataChunk chunk;
+  const size_t n = table.num_rows();
+  for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
+    table.ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
+    std::vector<uint32_t> sel;
+    SODA_RETURN_NOT_OK(EvaluatePredicate(*pred, chunk, &sel));
+    for (uint32_t i : sel) selected[offset + i] = 1;
+  }
+  return selected;
+}
+
+/// DELETE: copy-on-write — build the surviving rows into a fresh table and
+/// atomically swap it in (readers holding the old TablePtr keep a
+/// consistent snapshot).
+Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog) {
+  SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
+  SODA_ASSIGN_OR_RETURN(std::vector<uint8_t> doomed,
+                        EvaluateRowMask(*table, stmt.where.get(), catalog));
+  auto next = std::make_shared<Table>(table->name(), table->schema());
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      if (!doomed[r]) next->column(c).AppendFrom(table->column(c), r);
+    }
+  }
+  SODA_RETURN_NOT_OK(catalog->ReplaceTable(stmt.table, std::move(next)));
+  return QueryResult();
+}
+
+/// UPDATE: evaluate every SET expression over the whole table, then merge
+/// per the WHERE mask into a fresh table and swap (copy-on-write).
+Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog) {
+  SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
+  const Schema schema = table->schema().WithQualifier(table->name());
+  Binder binder(catalog);
+
+  // Bind assignments; insert casts for compatible numeric mismatches.
+  std::vector<std::pair<size_t, ExprPtr>> assignments;
+  for (const auto& [col_name, parse_expr] : stmt.assignments) {
+    SODA_ASSIGN_OR_RETURN(size_t col, schema.FindField(col_name));
+    SODA_ASSIGN_OR_RETURN(ExprPtr expr,
+                          binder.BindScalar(*parse_expr, schema));
+    DataType want = schema.field(col).type;
+    if (expr->type != want) {
+      if (!(IsNumeric(expr->type) && IsNumeric(want))) {
+        return Status::TypeError("cannot assign " +
+                                 std::string(DataTypeToString(expr->type)) +
+                                 " to column '" + col_name + "' of type " +
+                                 DataTypeToString(want));
+      }
+      expr = Expression::Cast(std::move(expr), want);
+    }
+    assignments.emplace_back(col, std::move(expr));
+  }
+
+  SODA_ASSIGN_OR_RETURN(std::vector<uint8_t> selected,
+                        EvaluateRowMask(*table, stmt.where.get(), catalog));
+
+  // New values, evaluated chunk-wise over the old snapshot.
+  std::vector<Column> new_values;
+  for (auto& [col, expr] : assignments) {
+    Column out(schema.field(col).type);
+    DataChunk chunk;
+    const size_t n = table->num_rows();
+    for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
+      table->ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
+      Column part;
+      SODA_RETURN_NOT_OK(EvaluateExpression(*expr, chunk, &part));
+      out.AppendSlice(part, 0, part.size());
+    }
+    new_values.push_back(std::move(out));
+  }
+
+  auto next = std::make_shared<Table>(table->name(), table->schema());
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    const Column* updated = nullptr;
+    for (size_t a = 0; a < assignments.size(); ++a) {
+      if (assignments[a].first == c) updated = &new_values[a];
+    }
+    Column& dst = next->column(c);
+    if (!updated) {
+      dst.AppendSlice(table->column(c), 0, table->num_rows());
+      continue;
+    }
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      dst.AppendFrom(selected[r] ? *updated : table->column(c), r);
+    }
+  }
+  SODA_RETURN_NOT_OK(catalog->ReplaceTable(stmt.table, std::move(next)));
+  return QueryResult();
+}
+
+Result<QueryResult> ExecuteDrop(const DropTableStmt& stmt, Catalog* catalog) {
+  if (stmt.if_exists && !catalog->HasTable(stmt.name)) {
+    return QueryResult();
+  }
+  SODA_RETURN_NOT_OK(catalog->DropTable(stmt.name));
+  return QueryResult();
+}
+
+Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
+                                  const EngineOptions& options) {
+  SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
+
+  if (!stmt.values_rows.empty()) {
+    Binder binder(catalog);
+    for (const auto& parse_row : stmt.values_rows) {
+      if (parse_row.size() != table->num_columns()) {
+        return Status::BindError(
+            "INSERT arity mismatch: table has " +
+            std::to_string(table->num_columns()) + " columns, row has " +
+            std::to_string(parse_row.size()));
+      }
+      std::vector<Value> row;
+      row.reserve(parse_row.size());
+      for (const auto& e : parse_row) {
+        SODA_ASSIGN_OR_RETURN(ExprPtr bound, binder.BindScalar(*e, Schema()));
+        SODA_ASSIGN_OR_RETURN(Value v, EvaluateConstantExpression(*bound));
+        row.push_back(std::move(v));
+      }
+      SODA_RETURN_NOT_OK(table->AppendRow(row));
+    }
+    return QueryResult();
+  }
+
+  // INSERT .. SELECT.
+  SODA_ASSIGN_OR_RETURN(QueryResult sub,
+                        ExecuteSelect(*stmt.select, catalog, options));
+  const Table& src = *sub.table();
+  if (src.num_columns() != table->num_columns()) {
+    return Status::BindError("INSERT .. SELECT arity mismatch");
+  }
+  // Positional insert with implicit numeric coercion.
+  DataChunk chunk;
+  const size_t n = src.num_rows();
+  for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
+    src.ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
+    DataChunk coerced;
+    for (size_t c = 0; c < chunk.num_columns(); ++c) {
+      DataType want = table->schema().field(c).type;
+      if (chunk.column(c).type() == want) {
+        coerced.AddColumn(std::move(chunk.column(c)));
+        continue;
+      }
+      if (!(IsNumeric(chunk.column(c).type()) && IsNumeric(want))) {
+        return Status::TypeError(
+            "INSERT .. SELECT type mismatch in column '" +
+            table->schema().field(c).name + "'");
+      }
+      Column col(want);
+      const Column& in = chunk.column(c);
+      col.Reserve(in.size());
+      for (size_t i = 0; i < in.size(); ++i) {
+        if (in.IsNull(i)) {
+          col.AppendNull();
+        } else if (want == DataType::kDouble) {
+          col.AppendDouble(in.GetNumeric(i));
+        } else {
+          col.AppendBigInt(static_cast<int64_t>(in.GetNumeric(i)));
+        }
+      }
+      coerced.AddColumn(std::move(col));
+    }
+    SODA_RETURN_NOT_OK(table->AppendChunk(coerced));
+  }
+  return QueryResult();
+}
+
+/// EXPLAIN: the optimized plan tree rendered as a one-column relation,
+/// one row per plan line.
+Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, Catalog* catalog,
+                                   const EngineOptions& options) {
+  Binder binder(catalog);
+  SODA_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelectStatement(stmt));
+  if (options.optimize) {
+    plan = OptimizePlan(std::move(plan), catalog);
+  }
+  auto table = std::make_shared<Table>(
+      "explain", Schema({Field("plan", DataType::kVarchar)}));
+  std::string text = plan->ToString();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    SODA_RETURN_NOT_OK(
+        table->AppendRow({Value::Varchar(text.substr(start, end - start))}));
+    start = end + 1;
+  }
+  return QueryResult(std::move(table), ExecStats{});
+}
+
+Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
+                                     const EngineOptions& options) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(*stmt.select, catalog, options);
+    case StatementKind::kCreateTable:
+      return ExecuteCreate(*stmt.create_table, catalog, options);
+    case StatementKind::kInsert:
+      return ExecuteInsert(*stmt.insert, catalog, options);
+    case StatementKind::kDropTable:
+      return ExecuteDrop(*stmt.drop_table, catalog);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(*stmt.update, catalog);
+    case StatementKind::kDelete:
+      return ExecuteDelete(*stmt.del, catalog);
+    case StatementKind::kExplain:
+      return ExecuteExplain(*stmt.select, catalog, options);
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+}  // namespace
+
+Result<QueryResult> Engine::Execute(const std::string& sql) {
+  SODA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(stmt, &catalog_, options_);
+}
+
+Result<QueryResult> Engine::ExecuteScript(const std::string& sql) {
+  SODA_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(sql));
+  if (stmts.empty()) return QueryResult();
+  QueryResult last;
+  for (const auto& stmt : stmts) {
+    Result<QueryResult> r = ExecuteStatement(stmt, &catalog_, options_);
+    SODA_RETURN_NOT_OK(r.status());
+    last = std::move(r.ValueOrDie());
+  }
+  return last;
+}
+
+Result<std::string> Engine::Explain(const std::string& sql) {
+  SODA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT statements only");
+  }
+  Binder binder(&catalog_);
+  SODA_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelectStatement(*stmt.select));
+  if (options_.optimize) {
+    plan = OptimizePlan(std::move(plan), &catalog_);
+  }
+  return plan->ToString();
+}
+
+}  // namespace soda

@@ -1,0 +1,66 @@
+/// \file engine.h
+/// soda's public entry point: a main-memory relational engine with
+/// integrated data analytics.
+///
+/// Usage:
+///
+///   soda::Engine engine;
+///   engine.Execute("CREATE TABLE data (x FLOAT, y FLOAT)");
+///   engine.Execute("INSERT INTO data VALUES (1.0, 2.0), (3.0, 4.0)");
+///   auto result = engine.Execute(
+///       "SELECT * FROM KMEANS((SELECT x, y FROM data), "
+///       "                     (SELECT x, y FROM data LIMIT 2), "
+///       "                     λ(a, b) (a.x-b.x)^2 + (a.y-b.y)^2, 3)");
+///
+/// The engine executes the paper's full surface: plain SQL (layer 3),
+/// recursive CTEs, the non-appending ITERATE construct (§5.1), and the
+/// lambda-parameterized analytics operators (§6/§7) — all inside one query
+/// plan, freely composable with relational operators.
+
+#ifndef SODA_CORE_ENGINE_H_
+#define SODA_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/query_result.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace soda {
+
+struct EngineOptions {
+  /// Infinite-loop guard for ITERATE / recursive CTEs (paper §5.1).
+  size_t max_iterations = 100000;
+  /// Run the optimizer (disable only for plan-shape tests).
+  bool optimize = true;
+};
+
+class Engine {
+ public:
+  Engine() : Engine(EngineOptions{}) {}
+  explicit Engine(EngineOptions options) : options_(options) {}
+
+  /// Executes one SQL statement (SELECT / CREATE TABLE / INSERT / DROP).
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes a ';'-separated script, discarding intermediate results;
+  /// returns the last statement's result.
+  Result<QueryResult> ExecuteScript(const std::string& sql);
+
+  /// Returns the optimized plan tree for a SELECT (EXPLAIN).
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Direct catalog access for bulk loading (see bench_support/workloads).
+  Catalog& catalog() { return catalog_; }
+
+  EngineOptions& options() { return options_; }
+
+ private:
+  Catalog catalog_;
+  EngineOptions options_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_CORE_ENGINE_H_

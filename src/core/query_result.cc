@@ -1,0 +1,10 @@
+#include "core/query_result.h"
+
+namespace soda {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  if (!table_) return "(no result)\n";
+  return table_->ToString(max_rows);
+}
+
+}  // namespace soda

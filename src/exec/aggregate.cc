@@ -1,0 +1,288 @@
+/// \file aggregate.cc
+/// Hash aggregation with thread-local partial states merged at finalize —
+/// the structure the paper describes for its analytics operators (§6.1:
+/// "Thread synchronization is only needed for the very last steps, global
+/// aggregation of the local intermediate results") applied to plain
+/// GROUP BY.
+
+#include <cmath>
+#include <unordered_map>
+
+#include "exec/executor.h"
+#include "exec/hash_join.h"
+#include "util/parallel.h"
+
+namespace soda {
+
+namespace {
+
+/// Grouping equality: unlike joins, NULL groups with NULL.
+bool GroupCellsEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
+  bool na = a.IsNull(ra), nb = b.IsNull(rb);
+  if (na || nb) return na && nb;
+  return CellsEqual(a, ra, b, rb);
+}
+
+/// One aggregate's accumulator; a single struct covers all supported
+/// functions (count/sum/avg/min/max/var/stddev).
+struct AggState {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double sum = 0;
+  double sumsq = 0;
+  double min = 0;
+  double max = 0;
+
+  void UpdateNumeric(double v, int64_t iv) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    ++count;
+    isum += iv;
+    sum += v;
+    sumsq += v * v;
+  }
+
+  void Merge(const AggState& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+      *this = other;
+      return;
+    }
+    count += other.count;
+    isum += other.isum;
+    sum += other.sum;
+    sumsq += other.sumsq;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+};
+
+/// Per-worker (and final) grouping state.
+struct GroupTable {
+  explicit GroupTable(const Schema& key_schema, size_t num_specs)
+      : keys("keys", key_schema),
+        num_specs(num_specs),
+        int_keyed(key_schema.num_fields() == 1 &&
+                  (key_schema.field(0).type == DataType::kBigInt ||
+                   key_schema.field(0).type == DataType::kBool)) {}
+
+  Table keys;  ///< one row per group: the group-by column values
+  std::vector<AggState> states;  ///< group-major [group * num_specs + spec]
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;  ///< hash -> group ids
+  /// Fast path for the common single-BIGINT-key case (e.g. GROUP BY id in
+  /// the layer-3 k-Means/PageRank formulations): direct key -> group map,
+  /// no rehash-and-verify chain.
+  std::unordered_map<int64_t, uint32_t> int_index;
+  size_t num_specs;
+  bool int_keyed;
+
+  /// Number of groups; robust for the zero-key (global aggregate) case
+  /// where the key table has no columns and thus reports zero rows.
+  size_t NumGroups() const {
+    return num_specs ? states.size() / num_specs : keys.num_rows();
+  }
+
+  /// Single-BIGINT-key fast path; only valid when `int_keyed` and the key
+  /// cell is non-NULL.
+  size_t FindOrCreateInt(int64_t key, const Column& col, size_t row) {
+    auto [it, inserted] =
+        int_index.emplace(key, static_cast<uint32_t>(NumGroups()));
+    if (inserted) {
+      keys.column(0).AppendFrom(col, row);
+      states.resize(states.size() + num_specs);
+    }
+    return it->second;
+  }
+
+  /// Finds or creates the group matching `(cols, row)`; returns its id.
+  size_t FindOrCreate(uint64_t hash, const std::vector<const Column*>& cols,
+                      size_t row) {
+    if (int_keyed && !cols[0]->IsNull(row)) {
+      return FindOrCreateInt(cols[0]->GetBigInt(row), *cols[0], row);
+    }
+    auto& bucket = index[hash];
+    for (uint32_t g : bucket) {
+      bool equal = true;
+      for (size_t c = 0; c < cols.size(); ++c) {
+        if (!GroupCellsEqual(*cols[c], row, keys.column(c), g)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return g;
+    }
+    uint32_t g = static_cast<uint32_t>(NumGroups());
+    for (size_t c = 0; c < cols.size(); ++c) {
+      keys.column(c).AppendFrom(*cols[c], row);
+    }
+    states.resize(states.size() + num_specs);
+    bucket.push_back(g);
+    return g;
+  }
+};
+
+class AggregateSink : public Sink {
+ public:
+  AggregateSink(const PlanNode& plan, Schema key_schema)
+      : plan_(plan), key_schema_(std::move(key_schema)) {
+    workers_.resize(NumWorkers());
+  }
+
+  Status Consume(DataChunk& chunk, size_t worker_id) override {
+    auto& local = workers_[worker_id];
+    if (!local) {
+      local = std::make_unique<GroupTable>(key_schema_,
+                                           plan_.aggregates.size());
+    }
+    const size_t g_cols = plan_.num_group_cols;
+    std::vector<const Column*> key_cols(g_cols);
+    for (size_t c = 0; c < g_cols; ++c) key_cols[c] = &chunk.column(c);
+
+    for (size_t row = 0; row < chunk.num_rows(); ++row) {
+      size_t g;
+      if (local->int_keyed && !key_cols[0]->IsNull(row)) {
+        g = local->FindOrCreateInt(key_cols[0]->GetBigInt(row), *key_cols[0],
+                                   row);
+      } else {
+        uint64_t hash = 0xCBF29CE484222325ULL;
+        for (size_t c = 0; c < g_cols; ++c) {
+          hash = hash * 31 + HashCell(*key_cols[c], row);
+        }
+        g = local->FindOrCreate(hash, key_cols, row);
+      }
+      AggState* states = &local->states[g * plan_.aggregates.size()];
+      for (size_t s = 0; s < plan_.aggregates.size(); ++s) {
+        const AggregateSpec& spec = plan_.aggregates[s];
+        if (spec.arg_index < 0) {  // count(*)
+          states[s].count++;
+          continue;
+        }
+        const Column& arg = chunk.column(static_cast<size_t>(spec.arg_index));
+        if (arg.IsNull(row)) continue;  // aggregates skip NULLs
+        if (arg.type() == DataType::kVarchar) {
+          states[s].count++;  // only count() is bound for varchar args
+          continue;
+        }
+        double v = arg.GetNumeric(row);
+        int64_t iv =
+            arg.type() == DataType::kDouble ? 0 : arg.GetBigInt(row);
+        states[s].UpdateNumeric(v, iv);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Finalize() override {
+    // Merge all worker tables into the first non-empty one.
+    std::unique_ptr<GroupTable> merged;
+    for (auto& w : workers_) {
+      if (!w) continue;
+      if (!merged) {
+        merged = std::move(w);
+        continue;
+      }
+      const size_t groups = w->NumGroups();
+      std::vector<const Column*> cols(w->keys.num_columns());
+      for (size_t c = 0; c < cols.size(); ++c) cols[c] = &w->keys.column(c);
+      for (size_t g = 0; g < groups; ++g) {
+        uint64_t hash = 0xCBF29CE484222325ULL;
+        for (size_t c = 0; c < cols.size(); ++c) {
+          hash = hash * 31 + HashCell(*cols[c], g);
+        }
+        size_t target = merged->FindOrCreate(hash, cols, g);
+        for (size_t s = 0; s < plan_.aggregates.size(); ++s) {
+          merged->states[target * plan_.aggregates.size() + s].Merge(
+              w->states[g * plan_.aggregates.size() + s]);
+        }
+      }
+      w.reset();
+    }
+    if (!merged) {
+      merged = std::make_unique<GroupTable>(key_schema_,
+                                            plan_.aggregates.size());
+    }
+    // A global aggregate (no GROUP BY) over empty input still yields one
+    // row of "empty" aggregates.
+    if (plan_.num_group_cols == 0 && merged->NumGroups() == 0) {
+      merged->states.resize(plan_.aggregates.size());
+    }
+
+    result_ = std::make_shared<Table>("aggregate", plan_.schema);
+    const size_t groups = merged->NumGroups();
+    result_->Reserve(groups);
+    for (size_t g = 0; g < groups; ++g) {
+      for (size_t c = 0; c < plan_.num_group_cols; ++c) {
+        result_->column(c).AppendFrom(merged->keys.column(c), g);
+      }
+      for (size_t s = 0; s < plan_.aggregates.size(); ++s) {
+        const AggregateSpec& spec = plan_.aggregates[s];
+        const AggState& st =
+            merged->states[g * plan_.aggregates.size() + s];
+        Column& out = result_->column(plan_.num_group_cols + s);
+        if (spec.function == "count") {
+          out.AppendBigInt(st.count);
+          continue;
+        }
+        if (st.count == 0) {
+          out.AppendNull();
+          continue;
+        }
+        if (spec.function == "sum") {
+          if (spec.result_type == DataType::kBigInt) {
+            out.AppendBigInt(st.isum);
+          } else {
+            out.AppendDouble(st.sum);
+          }
+        } else if (spec.function == "avg") {
+          out.AppendDouble(st.sum / static_cast<double>(st.count));
+        } else if (spec.function == "min" || spec.function == "max") {
+          double v = spec.function == "min" ? st.min : st.max;
+          if (spec.result_type == DataType::kBigInt) {
+            out.AppendBigInt(static_cast<int64_t>(v));
+          } else {
+            out.AppendDouble(v);
+          }
+        } else if (spec.function == "var" || spec.function == "stddev") {
+          if (st.count < 2) {
+            out.AppendNull();
+            continue;
+          }
+          double n = static_cast<double>(st.count);
+          double var = (st.sumsq - st.sum * st.sum / n) / (n - 1);
+          if (var < 0) var = 0;  // numeric noise
+          out.AppendDouble(spec.function == "var" ? var : std::sqrt(var));
+        } else {
+          return Status::Internal("unknown aggregate: " + spec.function);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  TablePtr result() const { return result_; }
+
+ private:
+  const PlanNode& plan_;
+  Schema key_schema_;
+  std::vector<std::unique_ptr<GroupTable>> workers_;
+  TablePtr result_;
+};
+
+}  // namespace
+
+Result<TablePtr> ExecuteAggregate(const PlanNode& plan, ExecContext& ctx) {
+  SODA_ASSIGN_OR_RETURN(Pipeline p, BuildPipeline(*plan.children[0], ctx));
+  std::vector<Field> key_fields(
+      plan.children[0]->schema.fields().begin(),
+      plan.children[0]->schema.fields().begin() + plan.num_group_cols);
+  AggregateSink sink(plan, Schema(std::move(key_fields)));
+  SODA_RETURN_NOT_OK(RunPipeline(p, sink, ctx));
+  ctx.stats.cumulative_materialized_tuples += sink.result()->num_rows();
+  return sink.result();
+}
+
+}  // namespace soda

@@ -1,0 +1,48 @@
+/// \file exec_context.h
+/// Per-query execution state: catalog access, named relation bindings
+/// (CTE working tables, the ITERATE state), runtime guards, and the
+/// instrumentation counters used by the §5.1 memory ablation.
+
+#ifndef SODA_EXEC_EXEC_CONTEXT_H_
+#define SODA_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace soda {
+
+/// Counters exposed to benchmarks; tracks how much tuple state iterative
+/// constructs materialize (recursive CTE vs ITERATE, paper §5.1).
+struct ExecStats {
+  size_t cumulative_materialized_tuples = 0;  ///< total tuples written to intermediates
+  size_t peak_bound_tuples = 0;   ///< max tuples live in iteration bindings + accumulated results
+  size_t iterations_run = 0;      ///< iterations across all iterative constructs
+
+  void AccountBoundTuples(size_t tuples) {
+    if (tuples > peak_bound_tuples) peak_bound_tuples = tuples;
+  }
+};
+
+/// Mutable state threaded through plan execution. Not thread-safe for
+/// concurrent binding mutation; pipelines only read bindings.
+struct ExecContext {
+  Catalog* catalog = nullptr;
+
+  /// Named relations visible to kBindingRef (recursive CTE working table,
+  /// `iterate` state). Executors save/restore entries around loops.
+  std::map<std::string, TablePtr> bindings;
+
+  /// Infinite-loop guard for ITERATE and recursive CTEs (paper §5.1:
+  /// "those situations need to be detected and aborted by the database").
+  size_t max_iterations = 100000;
+
+  ExecStats stats;
+};
+
+}  // namespace soda
+
+#endif  // SODA_EXEC_EXEC_CONTEXT_H_

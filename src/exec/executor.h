@@ -1,0 +1,92 @@
+/// \file executor.h
+/// Plan execution: morsel-parallel push pipelines over the plan IR.
+///
+/// Pipeline model (paper §3): a pipeline is a materialized source relation
+/// plus a chain of streaming transforms (filter, project, join probe)
+/// ending in a pipeline-breaking sink (materialize, aggregate build).
+/// Workers pull morsels from the source and push chunks through the chain
+/// into thread-local sink state, which is merged once at the end — the
+/// same structure HyPer generates code for; soda interprets it with
+/// vectorized transforms (DESIGN.md §3).
+
+#ifndef SODA_EXEC_EXECUTOR_H_
+#define SODA_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "sql/logical_plan.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Executes a plan tree to a fully materialized relation.
+Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext& ctx);
+
+// --- pipeline machinery (exposed for the aggregate/iterate executors) ----
+
+/// A streaming chunk-to-chunks operator. Implementations must be reentrant
+/// (Apply is called concurrently from several workers with distinct
+/// chunks).
+class Transform {
+ public:
+  virtual ~Transform() = default;
+  using Emit = std::function<Status(DataChunk&)>;
+  /// Transforms `chunk`, invoking `emit` for every output chunk (0..n
+  /// times).
+  virtual Status Apply(DataChunk& chunk, const Emit& emit) const = 0;
+};
+
+/// A pipeline-breaking consumer with per-worker state.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual Status Consume(DataChunk& chunk, size_t worker_id) = 0;
+  /// Merges worker state; called once, after all Consume calls finished.
+  virtual Status Finalize() = 0;
+};
+
+/// A runnable pipeline: source relation + transform chain. Owns shared
+/// resources (e.g. join hash tables) for its transforms.
+struct Pipeline {
+  TablePtr source;
+  Schema source_schema;
+  std::vector<std::shared_ptr<const Transform>> transforms;
+  std::vector<std::shared_ptr<void>> resources;
+};
+
+/// Lowers a plan subtree into a pipeline, executing any pipeline breakers
+/// (and join build sides) it encounters.
+Result<Pipeline> BuildPipeline(const PlanNode& plan, ExecContext& ctx);
+
+/// Runs the pipeline: parallel morsel scan -> transforms -> sink.
+Status RunPipeline(const Pipeline& pipeline, Sink& sink, ExecContext& ctx);
+
+/// Sink that materializes into per-worker tables merged on Finalize.
+class MaterializeSink : public Sink {
+ public:
+  explicit MaterializeSink(Schema schema);
+  Status Consume(DataChunk& chunk, size_t worker_id) override;
+  Status Finalize() override;
+  TablePtr result() const { return result_; }
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<Table>> partials_;
+  TablePtr result_;
+};
+
+// Implemented in sibling .cc files; declared here so executor.cc can
+// dispatch without circular headers.
+Result<TablePtr> ExecuteAggregate(const PlanNode& plan, ExecContext& ctx);
+Result<TablePtr> ExecuteRecursiveCte(const PlanNode& plan, ExecContext& ctx);
+Result<TablePtr> ExecuteIterate(const PlanNode& plan, ExecContext& ctx);
+Result<TablePtr> ExecuteTableFunction(const PlanNode& plan, ExecContext& ctx);
+Result<TablePtr> ExecuteSort(const PlanNode& plan, ExecContext& ctx);
+
+}  // namespace soda
+
+#endif  // SODA_EXEC_EXECUTOR_H_

@@ -1,0 +1,172 @@
+#include "exec/hash_join.h"
+
+#include <bit>
+#include <cmath>
+#include <functional>
+
+namespace soda {
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  // SplitMix64 finalizer.
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t HashDoubleCanonical(double d) {
+  // Integral doubles hash like the corresponding int64; -0.0 like 0.0.
+  if (d == 0.0) return Mix(0);
+  double r = std::nearbyint(d);
+  if (r == d && std::fabs(d) < 9.2e18) {
+    return Mix(static_cast<uint64_t>(static_cast<int64_t>(d)));
+  }
+  return Mix(std::bit_cast<uint64_t>(d));
+}
+
+}  // namespace
+
+uint64_t HashCell(const Column& col, size_t row) {
+  if (col.IsNull(row)) return 0x9E3779B97F4A7C15ULL;  // arbitrary NULL tag
+  switch (col.type()) {
+    case DataType::kBool:
+    case DataType::kBigInt:
+      return Mix(static_cast<uint64_t>(col.GetBigInt(row)));
+    case DataType::kDouble:
+      return HashDoubleCanonical(col.GetDouble(row));
+    case DataType::kVarchar:
+      return std::hash<std::string>{}(col.GetString(row));
+    default:
+      return 0;
+  }
+}
+
+bool CellsEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
+  if (a.IsNull(ra) || b.IsNull(rb)) return false;  // SQL: NULL != NULL
+  if (a.type() == DataType::kVarchar || b.type() == DataType::kVarchar) {
+    return a.type() == b.type() && a.GetString(ra) == b.GetString(rb);
+  }
+  if (a.type() == DataType::kDouble || b.type() == DataType::kDouble) {
+    return a.GetNumeric(ra) == b.GetNumeric(rb);
+  }
+  return a.GetBigInt(ra) == b.GetBigInt(rb);
+}
+
+Result<std::shared_ptr<JoinHashTable>> JoinHashTable::Build(
+    TablePtr build, std::vector<size_t> key_cols) {
+  auto ht = std::make_shared<JoinHashTable>();
+  ht->build_ = std::move(build);
+  ht->key_cols_ = std::move(key_cols);
+  const size_t n = ht->build_->num_rows();
+
+  size_t buckets = 16;
+  while (buckets < n * 2) buckets <<= 1;
+  ht->mask_ = buckets - 1;
+  ht->head_.assign(buckets, kInvalid);
+  ht->next_.assign(n, kInvalid);
+  ht->hashes_.resize(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (size_t k : ht->key_cols_) {
+      h = h * 31 + HashCell(ht->build_->column(k), i);
+    }
+    ht->hashes_[i] = h;
+    uint64_t slot = h & ht->mask_;
+    ht->next_[i] = ht->head_[slot];
+    ht->head_[slot] = static_cast<uint32_t>(i);
+  }
+  return ht;
+}
+
+void JoinHashTable::Probe(const DataChunk& chunk,
+                          const std::vector<size_t>& probe_keys, size_t row,
+                          std::vector<uint32_t>* matches) const {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t k : probe_keys) {
+    h = h * 31 + HashCell(chunk.column(k), row);
+  }
+  for (uint32_t i = head_[h & mask_]; i != kInvalid; i = next_[i]) {
+    if (hashes_[i] != h) continue;
+    bool equal = true;
+    for (size_t c = 0; c < key_cols_.size(); ++c) {
+      if (!CellsEqual(chunk.column(probe_keys[c]), row,
+                      build_->column(key_cols_[c]), i)) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) matches->push_back(i);
+  }
+}
+
+HashJoinProbeTransform::HashJoinProbeTransform(
+    std::shared_ptr<const JoinHashTable> table, std::vector<size_t> probe_keys,
+    Schema out_schema)
+    : table_(std::move(table)),
+      probe_keys_(std::move(probe_keys)),
+      out_schema_(std::move(out_schema)) {}
+
+Status HashJoinProbeTransform::Apply(DataChunk& chunk,
+                                     const Emit& emit) const {
+  const Table& build = table_->build_table();
+  const size_t left_cols = chunk.num_columns();
+  DataChunk out(out_schema_);
+  std::vector<uint32_t> matches;
+  for (size_t row = 0; row < chunk.num_rows(); ++row) {
+    matches.clear();
+    table_->Probe(chunk, probe_keys_, row, &matches);
+    for (uint32_t m : matches) {
+      for (size_t c = 0; c < left_cols; ++c) {
+        out.column(c).AppendFrom(chunk.column(c), row);
+      }
+      for (size_t c = 0; c < build.num_columns(); ++c) {
+        out.column(left_cols + c).AppendFrom(build.column(c), m);
+      }
+      if (out.num_rows() >= kChunkCapacity) {
+        SODA_RETURN_NOT_OK(emit(out));
+        out = DataChunk(out_schema_);
+      }
+    }
+  }
+  if (out.num_rows() > 0) SODA_RETURN_NOT_OK(emit(out));
+  return Status::OK();
+}
+
+CrossJoinTransform::CrossJoinTransform(TablePtr right, Schema out_schema)
+    : right_(std::move(right)), out_schema_(std::move(out_schema)) {}
+
+Status CrossJoinTransform::Apply(DataChunk& chunk, const Emit& emit) const {
+  const Table& right = *right_;
+  const size_t left_cols = chunk.num_columns();
+  const size_t rn = right.num_rows();
+  DataChunk out(out_schema_);
+  for (size_t row = 0; row < chunk.num_rows(); ++row) {
+    size_t emitted = 0;
+    while (emitted < rn) {
+      size_t batch = std::min(rn - emitted, kChunkCapacity - out.num_rows());
+      // Repeat the left row `batch` times, then splice the right slice.
+      for (size_t c = 0; c < left_cols; ++c) {
+        for (size_t b = 0; b < batch; ++b) {
+          out.column(c).AppendFrom(chunk.column(c), row);
+        }
+      }
+      for (size_t c = 0; c < right.num_columns(); ++c) {
+        out.column(left_cols + c).AppendSlice(right.column(c), emitted, batch);
+      }
+      emitted += batch;
+      if (out.num_rows() >= kChunkCapacity) {
+        SODA_RETURN_NOT_OK(emit(out));
+        out = DataChunk(out_schema_);
+      }
+    }
+  }
+  if (out.num_rows() > 0) SODA_RETURN_NOT_OK(emit(out));
+  return Status::OK();
+}
+
+}  // namespace soda

@@ -1,0 +1,77 @@
+/// \file hash_join.h
+/// Hash table for equi-joins and the join/cross-join probe transforms.
+
+#ifndef SODA_EXEC_HASH_JOIN_H_
+#define SODA_EXEC_HASH_JOIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/executor.h"
+#include "storage/table.h"
+
+namespace soda {
+
+/// Hashes one cell of a column to a 64-bit value; doubles with integral
+/// values hash equal to the corresponding BIGINT so mixed-type keys work
+/// after binder-inserted casts (keys are always cast to a common type, so
+/// this is belt-and-braces).
+uint64_t HashCell(const Column& col, size_t row);
+
+/// True when two cells compare SQL-equal (NULL never equals anything).
+bool CellsEqual(const Column& a, size_t ra, const Column& b, size_t rb);
+
+/// Immutable chaining hash table over the build side of an equi-join.
+/// Built once (single-threaded; build sides are small in our workloads),
+/// probed concurrently.
+class JoinHashTable {
+ public:
+  static Result<std::shared_ptr<JoinHashTable>> Build(
+      TablePtr build, std::vector<size_t> key_cols);
+
+  /// Appends the indices of build rows whose keys match probe row
+  /// `(chunk, row)` to `matches`.
+  void Probe(const DataChunk& chunk, const std::vector<size_t>& probe_keys,
+             size_t row, std::vector<uint32_t>* matches) const;
+
+  const Table& build_table() const { return *build_; }
+
+ private:
+  TablePtr build_;
+  std::vector<size_t> key_cols_;
+  // Chaining layout: head_[hash & mask] -> first row + next_ chain.
+  std::vector<uint32_t> head_;
+  std::vector<uint32_t> next_;
+  std::vector<uint64_t> hashes_;
+  uint64_t mask_ = 0;
+  static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+};
+
+/// Streaming probe: emits probe-row ++ build-row concatenations.
+class HashJoinProbeTransform : public Transform {
+ public:
+  HashJoinProbeTransform(std::shared_ptr<const JoinHashTable> table,
+                         std::vector<size_t> probe_keys, Schema out_schema);
+  Status Apply(DataChunk& chunk, const Emit& emit) const override;
+
+ private:
+  std::shared_ptr<const JoinHashTable> table_;
+  std::vector<size_t> probe_keys_;
+  Schema out_schema_;
+};
+
+/// Streaming nested-loop expansion against a materialized right side.
+class CrossJoinTransform : public Transform {
+ public:
+  CrossJoinTransform(TablePtr right, Schema out_schema);
+  Status Apply(DataChunk& chunk, const Emit& emit) const override;
+
+ private:
+  TablePtr right_;
+  Schema out_schema_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_EXEC_HASH_JOIN_H_

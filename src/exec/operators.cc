@@ -1,0 +1,56 @@
+/// \file operators.cc
+/// Small pipeline-breaking relational operators: ORDER BY.
+
+#include <algorithm>
+#include <numeric>
+
+#include "exec/executor.h"
+#include "expr/evaluator.h"
+
+namespace soda {
+
+Result<TablePtr> ExecuteSort(const PlanNode& plan, ExecContext& ctx) {
+  SODA_ASSIGN_OR_RETURN(TablePtr child, ExecutePlan(*plan.children[0], ctx));
+  const size_t n = child->num_rows();
+
+  // Evaluate the sort keys over the full input (chunk-wise).
+  std::vector<Column> keys;
+  keys.reserve(plan.sort_keys.size());
+  for (const auto& k : plan.sort_keys) {
+    keys.emplace_back(k.expr->type);
+  }
+  DataChunk chunk;
+  for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
+    child->ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
+    for (size_t k = 0; k < plan.sort_keys.size(); ++k) {
+      Column part;
+      SODA_RETURN_NOT_OK(
+          EvaluateExpression(*plan.sort_keys[k].expr, chunk, &part));
+      keys[k].AppendSlice(part, 0, part.size());
+    }
+  }
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      Value va = keys[k].GetValue(a);
+      Value vb = keys[k].GetValue(b);
+      if (va == vb) continue;
+      bool less = va < vb;
+      return plan.sort_keys[k].descending ? !less : less;
+    }
+    return false;
+  });
+
+  auto out = std::make_shared<Table>("sorted", plan.schema);
+  out->Reserve(n);
+  for (uint32_t r : order) {
+    for (size_t c = 0; c < child->num_columns(); ++c) {
+      out->column(c).AppendFrom(child->column(c), r);
+    }
+  }
+  return out;
+}
+
+}  // namespace soda

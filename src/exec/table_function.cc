@@ -1,0 +1,218 @@
+#include "exec/table_function.h"
+
+#include "analytics/connected_components.h"
+#include "analytics/kmeans.h"
+#include "analytics/naive_bayes.h"
+#include "analytics/pagerank.h"
+#include "analytics/stats.h"
+#include "exec/executor.h"
+#include "expr/lambda_kernel.h"
+
+namespace soda {
+
+bool IsTableFunction(const std::string& lower_name) {
+  return lower_name == "kmeans" || lower_name == "pagerank" ||
+         lower_name == "naive_bayes_train" ||
+         lower_name == "naive_bayes_predict" || lower_name == "summarize" ||
+         lower_name == "connected_components";
+}
+
+Result<TableFunctionSignature> GetTableFunctionSignature(
+    const std::string& name) {
+  if (name == "kmeans") {
+    // Distance lambda is binary over (data, centers); scalars are
+    // max_iterations and the optional min-change-fraction stop criterion
+    // (§6.1's softened convergence).
+    return TableFunctionSignature{2, 0, 2, 1, {{0, 1}}};
+  }
+  if (name == "pagerank") {
+    // Edge-weight lambda is unary over (edges).
+    return TableFunctionSignature{1, 0, 3, 1, {{0}}};
+  }
+  if (name == "naive_bayes_train") {
+    return TableFunctionSignature{1, 0, 0, 0, {}};
+  }
+  if (name == "naive_bayes_predict") {
+    return TableFunctionSignature{2, 0, 0, 0, {}};
+  }
+  if (name == "summarize") {
+    return TableFunctionSignature{1, 0, 0, 0, {}};
+  }
+  if (name == "connected_components") {
+    return TableFunctionSignature{1, 0, 0, 0, {}};
+  }
+  return Status::KeyError("unknown table function: " + name);
+}
+
+namespace {
+
+Status RequireAllNumeric(const Schema& schema, const std::string& what) {
+  for (const auto& f : schema.fields()) {
+    if (!IsNumeric(f.type)) {
+      return Status::TypeError(what + " requires numeric columns; '" +
+                               f.name + "' is " + DataTypeToString(f.type));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Schema> InferTableFunctionSchema(
+    const std::string& name, const std::vector<Schema>& relation_schemas,
+    const std::vector<Value>& scalar_args) {
+  SODA_ASSIGN_OR_RETURN(TableFunctionSignature sig,
+                        GetTableFunctionSignature(name));
+  if (relation_schemas.size() != sig.num_relations) {
+    return Status::BindError(name + " expects " +
+                             std::to_string(sig.num_relations) +
+                             " relation argument(s), got " +
+                             std::to_string(relation_schemas.size()));
+  }
+  if (scalar_args.size() < sig.min_scalars ||
+      scalar_args.size() > sig.max_scalars) {
+    return Status::BindError(name + ": wrong number of scalar arguments");
+  }
+
+  if (name == "kmeans") {
+    const Schema& data = relation_schemas[0];
+    const Schema& centers = relation_schemas[1];
+    SODA_RETURN_NOT_OK(RequireAllNumeric(data, "kmeans"));
+    SODA_RETURN_NOT_OK(RequireAllNumeric(centers, "kmeans"));
+    if (data.num_fields() != centers.num_fields()) {
+      return Status::BindError(
+          "kmeans: data and centers must have matching column counts");
+    }
+    Schema out;
+    out.AddField(Field("cluster", DataType::kBigInt));
+    for (const auto& f : centers.fields()) {
+      out.AddField(Field(f.name, DataType::kDouble));
+    }
+    return out;
+  }
+  if (name == "pagerank" || name == "connected_components") {
+    const Schema& edges = relation_schemas[0];
+    if (edges.num_fields() < 2 ||
+        edges.field(0).type != DataType::kBigInt ||
+        edges.field(1).type != DataType::kBigInt) {
+      return Status::BindError(
+          name + ": edge input must start with BIGINT (src, dst) columns");
+    }
+    if (name == "connected_components") {
+      return Schema({Field("vertex", DataType::kBigInt),
+                     Field("component", DataType::kBigInt)});
+    }
+    return Schema({Field("vertex", DataType::kBigInt),
+                   Field("rank", DataType::kDouble)});
+  }
+  if (name == "naive_bayes_train" || name == "summarize") {
+    const Schema& labeled = relation_schemas[0];
+    if (labeled.num_fields() < 2 ||
+        labeled.field(0).type != DataType::kBigInt) {
+      return Status::BindError(
+          name + ": input must be (label BIGINT, attributes NUMERIC...)");
+    }
+    for (size_t i = 1; i < labeled.num_fields(); ++i) {
+      if (!IsNumeric(labeled.field(i).type)) {
+        return Status::BindError(name + ": attribute columns must be numeric");
+      }
+    }
+    if (name == "summarize") {
+      return Schema({Field("class", DataType::kBigInt),
+                     Field("attr", DataType::kBigInt),
+                     Field("cnt", DataType::kBigInt),
+                     Field("sum", DataType::kDouble),
+                     Field("sumsq", DataType::kDouble),
+                     Field("mean", DataType::kDouble),
+                     Field("stddev", DataType::kDouble)});
+    }
+    return NaiveBayesModelSchema();
+  }
+  if (name == "naive_bayes_predict") {
+    if (!relation_schemas[0].TypesEqual(NaiveBayesModelSchema())) {
+      return Status::BindError(
+          "naive_bayes_predict: first input must be a model relation " +
+          NaiveBayesModelSchema().ToString());
+    }
+    const Schema& data = relation_schemas[1];
+    SODA_RETURN_NOT_OK(RequireAllNumeric(data, "naive_bayes_predict"));
+    Schema out = data;
+    out.AddField(Field("predicted", DataType::kBigInt));
+    return out;
+  }
+  return Status::KeyError("unknown table function: " + name);
+}
+
+Result<TablePtr> ExecuteTableFunction(const PlanNode& plan, ExecContext& ctx) {
+  // Materialize relation inputs. The operator consumes them like any other
+  // relational operator (paper Fig. 2a: arbitrarily pre-processed input).
+  std::vector<TablePtr> inputs;
+  inputs.reserve(plan.children.size());
+  for (const auto& child : plan.children) {
+    SODA_ASSIGN_OR_RETURN(TablePtr t, ExecutePlan(*child, ctx));
+    inputs.push_back(std::move(t));
+  }
+
+  // Compile lambdas into kernels (plan-time bound bodies -> flat numeric
+  // programs; see expr/lambda_kernel.h).
+  std::vector<LambdaKernel> kernels;
+  kernels.reserve(plan.lambdas.size());
+  for (const auto& l : plan.lambdas) {
+    SODA_ASSIGN_OR_RETURN(LambdaKernel k,
+                          LambdaKernel::Compile(*l.body, l.a_width));
+    kernels.push_back(std::move(k));
+  }
+
+  const std::string& name = plan.function_name;
+  if (name == "kmeans") {
+    KMeansOptions options;
+    if (!plan.scalar_args.empty()) {
+      options.max_iterations = plan.scalar_args[0].AsBigInt();
+    }
+    if (plan.scalar_args.size() > 1) {
+      options.min_change_fraction = plan.scalar_args[1].AsDouble();
+    }
+    if (!kernels.empty()) options.distance = &kernels[0];
+    SODA_ASSIGN_OR_RETURN(KMeansResult result,
+                          RunKMeans(*inputs[0], *inputs[1], options));
+    ctx.stats.iterations_run += static_cast<size_t>(result.iterations_run);
+    return result.centers;
+  }
+  if (name == "pagerank") {
+    PageRankOptions options;
+    if (plan.scalar_args.size() > 0) {
+      options.damping = plan.scalar_args[0].AsDouble();
+    }
+    if (plan.scalar_args.size() > 1) {
+      options.epsilon = plan.scalar_args[1].AsDouble();
+    }
+    if (plan.scalar_args.size() > 2) {
+      options.max_iterations = plan.scalar_args[2].AsBigInt();
+    }
+    if (!kernels.empty()) options.edge_weight = &kernels[0];
+    PageRankStats stats;
+    SODA_ASSIGN_OR_RETURN(TablePtr result,
+                          RunPageRank(*inputs[0], options, &stats));
+    ctx.stats.iterations_run += static_cast<size_t>(stats.iterations_run);
+    return result;
+  }
+  if (name == "naive_bayes_train") {
+    return TrainNaiveBayes(*inputs[0]);
+  }
+  if (name == "naive_bayes_predict") {
+    return PredictNaiveBayes(*inputs[0], *inputs[1]);
+  }
+  if (name == "summarize") {
+    return SummarizeByClass(*inputs[0]);
+  }
+  if (name == "connected_components") {
+    ConnectedComponentsStats stats;
+    SODA_ASSIGN_OR_RETURN(TablePtr result,
+                          RunConnectedComponents(*inputs[0], &stats));
+    ctx.stats.iterations_run += static_cast<size_t>(stats.iterations_run);
+    return result;
+  }
+  return Status::Internal("unknown table function at execution: " + name);
+}
+
+}  // namespace soda

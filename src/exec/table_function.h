@@ -1,0 +1,56 @@
+/// \file table_function.h
+/// Registry of analytics table functions — the SQL surface of the paper's
+/// physical operators (§6, Listing 2/3).
+///
+/// Calling convention (positional, mixed): relation arguments are
+/// parenthesized subqueries, lambda arguments are λ-expressions, scalar
+/// arguments are constant expressions. The binder groups them by kind in
+/// order of appearance.
+///
+/// Functions:
+///   KMEANS((data), (initial_centers) [, λ(a,b) dist] [, max_iter])
+///   PAGERANK((edges) [, damping [, epsilon [, max_iter]]] [, λ(e) weight])
+///   NAIVE_BAYES_TRAIN((labeled))           -- first column = class label
+///   NAIVE_BAYES_PREDICT((model), (data))
+///   SUMMARIZE((labeled))                    -- stats building block (§6.2)
+
+#ifndef SODA_EXEC_TABLE_FUNCTION_H_
+#define SODA_EXEC_TABLE_FUNCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// True if `lower_name` names a registered analytics table function.
+bool IsTableFunction(const std::string& lower_name);
+
+/// Static shape of one table function, consulted by the binder.
+struct TableFunctionSignature {
+  size_t num_relations;   ///< required relation arguments
+  size_t min_scalars;
+  size_t max_scalars;
+  size_t max_lambdas;
+  /// For each possible lambda: which relation args form its tuple
+  /// parameters (indices into the relation list). One entry = unary
+  /// lambda, two = binary.
+  std::vector<std::vector<size_t>> lambda_param_relations;
+};
+
+/// Signature lookup; KeyError for unknown names.
+Result<TableFunctionSignature> GetTableFunctionSignature(
+    const std::string& lower_name);
+
+/// Computes the output schema from the bound inputs (the binder's last
+/// step). Validates input schemas (e.g. numeric columns for k-Means).
+Result<Schema> InferTableFunctionSchema(
+    const std::string& lower_name, const std::vector<Schema>& relation_schemas,
+    const std::vector<Value>& scalar_args);
+
+}  // namespace soda
+
+#endif  // SODA_EXEC_TABLE_FUNCTION_H_

@@ -1,0 +1,541 @@
+#include "expr/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace soda {
+
+namespace {
+
+/// Gathers a numeric column into a double buffer (no-op cast for kDouble).
+void ToDoubles(const Column& c, std::vector<double>* out) {
+  size_t n = c.size();
+  out->resize(n);
+  if (c.type() == DataType::kDouble) {
+    std::memcpy(out->data(), c.F64Data(), n * sizeof(double));
+  } else {
+    const int64_t* src = c.I64Data();
+    for (size_t i = 0; i < n; ++i) (*out)[i] = static_cast<double>(src[i]);
+  }
+}
+
+/// Merged validity of two columns; empty result means all-valid.
+std::vector<uint8_t> MergeValidity(const Column& a, const Column& b) {
+  const auto& va = a.Validity();
+  const auto& vb = b.Validity();
+  if (va.empty() && vb.empty()) return {};
+  size_t n = a.size();
+  std::vector<uint8_t> out(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    bool valid = (va.empty() || va[i]) && (vb.empty() || vb[i]);
+    out[i] = valid ? 1 : 0;
+  }
+  return out;
+}
+
+/// Builds a column from raw numeric payload + validity.
+Column MakeNumericColumn(DataType type, const std::vector<double>& f64,
+                         const std::vector<int64_t>& i64,
+                         std::vector<uint8_t> validity) {
+  Column out(type);
+  size_t n = (type == DataType::kDouble) ? f64.size() : i64.size();
+  out.Reserve(n);
+  if (validity.empty()) {
+    if (type == DataType::kDouble) {
+      for (size_t i = 0; i < n; ++i) out.AppendDouble(f64[i]);
+    } else {
+      for (size_t i = 0; i < n; ++i) out.AppendBigInt(i64[i]);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (!validity[i]) {
+        out.AppendNull();
+      } else if (type == DataType::kDouble) {
+        out.AppendDouble(f64[i]);
+      } else {
+        out.AppendBigInt(i64[i]);
+      }
+    }
+  }
+  return out;
+}
+
+Status EvalBinaryNumeric(const Expression& expr, const Column& l,
+                         const Column& r, Column* out) {
+  size_t n = l.size();
+  std::vector<uint8_t> validity = MergeValidity(l, r);
+  BinaryOp op = expr.binary_op;
+
+  if (expr.type == DataType::kBigInt) {
+    // Both operands are integer columns.
+    const int64_t* a = l.I64Data();
+    const int64_t* b = r.I64Data();
+    std::vector<int64_t> res(n);
+    switch (op) {
+      case BinaryOp::kAdd:
+        for (size_t i = 0; i < n; ++i) res[i] = a[i] + b[i];
+        break;
+      case BinaryOp::kSub:
+        for (size_t i = 0; i < n; ++i) res[i] = a[i] - b[i];
+        break;
+      case BinaryOp::kMul:
+        for (size_t i = 0; i < n; ++i) res[i] = a[i] * b[i];
+        break;
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod:
+        // Division by zero yields NULL (see evaluator.h).
+        if (validity.empty()) validity.assign(n, 1);
+        for (size_t i = 0; i < n; ++i) {
+          if (b[i] == 0) {
+            validity[i] = 0;
+            res[i] = 0;
+          } else {
+            res[i] = (op == BinaryOp::kDiv) ? a[i] / b[i] : a[i] % b[i];
+          }
+        }
+        break;
+      default:
+        return Status::Internal("unexpected integer binary op");
+    }
+    *out = MakeNumericColumn(DataType::kBigInt, {}, res, std::move(validity));
+    return Status::OK();
+  }
+
+  // Double arithmetic.
+  std::vector<double> a, b;
+  ToDoubles(l, &a);
+  ToDoubles(r, &b);
+  std::vector<double> res(n);
+  switch (op) {
+    case BinaryOp::kAdd:
+      for (size_t i = 0; i < n; ++i) res[i] = a[i] + b[i];
+      break;
+    case BinaryOp::kSub:
+      for (size_t i = 0; i < n; ++i) res[i] = a[i] - b[i];
+      break;
+    case BinaryOp::kMul:
+      for (size_t i = 0; i < n; ++i) res[i] = a[i] * b[i];
+      break;
+    case BinaryOp::kDiv:
+      for (size_t i = 0; i < n; ++i) res[i] = a[i] / b[i];
+      break;
+    case BinaryOp::kMod:
+      for (size_t i = 0; i < n; ++i) res[i] = std::fmod(a[i], b[i]);
+      break;
+    case BinaryOp::kPow:
+      for (size_t i = 0; i < n; ++i) res[i] = std::pow(a[i], b[i]);
+      break;
+    default:
+      return Status::Internal("unexpected double binary op");
+  }
+  *out = MakeNumericColumn(DataType::kDouble, res, {}, std::move(validity));
+  return Status::OK();
+}
+
+Status EvalComparison(const Expression& expr, const Column& l, const Column& r,
+                      Column* out) {
+  size_t n = l.size();
+  std::vector<uint8_t> validity = MergeValidity(l, r);
+  std::vector<int64_t> res(n);
+  BinaryOp op = expr.binary_op;
+
+  auto apply = [&](auto&& cmp) {
+    switch (op) {
+      case BinaryOp::kEq:
+        for (size_t i = 0; i < n; ++i) res[i] = cmp(i) == 0;
+        break;
+      case BinaryOp::kNe:
+        for (size_t i = 0; i < n; ++i) res[i] = cmp(i) != 0;
+        break;
+      case BinaryOp::kLt:
+        for (size_t i = 0; i < n; ++i) res[i] = cmp(i) < 0;
+        break;
+      case BinaryOp::kLe:
+        for (size_t i = 0; i < n; ++i) res[i] = cmp(i) <= 0;
+        break;
+      case BinaryOp::kGt:
+        for (size_t i = 0; i < n; ++i) res[i] = cmp(i) > 0;
+        break;
+      case BinaryOp::kGe:
+        for (size_t i = 0; i < n; ++i) res[i] = cmp(i) >= 0;
+        break;
+      default:
+        break;
+    }
+  };
+
+  if (l.type() == DataType::kVarchar) {
+    const auto& a = l.Strings();
+    const auto& b = r.Strings();
+    apply([&](size_t i) { return a[i].compare(b[i]); });
+  } else if (l.type() == DataType::kBigInt && r.type() == DataType::kBigInt) {
+    const int64_t* a = l.I64Data();
+    const int64_t* b = r.I64Data();
+    apply([&](size_t i) { return (a[i] > b[i]) - (a[i] < b[i]); });
+  } else {
+    std::vector<double> a, b;
+    ToDoubles(l, &a);
+    ToDoubles(r, &b);
+    apply([&](size_t i) { return (a[i] > b[i]) - (a[i] < b[i]); });
+  }
+  Column result(DataType::kBool);
+  result.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!validity.empty() && !validity[i]) {
+      result.AppendNull();
+    } else {
+      result.AppendBool(res[i] != 0);
+    }
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status EvalLogical(const Expression& expr, const Column& l, const Column& r,
+                   Column* out) {
+  size_t n = l.size();
+  Column result(DataType::kBool);
+  result.Reserve(n);
+  const int64_t* a = l.I64Data();
+  const int64_t* b = r.I64Data();
+  // NULL is treated as FALSE inside logical connectives (evaluator.h).
+  for (size_t i = 0; i < n; ++i) {
+    bool av = !l.IsNull(i) && a[i] != 0;
+    bool bv = !r.IsNull(i) && b[i] != 0;
+    result.AppendBool(expr.binary_op == BinaryOp::kAnd ? (av && bv)
+                                                       : (av || bv));
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status EvalConcat(const Column& l, const Column& r, Column* out) {
+  size_t n = l.size();
+  Column result(DataType::kVarchar);
+  result.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (l.IsNull(i) || r.IsNull(i)) {
+      result.AppendNull();
+    } else {
+      result.AppendString(l.GetValue(i).ToString() +
+                          r.GetValue(i).ToString());
+    }
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+/// SQL LIKE matching: % = any sequence, _ = any single character.
+bool LikeMatch(const char* s, const char* se, const char* p, const char* pe) {
+  while (p != pe) {
+    if (*p == '%') {
+      ++p;
+      if (p == pe) return true;
+      for (const char* t = s; t <= se; ++t) {
+        if (LikeMatch(t, se, p, pe)) return true;
+      }
+      return false;
+    }
+    if (s == se) return false;
+    if (*p != '_' && *p != *s) return false;
+    ++p;
+    ++s;
+  }
+  return s == se;
+}
+
+Status EvalFunction(const Expression& expr, std::vector<Column> args,
+                    size_t n, Column* out) {
+  const std::string& fn = expr.function_name;
+
+  // isnull never propagates NULL — it *reports* it.
+  if (fn == "isnull") {
+    Column result(DataType::kBool);
+    result.Reserve(n);
+    for (size_t i = 0; i < n; ++i) result.AppendBool(args[0].IsNull(i));
+    *out = std::move(result);
+    return Status::OK();
+  }
+  if (fn == "like") {
+    Column result(DataType::kBool);
+    result.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (args[0].IsNull(i) || args[1].IsNull(i)) {
+        result.AppendNull();
+        continue;
+      }
+      const std::string& s = args[0].GetString(i);
+      const std::string& p = args[1].GetString(i);
+      result.AppendBool(LikeMatch(s.data(), s.data() + s.size(), p.data(),
+                                  p.data() + p.size()));
+    }
+    *out = std::move(result);
+    return Status::OK();
+  }
+
+  // String functions first.
+  if (fn == "length" || fn == "lower" || fn == "upper" || fn == "substr") {
+    const Column& s = args[0];
+    Column result(expr.type);
+    result.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (s.IsNull(i)) {
+        result.AppendNull();
+        continue;
+      }
+      const std::string& v = s.GetString(i);
+      if (fn == "length") {
+        result.AppendBigInt(static_cast<int64_t>(v.size()));
+      } else if (fn == "lower") {
+        result.AppendString(ToLower(v));
+      } else if (fn == "upper") {
+        result.AppendString(ToUpper(v));
+      } else {  // substr(s, start[, len]) with 1-based start
+        int64_t start = args[1].GetBigInt(i);
+        size_t begin = start > 0 ? static_cast<size_t>(start - 1) : 0;
+        size_t len = args.size() == 3 && !args[2].IsNull(i)
+                         ? static_cast<size_t>(std::max<int64_t>(
+                               0, args[2].GetBigInt(i)))
+                         : std::string::npos;
+        result.AppendString(begin < v.size() ? v.substr(begin, len) : "");
+      }
+    }
+    *out = std::move(result);
+    return Status::OK();
+  }
+
+  // Numeric functions: operate in double space, cast back when the result
+  // type is integral.
+  std::vector<std::vector<double>> in(args.size());
+  std::vector<uint8_t> validity;
+  for (size_t a = 0; a < args.size(); ++a) {
+    ToDoubles(args[a], &in[a]);
+    if (!args[a].Validity().empty()) {
+      if (validity.empty()) validity.assign(n, 1);
+      for (size_t i = 0; i < n; ++i) {
+        if (args[a].IsNull(i)) validity[i] = 0;
+      }
+    }
+  }
+  std::vector<double> res(n);
+  if (fn == "abs") {
+    for (size_t i = 0; i < n; ++i) res[i] = std::fabs(in[0][i]);
+  } else if (fn == "sqrt") {
+    for (size_t i = 0; i < n; ++i) res[i] = std::sqrt(in[0][i]);
+  } else if (fn == "exp") {
+    for (size_t i = 0; i < n; ++i) res[i] = std::exp(in[0][i]);
+  } else if (fn == "ln" || fn == "log") {
+    for (size_t i = 0; i < n; ++i) res[i] = std::log(in[0][i]);
+  } else if (fn == "floor") {
+    for (size_t i = 0; i < n; ++i) res[i] = std::floor(in[0][i]);
+  } else if (fn == "ceil") {
+    for (size_t i = 0; i < n; ++i) res[i] = std::ceil(in[0][i]);
+  } else if (fn == "round") {
+    for (size_t i = 0; i < n; ++i) res[i] = std::nearbyint(in[0][i]);
+  } else if (fn == "sign") {
+    for (size_t i = 0; i < n; ++i) {
+      res[i] = (in[0][i] > 0) - (in[0][i] < 0);
+    }
+  } else if (fn == "pow" || fn == "power") {
+    for (size_t i = 0; i < n; ++i) res[i] = std::pow(in[0][i], in[1][i]);
+  } else if (fn == "mod") {
+    for (size_t i = 0; i < n; ++i) res[i] = std::fmod(in[0][i], in[1][i]);
+  } else if (fn == "least" || fn == "greatest") {
+    bool is_least = fn == "least";
+    for (size_t i = 0; i < n; ++i) {
+      double best = in[0][i];
+      for (size_t a = 1; a < in.size(); ++a) {
+        best = is_least ? std::min(best, in[a][i]) : std::max(best, in[a][i]);
+      }
+      res[i] = best;
+    }
+  } else {
+    return Status::Internal("unimplemented scalar function: " + fn);
+  }
+
+  if (expr.type == DataType::kDouble) {
+    *out = MakeNumericColumn(DataType::kDouble, res, {}, std::move(validity));
+  } else {
+    std::vector<int64_t> ires(n);
+    for (size_t i = 0; i < n; ++i) ires[i] = static_cast<int64_t>(res[i]);
+    *out = MakeNumericColumn(expr.type, {}, ires, std::move(validity));
+  }
+  return Status::OK();
+}
+
+Status EvalCast(const Expression& expr, const Column& child, size_t n,
+                Column* out) {
+  Column result(expr.type);
+  result.Reserve(n);
+  // Fast numeric paths.
+  if (IsNumeric(expr.type) && IsNumeric(child.type()) &&
+      child.Validity().empty()) {
+    if (expr.type == DataType::kDouble) {
+      for (size_t i = 0; i < n; ++i) result.AppendDouble(child.GetNumeric(i));
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        result.AppendBigInt(static_cast<int64_t>(child.GetNumeric(i)));
+      }
+    }
+    *out = std::move(result);
+    return Status::OK();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (child.IsNull(i)) {
+      result.AppendNull();
+      continue;
+    }
+    SODA_ASSIGN_OR_RETURN(Value v, child.GetValue(i).CastTo(expr.type));
+    result.AppendValue(v);
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EvaluateExpression(const Expression& expr, const DataChunk& input,
+                          Column* out) {
+  size_t n = input.num_rows();
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      SODA_DCHECK(expr.column_index < input.num_columns());
+      Column result(input.column(expr.column_index).type());
+      result.AppendSlice(input.column(expr.column_index), 0, n);
+      *out = std::move(result);
+      return Status::OK();
+    }
+    case ExprKind::kLiteral: {
+      Column result(expr.type == DataType::kInvalid ? DataType::kBigInt
+                                                    : expr.type);
+      result.Reserve(n);
+      for (size_t i = 0; i < n; ++i) result.AppendValue(expr.literal);
+      *out = std::move(result);
+      return Status::OK();
+    }
+    case ExprKind::kBinary: {
+      Column l, r;
+      SODA_RETURN_NOT_OK(EvaluateExpression(*expr.children[0], input, &l));
+      SODA_RETURN_NOT_OK(EvaluateExpression(*expr.children[1], input, &r));
+      if (IsLogical(expr.binary_op)) return EvalLogical(expr, l, r, out);
+      if (IsComparison(expr.binary_op)) return EvalComparison(expr, l, r, out);
+      if (expr.binary_op == BinaryOp::kConcat) return EvalConcat(l, r, out);
+      return EvalBinaryNumeric(expr, l, r, out);
+    }
+    case ExprKind::kUnary: {
+      Column c;
+      SODA_RETURN_NOT_OK(EvaluateExpression(*expr.children[0], input, &c));
+      Column result(expr.type);
+      result.Reserve(n);
+      if (expr.unary_op == UnaryOp::kNot) {
+        for (size_t i = 0; i < n; ++i) {
+          if (c.IsNull(i)) {
+            result.AppendNull();
+          } else {
+            result.AppendBool(c.GetBigInt(i) == 0);
+          }
+        }
+      } else {  // negate
+        for (size_t i = 0; i < n; ++i) {
+          if (c.IsNull(i)) {
+            result.AppendNull();
+          } else if (expr.type == DataType::kDouble) {
+            result.AppendDouble(-c.GetNumeric(i));
+          } else {
+            result.AppendBigInt(-c.GetBigInt(i));
+          }
+        }
+      }
+      *out = std::move(result);
+      return Status::OK();
+    }
+    case ExprKind::kFunction: {
+      std::vector<Column> args(expr.children.size());
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        SODA_RETURN_NOT_OK(
+            EvaluateExpression(*expr.children[i], input, &args[i]));
+      }
+      return EvalFunction(expr, std::move(args), n, out);
+    }
+    case ExprKind::kCase: {
+      // Eager evaluation of all branches, then per-row select.
+      size_t num_when = expr.children.size() / 2;
+      std::vector<Column> conds(num_when), thens(num_when);
+      for (size_t w = 0; w < num_when; ++w) {
+        SODA_RETURN_NOT_OK(
+            EvaluateExpression(*expr.children[2 * w], input, &conds[w]));
+        SODA_RETURN_NOT_OK(
+            EvaluateExpression(*expr.children[2 * w + 1], input, &thens[w]));
+      }
+      Column else_col;
+      SODA_RETURN_NOT_OK(
+          EvaluateExpression(*expr.children.back(), input, &else_col));
+      Column result(expr.type);
+      result.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        const Column* chosen = &else_col;
+        for (size_t w = 0; w < num_when; ++w) {
+          if (!conds[w].IsNull(i) && conds[w].GetBigInt(i) != 0) {
+            chosen = &thens[w];
+            break;
+          }
+        }
+        if (chosen->type() == expr.type) {
+          result.AppendFrom(*chosen, i);
+        } else {
+          SODA_ASSIGN_OR_RETURN(Value v,
+                                chosen->GetValue(i).CastTo(expr.type));
+          result.AppendValue(v);
+        }
+      }
+      *out = std::move(result);
+      return Status::OK();
+    }
+    case ExprKind::kCast: {
+      Column c;
+      SODA_RETURN_NOT_OK(EvaluateExpression(*expr.children[0], input, &c));
+      return EvalCast(expr, c, n, out);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Status EvaluatePredicate(const Expression& expr, const DataChunk& input,
+                         std::vector<uint32_t>* selection) {
+  Column result;
+  SODA_RETURN_NOT_OK(EvaluateExpression(expr, input, &result));
+  if (result.type() != DataType::kBool) {
+    return Status::TypeError("predicate must be boolean, got " +
+                             std::string(DataTypeToString(result.type())));
+  }
+  size_t n = input.num_rows();
+  const int64_t* data = result.I64Data();
+  for (size_t i = 0; i < n; ++i) {
+    if (!result.IsNull(i) && data[i] != 0) {
+      selection->push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Value> EvaluateConstantExpression(const Expression& expr) {
+  if (!expr.IsConstant()) {
+    return Status::InvalidArgument("expression is not constant");
+  }
+  // Evaluate over a one-row chunk of zero columns: literals broadcast to
+  // the chunk's cardinality, so a single dummy column provides n=1.
+  DataChunk chunk;
+  Column dummy(DataType::kBigInt);
+  dummy.AppendBigInt(0);
+  chunk.AddColumn(std::move(dummy));
+  Column out;
+  SODA_RETURN_NOT_OK(EvaluateExpression(expr, chunk, &out));
+  if (out.size() != 1) return Status::Internal("constant eval arity");
+  return out.GetValue(0);
+}
+
+}  // namespace soda

@@ -1,0 +1,81 @@
+#include "expr/fold.h"
+
+#include "expr/evaluator.h"
+
+namespace soda {
+
+namespace {
+
+bool IsLiteralBool(const Expression& e, bool value) {
+  return e.kind == ExprKind::kLiteral && !e.literal.is_null() &&
+         e.literal.type() == DataType::kBool &&
+         e.literal.bool_value() == value;
+}
+
+bool IsLiteralNumber(const Expression& e, double value) {
+  return e.kind == ExprKind::kLiteral && !e.literal.is_null() &&
+         IsNumeric(e.literal.type()) && e.literal.AsDouble() == value;
+}
+
+}  // namespace
+
+ExprPtr FoldConstants(ExprPtr expr) {
+  for (auto& child : expr->children) {
+    child = FoldConstants(std::move(child));
+  }
+
+  if (expr->kind != ExprKind::kColumnRef && expr->kind != ExprKind::kLiteral &&
+      expr->IsConstant()) {
+    auto value = EvaluateConstantExpression(*expr);
+    if (value.ok()) {
+      DataType t = expr->type;
+      auto lit = Expression::Literal(value.MoveValueOrDie());
+      lit->type = t;
+      return lit;
+    }
+    return expr;  // leave failing constants for runtime
+  }
+
+  if (expr->kind == ExprKind::kBinary) {
+    Expression& l = *expr->children[0];
+    Expression& r = *expr->children[1];
+    switch (expr->binary_op) {
+      case BinaryOp::kAnd:
+        if (IsLiteralBool(l, true)) return std::move(expr->children[1]);
+        if (IsLiteralBool(r, true)) return std::move(expr->children[0]);
+        if (IsLiteralBool(l, false) || IsLiteralBool(r, false)) {
+          return Expression::Literal(Value::Bool(false));
+        }
+        break;
+      case BinaryOp::kOr:
+        if (IsLiteralBool(l, false)) return std::move(expr->children[1]);
+        if (IsLiteralBool(r, false)) return std::move(expr->children[0]);
+        if (IsLiteralBool(l, true) || IsLiteralBool(r, true)) {
+          return Expression::Literal(Value::Bool(true));
+        }
+        break;
+      case BinaryOp::kAdd:
+        // x + 0 (only when no type change is implied).
+        if (IsLiteralNumber(r, 0.0) && expr->children[0]->type == expr->type) {
+          return std::move(expr->children[0]);
+        }
+        if (IsLiteralNumber(l, 0.0) && expr->children[1]->type == expr->type) {
+          return std::move(expr->children[1]);
+        }
+        break;
+      case BinaryOp::kMul:
+        if (IsLiteralNumber(r, 1.0) && expr->children[0]->type == expr->type) {
+          return std::move(expr->children[0]);
+        }
+        if (IsLiteralNumber(l, 1.0) && expr->children[1]->type == expr->type) {
+          return std::move(expr->children[1]);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return expr;
+}
+
+}  // namespace soda

@@ -1,0 +1,22 @@
+/// \file fold.h
+/// Constant folding over bound expressions (part of the optimizer's
+/// expression rewrites, paper §5.2).
+
+#ifndef SODA_EXPR_FOLD_H_
+#define SODA_EXPR_FOLD_H_
+
+#include "expr/expression.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Replaces constant subtrees by literal nodes. Also applies cheap
+/// algebraic identities (x + 0, x * 1, TRUE AND p, ...). Returns the
+/// (possibly new) root. Folding is best-effort: a constant subtree whose
+/// evaluation fails (e.g. 1/0) is left intact so the error surfaces at
+/// execution time with row context.
+ExprPtr FoldConstants(ExprPtr expr);
+
+}  // namespace soda
+
+#endif  // SODA_EXPR_FOLD_H_

@@ -1,0 +1,51 @@
+/// \file type_inference.h
+/// Result-type rules for operators and the scalar function registry.
+///
+/// The paper's lambdas rely on types being "automatically inferred by the
+/// database system" (§7) — these rules are what performs that inference,
+/// both for regular SQL expressions and for lambda bodies.
+
+#ifndef SODA_EXPR_TYPE_INFERENCE_H_
+#define SODA_EXPR_TYPE_INFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expression.h"
+#include "types/data_type.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Result type of `l op r`; TypeError if the operand types are
+/// incompatible. Arithmetic on two kBigInt stays kBigInt (except `/` and
+/// `^`, which produce kDouble, following PostgreSQL for `/`... no:
+/// integer `/` truncates in PostgreSQL; soda matches that, `^` is always
+/// kDouble). Comparisons and logical ops produce kBool.
+Result<DataType> InferBinaryType(BinaryOp op, DataType l, DataType r);
+
+/// Result type of unary op.
+Result<DataType> InferUnaryType(UnaryOp op, DataType child);
+
+/// Scalar function signature lookup: validates arity/argument types and
+/// returns the result type. Known functions: abs, sqrt, pow, power, exp,
+/// ln, log, floor, ceil, round, least, greatest, mod, sign, length, lower,
+/// upper, substr.
+Result<DataType> InferFunctionType(const std::string& name,
+                                   const std::vector<DataType>& args);
+
+/// True if `name` is a known scalar function.
+bool IsScalarFunction(const std::string& name);
+
+/// True if `name` is a known aggregate function (count, sum, avg, min,
+/// max, stddev, var — handled by the aggregation operator, not the scalar
+/// evaluator).
+bool IsAggregateFunction(const std::string& name);
+
+/// Result type of an aggregate over an argument type. `count` ignores the
+/// argument type.
+Result<DataType> InferAggregateType(const std::string& name, DataType arg);
+
+}  // namespace soda
+
+#endif  // SODA_EXPR_TYPE_INFERENCE_H_

@@ -1,0 +1,69 @@
+#include "graph/csr.h"
+
+#include <atomic>
+
+#include "util/parallel.h"
+
+namespace soda {
+
+Result<CsrGraph> CsrBuilder::Build(const std::vector<int64_t>& src,
+                                   const std::vector<int64_t>& dst,
+                                   const std::vector<double>* weights) {
+  if (src.size() != dst.size()) {
+    return Status::InvalidArgument("edge list arity mismatch");
+  }
+  if (weights && weights->size() != src.size()) {
+    return Status::InvalidArgument("edge weight arity mismatch");
+  }
+  const size_t e = src.size();
+
+  // Pass 1: densify vertex ids. The id mapping is an inherently sequential
+  // hash build; everything after it is parallel.
+  CsrGraph g;
+  std::unordered_map<int64_t, uint32_t> dense;
+  dense.reserve(e / 4 + 16);
+  auto intern = [&](int64_t id) -> uint32_t {
+    auto [it, inserted] = dense.emplace(
+        id, static_cast<uint32_t>(g.original_ids_.size()));
+    if (inserted) g.original_ids_.push_back(id);
+    return it->second;
+  };
+  std::vector<uint32_t> s(e), d(e);
+  for (size_t i = 0; i < e; ++i) {
+    s[i] = intern(src[i]);
+    d[i] = intern(dst[i]);
+  }
+  const size_t v = g.original_ids_.size();
+
+  // Pass 2: count out-degrees (parallel with atomics), prefix-sum.
+  std::vector<std::atomic<uint64_t>> degree(v);
+  for (auto& x : degree) x.store(0, std::memory_order_relaxed);
+  ParallelFor(e, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      degree[s[i]].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  g.offsets_.resize(v + 1);
+  g.offsets_[0] = 0;
+  for (size_t i = 0; i < v; ++i) {
+    g.offsets_[i + 1] = g.offsets_[i] + degree[i].load();
+  }
+
+  // Pass 3: scatter targets (parallel; per-vertex write cursors).
+  std::vector<std::atomic<uint64_t>> cursor(v);
+  for (size_t i = 0; i < v; ++i) {
+    cursor[i].store(g.offsets_[i], std::memory_order_relaxed);
+  }
+  g.targets_.resize(e);
+  if (weights) g.weights_.resize(e);
+  ParallelFor(e, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      uint64_t slot = cursor[s[i]].fetch_add(1, std::memory_order_relaxed);
+      g.targets_[slot] = d[i];
+      if (weights) g.weights_[slot] = (*weights)[i];
+    }
+  });
+  return g;
+}
+
+}  // namespace soda

@@ -1,0 +1,89 @@
+#include "graph/ldbc_generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace soda {
+
+std::vector<LdbcScale> PaperLdbcScales() {
+  return {
+      {"ldbc-small", 11000, 41},
+      {"ldbc-medium", 73000, 63},
+      {"ldbc-large", 499000, 92},
+  };
+}
+
+GeneratedGraph GenerateSocialGraph(size_t num_vertices, size_t avg_degree,
+                                   uint64_t seed) {
+  GeneratedGraph g;
+  g.num_vertices = num_vertices;
+  if (num_vertices == 0) return g;
+  avg_degree = std::max<size_t>(1, avg_degree);
+
+  Rng rng(seed);
+
+  // Sparse, shuffled original ids, like LDBC person ids.
+  std::vector<int64_t> ids(num_vertices);
+  for (size_t i = 0; i < num_vertices; ++i) {
+    ids[i] = static_cast<int64_t>(i) * 7 + 13;  // sparse
+  }
+  for (size_t i = num_vertices - 1; i > 0; --i) {
+    std::swap(ids[i], ids[rng.Below(i + 1)]);
+  }
+
+  // Undirected edges: avg_degree counts directed edges per vertex, so we
+  // create avg_degree/2 undirected edges per vertex and emit both
+  // directions.
+  size_t undirected_per_vertex = std::max<size_t>(1, avg_degree / 2);
+  size_t target_undirected = num_vertices * undirected_per_vertex;
+  g.src.reserve(2 * target_undirected);
+  g.dst.reserve(2 * target_undirected);
+
+  // Preferential attachment with community locality: each new vertex links
+  // to (a) an endpoint of a random existing edge (degree-proportional) or
+  // (b) a vertex in its local community window — yielding the heavy tail +
+  // clustering of social graphs.
+  std::vector<uint32_t> endpoint_pool;
+  endpoint_pool.reserve(2 * target_undirected);
+  const size_t community = 64;
+
+  auto add_edge = [&](uint32_t a, uint32_t b) {
+    if (a == b) return;
+    g.src.push_back(ids[a]);
+    g.dst.push_back(ids[b]);
+    g.src.push_back(ids[b]);
+    g.dst.push_back(ids[a]);
+    endpoint_pool.push_back(a);
+    endpoint_pool.push_back(b);
+  };
+
+  // Seed clique so the pool is non-empty.
+  size_t seed_n = std::min<size_t>(num_vertices, 3);
+  for (size_t i = 0; i < seed_n; ++i) {
+    for (size_t j = i + 1; j < seed_n; ++j) {
+      add_edge(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+    }
+  }
+
+  for (size_t vtx = seed_n; vtx < num_vertices; ++vtx) {
+    for (size_t k = 0; k < undirected_per_vertex; ++k) {
+      uint32_t peer;
+      if (rng.NextDouble() < 0.5 && vtx > 1) {
+        // Community link: a nearby (in generation order) vertex.
+        size_t lo = vtx > community ? vtx - community : 0;
+        peer = static_cast<uint32_t>(lo + rng.Below(vtx - lo));
+      } else {
+        // Preferential attachment: endpoint of a random existing edge.
+        peer = endpoint_pool[rng.Below(endpoint_pool.size())];
+      }
+      add_edge(static_cast<uint32_t>(vtx), peer);
+    }
+  }
+
+  g.num_edges = g.src.size();
+  return g;
+}
+
+}  // namespace soda

@@ -1,0 +1,50 @@
+/// \file ldbc_generator.h
+/// Synthetic social-network graph generator.
+///
+/// The paper evaluates PageRank on LDBC SNB person-knows-person graphs
+/// (§8.1.3) of ~11k/452k, ~73k/4.6M, and ~499k/46M vertices/edges. The
+/// LDBC datagen is a Hadoop-era Java pipeline; as a substitution (see
+/// DESIGN.md §3) this generator produces undirected graphs with the two
+/// properties PageRank cost depends on — the |V|/|E| ratio of the SNB
+/// person graph (avg degree ~40-90) and a heavy-tailed, community-
+/// clustered degree distribution — using a preferential-attachment model
+/// with random community rewiring.
+
+#ifndef SODA_GRAPH_LDBC_GENERATOR_H_
+#define SODA_GRAPH_LDBC_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace soda {
+
+/// An undirected edge list with (sparse, shuffled) original vertex ids —
+/// shuffled so that the CSR builder's re-labeling path is actually
+/// exercised, like LDBC's non-dense person ids.
+struct GeneratedGraph {
+  std::vector<int64_t> src;
+  std::vector<int64_t> dst;
+  size_t num_vertices = 0;
+  size_t num_edges = 0;  ///< directed edge count == src.size()
+};
+
+/// Named presets mirroring the paper's three LDBC scales (full) and
+/// CI-sized downscales of the same shape.
+struct LdbcScale {
+  const char* name;
+  size_t vertices;
+  size_t avg_degree;  ///< directed (paper: 452k/11k≈41, 4.6M/73k≈63, 46M/499k≈92)
+};
+
+/// The three scales from Fig. 5 (left).
+std::vector<LdbcScale> PaperLdbcScales();
+
+/// Generates an undirected (both directions materialized) social graph.
+/// `avg_degree` counts directed edges per vertex. Deterministic in `seed`.
+GeneratedGraph GenerateSocialGraph(size_t num_vertices, size_t avg_degree,
+                                   uint64_t seed = 42);
+
+}  // namespace soda
+
+#endif  // SODA_GRAPH_LDBC_GENERATOR_H_

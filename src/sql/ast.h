@@ -1,0 +1,174 @@
+/// \file ast.h
+/// Unbound parse trees produced by the SQL parser and consumed by the
+/// binder.
+
+#ifndef SODA_SQL_AST_H_
+#define SODA_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expression.h"  // reuses BinaryOp / UnaryOp enums
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace soda {
+
+// --- expressions ----------------------------------------------------------
+
+enum class ParseExprKind {
+  kLiteral,
+  kColumnRef,  ///< [qualifier.]name
+  kStar,       ///< * or qualifier.*  (select list only)
+  kBinary,
+  kUnary,
+  kFunctionCall,
+  kCase,
+  kCast,
+  kLambda,     ///< λ(p1[, p2]) body  (table function arguments only)
+};
+
+struct ParseExpr;
+using ParseExprPtr = std::unique_ptr<ParseExpr>;
+
+struct ParseExpr {
+  ParseExprKind kind;
+
+  Value literal;                       // kLiteral
+  std::string qualifier, name;         // kColumnRef / kStar / kFunctionCall
+  BinaryOp binary_op = BinaryOp::kAdd; // kBinary
+  UnaryOp unary_op = UnaryOp::kNegate; // kUnary
+  std::vector<ParseExprPtr> children;  // operands / args / case items
+  bool case_has_else = false;          // kCase
+  DataType cast_type = DataType::kInvalid;  // kCast
+  std::vector<std::string> lambda_params;   // kLambda
+  std::string source_text;             // kLambda: original text for messages
+
+  explicit ParseExpr(ParseExprKind k) : kind(k) {}
+};
+
+// --- statements -----------------------------------------------------------
+
+struct SelectStmt;
+using SelectPtr = std::unique_ptr<SelectStmt>;
+
+/// One item of the select list.
+struct SelectItem {
+  ParseExprPtr expr;
+  std::string alias;  ///< empty = derive from expression
+};
+
+/// A FROM-clause relation.
+struct TableRef;
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+enum class TableRefKind {
+  kNamed,          ///< base table or CTE
+  kSubquery,       ///< (SELECT ...) alias
+  kIterate,        ///< ITERATE((init), (step), (stop))  — paper §5.1
+  kTableFunction,  ///< KMEANS(...), PAGERANK(...), ...   — paper §6
+  kJoin,           ///< A JOIN B ON p, or A, B (cross)
+};
+
+/// An argument of a table function: exactly one member is set.
+struct TableFunctionArg {
+  SelectPtr subquery;   ///< relation argument
+  ParseExprPtr expr;    ///< scalar or lambda argument
+};
+
+struct TableRef {
+  TableRefKind kind;
+  std::string name;   // kNamed / kTableFunction
+  std::string alias;  // all kinds
+  SelectPtr subquery;                   // kSubquery
+  SelectPtr init, step, stop;           // kIterate
+  std::vector<TableFunctionArg> args;   // kTableFunction
+  TableRefPtr left, right;              // kJoin
+  ParseExprPtr join_condition;          // kJoin (null = cross join)
+
+  explicit TableRef(TableRefKind k) : kind(k) {}
+};
+
+struct OrderItem {
+  ParseExprPtr expr;
+  bool descending = false;
+};
+
+struct CteDef {
+  std::string name;
+  std::vector<std::string> column_aliases;  ///< optional
+  SelectPtr query;
+};
+
+struct SelectStmt {
+  std::vector<CteDef> ctes;
+  bool recursive = false;  ///< WITH RECURSIVE
+
+  bool distinct = false;  ///< SELECT DISTINCT
+  std::vector<SelectItem> items;
+  TableRefPtr from;  ///< null = no FROM (e.g. SELECT 7 "x")
+  ParseExprPtr where;
+  std::vector<ParseExprPtr> group_by;
+  ParseExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+  int64_t offset = 0;
+
+  /// UNION ALL chaining: `this UNION ALL *union_next` (left-deep list).
+  SelectPtr union_next;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<std::pair<std::string, DataType>> columns;
+  bool if_not_exists = false;
+  SelectPtr as_select;  ///< CREATE TABLE name AS <select> (columns empty)
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ParseExprPtr>> values_rows;  ///< INSERT .. VALUES
+  SelectPtr select;                                    ///< INSERT .. SELECT
+};
+
+struct DropTableStmt {
+  std::string name;
+  bool if_exists = false;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ParseExprPtr>> assignments;
+  ParseExprPtr where;  ///< null = all rows
+};
+
+struct DeleteStmt {
+  std::string table;
+  ParseExprPtr where;  ///< null = all rows
+};
+
+enum class StatementKind {
+  kSelect,
+  kCreateTable,
+  kInsert,
+  kDropTable,
+  kUpdate,
+  kDelete,
+  kExplain,  ///< EXPLAIN <select>
+};
+
+struct Statement {
+  StatementKind kind;
+  SelectPtr select;  ///< also the target of kExplain
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<DropTableStmt> drop_table;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+};
+
+}  // namespace soda
+
+#endif  // SODA_SQL_AST_H_

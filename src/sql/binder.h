@@ -1,0 +1,59 @@
+/// \file binder.h
+/// Semantic analysis: turns parse trees into bound plan IR.
+///
+/// Responsibilities: name resolution against the catalog / CTE scope /
+/// runtime bindings (`iterate`, recursive CTE working tables), type
+/// inference and implicit numeric coercion, aggregate extraction
+/// (GROUP BY planning), star expansion, lambda binding against the
+/// operator input schemas (paper §7: "the lambda expressions' input and
+/// output data types are automatically inferred by the database system"),
+/// and table-function schema inference.
+
+#ifndef SODA_SQL_BINDER_H_
+#define SODA_SQL_BINDER_H_
+
+#include <map>
+#include <string>
+
+#include "sql/ast.h"
+#include "sql/logical_plan.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace soda {
+
+class Binder {
+ public:
+  explicit Binder(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Binds a full SELECT statement (with CTEs, unions, order/limit).
+  Result<PlanPtr> BindSelectStatement(const SelectStmt& stmt);
+
+  /// Binds a scalar expression against a schema (used by INSERT..VALUES
+  /// and tests). Aggregates are rejected.
+  Result<ExprPtr> BindScalar(const ParseExpr& expr, const Schema& schema);
+
+ private:
+  struct AggContext;
+
+  Result<PlanPtr> BindSelect(const SelectStmt& stmt);
+  Result<PlanPtr> BindSelectCore(const SelectStmt& stmt);
+  Result<PlanPtr> BindTableRef(const TableRef& ref);
+  Result<PlanPtr> BindTableFunction(const TableRef& ref);
+  Result<PlanPtr> BindIterate(const TableRef& ref);
+  Status BindCtes(const SelectStmt& stmt);
+
+  Result<ExprPtr> BindExpr(const ParseExpr& expr, const Schema& schema);
+  Result<ExprPtr> BindAggScopeExpr(const ParseExpr& expr, AggContext& agg);
+
+  Catalog* catalog_;
+  /// CTE definitions in scope: plans cloned per reference. Shared pointers
+  /// so the scope map is copyable for save/restore around nested queries.
+  std::map<std::string, std::shared_ptr<PlanNode>> ctes_;
+  /// Relations bound at runtime (recursive CTE working table, `iterate`).
+  std::map<std::string, Schema> runtime_bindings_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_SQL_BINDER_H_

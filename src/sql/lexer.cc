@@ -1,0 +1,228 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace soda {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&](TokenType t, size_t at, std::string text = "") {
+    Token tok;
+    tok.type = t;
+    tok.text = std::move(text);
+    tok.offset = at;
+    tokens.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+
+    // λ (U+03BB, UTF-8 0xCE 0xBB)
+    if (static_cast<unsigned char>(c) == 0xCE && i + 1 < n &&
+        static_cast<unsigned char>(sql[i + 1]) == 0xBB) {
+      push(TokenType::kLambda, start, "λ");
+      i += 2;
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = ToLower(std::string_view(sql).substr(i, j - i));
+      if (word == "lambda") {
+        push(TokenType::kLambda, start, word);
+      } else {
+        push(TokenType::kIdent, start, word);
+      }
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) {
+          is_float = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(sql[j])))
+            ++j;
+        }
+      }
+      std::string num = sql.substr(i, j - i);
+      Token tok;
+      tok.offset = start;
+      tok.text = num;
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      for (;;) {
+        if (j >= n) {
+          return Status::ParseError("unterminated string literal at offset " +
+                                    std::to_string(start));
+        }
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        text += sql[j++];
+      }
+      push(TokenType::kString, start, std::move(text));
+      i = j + 1;
+      continue;
+    }
+
+    if (c == '"') {
+      std::string text;
+      size_t j = i + 1;
+      while (j < n && sql[j] != '"') text += sql[j++];
+      if (j >= n) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kQuotedIdent, start, std::move(text));
+      i = j + 1;
+      continue;
+    }
+
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && sql[i + 1] == b;
+    };
+    if (two('<', '>') || two('!', '=')) {
+      push(TokenType::kNe, start);
+      i += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokenType::kLe, start);
+      i += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokenType::kGe, start);
+      i += 2;
+      continue;
+    }
+    if (two('|', '|')) {
+      push(TokenType::kConcat, start);
+      i += 2;
+      continue;
+    }
+
+    TokenType t;
+    switch (c) {
+      case '(': t = TokenType::kLParen; break;
+      case ')': t = TokenType::kRParen; break;
+      case ',': t = TokenType::kComma; break;
+      case '.': t = TokenType::kDot; break;
+      case ';': t = TokenType::kSemicolon; break;
+      case '*': t = TokenType::kStar; break;
+      case '+': t = TokenType::kPlus; break;
+      case '-': t = TokenType::kMinus; break;
+      case '/': t = TokenType::kSlash; break;
+      case '%': t = TokenType::kPercent; break;
+      case '^': t = TokenType::kCaret; break;
+      case '=': t = TokenType::kEq; break;
+      case '<': t = TokenType::kLt; break;
+      case '>': t = TokenType::kGt; break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+    push(t, start);
+    ++i;
+  }
+  push(TokenType::kEof, n);
+  return tokens;
+}
+
+std::string TokenToString(const Token& token) {
+  switch (token.type) {
+    case TokenType::kEof:
+      return "<end of input>";
+    case TokenType::kIdent:
+    case TokenType::kQuotedIdent:
+      return "identifier '" + token.text + "'";
+    case TokenType::kInteger:
+    case TokenType::kFloat:
+      return "number '" + token.text + "'";
+    case TokenType::kString:
+      return "string '" + token.text + "'";
+    case TokenType::kLambda:
+      return "λ";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kComma: return "','";
+    case TokenType::kDot: return "'.'";
+    case TokenType::kSemicolon: return "';'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kPlus: return "'+'";
+    case TokenType::kMinus: return "'-'";
+    case TokenType::kSlash: return "'/'";
+    case TokenType::kPercent: return "'%'";
+    case TokenType::kCaret: return "'^'";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNe: return "'<>'";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLe: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGe: return "'>='";
+    case TokenType::kConcat: return "'||'";
+  }
+  return "?";
+}
+
+}  // namespace soda

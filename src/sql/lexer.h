@@ -1,0 +1,64 @@
+/// \file lexer.h
+/// SQL tokenizer. Identifiers are case-insensitive (folded to lower case);
+/// double-quoted identifiers preserve case and may serve as aliases
+/// (Listing 1: `SELECT 7 "x"`); the lambda introducer is either the `λ`
+/// code point or the keyword `lambda` (paper §7, Listing 3).
+
+#ifndef SODA_SQL_LEXER_H_
+#define SODA_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace soda {
+
+enum class TokenType {
+  kEof,
+  kIdent,      ///< identifier or keyword (lower-cased in `text`)
+  kQuotedIdent,///< "quoted" identifier (case preserved)
+  kInteger,
+  kFloat,
+  kString,     ///< 'string literal'
+  kLambda,     ///< λ or the keyword lambda
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kCaret,
+  kEq,
+  kNe,       ///< <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kConcat,   ///< ||
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;      ///< identifier / literal text
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;     ///< byte offset in the input, for error messages
+};
+
+/// Tokenizes `sql`. Comments (`-- ...`) and whitespace are skipped. The
+/// result always ends with a kEof token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// Human-readable token description for parse errors.
+std::string TokenToString(const Token& token);
+
+}  // namespace soda
+
+#endif  // SODA_SQL_LEXER_H_

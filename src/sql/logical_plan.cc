@@ -1,0 +1,184 @@
+#include "sql/logical_plan.h"
+
+namespace soda {
+
+const char* PlanKindToString(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kValues:
+      return "Values";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kLimit:
+      return "Limit";
+    case PlanKind::kUnionAll:
+      return "UnionAll";
+    case PlanKind::kRecursiveCte:
+      return "RecursiveCte";
+    case PlanKind::kIterate:
+      return "Iterate";
+    case PlanKind::kBindingRef:
+      return "BindingRef";
+    case PlanKind::kTableFunction:
+      return "TableFunction";
+  }
+  return "?";
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + PlanKindToString(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      out += " " + table_name;
+      break;
+    case PlanKind::kValues:
+      out += " (" + std::to_string(rows.size()) + " rows)";
+      break;
+    case PlanKind::kFilter:
+      out += " [" + predicate->ToString() + "]";
+      break;
+    case PlanKind::kProject: {
+      out += " [";
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        if (i) out += ", ";
+        out += exprs[i]->ToString();
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kJoin: {
+      if (left_keys.empty()) {
+        out += " cross";
+      } else {
+        out += " on";
+        for (size_t i = 0; i < left_keys.size(); ++i) {
+          out += " L#" + std::to_string(left_keys[i]) + "=R#" +
+                 std::to_string(right_keys[i]);
+        }
+      }
+      if (predicate) out += " residual[" + predicate->ToString() + "]";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      out += " groups=" + std::to_string(num_group_cols) + " [";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i) out += ", ";
+        out += aggregates[i].function;
+        out += aggregates[i].arg_index < 0
+                   ? "(*)"
+                   : "(#" + std::to_string(aggregates[i].arg_index) + ")";
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kSort: {
+      out += " [";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i) out += ", ";
+        out += sort_keys[i].expr->ToString();
+        if (sort_keys[i].descending) out += " DESC";
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kLimit:
+      out += " " + std::to_string(limit);
+      if (offset) out += " offset " + std::to_string(offset);
+      break;
+    case PlanKind::kRecursiveCte:
+    case PlanKind::kBindingRef:
+      out += " " + binding_name;
+      break;
+    case PlanKind::kTableFunction: {
+      out += " " + function_name;
+      if (!lambdas.empty()) {
+        out += " lambdas[";
+        for (size_t i = 0; i < lambdas.size(); ++i) {
+          if (i) out += "; ";
+          out += lambdas[i].body->ToString();
+        }
+        out += "]";
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  out += " " + schema.ToString() + "\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+PlanPtr PlanNode::Clone() const {
+  auto n = std::make_unique<PlanNode>(kind);
+  n->schema = schema;
+  n->table_name = table_name;
+  n->rows = rows;
+  if (predicate) n->predicate = predicate->Clone();
+  n->exprs.reserve(exprs.size());
+  for (const auto& e : exprs) n->exprs.push_back(e->Clone());
+  n->left_keys = left_keys;
+  n->right_keys = right_keys;
+  n->num_group_cols = num_group_cols;
+  n->aggregates = aggregates;
+  n->sort_keys.reserve(sort_keys.size());
+  for (const auto& k : sort_keys) {
+    n->sort_keys.push_back(SortKey{k.expr->Clone(), k.descending});
+  }
+  n->limit = limit;
+  n->offset = offset;
+  n->binding_name = binding_name;
+  n->function_name = function_name;
+  n->scalar_args = scalar_args;
+  n->lambdas.reserve(lambdas.size());
+  for (const auto& l : lambdas) {
+    n->lambdas.push_back(BoundLambda{l.body->Clone(), l.a_width, l.source_text});
+  }
+  n->children.reserve(children.size());
+  for (const auto& c : children) n->children.push_back(c->Clone());
+  return n;
+}
+
+PlanPtr MakeScan(std::string table, Schema schema) {
+  auto n = std::make_unique<PlanNode>(PlanKind::kScan);
+  n->table_name = std::move(table);
+  n->schema = std::move(schema);
+  return n;
+}
+
+PlanPtr MakeFilter(PlanPtr child, ExprPtr predicate) {
+  auto n = std::make_unique<PlanNode>(PlanKind::kFilter);
+  n->schema = child->schema;
+  n->predicate = std::move(predicate);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs, Schema schema) {
+  auto n = std::make_unique<PlanNode>(PlanKind::kProject);
+  n->schema = std::move(schema);
+  n->exprs = std::move(exprs);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeLimit(PlanPtr child, int64_t limit, int64_t offset) {
+  auto n = std::make_unique<PlanNode>(PlanKind::kLimit);
+  n->schema = child->schema;
+  n->limit = limit;
+  n->offset = offset;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+}  // namespace soda

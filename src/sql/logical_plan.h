@@ -1,0 +1,128 @@
+/// \file logical_plan.h
+/// The query plan IR.
+///
+/// soda uses a single plan representation: the binder produces it, the
+/// optimizer rewrites it (paper §5.2), and the executor interprets it with
+/// morsel-parallel push pipelines (paper §3). The paper's "physical
+/// analytics operators" (§6) appear as kTableFunction nodes whose
+/// execution dispatches into src/analytics/ — exactly the property Fig. 3
+/// shows: relational and analytical operators coexist in one optimizable
+/// plan, and lambdas are plan expressions subject to the same binding and
+/// optimization as any other expression.
+
+#ifndef SODA_SQL_LOGICAL_PLAN_H_
+#define SODA_SQL_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expression.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace soda {
+
+enum class PlanKind {
+  kScan,          ///< base table scan
+  kValues,        ///< literal rows (SELECT without FROM, INSERT .. VALUES)
+  kFilter,        ///< predicate over child
+  kProject,       ///< expressions over child
+  kJoin,          ///< hash equi-join (keys) or cross join (no keys), with optional residual predicate
+  kAggregate,     ///< hash aggregation; child is a Project of group exprs + agg args
+  kSort,          ///< ORDER BY
+  kLimit,         ///< LIMIT / OFFSET
+  kUnionAll,      ///< bag union of type-compatible children
+  kRecursiveCte,  ///< SQL:1999 appending fixpoint iteration (paper §5.1 baseline)
+  kIterate,       ///< the paper's non-appending ITERATE construct (§5.1)
+  kBindingRef,    ///< reference to a named relation bound at runtime (CTE working table / `iterate`)
+  kTableFunction, ///< analytics physical operator invocation (§6)
+};
+
+const char* PlanKindToString(PlanKind kind);
+
+/// One aggregate computation inside a kAggregate node.
+struct AggregateSpec {
+  std::string function;   ///< count / sum / avg / min / max / stddev / var
+  int arg_index = -1;     ///< column index into child output; -1 = count(*)
+  DataType result_type = DataType::kInvalid;
+};
+
+/// One ORDER BY key.
+struct SortKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// A lambda argument to a table function (paper §7): the bound body plus
+/// the split point between the first and second tuple parameter's columns.
+struct BoundLambda {
+  ExprPtr body;
+  size_t a_width = 0;      ///< columns of the first tuple parameter
+  std::string source_text; ///< for diagnostics / plan printing
+};
+
+struct PlanNode;
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// A node of the plan IR. Field usage depends on `kind`; unused fields
+/// stay default-constructed.
+struct PlanNode {
+  PlanKind kind;
+  Schema schema;  ///< output schema
+  std::vector<PlanPtr> children;
+
+  // kScan
+  std::string table_name;
+
+  // kValues
+  std::vector<std::vector<Value>> rows;
+
+  // kFilter (and kJoin residual)
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> exprs;
+
+  // kJoin: equi-key column indices into left/right child outputs; both
+  // empty => cross join. `predicate` (over the concatenated schema) holds
+  // any residual condition.
+  std::vector<size_t> left_keys;
+  std::vector<size_t> right_keys;
+
+  // kAggregate
+  size_t num_group_cols = 0;
+  std::vector<AggregateSpec> aggregates;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;   ///< -1 = unlimited
+  int64_t offset = 0;
+
+  // kRecursiveCte / kIterate / kBindingRef
+  std::string binding_name;  ///< CTE name; "iterate" for kIterate state
+
+  // kTableFunction
+  std::string function_name;        ///< kmeans / pagerank / ...
+  std::vector<Value> scalar_args;   ///< non-relational, non-lambda args
+  std::vector<BoundLambda> lambdas;
+
+  explicit PlanNode(PlanKind k) : kind(k) {}
+
+  /// Pretty-printed plan tree (EXPLAIN-style), for tests and debugging.
+  std::string ToString(int indent = 0) const;
+
+  PlanPtr Clone() const;
+};
+
+/// Convenience constructors keeping schemas consistent.
+PlanPtr MakeScan(std::string table, Schema schema);
+PlanPtr MakeFilter(PlanPtr child, ExprPtr predicate);
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs, Schema schema);
+PlanPtr MakeLimit(PlanPtr child, int64_t limit, int64_t offset);
+
+}  // namespace soda
+
+#endif  // SODA_SQL_LOGICAL_PLAN_H_

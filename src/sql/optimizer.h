@@ -1,0 +1,28 @@
+/// \file optimizer.h
+/// Plan rewrites (paper §5.2): constant folding, filter merging, predicate
+/// pushdown through joins, equi-join key extraction from cross joins and
+/// ON conditions, and hash-join build-side selection by estimated
+/// cardinality.
+///
+/// As §5.2 observes, analytical operators (ITERATE, recursive CTEs, table
+/// functions) act as optimization fences — their result depends on whole
+/// inputs, so selections are not pushed through them; the optimizer simply
+/// recurses into their input subplans and optimizes those independently.
+
+#ifndef SODA_SQL_OPTIMIZER_H_
+#define SODA_SQL_OPTIMIZER_H_
+
+#include "sql/logical_plan.h"
+#include "storage/catalog.h"
+
+namespace soda {
+
+/// Rewrites the plan in place (returns the possibly-new root).
+PlanPtr OptimizePlan(PlanPtr plan, Catalog* catalog);
+
+/// Rough output-cardinality estimate used for join build-side selection.
+double EstimateRows(const PlanNode& plan, Catalog* catalog);
+
+}  // namespace soda
+
+#endif  // SODA_SQL_OPTIMIZER_H_

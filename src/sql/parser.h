@@ -1,0 +1,35 @@
+/// \file parser.h
+/// Recursive-descent SQL parser covering soda's dialect:
+///
+///   SELECT [select list] FROM ... WHERE ... GROUP BY ... HAVING ...
+///     ORDER BY ... LIMIT n [OFFSET m] [UNION ALL select]
+///   WITH [RECURSIVE] name [(cols)] AS (select) [, ...] select
+///   ITERATE((init), (step), (stop)) in FROM       -- paper Listing 1
+///   <table function>((subquery), ..., λ(a,b) expr, literal, ...) in FROM
+///   λ(a[, b]) expr  /  LAMBDA(a[, b]) expr        -- paper Listing 3
+///   CREATE TABLE t (col TYPE, ...), INSERT INTO .. VALUES/SELECT,
+///   DROP TABLE [IF EXISTS] t
+///
+/// Alias forms: `expr AS name`, `expr name`, `expr "name"` (Listing 1
+/// uses `SELECT 7 "x"`).
+
+#ifndef SODA_SQL_PARSER_H_
+#define SODA_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Parses a single SQL statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses a script of ';'-separated statements.
+Result<std::vector<Statement>> ParseScript(const std::string& sql);
+
+}  // namespace soda
+
+#endif  // SODA_SQL_PARSER_H_

@@ -1,0 +1,78 @@
+#include "storage/catalog.h"
+
+#include "util/string_util.h"
+
+namespace soda {
+
+Result<TablePtr> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table already exists: " + key);
+  }
+  auto table = std::make_shared<Table>(key, std::move(schema));
+  tables_[key] = table;
+  return table;
+}
+
+Status Catalog::RegisterTable(TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& key = table->name();
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table already exists: " + key);
+  }
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::KeyError("table not found: " + key);
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tables_.erase(key)) {
+    return Status::KeyError("table not found: " + key);
+  }
+  return Status::OK();
+}
+
+Status Catalog::ReplaceTable(const std::string& name, TablePtr table) {
+  std::string key = ToLower(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::KeyError("table not found: " + key);
+  }
+  it->second = std::move(table);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+size_t Catalog::TotalMemoryUsage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [_, t] : tables_) bytes += t->MemoryUsage();
+  return bytes;
+}
+
+}  // namespace soda

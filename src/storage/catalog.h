@@ -1,0 +1,53 @@
+/// \file catalog.h
+/// The database catalog: named tables, thread-safe registration/lookup.
+
+#ifndef SODA_STORAGE_CATALOG_H_
+#define SODA_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Owns all base tables of a database instance.
+class Catalog {
+ public:
+  /// Creates an empty table. Fails with AlreadyExists on a name clash.
+  Result<TablePtr> CreateTable(const std::string& name, Schema schema);
+
+  /// Registers an externally built table (bulk loading path).
+  Status RegisterTable(TablePtr table);
+
+  /// Looks a table up by name (case-insensitive).
+  Result<TablePtr> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  /// Atomically replaces a table's contents with a freshly built version
+  /// (the engine's copy-on-write mutation path: UPDATE/DELETE construct a
+  /// new table and swap it in, so queries holding the old TablePtr keep
+  /// reading a consistent snapshot — a miniature of HyPer's snapshot
+  /// mechanism, see DESIGN.md). Fails with KeyError if absent.
+  Status ReplaceTable(const std::string& name, TablePtr table);
+
+  /// Sorted list of table names.
+  std::vector<std::string> TableNames() const;
+
+  size_t TotalMemoryUsage() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_STORAGE_CATALOG_H_

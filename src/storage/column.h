@@ -1,0 +1,123 @@
+/// \file column.h
+/// Typed columnar storage — the single vector format used both for base
+/// table columns and for the chunks flowing between operators.
+///
+/// Payload layout (column-store, paper §3):
+///   kBool / kBigInt -> contiguous int64_t
+///   kDouble         -> contiguous double
+///   kVarchar        -> std::vector<std::string>
+/// NULLs are tracked by an optional validity byte-vector; an empty validity
+/// vector means "all valid", so fully-dense numeric columns carry zero
+/// overhead and their raw arrays can be handed straight to the analytics
+/// operators' inner loops.
+
+#ifndef SODA_STORAGE_COLUMN_H_
+#define SODA_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+#include "types/value.h"
+#include "util/logging.h"
+
+namespace soda {
+
+/// A single typed column of values.
+class Column {
+ public:
+  Column() : type_(DataType::kInvalid) {}
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const {
+    switch (type_) {
+      case DataType::kVarchar:
+        return str_.size();
+      case DataType::kDouble:
+        return f64_.size();
+      default:
+        return i64_.size();
+    }
+  }
+
+  void Reserve(size_t n);
+  void Clear();
+
+  // --- Appending ---------------------------------------------------------
+  void AppendBigInt(int64_t v) {
+    SODA_DCHECK(type_ == DataType::kBigInt || type_ == DataType::kBool);
+    i64_.push_back(v);
+    if (!validity_.empty()) validity_.push_back(1);
+  }
+  void AppendBool(bool v) { AppendBigInt(v ? 1 : 0); }
+  void AppendDouble(double v) {
+    SODA_DCHECK(type_ == DataType::kDouble);
+    f64_.push_back(v);
+    if (!validity_.empty()) validity_.push_back(1);
+  }
+  void AppendString(std::string v) {
+    SODA_DCHECK(type_ == DataType::kVarchar);
+    str_.push_back(std::move(v));
+    if (!validity_.empty()) validity_.push_back(1);
+  }
+  /// Appends a NULL (materializes the validity vector on first use).
+  void AppendNull();
+  /// Appends a boxed value; NULLs allowed; numeric payloads are coerced to
+  /// the column type.
+  void AppendValue(const Value& v);
+  /// Appends `other[row]` (same type required).
+  void AppendFrom(const Column& other, size_t row);
+
+  // --- Element access -----------------------------------------------------
+  bool IsNull(size_t i) const {
+    return !validity_.empty() && validity_[i] == 0;
+  }
+  int64_t GetBigInt(size_t i) const { return i64_[i]; }
+  bool GetBool(size_t i) const { return i64_[i] != 0; }
+  double GetDouble(size_t i) const { return f64_[i]; }
+  const std::string& GetString(size_t i) const { return str_[i]; }
+  /// Numeric read regardless of int/double payload.
+  double GetNumeric(size_t i) const {
+    return type_ == DataType::kDouble ? f64_[i]
+                                      : static_cast<double>(i64_[i]);
+  }
+  Value GetValue(size_t i) const;
+
+  // --- Raw access for tight loops ----------------------------------------
+  const int64_t* I64Data() const { return i64_.data(); }
+  int64_t* MutableI64Data() { return i64_.data(); }
+  const double* F64Data() const { return f64_.data(); }
+  double* MutableF64Data() { return f64_.data(); }
+  const std::vector<std::string>& Strings() const { return str_; }
+  /// Empty means all-valid.
+  const std::vector<uint8_t>& Validity() const { return validity_; }
+  bool HasNulls() const;
+
+  /// Appends rows [offset, offset+count) of `other` (same type).
+  void AppendSlice(const Column& other, size_t offset, size_t count);
+
+  /// Bulk-construction helpers for workload generators.
+  static Column FromDoubles(std::vector<double> data);
+  static Column FromBigInts(std::vector<int64_t> data);
+
+  /// Resizes a numeric column to `n` rows (zero-filled), used by operators
+  /// that write results positionally.
+  void ResizeNumeric(size_t n);
+
+  /// Approximate heap footprint in bytes (used by the memory-accounting
+  /// ablation, paper §5.1).
+  size_t MemoryUsage() const;
+
+ private:
+  DataType type_;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<std::string> str_;
+  std::vector<uint8_t> validity_;  // empty == all valid
+};
+
+}  // namespace soda
+
+#endif  // SODA_STORAGE_COLUMN_H_

@@ -1,0 +1,234 @@
+#include "storage/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace soda {
+
+namespace internal {
+
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
+                                                char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  if (quoted) {
+    return Status::InvalidArgument("unterminated quote in CSV record: " +
+                                   line);
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace internal
+
+namespace {
+
+bool LooksLikeBigInt(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  (void)std::strtoll(s.c_str(), &end, 10);
+  return errno == 0 && end && *end == '\0';
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end && *end == '\0';
+}
+
+/// Narrowest type covering all sampled values of a column; empty strings
+/// count as NULLs and do not constrain the type.
+DataType InferColumnType(const std::vector<std::vector<std::string>>& rows,
+                         size_t col) {
+  bool all_int = true, all_double = true, any_value = false;
+  for (const auto& row : rows) {
+    if (col >= row.size() || row[col].empty()) continue;
+    any_value = true;
+    if (!LooksLikeBigInt(row[col])) all_int = false;
+    if (!LooksLikeDouble(row[col])) all_double = false;
+  }
+  if (!any_value) return DataType::kVarchar;
+  if (all_int) return DataType::kBigInt;
+  if (all_double) return DataType::kDouble;
+  return DataType::kVarchar;
+}
+
+Result<Value> ParseCell(const std::string& text, DataType type) {
+  if (text.empty()) return Value::Null(type);
+  switch (type) {
+    case DataType::kBigInt:
+      if (!LooksLikeBigInt(text)) {
+        return Status::TypeError("CSV value '" + text + "' is not an integer");
+      }
+      return Value::BigInt(std::strtoll(text.c_str(), nullptr, 10));
+    case DataType::kDouble:
+      if (!LooksLikeDouble(text)) {
+        return Status::TypeError("CSV value '" + text + "' is not numeric");
+      }
+      return Value::Double(std::strtod(text.c_str(), nullptr));
+    case DataType::kBool:
+      if (EqualsIgnoreCase(text, "true") || text == "1") {
+        return Value::Bool(true);
+      }
+      if (EqualsIgnoreCase(text, "false") || text == "0") {
+        return Value::Bool(false);
+      }
+      return Status::TypeError("CSV value '" + text + "' is not boolean");
+    default:
+      return Value::Varchar(text);
+  }
+}
+
+std::string QuoteField(const std::string& s, char delimiter) {
+  bool needs_quotes = s.find(delimiter) != std::string::npos ||
+                      s.find('"') != std::string::npos ||
+                      s.find('\n') != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& table_name,
+                           const std::string& path,
+                           const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open CSV file: " + path);
+  }
+
+  std::string line;
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> rows;
+
+  if (options.header) {
+    if (!std::getline(file, line)) {
+      return Status::InvalidArgument("empty CSV file: " + path);
+    }
+    SODA_ASSIGN_OR_RETURN(names,
+                          internal::SplitCsvRecord(line, options.delimiter));
+  }
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    SODA_ASSIGN_OR_RETURN(auto fields,
+                          internal::SplitCsvRecord(line, options.delimiter));
+    rows.push_back(std::move(fields));
+  }
+  if (rows.empty() && names.empty()) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+
+  size_t num_cols = names.empty() ? rows[0].size() : names.size();
+  if (names.empty()) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      names.push_back("c" + std::to_string(c + 1));
+    }
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != num_cols) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(r + 1) + " has " +
+          std::to_string(rows[r].size()) + " fields, expected " +
+          std::to_string(num_cols));
+    }
+  }
+
+  // Type inference over a bounded sample.
+  std::vector<std::vector<std::string>> sample(
+      rows.begin(),
+      rows.begin() + std::min(rows.size(), options.inference_rows));
+  Schema schema;
+  for (size_t c = 0; c < num_cols; ++c) {
+    schema.AddField(Field(names[c], InferColumnType(sample, c)));
+  }
+
+  SODA_ASSIGN_OR_RETURN(TablePtr table,
+                        catalog->CreateTable(table_name, schema));
+  table->Reserve(rows.size());
+  for (const auto& record : rows) {
+    std::vector<Value> row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      auto v = ParseCell(record[c], schema.field(c).type);
+      if (!v.ok()) {
+        (void)catalog->DropTable(table_name);
+        return v.status();
+      }
+      row.push_back(std::move(v.ValueOrDie()));
+    }
+    Status st = table->AppendRow(row);
+    if (!st.ok()) {
+      (void)catalog->DropTable(table_name);
+      return st;
+    }
+  }
+  return table;
+}
+
+Status ExportCsv(const Table& table, const std::string& path,
+                 const CsvOptions& options) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open CSV file for writing: " +
+                                   path);
+  }
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c) file << options.delimiter;
+    file << QuoteField(schema.field(c).name, options.delimiter);
+  }
+  file << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) file << options.delimiter;
+      if (!table.column(c).IsNull(r)) {
+        file << QuoteField(table.column(c).GetValue(r).ToString(),
+                           options.delimiter);
+      }
+    }
+    file << '\n';
+  }
+  if (!file.good()) {
+    return Status::ExecutionError("I/O error writing CSV: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace soda

@@ -1,0 +1,47 @@
+/// \file csv.h
+/// CSV import/export for bulk data interchange.
+///
+/// The paper (§3) counts HyPer's "fast data loading" among the properties
+/// that make an RDBMS attractive to data scientists; this is soda's
+/// loading path for external files. Import infers a schema (BIGINT →
+/// DOUBLE → VARCHAR, in that order of preference) from a sample unless an
+/// explicit schema is given; export writes RFC-4180-style CSV (quotes
+/// doubled, fields quoted when needed).
+
+#ifndef SODA_STORAGE_CSV_H_
+#define SODA_STORAGE_CSV_H_
+
+#include <string>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace soda {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names. If false, columns are named c1..cn.
+  bool header = true;
+  /// Rows sampled for type inference.
+  size_t inference_rows = 1000;
+};
+
+/// Parses CSV text into a new table registered under `table_name`.
+Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& table_name,
+                           const std::string& path,
+                           const CsvOptions& options = {});
+
+/// Writes `table` to `path` (with a header row).
+Status ExportCsv(const Table& table, const std::string& path,
+                 const CsvOptions& options = {});
+
+namespace internal {
+/// Splits one CSV record (quote-aware); exposed for tests.
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
+                                                char delimiter);
+}  // namespace internal
+
+}  // namespace soda
+
+#endif  // SODA_STORAGE_CSV_H_

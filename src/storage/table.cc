@@ -1,0 +1,129 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace soda {
+
+Table::Table(std::string name, Schema schema)
+    : name_(ToLower(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch: expected " +
+                                   std::to_string(columns_.size()) + ", got " +
+                                   std::to_string(row.size()));
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Value& v = row[c];
+    if (!v.is_null() && v.type() != columns_[c].type()) {
+      // Allow numeric coercion; reject anything else.
+      if (!(IsNumeric(v.type()) && IsNumeric(columns_[c].type()))) {
+        return Status::TypeError("cannot insert " +
+                                 std::string(DataTypeToString(v.type())) +
+                                 " into column '" + schema_.field(c).name +
+                                 "' of type " +
+                                 DataTypeToString(columns_[c].type()));
+      }
+    }
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendValue(row[c]);
+  }
+  return Status::OK();
+}
+
+Status Table::AppendChunk(const DataChunk& chunk) {
+  if (chunk.num_columns() != columns_.size()) {
+    return Status::InvalidArgument("chunk arity mismatch");
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (chunk.column(c).type() != columns_[c].type()) {
+      return Status::TypeError("chunk column type mismatch at position " +
+                               std::to_string(c));
+    }
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendSlice(chunk.column(c), 0, chunk.column(c).size());
+  }
+  return Status::OK();
+}
+
+void Table::ScanSlice(size_t offset, size_t count, DataChunk* out) const {
+  if (out->num_columns() == 0) {
+    *out = DataChunk(schema_);
+  } else {
+    out->Clear();
+  }
+  if (offset >= num_rows()) return;  // empty slice
+  count = std::min(count, num_rows() - offset);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out->column(c).AppendSlice(columns_[c], offset, count);
+  }
+}
+
+Status Table::SetColumn(size_t i, Column column) {
+  if (i >= columns_.size()) return Status::OutOfRange("column index");
+  if (column.type() != columns_[i].type()) {
+    return Status::TypeError("SetColumn type mismatch");
+  }
+  columns_[i] = std::move(column);
+  return Status::OK();
+}
+
+std::vector<Value> Table::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c.GetValue(row));
+  return out;
+}
+
+size_t Table::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c.MemoryUsage();
+  return bytes;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (const auto& f : schema_.fields()) header.push_back(f.name);
+  cells.push_back(header);
+  size_t n = std::min(max_rows, num_rows());
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<std::string> row;
+    for (const auto& c : columns_) row.push_back(c.GetValue(r).ToString());
+    cells.push_back(std::move(row));
+  }
+  std::vector<size_t> widths(header.size(), 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      out += cells[r][c];
+      out.append(widths[c] - cells[r][c].size() + 2, ' ');
+    }
+    out += '\n';
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        out.append(widths[c], '-');
+        out.append(2, ' ');
+      }
+      out += '\n';
+    }
+  }
+  if (num_rows() > n) {
+    out += "... (" + std::to_string(num_rows()) + " rows total)\n";
+  }
+  return out;
+}
+
+}  // namespace soda

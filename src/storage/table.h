@@ -1,0 +1,80 @@
+/// \file table.h
+/// In-memory base tables and materialized relations.
+///
+/// A `Table` is a schema plus one full-length `Column` per field. Base
+/// tables live in the catalog; intermediate relations (CTE results,
+/// ITERATE state, analytics operator inputs) use the same representation so
+/// layer-3 and layer-4 code paths share storage machinery — a prerequisite
+/// for the paper's layer-vs-layer comparisons to be apples-to-apples.
+
+#ifndef SODA_STORAGE_TABLE_H_
+#define SODA_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/data_chunk.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// A named, schema-full, columnar relation.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  size_t num_columns() const { return columns_.size(); }
+
+  Column& column(size_t i) { return columns_[i]; }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  void Reserve(size_t n) {
+    for (auto& c : columns_) c.Reserve(n);
+  }
+
+  /// Appends one boxed row (types must be appendable to each column).
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Appends all rows of a chunk (column types must match positionally).
+  Status AppendChunk(const DataChunk& chunk);
+
+  /// Copies rows [offset, offset+count) into `out` (columns created to
+  /// match the schema if `out` is empty).
+  void ScanSlice(size_t offset, size_t count, DataChunk* out) const;
+
+  /// Replaces the payload of column `i` wholesale (bulk loading).
+  Status SetColumn(size_t i, Column column);
+
+  /// Deletes all rows, keeping the schema.
+  void Truncate() {
+    for (auto& c : columns_) c.Clear();
+  }
+
+  std::vector<Value> GetRow(size_t row) const;
+
+  size_t MemoryUsage() const;
+
+  /// Renders up to `max_rows` as an aligned ASCII table (debugging /
+  /// examples).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace soda
+
+#endif  // SODA_STORAGE_TABLE_H_

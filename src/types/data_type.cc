@@ -1,0 +1,51 @@
+#include "types/data_type.h"
+
+#include "util/string_util.h"
+
+namespace soda {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInvalid:
+      return "INVALID";
+    case DataType::kBool:
+      return "BOOLEAN";
+    case DataType::kBigInt:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kVarchar:
+      return "VARCHAR";
+  }
+  return "INVALID";
+}
+
+Result<DataType> DataTypeFromString(const std::string& name) {
+  std::string n = ToUpper(name);
+  // Strip a parenthesized length, e.g. VARCHAR(500).
+  if (auto p = n.find('('); p != std::string::npos) n = n.substr(0, p);
+  if (n == "BOOL" || n == "BOOLEAN") return DataType::kBool;
+  if (n == "INT" || n == "INTEGER" || n == "BIGINT" || n == "SMALLINT") {
+    return DataType::kBigInt;
+  }
+  if (n == "FLOAT" || n == "DOUBLE" || n == "REAL" || n == "NUMERIC" ||
+      n == "DECIMAL") {
+    return DataType::kDouble;
+  }
+  if (n == "VARCHAR" || n == "TEXT" || n == "STRING" || n == "CHAR") {
+    return DataType::kVarchar;
+  }
+  return Status::TypeError("unknown type name: " + name);
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kBigInt || type == DataType::kDouble;
+}
+
+DataType CommonType(DataType a, DataType b) {
+  if (a == b) return a;
+  if (IsNumeric(a) && IsNumeric(b)) return DataType::kDouble;
+  return DataType::kInvalid;
+}
+
+}  // namespace soda

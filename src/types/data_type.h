@@ -1,0 +1,44 @@
+/// \file data_type.h
+/// Logical SQL types supported by the engine.
+///
+/// soda deliberately keeps a compact scalar type system — the workloads in
+/// the paper (vector data for k-Means / Naive Bayes, edge lists for
+/// PageRank) only need integers, floating point, booleans, and strings.
+
+#ifndef SODA_TYPES_DATA_TYPE_H_
+#define SODA_TYPES_DATA_TYPE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace soda {
+
+/// Logical column/value type.
+enum class DataType {
+  kInvalid = 0,
+  kBool,
+  kBigInt,   ///< 64-bit signed integer (SQL INTEGER / BIGINT)
+  kDouble,   ///< 64-bit IEEE float (SQL FLOAT / DOUBLE)
+  kVarchar,  ///< variable-length UTF-8 string
+};
+
+/// SQL-facing name, e.g. "BIGINT".
+const char* DataTypeToString(DataType type);
+
+/// Parses a SQL type name (case-insensitive). Accepts common aliases:
+/// INT/INTEGER/BIGINT, FLOAT/DOUBLE/REAL, VARCHAR/TEXT(/ with length),
+/// BOOL/BOOLEAN.
+Result<DataType> DataTypeFromString(const std::string& name);
+
+/// True for kBigInt / kDouble.
+bool IsNumeric(DataType type);
+
+/// Implicit-coercion result for arithmetic/comparison between two types.
+/// Numeric types widen to kDouble when mixed; otherwise both sides must
+/// match. Returns kInvalid when no common type exists.
+DataType CommonType(DataType a, DataType b);
+
+}  // namespace soda
+
+#endif  // SODA_TYPES_DATA_TYPE_H_

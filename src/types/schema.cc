@@ -1,0 +1,74 @@
+#include "types/schema.h"
+
+#include "util/string_util.h"
+
+namespace soda {
+
+Field::Field(std::string n, DataType t, std::string q)
+    : name(ToLower(n)), type(t), qualifier(ToLower(q)) {}
+
+std::string Field::ToString() const {
+  std::string out;
+  if (!qualifier.empty()) {
+    out += qualifier;
+    out += '.';
+  }
+  out += name;
+  out += ' ';
+  out += DataTypeToString(type);
+  return out;
+}
+
+Result<size_t> Schema::FindField(const std::string& qualifier,
+                                 const std::string& name) const {
+  std::string q = ToLower(qualifier);
+  std::string n = ToLower(name);
+  size_t found = fields_.size();
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != n) continue;
+    if (!q.empty() && fields_[i].qualifier != q) continue;
+    if (found != fields_.size()) {
+      return Status::BindError("ambiguous column reference: " +
+                               (q.empty() ? n : q + "." + n));
+    }
+    found = i;
+  }
+  if (found == fields_.size()) {
+    return Status::BindError("column not found: " +
+                             (q.empty() ? n : q + "." + n));
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Field> fields = fields_;
+  fields.insert(fields.end(), other.fields_.begin(), other.fields_.end());
+  return Schema(std::move(fields));
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  std::vector<Field> fields = fields_;
+  std::string a = ToLower(alias);
+  for (auto& f : fields) f.qualifier = a;
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::TypesEqual(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].type != other.fields_[i].type) return false;
+  }
+  return true;
+}
+
+}  // namespace soda

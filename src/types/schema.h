@@ -1,0 +1,79 @@
+/// \file schema.h
+/// Relation schemas: ordered, optionally table-qualified, typed fields.
+
+#ifndef SODA_TYPES_SCHEMA_H_
+#define SODA_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// One column of a relation.
+struct Field {
+  std::string name;          ///< column name (stored lower-cased)
+  DataType type = DataType::kInvalid;
+  std::string qualifier;     ///< table alias this field is visible under ("" = none)
+
+  Field() = default;
+  Field(std::string n, DataType t, std::string q = "");
+
+  std::string ToString() const;  ///< "qualifier.name TYPE"
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           qualifier == other.qualifier;
+  }
+};
+
+/// Ordered collection of fields. Names are matched case-insensitively
+/// (they are normalized to lower case on construction, mirroring SQL
+/// identifier folding).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Finds a field by (optionally qualified) name. Returns BindError on a
+  /// miss and BindError("ambiguous...") when an unqualified name matches
+  /// several fields.
+  Result<size_t> FindField(const std::string& qualifier,
+                           const std::string& name) const;
+
+  /// Unqualified lookup convenience.
+  Result<size_t> FindField(const std::string& name) const {
+    return FindField("", name);
+  }
+
+  /// Schema of `this` followed by `other` (used by joins); fields keep
+  /// their qualifiers.
+  Schema Concat(const Schema& other) const;
+
+  /// Returns a copy where every field's qualifier is replaced by `alias`.
+  Schema WithQualifier(const std::string& alias) const;
+
+  /// "(a BIGINT, b DOUBLE)".
+  std::string ToString() const;
+
+  /// Positional type compatibility (names may differ) — the requirement for
+  /// UNION / recursive CTE branches.
+  bool TypesEqual(const Schema& other) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_TYPES_SCHEMA_H_

@@ -1,0 +1,62 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace soda {
+
+namespace {
+std::atomic<int> g_level{[] {
+  if (const char* env = std::getenv("SODA_LOG")) {
+    if (!strcmp(env, "debug")) return 0;
+    if (!strcmp(env, "info")) return 1;
+    if (!strcmp(env, "warn")) return 2;
+    if (!strcmp(env, "error")) return 3;
+  }
+  return 2;
+}()};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_level.load()) {
+  if (enabled_) {
+    const char* base = strrchr(file, '/');
+    stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file)
+            << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+}
+
+void DcheckFail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "[FATAL %s:%d] DCHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace soda

@@ -1,0 +1,55 @@
+/// \file logging.h
+/// Minimal leveled logging and checked assertions.
+
+#ifndef SODA_UTIL_LOGGING_H_
+#define SODA_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace soda {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded. Default: kWarn,
+/// override with SODA_LOG={debug,info,warn,error}.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // flushes to stderr
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void DcheckFail(const char* expr, const char* file, int line);
+
+}  // namespace internal
+
+#define SODA_LOG(level)                                                    \
+  ::soda::internal::LogMessage(::soda::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Internal invariant check: aborts with a message on violation. Active in
+/// all build types — soda is an experimental engine, silent corruption is
+/// worse than an abort.
+#define SODA_DCHECK(expr)                                           \
+  do {                                                              \
+    if (!(expr)) ::soda::internal::DcheckFail(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_LOGGING_H_

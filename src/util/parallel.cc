@@ -1,0 +1,85 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+namespace soda {
+
+namespace {
+thread_local bool g_serial = false;
+
+/// Shared state for one ParallelFor invocation. Owned via shared_ptr by the
+/// caller and every enqueued helper task, so a helper that is scheduled
+/// after the call returned (because all work was already drained) still
+/// touches valid memory and exits immediately.
+struct ForState {
+  std::function<void(size_t, size_t, size_t)> body;
+  size_t total;
+  size_t morsel;
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> started{0};   // helpers that began draining
+  std::atomic<size_t> finished{0};  // helpers that finished draining
+  std::atomic<size_t> next_id{1};   // worker ids; 0 is the caller
+
+  void Drain(size_t worker_id) {
+    ScopedSerialExecution serial_inside;  // nested ParallelFor runs inline
+    for (;;) {
+      size_t begin = cursor.fetch_add(morsel);
+      if (begin >= total) break;
+      size_t end = std::min(begin + morsel, total);
+      body(begin, end, worker_id);
+    }
+  }
+};
+}  // namespace
+
+ScopedSerialExecution::ScopedSerialExecution() : prev_(g_serial) {
+  g_serial = true;
+}
+ScopedSerialExecution::~ScopedSerialExecution() { g_serial = prev_; }
+bool ScopedSerialExecution::active() { return g_serial; }
+
+size_t NumWorkers() { return ThreadPool::Global().num_threads(); }
+
+void ParallelFor(size_t total,
+                 const std::function<void(size_t, size_t, size_t)>& body,
+                 size_t morsel_size) {
+  if (total == 0) return;
+  morsel_size = std::max<size_t>(1, morsel_size);
+  size_t workers = NumWorkers();
+  if (g_serial || workers <= 1 || total <= morsel_size) {
+    body(0, total, 0);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->body = body;
+  state->total = total;
+  state->morsel = morsel_size;
+
+  size_t num_helpers =
+      std::min(workers, (total + morsel_size - 1) / morsel_size) - 1;
+  for (size_t t = 0; t < num_helpers; ++t) {
+    ThreadPool::Global().Submit([state] {
+      if (state->cursor.load(std::memory_order_relaxed) >= state->total) {
+        return;  // work already drained; do not count as participant
+      }
+      state->started.fetch_add(1);
+      state->Drain(state->next_id.fetch_add(1));
+      state->finished.fetch_add(1);
+    });
+  }
+
+  // The caller participates, guaranteeing progress even if the pool is
+  // saturated and no helper ever starts.
+  state->Drain(0);
+
+  // Wait only for helpers that actually started; unstarted ones will find
+  // the cursor drained and exit without touching the (shared) state.
+  while (state->started.load() != state->finished.load()) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace soda

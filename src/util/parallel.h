@@ -1,0 +1,57 @@
+/// \file parallel.h
+/// Morsel-driven parallel primitives (paper §3).
+///
+/// Work is split into fixed-size "morsels" that workers pull from a shared
+/// atomic cursor — the scheme HyPer uses for elastic intra-query
+/// parallelism. Operators express their loops as `ParallelFor` over tuple
+/// ranges; each worker owns thread-local state that is merged at the end
+/// (see e.g. the k-Means operator, paper §6.1).
+
+#ifndef SODA_UTIL_PARALLEL_H_
+#define SODA_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace soda {
+
+/// Default number of tuples per morsel. Chosen so a morsel's working set
+/// stays cache-resident while amortizing cursor contention.
+inline constexpr size_t kDefaultMorselSize = 16384;
+
+/// Runs `body(begin, end, worker_id)` over `[0, total)` split into morsels.
+/// `worker_id` is in `[0, NumWorkers())` and is stable per worker, so the
+/// body may index into pre-allocated thread-local accumulators.
+///
+/// Degrades to a serial loop when `total` is small or the pool has one
+/// worker, so callers never pay scheduling overhead on tiny inputs.
+void ParallelFor(size_t total,
+                 const std::function<void(size_t begin, size_t end,
+                                          size_t worker_id)>& body,
+                 size_t morsel_size = kDefaultMorselSize);
+
+/// Number of worker slots `ParallelFor` may use (= global pool size).
+size_t NumWorkers();
+
+/// Forces all ParallelFor calls onto the calling thread when true.
+/// Used by tests to make failures deterministic and by the single-threaded
+/// contender engine.
+class ScopedSerialExecution {
+ public:
+  ScopedSerialExecution();
+  ~ScopedSerialExecution();
+
+  static bool active();
+
+ private:
+  bool prev_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_PARALLEL_H_

@@ -1,0 +1,169 @@
+/// \file status.h
+/// Error handling primitives for soda.
+///
+/// Following the Arrow/RocksDB idiom, soda does not throw exceptions across
+/// module boundaries. Fallible functions return `Status` (or `Result<T>` when
+/// they produce a value). Callers propagate errors with the
+/// `SODA_RETURN_NOT_OK` / `SODA_ASSIGN_OR_RETURN` macros.
+
+#ifndef SODA_UTIL_STATUS_H_
+#define SODA_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace soda {
+
+/// Machine-readable error classification.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kBindError,       ///< semantic analysis failure (unknown column, type error)
+  kTypeError,
+  kNotImplemented,
+  kKeyError,        ///< missing catalog entry
+  kAlreadyExists,
+  kOutOfRange,
+  kExecutionError,  ///< runtime failure inside an operator
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "ParseError".
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus (for errors) a message.
+///
+/// `Status` is cheap to copy in the OK case (single pointer test); error
+/// state is heap-allocated since errors are rare.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsBindError() const { return code() == StatusCode::kBindError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<Rep> rep_;  // null == OK
+};
+
+/// A value-or-error sum type, analogous to `arrow::Result<T>`.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : v_(std::move(value)) {}
+  /* implicit */ Result(Status status) : v_(std::move(status)) {
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  T& ValueOrDie() {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& ValueOrDie() const {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& MoveValueOrDie() {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  T& operator*() { return ValueOrDie(); }
+  const T& operator*() const { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define SODA_CONCAT_IMPL(a, b) a##b
+#define SODA_CONCAT(a, b) SODA_CONCAT_IMPL(a, b)
+
+/// Propagates a non-OK Status to the caller.
+#define SODA_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::soda::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result-returning expression; on error propagates the Status,
+/// otherwise moves the value into `lhs`.
+#define SODA_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  SODA_ASSIGN_OR_RETURN_IMPL(SODA_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define SODA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = tmp.MoveValueOrDie();
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_STATUS_H_

@@ -1,0 +1,40 @@
+/// \file string_util.h
+/// Small string helpers shared by the SQL front end and result printing.
+
+#ifndef SODA_UTIL_STRING_UTIL_H_
+#define SODA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soda {
+
+/// ASCII-lowercases a copy of `s` (SQL identifiers are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on a delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Formats a byte count as "12.3 MiB" style human-readable text.
+std::string HumanBytes(size_t bytes);
+
+/// Formats a double with `%g`-style shortest representation.
+std::string FormatDouble(double v);
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_STRING_UTIL_H_

@@ -1,0 +1,70 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace soda {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    size_t n = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("SODA_THREADS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v > 0) n = static_cast<size_t>(v);
+    }
+    return new ThreadPool(n == 0 ? 4 : n);
+  }();
+  return *pool;
+}
+
+}  // namespace soda

@@ -1,0 +1,58 @@
+/// \file thread_pool.h
+/// A fixed-size worker pool used by the morsel-driven parallel primitives.
+///
+/// The paper's engine (HyPer) focuses on scale-up on multi-core NUMA
+/// machines (paper §3). soda mirrors that with a process-global pool that
+/// all parallel operators share, so that concurrent queries do not
+/// oversubscribe the machine.
+
+#ifndef SODA_UTIL_THREAD_POOL_H_
+#define SODA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace soda {
+
+/// Fixed-size FIFO thread pool.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>=1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide shared pool, sized to the hardware concurrency. The size
+  /// can be overridden (before first use) with the SODA_THREADS environment
+  /// variable.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;        // signals work available / shutdown
+  std::condition_variable idle_cv_;   // signals all work drained
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+/// \file timer.h
+/// Wall-clock timing used by the benchmark harnesses.
+
+#ifndef SODA_UTIL_TIMER_H_
+#define SODA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace soda {
+
+/// Steady-clock stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_TIMER_H_

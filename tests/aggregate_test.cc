@@ -1,0 +1,227 @@
+/// Tests for hash aggregation: all aggregate functions, grouping
+/// semantics, NULL handling, HAVING, and agreement with brute-force
+/// computation on random data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace soda {
+namespace {
+
+using testing::IntColumn;
+using testing::RunQuery;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(engine_.Execute("CREATE TABLE g (k INTEGER, v FLOAT, s TEXT)")
+                  .status());
+    ASSERT_OK(engine_
+                  .Execute("INSERT INTO g VALUES "
+                           "(1, 10.0, 'a'), (1, 20.0, 'b'), (2, 5.0, 'c'), "
+                           "(2, NULL, 'd'), (3, 7.0, NULL)")
+                  .status());
+  }
+  Engine engine_;
+};
+
+TEST_F(AggregateTest, CountStarVsCountColumn) {
+  auto r = RunQuery(engine_,
+               "SELECT k, count(*) cs, count(v) cv, count(s) cstr "
+               "FROM g GROUP BY k ORDER BY k");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(IntColumn(r, 1), (std::vector<int64_t>{2, 2, 1}));
+  EXPECT_EQ(IntColumn(r, 2), (std::vector<int64_t>{2, 1, 1}));  // NULL skipped
+  EXPECT_EQ(IntColumn(r, 3), (std::vector<int64_t>{2, 2, 0}));
+}
+
+TEST_F(AggregateTest, SumAvgMinMax) {
+  auto r = RunQuery(engine_,
+               "SELECT k, sum(v) s, avg(v) a, min(v) lo, max(v) hi "
+               "FROM g GROUP BY k ORDER BY k");
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 1), 30.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 2), 15.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 3), 10.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 4), 20.0);
+  // Group 2: one non-NULL value.
+  EXPECT_DOUBLE_EQ(r.GetDouble(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(1, 2), 5.0);
+}
+
+TEST_F(AggregateTest, IntegerSumStaysExact) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE ints (x INTEGER)").status());
+  ASSERT_OK(engine_
+                .Execute("INSERT INTO ints VALUES (1000000007), "
+                         "(1000000007), (1)")
+                .status());
+  auto r = RunQuery(engine_, "SELECT sum(x) FROM ints");
+  EXPECT_EQ(r.GetInt(0, 0), 2000000015);
+  EXPECT_EQ(r.schema().field(0).type, DataType::kBigInt);
+}
+
+TEST_F(AggregateTest, StddevAndVarSampleSemantics) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE sv (x FLOAT)").status());
+  ASSERT_OK(engine_.Execute("INSERT INTO sv VALUES (2.0), (4.0), (6.0)")
+                .status());
+  auto r = RunQuery(engine_, "SELECT var(x), stddev(x) FROM sv");
+  // Sample variance of {2,4,6} = 4; stddev = 2.
+  EXPECT_NEAR(r.GetDouble(0, 0), 4.0, 1e-9);
+  EXPECT_NEAR(r.GetDouble(0, 1), 2.0, 1e-9);
+  // Single value -> NULL (n-1 undefined).
+  ASSERT_OK(engine_.Execute("CREATE TABLE sv1 (x FLOAT)").status());
+  ASSERT_OK(engine_.Execute("INSERT INTO sv1 VALUES (2.0)").status());
+  auto r1 = RunQuery(engine_, "SELECT stddev(x) FROM sv1");
+  EXPECT_TRUE(r1.IsNull(0, 0));
+}
+
+TEST_F(AggregateTest, GlobalAggregateOverEmptyInput) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE empty (x FLOAT)").status());
+  auto r = RunQuery(engine_, "SELECT count(*), sum(x), min(x) FROM empty");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetInt(0, 0), 0);
+  EXPECT_TRUE(r.IsNull(0, 1));
+  EXPECT_TRUE(r.IsNull(0, 2));
+}
+
+TEST_F(AggregateTest, GroupByOverEmptyInputYieldsNoRows) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE empty2 (k INTEGER, x FLOAT)")
+                .status());
+  auto r = RunQuery(engine_, "SELECT k, sum(x) FROM empty2 GROUP BY k");
+  EXPECT_EQ(r.num_rows(), 0u);
+}
+
+TEST_F(AggregateTest, NullGroupsTogether) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE ng (k INTEGER, v INTEGER)")
+                .status());
+  ASSERT_OK(engine_
+                .Execute("INSERT INTO ng VALUES (NULL, 1), (NULL, 2), (1, 3)")
+                .status());
+  auto r = RunQuery(engine_, "SELECT k, sum(v) FROM ng GROUP BY k ORDER BY k");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_TRUE(r.IsNull(0, 0));  // NULL group first in order
+  EXPECT_EQ(r.GetInt(0, 1), 3);
+}
+
+TEST_F(AggregateTest, GroupByMultipleKeys) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE mk (a INTEGER, b TEXT, v INTEGER)")
+                .status());
+  ASSERT_OK(engine_
+                .Execute("INSERT INTO mk VALUES (1,'x',1), (1,'y',2), "
+                         "(1,'x',3), (2,'x',4)")
+                .status());
+  auto r = RunQuery(engine_,
+               "SELECT a, b, sum(v) s FROM mk GROUP BY a, b ORDER BY a, b");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.GetInt(0, 2), 4);  // (1,x)
+  EXPECT_EQ(r.GetInt(1, 2), 2);  // (1,y)
+  EXPECT_EQ(r.GetInt(2, 2), 4);  // (2,x)
+}
+
+TEST_F(AggregateTest, GroupByExpression) {
+  auto r = RunQuery(engine_,
+               "SELECT k % 2 parity, count(*) c FROM g GROUP BY k % 2 "
+               "ORDER BY parity");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.GetInt(0, 1), 2);  // k=2 -> parity 0, two rows
+  EXPECT_EQ(r.GetInt(1, 1), 3);  // k=1 (2 rows) + k=3 (1 row)
+}
+
+TEST_F(AggregateTest, HavingFiltersGroups) {
+  auto r = RunQuery(engine_,
+               "SELECT k FROM g GROUP BY k HAVING count(*) > 1 ORDER BY k");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{1, 2}));
+  auto r2 = RunQuery(engine_,
+                "SELECT k FROM g GROUP BY k HAVING avg(v) > 10.0 ORDER BY k");
+  EXPECT_EQ(IntColumn(r2, 0), (std::vector<int64_t>{1}));
+}
+
+TEST_F(AggregateTest, ExpressionsOverAggregates) {
+  auto r = RunQuery(engine_,
+               "SELECT k, sum(v) / count(v) manual_avg, avg(v) built_in "
+               "FROM g GROUP BY k ORDER BY k");
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    if (!r.IsNull(i, 1)) {
+      EXPECT_DOUBLE_EQ(r.GetDouble(i, 1), r.GetDouble(i, 2));
+    }
+  }
+}
+
+TEST_F(AggregateTest, GroupKeyReusedInsideExpression) {
+  auto r = RunQuery(engine_,
+               "SELECT k * 10 + count(*) code FROM g GROUP BY k ORDER BY 1");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{12, 22, 31}));
+}
+
+TEST_F(AggregateTest, AggregateOfExpression) {
+  auto r = RunQuery(engine_, "SELECT sum(v * v) FROM g WHERE v > 6.0");
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 0), 100.0 + 400.0 + 49.0);
+}
+
+TEST_F(AggregateTest, SameNamedColumnsFromSelfJoinGroupIndependently) {
+  // Regression: GROUP BY x.k, y.k over a self join must treat the two
+  // same-named columns as distinct group keys (they used to collapse
+  // because bound column refs rendered identically).
+  ASSERT_OK(engine_.Execute("CREATE TABLE p (k INTEGER)").status());
+  ASSERT_OK(engine_.Execute("INSERT INTO p VALUES (1), (2)").status());
+  auto r = RunQuery(engine_,
+                    "SELECT x.k xk, y.k yk, count(*) c FROM p x, p y "
+                    "GROUP BY x.k, y.k ORDER BY xk, yk");
+  ASSERT_EQ(r.num_rows(), 4u);  // (1,1) (1,2) (2,1) (2,2)
+  EXPECT_EQ(r.GetInt(1, 0), 1);
+  EXPECT_EQ(r.GetInt(1, 1), 2);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.GetInt(i, 2), 1);
+  }
+}
+
+TEST_F(AggregateTest, MatchesBruteForceOnRandomData) {
+  // Property: parallel hash aggregation equals a std::map reference.
+  Engine e;
+  ASSERT_OK(e.Execute("CREATE TABLE r (k INTEGER, v FLOAT)").status());
+  auto table = e.catalog().GetTable("r");
+  ASSERT_OK(table.status());
+  Rng rng(99);
+  const size_t n = 20000;  // crosses chunk boundaries
+  std::vector<int64_t> keys(n);
+  std::vector<double> vals(n);
+  std::map<int64_t, std::pair<double, int64_t>> ref;  // k -> (sum, count)
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<int64_t>(rng.Below(57));
+    vals[i] = rng.Uniform(-10, 10);
+    ref[keys[i]].first += vals[i];
+    ref[keys[i]].second += 1;
+  }
+  ASSERT_OK((*table)->SetColumn(0, Column::FromBigInts(std::move(keys))));
+  ASSERT_OK((*table)->SetColumn(1, Column::FromDoubles(std::move(vals))));
+
+  auto r = RunQuery(e, "SELECT k, sum(v) s, count(*) c FROM r GROUP BY k ORDER BY k");
+  ASSERT_EQ(r.num_rows(), ref.size());
+  size_t i = 0;
+  for (const auto& [k, sc] : ref) {
+    EXPECT_EQ(r.GetInt(i, 0), k);
+    EXPECT_NEAR(r.GetDouble(i, 1), sc.first, 1e-7);
+    EXPECT_EQ(r.GetInt(i, 2), sc.second);
+    ++i;
+  }
+}
+
+TEST_F(AggregateTest, ManyGroupsStressHashTable) {
+  Engine e;
+  ASSERT_OK(e.Execute("CREATE TABLE m (k INTEGER)").status());
+  auto table = e.catalog().GetTable("m");
+  ASSERT_OK(table.status());
+  const size_t n = 50000;
+  std::vector<int64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<int64_t>(i);
+  ASSERT_OK((*table)->SetColumn(0, Column::FromBigInts(std::move(keys))));
+  auto r = RunQuery(e, "SELECT count(*) FROM (SELECT k, count(*) c FROM m GROUP BY k) s");
+  EXPECT_EQ(r.GetInt(0, 0), static_cast<int64_t>(n));
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,271 @@
+/// Tests for the physical k-Means operator (paper §6.1) and its lambda
+/// variation points (§7).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/kmeans.h"
+#include "expr/lambda_kernel.h"
+#include "tests/test_util.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace soda {
+namespace {
+
+TablePtr MakePoints(const std::vector<std::vector<double>>& rows) {
+  Schema schema;
+  for (size_t j = 0; j < rows[0].size(); ++j) {
+    schema.AddField(Field("x" + std::to_string(j + 1), DataType::kDouble));
+  }
+  auto t = std::make_shared<Table>("pts", schema);
+  for (const auto& row : rows) {
+    std::vector<Value> vals;
+    for (double v : row) vals.push_back(Value::Double(v));
+    EXPECT_TRUE(t->AppendRow(vals).ok());
+  }
+  return t;
+}
+
+TEST(KMeansTest, TwoObviousClusters) {
+  auto data = MakePoints({{0, 0}, {1, 0}, {0, 1}, {10, 10}, {11, 10}, {10, 11}});
+  auto centers = MakePoints({{0, 0}, {10, 10}});
+  KMeansOptions opt;
+  opt.max_iterations = 10;
+  auto r = RunKMeans(*data, *centers, opt);
+  ASSERT_OK(r.status());
+  EXPECT_TRUE(r->converged);
+  ASSERT_EQ(r->centers->num_rows(), 2u);
+  EXPECT_NEAR(r->centers->column(1).GetDouble(0), 1.0 / 3, 1e-9);
+  EXPECT_NEAR(r->centers->column(2).GetDouble(0), 1.0 / 3, 1e-9);
+  EXPECT_NEAR(r->centers->column(1).GetDouble(1), 31.0 / 3, 1e-9);
+}
+
+TEST(KMeansTest, OutputSchemaHasClusterColumn) {
+  auto data = MakePoints({{1, 2}, {3, 4}});
+  auto centers = MakePoints({{0, 0}});
+  auto r = RunKMeans(*data, *centers, {});
+  ASSERT_OK(r.status());
+  EXPECT_EQ(r->centers->schema().field(0).name, "cluster");
+  EXPECT_EQ(r->centers->schema().field(0).type, DataType::kBigInt);
+  EXPECT_EQ(r->centers->num_columns(), 3u);
+  EXPECT_EQ(r->centers->column(0).GetBigInt(0), 0);
+}
+
+TEST(KMeansTest, SingleClusterConvergesToMean) {
+  auto data = MakePoints({{1, 1}, {3, 3}, {5, 5}});
+  auto centers = MakePoints({{100, 100}});
+  KMeansOptions opt;
+  opt.max_iterations = 5;
+  auto r = RunKMeans(*data, *centers, opt);
+  ASSERT_OK(r.status());
+  EXPECT_NEAR(r->centers->column(1).GetDouble(0), 3.0, 1e-9);
+  EXPECT_NEAR(r->centers->column(2).GetDouble(0), 3.0, 1e-9);
+  EXPECT_TRUE(r->converged);
+  EXPECT_LE(r->iterations_run, 3);
+}
+
+TEST(KMeansTest, EmptyClusterKeepsItsCenter) {
+  // A center far away from all points attracts nothing and must not move
+  // (nor produce NaNs).
+  auto data = MakePoints({{0, 0}, {1, 1}});
+  auto centers = MakePoints({{0.5, 0.5}, {1000, 1000}});
+  KMeansOptions opt;
+  opt.max_iterations = 3;
+  auto r = RunKMeans(*data, *centers, opt);
+  ASSERT_OK(r.status());
+  EXPECT_DOUBLE_EQ(r->centers->column(1).GetDouble(1), 1000.0);
+  EXPECT_FALSE(std::isnan(r->centers->column(1).GetDouble(0)));
+}
+
+TEST(KMeansTest, MaxIterationsRespected) {
+  Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  auto data = MakePoints(rows);
+  auto centers = MakePoints({rows[0], rows[1], rows[2], rows[3], rows[4]});
+  KMeansOptions opt;
+  opt.max_iterations = 2;
+  auto r = RunKMeans(*data, *centers, opt);
+  ASSERT_OK(r.status());
+  EXPECT_EQ(r->iterations_run, 2);
+}
+
+TEST(KMeansTest, InputValidation) {
+  auto data = MakePoints({{1, 2}});
+  auto centers1 = MakePoints({{1}});
+  EXPECT_FALSE(RunKMeans(*data, *centers1, {}).ok());  // dim mismatch
+  Table empty("e", data->schema());
+  EXPECT_FALSE(RunKMeans(*data, empty, {}).ok());  // no centers
+  KMeansOptions bad;
+  bad.max_iterations = -1;
+  EXPECT_FALSE(RunKMeans(*data, *MakePoints({{0, 0}}), bad).ok());
+  // Non-numeric column.
+  Table strings("s", Schema({Field("s", DataType::kVarchar)}));
+  ASSERT_OK(strings.AppendRow({Value::Varchar("x")}));
+  EXPECT_FALSE(RunKMeans(strings, *MakePoints({{0.0}}), {}).ok());
+}
+
+TEST(KMeansTest, IntegerColumnsAccepted) {
+  Schema schema({Field("a", DataType::kBigInt), Field("b", DataType::kBigInt)});
+  auto t = std::make_shared<Table>("ints", schema);
+  ASSERT_OK(t->AppendRow({Value::BigInt(0), Value::BigInt(0)}));
+  ASSERT_OK(t->AppendRow({Value::BigInt(10), Value::BigInt(10)}));
+  auto centers = MakePoints({{0, 0}, {10, 10}});
+  auto r = RunKMeans(*t, *centers, {});
+  ASSERT_OK(r.status());
+  EXPECT_EQ(r->centers->num_rows(), 2u);
+}
+
+/// Builds a compiled lambda for |a-b|_1 over d dims (k-Medians-style
+/// distance from §7).
+LambdaKernel L1Kernel(size_t d) {
+  ExprPtr sum;
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<ExprPtr> args;
+    args.push_back(Expression::Binary(
+        BinaryOp::kSub, Expression::ColumnRef(j, DataType::kDouble, "a"),
+        Expression::ColumnRef(d + j, DataType::kDouble, "b"),
+        DataType::kDouble));
+    auto abs_e = Expression::Function("abs", std::move(args),
+                                      DataType::kDouble);
+    sum = sum ? Expression::Binary(BinaryOp::kAdd, std::move(sum),
+                                   std::move(abs_e), DataType::kDouble)
+              : std::move(abs_e);
+  }
+  return *LambdaKernel::Compile(*sum, d);
+}
+
+LambdaKernel L2Kernel(size_t d) {
+  ExprPtr sum;
+  for (size_t j = 0; j < d; ++j) {
+    auto diff = Expression::Binary(
+        BinaryOp::kSub, Expression::ColumnRef(j, DataType::kDouble, "a"),
+        Expression::ColumnRef(d + j, DataType::kDouble, "b"),
+        DataType::kDouble);
+    auto sq = Expression::Binary(BinaryOp::kPow, std::move(diff),
+                                 Expression::Literal(Value::BigInt(2)),
+                                 DataType::kDouble);
+    sum = sum ? Expression::Binary(BinaryOp::kAdd, std::move(sum),
+                                   std::move(sq), DataType::kDouble)
+              : std::move(sq);
+  }
+  return *LambdaKernel::Compile(*sum, d);
+}
+
+TEST(KMeansTest, LambdaL2MatchesBuiltinExactly) {
+  // A λ-provided squared-L2 must reproduce the built-in default bit for
+  // bit (the §7 claim: lambdas change semantics only, not correctness).
+  Rng rng(9);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100),
+                    rng.Uniform(0, 100)});
+  }
+  auto data = MakePoints(rows);
+  auto centers = MakePoints({rows[0], rows[10], rows[20]});
+  KMeansOptions builtin;
+  builtin.max_iterations = 5;
+  auto a = RunKMeans(*data, *centers, builtin);
+  ASSERT_OK(a.status());
+
+  LambdaKernel l2 = L2Kernel(3);
+  KMeansOptions with_lambda;
+  with_lambda.max_iterations = 5;
+  with_lambda.distance = &l2;
+  auto b = RunKMeans(*data, *centers, with_lambda);
+  ASSERT_OK(b.status());
+
+  ASSERT_EQ(a->centers->num_rows(), b->centers->num_rows());
+  for (size_t r = 0; r < a->centers->num_rows(); ++r) {
+    for (size_t c = 1; c < a->centers->num_columns(); ++c) {
+      EXPECT_DOUBLE_EQ(a->centers->column(c).GetDouble(r),
+                       b->centers->column(c).GetDouble(r));
+    }
+  }
+}
+
+TEST(KMeansTest, ManhattanLambdaChangesAssignments) {
+  // Points chosen so L1 and L2 argmin disagree: (3.5, 0) vs centers
+  // (0,0) and (2.4, 2.4):  L2: d0 = 12.25 > d1 = 1.21+5.76=6.97 -> c1;
+  // L1: d0 = 3.5 < d1 = 1.1+2.4 = 3.5 ... make it strict: point (4, 0):
+  // L2: d0=16, d1=2.56+5.76=8.32 -> c1; L1: d0=4, d1=1.6+2.4=4.0 (tie);
+  // use (3.8, 0): L2: 14.44 vs 1.96+5.76=7.72 -> c1. L1: 3.8 vs
+  // 1.4+2.4=3.8 (tie again, ha). Use center (2.5, 2.5), point (4.2, 0):
+  // L2: 17.64 vs 2.89+6.25=9.14 -> c1; L1: 4.2 vs 1.7+2.5=4.2... ties are
+  // a property of l1 geometry here; pick asymmetric point (4.2, 0.3):
+  // L2: 17.64+0.09=17.73 vs 2.89+4.84=7.73 -> c1. L1: 4.5 vs 3.9 -> c1.
+  // Instead verify on aggregate: with max_iter=1 and well-spread data the
+  // two metrics produce different centers.
+  Rng rng(21);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 400; ++i) {
+    rows.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  auto data = MakePoints(rows);
+  auto centers = MakePoints({{2, 2}, {8, 8}, {2, 8}});
+  LambdaKernel l1 = L1Kernel(2);
+  LambdaKernel l2 = L2Kernel(2);
+  KMeansOptions o1, o2;
+  o1.max_iterations = o2.max_iterations = 4;
+  o1.distance = &l1;
+  o2.distance = &l2;
+  auto a = RunKMeans(*data, *centers, o1);
+  auto b = RunKMeans(*data, *centers, o2);
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  bool any_diff = false;
+  for (size_t r = 0; r < a->centers->num_rows(); ++r) {
+    for (size_t c = 1; c < a->centers->num_columns(); ++c) {
+      if (std::fabs(a->centers->column(c).GetDouble(r) -
+                    b->centers->column(c).GetDouble(r)) > 1e-9) {
+        any_diff = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(KMeansTest, ParallelMatchesSerialExactly) {
+  // Thread-local accumulation + merge must be numerically identical to a
+  // serial run (sums are added in a fixed merge order).
+  Rng rng(33);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 5000; ++i) {
+    rows.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  auto data = MakePoints(rows);
+  auto centers = MakePoints({rows[0], rows[1], rows[2], rows[3]});
+  KMeansOptions opt;
+  opt.max_iterations = 3;
+  auto parallel = RunKMeans(*data, *centers, opt);
+  ASSERT_OK(parallel.status());
+  KMeansResult serial;
+  {
+    ScopedSerialExecution serial_scope;
+    auto r = RunKMeans(*data, *centers, opt);
+    ASSERT_OK(r.status());
+    serial = std::move(*r);
+  }
+  for (size_t r = 0; r < parallel->centers->num_rows(); ++r) {
+    for (size_t c = 1; c < parallel->centers->num_columns(); ++c) {
+      EXPECT_NEAR(parallel->centers->column(c).GetDouble(r),
+                  serial.centers->column(c).GetDouble(r), 1e-9)
+          << "center " << r << " dim " << c;
+    }
+  }
+}
+
+TEST(KMeansTest, AssignClustersConsistentWithTraining) {
+  auto data = MakePoints({{0, 0}, {1, 1}, {10, 10}, {11, 11}});
+  auto centers = MakePoints({{0.5, 0.5}, {10.5, 10.5}});
+  auto assign = AssignClusters(*data, *centers, nullptr);
+  ASSERT_OK(assign.status());
+  EXPECT_EQ(*assign, (std::vector<uint32_t>{0, 0, 1, 1}));
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,244 @@
+/// Tests for the Naive Bayes train/test operators (paper §6.2) and the
+/// shared statistics building block.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "analytics/naive_bayes.h"
+#include "analytics/stats.h"
+#include "tests/test_util.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace soda {
+namespace {
+
+TablePtr MakeLabeled(const std::vector<std::pair<int64_t, std::vector<double>>>& rows) {
+  Schema schema;
+  schema.AddField(Field("label", DataType::kBigInt));
+  for (size_t j = 0; j < rows[0].second.size(); ++j) {
+    schema.AddField(Field("x" + std::to_string(j + 1), DataType::kDouble));
+  }
+  auto t = std::make_shared<Table>("labeled", schema);
+  for (const auto& [label, feats] : rows) {
+    std::vector<Value> vals;
+    vals.push_back(Value::BigInt(label));
+    for (double v : feats) vals.push_back(Value::Double(v));
+    EXPECT_TRUE(t->AppendRow(vals).ok());
+  }
+  return t;
+}
+
+TEST(StatsTest, MomentsClosedForm) {
+  Moments m;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) m.Update(v);
+  EXPECT_EQ(m.count, 4);
+  EXPECT_DOUBLE_EQ(m.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(m.Variance(), 1.25);  // population variance
+  Moments other;
+  other.Update(5.0);
+  m.Merge(other);
+  EXPECT_EQ(m.count, 5);
+  EXPECT_DOUBLE_EQ(m.Mean(), 3.0);
+}
+
+TEST(StatsTest, GroupedMomentsPerClassAndAttribute) {
+  auto t = MakeLabeled({{0, {1, 10}}, {0, {3, 30}}, {1, {5, 50}}});
+  auto gm = ComputeGroupedMoments(*t);
+  ASSERT_OK(gm.status());
+  EXPECT_EQ(gm->classes.size(), 2u);
+  EXPECT_EQ(gm->num_attributes, 2u);
+  EXPECT_EQ(gm->total_count(), 3);
+  // Find class 0.
+  size_t c0 = gm->classes[0] == 0 ? 0 : 1;
+  EXPECT_DOUBLE_EQ(gm->cells[c0][0].Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(gm->cells[c0][1].Mean(), 20.0);
+}
+
+TEST(StatsTest, ParallelMatchesSerial) {
+  Rng rng(15);
+  std::vector<std::pair<int64_t, std::vector<double>>> rows;
+  for (int i = 0; i < 30000; ++i) {
+    rows.push_back({static_cast<int64_t>(rng.Below(4)),
+                    {rng.Uniform(0, 1), rng.Uniform(0, 1)}});
+  }
+  auto t = MakeLabeled(rows);
+  auto parallel = ComputeGroupedMoments(*t);
+  ASSERT_OK(parallel.status());
+  GroupedMoments serial;
+  {
+    ScopedSerialExecution scope;
+    auto r = ComputeGroupedMoments(*t);
+    ASSERT_OK(r.status());
+    serial = std::move(*r);
+  }
+  ASSERT_EQ(parallel->classes.size(), serial.classes.size());
+  std::map<int64_t, size_t> sidx;
+  for (size_t i = 0; i < serial.classes.size(); ++i) {
+    sidx[serial.classes[i]] = i;
+  }
+  for (size_t i = 0; i < parallel->classes.size(); ++i) {
+    size_t j = sidx[parallel->classes[i]];
+    for (size_t a = 0; a < 2; ++a) {
+      EXPECT_EQ(parallel->cells[i][a].count, serial.cells[j][a].count);
+      EXPECT_NEAR(parallel->cells[i][a].sum, serial.cells[j][a].sum, 1e-6);
+    }
+  }
+}
+
+TEST(StatsTest, SummarizeRelation) {
+  auto t = MakeLabeled({{0, {2, 20}}, {0, {4, 40}}, {1, {6, 60}}});
+  auto r = SummarizeByClass(*t);
+  ASSERT_OK(r.status());
+  EXPECT_EQ((*r)->num_rows(), 4u);  // 2 classes x 2 attrs
+  EXPECT_EQ((*r)->schema().field(0).name, "class");
+  EXPECT_EQ((*r)->schema().field(6).name, "stddev");
+}
+
+TEST(StatsTest, InputValidation) {
+  Table no_attrs("x", Schema({Field("label", DataType::kBigInt)}));
+  EXPECT_FALSE(ComputeGroupedMoments(no_attrs).ok());
+  Table bad_label("y", Schema({Field("label", DataType::kDouble),
+                               Field("x", DataType::kDouble)}));
+  EXPECT_FALSE(ComputeGroupedMoments(bad_label).ok());
+  Table bad_attr("z", Schema({Field("label", DataType::kBigInt),
+                              Field("s", DataType::kVarchar)}));
+  EXPECT_FALSE(ComputeGroupedMoments(bad_attr).ok());
+}
+
+TEST(NaiveBayesTest, ModelValuesClosedForm) {
+  // Class 0: x in {1, 3} -> mean 2, var 1; class 1: x in {10} -> var floor.
+  auto t = MakeLabeled({{0, {1}}, {0, {3}}, {1, {10}}});
+  auto model = TrainNaiveBayes(*t);
+  ASSERT_OK(model.status());
+  ASSERT_EQ((*model)->num_rows(), 2u);
+  std::map<int64_t, size_t> row_of;
+  for (size_t i = 0; i < 2; ++i) {
+    row_of[(*model)->column(0).GetBigInt(i)] = i;
+  }
+  size_t r0 = row_of[0];
+  // Laplace prior: (2 + 1) / (3 + 2) = 0.6 (paper §6.2 formula).
+  EXPECT_NEAR((*model)->column(2).GetDouble(r0), 0.6, 1e-12);
+  EXPECT_NEAR((*model)->column(3).GetDouble(r0), 2.0, 1e-12);
+  EXPECT_NEAR((*model)->column(4).GetDouble(r0), 1.0, 1e-12);
+  size_t r1 = row_of[1];
+  EXPECT_NEAR((*model)->column(2).GetDouble(r1), 0.4, 1e-12);
+  EXPECT_GT((*model)->column(4).GetDouble(r1), 0.0);  // variance floor
+}
+
+TEST(NaiveBayesTest, ModelSchemaMatchesContract) {
+  auto t = MakeLabeled({{0, {1, 2}}, {1, {3, 4}}});
+  auto model = TrainNaiveBayes(*t);
+  ASSERT_OK(model.status());
+  EXPECT_TRUE((*model)->schema().TypesEqual(NaiveBayesModelSchema()));
+  EXPECT_EQ((*model)->num_rows(), 4u);  // 2 classes x 2 attrs
+}
+
+TEST(NaiveBayesTest, PredictRecoversSeparableClasses) {
+  // Two well-separated Gaussians; training accuracy should be ~100%.
+  Rng rng(8);
+  std::vector<std::pair<int64_t, std::vector<double>>> rows;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t label = static_cast<int64_t>(rng.Below(2));
+    double shift = label == 0 ? 0.0 : 50.0;
+    rows.push_back({label,
+                    {shift + rng.Gaussian() * 3.0,
+                     shift + rng.Gaussian() * 3.0}});
+  }
+  auto t = MakeLabeled(rows);
+  auto model = TrainNaiveBayes(*t);
+  ASSERT_OK(model.status());
+
+  // Features-only view for prediction.
+  Schema feat_schema({Field("x1", DataType::kDouble),
+                      Field("x2", DataType::kDouble)});
+  auto feats = std::make_shared<Table>("f", feat_schema);
+  for (const auto& [_, f] : rows) {
+    ASSERT_OK(feats->AppendRow({Value::Double(f[0]), Value::Double(f[1])}));
+  }
+  auto pred = PredictNaiveBayes(**model, *feats);
+  ASSERT_OK(pred.status());
+  ASSERT_EQ((*pred)->num_rows(), rows.size());
+  size_t correct = 0;
+  const Column& out = (*pred)->column(2);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (out.GetBigInt(i) == rows[i].first) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(rows.size()),
+            0.99);
+}
+
+TEST(NaiveBayesTest, PredictionOutputSchema) {
+  auto t = MakeLabeled({{0, {1}}, {1, {10}}});
+  auto model = TrainNaiveBayes(*t);
+  ASSERT_OK(model.status());
+  Schema fs({Field("x1", DataType::kDouble)});
+  auto feats = std::make_shared<Table>("f", fs);
+  ASSERT_OK(feats->AppendRow({Value::Double(0.5)}));
+  auto pred = PredictNaiveBayes(**model, *feats);
+  ASSERT_OK(pred.status());
+  EXPECT_EQ((*pred)->num_columns(), 2u);
+  EXPECT_EQ((*pred)->schema().field(1).name, "predicted");
+  EXPECT_EQ((*pred)->column(1).GetBigInt(0), 0);
+}
+
+TEST(NaiveBayesTest, PriorsInfluencePrediction) {
+  // Identical likelihoods; the skewed prior must decide.
+  auto t = MakeLabeled({{0, {5}}, {0, {5}}, {0, {5}}, {0, {5}}, {1, {5}}});
+  auto model = TrainNaiveBayes(*t);
+  ASSERT_OK(model.status());
+  Schema fs({Field("x1", DataType::kDouble)});
+  auto feats = std::make_shared<Table>("f", fs);
+  ASSERT_OK(feats->AppendRow({Value::Double(5.0)}));
+  auto pred = PredictNaiveBayes(**model, *feats);
+  ASSERT_OK(pred.status());
+  EXPECT_EQ((*pred)->column(1).GetBigInt(0), 0);
+}
+
+TEST(NaiveBayesTest, PredictValidation) {
+  auto t = MakeLabeled({{0, {1, 2}}, {1, {3, 4}}});
+  auto model = TrainNaiveBayes(*t);
+  ASSERT_OK(model.status());
+  // Wrong attribute count.
+  Schema fs({Field("x1", DataType::kDouble)});
+  Table feats("f", fs);
+  ASSERT_OK(feats.AppendRow({Value::Double(0.5)}));
+  EXPECT_FALSE(PredictNaiveBayes(**model, feats).ok());
+  // Not a model relation.
+  EXPECT_FALSE(PredictNaiveBayes(feats, feats).ok());
+  // Empty model.
+  Table empty_model("m", NaiveBayesModelSchema());
+  EXPECT_FALSE(PredictNaiveBayes(empty_model, feats).ok());
+}
+
+TEST(NaiveBayesTest, TrainingIsDeterministicAcrossParallelRuns) {
+  Rng rng(5);
+  std::vector<std::pair<int64_t, std::vector<double>>> rows;
+  for (int i = 0; i < 20000; ++i) {
+    rows.push_back({static_cast<int64_t>(rng.Below(3)),
+                    {rng.Uniform(0, 10), rng.Uniform(0, 10),
+                     rng.Uniform(0, 10)}});
+  }
+  auto t = MakeLabeled(rows);
+  auto m1 = TrainNaiveBayes(*t);
+  auto m2 = TrainNaiveBayes(*t);
+  ASSERT_OK(m1.status());
+  ASSERT_OK(m2.status());
+  ASSERT_EQ((*m1)->num_rows(), (*m2)->num_rows());
+  // Compare (class, attr) -> mean maps (row order may differ).
+  std::map<std::pair<int64_t, int64_t>, double> a, b;
+  for (size_t i = 0; i < (*m1)->num_rows(); ++i) {
+    a[{(*m1)->column(0).GetBigInt(i), (*m1)->column(1).GetBigInt(i)}] =
+        (*m1)->column(3).GetDouble(i);
+    b[{(*m2)->column(0).GetBigInt(i), (*m2)->column(1).GetBigInt(i)}] =
+        (*m2)->column(3).GetDouble(i);
+  }
+  for (const auto& [key, mean] : a) {
+    EXPECT_NEAR(mean, b[key], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace soda

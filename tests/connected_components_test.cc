@@ -1,0 +1,189 @@
+/// Tests for the CONNECTED_COMPONENTS extension operator: correctness vs a
+/// union-find reference, SQL-surface composition, and agreement with a
+/// pure-SQL ITERATE formulation (the layer-3 / layer-4 cross-check the
+/// paper's framework implies for any new operator).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <numeric>
+
+#include "analytics/connected_components.h"
+#include "graph/ldbc_generator.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace soda {
+namespace {
+
+using testing::RunQuery;
+
+TablePtr MakeEdges(const std::vector<std::pair<int64_t, int64_t>>& edges) {
+  Schema schema(
+      {Field("src", DataType::kBigInt), Field("dst", DataType::kBigInt)});
+  auto t = std::make_shared<Table>("edges", schema);
+  for (auto [s, d] : edges) {
+    EXPECT_TRUE(t->AppendRow({Value::BigInt(s), Value::BigInt(d)}).ok());
+  }
+  return t;
+}
+
+std::map<int64_t, int64_t> ComponentMap(const TablePtr& t) {
+  std::map<int64_t, int64_t> out;
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    out[t->column(0).GetBigInt(i)] = t->column(1).GetBigInt(i);
+  }
+  return out;
+}
+
+/// Reference: union-find over the same edges.
+std::map<int64_t, int64_t> ReferenceComponents(
+    const std::vector<std::pair<int64_t, int64_t>>& edges) {
+  std::map<int64_t, int64_t> parent;
+  std::function<int64_t(int64_t)> find = [&](int64_t x) {
+    if (!parent.count(x)) parent[x] = x;
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (auto [s, d] : edges) {
+    int64_t rs = find(s), rd = find(d);
+    if (rs != rd) parent[std::max(rs, rd)] = std::min(rs, rd);
+  }
+  std::map<int64_t, int64_t> out;
+  for (auto& [v, _] : parent) out[v] = find(v);
+  return out;
+}
+
+TEST(ConnectedComponentsTest, TwoIslands) {
+  auto edges = MakeEdges({{1, 2}, {2, 3}, {10, 11}});
+  ConnectedComponentsStats stats;
+  auto r = RunConnectedComponents(*edges, &stats);
+  ASSERT_OK(r.status());
+  auto cm = ComponentMap(*r);
+  EXPECT_EQ(stats.num_components, 2u);
+  EXPECT_EQ(cm[1], 1);
+  EXPECT_EQ(cm[2], 1);
+  EXPECT_EQ(cm[3], 1);
+  EXPECT_EQ(cm[10], 10);
+  EXPECT_EQ(cm[11], 10);
+}
+
+TEST(ConnectedComponentsTest, DirectionIgnored) {
+  // (a -> b) and (b -> a) yield the same components.
+  auto fwd = RunConnectedComponents(*MakeEdges({{5, 9}, {9, 7}}));
+  auto rev = RunConnectedComponents(*MakeEdges({{9, 5}, {7, 9}}));
+  ASSERT_OK(fwd.status());
+  ASSERT_OK(rev.status());
+  EXPECT_EQ(ComponentMap(*fwd), ComponentMap(*rev));
+}
+
+TEST(ConnectedComponentsTest, LabelIsSmallestOriginalId) {
+  auto r = RunConnectedComponents(*MakeEdges({{100, 7}, {7, 55}, {55, 100}}));
+  ASSERT_OK(r.status());
+  for (auto& [v, c] : ComponentMap(*r)) {
+    (void)v;
+    EXPECT_EQ(c, 7);
+  }
+}
+
+TEST(ConnectedComponentsTest, MatchesUnionFindOnRandomGraphs) {
+  Rng rng(61);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::pair<int64_t, int64_t>> edges;
+    for (int i = 0; i < 400; ++i) {
+      edges.push_back({static_cast<int64_t>(rng.Below(200)) * 3,
+                       static_cast<int64_t>(rng.Below(200)) * 3});
+    }
+    auto r = RunConnectedComponents(*MakeEdges(edges));
+    ASSERT_OK(r.status());
+    EXPECT_EQ(ComponentMap(*r), ReferenceComponents(edges)) << trial;
+  }
+}
+
+TEST(ConnectedComponentsTest, EmptyAndValidation) {
+  auto empty = RunConnectedComponents(*MakeEdges({}));
+  ASSERT_OK(empty.status());
+  EXPECT_EQ((*empty)->num_rows(), 0u);
+  Table bad("b", Schema({Field("src", DataType::kDouble),
+                         Field("dst", DataType::kBigInt)}));
+  EXPECT_FALSE(RunConnectedComponents(bad).ok());
+}
+
+TEST(ConnectedComponentsTest, LongChainConverges) {
+  // A path graph needs ~length/2 propagation rounds; make sure the loop
+  // terminates and labels are right.
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (int64_t i = 0; i < 300; ++i) edges.push_back({i, i + 1});
+  ConnectedComponentsStats stats;
+  auto r = RunConnectedComponents(*MakeEdges(edges), &stats);
+  ASSERT_OK(r.status());
+  EXPECT_EQ(stats.num_components, 1u);
+  EXPECT_GT(stats.iterations_run, 10);
+  for (auto& [v, c] : ComponentMap(*r)) {
+    (void)v;
+    EXPECT_EQ(c, 0);
+  }
+}
+
+TEST(ConnectedComponentsTest, SqlSurfaceComposes) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("CREATE TABLE g (src INTEGER, dst INTEGER)")
+                .status());
+  ASSERT_OK(engine
+                .Execute("INSERT INTO g VALUES (1,2), (2,3), (10,11), "
+                         "(20,21), (21,22), (22,20)")
+                .status());
+  // Component sizes via GROUP BY over the operator output.
+  auto r = RunQuery(engine,
+                    "SELECT component, count(*) size FROM "
+                    "CONNECTED_COMPONENTS((SELECT src, dst FROM g)) "
+                    "GROUP BY component ORDER BY component");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.GetInt(0, 0), 1);
+  EXPECT_EQ(r.GetInt(0, 1), 3);
+  EXPECT_EQ(r.GetInt(1, 0), 10);
+  EXPECT_EQ(r.GetInt(1, 1), 2);
+  EXPECT_EQ(r.GetInt(2, 0), 20);
+  EXPECT_EQ(r.GetInt(2, 1), 3);
+}
+
+TEST(ConnectedComponentsTest, AgreesWithIterateSqlFormulation) {
+  // Layer-3 cross-check: min-label propagation in pure SQL with ITERATE.
+  Engine engine;
+  ASSERT_OK(engine.Execute("CREATE TABLE g (src INTEGER, dst INTEGER)")
+                .status());
+  auto graph = GenerateSocialGraph(120, 4, 5);
+  {
+    auto table = engine.catalog().GetTable("g");
+    ASSERT_OK(table.status());
+    ASSERT_OK((*table)->SetColumn(0, Column::FromBigInts(graph.src)));
+    ASSERT_OK((*table)->SetColumn(1, Column::FromBigInts(graph.dst)));
+  }
+  // State (i, v, comp); step takes the min over the closed in-neighborhood
+  // (the generated graph is undirected, so in == out).
+  std::string sql =
+      "SELECT v, comp FROM ITERATE("
+      "(SELECT 0 i, t.src v, t.src comp FROM (SELECT DISTINCT src FROM g) t),"
+      "(SELECT min(u.i) + 1 i, u.v v, min(u.comp) comp FROM "
+      " ((SELECT i, v, comp FROM iterate) UNION ALL "
+      "  (SELECT r.i, e.dst, r.comp FROM g e JOIN iterate r ON e.src = r.v)) u"
+      " GROUP BY u.v),"
+      "(SELECT 1 FROM iterate WHERE i >= 40)) ORDER BY v";
+  auto sql_result = RunQuery(engine, sql);
+  auto op_result = RunQuery(engine,
+                            "SELECT vertex, component FROM "
+                            "CONNECTED_COMPONENTS((SELECT src, dst FROM g)) "
+                            "ORDER BY vertex");
+  ASSERT_EQ(sql_result.num_rows(), op_result.num_rows());
+  for (size_t i = 0; i < op_result.num_rows(); ++i) {
+    EXPECT_EQ(sql_result.GetInt(i, 0), op_result.GetInt(i, 0));
+    EXPECT_EQ(sql_result.GetInt(i, 1), op_result.GetInt(i, 1)) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,148 @@
+/// Tests for UPDATE / DELETE / CREATE TABLE AS and their copy-on-write
+/// snapshot semantics — the "update-friendly data management" side of the
+/// paper's one-system argument (§1: analytics over *fresh* data without
+/// ETL cycles).
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace soda {
+namespace {
+
+using testing::ExpectError;
+using testing::IntColumn;
+using testing::RunQuery;
+
+class DmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(engine_.Execute("CREATE TABLE t (a INTEGER, b FLOAT, s TEXT)")
+                  .status());
+    ASSERT_OK(engine_
+                  .Execute("INSERT INTO t VALUES (1, 1.0, 'x'), "
+                           "(2, 2.0, 'y'), (3, 3.0, 'z'), (4, 4.0, 'w')")
+                  .status());
+  }
+  Engine engine_;
+};
+
+TEST_F(DmlTest, DeleteWithPredicate) {
+  ASSERT_OK(engine_.Execute("DELETE FROM t WHERE a % 2 = 0").status());
+  auto r = RunQuery(engine_, "SELECT a FROM t ORDER BY a");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{1, 3}));
+}
+
+TEST_F(DmlTest, DeleteAllRows) {
+  ASSERT_OK(engine_.Execute("DELETE FROM t").status());
+  auto r = RunQuery(engine_, "SELECT count(*) FROM t");
+  EXPECT_EQ(r.GetInt(0, 0), 0);
+  // Table still exists and accepts inserts.
+  ASSERT_OK(engine_.Execute("INSERT INTO t VALUES (9, 9.0, 'q')").status());
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0), 1);
+}
+
+TEST_F(DmlTest, DeleteMatchingNothing) {
+  ASSERT_OK(engine_.Execute("DELETE FROM t WHERE a > 100").status());
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0), 4);
+}
+
+TEST_F(DmlTest, UpdateSingleColumn) {
+  ASSERT_OK(
+      engine_.Execute("UPDATE t SET b = b * 10.0 WHERE a >= 3").status());
+  auto r = RunQuery(engine_, "SELECT b FROM t ORDER BY a");
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(2, 0), 30.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble(3, 0), 40.0);
+}
+
+TEST_F(DmlTest, UpdateMultipleColumnsReferencingOldValues) {
+  // All SET expressions see the pre-update snapshot (standard SQL).
+  ASSERT_OK(engine_.Execute("UPDATE t SET a = a + 1, b = a * 1.0").status());
+  auto r = RunQuery(engine_, "SELECT a, b FROM t ORDER BY a");
+  // new a = old a + 1; new b = old a.
+  EXPECT_EQ(r.GetInt(0, 0), 2);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 1), 1.0);
+  EXPECT_EQ(r.GetInt(3, 0), 5);
+  EXPECT_DOUBLE_EQ(r.GetDouble(3, 1), 4.0);
+}
+
+TEST_F(DmlTest, UpdateWithNumericCoercionAndStrings) {
+  ASSERT_OK(engine_.Execute("UPDATE t SET a = b + 0.9, s = s || '!' "
+                            "WHERE a = 1")
+                .status());
+  auto r = RunQuery(engine_, "SELECT a, s FROM t WHERE s = 'x!'");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetInt(0, 0), 1);  // 1.9 truncated by the BIGINT cast
+}
+
+TEST_F(DmlTest, UpdateErrors) {
+  ExpectError(engine_, "UPDATE t SET nope = 1", StatusCode::kBindError);
+  ExpectError(engine_, "UPDATE t SET a = 's'", StatusCode::kTypeError);
+  ExpectError(engine_, "UPDATE nope SET a = 1", StatusCode::kKeyError);
+  ExpectError(engine_, "UPDATE t SET a = 1 WHERE a + 1",
+              StatusCode::kBindError);
+}
+
+TEST_F(DmlTest, CopyOnWriteSnapshotIsolation) {
+  // A reader holding the old TablePtr sees the pre-mutation state — the
+  // engine's miniature of HyPer's snapshot mechanism.
+  auto before = engine_.catalog().GetTable("t");
+  ASSERT_OK(before.status());
+  TablePtr snapshot = *before;
+  ASSERT_OK(engine_.Execute("DELETE FROM t WHERE a > 0").status());
+  EXPECT_EQ(snapshot->num_rows(), 4u);  // old snapshot untouched
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0), 0);
+}
+
+TEST_F(DmlTest, CreateTableAsSelect) {
+  ASSERT_OK(engine_
+                .Execute("CREATE TABLE evens AS SELECT a, b * 2 doubled "
+                         "FROM t WHERE a % 2 = 0")
+                .status());
+  auto r = RunQuery(engine_, "SELECT * FROM evens ORDER BY a");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.schema().field(1).name, "doubled");
+  EXPECT_DOUBLE_EQ(r.GetDouble(1, 1), 8.0);
+}
+
+TEST_F(DmlTest, CreateTableAsOperatorOutput) {
+  // CTAS straight from an analytics operator: persist a model/result.
+  ASSERT_OK(engine_.Execute("CREATE TABLE e (src INTEGER, dst INTEGER)")
+                .status());
+  ASSERT_OK(
+      engine_.Execute("INSERT INTO e VALUES (1,2),(2,1),(2,3)").status());
+  ASSERT_OK(engine_
+                .Execute("CREATE TABLE ranks AS SELECT * FROM PAGERANK("
+                         "(SELECT src, dst FROM e), 0.85, 0.0, 10)")
+                .status());
+  auto r = RunQuery(engine_, "SELECT count(*) FROM ranks");
+  EXPECT_EQ(r.GetInt(0, 0), 3);
+}
+
+TEST_F(DmlTest, CreateTableAsFailureLeavesNoTable) {
+  ExpectError(engine_, "CREATE TABLE broken AS SELECT nope FROM t",
+              StatusCode::kBindError);
+  EXPECT_FALSE(engine_.catalog().HasTable("broken"));
+}
+
+TEST_F(DmlTest, AnalyticsSeeFreshDataAfterDml) {
+  // The paper's anti-staleness argument, end to end: mutate, then run the
+  // operator — no reload step in between.
+  ASSERT_OK(engine_.Execute("CREATE TABLE pts (x FLOAT, y FLOAT)").status());
+  ASSERT_OK(engine_
+                .Execute("INSERT INTO pts VALUES (0.0, 0.0), (1.0, 1.0), "
+                         "(50.0, 50.0)")
+                .status());
+  ASSERT_OK(engine_.Execute("DELETE FROM pts WHERE x = 50.0").status());
+  ASSERT_OK(engine_.Execute("UPDATE pts SET y = y + 1.0").status());
+  auto r = RunQuery(engine_,
+                    "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+                    "(SELECT x, y FROM pts LIMIT 1), 5)");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 1), 0.5);   // mean x of {0, 1}
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 2), 1.5);   // mean of updated y {1, 2}
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,255 @@
+/// End-to-end SQL execution tests over the pipeline executor: scans,
+/// filters, projections, joins, sorting, limits, unions, subqueries, DDL
+/// and DML behaviour.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace soda {
+namespace {
+
+using testing::ExpectError;
+using testing::IntColumn;
+using testing::NumericColumn;
+using testing::RunQuery;
+
+class ExecSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(engine_.Execute("CREATE TABLE t (a INTEGER, b FLOAT, s TEXT)")
+                  .status());
+    ASSERT_OK(engine_
+                  .Execute("INSERT INTO t VALUES "
+                           "(1, 1.5, 'one'), (2, 2.5, 'two'), "
+                           "(3, 3.5, 'three'), (4, 4.5, 'four')")
+                  .status());
+  }
+  Engine engine_;
+};
+
+TEST_F(ExecSqlTest, SelectStar) {
+  auto r = RunQuery(engine_, "SELECT * FROM t");
+  EXPECT_EQ(r.num_rows(), 4u);
+  EXPECT_EQ(r.num_columns(), 3u);
+}
+
+TEST_F(ExecSqlTest, FilterAndProject) {
+  auto r = RunQuery(engine_, "SELECT a * 10 x, s FROM t WHERE b > 2.0 AND a < 4");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{20, 30}));
+  EXPECT_EQ(r.GetString(1, 1), "three");
+}
+
+TEST_F(ExecSqlTest, SelectWithoutFromIsOneRow) {
+  auto r = RunQuery(engine_, "SELECT 6 * 7 answer, 'hi' msg");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetInt(0, 0), 42);
+  EXPECT_EQ(r.GetString(0, 1), "hi");
+  EXPECT_EQ(r.schema().field(0).name, "answer");
+}
+
+TEST_F(ExecSqlTest, OrderByAscDescAndNulls) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE n (x INTEGER)").status());
+  ASSERT_OK(
+      engine_.Execute("INSERT INTO n VALUES (3), (NULL), (1), (2)").status());
+  auto asc = RunQuery(engine_, "SELECT x FROM n ORDER BY x");
+  ASSERT_EQ(asc.num_rows(), 4u);
+  EXPECT_TRUE(asc.IsNull(0, 0));  // NULLs first
+  EXPECT_EQ(asc.GetInt(1, 0), 1);
+  EXPECT_EQ(asc.GetInt(3, 0), 3);
+  auto desc = RunQuery(engine_, "SELECT x FROM n ORDER BY x DESC");
+  EXPECT_EQ(desc.GetInt(0, 0), 3);
+  EXPECT_TRUE(desc.IsNull(3, 0));
+}
+
+TEST_F(ExecSqlTest, OrderByExpressionAndMultipleKeys) {
+  auto r = RunQuery(engine_, "SELECT a, s FROM t ORDER BY a % 2, a DESC");
+  // even (0): 4, 2 then odd (1): 3, 1
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{4, 2, 3, 1}));
+}
+
+TEST_F(ExecSqlTest, LimitOffset) {
+  auto r = RunQuery(engine_, "SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 1");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{2, 3}));
+  auto all = RunQuery(engine_, "SELECT a FROM t ORDER BY a LIMIT 100");
+  EXPECT_EQ(all.num_rows(), 4u);
+  auto none = RunQuery(engine_, "SELECT a FROM t LIMIT 0");
+  EXPECT_EQ(none.num_rows(), 0u);
+}
+
+TEST_F(ExecSqlTest, HashJoin) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE u (a INTEGER, w TEXT)").status());
+  ASSERT_OK(engine_
+                .Execute("INSERT INTO u VALUES (2, 'deux'), (4, 'quatre'), "
+                         "(2, 'zwei'), (9, 'neun')")
+                .status());
+  auto r = RunQuery(engine_,
+               "SELECT t.a, u.w FROM t JOIN u ON t.a = u.a ORDER BY t.a, u.w");
+  ASSERT_EQ(r.num_rows(), 3u);  // 2 matches twice, 4 once
+  EXPECT_EQ(r.GetString(0, 1), "deux");
+  EXPECT_EQ(r.GetString(1, 1), "zwei");
+  EXPECT_EQ(r.GetString(2, 1), "quatre");
+}
+
+TEST_F(ExecSqlTest, CrossJoinCardinality) {
+  auto r = RunQuery(engine_, "SELECT t1.a, t2.a FROM t t1, t t2");
+  EXPECT_EQ(r.num_rows(), 16u);
+}
+
+TEST_F(ExecSqlTest, JoinWithResidualPredicate) {
+  auto r = RunQuery(engine_,
+               "SELECT t1.a, t2.a FROM t t1 JOIN t t2 "
+               "ON t1.a = t2.a AND t1.b + t2.b > 5.0 ORDER BY t1.a");
+  // equal keys and 2b > 5 => b > 2.5 => a in {3,4}
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{3, 4}));
+}
+
+TEST_F(ExecSqlTest, JoinOnMixedNumericTypes) {
+  // BIGINT = DOUBLE keys must match when numerically equal.
+  ASSERT_OK(engine_.Execute("CREATE TABLE f (x FLOAT)").status());
+  ASSERT_OK(
+      engine_.Execute("INSERT INTO f VALUES (2.0), (3.0), (3.5)").status());
+  auto r = RunQuery(engine_, "SELECT t.a FROM t JOIN f ON t.a = f.x ORDER BY t.a");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{2, 3}));
+}
+
+TEST_F(ExecSqlTest, SelfJoinWithAliases) {
+  auto r = RunQuery(engine_,
+               "SELECT x.a, y.a FROM t x JOIN t y ON x.a = y.a - 1 "
+               "ORDER BY x.a");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.GetInt(0, 0), 1);
+  EXPECT_EQ(r.GetInt(0, 1), 2);
+}
+
+TEST_F(ExecSqlTest, UnionAll) {
+  auto r = RunQuery(engine_,
+               "SELECT a FROM t WHERE a < 2 UNION ALL "
+               "SELECT a FROM t WHERE a > 3 UNION ALL SELECT 99 ORDER BY 1");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{1, 4, 99}));
+}
+
+TEST_F(ExecSqlTest, SubqueryInFrom) {
+  auto r = RunQuery(engine_,
+               "SELECT x.v FROM (SELECT a * 2 v FROM t WHERE a <= 2) x "
+               "ORDER BY x.v");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{2, 4}));
+}
+
+TEST_F(ExecSqlTest, NonRecursiveCte) {
+  auto r = RunQuery(engine_,
+               "WITH doubled AS (SELECT a * 2 v FROM t) "
+               "SELECT sum(v) FROM doubled");
+  EXPECT_EQ(r.GetInt(0, 0), 20);
+}
+
+TEST_F(ExecSqlTest, CteReferencedTwice) {
+  auto r = RunQuery(engine_,
+               "WITH c AS (SELECT a FROM t WHERE a <= 2) "
+               "SELECT x.a, y.a FROM c x, c y ORDER BY x.a, y.a");
+  EXPECT_EQ(r.num_rows(), 4u);
+}
+
+TEST_F(ExecSqlTest, CaseEndToEnd) {
+  auto r = RunQuery(engine_,
+               "SELECT CASE WHEN a % 2 = 0 THEN 'even' ELSE 'odd' END p, a "
+               "FROM t ORDER BY a");
+  EXPECT_EQ(r.GetString(0, 0), "odd");
+  EXPECT_EQ(r.GetString(1, 0), "even");
+}
+
+TEST_F(ExecSqlTest, CaseWithoutElseYieldsNull) {
+  auto r = RunQuery(engine_,
+               "SELECT CASE WHEN a > 3 THEN a END v FROM t ORDER BY a");
+  EXPECT_TRUE(r.IsNull(0, 0));
+  EXPECT_EQ(r.GetInt(3, 0), 4);
+}
+
+TEST_F(ExecSqlTest, CastsInQueries) {
+  auto r = RunQuery(engine_, "SELECT CAST(b AS INTEGER) ib FROM t ORDER BY 1");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{1, 2, 3, 4}));
+  auto s = RunQuery(engine_, "SELECT CAST(a AS TEXT) || '!' FROM t WHERE a = 1");
+  EXPECT_EQ(s.GetString(0, 0), "1!");
+}
+
+TEST_F(ExecSqlTest, InsertSelectWithCoercion) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE copy (a FLOAT, b INTEGER)")
+                .status());
+  ASSERT_OK(
+      engine_.Execute("INSERT INTO copy SELECT a, b FROM t").status());
+  auto r = RunQuery(engine_, "SELECT a, b FROM copy ORDER BY a");
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 0), 1.0);  // INT -> FLOAT
+  EXPECT_EQ(r.GetInt(0, 1), 1);              // FLOAT -> INT truncation
+}
+
+TEST_F(ExecSqlTest, InsertErrors) {
+  ExpectError(engine_, "INSERT INTO t VALUES (1, 2.0)",
+              StatusCode::kBindError);  // arity
+  ExpectError(engine_, "INSERT INTO nope VALUES (1)", StatusCode::kKeyError);
+  ExpectError(engine_, "INSERT INTO t VALUES ('x', 2.0, 'y')",
+              StatusCode::kTypeError);
+}
+
+TEST_F(ExecSqlTest, DdlLifecycle) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE tmp (x INTEGER)").status());
+  ExpectError(engine_, "CREATE TABLE tmp (x INTEGER)",
+              StatusCode::kAlreadyExists);
+  ASSERT_OK(engine_.Execute("CREATE TABLE IF NOT EXISTS tmp (x INTEGER)")
+                .status());
+  ASSERT_OK(engine_.Execute("DROP TABLE tmp").status());
+  ExpectError(engine_, "DROP TABLE tmp", StatusCode::kKeyError);
+  ASSERT_OK(engine_.Execute("DROP TABLE IF EXISTS tmp").status());
+}
+
+TEST_F(ExecSqlTest, ExecuteScriptReturnsLastResult) {
+  auto r = engine_.ExecuteScript(
+      "CREATE TABLE sc (x INTEGER); INSERT INTO sc VALUES (5); "
+      "SELECT x + 1 FROM sc;");
+  ASSERT_OK(r.status());
+  EXPECT_EQ(r->GetInt(0, 0), 6);
+}
+
+TEST_F(ExecSqlTest, ExplainRendersPlan) {
+  auto r = engine_.Explain("SELECT a FROM t WHERE a > 1");
+  ASSERT_OK(r.status());
+  EXPECT_NE(r->find("Scan t"), std::string::npos);
+}
+
+TEST_F(ExecSqlTest, NullLiteralHandling) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE nn (x INTEGER, y FLOAT)").status());
+  ASSERT_OK(engine_.Execute("INSERT INTO nn VALUES (NULL, 1.0), (2, NULL)")
+                .status());
+  auto r = RunQuery(engine_, "SELECT x + 1, y * 2 FROM nn ORDER BY x");
+  EXPECT_TRUE(r.IsNull(0, 0));
+  EXPECT_TRUE(r.IsNull(1, 1));
+}
+
+TEST_F(ExecSqlTest, WhereNullIsNotSelected) {
+  ASSERT_OK(engine_.Execute("CREATE TABLE wn (x INTEGER)").status());
+  ASSERT_OK(
+      engine_.Execute("INSERT INTO wn VALUES (1), (NULL), (3)").status());
+  auto r = RunQuery(engine_, "SELECT x FROM wn WHERE x > 0");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(ExecSqlTest, LargeScanIsChunkedCorrectly) {
+  // More rows than one chunk (2048) to cross morsel boundaries.
+  ASSERT_OK(engine_.Execute("CREATE TABLE big (x INTEGER)").status());
+  auto table = engine_.catalog().GetTable("big");
+  ASSERT_OK(table.status());
+  std::vector<int64_t> vals(10000);
+  for (size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<int64_t>(i);
+  ASSERT_OK((*table)->SetColumn(0, Column::FromBigInts(std::move(vals))));
+  auto r = RunQuery(engine_, "SELECT count(*) c, sum(x) s FROM big WHERE x % 2 = 0");
+  EXPECT_EQ(r.GetInt(0, 0), 5000);
+  EXPECT_EQ(r.GetInt(0, 1), 24995000);
+}
+
+TEST_F(ExecSqlTest, DivisionByZeroYieldsNull) {
+  auto r = RunQuery(engine_, "SELECT 10 / (a - a) FROM t WHERE a = 1");
+  EXPECT_TRUE(r.IsNull(0, 0));
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,146 @@
+/// Tests for dialect features layered on top of the core reproduction:
+/// SELECT DISTINCT, the EXPLAIN statement, and the softened k-Means
+/// convergence criterion (paper §6.1).
+
+#include <gtest/gtest.h>
+
+#include "analytics/kmeans.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace soda {
+namespace {
+
+using testing::ExpectError;
+using testing::IntColumn;
+using testing::RunQuery;
+
+class FeatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(engine_.Execute("CREATE TABLE t (a INTEGER, b TEXT)").status());
+    ASSERT_OK(engine_
+                  .Execute("INSERT INTO t VALUES (1, 'x'), (1, 'x'), "
+                           "(2, 'x'), (1, 'y'), (NULL, 'x'), (NULL, 'x')")
+                  .status());
+  }
+  Engine engine_;
+};
+
+TEST_F(FeatureTest, SelectDistinctSingleColumn) {
+  auto r = RunQuery(engine_, "SELECT DISTINCT a FROM t ORDER BY a");
+  ASSERT_EQ(r.num_rows(), 3u);  // NULL, 1, 2
+  EXPECT_TRUE(r.IsNull(0, 0));
+  EXPECT_EQ(r.GetInt(1, 0), 1);
+  EXPECT_EQ(r.GetInt(2, 0), 2);
+}
+
+TEST_F(FeatureTest, SelectDistinctMultiColumn) {
+  auto r = RunQuery(engine_,
+                    "SELECT DISTINCT a, b FROM t ORDER BY a, b");
+  EXPECT_EQ(r.num_rows(), 4u);  // (NULL,x), (1,x), (1,y), (2,x)
+}
+
+TEST_F(FeatureTest, SelectDistinctOverExpression) {
+  auto r = RunQuery(engine_,
+                    "SELECT DISTINCT a % 2 FROM t WHERE a = a ORDER BY 1");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{0, 1}));
+}
+
+TEST_F(FeatureTest, DistinctComposesWithLimit) {
+  auto r = RunQuery(engine_, "SELECT DISTINCT a FROM t ORDER BY a LIMIT 2");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(FeatureTest, DistinctInSubquery) {
+  auto r = RunQuery(engine_,
+                    "SELECT count(*) FROM (SELECT DISTINCT b FROM t) s");
+  EXPECT_EQ(r.GetInt(0, 0), 2);
+}
+
+TEST_F(FeatureTest, ExplainStatement) {
+  auto r = RunQuery(engine_, "EXPLAIN SELECT a FROM t WHERE a > 1");
+  ASSERT_GT(r.num_rows(), 1u);
+  EXPECT_EQ(r.schema().field(0).name, "plan");
+  bool saw_scan = false;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    if (r.GetString(i, 0).find("Scan t") != std::string::npos) {
+      saw_scan = true;
+    }
+  }
+  EXPECT_TRUE(saw_scan);
+}
+
+TEST_F(FeatureTest, ExplainShowsIterateAndTableFunctions) {
+  auto r = RunQuery(engine_,
+                    "EXPLAIN SELECT * FROM ITERATE((SELECT 1 x), "
+                    "(SELECT x + 1 FROM iterate), "
+                    "(SELECT 1 FROM iterate WHERE x > 3))");
+  std::string all;
+  for (size_t i = 0; i < r.num_rows(); ++i) all += r.GetString(i, 0) + "\n";
+  EXPECT_NE(all.find("Iterate"), std::string::npos);
+  EXPECT_NE(all.find("BindingRef iterate"), std::string::npos);
+}
+
+TEST(KMeansConvergenceTest, SoftCriterionStopsEarlier) {
+  // Two runs on slowly-converging data: the strict criterion uses every
+  // iteration, a 20% tolerance stops earlier (paper §6.1's "interrupted
+  // if only a small fraction of tuples changed").
+  Schema schema({Field("x", DataType::kDouble), Field("y", DataType::kDouble)});
+  auto data = std::make_shared<Table>("d", schema);
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_OK(data->AppendRow({Value::Double(rng.Uniform(0, 1)),
+                               Value::Double(rng.Uniform(0, 1))}));
+  }
+  auto centers = std::make_shared<Table>("c", schema);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(centers->AppendRow(
+        {data->column(0).GetValue(i), data->column(1).GetValue(i)}));
+  }
+  KMeansOptions strict;
+  strict.max_iterations = 50;
+  KMeansOptions soft = strict;
+  soft.min_change_fraction = 0.2;
+  auto a = RunKMeans(*data, *centers, strict);
+  auto b = RunKMeans(*data, *centers, soft);
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  EXPECT_TRUE(b->converged);
+  EXPECT_LT(b->iterations_run, a->iterations_run);
+}
+
+TEST(KMeansConvergenceTest, FractionValidated) {
+  Schema schema({Field("x", DataType::kDouble)});
+  Table data("d", schema);
+  ASSERT_OK(data.AppendRow({Value::Double(1)}));
+  Table centers("c", schema);
+  ASSERT_OK(centers.AppendRow({Value::Double(0)}));
+  KMeansOptions bad;
+  bad.min_change_fraction = 1.5;
+  EXPECT_FALSE(RunKMeans(data, centers, bad).ok());
+  bad.min_change_fraction = -0.1;
+  EXPECT_FALSE(RunKMeans(data, centers, bad).ok());
+}
+
+TEST(KMeansConvergenceTest, SqlSurfaceAcceptsFraction) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("CREATE TABLE pts (x FLOAT, y FLOAT)").status());
+  ASSERT_OK(engine
+                .Execute("INSERT INTO pts VALUES (0.0,0.0),(1.0,0.0),"
+                         "(0.0,1.0),(9.0,9.0),(10.0,9.0),(9.0,10.0)")
+                .status());
+  auto r = RunQuery(engine,
+                    "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+                    "(SELECT x, y FROM pts LIMIT 2), 25, 0.1) "
+                    "ORDER BY cluster");
+  EXPECT_EQ(r.num_rows(), 2u);
+  // Three scalars is too many.
+  ExpectError(engine,
+              "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+              "(SELECT x, y FROM pts LIMIT 2), 25, 0.1, 7)",
+              StatusCode::kBindError);
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,169 @@
+/// Tests for plan rewrites (paper §5.2): predicate pushdown, equi-join key
+/// extraction, build-side selection, constant folding in plans.
+
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace soda {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // `big` has many rows, `small` few — exercised by build-side selection.
+    auto big = catalog_.CreateTable("big", Schema({Field("k", DataType::kBigInt),
+                                                   Field("v", DataType::kDouble)}));
+    ASSERT_OK(big.status());
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_OK((*big)->AppendRow(
+          {Value::BigInt(i % 10), Value::Double(i * 1.0)}));
+    }
+    auto small = catalog_.CreateTable(
+        "small", Schema({Field("k", DataType::kBigInt),
+                         Field("name", DataType::kVarchar)}));
+    ASSERT_OK(small.status());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK((*small)->AppendRow(
+          {Value::BigInt(i), Value::Varchar("n" + std::to_string(i))}));
+    }
+  }
+
+  PlanPtr Optimized(const std::string& sql) {
+    auto stmt = ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Binder binder(&catalog_);
+    auto plan = binder.BindSelectStatement(*stmt->select);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return OptimizePlan(std::move(plan.ValueOrDie()), &catalog_);
+  }
+
+  static const PlanNode* FindNode(const PlanNode& root, PlanKind kind) {
+    if (root.kind == kind) return &root;
+    for (const auto& c : root.children) {
+      if (const PlanNode* found = FindNode(*c, kind)) return found;
+    }
+    return nullptr;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(OptimizerTest, EquiKeysExtractedFromWhereOverCrossJoin) {
+  PlanPtr p = Optimized(
+      "SELECT big.v FROM big, small WHERE big.k = small.k");
+  const PlanNode* join = FindNode(*p, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  ASSERT_EQ(join->left_keys.size(), 1u);
+  EXPECT_FALSE(join->predicate);  // fully absorbed into keys
+}
+
+TEST_F(OptimizerTest, EquiKeysExtractedFromOnCondition) {
+  PlanPtr p = Optimized(
+      "SELECT big.v FROM big JOIN small ON big.k = small.k");
+  const PlanNode* join = FindNode(*p, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->left_keys.size(), 1u);
+}
+
+TEST_F(OptimizerTest, SingleSidePredicatesPushedBelowJoin) {
+  PlanPtr p = Optimized(
+      "SELECT big.v FROM big JOIN small ON big.k = small.k "
+      "WHERE big.v > 10 AND small.name <> 'n3'");
+  const PlanNode* join = FindNode(*p, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  // Both children should now have filters beneath the join.
+  EXPECT_EQ(join->children[0]->kind, PlanKind::kFilter);
+  EXPECT_EQ(join->children[1]->kind, PlanKind::kFilter);
+}
+
+TEST_F(OptimizerTest, ResidualPredicateKept) {
+  PlanPtr p = Optimized(
+      "SELECT big.v FROM big, small "
+      "WHERE big.k = small.k AND big.v + length(small.name) > 5");
+  const PlanNode* join = FindNode(*p, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->left_keys.size(), 1u);
+  // Cross-side non-equi conjunct stays as residual (or a filter above).
+  bool has_residual = join->predicate != nullptr;
+  const PlanNode* filter = FindNode(*p, PlanKind::kFilter);
+  EXPECT_TRUE(has_residual || filter != nullptr);
+}
+
+TEST_F(OptimizerTest, BuildSideIsSmaller) {
+  // `small` should end up as the build side (children[1]) regardless of
+  // the FROM order.
+  for (const char* sql :
+       {"SELECT big.v FROM big JOIN small ON big.k = small.k",
+        "SELECT big.v FROM small JOIN big ON big.k = small.k"}) {
+    PlanPtr p = Optimized(sql);
+    const PlanNode* join = FindNode(*p, PlanKind::kJoin);
+    ASSERT_NE(join, nullptr) << sql;
+    EXPECT_LE(EstimateRows(*join->children[1], &catalog_),
+              EstimateRows(*join->children[0], &catalog_))
+        << sql;
+  }
+}
+
+TEST_F(OptimizerTest, StackedFiltersMerged) {
+  PlanPtr p = Optimized(
+      "SELECT v FROM (SELECT v FROM big WHERE v > 1) s WHERE v < 10");
+  // No Filter-over-Filter chains remain.
+  const PlanNode* f = FindNode(*p, PlanKind::kFilter);
+  if (f) {
+    EXPECT_NE(f->children[0]->kind, PlanKind::kFilter);
+  }
+}
+
+TEST_F(OptimizerTest, ConstantsFoldedInPlans) {
+  PlanPtr p = Optimized("SELECT v * (2 + 3) FROM big");
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  // The folded literal 5 appears in the projection.
+  EXPECT_NE(p->exprs[0]->ToString().find("5"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, TrueFilterDropped) {
+  PlanPtr p = Optimized("SELECT v FROM big WHERE 1 < 2");
+  EXPECT_EQ(FindNode(*p, PlanKind::kFilter), nullptr);
+}
+
+TEST_F(OptimizerTest, EstimateRowsSaneAcrossNodeKinds) {
+  PlanPtr p = Optimized(
+      "SELECT k, count(*) c FROM big GROUP BY k ORDER BY c LIMIT 5");
+  EXPECT_GT(EstimateRows(*p, &catalog_), 0.0);
+  EXPECT_LE(EstimateRows(*p, &catalog_), 5.0);
+}
+
+TEST_F(OptimizerTest, OptimizationPreservesResults) {
+  // End-to-end: optimized and unoptimized engines agree.
+  Engine opt;
+  Engine raw;
+  raw.options().optimize = false;
+  for (Engine* e : {&opt, &raw}) {
+    ASSERT_OK(e->Execute("CREATE TABLE r (k INTEGER, v FLOAT)").status());
+    ASSERT_OK(e->Execute("CREATE TABLE s (k INTEGER, w FLOAT)").status());
+    ASSERT_OK(e->Execute("INSERT INTO r VALUES (1, 1.5), (2, 2.5), (3, 3.5)")
+                  .status());
+    ASSERT_OK(e->Execute("INSERT INTO s VALUES (2, 10.0), (3, 20.0), (9, 0.0)")
+                  .status());
+  }
+  const std::string sql =
+      "SELECT r.k, r.v + s.w x FROM r, s "
+      "WHERE r.k = s.k AND r.v > 2.0 ORDER BY r.k";
+  auto a = opt.Execute(sql);
+  auto b = raw.Execute(sql);
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  ASSERT_EQ(a->num_rows(), 2u);
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    EXPECT_EQ(a->GetInt(i, 0), b->GetInt(i, 0));
+    EXPECT_DOUBLE_EQ(a->GetDouble(i, 1), b->GetDouble(i, 1));
+  }
+}
+
+}  // namespace
+}  // namespace soda

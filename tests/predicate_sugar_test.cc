@@ -1,0 +1,130 @@
+/// Tests for the desugared predicate forms: IN, BETWEEN, LIKE, IS NULL —
+/// and their NOT variants.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace soda {
+namespace {
+
+using testing::ExpectError;
+using testing::IntColumn;
+using testing::RunQuery;
+
+class PredicateSugarTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(engine_.Execute("CREATE TABLE t (a INTEGER, s TEXT)").status());
+    ASSERT_OK(engine_
+                  .Execute("INSERT INTO t VALUES (1, 'apple'), (2, 'banana'),"
+                           "(3, 'cherry'), (4, NULL), (NULL, 'date')")
+                  .status());
+  }
+  Engine engine_;
+};
+
+TEST_F(PredicateSugarTest, InList) {
+  auto r = RunQuery(engine_, "SELECT a FROM t WHERE a IN (1, 3, 99) ORDER BY a");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{1, 3}));
+}
+
+TEST_F(PredicateSugarTest, NotIn) {
+  // Documented deviation (evaluator.h): NULL acts as FALSE inside OR, so
+  // NOT (NULL = 1 OR NULL = 3) evaluates TRUE and the NULL row *is*
+  // selected — unlike strict three-valued SQL. Filter explicitly:
+  auto r = RunQuery(engine_,
+                    "SELECT a FROM t WHERE a IS NOT NULL AND "
+                    "a NOT IN (1, 3) ORDER BY a");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{2, 4}));
+  auto with_null = RunQuery(engine_,
+                            "SELECT count(*) FROM t WHERE a NOT IN (1, 3)");
+  EXPECT_EQ(with_null.GetInt(0, 0), 3);  // includes the NULL row
+}
+
+TEST_F(PredicateSugarTest, InWithExpressions) {
+  auto r = RunQuery(engine_,
+                    "SELECT a FROM t WHERE a * 2 IN (2, 3 + 3) ORDER BY a");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{1, 3}));
+}
+
+TEST_F(PredicateSugarTest, Between) {
+  auto r = RunQuery(engine_, "SELECT a FROM t WHERE a BETWEEN 2 AND 3 "
+                             "ORDER BY a");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{2, 3}));
+  // NOT BETWEEN selects the NULL row too under null-as-false logic.
+  auto n = RunQuery(engine_,
+                    "SELECT a FROM t WHERE a IS NOT NULL AND "
+                    "a NOT BETWEEN 2 AND 3 ORDER BY a");
+  EXPECT_EQ(IntColumn(n, 0), (std::vector<int64_t>{1, 4}));
+}
+
+TEST_F(PredicateSugarTest, BetweenBindsTighterThanAnd) {
+  // `a BETWEEN 1 AND 2 AND s = 'apple'` must parse as
+  // (a BETWEEN 1 AND 2) AND (s = 'apple').
+  auto r = RunQuery(engine_,
+                    "SELECT a FROM t WHERE a BETWEEN 1 AND 2 AND s = 'apple'");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetInt(0, 0), 1);
+}
+
+TEST_F(PredicateSugarTest, Like) {
+  auto r = RunQuery(engine_, "SELECT s FROM t WHERE s LIKE '%an%'");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetString(0, 0), "banana");
+  auto u = RunQuery(engine_, "SELECT s FROM t WHERE s LIKE '_a%' ORDER BY s");
+  ASSERT_EQ(u.num_rows(), 2u);  // banana, date
+  EXPECT_EQ(u.GetString(0, 0), "banana");
+  auto x = RunQuery(engine_, "SELECT s FROM t WHERE s NOT LIKE '%a%'");
+  ASSERT_EQ(x.num_rows(), 1u);
+  EXPECT_EQ(x.GetString(0, 0), "cherry");
+}
+
+TEST_F(PredicateSugarTest, LikeEdgeCases) {
+  auto r = RunQuery(engine_, "SELECT 'abc' LIKE 'abc' a, 'abc' LIKE 'ab' b, "
+                             "'' LIKE '%' c, 'abc' LIKE '%' d, "
+                             "'abc' LIKE 'a_c' e, 'abc' LIKE '__' f");
+  EXPECT_TRUE(r.GetValue(0, 0).bool_value());
+  EXPECT_FALSE(r.GetValue(0, 1).bool_value());
+  EXPECT_TRUE(r.GetValue(0, 2).bool_value());
+  EXPECT_TRUE(r.GetValue(0, 3).bool_value());
+  EXPECT_TRUE(r.GetValue(0, 4).bool_value());
+  EXPECT_FALSE(r.GetValue(0, 5).bool_value());
+}
+
+TEST_F(PredicateSugarTest, IsNull) {
+  auto r = RunQuery(engine_, "SELECT a FROM t WHERE s IS NULL");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetInt(0, 0), 4);
+  auto n = RunQuery(engine_,
+                    "SELECT count(*) FROM t WHERE a IS NOT NULL");
+  EXPECT_EQ(n.GetInt(0, 0), 4);
+}
+
+TEST_F(PredicateSugarTest, IsNullOnExpression) {
+  // Integer division by zero yields NULL in soda; IS NULL can observe it.
+  auto r = RunQuery(engine_,
+                    "SELECT count(*) FROM t WHERE 1 / (a - a) IS NULL");
+  // All five rows: div-by-zero is NULL for the four non-NULL a's, and
+  // NULL propagates through a - a for the NULL row.
+  EXPECT_EQ(r.GetInt(0, 0), 5);
+}
+
+TEST_F(PredicateSugarTest, SugarInSelectList) {
+  auto r = RunQuery(engine_,
+                    "SELECT a IN (1, 2) yes, a IS NULL nil FROM t ORDER BY a");
+  EXPECT_EQ(r.schema().field(0).type, DataType::kBool);
+  EXPECT_TRUE(r.GetValue(0, 1).bool_value());   // NULL row sorts first
+  EXPECT_TRUE(r.GetValue(1, 0).bool_value());   // a=1
+  EXPECT_FALSE(r.GetValue(3, 0).bool_value());  // a=3
+}
+
+TEST_F(PredicateSugarTest, TypeErrors) {
+  ExpectError(engine_, "SELECT a FROM t WHERE a LIKE '%x%'",
+              StatusCode::kTypeError);
+  ExpectError(engine_, "SELECT a FROM t WHERE s IN (1, 2)",
+              StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace soda

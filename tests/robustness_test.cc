@@ -1,0 +1,206 @@
+/// Robustness: a corpus of malformed / hostile inputs must produce clean
+/// Status errors (never crashes, never silent wrong results), and the
+/// engine must survive concurrent use — table stakes for the paper's
+/// "one system fits all" claim, where analysts type ad-hoc queries at a
+/// transactional database.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace soda {
+namespace {
+
+using testing::RunQuery;
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(engine_.Execute("CREATE TABLE t (a INTEGER, b FLOAT, s TEXT)")
+                  .status());
+    ASSERT_OK(engine_.Execute("INSERT INTO t VALUES (1, 1.0, 'x')").status());
+    ASSERT_OK(engine_.Execute("CREATE TABLE e (src INTEGER, dst INTEGER)")
+                  .status());
+    ASSERT_OK(engine_.Execute("INSERT INTO e VALUES (1, 2)").status());
+  }
+  Engine engine_;
+};
+
+TEST_F(RobustnessTest, MalformedSqlCorpusAlwaysErrsCleanly) {
+  const char* corpus[] = {
+      "",
+      ";",
+      "SELEC 1",
+      "SELECT",
+      "SELECT ,",
+      "SELECT 1 FROM",
+      "SELECT * FROM",
+      "SELECT * FROM t WHERE",
+      "SELECT * FROM t GROUP",
+      "SELECT * FROM t ORDER",
+      "SELECT * FROM t LIMIT 'x'",
+      "SELECT (1 + 2 FROM t",
+      "SELECT 1 + FROM t",
+      "SELECT 'unterminated FROM t",
+      "SELECT \"unterminated FROM t",
+      "SELECT a b c FROM t",
+      "SELECT * FROM t t2 t3",
+      "SELECT * FROM (SELECT 1",
+      "WITH x AS SELECT 1 SELECT * FROM x",
+      "WITH RECURSIVE AS (SELECT 1) SELECT 1",
+      "INSERT t VALUES (1)",
+      "INSERT INTO t",
+      "INSERT INTO t VALUES 1, 2",
+      "CREATE t (a INT)",
+      "CREATE TABLE (a INT)",
+      "CREATE TABLE x (a)",
+      "CREATE TABLE x (a FROB)",
+      "DROP t",
+      "SELECT * FROM ITERATE()",
+      "SELECT * FROM ITERATE((SELECT 1))",
+      "SELECT * FROM ITERATE((SELECT 1), (SELECT 1))",
+      "SELECT * FROM KMEANS()",
+      "SELECT * FROM KMEANS(λ(a) 1)",
+      "SELECT * FROM KMEANS((SELECT a FROM t), (SELECT a FROM t), λ(a) a.a, 1)",
+      "SELECT * FROM PAGERANK((SELECT s, s FROM t))",
+      "SELECT λ(a, b) 1 FROM t",
+      "SELECT a + s FROM t",
+      "SELECT nope FROM t",
+      "SELECT * FROM nope",
+      "SELECT sum(a, b) FROM t",
+      "SELECT sum(sum(a)) FROM t",
+      "SELECT b FROM t GROUP BY a",
+      "SELECT * FROM t ORDER BY 99",
+      "SELECT CASE WHEN a THEN 1 END FROM t",
+      "SELECT CAST(a AS LIST) FROM t",
+      "SELECT a FROM t UNION ALL SELECT s FROM t",
+      "SELECT @ FROM t",
+      "EXPLAIN",
+      "EXPLAIN INSERT INTO t VALUES (1, 1.0, 'x')",
+      "SELECT * FROM t; SELECT * FROM t",  // Execute() takes one statement
+  };
+  for (const char* sql : corpus) {
+    auto result = engine_.Execute(sql);
+    EXPECT_FALSE(result.ok()) << "expected failure for: " << sql;
+    EXPECT_FALSE(result.status().message().empty()) << sql;
+  }
+}
+
+TEST_F(RobustnessTest, DeeplyNestedExpressionsParse) {
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  auto r = RunQuery(engine_, "SELECT " + expr);
+  EXPECT_EQ(r.GetInt(0, 0), 201);
+}
+
+TEST_F(RobustnessTest, DeeplyNestedSubqueries) {
+  std::string sql = "SELECT a FROM t";
+  for (int i = 0; i < 40; ++i) {
+    sql = "SELECT a FROM (" + sql + ") s" + std::to_string(i);
+  }
+  auto r = RunQuery(engine_, sql);
+  EXPECT_EQ(r.GetInt(0, 0), 1);
+}
+
+TEST_F(RobustnessTest, VeryWideTable) {
+  std::string ddl = "CREATE TABLE wide (c0 FLOAT";
+  std::string insert_cols = "(0.0";
+  std::string select_sum = "c0";
+  for (int i = 1; i < 200; ++i) {
+    ddl += ", c" + std::to_string(i) + " FLOAT";
+    insert_cols += ", " + std::to_string(i) + ".0";
+    select_sum += " + c" + std::to_string(i);
+  }
+  ddl += ")";
+  insert_cols += ")";
+  ASSERT_OK(engine_.Execute(ddl).status());
+  ASSERT_OK(engine_.Execute("INSERT INTO wide VALUES " + insert_cols)
+                .status());
+  auto r = RunQuery(engine_, "SELECT " + select_sum + " FROM wide");
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 0), 199.0 * 200 / 2);
+}
+
+TEST_F(RobustnessTest, LongUnionChain) {
+  std::string sql = "SELECT 0 v";
+  for (int i = 1; i <= 100; ++i) {
+    sql += " UNION ALL SELECT " + std::to_string(i);
+  }
+  auto r = RunQuery(engine_, "SELECT count(*), sum(u.v) FROM (" + sql + ") u");
+  EXPECT_EQ(r.GetInt(0, 0), 101);
+  EXPECT_EQ(r.GetInt(0, 1), 5050);
+}
+
+TEST_F(RobustnessTest, HugeLiteralsAndExtremes) {
+  auto r = RunQuery(engine_,
+                    "SELECT 9223372036854775807 big, -9223372036854775807 "
+                    "small, 1e308 huge, 1e-308 tiny");
+  EXPECT_EQ(r.GetInt(0, 0), INT64_MAX);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 2), 1e308);
+}
+
+TEST_F(RobustnessTest, StringsWithSpecialContent) {
+  ASSERT_OK(engine_
+                .Execute("INSERT INTO t VALUES (2, 2.0, 'it''s; a -- test')")
+                .status());
+  auto r = RunQuery(engine_, "SELECT s FROM t WHERE a = 2");
+  EXPECT_EQ(r.GetString(0, 0), "it's; a -- test");
+}
+
+TEST_F(RobustnessTest, ConcurrentQueriesOnSharedEngine) {
+  // Concurrent read queries plus concurrent DDL on distinct tables. The
+  // catalog is mutex-protected; execution state is per-query.
+  ASSERT_OK(engine_.Execute("CREATE TABLE nums (x INTEGER)").status());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(engine_.Execute("INSERT INTO nums VALUES (" +
+                              std::to_string(i) + ")")
+                  .status());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int thread_id = 0; thread_id < 4; ++thread_id) {
+    threads.emplace_back([&, thread_id] {
+      for (int i = 0; i < 25; ++i) {
+        auto r = engine_.Execute(
+            "SELECT count(*), sum(x) FROM nums WHERE x % 2 = 0");
+        if (!r.ok() || r->GetInt(0, 0) != 250) failures.fetch_add(1);
+        auto ddl = engine_.Execute("CREATE TABLE tmp_" +
+                                   std::to_string(thread_id) + "_" +
+                                   std::to_string(i) + " (a INTEGER)");
+        if (!ddl.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(RobustnessTest, RepeatedAnalyticsCallsAreStable) {
+  // Same operator query 50 times: identical results every time (no state
+  // leaks between executions).
+  std::string sql =
+      "SELECT * FROM PAGERANK((SELECT src, dst FROM e), 0.85, 0.0, 5)";
+  auto first = RunQuery(engine_, sql);
+  for (int i = 0; i < 50; ++i) {
+    auto again = RunQuery(engine_, sql);
+    ASSERT_EQ(again.num_rows(), first.num_rows());
+    for (size_t row = 0; row < first.num_rows(); ++row) {
+      ASSERT_EQ(again.GetInt(row, 0), first.GetInt(row, 0));
+      ASSERT_DOUBLE_EQ(again.GetDouble(row, 1), first.GetDouble(row, 1));
+    }
+  }
+}
+
+TEST_F(RobustnessTest, ErrorsDoNotPoisonTheSession) {
+  // A failed query must leave the engine fully usable.
+  (void)engine_.Execute("SELECT nope FROM t");
+  (void)engine_.Execute("SELECT * FROM ITERATE((SELECT 1))");
+  (void)engine_.Execute("INSERT INTO t VALUES (1)");
+  auto r = RunQuery(engine_, "SELECT count(*) FROM t");
+  EXPECT_EQ(r.GetInt(0, 0), 1);
+}
+
+}  // namespace
+}  // namespace soda

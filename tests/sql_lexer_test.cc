@@ -1,0 +1,107 @@
+/// Tests for the SQL tokenizer.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "tests/test_util.h"
+
+namespace soda {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  auto r = Tokenize(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsFoldToLower) {
+  auto toks = Lex("SELECT Foo FROM Bar");
+  ASSERT_EQ(toks.size(), 5u);  // + EOF
+  EXPECT_EQ(toks[0].type, TokenType::kIdent);
+  EXPECT_EQ(toks[0].text, "select");
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks[3].text, "bar");
+  EXPECT_EQ(toks[4].type, TokenType::kEof);
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = Lex("1 42 3.5 .5 1e3 2.5E-2 7.");
+  EXPECT_EQ(toks[0].type, TokenType::kInteger);
+  EXPECT_EQ(toks[0].int_value, 1);
+  EXPECT_EQ(toks[1].int_value, 42);
+  EXPECT_EQ(toks[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 3.5);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 0.5);
+  EXPECT_DOUBLE_EQ(toks[4].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[5].float_value, 0.025);
+  EXPECT_EQ(toks[6].type, TokenType::kFloat);  // "7."
+}
+
+TEST(LexerTest, StringsWithEscapedQuotes) {
+  auto toks = Lex("'hello' 'it''s'");
+  EXPECT_EQ(toks[0].type, TokenType::kString);
+  EXPECT_EQ(toks[0].text, "hello");
+  EXPECT_EQ(toks[1].text, "it's");
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  auto toks = Lex("SELECT 7 \"x\"");
+  EXPECT_EQ(toks[2].type, TokenType::kQuotedIdent);
+  EXPECT_EQ(toks[2].text, "x");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto toks = Lex("<> != <= >= || ( ) , . ; * + - / % ^ = < >");
+  std::vector<TokenType> expected = {
+      TokenType::kNe,     TokenType::kNe,      TokenType::kLe,
+      TokenType::kGe,     TokenType::kConcat,  TokenType::kLParen,
+      TokenType::kRParen, TokenType::kComma,   TokenType::kDot,
+      TokenType::kSemicolon, TokenType::kStar, TokenType::kPlus,
+      TokenType::kMinus,  TokenType::kSlash,   TokenType::kPercent,
+      TokenType::kCaret,  TokenType::kEq,      TokenType::kLt,
+      TokenType::kGt,     TokenType::kEof};
+  ASSERT_EQ(toks.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(toks[i].type, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, LambdaSpellings) {
+  // Both the λ code point (Listing 3) and the keyword form.
+  auto toks = Lex("λ(a, b) lambda(a, b)");
+  EXPECT_EQ(toks[0].type, TokenType::kLambda);
+  EXPECT_EQ(toks[6].type, TokenType::kLambda);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto toks = Lex("SELECT 1 -- this is a comment\n, 2");
+  // SELECT 1 , 2 EOF
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[2].type, TokenType::kComma);
+}
+
+TEST(LexerTest, ErrorsOnUnterminatedString) {
+  EXPECT_EQ(Tokenize("'oops").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("\"oops").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, ErrorsOnUnknownCharacter) {
+  EXPECT_EQ(Tokenize("SELECT @").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto toks = Lex("SELECT  foo");
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 8u);
+}
+
+TEST(LexerTest, PaperListing1Tokenizes) {
+  auto toks = Lex(
+      "SELECT * FROM ITERATE ((SELECT 7 \"x\"), (SELECT x+7 FROM iterate), "
+      "(SELECT x FROM iterate WHERE x>=100));");
+  EXPECT_GT(toks.size(), 20u);
+  EXPECT_EQ(toks.back().type, TokenType::kEof);
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,198 @@
+/// Tests for columnar storage: Column, DataChunk, Table, Catalog.
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/data_chunk.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace soda {
+namespace {
+
+TEST(ColumnTest, AppendAndRead) {
+  Column c(DataType::kBigInt);
+  c.AppendBigInt(1);
+  c.AppendBigInt(-2);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetBigInt(0), 1);
+  EXPECT_EQ(c.GetBigInt(1), -2);
+  EXPECT_FALSE(c.HasNulls());
+}
+
+TEST(ColumnTest, NullsMaterializeValidityLazily) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(1.0);
+  EXPECT_TRUE(c.Validity().empty());  // dense fast path
+  c.AppendNull();
+  c.AppendDouble(3.0);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_FALSE(c.IsNull(2));
+  EXPECT_TRUE(c.HasNulls());
+}
+
+TEST(ColumnTest, GetValueBoxesCorrectly) {
+  Column c(DataType::kVarchar);
+  c.AppendString("hello");
+  c.AppendNull();
+  EXPECT_EQ(c.GetValue(0), Value::Varchar("hello"));
+  EXPECT_TRUE(c.GetValue(1).is_null());
+}
+
+TEST(ColumnTest, AppendValueCoercesNumerics) {
+  Column c(DataType::kDouble);
+  c.AppendValue(Value::BigInt(3));
+  EXPECT_DOUBLE_EQ(c.GetDouble(0), 3.0);
+  Column i(DataType::kBigInt);
+  i.AppendValue(Value::Double(3.7));
+  EXPECT_EQ(i.GetBigInt(0), 3);
+}
+
+TEST(ColumnTest, AppendSlicePreservesValidity) {
+  Column src(DataType::kBigInt);
+  src.AppendBigInt(1);
+  src.AppendNull();
+  src.AppendBigInt(3);
+  Column dst(DataType::kBigInt);
+  dst.AppendSlice(src, 1, 2);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_TRUE(dst.IsNull(0));
+  EXPECT_EQ(dst.GetBigInt(1), 3);
+}
+
+TEST(ColumnTest, AppendSliceDenseIntoNullable) {
+  Column dst(DataType::kBigInt);
+  dst.AppendNull();
+  Column src(DataType::kBigInt);
+  src.AppendBigInt(5);
+  dst.AppendSlice(src, 0, 1);
+  EXPECT_TRUE(dst.IsNull(0));
+  EXPECT_FALSE(dst.IsNull(1));
+  EXPECT_EQ(dst.GetBigInt(1), 5);
+}
+
+TEST(ColumnTest, BulkConstruction) {
+  Column c = Column::FromDoubles({1.0, 2.0, 3.0});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(c.F64Data()[1], 2.0);
+  Column i = Column::FromBigInts({4, 5});
+  EXPECT_EQ(i.GetBigInt(1), 5);
+}
+
+TEST(ColumnTest, MemoryUsageGrows) {
+  Column c(DataType::kBigInt);
+  size_t before = c.MemoryUsage();
+  for (int i = 0; i < 10000; ++i) c.AppendBigInt(i);
+  EXPECT_GT(c.MemoryUsage(), before);
+  EXPECT_GE(c.MemoryUsage(), 10000 * sizeof(int64_t));
+}
+
+TEST(DataChunkTest, SchemaConstruction) {
+  Schema s({Field("a", DataType::kBigInt), Field("b", DataType::kVarchar)});
+  DataChunk chunk(s);
+  EXPECT_EQ(chunk.num_columns(), 2u);
+  EXPECT_EQ(chunk.num_rows(), 0u);
+  chunk.AppendRow({Value::BigInt(1), Value::Varchar("x")});
+  EXPECT_EQ(chunk.num_rows(), 1u);
+  auto row = chunk.GetRow(0);
+  EXPECT_EQ(row[0], Value::BigInt(1));
+  EXPECT_EQ(row[1], Value::Varchar("x"));
+}
+
+TEST(TableTest, AppendRowTypeChecks) {
+  Table t("t", Schema({Field("a", DataType::kBigInt),
+                       Field("s", DataType::kVarchar)}));
+  ASSERT_OK(t.AppendRow({Value::BigInt(1), Value::Varchar("x")}));
+  // Numeric coercion allowed.
+  ASSERT_OK(t.AppendRow({Value::Double(2.9), Value::Varchar("y")}));
+  EXPECT_EQ(t.column(0).GetBigInt(1), 2);
+  // Arity mismatch rejected.
+  EXPECT_FALSE(t.AppendRow({Value::BigInt(1)}).ok());
+  // Type mismatch rejected.
+  EXPECT_FALSE(t.AppendRow({Value::Varchar("no"), Value::Varchar("y")}).ok());
+}
+
+TEST(TableTest, ScanSliceRoundTrip) {
+  Table t("t", Schema({Field("a", DataType::kBigInt)}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(t.AppendRow({Value::BigInt(i)}));
+  }
+  DataChunk chunk;
+  t.ScanSlice(10, 5, &chunk);
+  ASSERT_EQ(chunk.num_rows(), 5u);
+  EXPECT_EQ(chunk.column(0).GetBigInt(0), 10);
+  EXPECT_EQ(chunk.column(0).GetBigInt(4), 14);
+  // Out-of-range slice is clamped.
+  t.ScanSlice(95, 100, &chunk);
+  EXPECT_EQ(chunk.num_rows(), 5u);
+  t.ScanSlice(200, 10, &chunk);
+  EXPECT_EQ(chunk.num_rows(), 0u);
+}
+
+TEST(TableTest, SetColumnValidation) {
+  Table t("t", Schema({Field("a", DataType::kDouble)}));
+  ASSERT_OK(t.SetColumn(0, Column::FromDoubles({1, 2, 3})));
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_FALSE(t.SetColumn(0, Column::FromBigInts({1})).ok());
+  EXPECT_FALSE(t.SetColumn(5, Column::FromDoubles({1})).ok());
+}
+
+TEST(TableTest, TruncateKeepsSchema) {
+  Table t("t", Schema({Field("a", DataType::kBigInt)}));
+  ASSERT_OK(t.AppendRow({Value::BigInt(1)}));
+  t.Truncate();
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.schema().num_fields(), 1u);
+  ASSERT_OK(t.AppendRow({Value::BigInt(2)}));
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, ToStringContainsHeaderAndRows) {
+  Table t("t", Schema({Field("name", DataType::kVarchar)}));
+  ASSERT_OK(t.AppendRow({Value::Varchar("alpha")}));
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+TEST(CatalogTest, CreateLookupDrop) {
+  Catalog cat;
+  ASSERT_OK(cat.CreateTable("T1", Schema({Field("a", DataType::kBigInt)}))
+                .status());
+  EXPECT_TRUE(cat.HasTable("t1"));
+  EXPECT_TRUE(cat.HasTable("T1"));  // case-insensitive
+  auto t = cat.GetTable("t1");
+  ASSERT_OK(t.status());
+  EXPECT_EQ((*t)->name(), "t1");
+  // Duplicate rejected.
+  auto dup = cat.CreateTable("t1", Schema());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  ASSERT_OK(cat.DropTable("T1"));
+  EXPECT_FALSE(cat.HasTable("t1"));
+  EXPECT_EQ(cat.DropTable("t1").code(), StatusCode::kKeyError);
+  EXPECT_EQ(cat.GetTable("t1").status().code(), StatusCode::kKeyError);
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog cat;
+  ASSERT_OK(cat.CreateTable("zeta", Schema()).status());
+  ASSERT_OK(cat.CreateTable("alpha", Schema()).status());
+  auto names = cat.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(CatalogTest, RegisterExternallyBuiltTable) {
+  Catalog cat;
+  auto t = std::make_shared<Table>("bulk", Schema({Field("x", DataType::kDouble)}));
+  ASSERT_OK(cat.RegisterTable(t));
+  EXPECT_TRUE(cat.HasTable("bulk"));
+  EXPECT_EQ(cat.RegisterTable(t).code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,63 @@
+/// \file test_util.h
+/// Shared helpers for the soda test suite.
+
+#ifndef SODA_TESTS_TEST_UTIL_H_
+#define SODA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace soda::testing {
+
+#define ASSERT_OK(expr)                                              \
+  do {                                                               \
+    const auto& _st = (expr);                                        \
+    ASSERT_TRUE(_st.ok()) << "status: " << _st.ToString();           \
+  } while (0)
+
+#define EXPECT_OK(expr)                                              \
+  do {                                                               \
+    const auto& _st = (expr);                                        \
+    EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();           \
+  } while (0)
+
+/// Executes `sql`, failing the test on error.
+inline QueryResult RunQuery(Engine& engine, const std::string& sql) {
+  auto result = engine.Execute(sql);
+  EXPECT_TRUE(result.ok()) << "query failed: " << result.status().ToString()
+                           << "\nSQL: " << sql;
+  return result.ok() ? std::move(result.ValueOrDie()) : QueryResult();
+}
+
+/// Expects the query to fail with the given status code.
+inline void ExpectError(Engine& engine, const std::string& sql,
+                        StatusCode code) {
+  auto result = engine.Execute(sql);
+  ASSERT_FALSE(result.ok()) << "expected failure for: " << sql;
+  EXPECT_EQ(result.status().code(), code)
+      << "got: " << result.status().ToString() << "\nSQL: " << sql;
+}
+
+/// Column `col` of the result as doubles (numeric columns).
+inline std::vector<double> NumericColumn(const QueryResult& r, size_t col) {
+  std::vector<double> out;
+  out.reserve(r.num_rows());
+  for (size_t i = 0; i < r.num_rows(); ++i) out.push_back(r.GetDouble(i, col));
+  return out;
+}
+
+inline std::vector<int64_t> IntColumn(const QueryResult& r, size_t col) {
+  std::vector<int64_t> out;
+  out.reserve(r.num_rows());
+  for (size_t i = 0; i < r.num_rows(); ++i) out.push_back(r.GetInt(i, col));
+  return out;
+}
+
+}  // namespace soda::testing
+
+#endif  // SODA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,155 @@
+/// Tests for the type system: DataType parsing/coercion, Value semantics,
+/// and Schema name resolution.
+
+#include <gtest/gtest.h>
+
+#include "types/data_type.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace soda {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kBigInt), "BIGINT");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeToString(DataType::kVarchar), "VARCHAR");
+  EXPECT_STREQ(DataTypeToString(DataType::kBool), "BOOLEAN");
+}
+
+TEST(DataTypeTest, ParseAliases) {
+  EXPECT_EQ(*DataTypeFromString("int"), DataType::kBigInt);
+  EXPECT_EQ(*DataTypeFromString("INTEGER"), DataType::kBigInt);
+  EXPECT_EQ(*DataTypeFromString("Float"), DataType::kDouble);
+  EXPECT_EQ(*DataTypeFromString("double"), DataType::kDouble);
+  EXPECT_EQ(*DataTypeFromString("VARCHAR(500)"), DataType::kVarchar);
+  EXPECT_EQ(*DataTypeFromString("text"), DataType::kVarchar);
+  EXPECT_EQ(*DataTypeFromString("boolean"), DataType::kBool);
+  EXPECT_FALSE(DataTypeFromString("blob").ok());
+}
+
+TEST(DataTypeTest, CommonTypeWidening) {
+  EXPECT_EQ(CommonType(DataType::kBigInt, DataType::kBigInt),
+            DataType::kBigInt);
+  EXPECT_EQ(CommonType(DataType::kBigInt, DataType::kDouble),
+            DataType::kDouble);
+  EXPECT_EQ(CommonType(DataType::kDouble, DataType::kBigInt),
+            DataType::kDouble);
+  EXPECT_EQ(CommonType(DataType::kVarchar, DataType::kVarchar),
+            DataType::kVarchar);
+  EXPECT_EQ(CommonType(DataType::kVarchar, DataType::kBigInt),
+            DataType::kInvalid);
+  EXPECT_EQ(CommonType(DataType::kBool, DataType::kBigInt),
+            DataType::kInvalid);
+}
+
+TEST(ValueTest, Construction) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value::Null(DataType::kDouble).is_null());
+  EXPECT_EQ(Value::Null(DataType::kDouble).type(), DataType::kDouble);
+  EXPECT_EQ(Value::BigInt(42).bigint_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::Varchar("hi").varchar_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(ValueTest, NumericAccessors) {
+  EXPECT_DOUBLE_EQ(Value::BigInt(3).AsDouble(), 3.0);
+  EXPECT_EQ(Value::Double(3.9).AsBigInt(), 3);  // truncation
+  EXPECT_EQ(Value::Bool(true).AsBigInt(), 1);
+}
+
+TEST(ValueTest, Casts) {
+  EXPECT_EQ(Value::Double(3.0).CastTo(DataType::kBigInt)->bigint_value(), 3);
+  EXPECT_DOUBLE_EQ(Value::BigInt(3).CastTo(DataType::kDouble)->double_value(),
+                   3.0);
+  EXPECT_EQ(Value::Varchar("17").CastTo(DataType::kBigInt)->bigint_value(),
+            17);
+  EXPECT_DOUBLE_EQ(
+      Value::Varchar("2.5").CastTo(DataType::kDouble)->double_value(), 2.5);
+  EXPECT_EQ(Value::BigInt(7).CastTo(DataType::kVarchar)->varchar_value(),
+            "7");
+  EXPECT_FALSE(Value::Varchar("xyz").CastTo(DataType::kBigInt).ok());
+  // NULL casts to NULL of the target type.
+  auto v = Value::Null().CastTo(DataType::kDouble);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  EXPECT_EQ(v->type(), DataType::kDouble);
+}
+
+TEST(ValueTest, EqualityMixedNumerics) {
+  EXPECT_EQ(Value::BigInt(3), Value::Double(3.0));
+  EXPECT_NE(Value::BigInt(3), Value::Double(3.5));
+  EXPECT_EQ(Value::Null(), Value::Null(DataType::kBigInt));
+  EXPECT_NE(Value::Null(), Value::BigInt(0));
+  EXPECT_EQ(Value::Varchar("a"), Value::Varchar("a"));
+  EXPECT_NE(Value::Varchar("a"), Value::Varchar("b"));
+}
+
+TEST(ValueTest, OrderingNullsFirst) {
+  EXPECT_TRUE(Value::Null() < Value::BigInt(-100));
+  EXPECT_FALSE(Value::BigInt(-100) < Value::Null());
+  EXPECT_TRUE(Value::BigInt(1) < Value::Double(1.5));
+  EXPECT_TRUE(Value::Varchar("a") < Value::Varchar("b"));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::BigInt(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Varchar("x").ToString(), "x");
+  EXPECT_EQ(Value::Double(0.5).ToString(), "0.5");
+}
+
+TEST(SchemaTest, FieldNamesFoldToLower) {
+  Field f("MiXeD", DataType::kBigInt, "Tab");
+  EXPECT_EQ(f.name, "mixed");
+  EXPECT_EQ(f.qualifier, "tab");
+}
+
+TEST(SchemaTest, FindFieldUnqualified) {
+  Schema s({Field("a", DataType::kBigInt, "t"),
+            Field("b", DataType::kDouble, "t")});
+  EXPECT_EQ(*s.FindField("b"), 1u);
+  EXPECT_EQ(*s.FindField("", "A"), 0u);  // case-insensitive
+  EXPECT_FALSE(s.FindField("c").ok());
+}
+
+TEST(SchemaTest, FindFieldQualified) {
+  Schema s({Field("a", DataType::kBigInt, "t1"),
+            Field("a", DataType::kBigInt, "t2")});
+  EXPECT_EQ(*s.FindField("t1", "a"), 0u);
+  EXPECT_EQ(*s.FindField("t2", "a"), 1u);
+  // Unqualified is ambiguous.
+  auto r = s.FindField("a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(SchemaTest, ConcatAndQualify) {
+  Schema a({Field("x", DataType::kDouble)});
+  Schema b({Field("y", DataType::kBigInt)});
+  Schema c = a.Concat(b);
+  ASSERT_EQ(c.num_fields(), 2u);
+  EXPECT_EQ(c.field(1).name, "y");
+  Schema q = c.WithQualifier("T");
+  EXPECT_EQ(q.field(0).qualifier, "t");
+  EXPECT_EQ(q.field(1).qualifier, "t");
+}
+
+TEST(SchemaTest, TypesEqualIgnoresNames) {
+  Schema a({Field("x", DataType::kDouble), Field("y", DataType::kBigInt)});
+  Schema b({Field("p", DataType::kDouble), Field("q", DataType::kBigInt)});
+  Schema c({Field("p", DataType::kDouble), Field("q", DataType::kDouble)});
+  EXPECT_TRUE(a.TypesEqual(b));
+  EXPECT_FALSE(a.TypesEqual(c));
+  EXPECT_FALSE(a.TypesEqual(Schema()));
+}
+
+TEST(SchemaTest, ToStringRendering) {
+  Schema s({Field("a", DataType::kBigInt, "t")});
+  EXPECT_EQ(s.ToString(), "(t.a BIGINT)");
+}
+
+}  // namespace
+}  // namespace soda

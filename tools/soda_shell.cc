@@ -1,0 +1,223 @@
+/// soda_shell — an interactive SQL shell for the soda engine.
+///
+/// Usage:
+///   ./build/tools/soda_shell [script.sql ...]
+///
+/// Statements end with ';'. Meta commands:
+///   \d             list tables
+///   \d <table>     describe a table
+///   \timing        toggle per-statement timing
+///   \demo          load a small demo dataset (data/center/edges tables)
+///   \import <file> <table>   load a CSV file (schema inferred)
+///   \export <table> <file>   write a table as CSV
+///   \q             quit
+///
+/// Any script files given on the command line are executed before the
+/// prompt appears (their output is printed), so the shell doubles as a
+/// batch runner.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "storage/csv.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+void RunStatement(soda::Engine& engine, const std::string& sql, bool timing) {
+  soda::Timer timer;
+  auto result = engine.Execute(sql);
+  double seconds = timer.ElapsedSeconds();
+  if (!result.ok()) {
+    std::printf("%s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result->num_rows() > 0 || result->num_columns() > 0) {
+    std::printf("%s", result->ToString(40).c_str());
+  } else {
+    std::printf("OK\n");
+  }
+  if (timing) std::printf("(%.3f s)\n", seconds);
+}
+
+void ListTables(soda::Engine& engine) {
+  for (const auto& name : engine.catalog().TableNames()) {
+    auto table = engine.catalog().GetTable(name);
+    if (table.ok()) {
+      std::printf("%-24s %8zu rows   %s\n", name.c_str(),
+                  (*table)->num_rows(),
+                  soda::HumanBytes((*table)->MemoryUsage()).c_str());
+    }
+  }
+}
+
+void DescribeTable(soda::Engine& engine, const std::string& name) {
+  auto table = engine.catalog().GetTable(name);
+  if (!table.ok()) {
+    std::printf("%s\n", table.status().ToString().c_str());
+    return;
+  }
+  for (const auto& field : (*table)->schema().fields()) {
+    std::printf("  %-20s %s\n", field.name.c_str(),
+                DataTypeToString(field.type));
+  }
+}
+
+void LoadDemo(soda::Engine& engine) {
+  const char* script =
+      "CREATE TABLE IF NOT EXISTS data (x FLOAT, y INTEGER, z FLOAT, "
+      "descr VARCHAR(500));"
+      "INSERT INTO data VALUES (0.5, 1, 0.1, 'alpha'), (0.9, 1, 0.2, 'beta'),"
+      "(0.1, 2, 0.3, 'gamma'), (8.5, 9, 7.5, 'delta'),"
+      "(9.1, 9, 7.9, 'epsilon'), (8.8, 8, 8.1, 'zeta');"
+      "CREATE TABLE IF NOT EXISTS center (x FLOAT, y INTEGER);"
+      "INSERT INTO center VALUES (0.5, 1), (8.5, 9);"
+      "CREATE TABLE IF NOT EXISTS edges (src INTEGER, dest INTEGER);"
+      "INSERT INTO edges VALUES (1,2),(2,1),(2,3),(3,2),(3,1),(1,3),(4,1);";
+  auto result = engine.ExecuteScript(script);
+  if (!result.ok()) {
+    std::printf("%s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("demo tables ready: data, center, edges — try:\n"
+              "  SELECT * FROM KMEANS((SELECT x, y FROM data), "
+              "(SELECT x, y FROM center), lambda(a, b) (a.x-b.x)^2 + "
+              "(a.y-b.y)^2, 3);\n"
+              "  SELECT * FROM PAGERANK((SELECT src, dest FROM edges), "
+              "0.85, 0.0001);\n");
+}
+
+/// Splits buffered input into complete ';'-terminated statements, leaving
+/// any trailing partial statement in `buffer`. Quote-aware so a ';' inside
+/// a string literal does not split.
+std::vector<std::string> DrainStatements(std::string* buffer) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < buffer->size(); ++i) {
+    char c = (*buffer)[i];
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      std::string stmt = buffer->substr(start, i - start);
+      if (!soda::Trim(stmt).empty()) out.push_back(std::move(stmt));
+      start = i + 1;
+    }
+  }
+  buffer->erase(0, start);
+  return out;
+}
+
+bool HandleMeta(soda::Engine& engine, const std::string& line, bool* timing) {
+  std::string cmd(soda::Trim(line));
+  if (cmd == "\\q" || cmd == "\\quit") std::exit(0);
+  if (cmd == "\\timing") {
+    *timing = !*timing;
+    std::printf("timing %s\n", *timing ? "on" : "off");
+    return true;
+  }
+  if (cmd == "\\d") {
+    ListTables(engine);
+    return true;
+  }
+  if (cmd.rfind("\\d ", 0) == 0) {
+    DescribeTable(engine, std::string(soda::Trim(cmd.substr(3))));
+    return true;
+  }
+  if (cmd == "\\demo") {
+    LoadDemo(engine);
+    return true;
+  }
+  if (cmd.rfind("\\import ", 0) == 0) {
+    auto args = soda::Split(std::string(soda::Trim(cmd.substr(8))), ' ');
+    if (args.size() != 2) {
+      std::printf("usage: \\import <file.csv> <table>\n");
+      return true;
+    }
+    soda::Timer timer;
+    auto table = soda::ImportCsv(&engine.catalog(), args[1], args[0]);
+    if (!table.ok()) {
+      std::printf("%s\n", table.status().ToString().c_str());
+    } else {
+      std::printf("loaded %zu rows into %s %s (%.3f s)\n",
+                  (*table)->num_rows(), args[1].c_str(),
+                  (*table)->schema().ToString().c_str(),
+                  timer.ElapsedSeconds());
+    }
+    return true;
+  }
+  if (cmd.rfind("\\export ", 0) == 0) {
+    auto args = soda::Split(std::string(soda::Trim(cmd.substr(8))), ' ');
+    if (args.size() != 2) {
+      std::printf("usage: \\export <table> <file.csv>\n");
+      return true;
+    }
+    auto table = engine.catalog().GetTable(args[0]);
+    if (!table.ok()) {
+      std::printf("%s\n", table.status().ToString().c_str());
+      return true;
+    }
+    soda::Status st = soda::ExportCsv(**table, args[1]);
+    std::printf("%s\n", st.ok() ? "OK" : st.ToString().c_str());
+    return true;
+  }
+  if (!cmd.empty() && cmd[0] == '\\') {
+    std::printf("unknown meta command: %s (try \\d, \\timing, \\demo, \\q)\n",
+                cmd.c_str());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  soda::Engine engine;
+  bool timing = false;
+
+  // Batch mode: run script files first.
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::stringstream ss;
+    ss << file.rdbuf();
+    std::string script = ss.str();
+    std::vector<std::string> stmts = DrainStatements(&script);
+    for (const auto& stmt : stmts) RunStatement(engine, stmt, timing);
+  }
+
+  const bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("soda shell — SQL- and operator-centric analytics. "
+                "\\demo loads sample tables, \\q quits.\n");
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf(buffer.empty() ? "soda> " : "  ...> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (soda::Trim(buffer).empty() && HandleMeta(engine, line, &timing)) {
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    for (const auto& stmt : DrainStatements(&buffer)) {
+      RunStatement(engine, stmt, timing);
+    }
+    if (soda::Trim(buffer).empty()) buffer.clear();
+  }
+  return 0;
+}
