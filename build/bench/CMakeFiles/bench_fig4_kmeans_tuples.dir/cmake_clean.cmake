@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_kmeans_tuples.dir/bench_fig4_kmeans_tuples.cc.o"
+  "CMakeFiles/bench_fig4_kmeans_tuples.dir/bench_fig4_kmeans_tuples.cc.o.d"
+  "bench_fig4_kmeans_tuples"
+  "bench_fig4_kmeans_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_kmeans_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

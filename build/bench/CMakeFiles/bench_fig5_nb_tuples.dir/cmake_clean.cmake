@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_nb_tuples.dir/bench_fig5_nb_tuples.cc.o"
+  "CMakeFiles/bench_fig5_nb_tuples.dir/bench_fig5_nb_tuples.cc.o.d"
+  "bench_fig5_nb_tuples"
+  "bench_fig5_nb_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nb_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pagerank.dir/bench_fig5_pagerank.cc.o"
+  "CMakeFiles/bench_fig5_pagerank.dir/bench_fig5_pagerank.cc.o.d"
+  "bench_fig5_pagerank"
+  "bench_fig5_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_ranking.dir/social_network_ranking.cpp.o"
+  "CMakeFiles/social_network_ranking.dir/social_network_ranking.cpp.o.d"
+  "social_network_ranking"
+  "social_network_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

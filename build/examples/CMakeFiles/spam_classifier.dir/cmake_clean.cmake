@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_classifier.dir/spam_classifier.cpp.o"
+  "CMakeFiles/spam_classifier.dir/spam_classifier.cpp.o.d"
+  "spam_classifier"
+  "spam_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/connected_components.cc" "src/CMakeFiles/soda.dir/analytics/connected_components.cc.o" "gcc" "src/CMakeFiles/soda.dir/analytics/connected_components.cc.o.d"
+  "/root/repo/src/analytics/kmeans.cc" "src/CMakeFiles/soda.dir/analytics/kmeans.cc.o" "gcc" "src/CMakeFiles/soda.dir/analytics/kmeans.cc.o.d"
+  "/root/repo/src/analytics/naive_bayes.cc" "src/CMakeFiles/soda.dir/analytics/naive_bayes.cc.o" "gcc" "src/CMakeFiles/soda.dir/analytics/naive_bayes.cc.o.d"
+  "/root/repo/src/analytics/pagerank.cc" "src/CMakeFiles/soda.dir/analytics/pagerank.cc.o" "gcc" "src/CMakeFiles/soda.dir/analytics/pagerank.cc.o.d"
+  "/root/repo/src/analytics/stats.cc" "src/CMakeFiles/soda.dir/analytics/stats.cc.o" "gcc" "src/CMakeFiles/soda.dir/analytics/stats.cc.o.d"
+  "/root/repo/src/bench_support/workloads.cc" "src/CMakeFiles/soda.dir/bench_support/workloads.cc.o" "gcc" "src/CMakeFiles/soda.dir/bench_support/workloads.cc.o.d"
+  "/root/repo/src/contenders/common.cc" "src/CMakeFiles/soda.dir/contenders/common.cc.o" "gcc" "src/CMakeFiles/soda.dir/contenders/common.cc.o.d"
+  "/root/repo/src/contenders/rdd_engine.cc" "src/CMakeFiles/soda.dir/contenders/rdd_engine.cc.o" "gcc" "src/CMakeFiles/soda.dir/contenders/rdd_engine.cc.o.d"
+  "/root/repo/src/contenders/single_threaded_engine.cc" "src/CMakeFiles/soda.dir/contenders/single_threaded_engine.cc.o" "gcc" "src/CMakeFiles/soda.dir/contenders/single_threaded_engine.cc.o.d"
+  "/root/repo/src/contenders/udf_engine.cc" "src/CMakeFiles/soda.dir/contenders/udf_engine.cc.o" "gcc" "src/CMakeFiles/soda.dir/contenders/udf_engine.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/soda.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/soda.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/query_result.cc" "src/CMakeFiles/soda.dir/core/query_result.cc.o" "gcc" "src/CMakeFiles/soda.dir/core/query_result.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/soda.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/soda.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/soda.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/soda.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/soda.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/soda.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/iterate.cc" "src/CMakeFiles/soda.dir/exec/iterate.cc.o" "gcc" "src/CMakeFiles/soda.dir/exec/iterate.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/soda.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/soda.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/recursive_cte.cc" "src/CMakeFiles/soda.dir/exec/recursive_cte.cc.o" "gcc" "src/CMakeFiles/soda.dir/exec/recursive_cte.cc.o.d"
+  "/root/repo/src/exec/table_function.cc" "src/CMakeFiles/soda.dir/exec/table_function.cc.o" "gcc" "src/CMakeFiles/soda.dir/exec/table_function.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/soda.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/soda.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/soda.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/soda.dir/expr/expression.cc.o.d"
+  "/root/repo/src/expr/fold.cc" "src/CMakeFiles/soda.dir/expr/fold.cc.o" "gcc" "src/CMakeFiles/soda.dir/expr/fold.cc.o.d"
+  "/root/repo/src/expr/lambda_kernel.cc" "src/CMakeFiles/soda.dir/expr/lambda_kernel.cc.o" "gcc" "src/CMakeFiles/soda.dir/expr/lambda_kernel.cc.o.d"
+  "/root/repo/src/expr/type_inference.cc" "src/CMakeFiles/soda.dir/expr/type_inference.cc.o" "gcc" "src/CMakeFiles/soda.dir/expr/type_inference.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/CMakeFiles/soda.dir/graph/csr.cc.o" "gcc" "src/CMakeFiles/soda.dir/graph/csr.cc.o.d"
+  "/root/repo/src/graph/ldbc_generator.cc" "src/CMakeFiles/soda.dir/graph/ldbc_generator.cc.o" "gcc" "src/CMakeFiles/soda.dir/graph/ldbc_generator.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/soda.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/soda.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/soda.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/soda.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/logical_plan.cc" "src/CMakeFiles/soda.dir/sql/logical_plan.cc.o" "gcc" "src/CMakeFiles/soda.dir/sql/logical_plan.cc.o.d"
+  "/root/repo/src/sql/optimizer.cc" "src/CMakeFiles/soda.dir/sql/optimizer.cc.o" "gcc" "src/CMakeFiles/soda.dir/sql/optimizer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/soda.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/soda.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/soda.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/soda.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/soda.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/soda.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/soda.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/soda.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/data_chunk.cc" "src/CMakeFiles/soda.dir/storage/data_chunk.cc.o" "gcc" "src/CMakeFiles/soda.dir/storage/data_chunk.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/soda.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/soda.dir/storage/table.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/soda.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/soda.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/soda.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/soda.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/soda.dir/types/value.cc.o" "gcc" "src/CMakeFiles/soda.dir/types/value.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/soda.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/soda.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/CMakeFiles/soda.dir/util/parallel.cc.o" "gcc" "src/CMakeFiles/soda.dir/util/parallel.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/soda.dir/util/status.cc.o" "gcc" "src/CMakeFiles/soda.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/soda.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/soda.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/soda.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/soda.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

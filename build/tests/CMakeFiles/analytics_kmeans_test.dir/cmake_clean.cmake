@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_kmeans_test.dir/analytics_kmeans_test.cc.o"
+  "CMakeFiles/analytics_kmeans_test.dir/analytics_kmeans_test.cc.o.d"
+  "analytics_kmeans_test"
+  "analytics_kmeans_test.pdb"
+  "analytics_kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

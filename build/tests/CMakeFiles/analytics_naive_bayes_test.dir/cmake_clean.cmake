@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_naive_bayes_test.dir/analytics_naive_bayes_test.cc.o"
+  "CMakeFiles/analytics_naive_bayes_test.dir/analytics_naive_bayes_test.cc.o.d"
+  "analytics_naive_bayes_test"
+  "analytics_naive_bayes_test.pdb"
+  "analytics_naive_bayes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_naive_bayes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_pagerank_test.dir/analytics_pagerank_test.cc.o"
+  "CMakeFiles/analytics_pagerank_test.dir/analytics_pagerank_test.cc.o.d"
+  "analytics_pagerank_test"
+  "analytics_pagerank_test.pdb"
+  "analytics_pagerank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_pagerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

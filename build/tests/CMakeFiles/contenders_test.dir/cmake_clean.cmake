@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contenders_test.dir/contenders_test.cc.o"
+  "CMakeFiles/contenders_test.dir/contenders_test.cc.o.d"
+  "contenders_test"
+  "contenders_test.pdb"
+  "contenders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contenders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

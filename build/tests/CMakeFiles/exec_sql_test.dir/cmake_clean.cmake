@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_sql_test.dir/exec_sql_test.cc.o"
+  "CMakeFiles/exec_sql_test.dir/exec_sql_test.cc.o.d"
+  "exec_sql_test"
+  "exec_sql_test.pdb"
+  "exec_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

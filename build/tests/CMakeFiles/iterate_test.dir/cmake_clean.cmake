@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterate_test.dir/iterate_test.cc.o"
+  "CMakeFiles/iterate_test.dir/iterate_test.cc.o.d"
+  "iterate_test"
+  "iterate_test.pdb"
+  "iterate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

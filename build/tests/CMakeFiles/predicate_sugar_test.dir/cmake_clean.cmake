@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_sugar_test.dir/predicate_sugar_test.cc.o"
+  "CMakeFiles/predicate_sugar_test.dir/predicate_sugar_test.cc.o.d"
+  "predicate_sugar_test"
+  "predicate_sugar_test.pdb"
+  "predicate_sugar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_sugar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

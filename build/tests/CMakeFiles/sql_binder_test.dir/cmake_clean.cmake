@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_binder_test.dir/sql_binder_test.cc.o"
+  "CMakeFiles/sql_binder_test.dir/sql_binder_test.cc.o.d"
+  "sql_binder_test"
+  "sql_binder_test.pdb"
+  "sql_binder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_binder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
