@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
 
 #include "expr/evaluator.h"
@@ -13,6 +14,8 @@
 #include "graph/ldbc_generator.h"
 #include "storage/data_chunk.h"
 #include "storage/table.h"
+#include "util/parallel.h"
+#include "util/query_guard.h"
 #include "util/rng.h"
 
 namespace soda {
@@ -142,6 +145,56 @@ void BM_ChunkScan(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_ChunkScan);
+
+/// Cost of the resource governor on the hot loop: an unguarded ParallelFor
+/// sum over 10M tuples vs the guard-aware overload that probes the
+/// cancel/deadline/fault state once per morsel. The probe is one relaxed
+/// atomic load plus a steady-clock read every morsel (16K tuples), so the
+/// two should stay within ~2% of each other.
+constexpr size_t kScanTuples = 10'000'000;
+
+std::vector<int64_t> MakeScanInput() {
+  std::vector<int64_t> data(kScanTuples);
+  Rng rng(7);
+  for (auto& v : data) v = static_cast<int64_t>(rng.Next() & 0xffff);
+  return data;
+}
+
+void BM_ParallelForScan(benchmark::State& state) {
+  const std::vector<int64_t> data = MakeScanInput();
+  for (auto _ : state) {
+    std::atomic<int64_t> sum{0};
+    ParallelFor(data.size(), [&](size_t begin, size_t end, size_t) {
+      int64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += data[i];
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kScanTuples));
+}
+BENCHMARK(BM_ParallelForScan)->Unit(benchmark::kMillisecond);
+
+void BM_GuardedParallelForScan(benchmark::State& state) {
+  const std::vector<int64_t> data = MakeScanInput();
+  // No timeout, no budget: pure probe overhead.
+  QueryGuard guard(QueryLimits{}, nullptr);
+  for (auto _ : state) {
+    std::atomic<int64_t> sum{0};
+    Status st =
+        ParallelFor(&guard, data.size(), [&](size_t begin, size_t end, size_t) {
+          int64_t local = 0;
+          for (size_t i = begin; i < end; ++i) local += data[i];
+          sum.fetch_add(local, std::memory_order_relaxed);
+        });
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kScanTuples));
+}
+BENCHMARK(BM_GuardedParallelForScan)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace soda

@@ -10,7 +10,8 @@
 namespace soda {
 
 Result<TablePtr> RunConnectedComponents(const Table& edges,
-                                        ConnectedComponentsStats* stats) {
+                                        ConnectedComponentsStats* stats,
+                                        QueryGuard* guard) {
   if (edges.num_columns() < 2 ||
       edges.column(0).type() != DataType::kBigInt ||
       edges.column(1).type() != DataType::kBigInt) {
@@ -19,6 +20,8 @@ Result<TablePtr> RunConnectedComponents(const Table& edges,
   }
   const size_t e = edges.num_rows();
   // Undirected closure: materialize both directions before the CSR build.
+  SODA_RETURN_NOT_OK(
+      GuardReserve(guard, 4 * e * sizeof(int64_t), "cc.edges"));
   std::vector<int64_t> src, dst;
   src.reserve(2 * e);
   dst.reserve(2 * e);
@@ -48,20 +51,25 @@ Result<TablePtr> RunConnectedComponents(const Table& edges,
 
   int64_t iterations = 0;
   for (;;) {
+    // Governance probe per propagation round; label propagation runs at
+    // most diameter+1 rounds but huge graphs still deserve a deadline.
+    SODA_RETURN_NOT_OK(GuardProbe(guard, "cc.iteration"));
     std::atomic<bool> changed{false};
-    ParallelFor(v, [&](size_t begin, size_t end, size_t) {
-      bool local_changed = false;
-      for (size_t vert = begin; vert < end; ++vert) {
-        int64_t best = label[vert];
-        for (const uint32_t* n = csr.NeighborsBegin(static_cast<uint32_t>(vert));
-             n != csr.NeighborsEnd(static_cast<uint32_t>(vert)); ++n) {
-          best = std::min(best, label[*n]);
-        }
-        next[vert] = best;
-        if (best != label[vert]) local_changed = true;
-      }
-      if (local_changed) changed.store(true, std::memory_order_relaxed);
-    });
+    SODA_RETURN_NOT_OK(ParallelFor(
+        guard, v, [&](size_t begin, size_t end, size_t) {
+          bool local_changed = false;
+          for (size_t vert = begin; vert < end; ++vert) {
+            int64_t best = label[vert];
+            for (const uint32_t* n =
+                     csr.NeighborsBegin(static_cast<uint32_t>(vert));
+                 n != csr.NeighborsEnd(static_cast<uint32_t>(vert)); ++n) {
+              best = std::min(best, label[*n]);
+            }
+            next[vert] = best;
+            if (best != label[vert]) local_changed = true;
+          }
+          if (local_changed) changed.store(true, std::memory_order_relaxed);
+        }));
     ++iterations;
     label.swap(next);
     if (!changed.load()) break;

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "storage/table.h"
+#include "util/query_guard.h"
 #include "util/status.h"
 
 namespace soda {
@@ -32,9 +33,14 @@ struct ConnectedComponentsStats {
 /// columns are BIGINT (src, dst). Output: (vertex BIGINT,
 /// component BIGINT) where `component` is the smallest *original* vertex
 /// id in the component (stable, order-independent labels).
+///
+/// `guard` (nullable) is probed at "cc.iteration" every propagation round;
+/// the undirected edge-list copy is charged to the memory budget at
+/// "cc.edges" before it is built.
 Result<TablePtr> RunConnectedComponents(const Table& edges,
                                         ConnectedComponentsStats* stats =
-                                            nullptr);
+                                            nullptr,
+                                        QueryGuard* guard = nullptr);
 
 }  // namespace soda
 

@@ -12,8 +12,10 @@ namespace {
 
 /// Copies an all-numeric table into a dense row-major double matrix
 /// (paper §6.1: the operator provides "efficient internal data
-/// representations"). Parallel over rows.
-Status Densify(const Table& t, std::vector<double>* out) {
+/// representations"). Parallel over rows. The matrix is the operator's
+/// dominant allocation, so it is reserved against the memory budget
+/// ("kmeans.densify") before any memory is touched.
+Status Densify(const Table& t, std::vector<double>* out, QueryGuard* guard) {
   const size_t n = t.num_rows();
   const size_t d = t.num_columns();
   for (size_t c = 0; c < d; ++c) {
@@ -23,8 +25,10 @@ Status Densify(const Table& t, std::vector<double>* out) {
                                DataTypeToString(t.column(c).type()));
     }
   }
+  SODA_RETURN_NOT_OK(
+      GuardReserve(guard, n * d * sizeof(double), "kmeans.densify"));
   out->resize(n * d);
-  ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+  return ParallelFor(guard, n, [&](size_t begin, size_t end, size_t) {
     for (size_t c = 0; c < d; ++c) {
       const Column& col = t.column(c);
       if (col.type() == DataType::kDouble) {
@@ -38,7 +42,6 @@ Status Densify(const Table& t, std::vector<double>* out) {
       }
     }
   });
-  return Status::OK();
 }
 
 double SquaredL2(const double* a, const double* b, size_t d) {
@@ -89,9 +92,9 @@ Result<KMeansResult> RunKMeans(const Table& data,
   }
 
   std::vector<double> points;
-  SODA_RETURN_NOT_OK(Densify(data, &points));
+  SODA_RETURN_NOT_OK(Densify(data, &points, options.guard));
   std::vector<double> centers;
-  SODA_RETURN_NOT_OK(Densify(initial_centers, &centers));
+  SODA_RETURN_NOT_OK(Densify(initial_centers, &centers, options.guard));
 
   // Previous assignment per tuple, for the convergence check (§6.1: the
   // algorithm converges when no tuple changes its assigned cluster).
@@ -102,9 +105,13 @@ Result<KMeansResult> RunKMeans(const Table& data,
 
   KMeansResult result;
   for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Governance probe per round: a k-Means that never converges is
+    // exactly the runaway the paper says the database must abort (§5.1).
+    SODA_RETURN_NOT_OK(GuardProbe(options.guard, "kmeans.iteration"));
     for (auto& w : workers) w.Reset(k, d);
 
-    ParallelFor(n, [&](size_t begin, size_t end, size_t worker) {
+    SODA_RETURN_NOT_OK(ParallelFor(
+        options.guard, n, [&](size_t begin, size_t end, size_t worker) {
       WorkerAccum& acc = workers[worker];
       for (size_t i = begin; i < end; ++i) {
         const double* p = points.data() + i * d;
@@ -127,7 +134,7 @@ Result<KMeansResult> RunKMeans(const Table& data,
         for (size_t j = 0; j < d; ++j) sum[j] += p[j];
         acc.counts[best]++;
       }
-    });
+    }));
 
     // Global merge — the only synchronized step.
     std::vector<double> sums(k * d, 0.0);
@@ -183,8 +190,8 @@ Result<std::vector<uint32_t>> AssignClusters(const Table& data,
     return Status::InvalidArgument("centers incompatible with data");
   }
   std::vector<double> points, ctrs;
-  SODA_RETURN_NOT_OK(Densify(data, &points));
-  SODA_RETURN_NOT_OK(Densify(centers, &ctrs));
+  SODA_RETURN_NOT_OK(Densify(data, &points, /*guard=*/nullptr));
+  SODA_RETURN_NOT_OK(Densify(centers, &ctrs, /*guard=*/nullptr));
   const size_t k = centers.num_rows();
   std::vector<uint32_t> assignment(n);
   ParallelFor(n, [&](size_t begin, size_t end, size_t) {

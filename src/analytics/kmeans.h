@@ -15,6 +15,7 @@
 
 #include "expr/lambda_kernel.h"
 #include "storage/table.h"
+#include "util/query_guard.h"
 #include "util/status.h"
 
 namespace soda {
@@ -31,6 +32,9 @@ struct KMeansOptions {
   /// cluster"): stop once changed_tuples <= min_change_fraction * n.
   /// 0 keeps the strict no-change criterion.
   double min_change_fraction = 0.0;
+  /// Resource governor probed at the "kmeans.iteration" site each round
+  /// and at every assignment morsel; null = ungoverned.
+  QueryGuard* guard = nullptr;
 };
 
 struct KMeansResult {

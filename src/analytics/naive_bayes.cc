@@ -25,8 +25,9 @@ Schema NaiveBayesModelSchema() {
                  Field("cnt", DataType::kBigInt)});
 }
 
-Result<TablePtr> TrainNaiveBayes(const Table& labeled) {
-  SODA_ASSIGN_OR_RETURN(GroupedMoments gm, ComputeGroupedMoments(labeled));
+Result<TablePtr> TrainNaiveBayes(const Table& labeled, QueryGuard* guard) {
+  SODA_ASSIGN_OR_RETURN(GroupedMoments gm,
+                        ComputeGroupedMoments(labeled, guard));
   const int64_t total = gm.total_count();
   const double num_classes = static_cast<double>(gm.classes.size());
 
@@ -50,7 +51,8 @@ Result<TablePtr> TrainNaiveBayes(const Table& labeled) {
   return model;
 }
 
-Result<TablePtr> PredictNaiveBayes(const Table& model, const Table& data) {
+Result<TablePtr> PredictNaiveBayes(const Table& model, const Table& data,
+                                   QueryGuard* guard) {
   // Decode the relational model into per-class parameter vectors.
   if (!model.schema().TypesEqual(NaiveBayesModelSchema())) {
     return Status::InvalidArgument(
@@ -117,29 +119,30 @@ Result<TablePtr> PredictNaiveBayes(const Table& model, const Table& data) {
 
   const size_t n = data.num_rows();
   std::vector<int64_t> predicted(n);
-  ParallelFor(n, [&](size_t begin, size_t end, size_t) {
-    std::vector<double> x(num_attrs);
-    for (size_t i = begin; i < end; ++i) {
-      for (size_t a = 0; a < num_attrs; ++a) {
-        x[a] = data.column(a).GetNumeric(i);
-      }
-      double best_score = -std::numeric_limits<double>::infinity();
-      int64_t best_label = labels[0];
-      for (size_t c = 0; c < params.size(); ++c) {
-        double score = params[c].log_prior;
-        for (size_t a = 0; a < num_attrs; ++a) {
-          double diff = x[a] - params[c].mean[a];
-          score += log_norm[c][a] -
-                   0.5 * diff * diff / params[c].variance[a];
+  SODA_RETURN_NOT_OK(ParallelFor(
+      guard, n, [&](size_t begin, size_t end, size_t) {
+        std::vector<double> x(num_attrs);
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t a = 0; a < num_attrs; ++a) {
+            x[a] = data.column(a).GetNumeric(i);
+          }
+          double best_score = -std::numeric_limits<double>::infinity();
+          int64_t best_label = labels[0];
+          for (size_t c = 0; c < params.size(); ++c) {
+            double score = params[c].log_prior;
+            for (size_t a = 0; a < num_attrs; ++a) {
+              double diff = x[a] - params[c].mean[a];
+              score += log_norm[c][a] -
+                       0.5 * diff * diff / params[c].variance[a];
+            }
+            if (score > best_score) {
+              best_score = score;
+              best_label = labels[c];
+            }
+          }
+          predicted[i] = best_label;
         }
-        if (score > best_score) {
-          best_score = score;
-          best_label = labels[c];
-        }
-      }
-      predicted[i] = best_label;
-    }
-  });
+      }));
 
   Schema out_schema = data.schema();
   out_schema.AddField(Field("predicted", DataType::kBigInt));

@@ -16,6 +16,7 @@
 #define SODA_ANALYTICS_NAIVE_BAYES_H_
 
 #include "storage/table.h"
+#include "util/query_guard.h"
 #include "util/status.h"
 
 namespace soda {
@@ -26,12 +27,16 @@ Schema NaiveBayesModelSchema();
 
 /// Trains a Gaussian Naive Bayes model. `labeled`'s first column is an
 /// integer class label; the remaining columns are numeric attributes.
-Result<TablePtr> TrainNaiveBayes(const Table& labeled);
+/// `guard` (nullable) is probed at every accumulation morsel.
+Result<TablePtr> TrainNaiveBayes(const Table& labeled,
+                                 QueryGuard* guard = nullptr);
 
 /// Applies a model to `data` (numeric attribute columns matching the
 /// model's attribute count). Output: the data columns plus a trailing
-/// `predicted BIGINT` column. Parallel over tuples.
-Result<TablePtr> PredictNaiveBayes(const Table& model, const Table& data);
+/// `predicted BIGINT` column. Parallel over tuples; `guard` (nullable) is
+/// probed at every prediction morsel.
+Result<TablePtr> PredictNaiveBayes(const Table& model, const Table& data,
+                                   QueryGuard* guard = nullptr);
 
 }  // namespace soda
 

@@ -30,6 +30,11 @@ Result<TablePtr> RunPageRank(const Table& edges,
   }
 
   const size_t e = edges.num_rows();
+  // The edge copies plus the CSR index are the operator's dominant
+  // allocations; charge them before building (the CSR holds offsets,
+  // targets and optionally weights, roughly 2x the edge list).
+  SODA_RETURN_NOT_OK(GuardReserve(options.guard,
+                                  4 * e * sizeof(int64_t), "pagerank.csr"));
   std::vector<int64_t> src(src_col.I64Data(), src_col.I64Data() + e);
   std::vector<int64_t> dst(dst_col.I64Data(), dst_col.I64Data() + e);
 
@@ -39,15 +44,16 @@ Result<TablePtr> RunPageRank(const Table& edges,
   if (options.edge_weight) {
     const size_t d = edges.num_columns();
     weights.resize(e);
-    ParallelFor(e, [&](size_t begin, size_t end, size_t) {
-      std::vector<double> row(d);
-      for (size_t i = begin; i < end; ++i) {
-        for (size_t c = 0; c < d; ++c) {
-          row[c] = edges.column(c).GetNumeric(i);
-        }
-        weights[i] = options.edge_weight->Eval(row.data(), nullptr);
-      }
-    });
+    SODA_RETURN_NOT_OK(ParallelFor(
+        options.guard, e, [&](size_t begin, size_t end, size_t) {
+          std::vector<double> row(d);
+          for (size_t i = begin; i < end; ++i) {
+            for (size_t c = 0; c < d; ++c) {
+              row[c] = edges.column(c).GetNumeric(i);
+            }
+            weights[i] = options.edge_weight->Eval(row.data(), nullptr);
+          }
+        }));
     for (size_t i = 0; i < e; ++i) {
       if (!(weights[i] >= 0)) {
         return Status::ExecutionError(
@@ -100,6 +106,9 @@ Result<TablePtr> RunPageRank(const Table& edges,
   double delta = 0;
   int64_t iter = 0;
   for (; iter < options.max_iterations; ++iter) {
+    // Governance probe per round (paper §6.3 runs 45 fixed iterations;
+    // a deadline or cancellation aborts between rounds, never mid-round).
+    SODA_RETURN_NOT_OK(GuardProbe(options.guard, "pagerank.iteration"));
     // Dangling mass: vertices without outgoing edges distribute their rank
     // uniformly (keeps the ranks a probability distribution).
     double dangling = 0;
@@ -111,26 +120,28 @@ Result<TablePtr> RunPageRank(const Table& edges,
     // New ranks, one vertex per slot — no synchronization inside the
     // iteration (paper §6.3), since each v writes only next[v].
     const bool weighted = in_csr.has_weights();
-    ParallelFor(v, [&](size_t begin, size_t end, size_t) {
-      for (size_t vert = begin; vert < end; ++vert) {
-        double acc = 0;
-        const uint32_t* nb = in_csr.NeighborsBegin(static_cast<uint32_t>(vert));
-        const uint32_t* nbe = in_csr.NeighborsEnd(static_cast<uint32_t>(vert));
-        if (weighted) {
-          const double* w =
-              in_csr.weights().data() +
-              (nb - in_csr.targets().data());
-          for (; nb != nbe; ++nb, ++w) {
-            acc += rank[*nb] * inv_out[*nb] * *w;
+    SODA_RETURN_NOT_OK(ParallelFor(
+        options.guard, v, [&](size_t begin, size_t end, size_t) {
+          for (size_t vert = begin; vert < end; ++vert) {
+            double acc = 0;
+            const uint32_t* nb =
+                in_csr.NeighborsBegin(static_cast<uint32_t>(vert));
+            const uint32_t* nbe =
+                in_csr.NeighborsEnd(static_cast<uint32_t>(vert));
+            if (weighted) {
+              const double* w = in_csr.weights().data() +
+                                (nb - in_csr.targets().data());
+              for (; nb != nbe; ++nb, ++w) {
+                acc += rank[*nb] * inv_out[*nb] * *w;
+              }
+            } else {
+              for (; nb != nbe; ++nb) {
+                acc += rank[*nb] * inv_out[*nb];
+              }
+            }
+            next[vert] = base + redistribute + d * acc;
           }
-        } else {
-          for (; nb != nbe; ++nb) {
-            acc += rank[*nb] * inv_out[*nb];
-          }
-        }
-        next[vert] = base + redistribute + d * acc;
-      }
-    });
+        }));
 
     // End-of-iteration aggregation of the workers' delta (paper §6.3:
     // "at the end of each iteration we aggregate each worker's data to

@@ -16,6 +16,7 @@
 
 #include "expr/lambda_kernel.h"
 #include "storage/table.h"
+#include "util/query_guard.h"
 #include "util/status.h"
 
 namespace soda {
@@ -31,6 +32,9 @@ struct PageRankOptions {
   /// Optional edge weight lambda over the edge tuple (numeric columns of
   /// the edges input); nullptr = uniform weights.
   const LambdaKernel* edge_weight = nullptr;
+  /// Resource governor probed at "pagerank.iteration" each power-iteration
+  /// round; the CSR build is charged at "pagerank.csr". null = ungoverned.
+  QueryGuard* guard = nullptr;
 };
 
 struct PageRankStats {

@@ -26,7 +26,8 @@ struct LocalState {
 
 }  // namespace
 
-Result<GroupedMoments> ComputeGroupedMoments(const Table& input) {
+Result<GroupedMoments> ComputeGroupedMoments(const Table& input,
+                                             QueryGuard* guard) {
   if (input.num_columns() < 2) {
     return Status::InvalidArgument(
         "grouped moments require a label column plus at least one attribute");
@@ -46,16 +47,17 @@ Result<GroupedMoments> ComputeGroupedMoments(const Table& input) {
 
   const size_t n = input.num_rows();
   std::vector<LocalState> locals(NumWorkers());
-  ParallelFor(n, [&](size_t begin, size_t end, size_t worker) {
-    LocalState& local = locals[worker];
-    for (size_t i = begin; i < end; ++i) {
-      int64_t label = label_col.GetBigInt(i);
-      auto& cells = local.CellsFor(label, num_attrs);
-      for (size_t a = 0; a < num_attrs; ++a) {
-        cells[a].Update(input.column(a + 1).GetNumeric(i));
-      }
-    }
-  });
+  SODA_RETURN_NOT_OK(ParallelFor(
+      guard, n, [&](size_t begin, size_t end, size_t worker) {
+        LocalState& local = locals[worker];
+        for (size_t i = begin; i < end; ++i) {
+          int64_t label = label_col.GetBigInt(i);
+          auto& cells = local.CellsFor(label, num_attrs);
+          for (size_t a = 0; a < num_attrs; ++a) {
+            cells[a].Update(input.column(a + 1).GetNumeric(i));
+          }
+        }
+      }));
 
   GroupedMoments out;
   out.num_attributes = num_attrs;
@@ -77,8 +79,9 @@ Result<GroupedMoments> ComputeGroupedMoments(const Table& input) {
   return out;
 }
 
-Result<TablePtr> SummarizeByClass(const Table& input) {
-  SODA_ASSIGN_OR_RETURN(GroupedMoments gm, ComputeGroupedMoments(input));
+Result<TablePtr> SummarizeByClass(const Table& input, QueryGuard* guard) {
+  SODA_ASSIGN_OR_RETURN(GroupedMoments gm,
+                        ComputeGroupedMoments(input, guard));
   Schema schema({Field("class", DataType::kBigInt),
                  Field("attr", DataType::kBigInt),
                  Field("cnt", DataType::kBigInt),

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "storage/table.h"
+#include "util/query_guard.h"
 #include "util/status.h"
 
 namespace soda {
@@ -63,13 +64,15 @@ struct GroupedMoments {
 /// Computes grouped moments over `input`, whose first column is an integer
 /// class label and whose remaining columns are numeric attributes.
 /// Parallel: thread-local accumulation, merged once (the paper's operator
-/// structure, §6.2).
-Result<GroupedMoments> ComputeGroupedMoments(const Table& input);
+/// structure, §6.2). `guard` (nullable) is probed at every morsel.
+Result<GroupedMoments> ComputeGroupedMoments(const Table& input,
+                                             QueryGuard* guard = nullptr);
 
 /// The SUMMARIZE table function's relational output:
 /// (class BIGINT, attr BIGINT, cnt BIGINT, sum DOUBLE, sumsq DOUBLE,
 ///  mean DOUBLE, stddev DOUBLE); `attr` is 1-based.
-Result<TablePtr> SummarizeByClass(const Table& input);
+Result<TablePtr> SummarizeByClass(const Table& input,
+                                  QueryGuard* guard = nullptr);
 
 }  // namespace soda
 

@@ -12,7 +12,8 @@ namespace soda {
 namespace {
 
 Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
-                                  const EngineOptions& options) {
+                                  const EngineOptions& options,
+                                  QueryGuard* guard) {
   Binder binder(catalog);
   SODA_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelectStatement(stmt));
   if (options.optimize) {
@@ -21,31 +22,35 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
   ExecContext ctx;
   ctx.catalog = catalog;
   ctx.max_iterations = options.max_iterations;
+  ctx.guard = guard;
   SODA_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(*plan, ctx));
   return QueryResult(std::move(result), ctx.stats);
 }
 
-Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
-                                  const EngineOptions& options);
-
 Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
                                   Catalog* catalog,
-                                  const EngineOptions& options) {
+                                  const EngineOptions& options,
+                                  QueryGuard* guard) {
   if (stmt.if_not_exists && catalog->HasTable(stmt.name)) {
     return QueryResult();
   }
   if (stmt.as_select) {
     // CREATE TABLE .. AS SELECT: materialize first, register second, so a
     // failing query leaves no half-created table behind.
-    SODA_ASSIGN_OR_RETURN(QueryResult result,
-                          ExecuteSelect(*stmt.as_select, catalog, options));
+    SODA_ASSIGN_OR_RETURN(
+        QueryResult result,
+        ExecuteSelect(*stmt.as_select, catalog, options, guard));
     Schema schema;
     for (const auto& f : result.schema().fields()) {
       schema.AddField(Field(f.name, f.type));  // strip qualifiers
     }
+    const Table& src = *result.table();
+    // The bulk column copy bypasses Table::AppendChunk; charge it before
+    // the table is registered so a failed budget leaves no empty shell.
+    SODA_RETURN_NOT_OK(
+        GuardReserve(guard, src.MemoryUsage(), "exec.dml"));
     SODA_ASSIGN_OR_RETURN(TablePtr table,
                           catalog->CreateTable(stmt.name, schema));
-    const Table& src = *result.table();
     for (size_t c = 0; c < src.num_columns(); ++c) {
       table->column(c).AppendSlice(src.column(c), 0, src.num_rows());
     }
@@ -65,7 +70,8 @@ Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
 /// rows where the predicate is TRUE (all rows when `where` is null).
 Result<std::vector<uint8_t>> EvaluateRowMask(const Table& table,
                                              const ParseExpr* where,
-                                             Catalog* catalog) {
+                                             Catalog* catalog,
+                                             QueryGuard* guard) {
   std::vector<uint8_t> selected(table.num_rows(), where ? 0 : 1);
   if (!where) return selected;
   Binder binder(catalog);
@@ -77,6 +83,7 @@ Result<std::vector<uint8_t>> EvaluateRowMask(const Table& table,
   DataChunk chunk;
   const size_t n = table.num_rows();
   for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
+    SODA_RETURN_NOT_OK(GuardProbe(guard, "exec.dml"));
     table.ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
     std::vector<uint32_t> sel;
     SODA_RETURN_NOT_OK(EvaluatePredicate(*pred, chunk, &sel));
@@ -88,10 +95,15 @@ Result<std::vector<uint8_t>> EvaluateRowMask(const Table& table,
 /// DELETE: copy-on-write — build the surviving rows into a fresh table and
 /// atomically swap it in (readers holding the old TablePtr keep a
 /// consistent snapshot).
-Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog) {
+Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog,
+                                  QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
-  SODA_ASSIGN_OR_RETURN(std::vector<uint8_t> doomed,
-                        EvaluateRowMask(*table, stmt.where.get(), catalog));
+  SODA_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> doomed,
+      EvaluateRowMask(*table, stmt.where.get(), catalog, guard));
+  // Copy-on-write duplicates (up to) the whole table; charge the rebuild
+  // before touching it so budget failures leave the old snapshot intact.
+  SODA_RETURN_NOT_OK(GuardReserve(guard, table->MemoryUsage(), "exec.dml"));
   auto next = std::make_shared<Table>(table->name(), table->schema());
   for (size_t c = 0; c < table->num_columns(); ++c) {
     for (size_t r = 0; r < table->num_rows(); ++r) {
@@ -104,7 +116,8 @@ Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog) {
 
 /// UPDATE: evaluate every SET expression over the whole table, then merge
 /// per the WHERE mask into a fresh table and swap (copy-on-write).
-Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog) {
+Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog,
+                                  QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
   const Schema schema = table->schema().WithQualifier(table->name());
   Binder binder(catalog);
@@ -128,8 +141,9 @@ Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog) {
     assignments.emplace_back(col, std::move(expr));
   }
 
-  SODA_ASSIGN_OR_RETURN(std::vector<uint8_t> selected,
-                        EvaluateRowMask(*table, stmt.where.get(), catalog));
+  SODA_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> selected,
+      EvaluateRowMask(*table, stmt.where.get(), catalog, guard));
 
   // New values, evaluated chunk-wise over the old snapshot.
   std::vector<Column> new_values;
@@ -138,6 +152,7 @@ Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog) {
     DataChunk chunk;
     const size_t n = table->num_rows();
     for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
+      SODA_RETURN_NOT_OK(GuardProbe(guard, "exec.dml"));
       table->ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
       Column part;
       SODA_RETURN_NOT_OK(EvaluateExpression(*expr, chunk, &part));
@@ -146,6 +161,8 @@ Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog) {
     new_values.push_back(std::move(out));
   }
 
+  // The copy-on-write merge duplicates the table (see ExecuteDelete).
+  SODA_RETURN_NOT_OK(GuardReserve(guard, table->MemoryUsage(), "exec.dml"));
   auto next = std::make_shared<Table>(table->name(), table->schema());
   for (size_t c = 0; c < table->num_columns(); ++c) {
     const Column* updated = nullptr;
@@ -174,12 +191,14 @@ Result<QueryResult> ExecuteDrop(const DropTableStmt& stmt, Catalog* catalog) {
 }
 
 Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
-                                  const EngineOptions& options) {
+                                  const EngineOptions& options,
+                                  QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
 
   if (!stmt.values_rows.empty()) {
     Binder binder(catalog);
     for (const auto& parse_row : stmt.values_rows) {
+      SODA_RETURN_NOT_OK(GuardProbe(guard, "exec.dml"));
       if (parse_row.size() != table->num_columns()) {
         return Status::BindError(
             "INSERT arity mismatch: table has " +
@@ -200,15 +219,18 @@ Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
 
   // INSERT .. SELECT.
   SODA_ASSIGN_OR_RETURN(QueryResult sub,
-                        ExecuteSelect(*stmt.select, catalog, options));
+                        ExecuteSelect(*stmt.select, catalog, options, guard));
   const Table& src = *sub.table();
   if (src.num_columns() != table->num_columns()) {
     return Status::BindError("INSERT .. SELECT arity mismatch");
   }
-  // Positional insert with implicit numeric coercion.
+  // Positional insert with implicit numeric coercion. Each AppendChunk is
+  // charged to the memory budget at "storage.append" (via the thread's
+  // MemoryScope); the probe here adds cancellation/deadline coverage.
   DataChunk chunk;
   const size_t n = src.num_rows();
   for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
+    SODA_RETURN_NOT_OK(GuardProbe(guard, "exec.dml"));
     src.ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
     DataChunk coerced;
     for (size_t c = 0; c < chunk.num_columns(); ++c) {
@@ -264,32 +286,96 @@ Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, Catalog* catalog,
   return QueryResult(std::move(table), ExecStats{});
 }
 
+/// SET soda.<knob> = <value>: mutates the engine-level defaults. Knobs map
+/// onto EngineOptions; unknown names and negative values are rejected with
+/// a clean error, leaving the options untouched.
+Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options) {
+  if (stmt.value < 0) {
+    return Status::InvalidArgument("SET " + stmt.name +
+                                   ": value must be >= 0 (0 = unlimited)");
+  }
+  if (stmt.name == "soda.timeout_ms") {
+    options->timeout_ms = stmt.value;
+  } else if (stmt.name == "soda.memory_limit_mb") {
+    options->memory_limit_bytes = stmt.value * int64_t{1024} * 1024;
+  } else if (stmt.name == "soda.max_iterations") {
+    if (stmt.value == 0) {
+      return Status::InvalidArgument(
+          "SET soda.max_iterations: value must be >= 1");
+    }
+    options->max_iterations = static_cast<size_t>(stmt.value);
+  } else {
+    return Status::InvalidArgument(
+        "unknown setting '" + stmt.name +
+        "' (supported: soda.timeout_ms, soda.memory_limit_mb, "
+        "soda.max_iterations)");
+  }
+  return QueryResult();
+}
+
 Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
-                                     const EngineOptions& options) {
+                                     const EngineOptions& options,
+                                     QueryGuard* guard) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(*stmt.select, catalog, options);
+      return ExecuteSelect(*stmt.select, catalog, options, guard);
     case StatementKind::kCreateTable:
-      return ExecuteCreate(*stmt.create_table, catalog, options);
+      return ExecuteCreate(*stmt.create_table, catalog, options, guard);
     case StatementKind::kInsert:
-      return ExecuteInsert(*stmt.insert, catalog, options);
+      return ExecuteInsert(*stmt.insert, catalog, options, guard);
     case StatementKind::kDropTable:
       return ExecuteDrop(*stmt.drop_table, catalog);
     case StatementKind::kUpdate:
-      return ExecuteUpdate(*stmt.update, catalog);
+      return ExecuteUpdate(*stmt.update, catalog, guard);
     case StatementKind::kDelete:
-      return ExecuteDelete(*stmt.del, catalog);
+      return ExecuteDelete(*stmt.del, catalog, guard);
     case StatementKind::kExplain:
       return ExecuteExplain(*stmt.select, catalog, options);
+    case StatementKind::kSet:
+      return Status::Internal("SET must be handled by the engine");
   }
   return Status::Internal("unknown statement kind");
+}
+
+/// One statement under a fresh QueryGuard built from the engine defaults
+/// overlaid with per-call ExecOptions. The guard is installed as the
+/// calling thread's MemoryScope so storage appends are charged; the
+/// guard-aware ParallelFor extends the scope to worker threads.
+Result<QueryResult> RunGoverned(const Statement& stmt, Catalog* catalog,
+                                EngineOptions* engine_options,
+                                const ExecOptions& exec) {
+  if (stmt.kind == StatementKind::kSet) {
+    return ExecuteSet(*stmt.set, engine_options);
+  }
+  EngineOptions effective = *engine_options;
+  if (exec.max_iterations >= 0) {
+    effective.max_iterations = static_cast<size_t>(exec.max_iterations);
+  }
+  QueryLimits limits;
+  limits.timeout_ms =
+      exec.timeout_ms >= 0 ? exec.timeout_ms : engine_options->timeout_ms;
+  limits.memory_limit_bytes = exec.memory_limit_bytes >= 0
+                                  ? exec.memory_limit_bytes
+                                  : engine_options->memory_limit_bytes;
+  QueryGuard guard(limits, exec.cancel ? exec.cancel->token() : nullptr);
+  QueryGuard::MemoryScope scope(&guard);
+  // Probe once before any work so a pre-cancelled handle (or an already
+  // expired deadline) aborts even plans that touch no other probe site,
+  // e.g. a bare table scan that returns the catalog table directly.
+  SODA_RETURN_NOT_OK(guard.Check("exec.statement"));
+  return ExecuteStatement(stmt, catalog, effective, &guard);
 }
 
 }  // namespace
 
 Result<QueryResult> Engine::Execute(const std::string& sql) {
+  return Execute(sql, ExecOptions{});
+}
+
+Result<QueryResult> Engine::Execute(const std::string& sql,
+                                    const ExecOptions& exec) {
   SODA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return ExecuteStatement(stmt, &catalog_, options_);
+  return RunGoverned(stmt, &catalog_, &options_, exec);
 }
 
 Result<QueryResult> Engine::ExecuteScript(const std::string& sql) {
@@ -297,7 +383,9 @@ Result<QueryResult> Engine::ExecuteScript(const std::string& sql) {
   if (stmts.empty()) return QueryResult();
   QueryResult last;
   for (const auto& stmt : stmts) {
-    Result<QueryResult> r = ExecuteStatement(stmt, &catalog_, options_);
+    // SET takes effect for the remaining statements of the script.
+    Result<QueryResult> r =
+        RunGoverned(stmt, &catalog_, &options_, ExecOptions{});
     SODA_RETURN_NOT_OK(r.status());
     last = std::move(r.ValueOrDie());
   }

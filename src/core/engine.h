@@ -25,15 +25,52 @@
 
 #include "core/query_result.h"
 #include "storage/catalog.h"
+#include "util/query_guard.h"
 #include "util/status.h"
 
 namespace soda {
 
 struct EngineOptions {
   /// Infinite-loop guard for ITERATE / recursive CTEs (paper §5.1).
+  /// SQL: `SET soda.max_iterations = <n>`.
   size_t max_iterations = 100000;
   /// Run the optimizer (disable only for plan-shape tests).
   bool optimize = true;
+  /// Wall-clock deadline applied to every statement, in milliseconds;
+  /// 0 = unlimited. SQL: `SET soda.timeout_ms = <n>`.
+  int64_t timeout_ms = 0;
+  /// Cumulative-materialization budget per statement, in bytes;
+  /// 0 = unlimited. SQL: `SET soda.memory_limit_mb = <n>`.
+  int64_t memory_limit_bytes = 0;
+};
+
+/// Thread-safe cancellation handle. Create one, pass it via
+/// `ExecOptions::cancel`, and call `Cancel()` from any thread: the running
+/// statement aborts with kCancelled at its next probe (morsel boundary,
+/// iteration step, or storage append). Reusable across statements; once
+/// tripped it stays tripped.
+class CancelHandle {
+ public:
+  CancelHandle() : token_(std::make_shared<CancelToken>()) {}
+
+  void Cancel() const { token_->Cancel(); }
+  bool cancelled() const { return token_->cancelled(); }
+
+  const std::shared_ptr<CancelToken>& token() const { return token_; }
+
+ private:
+  std::shared_ptr<CancelToken> token_;
+};
+
+/// Per-call execution options for Engine::Execute. Numeric fields default
+/// to -1 = inherit the engine-level setting (EngineOptions / SET soda.*);
+/// 0 means explicitly unlimited.
+struct ExecOptions {
+  int64_t timeout_ms = -1;
+  int64_t memory_limit_bytes = -1;
+  int64_t max_iterations = -1;
+  /// Optional external cancellation; must outlive the Execute call.
+  const CancelHandle* cancel = nullptr;
 };
 
 class Engine {
@@ -41,11 +78,19 @@ class Engine {
   Engine() : Engine(EngineOptions{}) {}
   explicit Engine(EngineOptions options) : options_(options) {}
 
-  /// Executes one SQL statement (SELECT / CREATE TABLE / INSERT / DROP).
+  /// Executes one SQL statement (SELECT / CREATE TABLE / INSERT / DROP /
+  /// UPDATE / DELETE / EXPLAIN / SET).
   Result<QueryResult> Execute(const std::string& sql);
 
+  /// Executes one statement under per-call resource limits. A tripped
+  /// limit surfaces as a clean Status (kCancelled / kDeadlineExceeded /
+  /// kResourceExhausted); the catalog stays usable afterwards.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const ExecOptions& exec);
+
   /// Executes a ';'-separated script, discarding intermediate results;
-  /// returns the last statement's result.
+  /// returns the last statement's result. SET statements take effect for
+  /// the remainder of the script (and the engine's lifetime).
   Result<QueryResult> ExecuteScript(const std::string& sql);
 
   /// Returns the optimized plan tree for a SELECT (EXPLAIN).

@@ -154,6 +154,9 @@ class AggregateSink : public Sink {
         }
         g = local->FindOrCreate(hash, key_cols, row);
       }
+      // Zero aggregates (SELECT DISTINCT): the group's existence is the
+      // whole result, and `states` is empty — indexing it is UB.
+      if (plan_.aggregates.empty()) continue;
       AggState* states = &local->states[g * plan_.aggregates.size()];
       for (size_t s = 0; s < plan_.aggregates.size(); ++s) {
         const AggregateSpec& spec = plan_.aggregates[s];

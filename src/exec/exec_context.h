@@ -12,8 +12,14 @@
 
 #include "storage/catalog.h"
 #include "storage/table.h"
+#include "util/query_guard.h"
 
 namespace soda {
+
+/// Default iteration cap for ITERATE / recursive CTEs; overridable per
+/// engine (EngineOptions::max_iterations) and per session
+/// (SET soda.max_iterations).
+inline constexpr size_t kDefaultMaxIterations = 100000;
 
 /// Counters exposed to benchmarks; tracks how much tuple state iterative
 /// constructs materialize (recursive CTE vs ITERATE, paper §5.1).
@@ -38,10 +44,30 @@ struct ExecContext {
 
   /// Infinite-loop guard for ITERATE and recursive CTEs (paper §5.1:
   /// "those situations need to be detected and aborted by the database").
-  size_t max_iterations = 100000;
+  /// Set from EngineOptions::max_iterations by the engine.
+  size_t max_iterations = kDefaultMaxIterations;
+
+  /// The query's resource governor; null when executing outside an
+  /// engine (direct ExecutePlan calls in tests). Probes still reach the
+  /// global FaultInjector through GuardProbe in that case.
+  QueryGuard* guard = nullptr;
+
+  /// Cooperative governance probe for executor loops.
+  Status Probe(const char* site) { return GuardProbe(guard, site); }
 
   ExecStats stats;
 };
+
+/// Shared abort message for the iteration caps of ITERATE and recursive
+/// CTEs: reports what ran, the governing cap, and the knob that raises it.
+inline Status IterationCapExceeded(const std::string& construct,
+                                   size_t iterations_run, size_t cap) {
+  return Status::ExecutionError(
+      construct + " aborted after " + std::to_string(iterations_run) +
+      " iterations (cap " + std::to_string(cap) +
+      "; possible divergence — raise with SET soda.max_iterations or "
+      "EngineOptions::max_iterations)");
+}
 
 }  // namespace soda
 

@@ -82,7 +82,10 @@ Result<TablePtr> ExecuteLimit(const PlanNode& plan, ExecContext& ctx) {
 Result<TablePtr> ExecuteUnionAll(const PlanNode& plan, ExecContext& ctx) {
   auto out = std::make_shared<Table>("union", plan.schema);
   for (const auto& child : plan.children) {
+    SODA_RETURN_NOT_OK(ctx.Probe("exec.union"));
     SODA_ASSIGN_OR_RETURN(TablePtr t, ExecutePlan(*child, ctx));
+    SODA_RETURN_NOT_OK(
+        GuardReserve(ctx.guard, t->MemoryUsage(), "exec.union"));
     for (size_t c = 0; c < t->num_columns(); ++c) {
       out->column(c).AppendSlice(t->column(c), 0, t->num_rows());
     }
@@ -194,8 +197,11 @@ Status RunPipeline(const Pipeline& pipeline, Sink& sink, ExecContext& ctx) {
   Status first_error;
   std::atomic<bool> failed{false};
 
-  ParallelFor(
-      total,
+  // Guard-aware: every morsel boundary probes cancellation / deadline /
+  // memory budget / fault injection, and worker-side table appends are
+  // charged to the query's accountant.
+  Status guard_status = ParallelFor(
+      ctx.guard, total,
       [&](size_t begin, size_t end, size_t worker_id) {
         if (failed.load(std::memory_order_relaxed)) return;
         for (size_t offset = begin; offset < end;
@@ -227,6 +233,7 @@ Status RunPipeline(const Pipeline& pipeline, Sink& sink, ExecContext& ctx) {
       /*morsel_size=*/kChunkCapacity * 8);
 
   SODA_RETURN_NOT_OK(first_error);
+  SODA_RETURN_NOT_OK(guard_status);
   return sink.Finalize();
 }
 
@@ -260,6 +267,11 @@ Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext& ctx) {
                        child.kind == PlanKind::kBindingRef)) {
         SODA_ASSIGN_OR_RETURN(TablePtr source, ExecutePlan(child, ctx));
         auto out = std::make_shared<Table>("project", plan.schema);
+        size_t bytes = 0;
+        for (const auto& e : plan.exprs) {
+          bytes += source->column(e->column_index).MemoryUsage();
+        }
+        SODA_RETURN_NOT_OK(GuardReserve(ctx.guard, bytes, "exec.project"));
         for (size_t i = 0; i < plan.exprs.size(); ++i) {
           Column col(source->column(plan.exprs[i]->column_index).type());
           col.AppendSlice(source->column(plan.exprs[i]->column_index), 0,

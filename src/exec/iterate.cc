@@ -32,9 +32,13 @@ Result<TablePtr> ExecuteIterate(const PlanNode& plan, ExecContext& ctx) {
   for (size_t iteration = 0;; ++iteration) {
     if (iteration >= ctx.max_iterations) {
       restore();
-      return Status::ExecutionError(
-          "ITERATE exceeded " + std::to_string(ctx.max_iterations) +
-          " iterations (possible infinite loop; see ExecContext::max_iterations)");
+      return IterationCapExceeded("ITERATE", iteration, ctx.max_iterations);
+    }
+    // Governance probe per step: a divergent loop is cancellable, killed
+    // by a deadline, and stopped by the memory budget (paper §5.1).
+    if (Status st = ctx.Probe("iterate.step"); !st.ok()) {
+      restore();
+      return st;
     }
     ctx.bindings[name] = current;
 

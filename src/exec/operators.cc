@@ -21,6 +21,7 @@ Result<TablePtr> ExecuteSort(const PlanNode& plan, ExecContext& ctx) {
   }
   DataChunk chunk;
   for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
+    SODA_RETURN_NOT_OK(ctx.Probe("exec.sort"));
     child->ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
     for (size_t k = 0; k < plan.sort_keys.size(); ++k) {
       Column part;
@@ -43,6 +44,10 @@ Result<TablePtr> ExecuteSort(const PlanNode& plan, ExecContext& ctx) {
     return false;
   });
 
+  // The row-wise rebuild below bypasses Table::AppendChunk, so charge the
+  // output (same footprint as the input) to the memory budget up front.
+  SODA_RETURN_NOT_OK(
+      GuardReserve(ctx.guard, child->MemoryUsage(), "exec.sort"));
   auto out = std::make_shared<Table>("sorted", plan.schema);
   out->Reserve(n);
   for (uint32_t r : order) {

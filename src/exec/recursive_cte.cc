@@ -26,24 +26,39 @@ Result<TablePtr> ExecuteRecursiveCte(const PlanNode& plan, ExecContext& ctx) {
                    ? std::optional<TablePtr>(ctx.bindings[plan.binding_name])
                    : std::nullopt;
 
+  auto restore = [&] {
+    ctx.bindings.erase(plan.binding_name);
+    if (saved) ctx.bindings[plan.binding_name] = *saved;
+  };
+
   size_t iterations = 0;
   while (working->num_rows() > 0) {
     if (++iterations > ctx.max_iterations) {
-      ctx.bindings.erase(plan.binding_name);
-      if (saved) ctx.bindings[plan.binding_name] = *saved;
-      return Status::ExecutionError(
-          "recursive CTE '" + plan.binding_name + "' exceeded " +
-          std::to_string(ctx.max_iterations) +
-          " iterations (possible infinite recursion)");
+      restore();
+      return IterationCapExceeded("recursive CTE '" + plan.binding_name + "'",
+                                  iterations - 1, ctx.max_iterations);
+    }
+    // Governance probe per step; divergent recursions abort cleanly
+    // instead of appending until the process dies (paper §5.1).
+    if (Status st = ctx.Probe("cte.step"); !st.ok()) {
+      restore();
+      return st;
     }
     ctx.bindings[plan.binding_name] = working;
     auto step = ExecutePlan(*plan.children[1], ctx);
     if (!step.ok()) {
-      ctx.bindings.erase(plan.binding_name);
-      if (saved) ctx.bindings[plan.binding_name] = *saved;
+      restore();
       return step.status();
     }
     working = step.MoveValueOrDie();
+    // The appending copy below bypasses Table::AppendChunk, so charge the
+    // growth to the memory budget explicitly.
+    if (Status st = GuardReserve(ctx.guard, working->MemoryUsage(),
+                                 "cte.append");
+        !st.ok()) {
+      restore();
+      return st;
+    }
     for (size_t c = 0; c < working->num_columns(); ++c) {
       result->column(c).AppendSlice(working->column(c), 0,
                                     working->num_rows());
@@ -55,8 +70,7 @@ Result<TablePtr> ExecuteRecursiveCte(const PlanNode& plan, ExecContext& ctx) {
     ctx.stats.iterations_run++;
   }
 
-  ctx.bindings.erase(plan.binding_name);
-  if (saved) ctx.bindings[plan.binding_name] = *saved;
+  restore();
   return result;
 }
 

@@ -173,6 +173,7 @@ Result<TablePtr> ExecuteTableFunction(const PlanNode& plan, ExecContext& ctx) {
       options.min_change_fraction = plan.scalar_args[1].AsDouble();
     }
     if (!kernels.empty()) options.distance = &kernels[0];
+    options.guard = ctx.guard;
     SODA_ASSIGN_OR_RETURN(KMeansResult result,
                           RunKMeans(*inputs[0], *inputs[1], options));
     ctx.stats.iterations_run += static_cast<size_t>(result.iterations_run);
@@ -190,6 +191,7 @@ Result<TablePtr> ExecuteTableFunction(const PlanNode& plan, ExecContext& ctx) {
       options.max_iterations = plan.scalar_args[2].AsBigInt();
     }
     if (!kernels.empty()) options.edge_weight = &kernels[0];
+    options.guard = ctx.guard;
     PageRankStats stats;
     SODA_ASSIGN_OR_RETURN(TablePtr result,
                           RunPageRank(*inputs[0], options, &stats));
@@ -197,18 +199,19 @@ Result<TablePtr> ExecuteTableFunction(const PlanNode& plan, ExecContext& ctx) {
     return result;
   }
   if (name == "naive_bayes_train") {
-    return TrainNaiveBayes(*inputs[0]);
+    return TrainNaiveBayes(*inputs[0], ctx.guard);
   }
   if (name == "naive_bayes_predict") {
-    return PredictNaiveBayes(*inputs[0], *inputs[1]);
+    return PredictNaiveBayes(*inputs[0], *inputs[1], ctx.guard);
   }
   if (name == "summarize") {
-    return SummarizeByClass(*inputs[0]);
+    return SummarizeByClass(*inputs[0], ctx.guard);
   }
   if (name == "connected_components") {
     ConnectedComponentsStats stats;
-    SODA_ASSIGN_OR_RETURN(TablePtr result,
-                          RunConnectedComponents(*inputs[0], &stats));
+    SODA_ASSIGN_OR_RETURN(
+        TablePtr result,
+        RunConnectedComponents(*inputs[0], &stats, ctx.guard));
     ctx.stats.iterations_run += static_cast<size_t>(stats.iterations_run);
     return result;
   }

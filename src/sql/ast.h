@@ -149,6 +149,15 @@ struct DeleteStmt {
   ParseExprPtr where;  ///< null = all rows
 };
 
+/// SET <name> = <integer> — engine-level session knobs. The dotted name is
+/// stored verbatim (lower-cased); the engine validates it against the
+/// supported settings (soda.timeout_ms, soda.memory_limit_mb,
+/// soda.max_iterations).
+struct SetStmt {
+  std::string name;
+  int64_t value = 0;
+};
+
 enum class StatementKind {
   kSelect,
   kCreateTable,
@@ -157,6 +166,7 @@ enum class StatementKind {
   kUpdate,
   kDelete,
   kExplain,  ///< EXPLAIN <select>
+  kSet,      ///< SET soda.<knob> = <value>
 };
 
 struct Statement {
@@ -167,6 +177,7 @@ struct Statement {
   std::unique_ptr<DropTableStmt> drop_table;
   std::unique_ptr<UpdateStmt> update;
   std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<SetStmt> set;
 };
 
 }  // namespace soda

@@ -117,6 +117,11 @@ class Parser {
       stmt.kind = StatementKind::kDelete;
       return stmt;
     }
+    if (PeekKeyword("set")) {
+      SODA_ASSIGN_OR_RETURN(stmt.set, ParseSet());
+      stmt.kind = StatementKind::kSet;
+      return stmt;
+    }
     if (MatchKeyword("explain")) {
       SODA_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
       stmt.kind = StatementKind::kExplain;
@@ -127,7 +132,8 @@ class Parser {
       stmt.kind = StatementKind::kSelect;
       return stmt;
     }
-    return Unexpected("a statement (SELECT/WITH/CREATE/INSERT/DROP/EXPLAIN)");
+    return Unexpected(
+        "a statement (SELECT/WITH/CREATE/INSERT/DROP/EXPLAIN/SET)");
   }
 
   Result<std::unique_ptr<CreateTableStmt>> ParseCreateTable() {
@@ -212,6 +218,28 @@ class Parser {
     if (MatchKeyword("where")) {
       SODA_ASSIGN_OR_RETURN(stmt->where, ParseExpression());
     }
+    return stmt;
+  }
+
+  /// SET name[.name]* = [-]integer. The value grammar is deliberately
+  /// narrow — these are engine knobs, not expressions; sign is accepted so
+  /// the engine can reject negatives with a clear message.
+  Result<std::unique_ptr<SetStmt>> ParseSet() {
+    SODA_RETURN_NOT_OK(ExpectKeyword("set"));
+    auto stmt = std::make_unique<SetStmt>();
+    SODA_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("setting name"));
+    while (Match(TokenType::kDot)) {
+      SODA_ASSIGN_OR_RETURN(std::string part,
+                            ParseIdentifier("setting name"));
+      stmt->name += "." + part;
+    }
+    SODA_RETURN_NOT_OK(Expect(TokenType::kEq, "'='"));
+    const bool negative = Match(TokenType::kMinus);
+    if (Peek().type != TokenType::kInteger) {
+      return Unexpected("an integer setting value");
+    }
+    stmt->value = Advance().int_value;
+    if (negative) stmt->value = -stmt->value;
     return stmt;
   }
 

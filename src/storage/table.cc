@@ -2,9 +2,43 @@
 
 #include <algorithm>
 
+#include "util/query_guard.h"
 #include "util/string_util.h"
 
 namespace soda {
+
+namespace {
+
+/// Probe site for storage-layer growth; every table append charges the
+/// current query's memory budget under this name.
+constexpr char kAppendSite[] = "storage.append";
+
+size_t ValueBytes(const Value& v) {
+  if (v.is_null()) return 1;
+  if (v.type() == DataType::kVarchar) {
+    return v.varchar_value().size() + sizeof(std::string);
+  }
+  return sizeof(int64_t);
+}
+
+size_t SliceBytes(const Column& col, size_t offset, size_t count) {
+  if (col.type() != DataType::kVarchar) return count * sizeof(int64_t);
+  size_t bytes = count * sizeof(std::string);
+  const auto& strings = col.Strings();
+  for (size_t i = offset; i < offset + count; ++i) {
+    bytes += strings[i].size();
+  }
+  return bytes;
+}
+
+/// Charges the appended bytes to the calling thread's query guard, if one
+/// is installed (see QueryGuard::MemoryScope). Called *before* mutating
+/// the table, so a failed reservation leaves all columns aligned.
+Status ChargeAppend(size_t bytes) {
+  return GuardReserve(QueryGuard::Current(), bytes, kAppendSite);
+}
+
+}  // namespace
 
 Table::Table(std::string name, Schema schema)
     : name_(ToLower(name)), schema_(std::move(schema)) {
@@ -31,6 +65,9 @@ Status Table::AppendRow(const std::vector<Value>& row) {
       }
     }
   }
+  size_t bytes = 0;
+  for (const Value& v : row) bytes += ValueBytes(v);
+  SODA_RETURN_NOT_OK(ChargeAppend(bytes));
   for (size_t c = 0; c < columns_.size(); ++c) {
     columns_[c].AppendValue(row[c]);
   }
@@ -47,6 +84,11 @@ Status Table::AppendChunk(const DataChunk& chunk) {
                                std::to_string(c));
     }
   }
+  size_t bytes = 0;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    bytes += SliceBytes(chunk.column(c), 0, chunk.column(c).size());
+  }
+  SODA_RETURN_NOT_OK(ChargeAppend(bytes));
   for (size_t c = 0; c < columns_.size(); ++c) {
     columns_[c].AppendSlice(chunk.column(c), 0, chunk.column(c).size());
   }

@@ -42,9 +42,14 @@ class Table {
   }
 
   /// Appends one boxed row (types must be appendable to each column).
+  /// Charges the growth to the calling thread's QueryGuard (if a
+  /// MemoryScope is active) under the "storage.append" probe site; fails
+  /// with kResourceExhausted — before mutating any column — when the
+  /// query's memory budget is exceeded.
   Status AppendRow(const std::vector<Value>& row);
 
   /// Appends all rows of a chunk (column types must match positionally).
+  /// Memory-accounted like AppendRow.
   Status AppendChunk(const DataChunk& chunk);
 
   /// Copies rows [offset, offset+count) into `out` (columns created to

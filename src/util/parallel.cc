@@ -1,13 +1,20 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 namespace soda {
 
 namespace {
 thread_local bool g_serial = false;
+
+/// Probe site for the guard-aware overload; every morsel boundary across
+/// every operator reports under this name.
+constexpr char kMorselSite[] = "exec.morsel";
 
 /// Shared state for one ParallelFor invocation. Owned via shared_ptr by the
 /// caller and every enqueued helper task, so a helper that is scheduled
@@ -17,46 +24,83 @@ struct ForState {
   std::function<void(size_t, size_t, size_t)> body;
   size_t total;
   size_t morsel;
+  QueryGuard* guard = nullptr;  // may be null even when guarded (see below)
+  bool guarded = false;  // probe at morsel boundaries (fault injector too)
   std::atomic<size_t> cursor{0};
   std::atomic<size_t> started{0};   // helpers that began draining
   std::atomic<size_t> finished{0};  // helpers that finished draining
   std::atomic<size_t> next_id{1};   // worker ids; 0 is the caller
 
+  /// First failure wins: either a guard probe Status or an exception from
+  /// a worker body. `abort` makes the other workers stop pulling morsels.
+  std::atomic<bool> abort{false};
+  std::mutex failure_mu;
+  Status guard_status;
+  std::exception_ptr exception;
+
+  void Fail(Status status, std::exception_ptr eptr) {
+    std::lock_guard<std::mutex> lock(failure_mu);
+    if (guard_status.ok() && !exception) {
+      guard_status = std::move(status);
+      exception = eptr;
+    }
+    abort.store(true, std::memory_order_release);
+  }
+
   void Drain(size_t worker_id) {
     ScopedSerialExecution serial_inside;  // nested ParallelFor runs inline
+    std::optional<QueryGuard::MemoryScope> scope;
+    if (guard) scope.emplace(guard);
     for (;;) {
+      if (abort.load(std::memory_order_acquire)) break;
       size_t begin = cursor.fetch_add(morsel);
       if (begin >= total) break;
+      if (guarded) {
+        Status st = GuardProbe(guard, kMorselSite);
+        if (!st.ok()) {
+          Fail(std::move(st), nullptr);
+          break;
+        }
+      }
       size_t end = std::min(begin + morsel, total);
-      body(begin, end, worker_id);
+      try {
+        body(begin, end, worker_id);
+      } catch (...) {
+        Fail(Status::OK(), std::current_exception());
+        break;
+      }
     }
   }
 };
-}  // namespace
 
-ScopedSerialExecution::ScopedSerialExecution() : prev_(g_serial) {
-  g_serial = true;
-}
-ScopedSerialExecution::~ScopedSerialExecution() { g_serial = prev_; }
-bool ScopedSerialExecution::active() { return g_serial; }
-
-size_t NumWorkers() { return ThreadPool::Global().num_threads(); }
-
-void ParallelFor(size_t total,
-                 const std::function<void(size_t, size_t, size_t)>& body,
-                 size_t morsel_size) {
-  if (total == 0) return;
+Status ParallelForImpl(QueryGuard* guard, bool guarded, size_t total,
+                       const std::function<void(size_t, size_t, size_t)>& body,
+                       size_t morsel_size) {
+  if (total == 0) return Status::OK();
   morsel_size = std::max<size_t>(1, morsel_size);
   size_t workers = NumWorkers();
   if (g_serial || workers <= 1 || total <= morsel_size) {
-    body(0, total, 0);
-    return;
+    if (!guarded) {
+      body(0, total, 0);  // exceptions propagate on the caller thread
+      return Status::OK();
+    }
+    // Guarded serial path: keep morsel granularity so a long serial scan
+    // stays cancellable.
+    std::optional<QueryGuard::MemoryScope> scope;
+    if (guard) scope.emplace(guard);
+    for (size_t begin = 0; begin < total; begin += morsel_size) {
+      SODA_RETURN_NOT_OK(GuardProbe(guard, kMorselSite));
+      body(begin, std::min(begin + morsel_size, total), 0);
+    }
+    return Status::OK();
   }
 
   auto state = std::make_shared<ForState>();
   state->body = body;
   state->total = total;
   state->morsel = morsel_size;
+  state->guard = guard;
+  state->guarded = guarded;
 
   size_t num_helpers =
       std::min(workers, (total + morsel_size - 1) / morsel_size) - 1;
@@ -80,6 +124,37 @@ void ParallelFor(size_t total,
   while (state->started.load() != state->finished.load()) {
     std::this_thread::yield();
   }
+
+  // Surface the first failure on the caller thread: a body exception is
+  // rethrown (fixing the pool-thread std::terminate), a guard probe
+  // failure is returned as its Status.
+  if (state->exception) std::rethrow_exception(state->exception);
+  return state->guard_status;
+}
+
+}  // namespace
+
+ScopedSerialExecution::ScopedSerialExecution() : prev_(g_serial) {
+  g_serial = true;
+}
+ScopedSerialExecution::~ScopedSerialExecution() { g_serial = prev_; }
+bool ScopedSerialExecution::active() { return g_serial; }
+
+size_t NumWorkers() { return ThreadPool::Global().num_threads(); }
+
+void ParallelFor(size_t total,
+                 const std::function<void(size_t, size_t, size_t)>& body,
+                 size_t morsel_size) {
+  // Ungoverned: no guard probes, but worker exceptions still surface here.
+  Status st =
+      ParallelForImpl(nullptr, /*guarded=*/false, total, body, morsel_size);
+  (void)st;  // always OK without a guard
+}
+
+Status ParallelFor(QueryGuard* guard, size_t total,
+                   const std::function<void(size_t, size_t, size_t)>& body,
+                   size_t morsel_size) {
+  return ParallelForImpl(guard, /*guarded=*/true, total, body, morsel_size);
 }
 
 }  // namespace soda

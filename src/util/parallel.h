@@ -16,6 +16,8 @@
 #include <functional>
 #include <vector>
 
+#include "util/query_guard.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace soda {
@@ -30,10 +32,27 @@ inline constexpr size_t kDefaultMorselSize = 16384;
 ///
 /// Degrades to a serial loop when `total` is small or the pool has one
 /// worker, so callers never pay scheduling overhead on tiny inputs.
+///
+/// An exception thrown by `body` on any worker stops the remaining
+/// morsels and is rethrown on the calling thread (the first one wins) —
+/// never std::terminate.
 void ParallelFor(size_t total,
                  const std::function<void(size_t begin, size_t end,
                                           size_t worker_id)>& body,
                  size_t morsel_size = kDefaultMorselSize);
+
+/// Guard-aware overload: probes `guard->Check("exec.morsel")` before every
+/// morsel (cancellation, deadline, memory budget, fault injection) and
+/// installs the guard as each worker's memory accountant
+/// (QueryGuard::MemoryScope), so storage appends inside `body` are
+/// charged to the query. On a failed probe the remaining morsels are
+/// abandoned on all workers and the probe's Status is returned. A null
+/// guard still probes the global FaultInjector. Worker exceptions are
+/// rethrown on the calling thread, as in the plain overload.
+Status ParallelFor(QueryGuard* guard, size_t total,
+                   const std::function<void(size_t begin, size_t end,
+                                            size_t worker_id)>& body,
+                   size_t morsel_size = kDefaultMorselSize);
 
 /// Number of worker slots `ParallelFor` may use (= global pool size).
 size_t NumWorkers();

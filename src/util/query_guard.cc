@@ -1,0 +1,173 @@
+#include "util/query_guard.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace soda {
+
+namespace {
+thread_local QueryGuard* g_current_guard = nullptr;
+}  // namespace
+
+// --- FaultInjector ---------------------------------------------------------
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* spec = std::getenv("SODA_FAULT_INJECT")) {
+      Status st = inj->ArmFromSpec(spec);
+      if (!st.ok()) {
+        SODA_LOG(Warn) << "ignoring malformed SODA_FAULT_INJECT: "
+                       << st.ToString();
+      }
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, Kind kind, int64_t skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_[site] = Entry{kind, skip};
+  armed_.store(true, std::memory_order_release);
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    int64_t skip = 0;
+    size_t colon = entry.find(':');
+    if (colon != std::string::npos) {
+      try {
+        skip = std::stoll(entry.substr(colon + 1));
+      } catch (...) {
+        return Status::InvalidArgument("bad skip count in fault spec: " +
+                                       entry);
+      }
+      entry = entry.substr(0, colon);
+    }
+    Kind kind = Kind::kError;
+    size_t eq = entry.find('=');
+    if (eq != std::string::npos) {
+      std::string kind_name = entry.substr(eq + 1);
+      entry = entry.substr(0, eq);
+      if (kind_name == "error") {
+        kind = Kind::kError;
+      } else if (kind_name == "oom") {
+        kind = Kind::kOom;
+      } else if (kind_name == "cancel") {
+        kind = Kind::kCancel;
+      } else {
+        return Status::InvalidArgument("unknown fault kind: " + kind_name);
+      }
+    }
+    if (entry.empty()) {
+      return Status::InvalidArgument("empty site name in fault spec");
+    }
+    Arm(entry, kind, skip);
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+Status FaultInjector::ProbeSlow(const char* site) {
+  Kind kind;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return Status::OK();
+    if (it->second.remaining_skips > 0) {
+      --it->second.remaining_skips;
+      return Status::OK();
+    }
+    kind = it->second.kind;
+    sites_.erase(it);  // fire once, then disarm
+    if (sites_.empty()) armed_.store(false, std::memory_order_release);
+  }
+  std::string where(site);
+  switch (kind) {
+    case Kind::kOom:
+      return Status::ResourceExhausted("injected allocation failure at " +
+                                       where);
+    case Kind::kCancel:
+      return Status::Cancelled("injected cancellation at " + where);
+    case Kind::kError:
+      break;
+  }
+  return Status::Internal("injected fault at " + where);
+}
+
+// --- QueryGuard ------------------------------------------------------------
+
+QueryGuard::QueryGuard(const QueryLimits& limits,
+                       std::shared_ptr<CancelToken> token)
+    : token_(std::move(token)), memory_limit_(limits.memory_limit_bytes) {
+  if (limits.timeout_ms > 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits.timeout_ms);
+    has_deadline_ = true;
+  }
+}
+
+Status QueryGuard::Check(const char* site) {
+  SODA_RETURN_NOT_OK(FaultInjector::Global().Probe(site));
+  if (token_ && token_->cancelled()) {
+    return Status::Cancelled(std::string("query cancelled (at ") + site +
+                             ")");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    return Status::DeadlineExceeded(
+        std::string("query deadline exceeded (at ") + site +
+        "; see SET soda.timeout_ms)");
+  }
+  if (memory_limit_ > 0 &&
+      bytes_used_.load(std::memory_order_relaxed) > memory_limit_) {
+    return Status::ResourceExhausted(
+        std::string("query memory budget exceeded (at ") + site +
+        "; see SET soda.memory_limit_mb)");
+  }
+  return Status::OK();
+}
+
+Status QueryGuard::ReserveBytes(size_t bytes, const char* site) {
+  SODA_RETURN_NOT_OK(FaultInjector::Global().Probe(site));
+  int64_t used = bytes_used_.fetch_add(static_cast<int64_t>(bytes),
+                                       std::memory_order_relaxed) +
+                 static_cast<int64_t>(bytes);
+  if (memory_limit_ > 0 && used > memory_limit_) {
+    // Un-charge the failed reservation so the accountant reflects what
+    // was actually materialized before the abort.
+    bytes_used_.fetch_sub(static_cast<int64_t>(bytes),
+                          std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        std::string("query memory budget exceeded at ") + site +
+        " (requested " + std::to_string(bytes) + " bytes on top of " +
+        std::to_string(used - static_cast<int64_t>(bytes)) + " of " +
+        std::to_string(memory_limit_) +
+        " budgeted; see SET soda.memory_limit_mb)");
+  }
+  return Status::OK();
+}
+
+QueryGuard::MemoryScope::MemoryScope(QueryGuard* guard)
+    : prev_(g_current_guard) {
+  g_current_guard = guard;
+}
+
+QueryGuard::MemoryScope::~MemoryScope() { g_current_guard = prev_; }
+
+QueryGuard* QueryGuard::Current() { return g_current_guard; }
+
+}  // namespace soda

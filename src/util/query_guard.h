@@ -1,0 +1,196 @@
+/// \file query_guard.h
+/// Per-query resource governance: cooperative cancellation, wall-clock
+/// deadlines, memory budgets, and deterministic fault injection.
+///
+/// The paper's "one system fits all" design (§2, §5.1) runs ad-hoc,
+/// potentially divergent analytics — a k-Means that never converges, an
+/// ITERATE loop with a bad stop predicate — inside the same main-memory
+/// engine that serves interactive queries, and states that such runaways
+/// "need to be detected and aborted by the database". A `QueryGuard` is
+/// that abort mechanism: one guard per query execution, probed
+/// cooperatively at every morsel boundary, iteration step, and storage
+/// append. A failed probe surfaces as a clean `Status`
+/// (kCancelled / kDeadlineExceeded / kResourceExhausted), never a crash.
+///
+/// Probe sites are named `layer.point` (e.g. "exec.morsel",
+/// "storage.append", "iterate.step", "kmeans.iteration") so the
+/// `FaultInjector` can deterministically force a failure at an exact
+/// site — the backbone of the robustness test suite.
+
+#ifndef SODA_UTIL_QUERY_GUARD_H_
+#define SODA_UTIL_QUERY_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace soda {
+
+/// Thread-safe cancellation flag, shared between a running query and any
+/// number of controller threads (see core::CancelHandle). Once tripped it
+/// stays tripped.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Deterministic fault injection keyed by probe-site name.
+///
+/// Armed either programmatically (tests) or via the `SODA_FAULT_INJECT`
+/// environment variable, whose value is a comma-separated list of
+///   site[=kind][:skip]
+/// entries: `kind` is one of `error` (default, kInternal), `oom`
+/// (kResourceExhausted), or `cancel` (kCancelled); `skip` is the number
+/// of probes of that site to let pass before firing (default 0 = first
+/// probe fires). Example:
+///   SODA_FAULT_INJECT="storage.append=oom:2,iterate.step=error"
+/// Each armed site fires exactly once, then disarms itself, so recovery
+/// paths are exercised too.
+///
+/// The disarmed fast path is a single relaxed atomic load; production
+/// queries pay no measurable cost.
+class FaultInjector {
+ public:
+  enum class Kind { kError, kOom, kCancel };
+
+  /// Process-wide injector; reads SODA_FAULT_INJECT on first access.
+  static FaultInjector& Global();
+
+  /// Arms one site. `skip` probes pass before the fault fires.
+  void Arm(const std::string& site, Kind kind = Kind::kError,
+           int64_t skip = 0);
+
+  /// Arms from a SODA_FAULT_INJECT-style spec; InvalidArgument on a
+  /// malformed entry.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Disarms every site (used by test teardown).
+  void Reset();
+
+  /// Returns the injected fault if `site` is armed and its skip count is
+  /// exhausted; OK otherwise.
+  Status Probe(const char* site) {
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    return ProbeSlow(site);
+  }
+
+ private:
+  struct Entry {
+    Kind kind;
+    int64_t remaining_skips;
+  };
+
+  Status ProbeSlow(const char* site);
+
+  std::atomic<bool> armed_{false};
+  std::mutex mu_;
+  std::map<std::string, Entry> sites_;
+};
+
+/// Limits a guard enforces; 0 means "unlimited" for both.
+struct QueryLimits {
+  int64_t timeout_ms = 0;
+  int64_t memory_limit_bytes = 0;
+};
+
+/// One query's resource governor. Cheap to probe (a few relaxed atomic
+/// loads; the clock is read only when a deadline is set), safe to probe
+/// concurrently from every worker thread of the query.
+///
+/// Memory accounting is cumulative-materialization accounting: every
+/// byte a query materializes into relations (storage appends, CTE
+/// results, iteration states, analytics buffers) is charged via
+/// `ReserveBytes` and never released. This matches the paper's §5.1
+/// memory argument — a recursive CTE materializes n·i tuples over i
+/// iterations, and that cumulative footprint is exactly what the budget
+/// bounds — and keeps the accountant deterministic (no destructor
+/// hooks).
+class QueryGuard {
+ public:
+  /// Unlimited guard: probes only check cancellation and injected faults.
+  QueryGuard() : QueryGuard(QueryLimits{}, nullptr) {}
+
+  QueryGuard(const QueryLimits& limits, std::shared_ptr<CancelToken> token);
+
+  /// The cooperative probe. Returns, in precedence order: an injected
+  /// fault for `site`, kCancelled, kDeadlineExceeded, or
+  /// kResourceExhausted if a previous reservation left the budget
+  /// overdrawn; OK otherwise.
+  Status Check(const char* site);
+
+  /// Charges `bytes` against the memory budget (and probes `site`).
+  /// Fails with kResourceExhausted when the budget would be exceeded;
+  /// the failed reservation is not charged, so the caller can abort
+  /// without unwinding the accountant.
+  Status ReserveBytes(size_t bytes, const char* site);
+
+  /// Trips the guard's cancellation token.
+  void Cancel() {
+    if (token_) token_->Cancel();
+  }
+
+  bool cancelled() const { return token_ && token_->cancelled(); }
+
+  /// Bytes charged so far (equals peak under cumulative accounting).
+  size_t bytes_reserved() const {
+    return static_cast<size_t>(bytes_used_.load(std::memory_order_relaxed));
+  }
+
+  const std::shared_ptr<CancelToken>& token() const { return token_; }
+
+  /// Installs `guard` as the thread's implicit accountant: while a scope
+  /// is active, `Table::AppendRow`/`AppendChunk` charge their growth to
+  /// it. The guard-aware `ParallelFor` overload installs a scope on every
+  /// worker thread, so pipeline materialization is charged no matter
+  /// which thread appends.
+  class MemoryScope {
+   public:
+    explicit MemoryScope(QueryGuard* guard);
+    ~MemoryScope();
+    MemoryScope(const MemoryScope&) = delete;
+    MemoryScope& operator=(const MemoryScope&) = delete;
+
+   private:
+    QueryGuard* prev_;
+  };
+
+  /// The thread's current guard (null outside any MemoryScope).
+  static QueryGuard* Current();
+
+ private:
+  std::shared_ptr<CancelToken> token_;  // null = not cancellable
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_ = false;
+  int64_t memory_limit_ = 0;  // 0 = unlimited
+  std::atomic<int64_t> bytes_used_{0};
+};
+
+/// Probe helpers for call sites whose guard pointer may be null (direct
+/// operator invocations outside the engine): a null guard still consults
+/// the global fault injector, so SODA_FAULT_INJECT reaches every layer.
+inline Status GuardProbe(QueryGuard* guard, const char* site) {
+  if (guard) return guard->Check(site);
+  return FaultInjector::Global().Probe(site);
+}
+
+inline Status GuardReserve(QueryGuard* guard, size_t bytes,
+                           const char* site) {
+  if (guard) return guard->ReserveBytes(bytes, site);
+  return FaultInjector::Global().Probe(site);
+}
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_QUERY_GUARD_H_

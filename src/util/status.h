@@ -30,6 +30,11 @@ enum class StatusCode {
   kOutOfRange,
   kExecutionError,  ///< runtime failure inside an operator
   kInternal,
+  // Resource-governance codes (see util/query_guard.h): a query stopped
+  // by the governor, not by a bug — each maps to one QueryGuard limit.
+  kCancelled,          ///< cooperative cancellation via CancelToken
+  kDeadlineExceeded,   ///< wall-clock deadline (soda.timeout_ms) expired
+  kResourceExhausted,  ///< memory budget (soda.memory_limit_mb) exceeded
 };
 
 /// Returns a human-readable name for a status code, e.g. "ParseError".
@@ -80,6 +85,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -96,6 +110,13 @@ class Status {
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
   }
 
  private:

@@ -7,13 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "tests/test_util.h"
+#include "util/query_guard.h"
 
 namespace soda {
 namespace {
 
+using testing::ExpectError;
 using testing::RunQuery;
 
 class RobustnessTest : public ::testing::Test {
@@ -200,6 +203,263 @@ TEST_F(RobustnessTest, ErrorsDoNotPoisonTheSession) {
   (void)engine_.Execute("INSERT INTO t VALUES (1)");
   auto r = RunQuery(engine_, "SELECT count(*) FROM t");
   EXPECT_EQ(r.GetInt(0, 0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Resource governor: cancellation, deadlines, memory budgets, and fault
+// injection — a runaway analytics query must be "detected and aborted by
+// the database" (paper §5.1) with a clean Status, never a crash, and the
+// catalog must stay fully usable afterwards.
+
+/// An ITERATE loop whose stop condition can never fire: terminates only
+/// through the governor (or the iteration cap).
+constexpr const char* kDivergentIterate =
+    "SELECT * FROM ITERATE((SELECT 1 x), "
+    "(SELECT x + 1 x FROM iterate), "
+    "(SELECT x FROM iterate WHERE x < 0))";
+
+class ResourceGovernorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Reset();
+    ASSERT_OK(engine_.Execute("CREATE TABLE t (a INTEGER, b FLOAT)")
+                  .status());
+    ASSERT_OK(engine_.Execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)")
+                  .status());
+  }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  /// The engine must answer a plain query correctly after every failure.
+  void ExpectEngineUsable() {
+    auto r = RunQuery(engine_, "SELECT count(*) FROM t");
+    EXPECT_GE(r.GetInt(0, 0), 2);
+  }
+
+  Engine engine_;
+};
+
+TEST_F(ResourceGovernorTest, CancelFromAnotherThreadMidQuery) {
+  // The divergent ITERATE runs until cancelled (the cap is raised high
+  // enough to not fire first); the canceller trips the token from another
+  // thread while the query is in flight.
+  CancelHandle cancel;
+  ExecOptions exec;
+  exec.cancel = &cancel;
+  exec.max_iterations = 2000000000;
+
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.Cancel();
+  });
+  auto result = engine_.Execute(kDivergentIterate, exec);
+  canceller.join();
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(cancel.cancelled());
+  ExpectEngineUsable();
+}
+
+TEST_F(ResourceGovernorTest, PreCancelledHandleAbortsImmediately) {
+  CancelHandle cancel;
+  cancel.Cancel();
+  ExecOptions exec;
+  exec.cancel = &cancel;
+  auto result = engine_.Execute("SELECT * FROM t", exec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  ExpectEngineUsable();
+}
+
+TEST_F(ResourceGovernorTest, DeadlineExpiresInKMeans) {
+  // 10k points via a cross join; k-Means with a far-off convergence target
+  // keeps iterating until the 1ms deadline (set via SQL) fires.
+  ASSERT_OK(engine_.Execute("CREATE TABLE g (i INTEGER)").status());
+  std::string values = "(0)";
+  for (int i = 1; i < 100; ++i) values += ", (" + std::to_string(i) + ")";
+  ASSERT_OK(engine_.Execute("INSERT INTO g VALUES " + values).status());
+  ASSERT_OK(engine_
+                .Execute("CREATE TABLE pts AS SELECT "
+                         "a.i * 1.0 + b.i * 0.01 x, a.i * 2.0 - b.i y "
+                         "FROM g a, g b")
+                .status());
+
+  ASSERT_OK(engine_.Execute("SET soda.timeout_ms = 1").status());
+  ExpectError(engine_,
+              "SELECT * FROM KMEANS((SELECT x, y FROM pts), "
+              "(SELECT x, y FROM pts LIMIT 32), 1000000)",
+              StatusCode::kDeadlineExceeded);
+  ASSERT_OK(engine_.Execute("SET soda.timeout_ms = 0").status());
+  ExpectEngineUsable();
+}
+
+TEST_F(ResourceGovernorTest, DeadlineExpiresInRecursiveCte) {
+  // The iteration cap is raised so only the deadline can stop the
+  // divergent recursion.
+  ASSERT_OK(engine_.Execute("SET soda.max_iterations = 2000000000").status());
+  ASSERT_OK(engine_.Execute("SET soda.timeout_ms = 10").status());
+  ExpectError(engine_,
+              "WITH RECURSIVE r (i) AS ((SELECT 1) UNION ALL "
+              "(SELECT i + 1 FROM r WHERE i < 2000000000)) "
+              "SELECT count(*) FROM r",
+              StatusCode::kDeadlineExceeded);
+  ASSERT_OK(engine_.Execute("SET soda.timeout_ms = 0").status());
+  ASSERT_OK(engine_.Execute("SET soda.max_iterations = 100000").status());
+  ExpectEngineUsable();
+}
+
+TEST_F(ResourceGovernorTest, MemoryBudgetStopsInsertSelect) {
+  // ~90k result rows * 2 BIGINT columns > 1 MB: the INSERT .. SELECT
+  // trips the budget, errs cleanly, and the engine keeps working.
+  ASSERT_OK(engine_.Execute("CREATE TABLE g (i INTEGER)").status());
+  std::string values = "(0)";
+  for (int i = 1; i < 300; ++i) values += ", (" + std::to_string(i) + ")";
+  ASSERT_OK(engine_.Execute("INSERT INTO g VALUES " + values).status());
+  ASSERT_OK(engine_.Execute("CREATE TABLE sink (p INTEGER, q INTEGER)")
+                .status());
+
+  ASSERT_OK(engine_.Execute("SET soda.memory_limit_mb = 1").status());
+  ExpectError(engine_,
+              "INSERT INTO sink SELECT a.i, b.i FROM g a, g b",
+              StatusCode::kResourceExhausted);
+  ASSERT_OK(engine_.Execute("SET soda.memory_limit_mb = 0").status());
+  ExpectEngineUsable();
+  // The budget failure must not corrupt the target table: columns stay
+  // aligned (charging happens before any mutation).
+  auto r = RunQuery(engine_, "SELECT count(*) FROM sink");
+  EXPECT_GE(r.GetInt(0, 0), 0);
+}
+
+TEST_F(ResourceGovernorTest, MemoryBudgetViaExecOptionsIsPerCall) {
+  ExecOptions tight;
+  // 1 byte: the first materialized value (8-byte BIGINT) must overdraw it.
+  tight.memory_limit_bytes = 1;
+  auto limited = engine_.Execute("SELECT a FROM t WHERE a > 0", tight);
+  ASSERT_FALSE(limited.ok());
+  EXPECT_EQ(limited.status().code(), StatusCode::kResourceExhausted);
+  // Engine-level defaults are untouched: the same query succeeds.
+  ExpectEngineUsable();
+}
+
+TEST_F(ResourceGovernorTest, FaultInjectionAtEachProbeSite) {
+  struct Case {
+    const char* site;
+    FaultInjector::Kind kind;
+    const char* sql;
+    StatusCode expected;
+  };
+  const Case cases[] = {
+      {"storage.append", FaultInjector::Kind::kOom,
+       "INSERT INTO t VALUES (3, 3.0)", StatusCode::kResourceExhausted},
+      {"exec.morsel", FaultInjector::Kind::kError,
+       "SELECT a FROM t WHERE a > 0", StatusCode::kInternal},
+      {"iterate.step", FaultInjector::Kind::kError,
+       "SELECT * FROM ITERATE((SELECT 1 x), (SELECT x + 1 x FROM iterate), "
+       "(SELECT x FROM iterate WHERE x > 5))",
+       StatusCode::kInternal},
+      {"kmeans.iteration", FaultInjector::Kind::kCancel,
+       "SELECT * FROM KMEANS((SELECT a, b FROM t), "
+       "(SELECT a, b FROM t LIMIT 1), 3)",
+       StatusCode::kCancelled},
+      {"cte.step", FaultInjector::Kind::kError,
+       "WITH RECURSIVE r (i) AS ((SELECT 1) UNION ALL "
+       "(SELECT i + 1 FROM r WHERE i < 5)) SELECT count(*) FROM r",
+       StatusCode::kInternal},
+      {"exec.dml", FaultInjector::Kind::kError,
+       "UPDATE t SET b = b + 1 WHERE a = 1", StatusCode::kInternal},
+      {"kmeans.densify", FaultInjector::Kind::kOom,
+       "SELECT * FROM KMEANS((SELECT a, b FROM t), "
+       "(SELECT a, b FROM t LIMIT 1), 3)",
+       StatusCode::kResourceExhausted},
+      {"pagerank.csr", FaultInjector::Kind::kOom,
+       "SELECT * FROM PAGERANK((SELECT a, a FROM t))",
+       StatusCode::kResourceExhausted},
+  };
+  for (const Case& c : cases) {
+    FaultInjector::Global().Arm(c.site, c.kind);
+    auto result = engine_.Execute(c.sql);
+    ASSERT_FALSE(result.ok()) << "site " << c.site << " did not fire";
+    EXPECT_EQ(result.status().code(), c.expected)
+        << "site " << c.site << ": " << result.status().ToString();
+    FaultInjector::Global().Reset();
+    // The same statement must succeed once the fault is disarmed (for the
+    // sites whose statement is side-effect free this re-runs identically).
+    ExpectEngineUsable();
+  }
+}
+
+TEST_F(ResourceGovernorTest, InjectedFaultFiresExactlyOnce) {
+  FaultInjector::Global().Arm("exec.morsel", FaultInjector::Kind::kError);
+  auto first = engine_.Execute("SELECT a FROM t WHERE a > 0");
+  EXPECT_FALSE(first.ok());
+  // Armed sites disarm after firing: the retry succeeds without Reset().
+  auto second = engine_.Execute("SELECT a FROM t WHERE a > 0");
+  EXPECT_TRUE(second.ok()) << second.status().ToString();
+}
+
+TEST_F(ResourceGovernorTest, IterationCapMessageNamesTheKnob) {
+  ASSERT_OK(engine_.Execute("SET soda.max_iterations = 7").status());
+  auto iterate = engine_.Execute(kDivergentIterate);
+  ASSERT_FALSE(iterate.ok());
+  EXPECT_EQ(iterate.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(iterate.status().message().find("7"), std::string::npos);
+  EXPECT_NE(iterate.status().message().find("soda.max_iterations"),
+            std::string::npos);
+
+  auto cte = engine_.Execute(
+      "WITH RECURSIVE r (i) AS ((SELECT 1) UNION ALL "
+      "(SELECT i + 1 FROM r WHERE i < 100)) SELECT count(*) FROM r");
+  ASSERT_FALSE(cte.ok());
+  EXPECT_EQ(cte.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(cte.status().message().find("soda.max_iterations"),
+            std::string::npos);
+  ASSERT_OK(engine_.Execute("SET soda.max_iterations = 100000").status());
+  ExpectEngineUsable();
+}
+
+TEST_F(ResourceGovernorTest, SetStatementValidation) {
+  // Well-formed knobs succeed.
+  ASSERT_OK(engine_.Execute("SET soda.timeout_ms = 1000").status());
+  ASSERT_OK(engine_.Execute("SET soda.memory_limit_mb = 256").status());
+  ASSERT_OK(engine_.Execute("SET soda.max_iterations = 42").status());
+  EXPECT_EQ(engine_.options().timeout_ms, 1000);
+  EXPECT_EQ(engine_.options().memory_limit_bytes,
+            int64_t{256} * 1024 * 1024);
+  EXPECT_EQ(engine_.options().max_iterations, 42u);
+  ASSERT_OK(engine_.Execute("SET soda.timeout_ms = 0").status());
+  ASSERT_OK(engine_.Execute("SET soda.memory_limit_mb = 0").status());
+  ASSERT_OK(engine_.Execute("SET soda.max_iterations = 100000").status());
+
+  // Malformed / hostile SETs fail cleanly and change nothing.
+  const char* bad[] = {
+      "SET",
+      "SET soda",
+      "SET soda.timeout_ms",
+      "SET soda.timeout_ms =",
+      "SET soda.timeout_ms = 'fast'",
+      "SET soda.timeout_ms = 1.5",
+      "SET soda.timeout_ms = -5",
+      "SET soda.max_iterations = 0",
+      "SET soda.nope = 1",
+      "SET mystery.knob = 1",
+  };
+  for (const char* sql : bad) {
+    auto result = engine_.Execute(sql);
+    EXPECT_FALSE(result.ok()) << "expected failure for: " << sql;
+    EXPECT_FALSE(result.status().message().empty()) << sql;
+  }
+  EXPECT_EQ(engine_.options().timeout_ms, 0);
+  EXPECT_EQ(engine_.options().max_iterations, 100000u);
+  ExpectEngineUsable();
+}
+
+TEST_F(ResourceGovernorTest, SetAppliesMidScript) {
+  // The cap set by the first statement governs the second.
+  auto result = engine_.ExecuteScript(
+      "SET soda.max_iterations = 5; " + std::string(kDivergentIterate));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(result.status().message().find("cap 5"), std::string::npos);
 }
 
 }  // namespace

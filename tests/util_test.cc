@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "util/parallel.h"
+#include "util/query_guard.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -16,6 +19,16 @@
 
 namespace soda {
 namespace {
+
+// The global pool is sized from hardware_concurrency at first use, which
+// would silently route ParallelFor through its serial path on single-core
+// CI machines and skip the pool-specific code (exception capture, cursor
+// abort). Force a real pool before anything touches it; an explicit
+// SODA_THREADS from the environment still wins.
+const bool kForceMultiThreadedPool = [] {
+  setenv("SODA_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
 
 TEST(StatusTest, OkByDefault) {
   Status st;
@@ -146,6 +159,120 @@ TEST(ParallelForTest, SerialScopeForcesSingleWorker) {
   }, 64);
   EXPECT_EQ(workers.size(), 1u);
   EXPECT_TRUE(workers.count(0));
+}
+
+TEST(ParallelForTest, WorkerExceptionPropagatesToCaller) {
+  // Regression: an exception thrown on a pool worker used to escape the
+  // worker's stack and std::terminate the process. It must be captured
+  // and rethrown on the calling thread.
+  EXPECT_THROW(
+      ParallelFor(
+          100000,
+          [&](size_t begin, size_t, size_t) {
+            if (begin >= 50000) throw std::runtime_error("boom");
+          },
+          128),
+      std::runtime_error);
+
+  // The pool must stay usable after the failure.
+  std::atomic<size_t> covered{0};
+  ParallelFor(10000, [&](size_t b, size_t e, size_t) {
+    covered.fetch_add(e - b);
+  });
+  EXPECT_EQ(covered.load(), 10000u);
+}
+
+TEST(ParallelForTest, FirstExceptionWinsAndStopsTheCursor) {
+  std::atomic<size_t> morsels_run{0};
+  try {
+    ParallelFor(
+        1 << 20,
+        [&](size_t, size_t, size_t) {
+          morsels_run.fetch_add(1);
+          throw std::runtime_error("every morsel throws");
+        },
+        64);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  // The abort flag stops remaining morsels: far fewer than the 16384
+  // total run (at most one in-flight morsel per worker).
+  EXPECT_LE(morsels_run.load(), NumWorkers() + 1);
+}
+
+TEST(GuardedParallelForTest, CancellationStopsMidLoop) {
+  auto token = std::make_shared<CancelToken>();
+  QueryGuard guard(QueryLimits{}, token);
+  std::atomic<size_t> seen{0};
+  Status st = ParallelFor(
+      &guard, 1 << 20,
+      [&](size_t, size_t, size_t) {
+        if (seen.fetch_add(1) == 2) token->Cancel();
+      },
+      256);
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  // Cooperative: cancellation is observed at a morsel boundary, so not
+  // every morsel ran.
+  EXPECT_LT(seen.load(), (1u << 20) / 256);
+}
+
+TEST(GuardedParallelForTest, DeadlineSurfacesAsStatus) {
+  QueryLimits limits;
+  limits.timeout_ms = 1;
+  QueryGuard guard(limits, nullptr);
+  std::atomic<bool> spin{true};
+  Status st = ParallelFor(
+      &guard, 1 << 20,
+      [&](size_t begin, size_t, size_t) {
+        // Burn a little wall clock so the 1ms deadline passes.
+        volatile double x = 1.0;
+        for (int i = 0; i < 20000; ++i) x = x * 1.0000001;
+        (void)begin;
+      },
+      64);
+  (void)spin;
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GuardedParallelForTest, NullGuardStillHonorsFaultInjection) {
+  FaultInjector::Global().Arm("exec.morsel", FaultInjector::Kind::kError);
+  Status st = ParallelFor(
+      nullptr, 100000, [](size_t, size_t, size_t) {}, 128);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  FaultInjector::Global().Reset();
+
+  // Fires exactly once, then disarms.
+  Status again = ParallelFor(
+      nullptr, 100000, [](size_t, size_t, size_t) {}, 128);
+  EXPECT_TRUE((again).ok());
+}
+
+TEST(GuardedParallelForTest, MemoryOverdraftDetectedAtMorselBoundary) {
+  QueryLimits limits;
+  limits.memory_limit_bytes = 1024;
+  QueryGuard guard(limits, nullptr);
+  // Overdraw the budget, then run: the next probe reports exhaustion.
+  Status reserve = guard.ReserveBytes(4096, "test.reserve");
+  EXPECT_EQ(reserve.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE((guard.ReserveBytes(512, "test.reserve")).ok());
+  EXPECT_TRUE((guard.Check("test.site")).ok());
+  EXPECT_EQ(guard.bytes_reserved(), 512u);
+}
+
+TEST(FaultInjectorTest, SpecParsing) {
+  FaultInjector& fi = FaultInjector::Global();
+  EXPECT_TRUE((fi.ArmFromSpec("storage.append=oom:2,iterate.step=error")).ok());
+  // Two probes pass, the third fires.
+  EXPECT_TRUE((fi.Probe("storage.append")).ok());
+  EXPECT_TRUE((fi.Probe("storage.append")).ok());
+  EXPECT_EQ(fi.Probe("storage.append").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(fi.Probe("iterate.step").code(), StatusCode::kInternal);
+  fi.Reset();
+
+  EXPECT_FALSE(fi.ArmFromSpec("site=frobnicate").ok());
+  EXPECT_FALSE(fi.ArmFromSpec("site=oom:notanumber").ok());
+  fi.Reset();
 }
 
 TEST(RngTest, DeterministicForSameSeed) {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds soda with AddressSanitizer + UndefinedBehaviorSanitizer and runs
+# the full test suite. A separate build tree (build-asan/) is used so the
+# regular build/ stays benchmark-clean.
+#
+# Usage:
+#   tools/check_sanitize.sh            # address,undefined (default)
+#   tools/check_sanitize.sh thread     # TSan instead (exclusive with ASan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizers="${1:-address,undefined}"
+build_dir="${repo_root}/build-$(echo "${sanitizers}" | tr ',' '-')"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSODA_SANITIZE="${sanitizers}"
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error keeps a UBSan report from being silently non-fatal.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+
+ctest --test-dir "${build_dir}" -j "$(nproc)" --output-on-failure
+echo "check_sanitize: all tests clean under ${sanitizers}"
