@@ -1,0 +1,82 @@
+/// \file bench_pipeline_breakers.cc
+/// Materialized vs pipelined breakers over a wide scan.
+///
+/// The physical-plan scheduler streams chunks through limit and union-all
+/// instead of materializing every intermediate relation. Each row pits the
+/// pipelined query against a query shaped like the old interpreter's work:
+///
+///   limit_bounded    full materialization of the scan vs LIMIT 10 with a
+///                    bounded scan (touches O(k) rows).
+///   limit_filtered   full filtered materialization vs LIMIT 10 with
+///                    cross-worker early exit on the sink's done() flag.
+///   union_all        union plus an extra full copy of the result (the old
+///                    per-node materialization) vs streaming both branches
+///                    into one shared sink.
+///
+/// Acceptance: the pipelined column must never be slower.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+
+namespace soda::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Scale scale = ParseScale(argc, argv);
+  const size_t target = 16777216 / scale.divisor;  // paper: 16M rows
+
+  Engine engine;
+  if (!engine.Execute("CREATE TABLE big (a BIGINT, b BIGINT)").ok()) return 1;
+  std::string seed = "INSERT INTO big VALUES ";
+  for (int i = 0; i < 16; ++i) {
+    if (i) seed += ", ";
+    seed += "(" + std::to_string(i) + ", " + std::to_string(100 - i) + ")";
+  }
+  (void)TimeQuery(engine, seed);
+  size_t rows = 16;
+  while (rows < target) {
+    (void)TimeQuery(engine, "INSERT INTO big SELECT a, b FROM big");
+    rows *= 2;
+  }
+
+  std::printf("pipeline breakers: scale=%s rows=%s\n", scale.name,
+              Human(rows).c_str());
+  PrintHeader({"case", "materialized_s", "pipelined_s", "speedup"});
+
+  struct Case {
+    const char* name;
+    std::string materialized;
+    std::string pipelined;
+  };
+  const Case cases[] = {
+      {"limit_bounded", "SELECT a FROM big", "SELECT a FROM big LIMIT 10"},
+      {"limit_filtered", "SELECT a FROM big WHERE a >= 0",
+       "SELECT a FROM big WHERE a >= 0 LIMIT 10"},
+      {"union_all",
+       "SELECT a FROM (SELECT a FROM big UNION ALL SELECT a FROM big) u",
+       "SELECT a FROM big UNION ALL SELECT a FROM big"},
+  };
+  for (const Case& c : cases) {
+    // Warm both shapes once so neither pays first-touch costs.
+    (void)TimeQuery(engine, c.pipelined);
+    (void)TimeQuery(engine, c.materialized);
+    double mat = TimeQuery(engine, c.materialized);
+    double pipe = TimeQuery(engine, c.pipelined);
+    PrintCell(c.name);
+    PrintSeconds(mat);
+    PrintSeconds(pipe);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx", pipe > 0 ? mat / pipe : 0.0);
+    PrintCell(buf);
+    EndRow();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace soda::bench
+
+int main(int argc, char** argv) { return soda::bench::Run(argc, argv); }

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include "exec/executor.h"
+#include "exec/physical_plan.h"
 #include "expr/evaluator.h"
 #include "expr/fold.h"
 #include "sql/binder.h"
@@ -263,18 +264,34 @@ Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
   return QueryResult();
 }
 
-/// EXPLAIN: the optimized plan tree rendered as a one-column relation,
-/// one row per plan line.
-Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, Catalog* catalog,
-                                   const EngineOptions& options) {
+/// EXPLAIN [ANALYZE]: the optimized plan tree plus the physical pipeline
+/// decomposition, rendered as a one-column relation, one row per line.
+/// With ANALYZE the plan is executed (under the statement's QueryGuard)
+/// and every pipeline operator reports rows/chunks/time.
+Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, bool analyze,
+                                   Catalog* catalog,
+                                   const EngineOptions& options,
+                                   QueryGuard* guard) {
   Binder binder(catalog);
   SODA_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelectStatement(stmt));
   if (options.optimize) {
     plan = OptimizePlan(std::move(plan), catalog);
   }
+  SODA_ASSIGN_OR_RETURN(PhysicalPlan physical, LowerPlan(*plan));
+  ExecStats stats;
+  if (analyze) {
+    ExecContext ctx;
+    ctx.catalog = catalog;
+    ctx.max_iterations = options.max_iterations;
+    ctx.guard = guard;
+    SODA_RETURN_NOT_OK(physical.Execute(ctx));
+    stats = ctx.stats;
+  }
   auto table = std::make_shared<Table>(
       "explain", Schema({Field("plan", DataType::kVarchar)}));
   std::string text = plan->ToString();
+  if (!text.empty() && text.back() != '\n') text += "\n";
+  text += "=== Pipelines ===\n" + physical.ToString(analyze);
   size_t start = 0;
   while (start < text.size()) {
     size_t end = text.find('\n', start);
@@ -283,7 +300,7 @@ Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, Catalog* catalog,
         table->AppendRow({Value::Varchar(text.substr(start, end - start))}));
     start = end + 1;
   }
-  return QueryResult(std::move(table), ExecStats{});
+  return QueryResult(std::move(table), stats);
 }
 
 /// SET soda.<knob> = <value>: mutates the engine-level defaults. Knobs map
@@ -330,7 +347,8 @@ Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
     case StatementKind::kDelete:
       return ExecuteDelete(*stmt.del, catalog, guard);
     case StatementKind::kExplain:
-      return ExecuteExplain(*stmt.select, catalog, options);
+      return ExecuteExplain(*stmt.select, stmt.explain_analyze, catalog,
+                            options, guard);
     case StatementKind::kSet:
       return Status::Internal("SET must be handled by the engine");
   }
@@ -402,7 +420,10 @@ Result<std::string> Engine::Explain(const std::string& sql) {
   if (options_.optimize) {
     plan = OptimizePlan(std::move(plan), &catalog_);
   }
-  return plan->ToString();
+  SODA_ASSIGN_OR_RETURN(PhysicalPlan physical, LowerPlan(*plan));
+  std::string text = plan->ToString();
+  if (!text.empty() && text.back() != '\n') text += "\n";
+  return text + "=== Pipelines ===\n" + physical.ToString();
 }
 
 }  // namespace soda

@@ -125,15 +125,15 @@ struct GroupTable {
   }
 };
 
-class AggregateSink : public Sink {
+class AggregateSink : public TableSink {
  public:
   AggregateSink(const PlanNode& plan, Schema key_schema)
       : plan_(plan), key_schema_(std::move(key_schema)) {
     workers_.resize(NumWorkers());
   }
 
-  Status Consume(DataChunk& chunk, size_t worker_id) override {
-    auto& local = workers_[worker_id];
+  Status Consume(DataChunk& chunk, const SinkContext& sctx) override {
+    auto& local = workers_[sctx.worker_id];
     if (!local) {
       local = std::make_unique<GroupTable>(key_schema_,
                                            plan_.aggregates.size());
@@ -266,7 +266,20 @@ class AggregateSink : public Sink {
     return Status::OK();
   }
 
-  TablePtr result() const { return result_; }
+  std::string name() const override {
+    std::string s = "Aggregate groups=" + std::to_string(plan_.num_group_cols);
+    s += " [";
+    for (size_t i = 0; i < plan_.aggregates.size(); ++i) {
+      if (i) s += ", ";
+      const AggregateSpec& spec = plan_.aggregates[i];
+      s += spec.function + "(" +
+           (spec.arg_index < 0 ? "*" : "#" + std::to_string(spec.arg_index)) +
+           ")";
+    }
+    return s + "]";
+  }
+
+  TablePtr result() const override { return result_; }
 
  private:
   const PlanNode& plan_;
@@ -277,15 +290,11 @@ class AggregateSink : public Sink {
 
 }  // namespace
 
-Result<TablePtr> ExecuteAggregate(const PlanNode& plan, ExecContext& ctx) {
-  SODA_ASSIGN_OR_RETURN(Pipeline p, BuildPipeline(*plan.children[0], ctx));
+std::shared_ptr<TableSink> MakeAggregateSink(const PlanNode& plan) {
   std::vector<Field> key_fields(
       plan.children[0]->schema.fields().begin(),
       plan.children[0]->schema.fields().begin() + plan.num_group_cols);
-  AggregateSink sink(plan, Schema(std::move(key_fields)));
-  SODA_RETURN_NOT_OK(RunPipeline(p, sink, ctx));
-  ctx.stats.cumulative_materialized_tuples += sink.result()->num_rows();
-  return sink.result();
+  return std::make_shared<AggregateSink>(plan, Schema(std::move(key_fields)));
 }
 
 }  // namespace soda

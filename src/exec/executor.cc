@@ -1,111 +1,35 @@
 #include "exec/executor.h"
 
-#include <atomic>
-#include <mutex>
-
-#include "exec/hash_join.h"
-#include "expr/evaluator.h"
+#include "exec/physical_plan.h"
 #include "util/parallel.h"
 
 namespace soda {
-
-namespace {
-
-/// Streaming WHERE: evaluates the predicate and compacts the chunk.
-class FilterTransform : public Transform {
- public:
-  explicit FilterTransform(ExprPtr predicate)
-      : predicate_(std::move(predicate)) {}
-
-  Status Apply(DataChunk& chunk, const Emit& emit) const override {
-    std::vector<uint32_t> selection;
-    SODA_RETURN_NOT_OK(EvaluatePredicate(*predicate_, chunk, &selection));
-    if (selection.size() == chunk.num_rows()) return emit(chunk);
-    if (selection.empty()) return Status::OK();
-    DataChunk out;
-    for (size_t c = 0; c < chunk.num_columns(); ++c) {
-      Column col(chunk.column(c).type());
-      col.Reserve(selection.size());
-      for (uint32_t i : selection) col.AppendFrom(chunk.column(c), i);
-      out.AddColumn(std::move(col));
-    }
-    return emit(out);
-  }
-
- private:
-  ExprPtr predicate_;
-};
-
-/// Streaming SELECT-list evaluation.
-class ProjectTransform : public Transform {
- public:
-  explicit ProjectTransform(std::vector<ExprPtr> exprs)
-      : exprs_(std::move(exprs)) {}
-
-  Status Apply(DataChunk& chunk, const Emit& emit) const override {
-    DataChunk out;
-    for (const auto& e : exprs_) {
-      Column col;
-      SODA_RETURN_NOT_OK(EvaluateExpression(*e, chunk, &col));
-      out.AddColumn(std::move(col));
-    }
-    return emit(out);
-  }
-
- private:
-  std::vector<ExprPtr> exprs_;
-};
-
-Result<TablePtr> ExecuteValues(const PlanNode& plan) {
-  auto table = std::make_shared<Table>("values", plan.schema);
-  for (const auto& row : plan.rows) {
-    SODA_RETURN_NOT_OK(table->AppendRow(row));
-  }
-  return table;
-}
-
-Result<TablePtr> ExecuteLimit(const PlanNode& plan, ExecContext& ctx) {
-  SODA_ASSIGN_OR_RETURN(TablePtr child, ExecutePlan(*plan.children[0], ctx));
-  size_t offset = plan.offset > 0 ? static_cast<size_t>(plan.offset) : 0;
-  size_t available = child->num_rows() > offset ? child->num_rows() - offset : 0;
-  size_t count = plan.limit < 0
-                     ? available
-                     : std::min(available, static_cast<size_t>(plan.limit));
-  if (offset == 0 && count == child->num_rows()) return child;
-  auto out = std::make_shared<Table>("limit", plan.schema);
-  DataChunk chunk;
-  child->ScanSlice(offset, count, &chunk);
-  SODA_RETURN_NOT_OK(out->AppendChunk(chunk));
-  return out;
-}
-
-Result<TablePtr> ExecuteUnionAll(const PlanNode& plan, ExecContext& ctx) {
-  auto out = std::make_shared<Table>("union", plan.schema);
-  for (const auto& child : plan.children) {
-    SODA_RETURN_NOT_OK(ctx.Probe("exec.union"));
-    SODA_ASSIGN_OR_RETURN(TablePtr t, ExecutePlan(*child, ctx));
-    SODA_RETURN_NOT_OK(
-        GuardReserve(ctx.guard, t->MemoryUsage(), "exec.union"));
-    for (size_t c = 0; c < t->num_columns(); ++c) {
-      out->column(c).AppendSlice(t->column(c), 0, t->num_rows());
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 MaterializeSink::MaterializeSink(Schema schema) : schema_(std::move(schema)) {
   partials_.resize(NumWorkers());
 }
 
-Status MaterializeSink::Consume(DataChunk& chunk, size_t worker_id) {
-  auto& partial = partials_[worker_id];
+Status MaterializeSink::Consume(DataChunk& chunk, const SinkContext& sctx) {
+  auto& partial = partials_[sctx.worker_id];
   if (!partial) partial = std::make_unique<Table>("partial", schema_);
   return partial->AppendChunk(chunk);
 }
 
 Status MaterializeSink::Finalize() {
+  // Single-producer case (serial pipelines, scheduler-thread UNION ALL
+  // appends): adopt the partial instead of copying it.
+  std::unique_ptr<Table>* only = nullptr;
+  size_t populated = 0;
+  for (auto& partial : partials_) {
+    if (!partial) continue;
+    ++populated;
+    only = &partial;
+  }
+  if (populated == 1) {
+    result_ = std::move(*only);
+    partials_.clear();
+    return Status::OK();
+  }
   result_ = std::make_shared<Table>("result", schema_);
   for (auto& partial : partials_) {
     if (!partial) continue;
@@ -118,195 +42,10 @@ Status MaterializeSink::Finalize() {
   return Status::OK();
 }
 
-Result<Pipeline> BuildPipeline(const PlanNode& plan, ExecContext& ctx) {
-  switch (plan.kind) {
-    case PlanKind::kScan: {
-      SODA_ASSIGN_OR_RETURN(TablePtr table,
-                            ctx.catalog->GetTable(plan.table_name));
-      Pipeline p;
-      p.source = std::move(table);
-      p.source_schema = plan.schema;
-      return p;
-    }
-    case PlanKind::kBindingRef: {
-      auto it = ctx.bindings.find(plan.binding_name);
-      if (it == ctx.bindings.end()) {
-        return Status::Internal("unbound relation: " + plan.binding_name);
-      }
-      Pipeline p;
-      p.source = it->second;
-      p.source_schema = plan.schema;
-      return p;
-    }
-    case PlanKind::kFilter: {
-      SODA_ASSIGN_OR_RETURN(Pipeline p, BuildPipeline(*plan.children[0], ctx));
-      p.transforms.push_back(
-          std::make_shared<FilterTransform>(plan.predicate->Clone()));
-      return p;
-    }
-    case PlanKind::kProject: {
-      SODA_ASSIGN_OR_RETURN(Pipeline p, BuildPipeline(*plan.children[0], ctx));
-      std::vector<ExprPtr> exprs;
-      exprs.reserve(plan.exprs.size());
-      for (const auto& e : plan.exprs) exprs.push_back(e->Clone());
-      p.transforms.push_back(
-          std::make_shared<ProjectTransform>(std::move(exprs)));
-      return p;
-    }
-    case PlanKind::kJoin: {
-      // Build (right) side executes to completion first; probe (left) side
-      // extends the pipeline — joins only break the pipeline on one side,
-      // as in HyPer.
-      SODA_ASSIGN_OR_RETURN(TablePtr build,
-                            ExecutePlan(*plan.children[1], ctx));
-      SODA_ASSIGN_OR_RETURN(Pipeline p, BuildPipeline(*plan.children[0], ctx));
-      Schema concat = plan.children[0]->schema.Concat(plan.children[1]->schema);
-      if (plan.left_keys.empty()) {
-        p.transforms.push_back(
-            std::make_shared<CrossJoinTransform>(std::move(build), concat));
-      } else {
-        SODA_ASSIGN_OR_RETURN(
-            std::shared_ptr<JoinHashTable> ht,
-            JoinHashTable::Build(std::move(build), plan.right_keys));
-        p.resources.push_back(ht);
-        p.transforms.push_back(std::make_shared<HashJoinProbeTransform>(
-            ht, plan.left_keys, concat));
-      }
-      if (plan.predicate) {
-        p.transforms.push_back(
-            std::make_shared<FilterTransform>(plan.predicate->Clone()));
-      }
-      return p;
-    }
-    default: {
-      // Pipeline breaker: materialize and start a fresh pipeline.
-      SODA_ASSIGN_OR_RETURN(TablePtr table, ExecutePlan(plan, ctx));
-      Pipeline p;
-      p.source = std::move(table);
-      p.source_schema = plan.schema;
-      return p;
-    }
-  }
-}
-
-Status RunPipeline(const Pipeline& pipeline, Sink& sink, ExecContext& ctx) {
-  const Table& source = *pipeline.source;
-  const size_t total = source.num_rows();
-
-  std::mutex error_mu;
-  Status first_error;
-  std::atomic<bool> failed{false};
-
-  // Guard-aware: every morsel boundary probes cancellation / deadline /
-  // memory budget / fault injection, and worker-side table appends are
-  // charged to the query's accountant.
-  Status guard_status = ParallelFor(
-      ctx.guard, total,
-      [&](size_t begin, size_t end, size_t worker_id) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        for (size_t offset = begin; offset < end;
-             offset += kChunkCapacity) {
-          if (failed.load(std::memory_order_relaxed)) return;
-          size_t count = std::min(kChunkCapacity, end - offset);
-          DataChunk chunk;
-          source.ScanSlice(offset, count, &chunk);
-
-          // Apply the transform chain with continuation-style emits.
-          std::function<Status(DataChunk&, size_t)> apply =
-              [&](DataChunk& c, size_t idx) -> Status {
-            if (c.num_rows() == 0) return Status::OK();
-            if (idx == pipeline.transforms.size()) {
-              return sink.Consume(c, worker_id);
-            }
-            return pipeline.transforms[idx]->Apply(
-                c, [&](DataChunk& next) { return apply(next, idx + 1); });
-          };
-          Status st = apply(chunk, 0);
-          if (!st.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (first_error.ok()) first_error = st;
-            failed.store(true, std::memory_order_relaxed);
-            return;
-          }
-        }
-      },
-      /*morsel_size=*/kChunkCapacity * 8);
-
-  SODA_RETURN_NOT_OK(first_error);
-  SODA_RETURN_NOT_OK(guard_status);
-  return sink.Finalize();
-}
-
 Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext& ctx) {
-  switch (plan.kind) {
-    case PlanKind::kScan:
-      return ctx.catalog->GetTable(plan.table_name);
-    case PlanKind::kBindingRef: {
-      auto it = ctx.bindings.find(plan.binding_name);
-      if (it == ctx.bindings.end()) {
-        return Status::Internal("unbound relation: " + plan.binding_name);
-      }
-      return it->second;
-    }
-    case PlanKind::kValues:
-      return ExecuteValues(plan);
-    case PlanKind::kProject: {
-      // Fast path for pure column selections over a base relation (e.g.
-      // the `(SELECT x1..xd FROM data)` inputs of analytics operators,
-      // which HyPer would fuse into the operator's own materialization):
-      // one bulk column copy instead of chunked pipeline copies.
-      const PlanNode& child = *plan.children[0];
-      bool all_refs = true;
-      for (const auto& e : plan.exprs) {
-        if (e->kind != ExprKind::kColumnRef) {
-          all_refs = false;
-          break;
-        }
-      }
-      if (all_refs && (child.kind == PlanKind::kScan ||
-                       child.kind == PlanKind::kBindingRef)) {
-        SODA_ASSIGN_OR_RETURN(TablePtr source, ExecutePlan(child, ctx));
-        auto out = std::make_shared<Table>("project", plan.schema);
-        size_t bytes = 0;
-        for (const auto& e : plan.exprs) {
-          bytes += source->column(e->column_index).MemoryUsage();
-        }
-        SODA_RETURN_NOT_OK(GuardReserve(ctx.guard, bytes, "exec.project"));
-        for (size_t i = 0; i < plan.exprs.size(); ++i) {
-          Column col(source->column(plan.exprs[i]->column_index).type());
-          col.AppendSlice(source->column(plan.exprs[i]->column_index), 0,
-                          source->num_rows());
-          SODA_RETURN_NOT_OK(out->SetColumn(i, std::move(col)));
-        }
-        ctx.stats.cumulative_materialized_tuples += out->num_rows();
-        return out;
-      }
-      [[fallthrough]];
-    }
-    case PlanKind::kFilter:
-    case PlanKind::kJoin: {
-      SODA_ASSIGN_OR_RETURN(Pipeline p, BuildPipeline(plan, ctx));
-      MaterializeSink sink(plan.schema);
-      SODA_RETURN_NOT_OK(RunPipeline(p, sink, ctx));
-      ctx.stats.cumulative_materialized_tuples += sink.result()->num_rows();
-      return sink.result();
-    }
-    case PlanKind::kAggregate:
-      return ExecuteAggregate(plan, ctx);
-    case PlanKind::kSort:
-      return ExecuteSort(plan, ctx);
-    case PlanKind::kLimit:
-      return ExecuteLimit(plan, ctx);
-    case PlanKind::kUnionAll:
-      return ExecuteUnionAll(plan, ctx);
-    case PlanKind::kRecursiveCte:
-      return ExecuteRecursiveCte(plan, ctx);
-    case PlanKind::kIterate:
-      return ExecuteIterate(plan, ctx);
-    case PlanKind::kTableFunction:
-      return ExecuteTableFunction(plan, ctx);
-  }
-  return Status::Internal("unknown plan kind");
+  SODA_ASSIGN_OR_RETURN(PhysicalPlan physical, LowerPlan(plan));
+  SODA_RETURN_NOT_OK(physical.Execute(ctx));
+  return physical.result();
 }
 
 }  // namespace soda

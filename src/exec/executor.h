@@ -1,19 +1,26 @@
 /// \file executor.h
 /// Plan execution: morsel-parallel push pipelines over the plan IR.
 ///
-/// Pipeline model (paper §3): a pipeline is a materialized source relation
-/// plus a chain of streaming transforms (filter, project, join probe)
-/// ending in a pipeline-breaking sink (materialize, aggregate build).
+/// Pipeline model (paper §3): a pipeline is a source relation plus a chain
+/// of streaming transforms (filter, project, join probe) ending in a
+/// pipeline-breaking sink (materialize, aggregate build, sort, limit).
 /// Workers pull morsels from the source and push chunks through the chain
 /// into thread-local sink state, which is merged once at the end — the
 /// same structure HyPer generates code for; soda interprets it with
 /// vectorized transforms (DESIGN.md §3).
+///
+/// Since the physical-plan refactor the lowering of a whole query into a
+/// DAG of such pipelines lives in exec/physical_plan.{h,cc}; this header
+/// holds the unified operator interface every pipeline stage implements:
+/// `Transform` for streaming operators and `Sink` / `TableSink` for
+/// pipeline breakers.
 
 #ifndef SODA_EXEC_EXECUTOR_H_
 #define SODA_EXEC_EXECUTOR_H_
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/exec_context.h"
@@ -23,10 +30,11 @@
 
 namespace soda {
 
-/// Executes a plan tree to a fully materialized relation.
+/// Executes a plan tree to a fully materialized relation (lowers it to a
+/// physical plan and runs the pipelines; see exec/physical_plan.h).
 Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext& ctx);
 
-// --- pipeline machinery (exposed for the aggregate/iterate executors) ----
+// --- unified physical operator interface ---------------------------------
 
 /// A streaming chunk-to-chunks operator. Implementations must be reentrant
 /// (Apply is called concurrently from several workers with distinct
@@ -38,40 +46,55 @@ class Transform {
   /// Transforms `chunk`, invoking `emit` for every output chunk (0..n
   /// times).
   virtual Status Apply(DataChunk& chunk, const Emit& emit) const = 0;
+  /// True when the transform emits exactly the rows it receives, in order
+  /// (pure projection). Lets LIMIT bound the source scan to offset+limit
+  /// rows instead of relying on the early-exit flag.
+  virtual bool preserves_cardinality() const { return false; }
+  /// EXPLAIN display name, e.g. "Filter [(t.a > 1)]".
+  virtual std::string name() const = 0;
+};
+
+/// Per-chunk context handed to sinks by the pipeline driver.
+struct SinkContext {
+  /// Stable worker slot in [0, NumWorkers()); index into per-worker state.
+  size_t worker_id = 0;
+  /// Source-order id of the originating source chunk (its row offset).
+  /// All chunks emitted for one source chunk share its sequence, so
+  /// order-sensitive sinks (LIMIT) can reassemble source order.
+  uint64_t sequence = 0;
 };
 
 /// A pipeline-breaking consumer with per-worker state.
 class Sink {
  public:
   virtual ~Sink() = default;
-  virtual Status Consume(DataChunk& chunk, size_t worker_id) = 0;
+  virtual Status Consume(DataChunk& chunk, const SinkContext& sctx) = 0;
   /// Merges worker state; called once, after all Consume calls finished.
   virtual Status Finalize() = 0;
+  /// Early-exit signal: once true, workers stop pulling further morsels
+  /// (cross-worker LIMIT cutoff). Must be cheap — polled per chunk.
+  virtual bool done() const { return false; }
+  /// EXPLAIN display name, e.g. "Materialize", "Aggregate groups=1 [...]".
+  virtual std::string name() const = 0;
 };
 
-/// A runnable pipeline: source relation + transform chain. Owns shared
-/// resources (e.g. join hash tables) for its transforms.
-struct Pipeline {
-  TablePtr source;
-  Schema source_schema;
-  std::vector<std::shared_ptr<const Transform>> transforms;
-  std::vector<std::shared_ptr<void>> resources;
+/// A sink whose finalized state is a relation.
+class TableSink : public Sink {
+ public:
+  /// Valid after Finalize().
+  virtual TablePtr result() const = 0;
 };
 
-/// Lowers a plan subtree into a pipeline, executing any pipeline breakers
-/// (and join build sides) it encounters.
-Result<Pipeline> BuildPipeline(const PlanNode& plan, ExecContext& ctx);
-
-/// Runs the pipeline: parallel morsel scan -> transforms -> sink.
-Status RunPipeline(const Pipeline& pipeline, Sink& sink, ExecContext& ctx);
-
-/// Sink that materializes into per-worker tables merged on Finalize.
-class MaterializeSink : public Sink {
+/// Sink that materializes into per-worker tables merged on Finalize. When
+/// only one worker produced rows (serial pipelines, shared UNION ALL
+/// sinks on the caller thread) the partial is adopted without a copy.
+class MaterializeSink : public TableSink {
  public:
   explicit MaterializeSink(Schema schema);
-  Status Consume(DataChunk& chunk, size_t worker_id) override;
+  Status Consume(DataChunk& chunk, const SinkContext& sctx) override;
   Status Finalize() override;
-  TablePtr result() const { return result_; }
+  std::string name() const override { return "Materialize"; }
+  TablePtr result() const override { return result_; }
 
  private:
   Schema schema_;
@@ -79,13 +102,40 @@ class MaterializeSink : public Sink {
   TablePtr result_;
 };
 
-// Implemented in sibling .cc files; declared here so executor.cc can
-// dispatch without circular headers.
-Result<TablePtr> ExecuteAggregate(const PlanNode& plan, ExecContext& ctx);
+// --- breaker sink factories (implemented in sibling .cc files) -----------
+// All factories keep a reference to `plan`; the plan node must outlive the
+// sink (physical plans never outlive the logical plan they were lowered
+// from).
+
+/// Hash aggregation sink for a kAggregate node (aggregate.cc).
+std::shared_ptr<TableSink> MakeAggregateSink(const PlanNode& plan);
+
+/// ORDER BY sink for a kSort node (operators.cc): materializes its input
+/// and key columns per worker, then stable-sorts with a typed (unboxed)
+/// comparator at Finalize.
+std::shared_ptr<TableSink> MakeSortSink(const PlanNode& plan);
+
+/// LIMIT/OFFSET sink for a kLimit node (operators.cc): buffers
+/// sequence-tagged chunks and trips `done()` once offset+limit rows are
+/// collected, so the pipeline stops scanning (cross-worker early exit).
+std::shared_ptr<TableSink> MakeLimitSink(const PlanNode& plan);
+
+/// Sorts `input` by `plan.sort_keys` (stable, NULLs first) into a fresh
+/// table — the shared core of MakeSortSink and the transform-free ORDER BY
+/// fast path (operators.cc).
+Result<TablePtr> SortTable(const Table& input, const PlanNode& plan,
+                           ExecContext& ctx);
+
+// --- operator-style executors (implemented in sibling .cc files) ---------
+
 Result<TablePtr> ExecuteRecursiveCte(const PlanNode& plan, ExecContext& ctx);
 Result<TablePtr> ExecuteIterate(const PlanNode& plan, ExecContext& ctx);
-Result<TablePtr> ExecuteTableFunction(const PlanNode& plan, ExecContext& ctx);
-Result<TablePtr> ExecuteSort(const PlanNode& plan, ExecContext& ctx);
+
+/// Runs the analytics operator of a kTableFunction node over its already
+/// materialized relation inputs (table_function.cc).
+Result<TablePtr> ExecuteTableFunctionWithInputs(const PlanNode& plan,
+                                                std::vector<TablePtr> inputs,
+                                                ExecContext& ctx);
 
 }  // namespace soda
 

@@ -54,6 +54,7 @@ class HashJoinProbeTransform : public Transform {
   HashJoinProbeTransform(std::shared_ptr<const JoinHashTable> table,
                          std::vector<size_t> probe_keys, Schema out_schema);
   Status Apply(DataChunk& chunk, const Emit& emit) const override;
+  std::string name() const override { return "HashJoinProbe"; }
 
  private:
   std::shared_ptr<const JoinHashTable> table_;
@@ -66,6 +67,7 @@ class CrossJoinTransform : public Transform {
  public:
   CrossJoinTransform(TablePtr right, Schema out_schema);
   Status Apply(DataChunk& chunk, const Emit& emit) const override;
+  std::string name() const override { return "CrossJoin"; }
 
  private:
   TablePtr right_;

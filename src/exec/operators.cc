@@ -1,17 +1,321 @@
 /// \file operators.cc
-/// Small pipeline-breaking relational operators: ORDER BY.
+/// Pipeline-breaking relational operators: ORDER BY and LIMIT sinks.
+///
+/// Sort keys are decoded into typed vectors and compared through raw
+/// payload arrays (no per-element Value boxing); LIMIT collects
+/// sequence-tagged chunks and trips its done() flag once offset+limit rows
+/// exist, so the pipeline stops scanning.
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <numeric>
 
 #include "exec/executor.h"
 #include "expr/evaluator.h"
+#include "util/parallel.h"
 
 namespace soda {
 
-Result<TablePtr> ExecuteSort(const PlanNode& plan, ExecContext& ctx) {
-  SODA_ASSIGN_OR_RETURN(TablePtr child, ExecutePlan(*plan.children[0], ctx));
-  const size_t n = child->num_rows();
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+constexpr size_t kUnlimited = std::numeric_limits<size_t>::max();
+
+// --- typed sort core ------------------------------------------------------
+
+/// Raw view over one key column for the sort inner loop.
+struct TypedKeyView {
+  bool descending = false;
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  const std::vector<std::string>* str = nullptr;
+  const uint8_t* validity = nullptr;  // null = all valid
+};
+
+TypedKeyView MakeKeyView(const Column& col, bool descending) {
+  TypedKeyView v;
+  v.descending = descending;
+  if (col.type() == DataType::kVarchar) {
+    v.str = &col.Strings();
+  } else if (col.type() == DataType::kDouble) {
+    v.f64 = col.F64Data();
+  } else {
+    v.i64 = col.I64Data();
+  }
+  if (!col.Validity().empty()) v.validity = col.Validity().data();
+  return v;
+}
+
+/// Three-way compare with the same ordering as Value::operator< (NULLs
+/// sort before values, varchar by string compare) — except BIGINT keys
+/// compare exactly instead of through the boxed double conversion the old
+/// comparator paid per element.
+int CompareKey(const TypedKeyView& k, uint32_t a, uint32_t b) {
+  const bool na = k.validity && k.validity[a] == 0;
+  const bool nb = k.validity && k.validity[b] == 0;
+  if (na || nb) {
+    if (na && nb) return 0;
+    return na ? -1 : 1;
+  }
+  if (k.str) {
+    const std::string& x = (*k.str)[a];
+    const std::string& y = (*k.str)[b];
+    if (x < y) return -1;
+    if (y < x) return 1;
+    return 0;
+  }
+  if (k.f64) {
+    const double x = k.f64[a];
+    const double y = k.f64[b];
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  const int64_t x = k.i64[a];
+  const int64_t y = k.i64[b];
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+/// Stable sort permutation of `[0, n)` by the evaluated key columns.
+std::vector<uint32_t> SortOrder(const std::vector<Column>& keys,
+                                const std::vector<SortKey>& specs, size_t n) {
+  std::vector<TypedKeyView> views;
+  views.reserve(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    views.push_back(MakeKeyView(keys[k], specs[k].descending));
+  }
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (const auto& v : views) {
+      const int c = CompareKey(v, a, b);
+      if (c != 0) return v.descending ? c > 0 : c < 0;
+    }
+    return false;
+  });
+  return order;
+}
+
+/// Rebuilds `input` in `order`. The row-wise rebuild bypasses
+/// Table::AppendChunk, so the output (same footprint as the input) is
+/// charged to the memory budget up front.
+Result<TablePtr> RebuildSorted(const Table& input,
+                               const std::vector<uint32_t>& order,
+                               const Schema& schema, QueryGuard* guard) {
+  SODA_RETURN_NOT_OK(GuardReserve(guard, input.MemoryUsage(), "exec.sort"));
+  auto out = std::make_shared<Table>("sorted", schema);
+  out->Reserve(order.size());
+  for (uint32_t r : order) {
+    for (size_t c = 0; c < input.num_columns(); ++c) {
+      out->column(c).AppendFrom(input.column(c), r);
+    }
+  }
+  return out;
+}
+
+std::string SortName(const PlanNode& plan) {
+  std::string s = "Sort [";
+  for (size_t i = 0; i < plan.sort_keys.size(); ++i) {
+    if (i) s += ", ";
+    s += plan.sort_keys[i].expr->ToString();
+    if (plan.sort_keys[i].descending) s += " DESC";
+  }
+  return s + "]";
+}
+
+// --- ORDER BY sink --------------------------------------------------------
+
+/// Materializes input rows and their evaluated key columns per worker,
+/// merges in worker order, and sorts once at Finalize.
+class SortSink : public TableSink {
+ public:
+  explicit SortSink(const PlanNode& plan) : plan_(plan) {
+    locals_.resize(NumWorkers());
+  }
+
+  Status Consume(DataChunk& chunk, const SinkContext& sctx) override {
+    auto& local = locals_[sctx.worker_id];
+    if (!local) {
+      local = std::make_unique<Local>();
+      local->data = std::make_unique<Table>("sort.partial", plan_.schema);
+      local->keys.reserve(plan_.sort_keys.size());
+      for (const auto& k : plan_.sort_keys) {
+        local->keys.emplace_back(k.expr->type);
+      }
+    }
+    for (size_t k = 0; k < plan_.sort_keys.size(); ++k) {
+      Column part;
+      SODA_RETURN_NOT_OK(
+          EvaluateExpression(*plan_.sort_keys[k].expr, chunk, &part));
+      local->keys[k].AppendSlice(part, 0, part.size());
+    }
+    return local->data->AppendChunk(chunk);
+  }
+
+  Status Finalize() override {
+    Local* only = nullptr;
+    size_t populated = 0;
+    for (auto& l : locals_) {
+      if (!l) continue;
+      ++populated;
+      only = l.get();
+    }
+    Table merged_data("sort.merged", plan_.schema);
+    std::vector<Column> merged_keys;
+    const Table* data;
+    const std::vector<Column>* keys;
+    if (populated == 1) {
+      data = only->data.get();
+      keys = &only->keys;
+    } else {
+      for (const auto& k : plan_.sort_keys) {
+        merged_keys.emplace_back(k.expr->type);
+      }
+      for (auto& l : locals_) {
+        if (!l) continue;
+        for (size_t c = 0; c < merged_data.num_columns(); ++c) {
+          merged_data.column(c).AppendSlice(l->data->column(c), 0,
+                                            l->data->num_rows());
+        }
+        for (size_t k = 0; k < merged_keys.size(); ++k) {
+          merged_keys[k].AppendSlice(l->keys[k], 0, l->keys[k].size());
+        }
+        l.reset();
+      }
+      data = &merged_data;
+      keys = &merged_keys;
+    }
+    std::vector<uint32_t> order =
+        SortOrder(*keys, plan_.sort_keys, data->num_rows());
+    SODA_ASSIGN_OR_RETURN(
+        result_,
+        RebuildSorted(*data, order, plan_.schema, QueryGuard::Current()));
+    locals_.clear();
+    return Status::OK();
+  }
+
+  std::string name() const override { return SortName(plan_); }
+  TablePtr result() const override { return result_; }
+
+ private:
+  struct Local {
+    std::unique_ptr<Table> data;
+    std::vector<Column> keys;  ///< evaluated sort keys, row-aligned to data
+  };
+  const PlanNode& plan_;
+  std::vector<std::unique_ptr<Local>> locals_;
+  TablePtr result_;
+};
+
+// --- LIMIT sink -----------------------------------------------------------
+
+/// Buffers sequence-tagged chunks until offset+limit rows exist, then
+/// trips done() so workers stop scanning. Finalize reassembles source
+/// order by sequence and slices out [offset, offset+limit).
+class LimitSink : public TableSink {
+ public:
+  explicit LimitSink(const PlanNode& plan)
+      : plan_(plan),
+        offset_(plan.offset > 0 ? static_cast<size_t>(plan.offset) : 0),
+        target_(plan.limit < 0
+                    ? kUnlimited
+                    : offset_ + static_cast<size_t>(plan.limit)) {
+    partials_.resize(NumWorkers());
+    if (target_ == 0) done_.store(true);
+  }
+
+  Status Consume(DataChunk& chunk, const SinkContext& sctx) override {
+    if (target_ != kUnlimited && collected_.load(kRelaxed) >= target_) {
+      return Status::OK();  // raced past the cutoff; drop the chunk
+    }
+    const size_t rows = chunk.num_rows();
+    // The buffered chunks bypass Table appends, so charge them explicitly.
+    SODA_RETURN_NOT_OK(GuardReserve(QueryGuard::Current(),
+                                    chunk.MemoryUsage(), "exec.limit"));
+    partials_[sctx.worker_id].push_back({sctx.sequence, std::move(chunk)});
+    if (target_ != kUnlimited &&
+        collected_.fetch_add(rows, kRelaxed) + rows >= target_) {
+      done_.store(true, std::memory_order_release);
+    }
+    return Status::OK();
+  }
+
+  bool done() const override {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  Status Finalize() override {
+    std::vector<SeqChunk*> all;
+    for (auto& w : partials_) {
+      for (auto& e : w) all.push_back(&e);
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const SeqChunk* a, const SeqChunk* b) {
+                       return a->seq < b->seq;
+                     });
+    result_ = std::make_shared<Table>("limit", plan_.schema);
+    size_t skip = offset_;
+    size_t want =
+        plan_.limit < 0 ? kUnlimited : static_cast<size_t>(plan_.limit);
+    for (SeqChunk* e : all) {
+      if (want == 0) break;
+      const size_t n = e->chunk.num_rows();
+      if (skip >= n) {
+        skip -= n;
+        continue;
+      }
+      const size_t start = skip;
+      skip = 0;
+      const size_t take = std::min(n - start, want);
+      if (want != kUnlimited) want -= take;
+      if (start == 0 && take == n) {
+        SODA_RETURN_NOT_OK(result_->AppendChunk(e->chunk));
+      } else {
+        DataChunk sliced;
+        for (size_t c = 0; c < e->chunk.num_columns(); ++c) {
+          Column col(e->chunk.column(c).type());
+          col.AppendSlice(e->chunk.column(c), start, take);
+          sliced.AddColumn(std::move(col));
+        }
+        SODA_RETURN_NOT_OK(result_->AppendChunk(sliced));
+      }
+    }
+    partials_.clear();
+    return Status::OK();
+  }
+
+  std::string name() const override {
+    std::string s = "Limit " + (plan_.limit < 0
+                                    ? std::string("ALL")
+                                    : std::to_string(plan_.limit));
+    if (plan_.offset > 0) s += " OFFSET " + std::to_string(plan_.offset);
+    return s;
+  }
+
+  TablePtr result() const override { return result_; }
+
+ private:
+  struct SeqChunk {
+    uint64_t seq;
+    DataChunk chunk;
+  };
+  const PlanNode& plan_;
+  const size_t offset_;
+  const size_t target_;  ///< offset + limit; kUnlimited when LIMIT ALL
+  std::vector<std::vector<SeqChunk>> partials_;
+  std::atomic<size_t> collected_{0};
+  std::atomic<bool> done_{false};
+  TablePtr result_;
+};
+
+}  // namespace
+
+Result<TablePtr> SortTable(const Table& input, const PlanNode& plan,
+                           ExecContext& ctx) {
+  const size_t n = input.num_rows();
 
   // Evaluate the sort keys over the full input (chunk-wise).
   std::vector<Column> keys;
@@ -22,7 +326,7 @@ Result<TablePtr> ExecuteSort(const PlanNode& plan, ExecContext& ctx) {
   DataChunk chunk;
   for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
     SODA_RETURN_NOT_OK(ctx.Probe("exec.sort"));
-    child->ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
+    input.ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
     for (size_t k = 0; k < plan.sort_keys.size(); ++k) {
       Column part;
       SODA_RETURN_NOT_OK(
@@ -31,31 +335,16 @@ Result<TablePtr> ExecuteSort(const PlanNode& plan, ExecContext& ctx) {
     }
   }
 
-  std::vector<uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    for (size_t k = 0; k < keys.size(); ++k) {
-      Value va = keys[k].GetValue(a);
-      Value vb = keys[k].GetValue(b);
-      if (va == vb) continue;
-      bool less = va < vb;
-      return plan.sort_keys[k].descending ? !less : less;
-    }
-    return false;
-  });
+  std::vector<uint32_t> order = SortOrder(keys, plan.sort_keys, n);
+  return RebuildSorted(input, order, plan.schema, ctx.guard);
+}
 
-  // The row-wise rebuild below bypasses Table::AppendChunk, so charge the
-  // output (same footprint as the input) to the memory budget up front.
-  SODA_RETURN_NOT_OK(
-      GuardReserve(ctx.guard, child->MemoryUsage(), "exec.sort"));
-  auto out = std::make_shared<Table>("sorted", plan.schema);
-  out->Reserve(n);
-  for (uint32_t r : order) {
-    for (size_t c = 0; c < child->num_columns(); ++c) {
-      out->column(c).AppendFrom(child->column(c), r);
-    }
-  }
-  return out;
+std::shared_ptr<TableSink> MakeSortSink(const PlanNode& plan) {
+  return std::make_shared<SortSink>(plan);
+}
+
+std::shared_ptr<TableSink> MakeLimitSink(const PlanNode& plan) {
+  return std::make_shared<LimitSink>(plan);
 }
 
 }  // namespace soda

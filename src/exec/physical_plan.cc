@@ -1,0 +1,738 @@
+/// \file physical_plan.cc
+/// Lowering of the logical plan into pipelines and their scheduler.
+
+#include "exec/physical_plan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "exec/hash_join.h"
+#include "expr/evaluator.h"
+#include "util/parallel.h"
+
+namespace soda {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// --- streaming transforms -------------------------------------------------
+
+/// Streaming WHERE: evaluates the predicate and compacts the chunk.
+class FilterTransform : public Transform {
+ public:
+  explicit FilterTransform(ExprPtr predicate)
+      : predicate_(std::move(predicate)) {}
+
+  Status Apply(DataChunk& chunk, const Emit& emit) const override {
+    std::vector<uint32_t> selection;
+    SODA_RETURN_NOT_OK(EvaluatePredicate(*predicate_, chunk, &selection));
+    if (selection.size() == chunk.num_rows()) return emit(chunk);
+    if (selection.empty()) return Status::OK();
+    DataChunk out;
+    for (size_t c = 0; c < chunk.num_columns(); ++c) {
+      Column col(chunk.column(c).type());
+      col.Reserve(selection.size());
+      for (uint32_t i : selection) col.AppendFrom(chunk.column(c), i);
+      out.AddColumn(std::move(col));
+    }
+    return emit(out);
+  }
+
+  std::string name() const override {
+    return "Filter [" + predicate_->ToString() + "]";
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Streaming SELECT-list evaluation. Emits exactly one row per input row,
+/// in order, so it preserves cardinality (LIMIT can bound the scan through
+/// it).
+class ProjectTransform : public Transform {
+ public:
+  explicit ProjectTransform(std::vector<ExprPtr> exprs)
+      : exprs_(std::move(exprs)) {}
+
+  Status Apply(DataChunk& chunk, const Emit& emit) const override {
+    DataChunk out;
+    for (const auto& e : exprs_) {
+      Column col;
+      SODA_RETURN_NOT_OK(EvaluateExpression(*e, chunk, &col));
+      out.AddColumn(std::move(col));
+    }
+    return emit(out);
+  }
+
+  bool preserves_cardinality() const override { return true; }
+
+  std::string name() const override {
+    std::string s = "Project [";
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      if (i) s += ", ";
+      s += exprs_[i]->ToString();
+    }
+    return s + "]";
+  }
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+// --- lowering helpers -----------------------------------------------------
+
+PhysOpPtr Op(std::string name) {
+  return std::make_shared<PhysicalOperator>(std::move(name));
+}
+
+Result<TablePtr> ExecuteValues(const PlanNode& plan) {
+  auto table = std::make_shared<Table>("values", plan.schema);
+  for (const auto& row : plan.rows) {
+    SODA_RETURN_NOT_OK(table->AppendRow(row));
+  }
+  return table;
+}
+
+std::string SourceName(const PlanNode& node) {
+  if (node.kind == PlanKind::kScan) return "Scan " + node.table_name;
+  return "Binding " + node.binding_name;
+}
+
+/// Deferred resolution of a base relation (catalog table or runtime
+/// binding): lowering must not touch data, and CTE/ITERATE bindings change
+/// between executions of the same plan subtree.
+std::function<Result<TablePtr>(ExecContext&)> MakeSourceResolver(
+    const PlanNode& node) {
+  if (node.kind == PlanKind::kScan) {
+    return [&node](ExecContext& ctx) -> Result<TablePtr> {
+      return ctx.catalog->GetTable(node.table_name);
+    };
+  }
+  return [&node](ExecContext& ctx) -> Result<TablePtr> {
+    auto it = ctx.bindings.find(node.binding_name);
+    if (it == ctx.bindings.end()) {
+      return Status::Internal("unbound relation: " + node.binding_name);
+    }
+    return it->second;
+  };
+}
+
+std::string ExprListString(const std::vector<ExprPtr>& exprs) {
+  std::string s = "[";
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i) s += ", ";
+    s += exprs[i]->ToString();
+  }
+  return s + "]";
+}
+
+std::string JoinProbeName(const PlanNode& node) {
+  if (node.left_keys.empty()) return "CrossJoin";
+  std::string s = "HashJoinProbe [";
+  for (size_t i = 0; i < node.left_keys.size(); ++i) {
+    if (i) s += ", ";
+    s += "#" + std::to_string(node.left_keys[i]) + "=#" +
+         std::to_string(node.right_keys[i]);
+  }
+  return s + "]";
+}
+
+std::string FormatTime(uint64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms",
+                static_cast<double>(nanos) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+// --- lowering -------------------------------------------------------------
+
+/// Walks the logical plan, appending pipelines to `plan_` in dependency
+/// order. `Complete` lowers a subtree to a pipeline producing a full
+/// relation; `Stream` lowers a subtree to an *open* pipeline (source +
+/// transforms, no sink) a breaker can attach its sink to.
+class PhysicalPlanBuilder {
+ public:
+  Result<PhysicalPlan> Build(const PlanNode& root) {
+    SODA_ASSIGN_OR_RETURN(size_t idx, Complete(root));
+    (void)idx;
+    return std::move(plan_);
+  }
+
+ private:
+  size_t Push(PhysicalPipeline p) {
+    plan_.pipelines_.push_back(std::move(p));
+    return plan_.pipelines_.size() - 1;
+  }
+
+  /// Open pipeline for a streaming subtree: scans, bindings, and chains of
+  /// filter/project/join-probe. Any other node materializes via Complete
+  /// and becomes the open pipeline's source.
+  Result<PhysicalPipeline> Stream(const PlanNode& node) {
+    switch (node.kind) {
+      case PlanKind::kScan:
+      case PlanKind::kBindingRef: {
+        PhysicalPipeline p;
+        p.table_source = MakeSourceResolver(node);
+        p.source_op = Op(SourceName(node));
+        return p;
+      }
+      case PlanKind::kFilter: {
+        SODA_ASSIGN_OR_RETURN(PhysicalPipeline p, Stream(*node.children[0]));
+        auto t = std::make_shared<FilterTransform>(node.predicate->Clone());
+        p.transform_ops.push_back(Op(t->name()));
+        p.transforms.push_back(std::move(t));
+        return p;
+      }
+      case PlanKind::kProject: {
+        SODA_ASSIGN_OR_RETURN(PhysicalPipeline p, Stream(*node.children[0]));
+        std::vector<ExprPtr> exprs;
+        exprs.reserve(node.exprs.size());
+        for (const auto& e : node.exprs) exprs.push_back(e->Clone());
+        auto t = std::make_shared<ProjectTransform>(std::move(exprs));
+        p.transform_ops.push_back(Op(t->name()));
+        p.transforms.push_back(std::move(t));
+        return p;
+      }
+      case PlanKind::kJoin: {
+        // The build (right) side is its own pipeline, finished before this
+        // one starts; the probe side extends the open pipeline — joins only
+        // break the pipeline on one side, as in HyPer. The probe transform
+        // slot stays null until the prepare closure builds the hash table
+        // from the build pipeline's result.
+        SODA_ASSIGN_OR_RETURN(size_t build_idx, Complete(*node.children[1]));
+        SODA_ASSIGN_OR_RETURN(PhysicalPipeline p, Stream(*node.children[0]));
+        const size_t slot = p.transforms.size();
+        p.transforms.push_back(nullptr);
+        p.transform_ops.push_back(Op(JoinProbeName(node)));
+        const size_t prep_idx = p.prepares.size();
+        Schema concat =
+            node.children[0]->schema.Concat(node.children[1]->schema);
+        p.prepares.push_back(
+            [&node, build_idx, slot, prep_idx, concat](
+                PhysicalPlan& pp, PhysicalPipeline& self,
+                ExecContext&) -> Status {
+              TablePtr build = pp.pipeline(build_idx).result;
+              if (!build) {
+                return Status::Internal("join build input not materialized");
+              }
+              if (prep_idx < self.prepare_ops.size()) {
+                self.prepare_ops[prep_idx]->metrics.rows_in.fetch_add(
+                    build->num_rows(), kRelaxed);
+              }
+              if (node.left_keys.empty()) {
+                self.transforms[slot] = std::make_shared<CrossJoinTransform>(
+                    std::move(build), concat);
+              } else {
+                SODA_ASSIGN_OR_RETURN(
+                    std::shared_ptr<JoinHashTable> ht,
+                    JoinHashTable::Build(std::move(build), node.right_keys));
+                self.transforms[slot] =
+                    std::make_shared<HashJoinProbeTransform>(
+                        std::move(ht), node.left_keys, concat);
+              }
+              return Status::OK();
+            });
+        p.prepare_ops.push_back(
+            Op(node.left_keys.empty() ? "CrossJoinBuild" : "HashBuild"));
+        p.inputs.push_back(build_idx);
+        if (node.predicate) {
+          auto t = std::make_shared<FilterTransform>(node.predicate->Clone());
+          p.transform_ops.push_back(Op(t->name()));
+          p.transforms.push_back(std::move(t));
+        }
+        return p;
+      }
+      default: {
+        // Pipeline breaker below: finish it, then stream its result.
+        SODA_ASSIGN_OR_RETURN(size_t idx, Complete(node));
+        PhysicalPipeline p;
+        p.input_pipeline = idx;
+        p.inputs.push_back(idx);
+        p.source_op = Op("P" + std::to_string(idx));
+        return p;
+      }
+    }
+  }
+
+  /// Pipeline producing the subtree's full relation; returns its index.
+  Result<size_t> Complete(const PlanNode& node) {
+    switch (node.kind) {
+      case PlanKind::kScan:
+      case PlanKind::kBindingRef: {
+        // Base relations are returned by reference, never copied.
+        PhysicalPipeline p;
+        auto resolve = MakeSourceResolver(node);
+        p.op = Op(SourceName(node));
+        p.op_fn = [resolve](PhysicalPlan&, ExecContext& ctx) {
+          return resolve(ctx);
+        };
+        return Push(std::move(p));
+      }
+      case PlanKind::kValues: {
+        PhysicalPipeline p;
+        p.op = Op("Values (" + std::to_string(node.rows.size()) + " rows)");
+        p.op_fn = [&node](PhysicalPlan&, ExecContext&) {
+          return ExecuteValues(node);
+        };
+        return Push(std::move(p));
+      }
+      case PlanKind::kProject: {
+        // Fast path for pure column selections over a base relation (e.g.
+        // the `(SELECT x1..xd FROM data)` inputs of analytics operators,
+        // which HyPer would fuse into the operator's own materialization):
+        // one bulk column copy instead of chunked pipeline copies.
+        const PlanNode& child = *node.children[0];
+        bool all_refs = true;
+        for (const auto& e : node.exprs) {
+          if (e->kind != ExprKind::kColumnRef) {
+            all_refs = false;
+            break;
+          }
+        }
+        if (all_refs && (child.kind == PlanKind::kScan ||
+                         child.kind == PlanKind::kBindingRef)) {
+          PhysicalPipeline p;
+          auto resolve = MakeSourceResolver(child);
+          p.op = Op("Project " + ExprListString(node.exprs) +
+                    " (column copy)");
+          p.op_fn = [&node, resolve](PhysicalPlan&,
+                                     ExecContext& ctx) -> Result<TablePtr> {
+            SODA_ASSIGN_OR_RETURN(TablePtr source, resolve(ctx));
+            auto out = std::make_shared<Table>("project", node.schema);
+            size_t bytes = 0;
+            for (const auto& e : node.exprs) {
+              bytes += source->column(e->column_index).MemoryUsage();
+            }
+            SODA_RETURN_NOT_OK(
+                GuardReserve(ctx.guard, bytes, "exec.project"));
+            for (size_t i = 0; i < node.exprs.size(); ++i) {
+              const Column& src = source->column(node.exprs[i]->column_index);
+              Column col(src.type());
+              col.AppendSlice(src, 0, source->num_rows());
+              SODA_RETURN_NOT_OK(out->SetColumn(i, std::move(col)));
+            }
+            ctx.stats.cumulative_materialized_tuples += out->num_rows();
+            return out;
+          };
+          return Push(std::move(p));
+        }
+        [[fallthrough]];
+      }
+      case PlanKind::kFilter:
+      case PlanKind::kJoin: {
+        SODA_ASSIGN_OR_RETURN(PhysicalPipeline p, Stream(node));
+        p.sink = std::make_shared<MaterializeSink>(node.schema);
+        p.sink_op = Op(p.sink->name());
+        p.count_materialization = true;
+        return Push(std::move(p));
+      }
+      case PlanKind::kAggregate: {
+        SODA_ASSIGN_OR_RETURN(PhysicalPipeline p, Stream(*node.children[0]));
+        p.sink = MakeAggregateSink(node);
+        p.sink_op = Op(p.sink->name());
+        p.count_materialization = true;
+        return Push(std::move(p));
+      }
+      case PlanKind::kSort: {
+        SODA_ASSIGN_OR_RETURN(PhysicalPipeline p, Stream(*node.children[0]));
+        if (p.transforms.empty() && p.prepares.empty()) {
+          // Transform-free ORDER BY: sort the source relation directly
+          // instead of copying it through a sink first.
+          PhysicalPipeline q;
+          q.inputs = p.inputs;
+          auto src = p.table_source;
+          const size_t in = p.input_pipeline;
+          auto sink_for_name = MakeSortSink(node);
+          q.op = Op(sink_for_name->name());
+          q.op_fn = [&node, src, in](PhysicalPlan& pp,
+                                     ExecContext& ctx) -> Result<TablePtr> {
+            TablePtr t;
+            if (src) {
+              SODA_ASSIGN_OR_RETURN(t, src(ctx));
+            } else {
+              t = pp.pipeline(in).result;
+              if (!t) return Status::Internal("sort input not materialized");
+            }
+            return SortTable(*t, node, ctx);
+          };
+          return Push(std::move(q));
+        }
+        p.sink = MakeSortSink(node);
+        p.sink_op = Op(p.sink->name());
+        return Push(std::move(p));
+      }
+      case PlanKind::kLimit: {
+        SODA_ASSIGN_OR_RETURN(PhysicalPipeline p, Stream(*node.children[0]));
+        // When every transform preserves cardinality, offset+limit output
+        // rows need exactly offset+limit source rows: bound the scan
+        // itself (deterministic O(k) path). Otherwise the sink's done()
+        // flag stops workers once enough rows were collected.
+        bool bounded = node.limit >= 0;
+        for (const auto& t : p.transforms) {
+          if (!t || !t->preserves_cardinality()) {
+            bounded = false;
+            break;
+          }
+        }
+        if (bounded) {
+          const size_t off =
+              node.offset > 0 ? static_cast<size_t>(node.offset) : 0;
+          p.scan_limit = off + static_cast<size_t>(node.limit);
+        }
+        p.sink = MakeLimitSink(node);
+        p.sink_op = Op(p.sink->name());
+        return Push(std::move(p));
+      }
+      case PlanKind::kUnionAll: {
+        // All children feed one shared sink; a final source-less pipeline
+        // closes it. Chunks append straight into the sink — the old
+        // path materialized every child and then re-copied it (and charged
+        // the QueryGuard for both).
+        auto shared = std::make_shared<MaterializeSink>(node.schema);
+        auto shared_op = Op("UnionAll (materialize)");
+        std::vector<size_t> child_idx;
+        child_idx.reserve(node.children.size());
+        for (const auto& child : node.children) {
+          SODA_ASSIGN_OR_RETURN(PhysicalPipeline cp, Stream(*child));
+          if (cp.transforms.empty() && cp.prepares.empty()) {
+            // Transform-free child: append chunk-wise on the scheduler
+            // thread (keeps child order, lands in one sink partial that
+            // Finalize can adopt without a copy).
+            PhysicalPipeline q;
+            q.inputs = cp.inputs;
+            auto src = cp.table_source;
+            const size_t in = cp.input_pipeline;
+            q.op = Op("UnionAppend (" + cp.source_op->name + ")");
+            q.op_fn = [src, in, shared, shared_op](
+                          PhysicalPlan& pp,
+                          ExecContext& ctx) -> Result<TablePtr> {
+              TablePtr t;
+              if (src) {
+                SODA_ASSIGN_OR_RETURN(t, src(ctx));
+              } else {
+                t = pp.pipeline(in).result;
+                if (!t) {
+                  return Status::Internal("union input not materialized");
+                }
+              }
+              const size_t n = t->num_rows();
+              DataChunk chunk;
+              for (size_t off = 0; off < n; off += kChunkCapacity) {
+                SODA_RETURN_NOT_OK(ctx.Probe("exec.union"));
+                const size_t count = std::min(kChunkCapacity, n - off);
+                t->ScanSlice(off, count, &chunk);
+                shared_op->metrics.rows_in.fetch_add(count, kRelaxed);
+                shared_op->metrics.chunks.fetch_add(1, kRelaxed);
+                SinkContext sctx;
+                sctx.sequence = off;
+                SODA_RETURN_NOT_OK(shared->Consume(chunk, sctx));
+              }
+              return TablePtr();
+            };
+            child_idx.push_back(Push(std::move(q)));
+          } else {
+            cp.sink = shared;
+            cp.sink_op = shared_op;
+            cp.finalize_sink = false;
+            child_idx.push_back(Push(std::move(cp)));
+          }
+        }
+        PhysicalPipeline fin;
+        fin.sink = shared;
+        fin.sink_op = shared_op;
+        fin.finalize_sink = true;
+        fin.inputs = child_idx;
+        return Push(std::move(fin));
+      }
+      case PlanKind::kRecursiveCte: {
+        PhysicalPipeline p;
+        p.op = Op("RecursiveCte " + node.binding_name);
+        p.op_fn = [&node](PhysicalPlan&, ExecContext& ctx) {
+          return ExecuteRecursiveCte(node, ctx);
+        };
+        return Push(std::move(p));
+      }
+      case PlanKind::kIterate: {
+        PhysicalPipeline p;
+        p.op = Op("Iterate");
+        p.op_fn = [&node](PhysicalPlan&, ExecContext& ctx) {
+          return ExecuteIterate(node, ctx);
+        };
+        return Push(std::move(p));
+      }
+      case PlanKind::kTableFunction: {
+        // The analytics operator's relation inputs are pipelines of this
+        // same plan (paper Fig. 3); the operator runs once they finished.
+        std::vector<size_t> in_idx;
+        in_idx.reserve(node.children.size());
+        for (const auto& child : node.children) {
+          SODA_ASSIGN_OR_RETURN(size_t idx, Complete(*child));
+          in_idx.push_back(idx);
+        }
+        PhysicalPipeline p;
+        p.inputs = in_idx;
+        p.op = Op("TableFunction " + node.function_name);
+        p.op_fn = [&node, in_idx](PhysicalPlan& pp,
+                                  ExecContext& ctx) -> Result<TablePtr> {
+          std::vector<TablePtr> inputs;
+          inputs.reserve(in_idx.size());
+          for (size_t i : in_idx) {
+            if (!pp.pipeline(i).result) {
+              return Status::Internal(
+                  "table function input not materialized");
+            }
+            inputs.push_back(pp.pipeline(i).result);
+          }
+          return ExecuteTableFunctionWithInputs(node, std::move(inputs),
+                                                ctx);
+        };
+        return Push(std::move(p));
+      }
+    }
+    return Status::Internal("unknown plan kind");
+  }
+
+  PhysicalPlan plan_;
+};
+
+Result<PhysicalPlan> LowerPlan(const PlanNode& plan) {
+  PhysicalPlanBuilder builder;
+  return builder.Build(plan);
+}
+
+// --- scheduling -----------------------------------------------------------
+
+Status PhysicalPlan::Execute(ExecContext& ctx) {
+  for (auto& p : pipelines_) {
+    SODA_RETURN_NOT_OK(ctx.Probe("exec.pipeline"));
+    const uint64_t bytes_before =
+        ctx.guard ? ctx.guard->bytes_reserved() : 0;
+    for (size_t j = 0; j < p.prepares.size(); ++j) {
+      const uint64_t t0 = NowNanos();
+      Status st = p.prepares[j](*this, p, ctx);
+      if (j < p.prepare_ops.size() && p.prepare_ops[j]) {
+        p.prepare_ops[j]->metrics.nanos.fetch_add(NowNanos() - t0, kRelaxed);
+      }
+      SODA_RETURN_NOT_OK(st);
+    }
+    if (p.op_fn) {
+      const uint64_t t0 = NowNanos();
+      SODA_ASSIGN_OR_RETURN(p.result, p.op_fn(*this, ctx));
+      if (p.op) {
+        p.op->metrics.nanos.fetch_add(NowNanos() - t0, kRelaxed);
+        if (p.result) {
+          p.op->metrics.rows_out.fetch_add(p.result->num_rows(), kRelaxed);
+        }
+      }
+    } else {
+      if (p.table_source || p.input_pipeline != PhysicalPipeline::kNoInput) {
+        SODA_RETURN_NOT_OK(RunStreaming(p, ctx));
+      }
+      if (p.sink && p.finalize_sink) {
+        const uint64_t t0 = NowNanos();
+        SODA_RETURN_NOT_OK(p.sink->Finalize());
+        p.result = p.sink->result();
+        if (p.sink_op) {
+          p.sink_op->metrics.nanos.fetch_add(NowNanos() - t0, kRelaxed);
+          if (p.result) {
+            p.sink_op->metrics.rows_out.fetch_add(p.result->num_rows(),
+                                                  kRelaxed);
+          }
+        }
+        if (p.count_materialization && p.result) {
+          ctx.stats.cumulative_materialized_tuples += p.result->num_rows();
+        }
+      }
+    }
+    if (ctx.guard) {
+      p.bytes_reserved = ctx.guard->bytes_reserved() - bytes_before;
+    }
+  }
+  return Status::OK();
+}
+
+Status PhysicalPlan::RunStreaming(PhysicalPipeline& p, ExecContext& ctx) {
+  for (const auto& t : p.transforms) {
+    if (!t) return Status::Internal("unprepared transform in pipeline");
+  }
+  TablePtr source_table;
+  if (p.table_source) {
+    SODA_ASSIGN_OR_RETURN(source_table, p.table_source(ctx));
+  } else {
+    source_table = pipelines_[p.input_pipeline].result;
+    if (!source_table) {
+      return Status::Internal("pipeline input not materialized");
+    }
+  }
+  const Table& source = *source_table;
+  const size_t total = std::min(source.num_rows(), p.scan_limit);
+  Sink& sink = *p.sink;
+
+  std::mutex error_mu;
+  Status first_error;
+  std::atomic<bool> failed{false};
+
+  // Guard-aware: every morsel boundary probes cancellation / deadline /
+  // memory budget / fault injection, and worker-side table appends are
+  // charged to the query's accountant.
+  Status guard_status = ParallelFor(
+      ctx.guard, total,
+      [&](size_t begin, size_t end, size_t worker_id) {
+        if (failed.load(kRelaxed)) return;
+        for (size_t offset = begin; offset < end; offset += kChunkCapacity) {
+          if (failed.load(kRelaxed)) return;
+          // Cross-worker early exit (LIMIT): enough rows collected, the
+          // remaining source rows are never even scanned.
+          if (sink.done()) return;
+          const size_t count = std::min(kChunkCapacity, end - offset);
+          const uint64_t t0 = NowNanos();
+          DataChunk chunk;
+          source.ScanSlice(offset, count, &chunk);
+          if (p.source_op) {
+            auto& m = p.source_op->metrics;
+            m.rows_out.fetch_add(count, kRelaxed);
+            m.chunks.fetch_add(1, kRelaxed);
+            m.nanos.fetch_add(NowNanos() - t0, kRelaxed);
+          }
+          SinkContext sctx;
+          sctx.worker_id = worker_id;
+          sctx.sequence = offset;  // source order, shared by derived chunks
+
+          // Apply the transform chain with continuation-style emits,
+          // metering rows/chunks/time at every stage boundary. Times are
+          // inclusive of the downstream chain a stage pushed into.
+          std::function<Status(DataChunk&, size_t)> apply =
+              [&](DataChunk& c, size_t idx) -> Status {
+            if (c.num_rows() == 0) return Status::OK();
+            if (idx == p.transforms.size()) {
+              auto& m = p.sink_op->metrics;
+              m.rows_in.fetch_add(c.num_rows(), kRelaxed);
+              m.chunks.fetch_add(1, kRelaxed);
+              const uint64_t s0 = NowNanos();
+              Status st = sink.Consume(c, sctx);
+              m.nanos.fetch_add(NowNanos() - s0, kRelaxed);
+              return st;
+            }
+            auto& m = p.transform_ops[idx]->metrics;
+            m.rows_in.fetch_add(c.num_rows(), kRelaxed);
+            m.chunks.fetch_add(1, kRelaxed);
+            const uint64_t s0 = NowNanos();
+            Status st = p.transforms[idx]->Apply(
+                c, [&](DataChunk& next) -> Status {
+                  m.rows_out.fetch_add(next.num_rows(), kRelaxed);
+                  return apply(next, idx + 1);
+                });
+            m.nanos.fetch_add(NowNanos() - s0, kRelaxed);
+            return st;
+          };
+          Status st = apply(chunk, 0);
+          if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = st;
+            failed.store(true, kRelaxed);
+            return;
+          }
+        }
+      },
+      /*morsel_size=*/kChunkCapacity * 8);
+
+  SODA_RETURN_NOT_OK(first_error);
+  SODA_RETURN_NOT_OK(guard_status);
+  return Status::OK();
+}
+
+// --- display --------------------------------------------------------------
+
+namespace {
+
+enum class StageKind { kPrepare, kOp, kSource, kTransform, kSink };
+
+struct StageRow {
+  const PhysicalOperator* op;
+  StageKind kind;
+  bool shared_sink = false;
+};
+
+std::vector<StageRow> CollectStages(const PhysicalPipeline& p) {
+  std::vector<StageRow> rows;
+  for (const auto& op : p.prepare_ops) {
+    if (op) rows.push_back({op.get(), StageKind::kPrepare, false});
+  }
+  if (p.op) rows.push_back({p.op.get(), StageKind::kOp, false});
+  if (p.source_op) rows.push_back({p.source_op.get(), StageKind::kSource, false});
+  for (const auto& op : p.transform_ops) {
+    if (op) rows.push_back({op.get(), StageKind::kTransform, false});
+  }
+  if (p.sink_op && !p.op_fn) {
+    rows.push_back({p.sink_op.get(), StageKind::kSink, !p.finalize_sink});
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string PhysicalPlan::ToString(bool analyze) const {
+  std::string out;
+  for (size_t i = 0; i < pipelines_.size(); ++i) {
+    const PhysicalPipeline& p = pipelines_[i];
+    std::string header = "P" + std::to_string(i);
+    if (!p.inputs.empty()) {
+      header += " [<-";
+      for (size_t j = 0; j < p.inputs.size(); ++j) {
+        header += (j ? ", P" : " P") + std::to_string(p.inputs[j]);
+      }
+      header += "]";
+    }
+    std::vector<StageRow> rows = CollectStages(p);
+    if (!analyze) {
+      out += header + ": ";
+      bool first = true;
+      for (const auto& r : rows) {
+        if (r.kind == StageKind::kPrepare) continue;  // shown via [<- Pk]
+        if (!first) out += " -> ";
+        out += r.op->name;
+        if (r.shared_sink) out += " (shared)";
+        first = false;
+      }
+      out += "\n";
+      continue;
+    }
+    out += header + ":\n";
+    for (const auto& r : rows) {
+      const OperatorMetrics& m = r.op->metrics;
+      std::string line = "  " + r.op->name;
+      if (r.shared_sink) line += " (shared)";
+      if (line.size() < 46) line.append(46 - line.size(), ' ');
+      if (r.kind == StageKind::kTransform || r.kind == StageKind::kSink ||
+          r.kind == StageKind::kPrepare) {
+        line += " rows_in=" + std::to_string(m.rows_in.load(kRelaxed));
+      }
+      if (r.kind != StageKind::kPrepare) {
+        line += " rows_out=" + std::to_string(m.rows_out.load(kRelaxed));
+      }
+      if (r.kind == StageKind::kSource || r.kind == StageKind::kTransform ||
+          r.kind == StageKind::kSink) {
+        line += " chunks=" + std::to_string(m.chunks.load(kRelaxed));
+      }
+      line += " time=" + FormatTime(m.nanos.load(kRelaxed));
+      out += line + "\n";
+    }
+    out += "  bytes_reserved=" + std::to_string(p.bytes_reserved) + "\n";
+  }
+  return out;
+}
+
+}  // namespace soda

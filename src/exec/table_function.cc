@@ -143,15 +143,11 @@ Result<Schema> InferTableFunctionSchema(
   return Status::KeyError("unknown table function: " + name);
 }
 
-Result<TablePtr> ExecuteTableFunction(const PlanNode& plan, ExecContext& ctx) {
-  // Materialize relation inputs. The operator consumes them like any other
-  // relational operator (paper Fig. 2a: arbitrarily pre-processed input).
-  std::vector<TablePtr> inputs;
-  inputs.reserve(plan.children.size());
-  for (const auto& child : plan.children) {
-    SODA_ASSIGN_OR_RETURN(TablePtr t, ExecutePlan(*child, ctx));
-    inputs.push_back(std::move(t));
-  }
+Result<TablePtr> ExecuteTableFunctionWithInputs(const PlanNode& plan,
+                                                std::vector<TablePtr> inputs,
+                                                ExecContext& ctx) {
+  // Relation inputs arrive pre-materialized by the physical plan's input
+  // pipelines (paper Fig. 2a: arbitrarily pre-processed input).
 
   // Compile lambdas into kernels (plan-time bound bodies -> flat numeric
   // programs; see expr/lambda_kernel.h).

@@ -165,13 +165,16 @@ enum class StatementKind {
   kDropTable,
   kUpdate,
   kDelete,
-  kExplain,  ///< EXPLAIN <select>
+  kExplain,  ///< EXPLAIN [ANALYZE] <select>
   kSet,      ///< SET soda.<knob> = <value>
 };
 
 struct Statement {
   StatementKind kind;
   SelectPtr select;  ///< also the target of kExplain
+  /// EXPLAIN ANALYZE: execute the statement and report per-operator
+  /// metrics alongside the plan (only meaningful for kExplain).
+  bool explain_analyze = false;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<DropTableStmt> drop_table;

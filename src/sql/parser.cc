@@ -123,6 +123,9 @@ class Parser {
       return stmt;
     }
     if (MatchKeyword("explain")) {
+      // "analyze" is a soft keyword: only special directly after EXPLAIN,
+      // so it stays usable as an identifier elsewhere.
+      if (MatchKeyword("analyze")) stmt.explain_analyze = true;
       SODA_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
       stmt.kind = StatementKind::kExplain;
       return stmt;

@@ -1,0 +1,187 @@
+/// \file explain_test.cc
+/// EXPLAIN pipeline-decomposition goldens and the EXPLAIN ANALYZE
+/// per-operator metrics suite over scan / filter / join / aggregate /
+/// iterate / table-function plans.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "tests/test_util.h"
+#include "util/query_guard.h"
+
+namespace soda {
+namespace {
+
+using testing::ExpectError;
+using testing::RunQuery;
+
+/// Joins all EXPLAIN result rows back into one text blob.
+std::string ExplainText(const QueryResult& r) {
+  std::string all;
+  for (size_t i = 0; i < r.num_rows(); ++i) all += r.GetString(i, 0) + "\n";
+  return all;
+}
+
+/// Extracts `<field>=<number>` from the first pipeline line whose operator
+/// name contains `op`. Returns -1 when absent (assert against that).
+/// Searches only past the "=== Pipelines ===" divider: the plan tree above
+/// it repeats operator names without metrics.
+int64_t Metric(const std::string& text, const std::string& op,
+               const std::string& field) {
+  size_t start = text.find("=== Pipelines ===");
+  if (start == std::string::npos) return -1;
+  size_t pos = text.find(op, start);
+  if (pos == std::string::npos) return -1;
+  size_t eol = text.find('\n', pos);
+  if (eol == std::string::npos) eol = text.size();
+  const std::string needle = field + "=";
+  size_t f = text.find(needle, pos);
+  if (f == std::string::npos || f >= eol) return -1;
+  return std::strtoll(text.c_str() + f + needle.size(), nullptr, 10);
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RunQuery(engine_, "CREATE TABLE t (a BIGINT, b DOUBLE)");
+    RunQuery(engine_,
+             "INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5), (4, 4.5)");
+    RunQuery(engine_, "CREATE TABLE u (a BIGINT, label VARCHAR)");
+    RunQuery(engine_,
+             "INSERT INTO u VALUES (1, 'one'), (2, 'two'), (2, 'dos')");
+  }
+
+  Engine engine_;
+};
+
+TEST_F(ExplainTest, PlainExplainPrintsPipelineDecomposition) {
+  auto r = RunQuery(engine_, "EXPLAIN SELECT a FROM t WHERE a > 1");
+  EXPECT_EQ(r.schema().field(0).name, "plan");
+  std::string text = ExplainText(r);
+  // Plan tree (pre-existing behavior) plus the new pipeline section.
+  EXPECT_NE(text.find("Scan t"), std::string::npos);
+  EXPECT_NE(text.find("=== Pipelines ==="), std::string::npos);
+  EXPECT_NE(text.find("P0: Scan t -> Filter [(a#0 > 1)] -> "
+                      "Project [a#0] -> Materialize"),
+            std::string::npos)
+      << text;
+  // No metrics without ANALYZE.
+  EXPECT_EQ(text.find("rows_out="), std::string::npos);
+}
+
+TEST_F(ExplainTest, UnionAllDecomposesIntoSharedSinkPipelines) {
+  auto r = RunQuery(engine_,
+                    "EXPLAIN SELECT a FROM t UNION ALL SELECT a FROM u");
+  std::string text = ExplainText(r);
+  EXPECT_NE(text.find("UnionAll (materialize) (shared)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("P2 [<- P0, P1]: UnionAll (materialize)"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(ExplainTest, JoinShowsBuildDependencyPipeline) {
+  auto r = RunQuery(
+      engine_,
+      "EXPLAIN SELECT t.a, u.label FROM t JOIN u ON t.a = u.a");
+  std::string text = ExplainText(r);
+  // Build side is its own pipeline; the probe pipeline references it.
+  EXPECT_NE(text.find("[<- P0]"), std::string::npos) << text;
+  EXPECT_NE(text.find("HashJoinProbe"), std::string::npos) << text;
+}
+
+TEST_F(ExplainTest, EngineExplainStringIncludesPipelines) {
+  auto r = engine_.Explain("SELECT a FROM t WHERE a > 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.ValueOrDie().find("=== Pipelines ==="), std::string::npos);
+  EXPECT_NE(r.ValueOrDie().find("Scan t"), std::string::npos);
+}
+
+TEST_F(ExplainTest, AnalyzeReportsScanFilterRowCounts) {
+  auto r = RunQuery(engine_, "EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1");
+  std::string text = ExplainText(r);
+  EXPECT_EQ(Metric(text, "Scan t", "rows_out"), 4) << text;
+  EXPECT_EQ(Metric(text, "Filter", "rows_in"), 4) << text;
+  EXPECT_EQ(Metric(text, "Filter", "rows_out"), 3) << text;
+  EXPECT_EQ(Metric(text, "Materialize", "rows_out"), 3) << text;
+  EXPECT_NE(text.find("time="), std::string::npos);
+  EXPECT_NE(text.find("bytes_reserved="), std::string::npos);
+}
+
+TEST_F(ExplainTest, AnalyzeJoinAggregateReportsPerOperatorRows) {
+  auto r = RunQuery(engine_,
+                    "EXPLAIN ANALYZE SELECT u.label, count(*) "
+                    "FROM t JOIN u ON t.a = u.a GROUP BY u.label");
+  std::string text = ExplainText(r);
+  // Build side: 3 rows of u enter the hash build.
+  EXPECT_EQ(Metric(text, "HashBuild", "rows_in"), 3) << text;
+  // Probe side: 4 rows of t probe; a=1 matches once, a=2 matches twice.
+  EXPECT_EQ(Metric(text, "HashJoinProbe", "rows_in"), 4) << text;
+  EXPECT_EQ(Metric(text, "HashJoinProbe", "rows_out"), 3) << text;
+  // 3 distinct labels survive grouping.
+  EXPECT_EQ(Metric(text, "Aggregate", "rows_in"), 3) << text;
+  EXPECT_EQ(Metric(text, "Aggregate", "rows_out"), 3) << text;
+}
+
+TEST_F(ExplainTest, AnalyzeIterateReportsResultRows) {
+  auto r = RunQuery(engine_,
+                    "EXPLAIN ANALYZE SELECT * FROM ITERATE((SELECT 1 x), "
+                    "(SELECT x + 1 x FROM iterate), "
+                    "(SELECT x FROM iterate WHERE x > 3))");
+  std::string text = ExplainText(r);
+  EXPECT_NE(text.find("Iterate"), std::string::npos) << text;
+  EXPECT_EQ(Metric(text, "Iterate", "rows_out"), 1) << text;
+}
+
+TEST_F(ExplainTest, AnalyzeKmeansReportsOperatorAndInputRows) {
+  auto r = RunQuery(engine_,
+                    "EXPLAIN ANALYZE SELECT * FROM KMEANS("
+                    "(SELECT a, b FROM t), "
+                    "(SELECT a, b FROM t LIMIT 2), 5)");
+  std::string text = ExplainText(r);
+  // The operator consumes its input pipelines' relations and emits one
+  // row per center.
+  EXPECT_EQ(Metric(text, "TableFunction kmeans", "rows_out"), 2) << text;
+  // The data input pipeline materialized all 4 source rows.
+  EXPECT_EQ(Metric(text, "Project [a#0, b#1] (column copy)", "rows_out"), 4)
+      << text;
+  EXPECT_NE(text.find("time="), std::string::npos);
+}
+
+TEST_F(ExplainTest, PlainExplainDoesNotExecute) {
+  // A fault armed at the scheduler's probe site must NOT fire for plain
+  // EXPLAIN (lowering executes nothing)...
+  FaultInjector::Global().Arm("exec.pipeline", FaultInjector::Kind::kError);
+  RunQuery(engine_, "EXPLAIN SELECT a FROM t WHERE a > 1");
+  // ...but fires as soon as ANALYZE runs the pipelines.
+  auto analyzed = engine_.Execute("EXPLAIN ANALYZE SELECT a FROM t");
+  ASSERT_FALSE(analyzed.ok());
+  EXPECT_EQ(analyzed.status().code(), StatusCode::kInternal);
+  FaultInjector::Global().Reset();
+  // Engine stays usable after the teardown.
+  auto again = RunQuery(engine_, "SELECT count(*) FROM t");
+  EXPECT_EQ(again.GetInt(0, 0), 4);
+}
+
+TEST_F(ExplainTest, AnalyzeMatchesDirectExecutionResults) {
+  // ANALYZE runs the real pipelines: its stats must match the query's.
+  auto direct = RunQuery(engine_, "SELECT a FROM t WHERE a > 1");
+  EXPECT_EQ(direct.num_rows(), 3u);
+  auto analyzed =
+      RunQuery(engine_, "EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1");
+  std::string text = ExplainText(analyzed);
+  EXPECT_EQ(Metric(text, "Materialize", "rows_out"),
+            static_cast<int64_t>(direct.num_rows()));
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeParseErrors) {
+  ExpectError(engine_, "EXPLAIN ANALYZE", StatusCode::kParseError);
+  ExpectError(engine_, "EXPLAIN ANALYZE INSERT INTO t VALUES (1, 1.0)",
+              StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-stop verification: the tier-1 build + test cycle, then the
+# sanitizer pass. Run this before sending any change for review.
+#
+# Usage:
+#   tools/check.sh              # tier-1 + address,undefined sanitizers
+#   tools/check.sh --fast       # tier-1 only (skip sanitizers)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+# Tier 1: the canonical build tree and test suite (ROADMAP.md).
+cmake -S "${repo_root}" -B "${repo_root}/build"
+cmake --build "${repo_root}/build" -j "$(nproc)"
+ctest --test-dir "${repo_root}/build" -j "$(nproc)" --output-on-failure
+echo "check: tier-1 tests clean"
+
+if [[ "${fast}" == "0" ]]; then
+  "${repo_root}/tools/check_sanitize.sh"
+fi
+echo "check: all passes clean"
