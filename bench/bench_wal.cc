@@ -1,0 +1,145 @@
+/// \file bench_wal.cc
+/// Durability overhead: INSERT and UPDATE throughput with the write-ahead
+/// log off (volatile engine), in group-commit mode, and with
+/// fsync-per-commit — plus recovery time for the resulting log.
+///
+/// The paper's main-memory engine is volatile; this harness quantifies
+/// what the durability layer (DESIGN.md §Durability) costs on top, and
+/// what group commit (SET soda.wal_fsync = group) buys back.
+///
+///   ./build/bench/bench_wal [--scale=ci|medium|paper]
+///
+/// Series: rows/s for batched INSERTs, statements/s for single-row
+/// INSERTs (the fsync-bound worst case), seconds per full-table UPDATE,
+/// and recovery (reopen) time.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "util/timer.h"
+
+namespace soda::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Mode {
+  const char* label;   ///< printed name
+  bool durable;        ///< false = volatile engine (no WAL at all)
+  WalFsyncMode fsync;  ///< meaningful when durable
+};
+
+std::string FreshDir(const std::string& base, const char* label) {
+  std::string dir = base + "/" + label;
+  fs::remove_all(dir);
+  return dir;
+}
+
+EngineOptions MakeOptions(const Mode& mode, const std::string& dir) {
+  EngineOptions options;
+  if (mode.durable) {
+    options.data_dir = dir;
+    options.wal_fsync = mode.fsync;
+  }
+  return options;
+}
+
+void Run(const Scale& scale) {
+  const size_t batch_rows = 1000000 / scale.divisor;
+  const size_t batch_stmt_rows = 1000;  // rows per INSERT statement
+  const size_t single_stmts = 2000 / scale.divisor + 20;
+
+  const Mode modes[] = {
+      {"wal=off(volatile)", false, WalFsyncMode::kOn},
+      {"wal=nosync", true, WalFsyncMode::kOff},
+      {"wal=group", true, WalFsyncMode::kGroup},
+      {"wal=fsync", true, WalFsyncMode::kOn},
+  };
+
+  std::string base = "/tmp/soda_bench_wal";
+  fs::create_directories(base);
+
+  std::printf("WAL overhead — batched INSERT %s rows (%zu/stmt), "
+              "%zu single-row INSERTs, full-table UPDATE, reopen\n\n",
+              Human(batch_rows).c_str(), batch_stmt_rows, single_stmts);
+  PrintHeader({"mode", "batch Mrows/s", "single stmts/s", "update s",
+               "recover s"});
+
+  for (const Mode& mode : modes) {
+    std::string dir = FreshDir(base, mode.label);
+    double batch_s, single_s, update_s;
+    {
+      Engine engine(MakeOptions(mode, dir));
+      if (!engine.startup_status().ok()) {
+        std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                     engine.startup_status().ToString().c_str());
+        std::exit(1);
+      }
+      TimeQuery(engine, "CREATE TABLE t (a INTEGER, b FLOAT)");
+
+      // Batched inserts: one multi-row VALUES statement per 1000 rows.
+      std::string values;
+      for (size_t i = 0; i < batch_stmt_rows; ++i) {
+        values += i ? "," : "";
+        values += "(" + std::to_string(i) + "," +
+                  std::to_string(i % 97) + ".5)";
+      }
+      std::string insert = "INSERT INTO t VALUES " + values;
+      Timer timer;
+      for (size_t done = 0; done < batch_rows; done += batch_stmt_rows) {
+        TimeQuery(engine, insert);
+      }
+      batch_s = timer.ElapsedSeconds();
+
+      // Single-row statements: every commit pays the full sync policy.
+      // A separate small table keeps the copy-on-write rebuild cost out
+      // of the numbers — this series isolates the per-commit fsync.
+      TimeQuery(engine, "CREATE TABLE s (a INTEGER)");
+      timer = Timer();
+      for (size_t i = 0; i < single_stmts; ++i) {
+        TimeQuery(engine, "INSERT INTO s VALUES (1)");
+      }
+      single_s = timer.ElapsedSeconds();
+
+      // One full-table UPDATE: copy-on-write rebuild + table-image record.
+      update_s = TimeQuery(engine, "UPDATE t SET b = b + 1.0");
+    }
+
+    double recover_s = 0.0;
+    if (mode.durable) {
+      Timer timer;
+      Engine reopened(MakeOptions(mode, dir));
+      if (!reopened.startup_status().ok()) {
+        std::fprintf(stderr, "recover %s: %s\n", dir.c_str(),
+                     reopened.startup_status().ToString().c_str());
+        std::exit(1);
+      }
+      recover_s = timer.ElapsedSeconds();
+    }
+
+    PrintCell(mode.label);
+    std::printf("%-22.2f", batch_rows / batch_s / 1e6);
+    std::printf("%-22.0f", single_stmts / single_s);
+    PrintSeconds(update_s);
+    if (mode.durable) {
+      PrintSeconds(recover_s);
+    } else {
+      PrintCell("-");
+    }
+    EndRow();
+    fs::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace soda::bench
+
+int main(int argc, char** argv) {
+  soda::bench::Scale scale = soda::bench::ParseScale(argc, argv);
+  std::printf("scale: %s\n", scale.name);
+  soda::bench::Run(scale);
+  return 0;
+}

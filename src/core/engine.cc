@@ -7,6 +7,7 @@
 #include "sql/binder.h"
 #include "sql/optimizer.h"
 #include "sql/parser.h"
+#include "util/string_util.h"
 
 namespace soda {
 
@@ -31,13 +32,20 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
 Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
                                   Catalog* catalog,
                                   const EngineOptions& options,
-                                  QueryGuard* guard) {
+                                  DurabilityManager* dur, QueryGuard* guard) {
   if (stmt.if_not_exists && catalog->HasTable(stmt.name)) {
     return QueryResult();
   }
+  // Name clash is checked before the WAL append so a failing CREATE never
+  // reaches the log (the engine is single-writer; see DESIGN.md §6b).
+  if (catalog->HasTable(stmt.name)) {
+    return Status::AlreadyExists("table already exists: " +
+                                 ToLower(stmt.name));
+  }
   if (stmt.as_select) {
-    // CREATE TABLE .. AS SELECT: materialize first, register second, so a
-    // failing query leaves no half-created table behind.
+    // CREATE TABLE .. AS SELECT: materialize first, log second, register
+    // third, so a failing query or a failed commit leaves no half-created
+    // table behind (in memory or on disk).
     SODA_ASSIGN_OR_RETURN(
         QueryResult result,
         ExecuteSelect(*stmt.as_select, catalog, options, guard));
@@ -50,16 +58,20 @@ Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
     // the table is registered so a failed budget leaves no empty shell.
     SODA_RETURN_NOT_OK(
         GuardReserve(guard, src.MemoryUsage(), "exec.dml"));
-    SODA_ASSIGN_OR_RETURN(TablePtr table,
-                          catalog->CreateTable(stmt.name, schema));
+    auto table = std::make_shared<Table>(ToLower(stmt.name), schema);
     for (size_t c = 0; c < src.num_columns(); ++c) {
       table->column(c).AppendSlice(src.column(c), 0, src.num_rows());
     }
+    if (dur) SODA_RETURN_NOT_OK(dur->LogTableImage(*table));
+    SODA_RETURN_NOT_OK(catalog->RegisterTable(std::move(table)));
     return QueryResult();
   }
   Schema schema;
   for (const auto& [name, type] : stmt.columns) {
     schema.AddField(Field(name, type));
+  }
+  if (dur) {
+    SODA_RETURN_NOT_OK(dur->LogCreateTable(ToLower(stmt.name), schema));
   }
   SODA_ASSIGN_OR_RETURN(TablePtr table,
                         catalog->CreateTable(stmt.name, std::move(schema)));
@@ -95,9 +107,10 @@ Result<std::vector<uint8_t>> EvaluateRowMask(const Table& table,
 
 /// DELETE: copy-on-write — build the surviving rows into a fresh table and
 /// atomically swap it in (readers holding the old TablePtr keep a
-/// consistent snapshot).
+/// consistent snapshot). The new image is write-ahead-logged before the
+/// swap, so the statement commits to disk and memory together.
 Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog,
-                                  QueryGuard* guard) {
+                                  DurabilityManager* dur, QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
   SODA_ASSIGN_OR_RETURN(
       std::vector<uint8_t> doomed,
@@ -111,14 +124,17 @@ Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog,
       if (!doomed[r]) next->column(c).AppendFrom(table->column(c), r);
     }
   }
+  if (dur) SODA_RETURN_NOT_OK(dur->LogTableImage(*next));
   SODA_RETURN_NOT_OK(catalog->ReplaceTable(stmt.table, std::move(next)));
   return QueryResult();
 }
 
-/// UPDATE: evaluate every SET expression over the whole table, then merge
-/// per the WHERE mask into a fresh table and swap (copy-on-write).
+/// UPDATE: gather-evaluate-scatter — SET expressions run only over the
+/// rows the WHERE mask selects (a failing or expensive expression on an
+/// unselected row never executes), then the new values are scattered into
+/// a fresh table which is swapped in (copy-on-write).
 Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog,
-                                  QueryGuard* guard) {
+                                  DurabilityManager* dur, QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
   const Schema schema = table->schema().WithQualifier(table->name());
   Binder binder(catalog);
@@ -146,20 +162,52 @@ Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog,
       std::vector<uint8_t> selected,
       EvaluateRowMask(*table, stmt.where.get(), catalog, guard));
 
-  // New values, evaluated chunk-wise over the old snapshot.
+  const size_t n = table->num_rows();
+  std::vector<size_t> sel;
+  for (size_t r = 0; r < n; ++r) {
+    if (selected[r]) sel.push_back(r);
+  }
+
+  // New values for the selected rows only, in selection order (compact:
+  // new_values[a][i] belongs to row sel[i]).
   std::vector<Column> new_values;
   for (auto& [col, expr] : assignments) {
-    Column out(schema.field(col).type);
+    new_values.emplace_back(schema.field(col).type);
+    (void)expr;
+  }
+  if (sel.size() == n) {
+    // Every row selected: contiguous scan beats row-wise gathering.
     DataChunk chunk;
-    const size_t n = table->num_rows();
     for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
       SODA_RETURN_NOT_OK(GuardProbe(guard, "exec.dml"));
       table->ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
-      Column part;
-      SODA_RETURN_NOT_OK(EvaluateExpression(*expr, chunk, &part));
-      out.AppendSlice(part, 0, part.size());
+      for (size_t a = 0; a < assignments.size(); ++a) {
+        Column part;
+        SODA_RETURN_NOT_OK(
+            EvaluateExpression(*assignments[a].second, chunk, &part));
+        new_values[a].AppendSlice(part, 0, part.size());
+      }
     }
-    new_values.push_back(std::move(out));
+  } else {
+    for (size_t start = 0; start < sel.size(); start += kChunkCapacity) {
+      SODA_RETURN_NOT_OK(GuardProbe(guard, "exec.dml"));
+      const size_t count = std::min(kChunkCapacity, sel.size() - start);
+      DataChunk gathered;
+      for (size_t c = 0; c < table->num_columns(); ++c) {
+        Column col(table->column(c).type());
+        col.Reserve(count);
+        for (size_t i = 0; i < count; ++i) {
+          col.AppendFrom(table->column(c), sel[start + i]);
+        }
+        gathered.AddColumn(std::move(col));
+      }
+      for (size_t a = 0; a < assignments.size(); ++a) {
+        Column part;
+        SODA_RETURN_NOT_OK(
+            EvaluateExpression(*assignments[a].second, gathered, &part));
+        new_values[a].AppendSlice(part, 0, part.size());
+      }
+    }
   }
 
   // The copy-on-write merge duplicates the table (see ExecuteDelete).
@@ -175,26 +223,43 @@ Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog,
       dst.AppendSlice(table->column(c), 0, table->num_rows());
       continue;
     }
+    size_t cursor = 0;
     for (size_t r = 0; r < table->num_rows(); ++r) {
-      dst.AppendFrom(selected[r] ? *updated : table->column(c), r);
+      if (selected[r]) {
+        dst.AppendFrom(*updated, cursor++);
+      } else {
+        dst.AppendFrom(table->column(c), r);
+      }
     }
   }
+  if (dur) SODA_RETURN_NOT_OK(dur->LogTableImage(*next));
   SODA_RETURN_NOT_OK(catalog->ReplaceTable(stmt.table, std::move(next)));
   return QueryResult();
 }
 
-Result<QueryResult> ExecuteDrop(const DropTableStmt& stmt, Catalog* catalog) {
+Result<QueryResult> ExecuteDrop(const DropTableStmt& stmt, Catalog* catalog,
+                                DurabilityManager* dur) {
   if (stmt.if_exists && !catalog->HasTable(stmt.name)) {
     return QueryResult();
   }
+  if (!catalog->HasTable(stmt.name)) {
+    return Status::KeyError("table not found: " + ToLower(stmt.name));
+  }
+  if (dur) SODA_RETURN_NOT_OK(dur->LogDropTable(ToLower(stmt.name)));
   SODA_RETURN_NOT_OK(catalog->DropTable(stmt.name));
   return QueryResult();
 }
 
+/// INSERT: all-or-nothing. New rows are staged into a side table; only
+/// when every row has evaluated, type-checked, and been write-ahead-logged
+/// is the live table rebuilt and atomically swapped in. A failure at any
+/// point (bad row, tripped guard, injected fault, failed commit) leaves
+/// the table — in memory and on disk — exactly as it was.
 Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
                                   const EngineOptions& options,
-                                  QueryGuard* guard) {
+                                  DurabilityManager* dur, QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
+  Table staged(table->name(), table->schema());
 
   if (!stmt.values_rows.empty()) {
     Binder binder(catalog);
@@ -213,54 +278,79 @@ Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
         SODA_ASSIGN_OR_RETURN(Value v, EvaluateConstantExpression(*bound));
         row.push_back(std::move(v));
       }
-      SODA_RETURN_NOT_OK(table->AppendRow(row));
+      SODA_RETURN_NOT_OK(staged.AppendRow(row));
     }
-    return QueryResult();
+  } else {
+    // INSERT .. SELECT.
+    SODA_ASSIGN_OR_RETURN(
+        QueryResult sub,
+        ExecuteSelect(*stmt.select, catalog, options, guard));
+    const Table& src = *sub.table();
+    if (src.num_columns() != table->num_columns()) {
+      return Status::BindError("INSERT .. SELECT arity mismatch");
+    }
+    // Positional insert with implicit numeric coercion. Each AppendChunk
+    // is charged to the memory budget at "storage.append" (via the
+    // thread's MemoryScope); the probe here adds cancellation/deadline
+    // coverage.
+    DataChunk chunk;
+    const size_t n = src.num_rows();
+    for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
+      SODA_RETURN_NOT_OK(GuardProbe(guard, "exec.dml"));
+      src.ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
+      DataChunk coerced;
+      for (size_t c = 0; c < chunk.num_columns(); ++c) {
+        DataType want = table->schema().field(c).type;
+        if (chunk.column(c).type() == want) {
+          coerced.AddColumn(std::move(chunk.column(c)));
+          continue;
+        }
+        if (!(IsNumeric(chunk.column(c).type()) && IsNumeric(want))) {
+          return Status::TypeError(
+              "INSERT .. SELECT type mismatch in column '" +
+              table->schema().field(c).name + "'");
+        }
+        Column col(want);
+        const Column& in = chunk.column(c);
+        col.Reserve(in.size());
+        for (size_t i = 0; i < in.size(); ++i) {
+          if (in.IsNull(i)) {
+            col.AppendNull();
+          } else if (want == DataType::kDouble) {
+            col.AppendDouble(in.GetNumeric(i));
+          } else {
+            col.AppendBigInt(static_cast<int64_t>(in.GetNumeric(i)));
+          }
+        }
+        coerced.AddColumn(std::move(col));
+      }
+      SODA_RETURN_NOT_OK(staged.AppendChunk(coerced));
+    }
   }
 
-  // INSERT .. SELECT.
-  SODA_ASSIGN_OR_RETURN(QueryResult sub,
-                        ExecuteSelect(*stmt.select, catalog, options, guard));
-  const Table& src = *sub.table();
-  if (src.num_columns() != table->num_columns()) {
-    return Status::BindError("INSERT .. SELECT arity mismatch");
+  // Commit point: log the staged rows, then rebuild-and-swap so readers
+  // holding the old TablePtr keep a consistent snapshot (the same
+  // copy-on-write path UPDATE/DELETE use).
+  SODA_RETURN_NOT_OK(GuardReserve(guard, table->MemoryUsage(), "exec.dml"));
+  if (dur) SODA_RETURN_NOT_OK(dur->LogAppendRows(staged));
+  auto next = std::make_shared<Table>(table->name(), table->schema());
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    next->column(c).AppendSlice(table->column(c), 0, table->num_rows());
+    next->column(c).AppendSlice(staged.column(c), 0, staged.num_rows());
   }
-  // Positional insert with implicit numeric coercion. Each AppendChunk is
-  // charged to the memory budget at "storage.append" (via the thread's
-  // MemoryScope); the probe here adds cancellation/deadline coverage.
-  DataChunk chunk;
-  const size_t n = src.num_rows();
-  for (size_t offset = 0; offset < n; offset += kChunkCapacity) {
-    SODA_RETURN_NOT_OK(GuardProbe(guard, "exec.dml"));
-    src.ScanSlice(offset, std::min(kChunkCapacity, n - offset), &chunk);
-    DataChunk coerced;
-    for (size_t c = 0; c < chunk.num_columns(); ++c) {
-      DataType want = table->schema().field(c).type;
-      if (chunk.column(c).type() == want) {
-        coerced.AddColumn(std::move(chunk.column(c)));
-        continue;
-      }
-      if (!(IsNumeric(chunk.column(c).type()) && IsNumeric(want))) {
-        return Status::TypeError(
-            "INSERT .. SELECT type mismatch in column '" +
-            table->schema().field(c).name + "'");
-      }
-      Column col(want);
-      const Column& in = chunk.column(c);
-      col.Reserve(in.size());
-      for (size_t i = 0; i < in.size(); ++i) {
-        if (in.IsNull(i)) {
-          col.AppendNull();
-        } else if (want == DataType::kDouble) {
-          col.AppendDouble(in.GetNumeric(i));
-        } else {
-          col.AppendBigInt(static_cast<int64_t>(in.GetNumeric(i)));
-        }
-      }
-      coerced.AddColumn(std::move(col));
-    }
-    SODA_RETURN_NOT_OK(table->AppendChunk(coerced));
+  SODA_RETURN_NOT_OK(catalog->ReplaceTable(table->name(), std::move(next)));
+  return QueryResult();
+}
+
+/// CHECKPOINT: persist every table atomically and truncate the WAL.
+Result<QueryResult> ExecuteCheckpoint(Catalog* catalog,
+                                      DurabilityManager* dur) {
+  if (!dur) {
+    return Status::InvalidArgument(
+        "CHECKPOINT requires a durable engine (set EngineOptions::data_dir "
+        "or run soda_shell --data-dir <dir>)");
   }
+  SODA_RETURN_NOT_OK(dur->Checkpoint(*catalog));
   return QueryResult();
 }
 
@@ -304,9 +394,27 @@ Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, bool analyze,
 }
 
 /// SET soda.<knob> = <value>: mutates the engine-level defaults. Knobs map
-/// onto EngineOptions; unknown names and negative values are rejected with
-/// a clean error, leaving the options untouched.
-Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options) {
+/// onto EngineOptions; unknown names and invalid values are rejected with
+/// a clean error, leaving the options untouched. The WAL knobs
+/// (soda.wal_fsync, soda.wal_group_bytes) additionally apply to the live
+/// log immediately.
+Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options,
+                               DurabilityManager* dur) {
+  if (stmt.name == "soda.wal_fsync") {
+    if (!stmt.has_text) {
+      return Status::InvalidArgument(
+          "SET soda.wal_fsync: expected on, off, or group");
+    }
+    SODA_ASSIGN_OR_RETURN(WalFsyncMode mode,
+                          WalFsyncModeFromString(ToLower(stmt.text_value)));
+    options->wal_fsync = mode;
+    if (dur) dur->SetFsyncMode(mode, options->wal_group_bytes);
+    return QueryResult();
+  }
+  if (stmt.has_text) {
+    return Status::InvalidArgument("SET " + stmt.name +
+                                   ": expected an integer value");
+  }
   if (stmt.value < 0) {
     return Status::InvalidArgument("SET " + stmt.name +
                                    ": value must be >= 0 (0 = unlimited)");
@@ -321,34 +429,44 @@ Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options) {
           "SET soda.max_iterations: value must be >= 1");
     }
     options->max_iterations = static_cast<size_t>(stmt.value);
+  } else if (stmt.name == "soda.wal_group_bytes") {
+    if (stmt.value == 0) {
+      return Status::InvalidArgument(
+          "SET soda.wal_group_bytes: value must be >= 1");
+    }
+    options->wal_group_bytes = static_cast<size_t>(stmt.value);
+    if (dur) dur->SetFsyncMode(options->wal_fsync, options->wal_group_bytes);
   } else {
     return Status::InvalidArgument(
         "unknown setting '" + stmt.name +
         "' (supported: soda.timeout_ms, soda.memory_limit_mb, "
-        "soda.max_iterations)");
+        "soda.max_iterations, soda.wal_fsync, soda.wal_group_bytes)");
   }
   return QueryResult();
 }
 
 Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
                                      const EngineOptions& options,
+                                     DurabilityManager* dur,
                                      QueryGuard* guard) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
       return ExecuteSelect(*stmt.select, catalog, options, guard);
     case StatementKind::kCreateTable:
-      return ExecuteCreate(*stmt.create_table, catalog, options, guard);
+      return ExecuteCreate(*stmt.create_table, catalog, options, dur, guard);
     case StatementKind::kInsert:
-      return ExecuteInsert(*stmt.insert, catalog, options, guard);
+      return ExecuteInsert(*stmt.insert, catalog, options, dur, guard);
     case StatementKind::kDropTable:
-      return ExecuteDrop(*stmt.drop_table, catalog);
+      return ExecuteDrop(*stmt.drop_table, catalog, dur);
     case StatementKind::kUpdate:
-      return ExecuteUpdate(*stmt.update, catalog, guard);
+      return ExecuteUpdate(*stmt.update, catalog, dur, guard);
     case StatementKind::kDelete:
-      return ExecuteDelete(*stmt.del, catalog, guard);
+      return ExecuteDelete(*stmt.del, catalog, dur, guard);
     case StatementKind::kExplain:
       return ExecuteExplain(*stmt.select, stmt.explain_analyze, catalog,
                             options, guard);
+    case StatementKind::kCheckpoint:
+      return ExecuteCheckpoint(catalog, dur);
     case StatementKind::kSet:
       return Status::Internal("SET must be handled by the engine");
   }
@@ -361,9 +479,10 @@ Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
 /// guard-aware ParallelFor extends the scope to worker threads.
 Result<QueryResult> RunGoverned(const Statement& stmt, Catalog* catalog,
                                 EngineOptions* engine_options,
+                                DurabilityManager* dur,
                                 const ExecOptions& exec) {
   if (stmt.kind == StatementKind::kSet) {
-    return ExecuteSet(*stmt.set, engine_options);
+    return ExecuteSet(*stmt.set, engine_options, dur);
   }
   EngineOptions effective = *engine_options;
   if (exec.max_iterations >= 0) {
@@ -381,10 +500,24 @@ Result<QueryResult> RunGoverned(const Statement& stmt, Catalog* catalog,
   // expired deadline) aborts even plans that touch no other probe site,
   // e.g. a bare table scan that returns the catalog table directly.
   SODA_RETURN_NOT_OK(guard.Check("exec.statement"));
-  return ExecuteStatement(stmt, catalog, effective, &guard);
+  return ExecuteStatement(stmt, catalog, effective, dur, &guard);
 }
 
 }  // namespace
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  if (options_.data_dir.empty()) return;
+  Result<std::unique_ptr<DurabilityManager>> dur = DurabilityManager::Open(
+      options_.data_dir, &catalog_, options_.wal_fsync,
+      options_.wal_group_bytes);
+  if (!dur.ok()) {
+    startup_status_ = dur.status();
+    return;
+  }
+  durability_ = std::move(dur.ValueOrDie());
+}
+
+Engine::~Engine() = default;
 
 Result<QueryResult> Engine::Execute(const std::string& sql) {
   return Execute(sql, ExecOptions{});
@@ -392,18 +525,21 @@ Result<QueryResult> Engine::Execute(const std::string& sql) {
 
 Result<QueryResult> Engine::Execute(const std::string& sql,
                                     const ExecOptions& exec) {
+  SODA_RETURN_NOT_OK(startup_status_);
   SODA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return RunGoverned(stmt, &catalog_, &options_, exec);
+  return RunGoverned(stmt, &catalog_, &options_, durability_.get(), exec);
 }
 
 Result<QueryResult> Engine::ExecuteScript(const std::string& sql) {
+  SODA_RETURN_NOT_OK(startup_status_);
   SODA_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(sql));
   if (stmts.empty()) return QueryResult();
   QueryResult last;
   for (const auto& stmt : stmts) {
     // SET takes effect for the remaining statements of the script.
     Result<QueryResult> r =
-        RunGoverned(stmt, &catalog_, &options_, ExecOptions{});
+        RunGoverned(stmt, &catalog_, &options_, durability_.get(),
+                    ExecOptions{});
     SODA_RETURN_NOT_OK(r.status());
     last = std::move(r.ValueOrDie());
   }
@@ -411,6 +547,7 @@ Result<QueryResult> Engine::ExecuteScript(const std::string& sql) {
 }
 
 Result<std::string> Engine::Explain(const std::string& sql) {
+  SODA_RETURN_NOT_OK(startup_status_);
   SODA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("EXPLAIN supports SELECT statements only");

@@ -25,6 +25,8 @@
 
 #include "core/query_result.h"
 #include "storage/catalog.h"
+#include "storage/durability.h"
+#include "storage/wal.h"
 #include "util/query_guard.h"
 #include "util/status.h"
 
@@ -42,6 +44,18 @@ struct EngineOptions {
   /// Cumulative-materialization budget per statement, in bytes;
   /// 0 = unlimited. SQL: `SET soda.memory_limit_mb = <n>`.
   int64_t memory_limit_bytes = 0;
+  /// Durability: when non-empty, the engine recovers this directory on
+  /// construction (latest checkpoint + WAL tail — see storage/durability.h)
+  /// and write-ahead-logs every DDL/DML statement into it. Empty = the
+  /// historical volatile engine. A failed recovery surfaces via
+  /// `Engine::startup_status()` and poisons every Execute call.
+  std::string data_dir;
+  /// When WAL records are forced to stable storage.
+  /// SQL: `SET soda.wal_fsync = on|off|group`.
+  WalFsyncMode wal_fsync = WalFsyncMode::kOn;
+  /// Group-commit batching threshold (wal_fsync = group): fsync once per
+  /// this many logged bytes. SQL: `SET soda.wal_group_bytes = <n>`.
+  size_t wal_group_bytes = size_t{1} << 20;
 };
 
 /// Thread-safe cancellation handle. Create one, pass it via
@@ -76,7 +90,10 @@ struct ExecOptions {
 class Engine {
  public:
   Engine() : Engine(EngineOptions{}) {}
-  explicit Engine(EngineOptions options) : options_(options) {}
+  /// With `options.data_dir` set, construction recovers the directory's
+  /// checkpoint + WAL tail into the catalog; check `startup_status()`.
+  explicit Engine(EngineOptions options);
+  ~Engine();
 
   /// Executes one SQL statement (SELECT / CREATE TABLE / INSERT / DROP /
   /// UPDATE / DELETE / EXPLAIN / SET).
@@ -97,13 +114,25 @@ class Engine {
   Result<std::string> Explain(const std::string& sql);
 
   /// Direct catalog access for bulk loading (see bench_support/workloads).
+  /// Tables registered this way are NOT write-ahead-logged; run CHECKPOINT
+  /// to persist them on a durable engine.
   Catalog& catalog() { return catalog_; }
 
   EngineOptions& options() { return options_; }
 
+  /// Non-OK when construction-time recovery failed (unreadable data_dir,
+  /// corrupt checkpoint). Every Execute call returns this status until the
+  /// engine is rebuilt with a usable data_dir.
+  const Status& startup_status() const { return startup_status_; }
+
+  /// Null for volatile engines (no data_dir).
+  DurabilityManager* durability() { return durability_.get(); }
+
  private:
   Catalog catalog_;
   EngineOptions options_;
+  std::unique_ptr<DurabilityManager> durability_;
+  Status startup_status_;
 };
 
 }  // namespace soda

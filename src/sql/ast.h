@@ -149,13 +149,16 @@ struct DeleteStmt {
   ParseExprPtr where;  ///< null = all rows
 };
 
-/// SET <name> = <integer> — engine-level session knobs. The dotted name is
-/// stored verbatim (lower-cased); the engine validates it against the
-/// supported settings (soda.timeout_ms, soda.memory_limit_mb,
-/// soda.max_iterations).
+/// SET <name> = <integer | identifier> — engine-level session knobs. The
+/// dotted name is stored verbatim (lower-cased); the engine validates it
+/// against the supported settings (soda.timeout_ms, soda.memory_limit_mb,
+/// soda.max_iterations, soda.wal_fsync, soda.wal_group_bytes). Enum-valued
+/// knobs (soda.wal_fsync = on|off|group) set `text_value`/`has_text`.
 struct SetStmt {
   std::string name;
   int64_t value = 0;
+  std::string text_value;
+  bool has_text = false;
 };
 
 enum class StatementKind {
@@ -165,8 +168,9 @@ enum class StatementKind {
   kDropTable,
   kUpdate,
   kDelete,
-  kExplain,  ///< EXPLAIN [ANALYZE] <select>
-  kSet,      ///< SET soda.<knob> = <value>
+  kExplain,     ///< EXPLAIN [ANALYZE] <select>
+  kSet,         ///< SET soda.<knob> = <value>
+  kCheckpoint,  ///< CHECKPOINT — persist all tables, truncate the WAL
 };
 
 struct Statement {

@@ -122,6 +122,10 @@ class Parser {
       stmt.kind = StatementKind::kSet;
       return stmt;
     }
+    if (MatchKeyword("checkpoint")) {
+      stmt.kind = StatementKind::kCheckpoint;
+      return stmt;
+    }
     if (MatchKeyword("explain")) {
       // "analyze" is a soft keyword: only special directly after EXPLAIN,
       // so it stays usable as an identifier elsewhere.
@@ -136,7 +140,8 @@ class Parser {
       return stmt;
     }
     return Unexpected(
-        "a statement (SELECT/WITH/CREATE/INSERT/DROP/EXPLAIN/SET)");
+        "a statement (SELECT/WITH/CREATE/INSERT/DROP/EXPLAIN/SET/"
+        "CHECKPOINT)");
   }
 
   Result<std::unique_ptr<CreateTableStmt>> ParseCreateTable() {
@@ -224,9 +229,11 @@ class Parser {
     return stmt;
   }
 
-  /// SET name[.name]* = [-]integer. The value grammar is deliberately
-  /// narrow — these are engine knobs, not expressions; sign is accepted so
-  /// the engine can reject negatives with a clear message.
+  /// SET name[.name]* = [-]integer | identifier | 'string'. The value
+  /// grammar is deliberately narrow — these are engine knobs, not
+  /// expressions; sign is accepted so the engine can reject negatives with
+  /// a clear message, and bare words ('SET soda.wal_fsync = group') cover
+  /// the enum-valued knobs.
   Result<std::unique_ptr<SetStmt>> ParseSet() {
     SODA_RETURN_NOT_OK(ExpectKeyword("set"));
     auto stmt = std::make_unique<SetStmt>();
@@ -237,9 +244,15 @@ class Parser {
       stmt->name += "." + part;
     }
     SODA_RETURN_NOT_OK(Expect(TokenType::kEq, "'='"));
+    if (Peek().type == TokenType::kIdent ||
+        Peek().type == TokenType::kString) {
+      stmt->has_text = true;
+      stmt->text_value = Advance().text;
+      return stmt;
+    }
     const bool negative = Match(TokenType::kMinus);
     if (Peek().type != TokenType::kInteger) {
-      return Unexpected("an integer setting value");
+      return Unexpected("an integer or identifier setting value");
     }
     stmt->value = Advance().int_value;
     if (negative) stmt->value = -stmt->value;

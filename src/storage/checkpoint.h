@@ -1,0 +1,48 @@
+/// \file checkpoint.h
+/// Binary table checkpoints: a point-in-time columnar snapshot of the
+/// whole catalog, written atomically (temp file + rename) so a crash at
+/// any instant leaves either the old checkpoint or the new one — never a
+/// torn hybrid. After a successful checkpoint the WAL is truncated; the
+/// stored `last_lsn` lets recovery skip WAL records that predate the
+/// snapshot (a crash between rename and truncation is therefore harmless).
+///
+/// File layout (storage/serde.h encoding, native byte order):
+///   u32 magic ("SDCK") | u32 version | u64 last_lsn
+///   u32 crc32(body) | u64 body_len | body
+///   body = u32 num_tables | num_tables × serialized Table
+
+#ifndef SODA_STORAGE_CHECKPOINT_H_
+#define SODA_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace soda {
+
+inline constexpr char kCheckpointFileName[] = "checkpoint.soda";
+inline constexpr char kCheckpointTempFileName[] = "checkpoint.soda.tmp";
+inline constexpr char kWalFileName[] = "wal.soda";
+
+/// Atomically persists `tables` into `data_dir`. `last_lsn` is the LSN of
+/// the newest WAL record reflected in the snapshot. Fault-injection sites:
+/// "checkpoint.write" (before the temp file is written) and
+/// "checkpoint.rename" (before the atomic publish). On failure the temp
+/// file is removed and the previous checkpoint remains authoritative.
+Status WriteCheckpoint(const std::vector<TablePtr>& tables, uint64_t last_lsn,
+                       const std::string& data_dir);
+
+/// Loads the checkpoint in `data_dir` into `tables`/`last_lsn`. Returns
+/// false (leaving the outputs untouched) when no checkpoint file exists;
+/// a present-but-corrupt checkpoint is a hard error — unlike a torn WAL
+/// tail it cannot arise from a crash, only from external damage.
+Result<bool> LoadCheckpoint(const std::string& data_dir,
+                            std::vector<TablePtr>* tables,
+                            uint64_t* last_lsn);
+
+}  // namespace soda
+
+#endif  // SODA_STORAGE_CHECKPOINT_H_

@@ -144,6 +144,24 @@ Column Column::FromBigInts(std::vector<int64_t> data) {
   return c;
 }
 
+Column Column::FromRawI64(DataType type, std::vector<int64_t> data) {
+  SODA_DCHECK(type == DataType::kBigInt || type == DataType::kBool);
+  Column c(type);
+  c.i64_ = std::move(data);
+  return c;
+}
+
+Column Column::FromStrings(std::vector<std::string> data) {
+  Column c(DataType::kVarchar);
+  c.str_ = std::move(data);
+  return c;
+}
+
+void Column::SetValidity(std::vector<uint8_t> validity) {
+  SODA_DCHECK(validity.empty() || validity.size() == size());
+  validity_ = std::move(validity);
+}
+
 void Column::ResizeNumeric(size_t n) {
   SODA_DCHECK(type_ != DataType::kVarchar);
   if (type_ == DataType::kDouble) {

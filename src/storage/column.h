@@ -102,6 +102,14 @@ class Column {
   static Column FromDoubles(std::vector<double> data);
   static Column FromBigInts(std::vector<int64_t> data);
 
+  // --- Deserialization helpers (storage/serde) ---------------------------
+  /// Adopts a raw int64 payload as a kBigInt or kBool column.
+  static Column FromRawI64(DataType type, std::vector<int64_t> data);
+  static Column FromStrings(std::vector<std::string> data);
+  /// Installs a validity vector wholesale (size must match, or empty for
+  /// all-valid).
+  void SetValidity(std::vector<uint8_t> validity);
+
   /// Resizes a numeric column to `n` rows (zero-filled), used by operators
   /// that write results positionally.
   void ResizeNumeric(size_t n);

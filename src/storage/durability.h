@@ -1,0 +1,78 @@
+/// \file durability.h
+/// The engine's durability manager: owns a data directory containing one
+/// checkpoint (storage/checkpoint.h) and one write-ahead log
+/// (storage/wal.h), performs recovery-on-open, and exposes the per-
+/// statement logging calls the DML executors use.
+///
+/// Recovery protocol (Open):
+///   1. create `data_dir` if missing;
+///   2. load the checkpoint (if any) into the catalog, remembering its
+///      `last_lsn`;
+///   3. scan the WAL, truncating any torn tail, and replay every record
+///      with lsn > checkpoint lsn (records at or below it are already in
+///      the snapshot — this makes a crash between checkpoint-rename and
+///      WAL-truncation harmless);
+///   4. leave the log open for appending, numbering new records after the
+///      highest recovered LSN.
+
+#ifndef SODA_STORAGE_DURABILITY_H_
+#define SODA_STORAGE_DURABILITY_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/catalog.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace soda {
+
+class DurabilityManager {
+ public:
+  /// Opens `data_dir` (created if missing), recovers `catalog` from the
+  /// latest checkpoint + WAL tail, and readies the log for appending.
+  /// `catalog` must be empty and must outlive the manager.
+  static Result<std::unique_ptr<DurabilityManager>> Open(
+      const std::string& data_dir, Catalog* catalog, WalFsyncMode mode,
+      size_t group_bytes);
+
+  // --- Per-statement redo logging (called before the catalog mutation
+  // --- is published; a failure means the statement must not commit). ----
+  Status LogCreateTable(const std::string& name, const Schema& schema) {
+    return wal_->AppendCreateTable(name, schema);
+  }
+  Status LogDropTable(const std::string& name) {
+    return wal_->AppendDropTable(name);
+  }
+  Status LogAppendRows(const Table& staged_rows) {
+    return wal_->AppendRows(staged_rows);
+  }
+  Status LogTableImage(const Table& image) {
+    return wal_->AppendTableImage(image);
+  }
+
+  /// CHECKPOINT: snapshots every catalog table atomically, then truncates
+  /// the log. On failure the previous checkpoint + log remain valid.
+  Status Checkpoint(const Catalog& catalog);
+
+  void SetFsyncMode(WalFsyncMode mode, size_t group_bytes) {
+    wal_->SetFsyncMode(mode, group_bytes);
+  }
+
+  const std::string& data_dir() const { return data_dir_; }
+  Wal* wal() { return wal_.get(); }
+
+ private:
+  DurabilityManager(std::string data_dir, std::unique_ptr<Wal> wal)
+      : data_dir_(std::move(data_dir)), wal_(std::move(wal)) {}
+
+  std::string data_dir_;
+  std::unique_ptr<Wal> wal_;
+};
+
+/// Applies one recovered WAL record to the catalog (exposed for tests).
+Status ApplyWalRecord(Catalog* catalog, const WalRecord& record);
+
+}  // namespace soda
+
+#endif  // SODA_STORAGE_DURABILITY_H_

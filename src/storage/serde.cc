@@ -1,0 +1,175 @@
+#include "storage/serde.h"
+
+#include <cstring>
+
+namespace soda {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::ExecutionError(std::string("serde: truncated ") + what);
+}
+
+}  // namespace
+
+Result<uint8_t> BinaryReader::U8() {
+  if (remaining() < 1) return Truncated("u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> BinaryReader::U32() {
+  uint32_t v;
+  SODA_RETURN_NOT_OK(Bytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> BinaryReader::U64() {
+  uint64_t v;
+  SODA_RETURN_NOT_OK(Bytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<int64_t> BinaryReader::I64() {
+  int64_t v;
+  SODA_RETURN_NOT_OK(Bytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::string> BinaryReader::Str() {
+  SODA_ASSIGN_OR_RETURN(uint32_t n, U32());
+  if (remaining() < n) return Truncated("string");
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+Status BinaryReader::Bytes(void* out, size_t n) {
+  if (remaining() < n) return Truncated("bytes");
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+void WriteSchema(const Schema& schema, BinaryWriter* w) {
+  w->U32(static_cast<uint32_t>(schema.num_fields()));
+  for (const auto& f : schema.fields()) {
+    w->Str(f.name);
+    w->Str(f.qualifier);
+    w->U8(static_cast<uint8_t>(f.type));
+  }
+}
+
+Result<Schema> ReadSchema(BinaryReader* r) {
+  SODA_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  Schema schema;
+  for (uint32_t i = 0; i < n; ++i) {
+    SODA_ASSIGN_OR_RETURN(std::string name, r->Str());
+    SODA_ASSIGN_OR_RETURN(std::string qualifier, r->Str());
+    SODA_ASSIGN_OR_RETURN(uint8_t type, r->U8());
+    if (type == 0 || type > static_cast<uint8_t>(DataType::kVarchar)) {
+      return Status::ExecutionError("serde: invalid field type");
+    }
+    schema.AddField(
+        Field(std::move(name), static_cast<DataType>(type), qualifier));
+  }
+  return schema;
+}
+
+void WriteColumn(const Column& column, BinaryWriter* w) {
+  const size_t n = column.size();
+  w->U8(static_cast<uint8_t>(column.type()));
+  w->U64(n);
+  switch (column.type()) {
+    case DataType::kDouble:
+      w->Bytes(column.F64Data(), n * sizeof(double));
+      break;
+    case DataType::kVarchar:
+      for (const auto& s : column.Strings()) w->Str(s);
+      break;
+    default:  // kBigInt / kBool share the int64 payload
+      w->Bytes(column.I64Data(), n * sizeof(int64_t));
+      break;
+  }
+  const auto& validity = column.Validity();
+  w->U8(validity.empty() ? 0 : 1);
+  if (!validity.empty()) w->Bytes(validity.data(), validity.size());
+}
+
+Result<Column> ReadColumn(BinaryReader* r) {
+  SODA_ASSIGN_OR_RETURN(uint8_t type_byte, r->U8());
+  if (type_byte == 0 || type_byte > static_cast<uint8_t>(DataType::kVarchar)) {
+    return Status::ExecutionError("serde: invalid column type");
+  }
+  DataType type = static_cast<DataType>(type_byte);
+  SODA_ASSIGN_OR_RETURN(uint64_t n, r->U64());
+  Column column;
+  switch (type) {
+    case DataType::kDouble: {
+      // Divide instead of multiplying: `n` comes from disk and a crafted
+      // value must not overflow the bounds check.
+      if (n > r->remaining() / sizeof(double)) {
+        return Status::ExecutionError("serde: truncated double payload");
+      }
+      std::vector<double> data(n);
+      SODA_RETURN_NOT_OK(r->Bytes(data.data(), n * sizeof(double)));
+      column = Column::FromDoubles(std::move(data));
+      break;
+    }
+    case DataType::kVarchar: {
+      std::vector<std::string> data;
+      data.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        SODA_ASSIGN_OR_RETURN(std::string s, r->Str());
+        data.push_back(std::move(s));
+      }
+      column = Column::FromStrings(std::move(data));
+      break;
+    }
+    default: {
+      if (n > r->remaining() / sizeof(int64_t)) {
+        return Status::ExecutionError("serde: truncated int64 payload");
+      }
+      std::vector<int64_t> data(n);
+      SODA_RETURN_NOT_OK(r->Bytes(data.data(), n * sizeof(int64_t)));
+      column = Column::FromRawI64(type, std::move(data));
+      break;
+    }
+  }
+  SODA_ASSIGN_OR_RETURN(uint8_t has_validity, r->U8());
+  if (has_validity) {
+    std::vector<uint8_t> validity(n);
+    SODA_RETURN_NOT_OK(r->Bytes(validity.data(), n));
+    column.SetValidity(std::move(validity));
+  }
+  return column;
+}
+
+void WriteTable(const Table& table, BinaryWriter* w) {
+  w->Str(table.name());
+  WriteSchema(table.schema(), w);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    WriteColumn(table.column(c), w);
+  }
+}
+
+Result<TablePtr> ReadTable(BinaryReader* r) {
+  SODA_ASSIGN_OR_RETURN(std::string name, r->Str());
+  SODA_ASSIGN_OR_RETURN(Schema schema, ReadSchema(r));
+  auto table = std::make_shared<Table>(name, schema);
+  size_t rows = 0;
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    SODA_ASSIGN_OR_RETURN(Column column, ReadColumn(r));
+    if (column.type() != schema.field(c).type) {
+      return Status::ExecutionError("serde: column/schema type mismatch");
+    }
+    if (c == 0) {
+      rows = column.size();
+    } else if (column.size() != rows) {
+      return Status::ExecutionError("serde: ragged table payload");
+    }
+    SODA_RETURN_NOT_OK(table->SetColumn(c, std::move(column)));
+  }
+  return table;
+}
+
+}  // namespace soda

@@ -1,0 +1,246 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/serde.h"
+#include "util/crc32.h"
+#include "util/query_guard.h"
+
+namespace soda {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C574453;  // "SDWL"
+constexpr size_t kFrameHeaderBytes = 12;    // magic + crc + len
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::ExecutionError("wal: " + what + " failed for " + path +
+                                ": " + std::strerror(errno));
+}
+
+/// Decodes one payload into a WalRecord; failure means the scan stops (the
+/// record counts as part of the torn tail).
+Result<WalRecord> DecodePayload(std::string_view payload) {
+  BinaryReader r(payload);
+  WalRecord rec;
+  SODA_ASSIGN_OR_RETURN(rec.lsn, r.U64());
+  SODA_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+  switch (type) {
+    case static_cast<uint8_t>(WalRecordType::kCreateTable): {
+      rec.type = WalRecordType::kCreateTable;
+      SODA_ASSIGN_OR_RETURN(rec.table, r.Str());
+      SODA_ASSIGN_OR_RETURN(rec.schema, ReadSchema(&r));
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kDropTable): {
+      rec.type = WalRecordType::kDropTable;
+      SODA_ASSIGN_OR_RETURN(rec.table, r.Str());
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kAppendRows):
+    case static_cast<uint8_t>(WalRecordType::kTableImage): {
+      rec.type = static_cast<WalRecordType>(type);
+      SODA_ASSIGN_OR_RETURN(rec.rows, ReadTable(&r));
+      rec.table = rec.rows->name();
+      break;
+    }
+    default:
+      return Status::ExecutionError("wal: unknown record type");
+  }
+  return rec;
+}
+
+}  // namespace
+
+Result<WalFsyncMode> WalFsyncModeFromString(const std::string& name) {
+  if (name == "on") return WalFsyncMode::kOn;
+  if (name == "off") return WalFsyncMode::kOff;
+  if (name == "group") return WalFsyncMode::kGroup;
+  return Status::InvalidArgument("soda.wal_fsync: expected on|off|group, got '" +
+                                 name + "'");
+}
+
+const char* WalFsyncModeToString(WalFsyncMode mode) {
+  switch (mode) {
+    case WalFsyncMode::kOff:
+      return "off";
+    case WalFsyncMode::kOn:
+      return "on";
+    case WalFsyncMode::kGroup:
+      return "group";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(std::string path,
+                                       std::vector<WalRecord>* recovered) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("open", path);
+
+  // Read the whole existing log; WALs are truncated at every checkpoint,
+  // so the tail being replayed is bounded by checkpoint cadence.
+  std::string data;
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) data.append(buf, n);
+  if (n < 0) {
+    ::close(fd);
+    return IoError("read", path);
+  }
+
+  // Scan valid records; stop at the first torn/corrupt frame.
+  size_t pos = 0;
+  size_t valid_end = 0;
+  uint64_t last_lsn = 0;
+  while (pos + kFrameHeaderBytes <= data.size()) {
+    uint32_t magic, crc, len;
+    std::memcpy(&magic, data.data() + pos, 4);
+    std::memcpy(&crc, data.data() + pos + 4, 4);
+    std::memcpy(&len, data.data() + pos + 8, 4);
+    if (magic != kWalMagic) break;
+    if (len > data.size() - pos - kFrameHeaderBytes) break;  // torn write
+    std::string_view payload(data.data() + pos + kFrameHeaderBytes, len);
+    if (Crc32(payload.data(), payload.size()) != crc) break;
+    auto rec = DecodePayload(payload);
+    if (!rec.ok()) break;
+    last_lsn = rec->lsn;
+    if (recovered) recovered->push_back(std::move(rec.ValueOrDie()));
+    pos += kFrameHeaderBytes + len;
+    valid_end = pos;
+  }
+  if (valid_end < data.size()) {
+    // Repair the torn tail so new records append on a record boundary.
+    if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+      ::close(fd);
+      return IoError("ftruncate", path);
+    }
+  }
+  if (::lseek(fd, static_cast<off_t>(valid_end), SEEK_SET) < 0) {
+    ::close(fd);
+    return IoError("lseek", path);
+  }
+  return std::unique_ptr<Wal>(
+      new Wal(std::move(path), fd, valid_end, last_lsn));
+}
+
+Wal::Wal(std::string path, int fd, uint64_t file_size, uint64_t last_lsn)
+    : path_(std::move(path)),
+      fd_(fd),
+      file_size_(file_size),
+      last_lsn_(last_lsn) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    if (mode_ != WalFsyncMode::kOff && unsynced_bytes_ > 0) {
+      ::fsync(fd_);  // best effort: clean shutdown drains group commits
+    }
+    ::close(fd_);
+  }
+}
+
+Status Wal::Commit(WalRecordType type, const std::string& body) {
+  // The probe runs before any byte is written: an injected fault or a
+  // tripped guard (deadline hit during execution, external cancel) aborts
+  // the commit with the log untouched.
+  SODA_RETURN_NOT_OK(GuardProbe(QueryGuard::Current(), "wal.append"));
+
+  BinaryWriter payload;
+  payload.U64(last_lsn_ + 1);
+  payload.U8(static_cast<uint8_t>(type));
+  payload.Bytes(body.data(), body.size());
+
+  BinaryWriter frame;
+  frame.U32(kWalMagic);
+  frame.U32(Crc32(payload.buffer().data(), payload.buffer().size()));
+  frame.U32(static_cast<uint32_t>(payload.buffer().size()));
+  frame.Bytes(payload.buffer().data(), payload.buffer().size());
+
+  const std::string& bytes = frame.buffer();
+  const off_t start = static_cast<off_t>(file_size_);
+  auto rollback = [&]() {
+    ::ftruncate(fd_, start);
+    ::lseek(fd_, start, SEEK_SET);
+  };
+
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t w = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      rollback();
+      return IoError("write", path_);
+    }
+    written += static_cast<size_t>(w);
+  }
+  file_size_ += bytes.size();
+
+  bool want_sync = mode_ == WalFsyncMode::kOn;
+  if (mode_ == WalFsyncMode::kGroup) {
+    unsynced_bytes_ += bytes.size();
+    want_sync = unsynced_bytes_ >= group_bytes_;
+  }
+  if (want_sync) {
+    Status probe = GuardProbe(QueryGuard::Current(), "wal.fsync");
+    if (!probe.ok() || ::fsync(fd_) != 0) {
+      // The record never became durable: undo it so the failed statement
+      // is invisible to recovery (all-or-nothing at the log level too).
+      file_size_ = static_cast<uint64_t>(start);
+      if (mode_ == WalFsyncMode::kGroup) {
+        unsynced_bytes_ -= std::min<size_t>(unsynced_bytes_, bytes.size());
+      }
+      rollback();
+      return probe.ok() ? IoError("fsync", path_) : probe;
+    }
+    unsynced_bytes_ = 0;
+  }
+
+  ++last_lsn_;
+  return Status::OK();
+}
+
+Status Wal::AppendCreateTable(const std::string& table, const Schema& schema) {
+  BinaryWriter body;
+  body.Str(table);
+  WriteSchema(schema, &body);
+  return Commit(WalRecordType::kCreateTable, body.buffer());
+}
+
+Status Wal::AppendDropTable(const std::string& table) {
+  BinaryWriter body;
+  body.Str(table);
+  return Commit(WalRecordType::kDropTable, body.buffer());
+}
+
+Status Wal::AppendRows(const Table& rows) {
+  BinaryWriter body;
+  WriteTable(rows, &body);
+  return Commit(WalRecordType::kAppendRows, body.buffer());
+}
+
+Status Wal::AppendTableImage(const Table& image) {
+  BinaryWriter body;
+  WriteTable(image, &body);
+  return Commit(WalRecordType::kTableImage, body.buffer());
+}
+
+Status Wal::Sync() {
+  if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  unsynced_bytes_ = 0;
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) return IoError("ftruncate", path_);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return IoError("lseek", path_);
+  file_size_ = 0;
+  unsynced_bytes_ = 0;
+  if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  return Status::OK();
+}
+
+}  // namespace soda

@@ -1,0 +1,124 @@
+/// \file wal.h
+/// Per-database write-ahead log: logical redo records for every catalog
+/// mutation, CRC32-framed, fsync-on-commit.
+///
+/// The engine follows HyPer's "logical redo logging + snapshots" recovery
+/// recipe (PAPERS.md): each DML/DDL statement appends exactly one record
+/// describing its *effect* (not its SQL text, so nondeterministic inserts
+/// replay byte-identically), the record is made durable according to the
+/// fsync policy, and only then is the in-memory catalog mutated. Recovery
+/// loads the latest checkpoint (storage/checkpoint.h) and replays the log
+/// tail, stopping at the first torn or CRC-failing record.
+///
+/// On-disk framing, one record:
+///   u32 magic ("SDWL") | u32 crc32(payload) | u32 payload_len | payload
+///   payload = u64 lsn | u8 type | type-specific body (storage/serde.h)
+///
+/// Failure atomicity: if the record cannot be fully written *and* synced
+/// (I/O error, fault injection at "wal.append"/"wal.fsync", tripped
+/// guard), the file is truncated back to its pre-append size — the
+/// statement then fails without having committed, and the engine's
+/// stage-and-swap DML leaves memory untouched too.
+
+#ifndef SODA_STORAGE_WAL_H_
+#define SODA_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "types/schema.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// When a committed WAL record is forced to stable storage.
+/// SQL: `SET soda.wal_fsync = on|off|group`.
+enum class WalFsyncMode {
+  kOff,    ///< never fsync (durability up to the OS page cache)
+  kOn,     ///< fsync every record — each statement is durable on success
+  kGroup,  ///< group commit: fsync once per `group_bytes` of log
+};
+
+Result<WalFsyncMode> WalFsyncModeFromString(const std::string& name);
+const char* WalFsyncModeToString(WalFsyncMode mode);
+
+enum class WalRecordType : uint8_t {
+  kCreateTable = 1,  ///< body: name + schema (empty table)
+  kDropTable = 2,    ///< body: name
+  kAppendRows = 3,   ///< body: staged-rows table image (INSERT)
+  kTableImage = 4,   ///< body: full table image (UPDATE/DELETE swap,
+                     ///<       CREATE TABLE AS SELECT)
+};
+
+/// One decoded log record (recovery path).
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kCreateTable;
+  std::string table;  ///< target table name (lower-cased)
+  Schema schema;      ///< kCreateTable only
+  TablePtr rows;      ///< kAppendRows / kTableImage payload
+};
+
+class Wal {
+ public:
+  /// Opens (creating if absent) the log at `path` and scans existing
+  /// records into `recovered`. A torn or CRC-failing tail is discarded —
+  /// the file is truncated to the last valid record so new appends start
+  /// on a clean boundary.
+  static Result<std::unique_ptr<Wal>> Open(std::string path,
+                                           std::vector<WalRecord>* recovered);
+
+  /// Best-effort final sync + close.
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  void SetFsyncMode(WalFsyncMode mode, size_t group_bytes) {
+    mode_ = mode;
+    group_bytes_ = group_bytes;
+  }
+  WalFsyncMode fsync_mode() const { return mode_; }
+
+  /// LSN of the last record committed or recovered (0 = none).
+  uint64_t last_lsn() const { return last_lsn_; }
+  void set_last_lsn(uint64_t lsn) { last_lsn_ = lsn; }
+
+  size_t size_bytes() const { return file_size_; }
+
+  // --- One call per statement; each is a self-contained commit. ----------
+  Status AppendCreateTable(const std::string& table, const Schema& schema);
+  Status AppendDropTable(const std::string& table);
+  /// `rows` holds only the newly inserted rows (the staged side table).
+  Status AppendRows(const Table& rows);
+  /// `image` is the complete post-statement table.
+  Status AppendTableImage(const Table& image);
+
+  /// Forces pending group-commit bytes to disk.
+  Status Sync();
+
+  /// Discards every record (after a successful checkpoint).
+  Status Truncate();
+
+ private:
+  Wal(std::string path, int fd, uint64_t file_size, uint64_t last_lsn);
+
+  /// Frames, writes, and syncs one record; rolls the file back to its
+  /// prior size on any failure.
+  Status Commit(WalRecordType type, const std::string& body);
+
+  std::string path_;
+  int fd_;
+  uint64_t file_size_;
+  uint64_t last_lsn_;
+  WalFsyncMode mode_ = WalFsyncMode::kOn;
+  size_t group_bytes_ = size_t{1} << 20;
+  size_t unsynced_bytes_ = 0;
+};
+
+}  // namespace soda
+
+#endif  // SODA_STORAGE_WAL_H_

@@ -1,0 +1,20 @@
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+/// check framing every WAL record and checkpoint body, so recovery can
+/// distinguish a torn tail from valid data (storage/wal.h).
+
+#ifndef SODA_UTIL_CRC32_H_
+#define SODA_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace soda {
+
+/// Checksum of `n` bytes. `seed` chains incremental computation:
+/// `Crc32(b, nb, Crc32(a, na))` equals the CRC of a‖b.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_CRC32_H_

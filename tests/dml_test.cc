@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "tests/test_util.h"
+#include "util/query_guard.h"
 
 namespace soda {
 namespace {
@@ -124,6 +125,67 @@ TEST_F(DmlTest, CreateTableAsFailureLeavesNoTable) {
   ExpectError(engine_, "CREATE TABLE broken AS SELECT nope FROM t",
               StatusCode::kBindError);
   EXPECT_FALSE(engine_.catalog().HasTable("broken"));
+}
+
+// --- all-or-nothing statement semantics ----------------------------------
+
+TEST_F(DmlTest, InsertArityErrorInLaterRowLeavesNoRows) {
+  // The second VALUES row is malformed; the first must not stick. (INSERT
+  // stages into a side table and swaps, like UPDATE/DELETE.)
+  ExpectError(engine_, "INSERT INTO t VALUES (9, 9.0, 'q'), (10, 10.0)",
+              StatusCode::kBindError);
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0), 4);
+  EXPECT_EQ(
+      RunQuery(engine_, "SELECT count(*) FROM t WHERE a = 9").GetInt(0, 0),
+      0);
+}
+
+TEST_F(DmlTest, InsertFaultMidStatementLeavesTableUnchanged) {
+  // skip=1: the first exec.dml probe passes (one row staged), the second
+  // fires — a mid-statement failure must roll the whole INSERT back.
+  FaultInjector::Global().Arm("exec.dml", FaultInjector::Kind::kError, 1);
+  ExpectError(engine_, "INSERT INTO t VALUES (9, 9.0, 'q'), (10, 10.0, 'r')",
+              StatusCode::kInternal);
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0), 4);
+  // And the table still accepts writes afterwards.
+  ASSERT_OK(engine_.Execute("INSERT INTO t VALUES (9, 9.0, 'q')").status());
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0), 5);
+}
+
+TEST_F(DmlTest, InsertIsCopyOnWrite) {
+  // INSERT swaps in a rebuilt table; a reader holding the old TablePtr
+  // keeps its snapshot, same as UPDATE/DELETE.
+  auto before = engine_.catalog().GetTable("t");
+  ASSERT_OK(before.status());
+  TablePtr snapshot = *before;
+  ASSERT_OK(engine_.Execute("INSERT INTO t VALUES (9, 9.0, 'q')").status());
+  EXPECT_EQ(snapshot->num_rows(), 4u);
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0), 5);
+}
+
+TEST_F(DmlTest, UpdateEvaluatesSetOnlyOverSelectedRows) {
+  // Only the WHERE-selected row has a numeric string; casting the others
+  // would fail. The SET expression must therefore be evaluated over the
+  // selected rows only (gather-evaluate-scatter), not the whole table.
+  ASSERT_OK(engine_.Execute("UPDATE t SET s = '42' WHERE a = 1").status());
+  ASSERT_OK(engine_
+                .Execute("UPDATE t SET a = CAST(s AS INTEGER) "
+                         "WHERE s = '42'")
+                .status());
+  auto r = RunQuery(engine_, "SELECT a FROM t ORDER BY a");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{2, 3, 4, 42}));
+  // Sanity check: evaluating the same cast over unselected rows does fail.
+  ExpectError(engine_, "UPDATE t SET a = CAST(s AS INTEGER)",
+              StatusCode::kTypeError);
+}
+
+TEST_F(DmlTest, UpdateFaultMidStatementLeavesTableUnchanged) {
+  FaultInjector::Global().Arm("exec.dml", FaultInjector::Kind::kError, 1);
+  ExpectError(engine_, "UPDATE t SET a = a + 100", StatusCode::kInternal);
+  FaultInjector::Global().Reset();
+  auto r = RunQuery(engine_, "SELECT a FROM t ORDER BY a");
+  EXPECT_EQ(IntColumn(r, 0), (std::vector<int64_t>{1, 2, 3, 4}));
 }
 
 TEST_F(DmlTest, AnalyticsSeeFreshDataAfterDml) {

@@ -19,5 +19,13 @@ echo "check: tier-1 tests clean"
 
 if [[ "${fast}" == "0" ]]; then
   "${repo_root}/tools/check_sanitize.sh"
+  # Crash-recovery suite, explicitly, under ASan/UBSan: the durability
+  # layer's rollback and torn-tail paths shuffle raw file offsets and
+  # buffers around, exactly where a sanitizer earns its keep. (The full
+  # suite above already includes these; this run guards against test
+  # filters and makes a recovery regression unmissable in the log.)
+  ctest --test-dir "${repo_root}/build-address-undefined" \
+    -R 'Durability|CrashRecovery|Dml' -j "$(nproc)" --output-on-failure
+  echo "check: recovery suite clean under address,undefined"
 fi
 echo "check: all passes clean"

@@ -1,7 +1,12 @@
 /// soda_shell — an interactive SQL shell for the soda engine.
 ///
 /// Usage:
-///   ./build/tools/soda_shell [script.sql ...]
+///   ./build/tools/soda_shell [--data-dir <dir>] [script.sql ...]
+///
+/// With --data-dir the shell opens a durable engine: the directory's
+/// checkpoint + write-ahead log are recovered on startup, every DDL/DML
+/// statement is logged, and `CHECKPOINT` compacts the log into a fresh
+/// snapshot (see DESIGN.md §Durability).
 ///
 /// Statements end with ';'. Meta commands:
 ///   \d             list tables
@@ -178,14 +183,39 @@ bool HandleMeta(soda::Engine& engine, const std::string& line, bool* timing) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  soda::Engine engine;
+  soda::EngineOptions options;
+  std::vector<std::string> scripts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--data-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--data-dir requires a directory argument\n");
+        return 1;
+      }
+      options.data_dir = argv[++i];
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      options.data_dir = arg.substr(std::string("--data-dir=").size());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: soda_shell [--data-dir <dir>] [script.sql ...]\n");
+      return 0;
+    } else {
+      scripts.push_back(std::move(arg));
+    }
+  }
+
+  soda::Engine engine(options);
+  if (!engine.startup_status().ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", options.data_dir.c_str(),
+                 engine.startup_status().ToString().c_str());
+    return 1;
+  }
   bool timing = false;
 
   // Batch mode: run script files first.
-  for (int i = 1; i < argc; ++i) {
-    std::ifstream file(argv[i]);
+  for (const std::string& path : scripts) {
+    std::ifstream file(path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
       return 1;
     }
     std::stringstream ss;
@@ -199,6 +229,12 @@ int main(int argc, char** argv) {
   if (interactive) {
     std::printf("soda shell — SQL- and operator-centric analytics. "
                 "\\demo loads sample tables, \\q quits.\n");
+    if (!options.data_dir.empty()) {
+      size_t tables = engine.catalog().TableNames().size();
+      std::printf("durable session in %s — recovered %zu table%s; "
+                  "CHECKPOINT compacts the log.\n",
+                  options.data_dir.c_str(), tables, tables == 1 ? "" : "s");
+    }
   }
 
   std::string buffer;
