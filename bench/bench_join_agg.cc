@@ -1,0 +1,633 @@
+/// \file bench_join_agg.cc
+/// Before/after harness for PR 4's parallel pipeline breakers: join build
+/// (serial row-at-a-time vs. morsel-parallel CAS publication), join probe
+/// (per-row hash + per-cell materialization vs. chunk-hashed selection
+/// vectors + bulk gather), and hash aggregation (per-row consume + serial
+/// merge vs. vectorized consume + radix-partitioned parallel merge).
+///
+/// The "legacy" variants are faithful replicas of the pre-PR code paths
+/// (see git history of exec/hash_join.cc and exec/aggregate.cc): per-cell
+/// type dispatch through a switch, the linear `h*31 + cell` combiner, and
+/// row-at-a-time AppendFrom materialization. Keeping them here — instead
+/// of benchmarking against a checkout — keeps the comparison honest under
+/// identical compilers/flags and alive as the new code evolves.
+///
+/// `--json=PATH` additionally writes machine-readable results (consumed
+/// by tools/bench_report.sh).
+
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "exec/hash_join.h"
+#include "exec/hash_kernels.h"
+#include "sql/logical_plan.h"
+#include "util/parallel.h"
+#include "storage/data_chunk.h"
+#include "storage/table.h"
+
+namespace soda::bench {
+namespace {
+
+// --- Legacy replicas (pre-PR paths) ----------------------------------------
+
+/// Pre-PR per-cell hash: type dispatch + validity branch per call.
+uint64_t LegacyHashCell(const Column& col, size_t row) {
+  if (col.IsNull(row)) return 0x9E3779B97F4A7C15ULL;
+  switch (col.type()) {
+    case DataType::kBool:
+    case DataType::kBigInt:
+      return MixHash(static_cast<uint64_t>(col.GetBigInt(row)));
+    default:
+      return 0;  // benchmark keys are BIGINT
+  }
+}
+
+/// Pre-PR row hash: linear `h*31 + cell` fold.
+uint64_t LegacyRowHash(const Table& t, const std::vector<size_t>& keys,
+                       size_t row) {
+  uint64_t h = kHashSeed;
+  for (size_t k : keys) h = h * 31 + LegacyHashCell(t.column(k), row);
+  return h;
+}
+
+struct LegacyJoinTable {
+  std::vector<uint32_t> head, next;
+  std::vector<uint64_t> hashes;
+  uint64_t mask = 0;
+  static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+};
+
+/// Pre-PR JoinHashTable::Build: serial, one row-hash and one chain insert
+/// at a time.
+LegacyJoinTable LegacyBuild(const Table& build,
+                            const std::vector<size_t>& keys) {
+  LegacyJoinTable t;
+  const size_t n = build.num_rows();
+  size_t buckets = 16;
+  while (buckets < n * 2) buckets <<= 1;
+  t.mask = buckets - 1;
+  t.head.assign(buckets, LegacyJoinTable::kInvalid);
+  t.next.assign(n, LegacyJoinTable::kInvalid);
+  t.hashes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t h = LegacyRowHash(build, keys, i);
+    t.hashes[i] = h;
+    uint64_t slot = h & t.mask;
+    t.next[i] = t.head[slot];
+    t.head[slot] = static_cast<uint32_t>(i);
+  }
+  return t;
+}
+
+/// Pre-PR probe: per-row hash, chain walk, per-cell AppendFrom.
+size_t LegacyProbe(const LegacyJoinTable& t, const Table& build,
+                   const Table& probe, const std::vector<size_t>& build_keys,
+                   const std::vector<size_t>& probe_keys,
+                   const Schema& out_schema) {
+  size_t out_rows = 0;
+  DataChunk out(out_schema);
+  const size_t left_cols = probe.num_columns();
+  for (size_t row = 0; row < probe.num_rows(); ++row) {
+    uint64_t h = LegacyRowHash(probe, probe_keys, row);
+    for (uint32_t i = t.head[h & t.mask]; i != LegacyJoinTable::kInvalid;
+         i = t.next[i]) {
+      if (t.hashes[i] != h) continue;
+      bool equal = true;
+      for (size_t c = 0; c < build_keys.size(); ++c) {
+        if (!CellsEqual(probe.column(probe_keys[c]), row,
+                        build.column(build_keys[c]), i)) {
+          equal = false;
+          break;
+        }
+      }
+      if (!equal) continue;
+      for (size_t c = 0; c < left_cols; ++c) {
+        out.column(c).AppendFrom(probe.column(c), row);
+      }
+      for (size_t c = 0; c < build.num_columns(); ++c) {
+        out.column(left_cols + c).AppendFrom(build.column(c), i);
+      }
+      if (out.num_rows() >= kChunkCapacity) {
+        out_rows += out.num_rows();
+        out = DataChunk(out_schema);
+      }
+    }
+  }
+  return out_rows + out.num_rows();
+}
+
+/// Pre-PR aggregation state: the exact field set and update/merge logic
+/// of the old AggState (notably double-typed min/max — the source of the
+/// BIGINT precision bug this PR fixed).
+struct LegacyAggState {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double sum = 0;
+  double sumsq = 0;
+  double min = 0;
+  double max = 0;
+  void UpdateNumeric(double v, int64_t iv) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    ++count;
+    isum += iv;
+    sum += v;
+    sumsq += v * v;
+  }
+  void Merge(const LegacyAggState& o) {
+    if (o.count == 0) return;
+    if (count == 0) {
+      *this = o;
+      return;
+    }
+    count += o.count;
+    isum += o.isum;
+    sum += o.sum;
+    sumsq += o.sumsq;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+};
+
+/// Pre-PR per-worker group table: single-BIGINT-key fast path through an
+/// unordered_map, keys materialized into a Column on insert, group-major
+/// state array (num_specs states per group) — as in the old GroupTable.
+struct LegacyGroupTable {
+  explicit LegacyGroupTable(size_t num_specs)
+      : keys(DataType::kBigInt), num_specs(num_specs) {}
+  Column keys;
+  std::vector<LegacyAggState> states;
+  std::unordered_map<int64_t, uint32_t> int_index;
+  size_t num_specs;
+  size_t NumGroups() const { return states.size() / num_specs; }
+  uint32_t FindOrCreateInt(int64_t key, const Column& col, size_t row) {
+    auto [it, inserted] =
+        int_index.emplace(key, static_cast<uint32_t>(NumGroups()));
+    if (inserted) {
+      keys.AppendFrom(col, row);
+      states.resize(states.size() + num_specs);
+    }
+    return it->second;
+  }
+};
+
+/// Pre-PR consume, replicated from the old AggregateSink::Consume: per
+/// row, a FindOrCreate and one per-spec update loop with the arg column
+/// re-read per spec. Specs are count(*)/sum/min/max on `val_col`.
+void LegacyAggConsume(LegacyGroupTable& local, const DataChunk& chunk,
+                      size_t key_col, size_t val_col) {
+  const Column& keys = chunk.column(key_col);
+  const Column& arg = chunk.column(val_col);
+  for (size_t row = 0; row < chunk.num_rows(); ++row) {
+    size_t g = local.FindOrCreateInt(keys.GetBigInt(row), keys, row);
+    LegacyAggState* states = &local.states[g * local.num_specs];
+    for (size_t s = 0; s < local.num_specs; ++s) {
+      if (s == 0) {  // count(*)
+        states[s].count++;
+        continue;
+      }
+      if (arg.IsNull(row)) continue;
+      double v = arg.GetNumeric(row);
+      int64_t iv = arg.GetBigInt(row);
+      states[s].UpdateNumeric(v, iv);
+    }
+  }
+}
+
+/// Pre-PR finalize, replicated from the old AggregateSink::Finalize:
+/// serial merge into the first table (per-group linear key hash through
+/// the per-cell dispatch, map lookup, per-spec Merge), then row-at-a-time
+/// materialization via AppendFrom/AppendBigInt.
+Table LegacyAggFinalize(std::vector<LegacyGroupTable> locals,
+                        const Schema& out_schema) {
+  LegacyGroupTable& merged = locals[0];
+  for (size_t w = 1; w < locals.size(); ++w) {
+    LegacyGroupTable& src = locals[w];
+    const size_t groups = src.NumGroups();
+    for (size_t g = 0; g < groups; ++g) {
+      // The old merge computed the combined hash before taking the
+      // int-key fast path; keep that (wasted) work for fidelity.
+      uint64_t hash = kHashSeed * 31 + LegacyHashCell(src.keys, g);
+      (void)hash;
+      size_t target =
+          merged.FindOrCreateInt(src.keys.GetBigInt(g), src.keys, g);
+      for (size_t s = 0; s < merged.num_specs; ++s) {
+        merged.states[target * merged.num_specs + s].Merge(
+            src.states[g * merged.num_specs + s]);
+      }
+    }
+  }
+  Table out("out", out_schema);
+  const size_t groups = merged.NumGroups();
+  for (size_t g = 0; g < groups; ++g) {
+    out.column(0).AppendFrom(merged.keys, g);
+    const LegacyAggState* states = &merged.states[g * merged.num_specs];
+    out.column(1).AppendBigInt(states[0].count);                     // count
+    out.column(2).AppendBigInt(states[1].isum);                      // sum
+    out.column(3).AppendBigInt(static_cast<int64_t>(states[2].min));  // min
+    out.column(4).AppendBigInt(static_cast<int64_t>(states[3].max));  // max
+  }
+  return out;
+}
+
+/// Pre-PR generic (multi-key) group table: hash -> candidate-group chain
+/// with per-cell verify, keys materialized row-at-a-time — as in the old
+/// GroupTable::FindOrCreate. Specs fixed to count(*)/sum as in the
+/// harness's multi-key case.
+struct LegacyMultiKeyTable {
+  LegacyMultiKeyTable()
+      : keys("keys", Schema({Field("k1", DataType::kBigInt),
+                             Field("k2", DataType::kBigInt)})) {}
+  Table keys;  ///< like the old GroupTable: keys live in a Table
+  std::vector<LegacyAggState> states;  // 2 specs per group
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  size_t NumGroups() const { return states.size() / 2; }
+  // Old GroupCellsEqual: NULLs group together, then the type-dispatched
+  // cell comparison.
+  static bool CellsGroupEqual(const Column& a, size_t ra, const Column& b,
+                              size_t rb) {
+    bool na = a.IsNull(ra), nb = b.IsNull(rb);
+    if (na || nb) return na && nb;
+    return CellsEqual(a, ra, b, rb);
+  }
+  uint32_t FindOrCreate(uint64_t hash, const std::vector<const Column*>& cols,
+                        size_t row) {
+    auto& bucket = index[hash];
+    for (uint32_t g : bucket) {
+      bool equal = true;
+      for (size_t c = 0; c < cols.size(); ++c) {
+        if (!CellsGroupEqual(*cols[c], row, keys.column(c), g)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return g;
+    }
+    uint32_t g = static_cast<uint32_t>(NumGroups());
+    for (size_t c = 0; c < cols.size(); ++c) {
+      keys.column(c).AppendFrom(*cols[c], row);
+    }
+    states.resize(states.size() + 2);
+    bucket.push_back(g);
+    return g;
+  }
+};
+
+/// Pre-PR multi-key consume: per row, the linear `h*31 + HashCell` fold
+/// through per-cell dispatch, then the chain lookup. The spec loop looked
+/// the argument column up from the chunk per row and ran the full
+/// all-fields state update.
+void LegacyMultiKeyConsume(LegacyMultiKeyTable& local, const DataChunk& chunk,
+                           size_t val_col) {
+  std::vector<const Column*> key_cols{&chunk.column(0), &chunk.column(1)};
+  for (size_t row = 0; row < chunk.num_rows(); ++row) {
+    uint64_t hash = kHashSeed;
+    hash = hash * 31 + LegacyHashCell(*key_cols[0], row);
+    hash = hash * 31 + LegacyHashCell(*key_cols[1], row);
+    size_t g = local.FindOrCreate(hash, key_cols, row);
+    LegacyAggState* states = &local.states[g * 2];
+    states[0].count++;  // count(*)
+    const Column& arg = chunk.column(val_col);
+    if (!arg.IsNull(row)) {
+      states[1].UpdateNumeric(arg.GetNumeric(row), arg.GetBigInt(row));
+    }
+  }
+}
+
+// --- Harness ----------------------------------------------------------------
+
+TablePtr MakeTable(const std::string& name,
+                   const std::vector<std::string>& cols,
+                   std::vector<std::vector<int64_t>> data) {
+  std::vector<Field> fields;
+  for (const auto& c : cols) fields.emplace_back(c, DataType::kBigInt);
+  auto t = std::make_shared<Table>(name, Schema(std::move(fields)));
+  for (size_t i = 0; i < data.size(); ++i) {
+    Status st = t->SetColumn(i, Column::FromBigInts(std::move(data[i])));
+    if (!st.ok()) std::exit(1);
+  }
+  return t;
+}
+
+struct JsonWriter {
+  std::vector<std::pair<std::string, double>> entries;
+  void Add(const std::string& name, double seconds) {
+    entries.emplace_back(name, seconds);
+  }
+};
+
+}  // namespace
+}  // namespace soda::bench
+
+int main(int argc, char** argv) {
+  using namespace soda;
+  using namespace soda::bench;
+
+  // The parallel paths need a real pool; 8 workers unless the caller
+  // already set SODA_THREADS (must happen before first pool use).
+  setenv("SODA_THREADS", "8", /*overwrite=*/0);
+
+  Scale scale = ParseScale(argc, argv);
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  const size_t B = 8'000'000 / scale.divisor;   // build side rows
+  const size_t P = 16'000'000 / scale.divisor;  // probe side rows
+  const size_t G = std::max<size_t>(1024, P / 64);  // aggregate groups
+  std::printf("bench_join_agg scale=%s build=%s probe=%s groups=%s "
+              "threads=%s\n\n",
+              scale.name, Human(B).c_str(), Human(P).c_str(),
+              Human(G).c_str(), getenv("SODA_THREADS"));
+
+  // Unique build keys (each probe row matches exactly once); values kept
+  // small so sums stay exact.
+  std::vector<int64_t> bk(B), bw(B), pk(P), pv(P);
+  for (size_t i = 0; i < B; ++i) {
+    bk[i] = static_cast<int64_t>(i);
+    bw[i] = static_cast<int64_t>(i % 997);
+  }
+  for (size_t i = 0; i < P; ++i) {
+    pk[i] = static_cast<int64_t>(i % B);
+    pv[i] = static_cast<int64_t>(i % 991);
+  }
+  TablePtr build =
+      MakeTable("build", {"k", "w"}, {std::move(bk), std::move(bw)});
+  TablePtr probe =
+      MakeTable("probe", {"k", "v"}, {std::move(pk), std::move(pv)});
+
+  JsonWriter json;
+  PrintHeader({"case", "legacy_s", "new_s", "speedup"});
+
+  auto report = [&](const char* name, double legacy, double now) {
+    PrintCell(name);
+    PrintSeconds(legacy);
+    PrintSeconds(now);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", legacy / now);
+    PrintCell(buf);
+    EndRow();
+    json.Add(std::string(name) + ".legacy", legacy);
+    json.Add(std::string(name) + ".new", now);
+  };
+
+  const std::vector<size_t> key0 = {0};
+
+  // --- Join build: serial row-at-a-time vs. morsel-parallel CAS ---------
+  {
+    double legacy = 1e300, now = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer t1;
+      LegacyJoinTable lt = LegacyBuild(*build, key0);
+      legacy = std::min(legacy, t1.ElapsedSeconds());
+      if (lt.head.empty()) std::exit(1);
+
+      Timer t2;
+      auto ht = JoinHashTable::Build(build, key0);
+      now = std::min(now, t2.ElapsedSeconds());
+      if (!ht.ok()) std::exit(1);
+    }
+    report("join_build", legacy, now);
+  }
+
+  // --- Join probe: per-row hash + AppendFrom vs. chunk hash + gather ----
+  {
+    Schema out_schema({Field("pk", DataType::kBigInt),
+                       Field("pv", DataType::kBigInt),
+                       Field("bk", DataType::kBigInt),
+                       Field("bw", DataType::kBigInt)});
+    LegacyJoinTable lt = LegacyBuild(*build, key0);
+    auto ht_r = JoinHashTable::Build(build, key0);
+    if (!ht_r.ok()) std::exit(1);
+    std::shared_ptr<const JoinHashTable> ht = ht_r.ValueOrDie();
+
+    double legacy = 1e300, now = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer t1;
+      size_t rows1 = LegacyProbe(lt, *build, *probe, key0, key0, out_schema);
+      legacy = std::min(legacy, t1.ElapsedSeconds());
+
+      HashJoinProbeTransform transform(ht, key0, out_schema);
+      size_t rows2 = 0;
+      auto emit = [&rows2](DataChunk& c) {
+        rows2 += c.num_rows();
+        return Status::OK();
+      };
+      Timer t2;
+      // Feed the probe side in executor-sized chunks, as the pipeline does.
+      for (size_t begin = 0; begin < probe->num_rows();
+           begin += kChunkCapacity) {
+        const size_t len =
+            std::min(kChunkCapacity, probe->num_rows() - begin);
+        DataChunk chunk(probe->schema());
+        for (size_t c = 0; c < probe->num_columns(); ++c) {
+          chunk.column(c).AppendSlice(probe->column(c), begin, len);
+        }
+        if (!transform.Apply(chunk, emit).ok()) std::exit(1);
+      }
+      now = std::min(now, t2.ElapsedSeconds());
+      if (rows1 != probe->num_rows() || rows2 != probe->num_rows()) {
+        std::fprintf(stderr, "probe row mismatch: %zu vs %zu\n", rows1,
+                     rows2);
+        std::exit(1);
+      }
+    }
+    report("join_probe", legacy, now);
+  }
+
+  // --- Aggregate: per-row consume + serial merge vs. the AggregateSink
+  // (vectorized consume, radix-partitioned parallel merge, fragment
+  // materialization). Both sides are driven at the operator level from
+  // the same table — no SQL parse/scan overhead on either.
+  {
+    std::vector<int64_t> gk(P), gv(P);
+    for (size_t i = 0; i < P; ++i) {
+      gk[i] = static_cast<int64_t>(i % G);
+      gv[i] = static_cast<int64_t>(i % 983);
+    }
+    TablePtr agg = MakeTable("agg", {"g", "v"}, {std::move(gk), std::move(gv)});
+
+    // SELECT g, count(*), sum(v), min(v), max(v) ... GROUP BY g, as the
+    // binder would lower it.
+    auto child = std::make_unique<PlanNode>(PlanKind::kScan);
+    child->schema = agg->schema();
+    PlanNode plan(PlanKind::kAggregate);
+    plan.children.push_back(std::move(child));
+    plan.num_group_cols = 1;
+    plan.aggregates = {{"count", -1, DataType::kBigInt},
+                       {"sum", 1, DataType::kBigInt},
+                       {"min", 1, DataType::kBigInt},
+                       {"max", 1, DataType::kBigInt}};
+    plan.schema = Schema({Field("g", DataType::kBigInt),
+                          Field("cnt", DataType::kBigInt),
+                          Field("sum", DataType::kBigInt),
+                          Field("min", DataType::kBigInt),
+                          Field("max", DataType::kBigInt)});
+
+    // Pre-slice the input into executor-sized chunks outside the timers —
+    // chunk production belongs to the scan, not the operator under test.
+    std::vector<DataChunk> chunks;
+    for (size_t begin = 0; begin < agg->num_rows(); begin += kChunkCapacity) {
+      const size_t len = std::min(kChunkCapacity, agg->num_rows() - begin);
+      DataChunk chunk(agg->schema());
+      for (size_t c = 0; c < agg->num_columns(); ++c) {
+        chunk.column(c).AppendSlice(agg->column(c), begin, len);
+      }
+      chunks.push_back(std::move(chunk));
+    }
+
+    // Both sides consume the same chunk stream with the same morsel-order
+    // worker rotation (16384 rows = 8 chunks per morsel).
+    const size_t workers = NumWorkers();
+    auto worker_of = [workers](size_t chunk_index) {
+      return (chunk_index / 8) % workers;
+    };
+
+    double l_consume = 1e300, l_finalize = 1e300, n_consume = 1e300,
+           n_finalize = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer t1;
+      std::vector<LegacyGroupTable> locals(workers, LegacyGroupTable(4));
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        LegacyAggConsume(locals[worker_of(i)], chunks[i], 0, 1);
+      }
+      double lc = t1.ElapsedSeconds();
+      Timer t2;
+      Table out = LegacyAggFinalize(std::move(locals), plan.schema);
+      double lf = t2.ElapsedSeconds();
+      if (out.num_rows() != G) std::exit(1);
+
+      auto sink = MakeAggregateSink(plan);
+      Timer t3;
+      SinkContext sctx;
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        sctx.worker_id = worker_of(i);
+        if (!sink->Consume(chunks[i], sctx).ok()) std::exit(1);
+      }
+      double nc = t3.ElapsedSeconds();
+      Timer t4;
+      if (!sink->Finalize().ok()) std::exit(1);
+      double nf = t4.ElapsedSeconds();
+      if (sink->result()->num_rows() != G) std::exit(1);
+
+      l_consume = std::min(l_consume, lc);
+      l_finalize = std::min(l_finalize, lf);
+      n_consume = std::min(n_consume, nc);
+      n_finalize = std::min(n_finalize, nf);
+    }
+    report("agg_consume", l_consume, n_consume);
+    report("agg_finalize", l_finalize, n_finalize);
+    report("agg_total", l_consume + l_finalize, n_consume + n_finalize);
+  }
+
+  // --- Multi-key aggregate: GROUP BY (k1, k2) routes both sides through
+  // their generic paths, where the hashing change itself is visible —
+  // legacy folds `h*31 + HashCell` per cell per row, the new path hashes
+  // whole chunks with the columnar kernels.
+  {
+    std::vector<int64_t> k1(P), k2(P), v(P);
+    for (size_t i = 0; i < P; ++i) {
+      k1[i] = static_cast<int64_t>(i % 256);
+      k2[i] = static_cast<int64_t>((i / 7) % (G / 128));
+      v[i] = static_cast<int64_t>(i % 983);
+    }
+    TablePtr agg =
+        MakeTable("agg2", {"k1", "k2", "v"},
+                  {std::move(k1), std::move(k2), std::move(v)});
+
+    auto child = std::make_unique<PlanNode>(PlanKind::kScan);
+    child->schema = agg->schema();
+    PlanNode plan(PlanKind::kAggregate);
+    plan.children.push_back(std::move(child));
+    plan.num_group_cols = 2;
+    plan.aggregates = {{"count", -1, DataType::kBigInt},
+                       {"sum", 2, DataType::kBigInt}};
+    plan.schema = Schema({Field("k1", DataType::kBigInt),
+                          Field("k2", DataType::kBigInt),
+                          Field("cnt", DataType::kBigInt),
+                          Field("sum", DataType::kBigInt)});
+
+    std::vector<DataChunk> chunks;
+    for (size_t begin = 0; begin < agg->num_rows(); begin += kChunkCapacity) {
+      const size_t len = std::min(kChunkCapacity, agg->num_rows() - begin);
+      DataChunk chunk(agg->schema());
+      for (size_t c = 0; c < agg->num_columns(); ++c) {
+        chunk.column(c).AppendSlice(agg->column(c), begin, len);
+      }
+      chunks.push_back(std::move(chunk));
+    }
+    const size_t workers = NumWorkers();
+
+    double legacy = 1e300, now = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer t1;
+      std::vector<LegacyMultiKeyTable> locals(workers);
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        LegacyMultiKeyConsume(locals[(i / 8) % workers], chunks[i], 2);
+      }
+      // Pre-PR finalize: serial per-group rehash + merge into the first
+      // local, then row-at-a-time materialization.
+      LegacyMultiKeyTable& merged = locals[0];
+      for (size_t w = 1; w < locals.size(); ++w) {
+        LegacyMultiKeyTable& src = locals[w];
+        std::vector<const Column*> src_cols{&src.keys.column(0),
+                                            &src.keys.column(1)};
+        for (uint32_t g = 0; g < src.NumGroups(); ++g) {
+          uint64_t hash = kHashSeed;
+          hash = hash * 31 + LegacyHashCell(*src_cols[0], g);
+          hash = hash * 31 + LegacyHashCell(*src_cols[1], g);
+          uint32_t target = merged.FindOrCreate(hash, src_cols, g);
+          merged.states[target * 2].Merge(src.states[g * 2]);
+          merged.states[target * 2 + 1].Merge(src.states[g * 2 + 1]);
+        }
+      }
+      Table lout("out", plan.schema);
+      for (uint32_t g = 0; g < merged.NumGroups(); ++g) {
+        lout.column(0).AppendFrom(merged.keys.column(0), g);
+        lout.column(1).AppendFrom(merged.keys.column(1), g);
+        lout.column(2).AppendBigInt(merged.states[g * 2].count);
+        lout.column(3).AppendBigInt(merged.states[g * 2 + 1].isum);
+      }
+      legacy = std::min(legacy, t1.ElapsedSeconds());
+      if (lout.num_rows() == 0) std::exit(1);
+
+      auto sink = MakeAggregateSink(plan);
+      Timer t2;
+      SinkContext sctx;
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        sctx.worker_id = (i / 8) % workers;
+        if (!sink->Consume(chunks[i], sctx).ok()) std::exit(1);
+      }
+      if (!sink->Finalize().ok()) std::exit(1);
+      now = std::min(now, t2.ElapsedSeconds());
+      size_t lgroups = 0;
+      for (const auto& l : locals) lgroups += l.NumGroups();
+      if (sink->result()->num_rows() == 0 || lgroups == 0) std::exit(1);
+    }
+    report("agg_multikey", legacy, now);
+  }
+
+  if (json_path) {
+    std::ofstream out(json_path);
+    out << "{\"bench\": \"bench_join_agg\", \"scale\": \"" << scale.name
+        << "\", \"threads\": " << getenv("SODA_THREADS")
+        << ", \"build_rows\": " << B << ", \"probe_rows\": " << P
+        << ", \"groups\": " << G << ", \"results\": {";
+    for (size_t i = 0; i < json.entries.size(); ++i) {
+      if (i) out << ", ";
+      out << "\"" << json.entries[i].first << "\": " << json.entries[i].second;
+    }
+    out << "}}\n";
+  }
+  return 0;
+}

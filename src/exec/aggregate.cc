@@ -3,18 +3,27 @@
 /// the structure the paper describes for its analytics operators (§6.1:
 /// "Thread synchronization is only needed for the very last steps, global
 /// aggregation of the local intermediate results") applied to plain
-/// GROUP BY.
+/// GROUP BY. The "very last step" itself is parallel too: worker group
+/// tables are merged by hash radix, one partition per worker, and the
+/// result is materialized fragment-wise with bulk column appends.
 
+#include <atomic>
+#include <bit>
 #include <cmath>
-#include <unordered_map>
+#include <mutex>
 
 #include "exec/executor.h"
 #include "exec/hash_join.h"
+#include "exec/hash_kernels.h"
 #include "util/parallel.h"
 
 namespace soda {
 
 namespace {
+
+/// Fault/cancellation site for the finalize-time merge and
+/// materialization phases.
+constexpr char kAggMergeSite[] = "exec.agg_merge";
 
 /// Grouping equality: unlike joins, NULL groups with NULL.
 bool GroupCellsEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
@@ -24,10 +33,14 @@ bool GroupCellsEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
 }
 
 /// One aggregate's accumulator; a single struct covers all supported
-/// functions (count/sum/avg/min/max/var/stddev).
+/// functions (count/sum/avg/min/max/var/stddev). Integer min/max are
+/// tracked exactly alongside the double pair: BIGINT values beyond 2^53
+/// round in a double, so `min(x)`/`max(x)` over BIGINT read `imin`/`imax`.
 struct AggState {
   int64_t count = 0;
   int64_t isum = 0;
+  int64_t imin = 0;
+  int64_t imax = 0;
   double sum = 0;
   double sumsq = 0;
   double min = 0;
@@ -36,9 +49,12 @@ struct AggState {
   void UpdateNumeric(double v, int64_t iv) {
     if (count == 0) {
       min = max = v;
+      imin = imax = iv;
     } else {
       if (v < min) min = v;
       if (v > max) max = v;
+      if (iv < imin) imin = iv;
+      if (iv > imax) imax = iv;
     }
     ++count;
     isum += iv;
@@ -58,27 +74,89 @@ struct AggState {
     sumsq += other.sumsq;
     if (other.min < min) min = other.min;
     if (other.max > max) max = other.max;
+    if (other.imin < imin) imin = other.imin;
+    if (other.imax > imax) imax = other.imax;
   }
 };
 
-/// Per-worker (and final) grouping state.
+/// Pre-classified update kind for one aggregate spec. The consume loop is
+/// the hottest code in a GROUP BY pipeline; dispatching once per spec at
+/// sink construction lets each row touch only the accumulator fields its
+/// function actually reads at materialization, instead of maintaining the
+/// full 8-field AggState for every spec.
+enum class AggOp : uint8_t {
+  kCountStar,   ///< count(*): unconditional count
+  kCountArg,    ///< count(x): count of non-NULL (also any varchar arg)
+  kSumInt,      ///< sum over BIGINT: exact integer sum + count
+  kSumDouble,   ///< sum over DOUBLE: double sum + count
+  kAvg,         ///< avg: double sum + count
+  kMinInt,      ///< min over BIGINT: exact integer min + count
+  kMinDouble,   ///< min over DOUBLE: double min + count
+  kMaxInt,      ///< max over BIGINT: exact integer max + count
+  kMaxDouble,   ///< max over DOUBLE: double max + count
+  kVar,         ///< var/stddev: sum + sum of squares + count
+  kGeneric,     ///< unknown function: maintain everything
+};
+
+AggOp ClassifyAggOp(const AggregateSpec& spec) {
+  if (spec.function == "count") {
+    return spec.arg_index < 0 ? AggOp::kCountStar : AggOp::kCountArg;
+  }
+  const bool int_result = spec.result_type == DataType::kBigInt;
+  if (spec.function == "sum") {
+    return int_result ? AggOp::kSumInt : AggOp::kSumDouble;
+  }
+  if (spec.function == "avg") return AggOp::kAvg;
+  if (spec.function == "min") {
+    return int_result ? AggOp::kMinInt : AggOp::kMinDouble;
+  }
+  if (spec.function == "max") {
+    return int_result ? AggOp::kMaxInt : AggOp::kMaxDouble;
+  }
+  if (spec.function == "var" || spec.function == "stddev") return AggOp::kVar;
+  return AggOp::kGeneric;
+}
+
+/// Per-worker (and per-merge-partition) grouping state. The group index is
+/// an open-addressing slot array over the columnar MixHash values: the
+/// avalanche hash supplies well-distributed bucket bits directly, so a
+/// lookup is a masked index plus linear probing — no modulo-prime division
+/// and no node/chain pointer chases like the previous
+/// `unordered_map<hash, vector<group>>` index paid on every input row. The
+/// stored per-group hash (also needed by the radix merge) doubles as a
+/// cheap pre-filter so full key comparison only runs on a 64-bit hash
+/// match.
 struct GroupTable {
+  static constexpr size_t kInitialSlots = 1024;  // power of two
+
   explicit GroupTable(const Schema& key_schema, size_t num_specs)
-      : keys("keys", key_schema),
-        num_specs(num_specs),
-        int_keyed(key_schema.num_fields() == 1 &&
-                  (key_schema.field(0).type == DataType::kBigInt ||
-                   key_schema.field(0).type == DataType::kBool)) {}
+      : keys("keys", key_schema), num_specs(num_specs) {
+    slots.assign(kInitialSlots, 0);
+    i64_keys = true;
+    for (size_t c = 0; c < key_schema.num_fields(); ++c) {
+      const DataType t = key_schema.field(c).type;
+      if (t != DataType::kBigInt && t != DataType::kBool) i64_keys = false;
+      key_cols.push_back(&keys.column(c));
+    }
+  }
 
   Table keys;  ///< one row per group: the group-by column values
   std::vector<AggState> states;  ///< group-major [group * num_specs + spec]
-  std::unordered_map<uint64_t, std::vector<uint32_t>> index;  ///< hash -> group ids
-  /// Fast path for the common single-BIGINT-key case (e.g. GROUP BY id in
-  /// the layer-3 k-Means/PageRank formulations): direct key -> group map,
-  /// no rehash-and-verify chain.
-  std::unordered_map<int64_t, uint32_t> int_index;
+  std::vector<uint64_t> hashes;  ///< per-group combined key hash (radix merge)
+  std::vector<uint32_t> slots;   ///< open addressing: group id + 1, 0 = empty
+  std::vector<Column*> key_cols;  ///< cached &keys.column(c)
+  /// Per-chunk scratch reused across Consume calls — a GROUP BY over N
+  /// chunks would otherwise pay N heap round-trips per buffer.
+  std::vector<uint64_t> hash_scratch;
+  std::vector<const Column*> col_scratch;
+  std::vector<const Column*> arg_scratch;
+  std::vector<AggOp> op_scratch;
+
   size_t num_specs;
-  bool int_keyed;
+  /// Every key column is i64-backed (BIGINT/BOOL): the verify loop can
+  /// compare raw values inline instead of calling the out-of-line
+  /// type-dispatched CellsEqual per candidate.
+  bool i64_keys;
 
   /// Number of groups; robust for the zero-key (global aggregate) case
   /// where the key table has no columns and thus reports zero rows.
@@ -86,41 +164,62 @@ struct GroupTable {
     return num_specs ? states.size() / num_specs : keys.num_rows();
   }
 
-  /// Single-BIGINT-key fast path; only valid when `int_keyed` and the key
-  /// cell is non-NULL.
-  size_t FindOrCreateInt(int64_t key, const Column& col, size_t row) {
-    auto [it, inserted] =
-        int_index.emplace(key, static_cast<uint32_t>(NumGroups()));
-    if (inserted) {
-      keys.column(0).AppendFrom(col, row);
-      states.resize(states.size() + num_specs);
+  /// Doubles the slot array and reinserts every group from its stored
+  /// hash; keys never need rehashing.
+  void GrowSlots() {
+    std::vector<uint32_t> next(slots.size() * 2, 0);
+    const size_t mask = next.size() - 1;
+    for (uint32_t g = 0; g < static_cast<uint32_t>(hashes.size()); ++g) {
+      size_t pos = hashes[g] & mask;
+      while (next[pos] != 0) pos = (pos + 1) & mask;
+      next[pos] = g + 1;
     }
-    return it->second;
+    slots = std::move(next);
   }
 
   /// Finds or creates the group matching `(cols, row)`; returns its id.
+  /// `hash` must be the HashRows-combined key hash of the row.
   size_t FindOrCreate(uint64_t hash, const std::vector<const Column*>& cols,
                       size_t row) {
-    if (int_keyed && !cols[0]->IsNull(row)) {
-      return FindOrCreateInt(cols[0]->GetBigInt(row), *cols[0], row);
-    }
-    auto& bucket = index[hash];
-    for (uint32_t g : bucket) {
-      bool equal = true;
-      for (size_t c = 0; c < cols.size(); ++c) {
-        if (!GroupCellsEqual(*cols[c], row, keys.column(c), g)) {
-          equal = false;
-          break;
+    const size_t mask = slots.size() - 1;
+    size_t pos = hash & mask;
+    for (;;) {
+      const uint32_t slot = slots[pos];
+      if (slot == 0) break;
+      const uint32_t g = slot - 1;
+      if (hashes[g] == hash) {
+        bool equal = true;
+        if (i64_keys) {
+          for (size_t c = 0; c < cols.size(); ++c) {
+            const Column& a = *cols[c];
+            const Column& b = *key_cols[c];
+            const bool na = a.IsNull(row), nb = b.IsNull(g);
+            if (na != nb || (!na && a.GetBigInt(row) != b.GetBigInt(g))) {
+              equal = false;
+              break;
+            }
+          }
+        } else {
+          for (size_t c = 0; c < cols.size(); ++c) {
+            if (!GroupCellsEqual(*cols[c], row, keys.column(c), g)) {
+              equal = false;
+              break;
+            }
+          }
         }
+        if (equal) return g;
       }
-      if (equal) return g;
+      pos = (pos + 1) & mask;
     }
-    uint32_t g = static_cast<uint32_t>(NumGroups());
+    const uint32_t g = static_cast<uint32_t>(NumGroups());
     for (size_t c = 0; c < cols.size(); ++c) {
       keys.column(c).AppendFrom(*cols[c], row);
     }
     states.resize(states.size() + num_specs);
-    bucket.push_back(g);
+    hashes.push_back(hash);
+    slots[pos] = g + 1;
+    // Keep the load factor at or below 1/2 so probe sequences stay short.
+    if (hashes.size() * 2 >= slots.size()) GrowSlots();
     return g;
   }
 };
@@ -130,6 +229,10 @@ class AggregateSink : public TableSink {
   AggregateSink(const PlanNode& plan, Schema key_schema)
       : plan_(plan), key_schema_(std::move(key_schema)) {
     workers_.resize(NumWorkers());
+    ops_.reserve(plan_.aggregates.size());
+    for (const auto& spec : plan_.aggregates) {
+      ops_.push_back(ClassifyAggOp(spec));
+    }
   }
 
   Status Consume(DataChunk& chunk, const SinkContext& sctx) override {
@@ -139,128 +242,253 @@ class AggregateSink : public TableSink {
                                            plan_.aggregates.size());
     }
     const size_t g_cols = plan_.num_group_cols;
-    std::vector<const Column*> key_cols(g_cols);
+    const size_t n = chunk.num_rows();
+    std::vector<const Column*>& key_cols = local->col_scratch;
+    key_cols.resize(g_cols);
     for (size_t c = 0; c < g_cols; ++c) key_cols[c] = &chunk.column(c);
 
-    for (size_t row = 0; row < chunk.num_rows(); ++row) {
-      size_t g;
-      if (local->int_keyed && !key_cols[0]->IsNull(row)) {
-        g = local->FindOrCreateInt(key_cols[0]->GetBigInt(row), *key_cols[0],
-                                   row);
-      } else {
-        uint64_t hash = 0xCBF29CE484222325ULL;
-        for (size_t c = 0; c < g_cols; ++c) {
-          hash = hash * 31 + HashCell(*key_cols[c], row);
-        }
-        g = local->FindOrCreate(hash, key_cols, row);
+    // Hash the whole chunk's keys up front with the columnar kernels.
+    const bool need_hashes = g_cols > 0;
+    std::vector<uint64_t>& hashes = local->hash_scratch;
+    if (need_hashes) {
+      hashes.resize(n);
+      HashRows(key_cols, 0, n, hashes.data());
+    }
+
+    // Hoist the per-spec argument columns and effective ops out of the row
+    // loop. A varchar argument degrades any op to a non-NULL count — only
+    // count() is bound for varchar, but the check is per-column, not
+    // per-row.
+    const size_t num_specs = plan_.aggregates.size();
+    std::vector<const Column*>& args = local->arg_scratch;
+    std::vector<AggOp>& ops = local->op_scratch;
+    args.assign(num_specs, nullptr);
+    ops.resize(num_specs);
+    for (size_t s = 0; s < num_specs; ++s) {
+      ops[s] = ops_[s];
+      if (plan_.aggregates[s].arg_index >= 0) {
+        args[s] =
+            &chunk.column(static_cast<size_t>(plan_.aggregates[s].arg_index));
+        if (args[s]->type() == DataType::kVarchar) ops[s] = AggOp::kCountArg;
       }
+    }
+
+    for (size_t row = 0; row < n; ++row) {
+      size_t g = local->FindOrCreate(need_hashes ? hashes[row] : kHashSeed,
+                                     key_cols, row);
       // Zero aggregates (SELECT DISTINCT): the group's existence is the
       // whole result, and `states` is empty — indexing it is UB.
-      if (plan_.aggregates.empty()) continue;
-      AggState* states = &local->states[g * plan_.aggregates.size()];
-      for (size_t s = 0; s < plan_.aggregates.size(); ++s) {
-        const AggregateSpec& spec = plan_.aggregates[s];
-        if (spec.arg_index < 0) {  // count(*)
-          states[s].count++;
+      if (num_specs == 0) continue;
+      AggState* states = &local->states[g * num_specs];
+      for (size_t s = 0; s < num_specs; ++s) {
+        AggState& st = states[s];
+        if (ops[s] == AggOp::kCountStar) {
+          st.count++;
           continue;
         }
-        const Column& arg = chunk.column(static_cast<size_t>(spec.arg_index));
+        const Column& arg = *args[s];
         if (arg.IsNull(row)) continue;  // aggregates skip NULLs
-        if (arg.type() == DataType::kVarchar) {
-          states[s].count++;  // only count() is bound for varchar args
-          continue;
+        switch (ops[s]) {
+          case AggOp::kCountArg:
+            st.count++;
+            break;
+          case AggOp::kSumInt:
+            st.isum += arg.GetBigInt(row);
+            st.count++;
+            break;
+          case AggOp::kSumDouble:
+          case AggOp::kAvg:
+            st.sum += arg.GetNumeric(row);
+            st.count++;
+            break;
+          case AggOp::kMinInt: {
+            int64_t iv = arg.GetBigInt(row);
+            if (st.count == 0 || iv < st.imin) st.imin = iv;
+            st.count++;
+            break;
+          }
+          case AggOp::kMaxInt: {
+            int64_t iv = arg.GetBigInt(row);
+            if (st.count == 0 || iv > st.imax) st.imax = iv;
+            st.count++;
+            break;
+          }
+          case AggOp::kMinDouble: {
+            double v = arg.GetNumeric(row);
+            if (st.count == 0 || v < st.min) st.min = v;
+            st.count++;
+            break;
+          }
+          case AggOp::kMaxDouble: {
+            double v = arg.GetNumeric(row);
+            if (st.count == 0 || v > st.max) st.max = v;
+            st.count++;
+            break;
+          }
+          case AggOp::kVar: {
+            double v = arg.GetNumeric(row);
+            st.sum += v;
+            st.sumsq += v * v;
+            st.count++;
+            break;
+          }
+          case AggOp::kCountStar:
+            break;  // handled above
+          case AggOp::kGeneric: {
+            double v = arg.GetNumeric(row);
+            int64_t iv =
+                arg.type() == DataType::kDouble ? 0 : arg.GetBigInt(row);
+            st.UpdateNumeric(v, iv);
+            break;
+          }
         }
-        double v = arg.GetNumeric(row);
-        int64_t iv =
-            arg.type() == DataType::kDouble ? 0 : arg.GetBigInt(row);
-        states[s].UpdateNumeric(v, iv);
       }
     }
     return Status::OK();
   }
 
   Status Finalize() override {
-    // Merge all worker tables into the first non-empty one.
-    std::unique_ptr<GroupTable> merged;
+    QueryGuard* guard = QueryGuard::Current();
+    SODA_RETURN_NOT_OK(GuardProbe(guard, kAggMergeSite));
+
+    std::vector<std::unique_ptr<GroupTable>> locals;
     for (auto& w : workers_) {
-      if (!w) continue;
-      if (!merged) {
-        merged = std::move(w);
-        continue;
-      }
-      const size_t groups = w->NumGroups();
-      std::vector<const Column*> cols(w->keys.num_columns());
-      for (size_t c = 0; c < cols.size(); ++c) cols[c] = &w->keys.column(c);
-      for (size_t g = 0; g < groups; ++g) {
-        uint64_t hash = 0xCBF29CE484222325ULL;
-        for (size_t c = 0; c < cols.size(); ++c) {
-          hash = hash * 31 + HashCell(*cols[c], g);
-        }
-        size_t target = merged->FindOrCreate(hash, cols, g);
-        for (size_t s = 0; s < plan_.aggregates.size(); ++s) {
-          merged->states[target * plan_.aggregates.size() + s].Merge(
-              w->states[g * plan_.aggregates.size() + s]);
-        }
-      }
-      w.reset();
+      if (w) locals.push_back(std::move(w));
     }
-    if (!merged) {
-      merged = std::make_unique<GroupTable>(key_schema_,
-                                            plan_.aggregates.size());
-    }
-    // A global aggregate (no GROUP BY) over empty input still yields one
-    // row of "empty" aggregates.
-    if (plan_.num_group_cols == 0 && merged->NumGroups() == 0) {
-      merged->states.resize(plan_.aggregates.size());
+    workers_.clear();
+    const size_t num_specs = plan_.aggregates.size();
+
+    // Phase 1 — merge. One producer adopts its table outright; several
+    // merge in parallel by hash radix: partition p is owned by exactly one
+    // worker, which folds every local's partition-p groups into a fresh
+    // fragment (no locks — partitions are disjoint by construction).
+    std::vector<std::unique_ptr<GroupTable>> fragments;
+    if (locals.size() <= 1) {
+      std::unique_ptr<GroupTable> merged =
+          locals.empty()
+              ? std::make_unique<GroupTable>(key_schema_, num_specs)
+              : std::move(locals[0]);
+      fragments.push_back(std::move(merged));
+    } else {
+      const size_t P = std::bit_ceil(
+          std::min<size_t>(64, std::max<size_t>(2, NumWorkers())));
+      // Bucket every local's groups by partition once, up front.
+      std::vector<std::vector<std::vector<uint32_t>>> buckets(locals.size());
+      for (size_t l = 0; l < locals.size(); ++l) {
+        buckets[l].resize(P);
+        const std::vector<uint64_t>& hashes = locals[l]->hashes;
+        for (uint32_t g = 0; g < locals[l]->NumGroups(); ++g) {
+          buckets[l][hashes[g] & (P - 1)].push_back(g);
+        }
+      }
+      fragments.resize(P);
+      std::mutex error_mu;
+      Status first_error;
+      std::atomic<bool> failed{false};
+      Status par = ParallelFor(
+          guard, P,
+          [&](size_t begin, size_t end, size_t) {
+            for (size_t p = begin; p < end; ++p) {
+              if (failed.load(std::memory_order_relaxed)) return;
+              Status st = GuardProbe(guard, kAggMergeSite);
+              if (!st.ok()) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (first_error.ok()) first_error = st;
+                failed.store(true, std::memory_order_relaxed);
+                return;
+              }
+              auto frag = std::make_unique<GroupTable>(key_schema_,
+                                                       num_specs);
+              for (size_t l = 0; l < locals.size(); ++l) {
+                GroupTable& w = *locals[l];
+                std::vector<const Column*> cols(w.keys.num_columns());
+                for (size_t c = 0; c < cols.size(); ++c) {
+                  cols[c] = &w.keys.column(c);
+                }
+                for (uint32_t g : buckets[l][p]) {
+                  size_t target = frag->FindOrCreate(w.hashes[g], cols, g);
+                  for (size_t s = 0; s < num_specs; ++s) {
+                    frag->states[target * num_specs + s].Merge(
+                        w.states[g * num_specs + s]);
+                  }
+                }
+              }
+              fragments[p] = std::move(frag);
+            }
+          },
+          /*morsel_size=*/1);
+      SODA_RETURN_NOT_OK(first_error);
+      SODA_RETURN_NOT_OK(par);
+      locals.clear();
     }
 
-    result_ = std::make_shared<Table>("aggregate", plan_.schema);
-    const size_t groups = merged->NumGroups();
-    result_->Reserve(groups);
-    for (size_t g = 0; g < groups; ++g) {
-      for (size_t c = 0; c < plan_.num_group_cols; ++c) {
-        result_->column(c).AppendFrom(merged->keys.column(c), g);
+    // A global aggregate (no GROUP BY) over empty input still yields one
+    // row of "empty" aggregates.
+    size_t total_groups = 0;
+    for (const auto& f : fragments) {
+      if (f) total_groups += f->NumGroups();
+    }
+    if (plan_.num_group_cols == 0 && total_groups == 0) {
+      fragments[0]->states.resize(num_specs);
+      total_groups = fragments[0]->NumGroups();
+    }
+
+    // Phase 2 — materialize, one output fragment per merge fragment
+    // (parallel), then splice the fragments together with bulk column
+    // appends. Charge the result relation before building it.
+    size_t result_bytes = 0;
+    for (const auto& f : fragments) {
+      if (!f) continue;
+      result_bytes += f->keys.MemoryUsage() +
+                      f->NumGroups() * num_specs * sizeof(int64_t);
+    }
+    SODA_RETURN_NOT_OK(GuardReserve(guard, result_bytes, kAggMergeSite));
+
+    std::vector<Table> outputs(fragments.size());
+    {
+      std::mutex error_mu;
+      Status first_error;
+      std::atomic<bool> failed{false};
+      Status par = ParallelFor(
+          guard, fragments.size(),
+          [&](size_t begin, size_t end, size_t) {
+            for (size_t p = begin; p < end; ++p) {
+              if (failed.load(std::memory_order_relaxed)) return;
+              if (!fragments[p]) continue;
+              Status st = MaterializeFragment(*fragments[p], &outputs[p]);
+              if (!st.ok()) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (first_error.ok()) first_error = st;
+                failed.store(true, std::memory_order_relaxed);
+                return;
+              }
+            }
+          },
+          /*morsel_size=*/1);
+      SODA_RETURN_NOT_OK(first_error);
+      SODA_RETURN_NOT_OK(par);
+    }
+
+    // Single fragment (serial pipelines, one producing worker): adopt it
+    // as the result instead of re-copying through the splice below.
+    size_t nonempty = 0;
+    for (const auto& out : outputs) {
+      if (out.num_columns() > 0) ++nonempty;
+    }
+    if (nonempty == 1) {
+      for (auto& out : outputs) {
+        if (out.num_columns() > 0) {
+          result_ = std::make_shared<Table>(std::move(out));
+          return Status::OK();
+        }
       }
-      for (size_t s = 0; s < plan_.aggregates.size(); ++s) {
-        const AggregateSpec& spec = plan_.aggregates[s];
-        const AggState& st =
-            merged->states[g * plan_.aggregates.size() + s];
-        Column& out = result_->column(plan_.num_group_cols + s);
-        if (spec.function == "count") {
-          out.AppendBigInt(st.count);
-          continue;
-        }
-        if (st.count == 0) {
-          out.AppendNull();
-          continue;
-        }
-        if (spec.function == "sum") {
-          if (spec.result_type == DataType::kBigInt) {
-            out.AppendBigInt(st.isum);
-          } else {
-            out.AppendDouble(st.sum);
-          }
-        } else if (spec.function == "avg") {
-          out.AppendDouble(st.sum / static_cast<double>(st.count));
-        } else if (spec.function == "min" || spec.function == "max") {
-          double v = spec.function == "min" ? st.min : st.max;
-          if (spec.result_type == DataType::kBigInt) {
-            out.AppendBigInt(static_cast<int64_t>(v));
-          } else {
-            out.AppendDouble(v);
-          }
-        } else if (spec.function == "var" || spec.function == "stddev") {
-          if (st.count < 2) {
-            out.AppendNull();
-            continue;
-          }
-          double n = static_cast<double>(st.count);
-          double var = (st.sumsq - st.sum * st.sum / n) / (n - 1);
-          if (var < 0) var = 0;  // numeric noise
-          out.AppendDouble(spec.function == "var" ? var : std::sqrt(var));
-        } else {
-          return Status::Internal("unknown aggregate: " + spec.function);
-        }
+    }
+    result_ = std::make_shared<Table>("aggregate", plan_.schema);
+    result_->Reserve(total_groups);
+    for (const auto& out : outputs) {
+      if (out.num_columns() == 0) continue;
+      for (size_t c = 0; c < result_->num_columns(); ++c) {
+        result_->column(c).AppendSlice(out.column(c), 0, out.num_rows());
       }
     }
     return Status::OK();
@@ -282,8 +510,67 @@ class AggregateSink : public TableSink {
   TablePtr result() const override { return result_; }
 
  private:
+  /// Renders one merged fragment into an output table shaped like the
+  /// aggregate's schema: keys are spliced column-wise (AppendSlice, not
+  /// row-at-a-time AppendFrom), aggregate columns are computed one column
+  /// at a time over the packed states.
+  Status MaterializeFragment(const GroupTable& frag, Table* out) const {
+    const size_t groups = frag.NumGroups();
+    *out = Table("aggregate.fragment", plan_.schema);
+    out->Reserve(groups);
+    for (size_t c = 0; c < plan_.num_group_cols; ++c) {
+      out->column(c).AppendSlice(frag.keys.column(c), 0, groups);
+    }
+    const size_t num_specs = plan_.aggregates.size();
+    for (size_t s = 0; s < num_specs; ++s) {
+      const AggregateSpec& spec = plan_.aggregates[s];
+      Column& col = out->column(plan_.num_group_cols + s);
+      for (size_t g = 0; g < groups; ++g) {
+        const AggState& st = frag.states[g * num_specs + s];
+        if (spec.function == "count") {
+          col.AppendBigInt(st.count);
+          continue;
+        }
+        if (st.count == 0) {
+          col.AppendNull();
+          continue;
+        }
+        if (spec.function == "sum") {
+          if (spec.result_type == DataType::kBigInt) {
+            col.AppendBigInt(st.isum);
+          } else {
+            col.AppendDouble(st.sum);
+          }
+        } else if (spec.function == "avg") {
+          col.AppendDouble(st.sum / static_cast<double>(st.count));
+        } else if (spec.function == "min" || spec.function == "max") {
+          // BIGINT min/max report the exactly-tracked integer pair;
+          // doubles beyond 2^53 would round (satellite fix, ISSUE 4).
+          if (spec.result_type == DataType::kBigInt) {
+            col.AppendBigInt(spec.function == "min" ? st.imin : st.imax);
+          } else {
+            col.AppendDouble(spec.function == "min" ? st.min : st.max);
+          }
+        } else if (spec.function == "var" || spec.function == "stddev") {
+          if (st.count < 2) {
+            col.AppendNull();
+            continue;
+          }
+          double n = static_cast<double>(st.count);
+          double var = (st.sumsq - st.sum * st.sum / n) / (n - 1);
+          if (var < 0) var = 0;  // numeric noise
+          col.AppendDouble(spec.function == "var" ? var : std::sqrt(var));
+        } else {
+          return Status::Internal("unknown aggregate: " + spec.function);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
   const PlanNode& plan_;
   Schema key_schema_;
+  std::vector<AggOp> ops_;  ///< per-spec update kind, classified once
   std::vector<std::unique_ptr<GroupTable>> workers_;
   TablePtr result_;
 };

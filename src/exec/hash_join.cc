@@ -1,48 +1,26 @@
 #include "exec/hash_join.h"
 
-#include <bit>
-#include <cmath>
-#include <functional>
+#include <atomic>
+#include <mutex>
+
+#include "exec/hash_kernels.h"
+#include "util/parallel.h"
 
 namespace soda {
 
 namespace {
 
-uint64_t Mix(uint64_t x) {
-  // SplitMix64 finalizer.
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ULL;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBULL;
-  x ^= x >> 31;
-  return x;
-}
-
-uint64_t HashDoubleCanonical(double d) {
-  // Integral doubles hash like the corresponding int64; -0.0 like 0.0.
-  if (d == 0.0) return Mix(0);
-  double r = std::nearbyint(d);
-  if (r == d && std::fabs(d) < 9.2e18) {
-    return Mix(static_cast<uint64_t>(static_cast<int64_t>(d)));
-  }
-  return Mix(std::bit_cast<uint64_t>(d));
-}
+/// Fault/cancellation site for hash-table construction.
+constexpr char kJoinBuildSite[] = "exec.join_build";
+/// Fault/cancellation site for cross-join expansion.
+constexpr char kCrossJoinSite[] = "exec.cross_join";
 
 }  // namespace
 
 uint64_t HashCell(const Column& col, size_t row) {
-  if (col.IsNull(row)) return 0x9E3779B97F4A7C15ULL;  // arbitrary NULL tag
-  switch (col.type()) {
-    case DataType::kBool:
-    case DataType::kBigInt:
-      return Mix(static_cast<uint64_t>(col.GetBigInt(row)));
-    case DataType::kDouble:
-      return HashDoubleCanonical(col.GetDouble(row));
-    case DataType::kVarchar:
-      return std::hash<std::string>{}(col.GetString(row));
-    default:
-      return 0;
-  }
+  uint64_t h = 0;
+  HashColumn(col, row, row + 1, &h);
+  return h;
 }
 
 bool CellsEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
@@ -57,7 +35,8 @@ bool CellsEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
 }
 
 Result<std::shared_ptr<JoinHashTable>> JoinHashTable::Build(
-    TablePtr build, std::vector<size_t> key_cols) {
+    TablePtr build, std::vector<size_t> key_cols, QueryGuard* guard) {
+  SODA_RETURN_NOT_OK(GuardProbe(guard, kJoinBuildSite));
   auto ht = std::make_shared<JoinHashTable>();
   ht->build_ = std::move(build);
   ht->key_cols_ = std::move(key_cols);
@@ -65,33 +44,66 @@ Result<std::shared_ptr<JoinHashTable>> JoinHashTable::Build(
 
   size_t buckets = 16;
   while (buckets < n * 2) buckets <<= 1;
+  // Charge the table's arrays before allocating them: bucket heads, the
+  // per-row chain, and the per-row hashes.
+  SODA_RETURN_NOT_OK(GuardReserve(
+      guard,
+      buckets * sizeof(uint32_t) + n * (sizeof(uint32_t) + sizeof(uint64_t)),
+      kJoinBuildSite));
   ht->mask_ = buckets - 1;
   ht->head_.assign(buckets, kInvalid);
   ht->next_.assign(n, kInvalid);
   ht->hashes_.resize(n);
 
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t h = 0xCBF29CE484222325ULL;
-    for (size_t k : ht->key_cols_) {
-      h = h * 31 + HashCell(ht->build_->column(k), i);
-    }
-    ht->hashes_[i] = h;
-    uint64_t slot = h & ht->mask_;
-    ht->next_[i] = ht->head_[slot];
-    ht->head_[slot] = static_cast<uint32_t>(i);
+  std::vector<const Column*> cols(ht->key_cols_.size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    cols[c] = &ht->build_->column(ht->key_cols_[c]);
   }
+
+  // Morsel-parallel two-phase body: hash the morsel with the columnar
+  // kernels, then publish each row with a CAS on its bucket head. next_[i]
+  // is written only by row i's owner, so the chain itself is race-free;
+  // chain order depends on the interleaving (join results are set-equal,
+  // not order-stable, across worker counts).
+  std::mutex error_mu;
+  Status first_error;
+  std::atomic<bool> failed{false};
+  JoinHashTable* t = ht.get();
+  Status par = ParallelFor(
+      guard, n,
+      [t, &cols, guard, &error_mu, &first_error,
+       &failed](size_t begin, size_t end, size_t) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        Status st = GuardProbe(guard, kJoinBuildSite);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = st;
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        HashRows(cols, begin, end, &t->hashes_[begin]);
+        for (size_t i = begin; i < end; ++i) {
+          const uint64_t slot = t->hashes_[i] & t->mask_;
+          std::atomic_ref<uint32_t> head(t->head_[slot]);
+          uint32_t old = head.load(std::memory_order_relaxed);
+          do {
+            t->next_[i] = old;
+          } while (!head.compare_exchange_weak(old, static_cast<uint32_t>(i),
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+        }
+      });
+  SODA_RETURN_NOT_OK(first_error);
+  SODA_RETURN_NOT_OK(par);
   return ht;
 }
 
-void JoinHashTable::Probe(const DataChunk& chunk,
-                          const std::vector<size_t>& probe_keys, size_t row,
-                          std::vector<uint32_t>* matches) const {
-  uint64_t h = 0xCBF29CE484222325ULL;
-  for (size_t k : probe_keys) {
-    h = h * 31 + HashCell(chunk.column(k), row);
-  }
-  for (uint32_t i = head_[h & mask_]; i != kInvalid; i = next_[i]) {
-    if (hashes_[i] != h) continue;
+void JoinHashTable::ProbeRow(uint64_t hash, const DataChunk& chunk,
+                             const std::vector<size_t>& probe_keys,
+                             size_t row,
+                             std::vector<uint32_t>* matches) const {
+  for (uint32_t i = head_[hash & mask_]; i != kInvalid; i = next_[i]) {
+    if (hashes_[i] != hash) continue;
     bool equal = true;
     for (size_t c = 0; c < key_cols_.size(); ++c) {
       if (!CellsEqual(chunk.column(probe_keys[c]), row,
@@ -115,25 +127,48 @@ Status HashJoinProbeTransform::Apply(DataChunk& chunk,
                                      const Emit& emit) const {
   const Table& build = table_->build_table();
   const size_t left_cols = chunk.num_columns();
-  DataChunk out(out_schema_);
+  const size_t n = chunk.num_rows();
+
+  // Hash the whole chunk's keys up front (columnar kernels), then gather
+  // match pairs into selection vectors and materialize with one bulk
+  // gather per column — no per-row match buffers, no per-cell dispatch.
+  std::vector<const Column*> cols(probe_keys_.size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    cols[c] = &chunk.column(probe_keys_[c]);
+  }
+  std::vector<uint64_t> hashes(n);
+  HashRows(cols, 0, n, hashes.data());
+
+  std::vector<uint32_t> probe_sel, build_sel;
+  probe_sel.reserve(kChunkCapacity);
+  build_sel.reserve(kChunkCapacity);
+  auto flush = [&]() -> Status {
+    DataChunk out(out_schema_);
+    for (size_t c = 0; c < left_cols; ++c) {
+      out.column(c).AppendGather(chunk.column(c), probe_sel.data(),
+                                 probe_sel.size());
+    }
+    for (size_t c = 0; c < build.num_columns(); ++c) {
+      out.column(left_cols + c).AppendGather(build.column(c),
+                                             build_sel.data(),
+                                             build_sel.size());
+    }
+    probe_sel.clear();
+    build_sel.clear();
+    return emit(out);
+  };
+
   std::vector<uint32_t> matches;
-  for (size_t row = 0; row < chunk.num_rows(); ++row) {
+  for (size_t row = 0; row < n; ++row) {
     matches.clear();
-    table_->Probe(chunk, probe_keys_, row, &matches);
+    table_->ProbeRow(hashes[row], chunk, probe_keys_, row, &matches);
     for (uint32_t m : matches) {
-      for (size_t c = 0; c < left_cols; ++c) {
-        out.column(c).AppendFrom(chunk.column(c), row);
-      }
-      for (size_t c = 0; c < build.num_columns(); ++c) {
-        out.column(left_cols + c).AppendFrom(build.column(c), m);
-      }
-      if (out.num_rows() >= kChunkCapacity) {
-        SODA_RETURN_NOT_OK(emit(out));
-        out = DataChunk(out_schema_);
-      }
+      probe_sel.push_back(static_cast<uint32_t>(row));
+      build_sel.push_back(m);
+      if (probe_sel.size() >= kChunkCapacity) SODA_RETURN_NOT_OK(flush());
     }
   }
-  if (out.num_rows() > 0) SODA_RETURN_NOT_OK(emit(out));
+  if (!probe_sel.empty()) SODA_RETURN_NOT_OK(flush());
   return Status::OK();
 }
 
@@ -144,16 +179,19 @@ Status CrossJoinTransform::Apply(DataChunk& chunk, const Emit& emit) const {
   const Table& right = *right_;
   const size_t left_cols = chunk.num_columns();
   const size_t rn = right.num_rows();
+  // The calling worker's guard (installed by the pipeline's ParallelFor
+  // MemoryScope); covers cancellation/deadline/faults for the quadratic
+  // expansion, which can dwarf the morsel-boundary probes upstream.
+  QueryGuard* guard = QueryGuard::Current();
   DataChunk out(out_schema_);
   for (size_t row = 0; row < chunk.num_rows(); ++row) {
     size_t emitted = 0;
     while (emitted < rn) {
+      SODA_RETURN_NOT_OK(GuardProbe(guard, kCrossJoinSite));
       size_t batch = std::min(rn - emitted, kChunkCapacity - out.num_rows());
       // Repeat the left row `batch` times, then splice the right slice.
       for (size_t c = 0; c < left_cols; ++c) {
-        for (size_t b = 0; b < batch; ++b) {
-          out.column(c).AppendFrom(chunk.column(c), row);
-        }
+        out.column(c).AppendRepeated(chunk.column(c), row, batch);
       }
       for (size_t c = 0; c < right.num_columns(); ++c) {
         out.column(left_cols + c).AppendSlice(right.column(c), emitted, batch);

@@ -10,37 +10,52 @@
 
 #include "exec/executor.h"
 #include "storage/table.h"
+#include "util/query_guard.h"
 
 namespace soda {
 
 /// Hashes one cell of a column to a 64-bit value; doubles with integral
 /// values hash equal to the corresponding BIGINT so mixed-type keys work
 /// after binder-inserted casts (keys are always cast to a common type, so
-/// this is belt-and-braces).
+/// this is belt-and-braces). Scalar wrapper over the columnar kernels in
+/// exec/hash_kernels.h — batch code should call those directly.
 uint64_t HashCell(const Column& col, size_t row);
 
 /// True when two cells compare SQL-equal (NULL never equals anything).
 bool CellsEqual(const Column& a, size_t ra, const Column& b, size_t rb);
 
 /// Immutable chaining hash table over the build side of an equi-join.
-/// Built once (single-threaded; build sides are small in our workloads),
-/// probed concurrently.
+///
+/// Built morsel-parallel: workers hash their morsels with the columnar
+/// kernels, then publish rows into the shared bucket array with a CAS on
+/// the bucket head (`next_` is per-row, so insertion is lock-free and
+/// wait-free per row). Probed concurrently after Build returns.
 class JoinHashTable {
  public:
+  /// Builds the table over `build`'s `key_cols`. The guard (may be null)
+  /// is probed at every morsel under the "exec.join_build" site and
+  /// charged for the table's bucket/chain/hash arrays, so a 100M-row
+  /// build is cancellable and memory-accounted.
   static Result<std::shared_ptr<JoinHashTable>> Build(
-      TablePtr build, std::vector<size_t> key_cols);
+      TablePtr build, std::vector<size_t> key_cols,
+      QueryGuard* guard = nullptr);
 
   /// Appends the indices of build rows whose keys match probe row
-  /// `(chunk, row)` to `matches`.
-  void Probe(const DataChunk& chunk, const std::vector<size_t>& probe_keys,
-             size_t row, std::vector<uint32_t>* matches) const;
+  /// `(chunk, row)` to `matches`. `hash` is the row's combined key hash
+  /// (from HashRows over the probe key columns).
+  void ProbeRow(uint64_t hash, const DataChunk& chunk,
+                const std::vector<size_t>& probe_keys, size_t row,
+                std::vector<uint32_t>* matches) const;
 
   const Table& build_table() const { return *build_; }
+  size_t num_buckets() const { return head_.size(); }
 
  private:
   TablePtr build_;
   std::vector<size_t> key_cols_;
   // Chaining layout: head_[hash & mask] -> first row + next_ chain.
+  // head_ entries are published with std::atomic_ref CAS during Build and
+  // read plain afterwards (Build's ParallelFor join is the release fence).
   std::vector<uint32_t> head_;
   std::vector<uint32_t> next_;
   std::vector<uint64_t> hashes_;
@@ -49,6 +64,9 @@ class JoinHashTable {
 };
 
 /// Streaming probe: emits probe-row ++ build-row concatenations.
+/// Vectorized: the whole chunk's key hashes are computed up front with the
+/// columnar kernels, matches are gathered into selection vectors, and the
+/// output is materialized with one bulk gather per column.
 class HashJoinProbeTransform : public Transform {
  public:
   HashJoinProbeTransform(std::shared_ptr<const JoinHashTable> table,
@@ -63,6 +81,8 @@ class HashJoinProbeTransform : public Transform {
 };
 
 /// Streaming nested-loop expansion against a materialized right side.
+/// Probes the calling worker's guard under "exec.cross_join" per output
+/// batch, so quadratic blowups stay cancellable.
 class CrossJoinTransform : public Transform {
  public:
   CrossJoinTransform(TablePtr right, Schema out_schema);

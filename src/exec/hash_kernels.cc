@@ -1,0 +1,107 @@
+#include "exec/hash_kernels.h"
+
+#include <bit>
+#include <cmath>
+#include <functional>
+
+namespace soda {
+
+namespace {
+
+/// Integral doubles hash like the corresponding int64; -0.0 like 0.0.
+/// Keeps mixed-type keys consistent after binder-inserted casts.
+uint64_t HashDoubleCanonical(double d) {
+  if (d == 0.0) return MixHash(0);
+  double r = std::nearbyint(d);
+  if (r == d && std::fabs(d) < 9.2e18) {
+    return MixHash(static_cast<uint64_t>(static_cast<int64_t>(d)));
+  }
+  return MixHash(std::bit_cast<uint64_t>(d));
+}
+
+/// Shared skeleton: `cell(i)` produces the cell hash for row i, `fold`
+/// merges it into the output slot. The validity test is hoisted so dense
+/// columns run a branch-free inner loop.
+template <typename CellFn, typename FoldFn>
+void ForEachCellHash(const Column& col, size_t begin, size_t end,
+                     uint64_t* out, CellFn cell, FoldFn fold) {
+  const std::vector<uint8_t>& validity = col.Validity();
+  if (validity.empty()) {
+    for (size_t i = begin; i < end; ++i) fold(out[i - begin], cell(i));
+    return;
+  }
+  const uint8_t* valid = validity.data();
+  for (size_t i = begin; i < end; ++i) {
+    fold(out[i - begin], valid[i] ? cell(i) : kNullHash);
+  }
+}
+
+template <typename FoldFn>
+void HashColumnImpl(const Column& col, size_t begin, size_t end,
+                    uint64_t* out, FoldFn fold) {
+  switch (col.type()) {
+    case DataType::kBool:
+    case DataType::kBigInt: {
+      const int64_t* data = col.I64Data();
+      ForEachCellHash(
+          col, begin, end, out,
+          [data](size_t i) { return MixHash(static_cast<uint64_t>(data[i])); },
+          fold);
+      return;
+    }
+    case DataType::kDouble: {
+      const double* data = col.F64Data();
+      ForEachCellHash(
+          col, begin, end, out,
+          [data](size_t i) { return HashDoubleCanonical(data[i]); }, fold);
+      return;
+    }
+    case DataType::kVarchar: {
+      const std::vector<std::string>& strs = col.Strings();
+      ForEachCellHash(
+          col, begin, end, out,
+          [&strs](size_t i) { return std::hash<std::string>{}(strs[i]); },
+          fold);
+      return;
+    }
+    default: {
+      ForEachCellHash(
+          col, begin, end, out, [](size_t) { return uint64_t{0}; }, fold);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void HashColumn(const Column& col, size_t begin, size_t end, uint64_t* out) {
+  HashColumnImpl(col, begin, end, out,
+                 [](uint64_t& slot, uint64_t cell) { slot = cell; });
+}
+
+void HashColumnCombine(const Column& col, size_t begin, size_t end,
+                       uint64_t* inout) {
+  HashColumnImpl(col, begin, end, inout, [](uint64_t& slot, uint64_t cell) {
+    slot = CombineHash(slot, cell);
+  });
+}
+
+void HashRows(const std::vector<const Column*>& cols, size_t begin,
+              size_t end, uint64_t* out) {
+  if (cols.empty()) {
+    for (size_t i = 0; i < end - begin; ++i) out[i] = kHashSeed;
+    return;
+  }
+  HashColumn(*cols[0], begin, end, out);
+  for (size_t c = 1; c < cols.size(); ++c) {
+    HashColumnCombine(*cols[c], begin, end, out);
+  }
+}
+
+uint64_t HashRow(const std::vector<const Column*>& cols, size_t row) {
+  uint64_t h = kHashSeed;
+  HashRows(cols, row, row + 1, &h);
+  return h;
+}
+
+}  // namespace soda

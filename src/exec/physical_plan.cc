@@ -223,7 +223,7 @@ class PhysicalPlanBuilder {
         p.prepares.push_back(
             [&node, build_idx, slot, prep_idx, concat](
                 PhysicalPlan& pp, PhysicalPipeline& self,
-                ExecContext&) -> Status {
+                ExecContext& ctx) -> Status {
               TablePtr build = pp.pipeline(build_idx).result;
               if (!build) {
                 return Status::Internal("join build input not materialized");
@@ -238,7 +238,8 @@ class PhysicalPlanBuilder {
               } else {
                 SODA_ASSIGN_OR_RETURN(
                     std::shared_ptr<JoinHashTable> ht,
-                    JoinHashTable::Build(std::move(build), node.right_keys));
+                    JoinHashTable::Build(std::move(build), node.right_keys,
+                                         ctx.guard));
                 self.transforms[slot] =
                     std::make_shared<HashJoinProbeTransform>(
                         std::move(ht), node.left_keys, concat);

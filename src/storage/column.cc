@@ -132,6 +132,62 @@ void Column::AppendSlice(const Column& other, size_t offset, size_t count) {
   }
 }
 
+void Column::AppendGather(const Column& other, const uint32_t* rows,
+                          size_t count) {
+  SODA_DCHECK(other.type_ == type_);
+  const bool other_has_validity = !other.validity_.empty();
+  // Materialize our validity if the source has one (an empty destination
+  // still needs the vector non-conceptually-empty, hence the flag).
+  const bool need_validity = other_has_validity || !validity_.empty();
+  if (need_validity && validity_.empty()) validity_.assign(size(), 1);
+  const size_t old = size();
+  switch (type_) {
+    case DataType::kVarchar:
+      str_.reserve(old + count);
+      for (size_t i = 0; i < count; ++i) str_.push_back(other.str_[rows[i]]);
+      break;
+    case DataType::kDouble:
+      f64_.reserve(old + count);
+      for (size_t i = 0; i < count; ++i) f64_.push_back(other.f64_[rows[i]]);
+      break;
+    default:
+      i64_.reserve(old + count);
+      for (size_t i = 0; i < count; ++i) i64_.push_back(other.i64_[rows[i]]);
+      break;
+  }
+  if (need_validity) {
+    validity_.reserve(old + count);
+    if (other_has_validity) {
+      for (size_t i = 0; i < count; ++i) {
+        validity_.push_back(other.validity_[rows[i]]);
+      }
+    } else {
+      validity_.insert(validity_.end(), count, 1);
+    }
+  }
+}
+
+void Column::AppendRepeated(const Column& other, size_t row, size_t count) {
+  SODA_DCHECK(other.type_ == type_);
+  const bool null = other.IsNull(row);
+  const bool need_validity = null || !validity_.empty();
+  if (need_validity && validity_.empty()) validity_.assign(size(), 1);
+  switch (type_) {
+    case DataType::kVarchar:
+      str_.insert(str_.end(), count, null ? std::string() : other.str_[row]);
+      break;
+    case DataType::kDouble:
+      f64_.insert(f64_.end(), count, null ? 0.0 : other.f64_[row]);
+      break;
+    default:
+      i64_.insert(i64_.end(), count, null ? 0 : other.i64_[row]);
+      break;
+  }
+  if (need_validity) {
+    validity_.insert(validity_.end(), count, null ? 0 : 1);
+  }
+}
+
 Column Column::FromDoubles(std::vector<double> data) {
   Column c(DataType::kDouble);
   c.f64_ = std::move(data);

@@ -98,6 +98,15 @@ class Column {
   /// Appends rows [offset, offset+count) of `other` (same type).
   void AppendSlice(const Column& other, size_t offset, size_t count);
 
+  /// Appends `other[rows[0]], ..., other[rows[count-1]]` (same type) with
+  /// one type dispatch for the whole batch — the selection-vector
+  /// materialization step of the vectorized join probe.
+  void AppendGather(const Column& other, const uint32_t* rows, size_t count);
+
+  /// Appends `count` copies of `other[row]` (same type); bulk form of the
+  /// repeated AppendFrom loops in cross-join expansion.
+  void AppendRepeated(const Column& other, size_t row, size_t count);
+
   /// Bulk-construction helpers for workload generators.
   static Column FromDoubles(std::vector<double> data);
   static Column FromBigInts(std::vector<int64_t> data);

@@ -1,0 +1,420 @@
+/// Parallel pipeline breakers: results must be bit-identical across
+/// worker counts (serial vs. the forced 4-worker pool), the new governor
+/// sites must make joins/aggregates cancellable mid-build, and the
+/// mix-after-combine key hasher must not admit the old linear combiner's
+/// constructible collisions.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exec/hash_join.h"
+#include "exec/hash_kernels.h"
+#include "storage/column.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+#include "util/parallel.h"
+#include "util/query_guard.h"
+
+namespace soda {
+namespace {
+
+using testing::ExpectError;
+using testing::IntColumn;
+using testing::RunQuery;
+
+// Force a real pool even on single-core CI machines (same rationale as
+// util_test.cc): without it the parallel paths under test would silently
+// degrade to the serial fallback and the determinism assertions would
+// compare serial against serial.
+const bool kForceMultiThreadedPool = [] {
+  setenv("SODA_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+/// Registers `name` as a BIGINT-only table built from pre-filled columns
+/// (bulk load; the SQL INSERT path is far too slow for 1M rows).
+void RegisterBigIntTable(Engine& engine, const std::string& name,
+                         const std::vector<std::string>& col_names,
+                         std::vector<Column> cols) {
+  std::vector<Field> fields;
+  for (const auto& n : col_names) fields.emplace_back(n, DataType::kBigInt);
+  auto table = std::make_shared<Table>(name, Schema(std::move(fields)));
+  for (size_t i = 0; i < cols.size(); ++i) {
+    ASSERT_OK(table->SetColumn(i, std::move(cols[i])));
+  }
+  ASSERT_OK(engine.catalog().RegisterTable(std::move(table)));
+}
+
+/// Runs `sql` once under ScopedSerialExecution (one worker) and once on
+/// the 4-worker pool, and asserts cell-identical results. The queries
+/// under test carry ORDER BY, so row order itself is deterministic; what
+/// this catches is any value divergence from the parallel build / radix
+/// merge paths.
+void ExpectSameResultAcrossWorkerCounts(Engine& engine,
+                                        const std::string& sql) {
+  QueryResult serial;
+  {
+    ScopedSerialExecution one_worker;
+    serial = RunQuery(engine, sql);
+  }
+  QueryResult parallel = RunQuery(engine, sql);
+
+  ASSERT_EQ(serial.num_rows(), parallel.num_rows()) << sql;
+  ASSERT_EQ(serial.num_columns(), parallel.num_columns()) << sql;
+  for (size_t c = 0; c < serial.num_columns(); ++c) {
+    const DataType type = serial.schema().field(c).type;
+    for (size_t r = 0; r < serial.num_rows(); ++r) {
+      ASSERT_EQ(serial.IsNull(r, c), parallel.IsNull(r, c))
+          << sql << " row " << r << " col " << c;
+      if (serial.IsNull(r, c)) continue;
+      if (type == DataType::kVarchar) {
+        ASSERT_EQ(serial.GetString(r, c), parallel.GetString(r, c))
+            << sql << " row " << r << " col " << c;
+      } else if (type == DataType::kDouble) {
+        ASSERT_DOUBLE_EQ(serial.GetDouble(r, c), parallel.GetDouble(r, c))
+            << sql << " row " << r << " col " << c;
+      } else {
+        ASSERT_EQ(serial.GetInt(r, c), parallel.GetInt(r, c))
+            << sql << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+  Engine engine_;
+};
+
+// ---------------------------------------------------------------------------
+// Determinism across worker counts
+
+class ParallelGroupByTest : public ParallelExecTest {
+ protected:
+  void SetUp() override {
+    ParallelExecTest::SetUp();
+    // 1M rows; k cycles through 100k distinct keys (high cardinality),
+    // k8 through 8 (low cardinality, heavy per-group contention in the
+    // radix merge). v stays small enough that SUM is exact in a double.
+    const size_t n = 1'000'000;
+    std::vector<int64_t> k(n), k8(n), v(n);
+    for (size_t i = 0; i < n; ++i) {
+      k[i] = static_cast<int64_t>(i % 100'000);
+      k8[i] = static_cast<int64_t>(i % 8);
+      v[i] = static_cast<int64_t>(i % 1'000'003);
+    }
+    RegisterBigIntTable(engine_, "big", {"k", "k8", "v"},
+                        {Column::FromBigInts(std::move(k)),
+                         Column::FromBigInts(std::move(k8)),
+                         Column::FromBigInts(std::move(v))});
+  }
+};
+
+TEST_F(ParallelGroupByTest, HighCardinalityGroupBy) {
+  ExpectSameResultAcrossWorkerCounts(
+      engine_,
+      "SELECT k, count(*), sum(v), min(v), max(v) "
+      "FROM big GROUP BY k ORDER BY k");
+}
+
+TEST_F(ParallelGroupByTest, LowCardinalityGroupBy) {
+  ExpectSameResultAcrossWorkerCounts(
+      engine_,
+      "SELECT k8, count(*), sum(v), min(v), max(v), avg(v) "
+      "FROM big GROUP BY k8 ORDER BY k8");
+}
+
+TEST_F(ParallelGroupByTest, GlobalAggregate) {
+  ExpectSameResultAcrossWorkerCounts(
+      engine_, "SELECT count(*), sum(v), min(v), max(v) FROM big");
+}
+
+TEST_F(ParallelGroupByTest, Distinct) {
+  ExpectSameResultAcrossWorkerCounts(
+      engine_, "SELECT DISTINCT k8 FROM big ORDER BY k8");
+}
+
+TEST_F(ParallelGroupByTest, MultiKeyGroupBy) {
+  ExpectSameResultAcrossWorkerCounts(
+      engine_,
+      "SELECT k8, k, count(*), sum(v) FROM big "
+      "WHERE k < 64 GROUP BY k8, k ORDER BY k8, k");
+}
+
+TEST_F(ParallelExecTest, NullKeysGroupBy) {
+  // Every 7th key is NULL: NULLs form one group, and the NULL-tag hash
+  // must route them to the same radix partition in every merge.
+  const size_t n = 200'000;
+  Column k(DataType::kBigInt);
+  std::vector<int64_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 7 == 0) {
+      k.AppendNull();
+    } else {
+      k.AppendBigInt(static_cast<int64_t>(i % 1000));
+    }
+    v[i] = static_cast<int64_t>(i);
+  }
+  RegisterBigIntTable(engine_, "nk", {"k", "v"},
+                      {std::move(k), Column::FromBigInts(std::move(v))});
+  ExpectSameResultAcrossWorkerCounts(
+      engine_,
+      "SELECT k, count(*), sum(v), min(v), max(v) "
+      "FROM nk GROUP BY k ORDER BY k");
+}
+
+TEST_F(ParallelExecTest, SkewedKeyHashJoin) {
+  // Half the build side shares one hot key (a 5000-row chain through one
+  // bucket), the rest are unique; CAS publication order differs run to
+  // run, so this asserts the probe result is order-insensitive.
+  const size_t dim_n = 10'000;
+  std::vector<int64_t> dk(dim_n), dw(dim_n);
+  for (size_t i = 0; i < dim_n; ++i) {
+    dk[i] = (i < dim_n / 2) ? 7 : static_cast<int64_t>(i);
+    dw[i] = static_cast<int64_t>(i % 97);
+  }
+  const size_t fact_n = 100'000;
+  std::vector<int64_t> fk(fact_n), fv(fact_n);
+  for (size_t i = 0; i < fact_n; ++i) {
+    fk[i] = static_cast<int64_t>(i % 6000);
+    fv[i] = static_cast<int64_t>(i % 89);
+  }
+  RegisterBigIntTable(engine_, "dim", {"k", "w"},
+                      {Column::FromBigInts(std::move(dk)),
+                       Column::FromBigInts(std::move(dw))});
+  RegisterBigIntTable(engine_, "fact", {"k", "v"},
+                      {Column::FromBigInts(std::move(fk)),
+                       Column::FromBigInts(std::move(fv))});
+
+  ExpectSameResultAcrossWorkerCounts(
+      engine_,
+      "SELECT f.k, count(*), sum(d.w), sum(f.v) "
+      "FROM fact f JOIN dim d ON f.k = d.k "
+      "GROUP BY f.k ORDER BY f.k");
+}
+
+// ---------------------------------------------------------------------------
+// Governor coverage of the new sites
+
+TEST_F(ParallelExecTest, MidBuildCancellationTearsDownCleanly) {
+  const size_t n = 200'000;
+  std::vector<int64_t> k(n);
+  for (size_t i = 0; i < n; ++i) k[i] = static_cast<int64_t>(i);
+  std::vector<int64_t> k2 = k;
+  RegisterBigIntTable(engine_, "bl", {"k"},
+                      {Column::FromBigInts(std::move(k))});
+  RegisterBigIntTable(engine_, "br", {"k"},
+                      {Column::FromBigInts(std::move(k2))});
+
+  const std::string sql =
+      "SELECT count(*) FROM bl JOIN br ON bl.k = br.k";
+  // Probes at exec.join_build: entry (1), the memory reservation (2),
+  // then one per morsel. skip=2 puts the cancel inside the morsel loop —
+  // workers are mid-insert when the fault fires.
+  FaultInjector::Global().Arm("exec.join_build",
+                              FaultInjector::Kind::kCancel, /*skip=*/2);
+  ExpectError(engine_, sql, StatusCode::kCancelled);
+  // Armed sites fire once; the identical query must now succeed and be
+  // correct (no half-built table leaks into a cache).
+  auto r = RunQuery(engine_, sql);
+  EXPECT_EQ(r.GetInt(0, 0), static_cast<int64_t>(n));
+}
+
+TEST_F(ParallelExecTest, FaultInjectionCoversJoinAndMergeSites) {
+  ASSERT_OK(
+      engine_.Execute("CREATE TABLE s (a INTEGER, b INTEGER)").status());
+  ASSERT_OK(
+      engine_.Execute("INSERT INTO s VALUES (1, 10), (2, 20)").status());
+  struct Case {
+    const char* site;
+    FaultInjector::Kind kind;
+    const char* sql;
+    StatusCode expected;
+  };
+  const Case cases[] = {
+      {"exec.join_build", FaultInjector::Kind::kError,
+       "SELECT x.a FROM s x JOIN s y ON x.a = y.a",
+       StatusCode::kInternal},
+      {"exec.join_build", FaultInjector::Kind::kOom,
+       "SELECT x.a FROM s x JOIN s y ON x.a = y.a",
+       StatusCode::kResourceExhausted},
+      {"exec.cross_join", FaultInjector::Kind::kCancel,
+       "SELECT x.a FROM s x, s y", StatusCode::kCancelled},
+      {"exec.agg_merge", FaultInjector::Kind::kError,
+       "SELECT a, count(*) FROM s GROUP BY a", StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    FaultInjector::Global().Arm(c.site, c.kind);
+    auto result = engine_.Execute(c.sql);
+    ASSERT_FALSE(result.ok()) << "site " << c.site << " did not fire";
+    EXPECT_EQ(result.status().code(), c.expected)
+        << "site " << c.site << ": " << result.status().ToString();
+    FaultInjector::Global().Reset();
+    auto retry = engine_.Execute(c.sql);
+    EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+  }
+}
+
+TEST_F(ParallelExecTest, JoinBuildChargesTheMemoryBudget) {
+  // Direct-API check that Build itself reserves its arrays against the
+  // guard (not just that *some* upstream site trips first).
+  const size_t n = 100'000;
+  std::vector<int64_t> k(n);
+  for (size_t i = 0; i < n; ++i) k[i] = static_cast<int64_t>(i);
+  auto table = std::make_shared<Table>(
+      "b", Schema({Field("k", DataType::kBigInt)}));
+  ASSERT_OK(table->SetColumn(0, Column::FromBigInts(std::move(k))));
+
+  QueryLimits tight;
+  tight.memory_limit_bytes = 1024;  // far below heads + chain + hashes
+  QueryGuard guard(tight, nullptr);
+  auto built = JoinHashTable::Build(table, {0}, &guard);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kResourceExhausted);
+
+  // Unlimited guard: same build succeeds and the table is well-formed.
+  QueryGuard unlimited;
+  auto ok = JoinHashTable::Build(table, {0}, &unlimited);
+  ASSERT_OK(ok.status());
+  EXPECT_GE(ok.ValueOrDie()->num_buckets(), 2 * n);
+}
+
+// ---------------------------------------------------------------------------
+// Exact BIGINT min/max (satellite: values beyond 2^53 must not round)
+
+TEST_F(ParallelExecTest, BigIntMinMaxExactBeyondDoublePrecision) {
+  // 2^53 + 1 and its neighbors are indistinguishable as doubles; the old
+  // double-typed min/max state returned 9007199254740992 for all three.
+  const int64_t big = (int64_t{1} << 53) + 1;     // 9007199254740993
+  const int64_t bigger = (int64_t{1} << 53) + 3;  // rounds to +4 as double
+  std::vector<int64_t> v = {big, bigger, (int64_t{1} << 53), 5,
+                            -bigger, -big};
+  std::vector<int64_t> g = {0, 0, 0, 0, 1, 1};
+  RegisterBigIntTable(engine_, "mm", {"g", "v"},
+                      {Column::FromBigInts(std::move(g)),
+                       Column::FromBigInts(std::move(v))});
+
+  auto r = RunQuery(engine_, "SELECT min(v), max(v) FROM mm");
+  EXPECT_EQ(r.GetInt(0, 0), -bigger);
+  EXPECT_EQ(r.GetInt(0, 1), bigger);
+
+  auto grouped = RunQuery(
+      engine_, "SELECT g, min(v), max(v) FROM mm GROUP BY g ORDER BY g");
+  ASSERT_EQ(grouped.num_rows(), 2u);
+  EXPECT_EQ(grouped.GetInt(0, 1), 5);
+  EXPECT_EQ(grouped.GetInt(0, 2), bigger);
+  EXPECT_EQ(grouped.GetInt(1, 1), -bigger);
+  EXPECT_EQ(grouped.GetInt(1, 2), -big);
+}
+
+TEST_F(ParallelExecTest, BigIntMinMaxExactThroughParallelMerge) {
+  // The extreme values sit at opposite ends of a 1M-row table, so they
+  // land in different workers' local tables and must survive the radix
+  // merge's AggState::Merge exactly.
+  const int64_t lo = -((int64_t{1} << 53) + 7);
+  const int64_t hi = (int64_t{1} << 53) + 9;
+  const size_t n = 1'000'000;
+  std::vector<int64_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<int64_t>(i % 1000);
+  v.front() = lo;
+  v.back() = hi;
+  RegisterBigIntTable(engine_, "ends", {"v"},
+                      {Column::FromBigInts(std::move(v))});
+  auto r = RunQuery(engine_, "SELECT min(v), max(v) FROM ends");
+  EXPECT_EQ(r.GetInt(0, 0), lo);
+  EXPECT_EQ(r.GetInt(0, 1), hi);
+}
+
+// ---------------------------------------------------------------------------
+// Combiner regression (satellite: constructed collisions must not chain)
+
+/// Inverse of an odd 64-bit multiplication (Newton iteration: five steps
+/// double the correct low bits past 64).
+uint64_t MulInverse(uint64_t a) {
+  uint64_t x = a;
+  for (int i = 0; i < 5; ++i) x *= 2 - a * x;
+  return x;
+}
+
+/// Inverse of `y = x ^ (x >> s)`.
+uint64_t UnXorShift(uint64_t y, unsigned s) {
+  uint64_t x = y;
+  for (unsigned sh = s; sh < 64; sh += s) x = y ^ (x >> s);
+  return x;
+}
+
+/// Inverse of MixHash (it is a bijection: two xorshifts and two odd
+/// multiplications, each invertible).
+uint64_t InvMixHash(uint64_t x) {
+  x = UnXorShift(x, 31);
+  x *= MulInverse(0x94D049BB133111EBULL);
+  x = UnXorShift(x, 27);
+  x *= MulInverse(0xBF58476D1CE4E5B9ULL);
+  x = UnXorShift(x, 30);
+  return x;
+}
+
+TEST(HashKernelsTest, InvMixHashInvertsMixHash) {
+  const uint64_t probes[] = {0, 1, 42, 0xDEADBEEFCAFEF00DULL, ~uint64_t{0}};
+  for (uint64_t v : probes) {
+    EXPECT_EQ(InvMixHash(MixHash(v)), v);
+    EXPECT_EQ(MixHash(InvMixHash(v)), v);
+  }
+}
+
+TEST(HashKernelsTest, ConstructedLinearCollisionDoesNotChain) {
+  // The pre-PR combiner was linear: row_hash = h*31 + Mix(cell) per
+  // column. Because Mix is invertible, two-column collisions are
+  // constructible in closed form: shift the first column's contribution
+  // down by 1 and the second's up by 31. The mix-after-combine scheme
+  // re-avalanches between columns, so the same pair must hash apart.
+  const int64_t a1 = 1, b1 = 2;
+  const uint64_t ma2 = MixHash(static_cast<uint64_t>(a1)) - 1;
+  const uint64_t mb2 = MixHash(static_cast<uint64_t>(b1)) + 31;
+  const int64_t a2 = static_cast<int64_t>(InvMixHash(ma2));
+  const int64_t b2 = static_cast<int64_t>(InvMixHash(mb2));
+
+  auto old_combine = [](int64_t a, int64_t b) {
+    uint64_t h = kHashSeed;
+    h = h * 31 + MixHash(static_cast<uint64_t>(a));
+    h = h * 31 + MixHash(static_cast<uint64_t>(b));
+    return h;
+  };
+  // The pair really does collide under the old scheme...
+  ASSERT_EQ(old_combine(a1, b1), old_combine(a2, b2));
+  ASSERT_TRUE(a1 != a2 || b1 != b2);
+
+  // ...and no longer does under HashRows.
+  Column ca = Column::FromBigInts({a1, a2});
+  Column cb = Column::FromBigInts({b1, b2});
+  std::vector<const Column*> cols = {&ca, &cb};
+  uint64_t hashes[2];
+  HashRows(cols, 0, 2, hashes);
+  EXPECT_NE(hashes[0], hashes[1]);
+}
+
+TEST(HashKernelsTest, ColumnarHashesMatchScalarPath) {
+  Column c(DataType::kBigInt);
+  for (int64_t i = 0; i < 100; ++i) {
+    if (i % 9 == 0) {
+      c.AppendNull();
+    } else {
+      c.AppendBigInt(i * 1'000'003);
+    }
+  }
+  std::vector<uint64_t> batch(100);
+  HashColumn(c, 0, 100, batch.data());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(batch[i], HashCell(c, i)) << "row " << i;
+    if (c.IsNull(i)) EXPECT_EQ(batch[i], kNullHash);
+  }
+}
+
+}  // namespace
+}  // namespace soda

@@ -374,6 +374,13 @@ TEST_F(ResourceGovernorTest, FaultInjectionAtEachProbeSite) {
       {"pagerank.csr", FaultInjector::Kind::kOom,
        "SELECT * FROM PAGERANK((SELECT a, a FROM t))",
        StatusCode::kResourceExhausted},
+      {"exec.join_build", FaultInjector::Kind::kCancel,
+       "SELECT x.a FROM t x JOIN t y ON x.a = y.a",
+       StatusCode::kCancelled},
+      {"exec.cross_join", FaultInjector::Kind::kCancel,
+       "SELECT x.a, y.b FROM t x, t y", StatusCode::kCancelled},
+      {"exec.agg_merge", FaultInjector::Kind::kError,
+       "SELECT a, count(*) FROM t GROUP BY a", StatusCode::kInternal},
   };
   for (const Case& c : cases) {
     FaultInjector::Global().Arm(c.site, c.kind);

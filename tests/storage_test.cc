@@ -73,6 +73,52 @@ TEST(ColumnTest, AppendSliceDenseIntoNullable) {
   EXPECT_EQ(dst.GetBigInt(1), 5);
 }
 
+TEST(ColumnTest, AppendGatherReordersAndPreservesNulls) {
+  Column src(DataType::kBigInt);
+  src.AppendBigInt(10);
+  src.AppendNull();
+  src.AppendBigInt(30);
+  src.AppendBigInt(40);
+  Column dst(DataType::kBigInt);
+  const uint32_t rows[] = {3, 1, 1, 0};
+  dst.AppendGather(src, rows, 4);
+  ASSERT_EQ(dst.size(), 4u);
+  EXPECT_EQ(dst.GetBigInt(0), 40);
+  EXPECT_TRUE(dst.IsNull(1));
+  EXPECT_TRUE(dst.IsNull(2));
+  EXPECT_EQ(dst.GetBigInt(3), 10);
+}
+
+TEST(ColumnTest, AppendGatherStringsAndDenseValidity) {
+  Column src(DataType::kVarchar);
+  src.AppendString("a");
+  src.AppendString("b");
+  Column dst(DataType::kVarchar);
+  dst.AppendNull();  // dst already nullable, src dense
+  const uint32_t rows[] = {1, 0};
+  dst.AppendGather(src, rows, 2);
+  ASSERT_EQ(dst.size(), 3u);
+  EXPECT_TRUE(dst.IsNull(0));
+  EXPECT_EQ(dst.GetString(1), "b");
+  EXPECT_EQ(dst.GetString(2), "a");
+}
+
+TEST(ColumnTest, AppendRepeatedBulkCopiesOneRow) {
+  Column src(DataType::kDouble);
+  src.AppendDouble(2.5);
+  src.AppendNull();
+  Column dst(DataType::kDouble);
+  dst.AppendRepeated(src, 0, 3);
+  ASSERT_EQ(dst.size(), 3u);
+  EXPECT_FALSE(dst.HasNulls());
+  EXPECT_DOUBLE_EQ(dst.GetDouble(2), 2.5);
+  dst.AppendRepeated(src, 1, 2);  // repeating a NULL materializes validity
+  ASSERT_EQ(dst.size(), 5u);
+  EXPECT_DOUBLE_EQ(dst.GetDouble(0), 2.5);
+  EXPECT_TRUE(dst.IsNull(3));
+  EXPECT_TRUE(dst.IsNull(4));
+}
+
 TEST(ColumnTest, BulkConstruction) {
   Column c = Column::FromDoubles({1.0, 2.0, 3.0});
   EXPECT_EQ(c.size(), 3u);

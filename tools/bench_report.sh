@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the PR-4 join/aggregate benchmark at ci and medium scale, at one
+# worker (vectorization effect in isolation) and eight workers (parallel
+# pipeline breakers), and assembles the per-run JSON blobs into a single
+# BENCH_pr4.json report.
+#
+# Usage:
+#   tools/bench_report.sh [output.json]      # default: BENCH_pr4.json
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-${repo_root}/BENCH_pr4.json}"
+build="${repo_root}/build"
+
+if [[ ! -x "${build}/bench/bench_join_agg" ]]; then
+  cmake -S "${repo_root}" -B "${build}"
+  cmake --build "${build}" -j "$(nproc)" --target bench_join_agg
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+runs=()
+for scale in ci medium; do
+  for threads in 1 8; do
+    blob="${tmpdir}/${scale}_t${threads}.json"
+    echo "bench_report: scale=${scale} threads=${threads}"
+    SODA_THREADS="${threads}" "${build}/bench/bench_join_agg" \
+      "--scale=${scale}" "--json=${blob}"
+    runs+=("${blob}")
+  done
+done
+
+{
+  echo '{"report": "BENCH_pr4", "runs": ['
+  first=1
+  for blob in "${runs[@]}"; do
+    [[ "${first}" == "0" ]] && echo ','
+    first=0
+    tr -d '\n' < "${blob}"
+  done
+  echo
+  echo ']}'
+} > "${out}"
+echo "bench_report: wrote ${out}"
