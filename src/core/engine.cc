@@ -2,6 +2,7 @@
 
 #include "exec/executor.h"
 #include "exec/physical_plan.h"
+#include "exec/plan_verifier.h"
 #include "expr/evaluator.h"
 #include "expr/fold.h"
 #include "sql/binder.h"
@@ -25,6 +26,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
   ctx.catalog = catalog;
   ctx.max_iterations = options.max_iterations;
   ctx.guard = guard;
+  ctx.verify_plans = options.verify_plans;
   SODA_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(*plan, ctx));
   return QueryResult(std::move(result), ctx.stats);
 }
@@ -62,20 +64,20 @@ Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
     for (size_t c = 0; c < src.num_columns(); ++c) {
       table->column(c).AppendSlice(src.column(c), 0, src.num_rows());
     }
-    if (dur) SODA_RETURN_NOT_OK(dur->LogTableImage(*table));
-    SODA_RETURN_NOT_OK(catalog->RegisterTable(std::move(table)));
+    SODA_RETURN_NOT_OK(CommitDurable(
+        dur, [&] { return dur->LogTableImage(*table); },
+        [&] { return catalog->RegisterTable(std::move(table)); }));
     return QueryResult();
   }
   Schema schema;
   for (const auto& [name, type] : stmt.columns) {
     schema.AddField(Field(name, type));
   }
-  if (dur) {
-    SODA_RETURN_NOT_OK(dur->LogCreateTable(ToLower(stmt.name), schema));
-  }
-  SODA_ASSIGN_OR_RETURN(TablePtr table,
-                        catalog->CreateTable(stmt.name, std::move(schema)));
-  (void)table;
+  SODA_RETURN_NOT_OK(CommitDurable(
+      dur, [&] { return dur->LogCreateTable(ToLower(stmt.name), schema); },
+      [&] {
+        return catalog->CreateTable(stmt.name, std::move(schema)).status();
+      }));
   return QueryResult();
 }
 
@@ -124,8 +126,9 @@ Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog,
       if (!doomed[r]) next->column(c).AppendFrom(table->column(c), r);
     }
   }
-  if (dur) SODA_RETURN_NOT_OK(dur->LogTableImage(*next));
-  SODA_RETURN_NOT_OK(catalog->ReplaceTable(stmt.table, std::move(next)));
+  SODA_RETURN_NOT_OK(CommitDurable(
+      dur, [&] { return dur->LogTableImage(*next); },
+      [&] { return catalog->ReplaceTable(stmt.table, std::move(next)); }));
   return QueryResult();
 }
 
@@ -232,8 +235,9 @@ Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog,
       }
     }
   }
-  if (dur) SODA_RETURN_NOT_OK(dur->LogTableImage(*next));
-  SODA_RETURN_NOT_OK(catalog->ReplaceTable(stmt.table, std::move(next)));
+  SODA_RETURN_NOT_OK(CommitDurable(
+      dur, [&] { return dur->LogTableImage(*next); },
+      [&] { return catalog->ReplaceTable(stmt.table, std::move(next)); }));
   return QueryResult();
 }
 
@@ -245,8 +249,9 @@ Result<QueryResult> ExecuteDrop(const DropTableStmt& stmt, Catalog* catalog,
   if (!catalog->HasTable(stmt.name)) {
     return Status::KeyError("table not found: " + ToLower(stmt.name));
   }
-  if (dur) SODA_RETURN_NOT_OK(dur->LogDropTable(ToLower(stmt.name)));
-  SODA_RETURN_NOT_OK(catalog->DropTable(stmt.name));
+  SODA_RETURN_NOT_OK(CommitDurable(
+      dur, [&] { return dur->LogDropTable(ToLower(stmt.name)); },
+      [&] { return catalog->DropTable(stmt.name); }));
   return QueryResult();
 }
 
@@ -332,13 +337,16 @@ Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
   // holding the old TablePtr keep a consistent snapshot (the same
   // copy-on-write path UPDATE/DELETE use).
   SODA_RETURN_NOT_OK(GuardReserve(guard, table->MemoryUsage(), "exec.dml"));
-  if (dur) SODA_RETURN_NOT_OK(dur->LogAppendRows(staged));
-  auto next = std::make_shared<Table>(table->name(), table->schema());
-  for (size_t c = 0; c < table->num_columns(); ++c) {
-    next->column(c).AppendSlice(table->column(c), 0, table->num_rows());
-    next->column(c).AppendSlice(staged.column(c), 0, staged.num_rows());
-  }
-  SODA_RETURN_NOT_OK(catalog->ReplaceTable(table->name(), std::move(next)));
+  SODA_RETURN_NOT_OK(CommitDurable(
+      dur, [&] { return dur->LogAppendRows(staged); },
+      [&] {
+        auto next = std::make_shared<Table>(table->name(), table->schema());
+        for (size_t c = 0; c < table->num_columns(); ++c) {
+          next->column(c).AppendSlice(table->column(c), 0, table->num_rows());
+          next->column(c).AppendSlice(staged.column(c), 0, staged.num_rows());
+        }
+        return catalog->ReplaceTable(table->name(), std::move(next));
+      }));
   return QueryResult();
 }
 
@@ -368,12 +376,19 @@ Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, bool analyze,
     plan = OptimizePlan(std::move(plan), catalog);
   }
   SODA_ASSIGN_OR_RETURN(PhysicalPlan physical, LowerPlan(*plan));
+  // EXPLAIN always reports the verifier verdict, even when the session
+  // knob is off — it is the cheapest way to audit a suspect plan.
+  Status verdict = VerifyPlan(*plan, physical);
   ExecStats stats;
   if (analyze) {
+    if (options.verify_plans || kPlanVerifierAlwaysOn) {
+      SODA_RETURN_NOT_OK(verdict);
+    }
     ExecContext ctx;
     ctx.catalog = catalog;
     ctx.max_iterations = options.max_iterations;
     ctx.guard = guard;
+    ctx.verify_plans = false;  // already verified above
     SODA_RETURN_NOT_OK(physical.Execute(ctx));
     stats = ctx.stats;
   }
@@ -382,6 +397,9 @@ Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, bool analyze,
   std::string text = plan->ToString();
   if (!text.empty() && text.back() != '\n') text += "\n";
   text += "=== Pipelines ===\n" + physical.ToString(analyze);
+  if (!text.empty() && text.back() != '\n') text += "\n";
+  text += verdict.ok() ? "Verifier: OK"
+                       : "Verifier: FAILED — " + verdict.ToString();
   size_t start = 0;
   while (start < text.size()) {
     size_t end = text.find('\n', start);
@@ -409,6 +427,15 @@ Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options,
                           WalFsyncModeFromString(ToLower(stmt.text_value)));
     options->wal_fsync = mode;
     if (dur) dur->SetFsyncMode(mode, options->wal_group_bytes);
+    return QueryResult();
+  }
+  if (stmt.name == "soda.verify_plans") {
+    std::string value = stmt.has_text ? ToLower(stmt.text_value) : "";
+    if (value != "on" && value != "off") {
+      return Status::InvalidArgument(
+          "SET soda.verify_plans: expected on or off");
+    }
+    options->verify_plans = value == "on";
     return QueryResult();
   }
   if (stmt.has_text) {
@@ -440,7 +467,8 @@ Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options,
     return Status::InvalidArgument(
         "unknown setting '" + stmt.name +
         "' (supported: soda.timeout_ms, soda.memory_limit_mb, "
-        "soda.max_iterations, soda.wal_fsync, soda.wal_group_bytes)");
+        "soda.max_iterations, soda.wal_fsync, soda.wal_group_bytes, "
+        "soda.verify_plans)");
   }
   return QueryResult();
 }
@@ -560,7 +588,11 @@ Result<std::string> Engine::Explain(const std::string& sql) {
   SODA_ASSIGN_OR_RETURN(PhysicalPlan physical, LowerPlan(*plan));
   std::string text = plan->ToString();
   if (!text.empty() && text.back() != '\n') text += "\n";
-  return text + "=== Pipelines ===\n" + physical.ToString();
+  text += "=== Pipelines ===\n" + physical.ToString();
+  Status verdict = VerifyPlan(*plan, physical);
+  text += verdict.ok() ? "Verifier: OK\n"
+                       : "Verifier: FAILED — " + verdict.ToString() + "\n";
+  return text;
 }
 
 }  // namespace soda

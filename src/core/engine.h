@@ -56,6 +56,11 @@ struct EngineOptions {
   /// Group-commit batching threshold (wal_fsync = group): fsync once per
   /// this many logged bytes. SQL: `SET soda.wal_group_bytes = <n>`.
   size_t wal_group_bytes = size_t{1} << 20;
+  /// Run the static plan verifier (exec/plan_verifier.h) before executing
+  /// every lowered plan. O(plan size) per statement, so it stays on by
+  /// default; debug builds verify even when this is off.
+  /// SQL: `SET soda.verify_plans = on|off`.
+  bool verify_plans = true;
 };
 
 /// Thread-safe cancellation handle. Create one, pass it via

@@ -10,11 +10,11 @@
 #include <atomic>
 #include <bit>
 #include <cmath>
-#include <mutex>
 
 #include "exec/executor.h"
 #include "exec/hash_join.h"
 #include "exec/hash_kernels.h"
+#include "util/first_error.h"
 #include "util/parallel.h"
 
 namespace soda {
@@ -382,19 +382,15 @@ class AggregateSink : public TableSink {
         }
       }
       fragments.resize(P);
-      std::mutex error_mu;
-      Status first_error;
-      std::atomic<bool> failed{false};
+      FirstError first_error;
       Status par = ParallelFor(
           guard, P,
           [&](size_t begin, size_t end, size_t) {
             for (size_t p = begin; p < end; ++p) {
-              if (failed.load(std::memory_order_relaxed)) return;
+              if (first_error.failed()) return;
               Status st = GuardProbe(guard, kAggMergeSite);
               if (!st.ok()) {
-                std::lock_guard<std::mutex> lock(error_mu);
-                if (first_error.ok()) first_error = st;
-                failed.store(true, std::memory_order_relaxed);
+                first_error.Record(std::move(st));
                 return;
               }
               auto frag = std::make_unique<GroupTable>(key_schema_,
@@ -417,7 +413,7 @@ class AggregateSink : public TableSink {
             }
           },
           /*morsel_size=*/1);
-      SODA_RETURN_NOT_OK(first_error);
+      SODA_RETURN_NOT_OK(first_error.Take());
       SODA_RETURN_NOT_OK(par);
       locals.clear();
     }
@@ -446,26 +442,22 @@ class AggregateSink : public TableSink {
 
     std::vector<Table> outputs(fragments.size());
     {
-      std::mutex error_mu;
-      Status first_error;
-      std::atomic<bool> failed{false};
+      FirstError first_error;
       Status par = ParallelFor(
           guard, fragments.size(),
           [&](size_t begin, size_t end, size_t) {
             for (size_t p = begin; p < end; ++p) {
-              if (failed.load(std::memory_order_relaxed)) return;
+              if (first_error.failed()) return;
               if (!fragments[p]) continue;
               Status st = MaterializeFragment(*fragments[p], &outputs[p]);
               if (!st.ok()) {
-                std::lock_guard<std::mutex> lock(error_mu);
-                if (first_error.ok()) first_error = st;
-                failed.store(true, std::memory_order_relaxed);
+                first_error.Record(std::move(st));
                 return;
               }
             }
           },
           /*morsel_size=*/1);
-      SODA_RETURN_NOT_OK(first_error);
+      SODA_RETURN_NOT_OK(first_error.Take());
       SODA_RETURN_NOT_OK(par);
     }
 

@@ -52,6 +52,11 @@ struct ExecContext {
   /// global FaultInjector through GuardProbe in that case.
   QueryGuard* guard = nullptr;
 
+  /// Run the static plan verifier (exec/plan_verifier.h) on every lowered
+  /// plan before executing it. On by default; `SET soda.verify_plans =
+  /// off` clears it per session (debug builds verify regardless).
+  bool verify_plans = true;
+
   /// Cooperative governance probe for executor loops.
   Status Probe(const char* site) { return GuardProbe(guard, site); }
 

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include "exec/physical_plan.h"
+#include "exec/plan_verifier.h"
 #include "util/parallel.h"
 
 namespace soda {
@@ -44,6 +45,10 @@ Status MaterializeSink::Finalize() {
 
 Result<TablePtr> ExecutePlan(const PlanNode& plan, ExecContext& ctx) {
   SODA_ASSIGN_OR_RETURN(PhysicalPlan physical, LowerPlan(plan));
+  if (ctx.verify_plans || kPlanVerifierAlwaysOn) {
+    SODA_RETURN_NOT_OK(ctx.Probe(kVerifyPlanSite));
+    SODA_RETURN_NOT_OK(VerifyPlan(plan, physical));
+  }
   SODA_RETURN_NOT_OK(physical.Execute(ctx));
   return physical.result();
 }

@@ -1,9 +1,9 @@
 #include "exec/hash_join.h"
 
 #include <atomic>
-#include <mutex>
 
 #include "exec/hash_kernels.h"
+#include "util/first_error.h"
 #include "util/parallel.h"
 
 namespace soda {
@@ -65,20 +65,15 @@ Result<std::shared_ptr<JoinHashTable>> JoinHashTable::Build(
   // is written only by row i's owner, so the chain itself is race-free;
   // chain order depends on the interleaving (join results are set-equal,
   // not order-stable, across worker counts).
-  std::mutex error_mu;
-  Status first_error;
-  std::atomic<bool> failed{false};
+  FirstError first_error;
   JoinHashTable* t = ht.get();
   Status par = ParallelFor(
       guard, n,
-      [t, &cols, guard, &error_mu, &first_error,
-       &failed](size_t begin, size_t end, size_t) {
-        if (failed.load(std::memory_order_relaxed)) return;
+      [t, &cols, guard, &first_error](size_t begin, size_t end, size_t) {
+        if (first_error.failed()) return;
         Status st = GuardProbe(guard, kJoinBuildSite);
         if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (first_error.ok()) first_error = st;
-          failed.store(true, std::memory_order_relaxed);
+          first_error.Record(std::move(st));
           return;
         }
         HashRows(cols, begin, end, &t->hashes_[begin]);
@@ -93,7 +88,7 @@ Result<std::shared_ptr<JoinHashTable>> JoinHashTable::Build(
                                                std::memory_order_relaxed));
         }
       });
-  SODA_RETURN_NOT_OK(first_error);
+  SODA_RETURN_NOT_OK(first_error.Take());
   SODA_RETURN_NOT_OK(par);
   return ht;
 }

@@ -7,10 +7,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 
 #include "exec/hash_join.h"
 #include "expr/evaluator.h"
+#include "util/first_error.h"
 #include "util/parallel.h"
 
 namespace soda {
@@ -582,9 +582,7 @@ Status PhysicalPlan::RunStreaming(PhysicalPipeline& p, ExecContext& ctx) {
   const size_t total = std::min(source.num_rows(), p.scan_limit);
   Sink& sink = *p.sink;
 
-  std::mutex error_mu;
-  Status first_error;
-  std::atomic<bool> failed{false};
+  FirstError first_error;
 
   // Guard-aware: every morsel boundary probes cancellation / deadline /
   // memory budget / fault injection, and worker-side table appends are
@@ -592,9 +590,9 @@ Status PhysicalPlan::RunStreaming(PhysicalPipeline& p, ExecContext& ctx) {
   Status guard_status = ParallelFor(
       ctx.guard, total,
       [&](size_t begin, size_t end, size_t worker_id) {
-        if (failed.load(kRelaxed)) return;
+        if (first_error.failed()) return;
         for (size_t offset = begin; offset < end; offset += kChunkCapacity) {
-          if (failed.load(kRelaxed)) return;
+          if (first_error.failed()) return;
           // Cross-worker early exit (LIMIT): enough rows collected, the
           // remaining source rows are never even scanned.
           if (sink.done()) return;
@@ -641,16 +639,14 @@ Status PhysicalPlan::RunStreaming(PhysicalPipeline& p, ExecContext& ctx) {
           };
           Status st = apply(chunk, 0);
           if (!st.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (first_error.ok()) first_error = st;
-            failed.store(true, kRelaxed);
+            first_error.Record(std::move(st));
             return;
           }
         }
       },
       /*morsel_size=*/kChunkCapacity * 8);
 
-  SODA_RETURN_NOT_OK(first_error);
+  SODA_RETURN_NOT_OK(first_error.Take());
   SODA_RETURN_NOT_OK(guard_status);
   return Status::OK();
 }

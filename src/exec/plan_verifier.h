@@ -1,0 +1,58 @@
+/// \file plan_verifier.h
+/// Static verification of query plans before execution.
+///
+/// A lowered plan that violates a structural invariant — a cyclic
+/// pipeline dependency, a sink finalized twice, a column reference past
+/// its input schema — used to be caught only when it crashed or produced
+/// garbage mid-execution. The verifier walks both plan representations
+/// up front:
+///
+///  - `VerifyLogicalPlan` checks the typed plan IR, where schemas live:
+///    child-count per node kind, schema/type agreement across every
+///    parent→child edge, expression output types against child schemas,
+///    column-index bounds, aggregate/join arity.
+///  - `VerifyPhysicalPlan` checks the pipeline DAG the lowering produced:
+///    acyclicity (inputs must be earlier pipelines), exclusivity of the
+///    streaming/finalize/operator forms, transform/display arity,
+///    unpatched transform slots, and the sink contract (every sink
+///    finalized exactly once; only MaterializeSink may be shared across
+///    pipelines — an aggregate/sort/limit sink is fed only by its own
+///    declared pipeline).
+///
+/// Violations are `kInternal` (they indicate a lowering bug, not a user
+/// error) and name the offending operator. Execution verifies every plan
+/// when `ExecContext::verify_plans` is set (the default; `SET
+/// soda.verify_plans = off` disables it per session) and always in
+/// debug (!NDEBUG) builds. `EXPLAIN` prints the verdict.
+
+#ifndef SODA_EXEC_PLAN_VERIFIER_H_
+#define SODA_EXEC_PLAN_VERIFIER_H_
+
+#include "exec/physical_plan.h"
+#include "sql/logical_plan.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Debug builds verify every plan regardless of the session knob.
+#ifndef NDEBUG
+inline constexpr bool kPlanVerifierAlwaysOn = true;
+#else
+inline constexpr bool kPlanVerifierAlwaysOn = false;
+#endif
+
+/// Fault/robustness probe site for the verification step.
+inline constexpr char kVerifyPlanSite[] = "exec.verify_plan";
+
+/// Structural + type checks over the logical plan IR (recursive).
+Status VerifyLogicalPlan(const PlanNode& plan);
+
+/// Structural checks over a lowered pipeline DAG.
+Status VerifyPhysicalPlan(const PhysicalPlan& plan);
+
+/// Both layers; the form ExecutePlan runs before executing a query.
+Status VerifyPlan(const PlanNode& logical, const PhysicalPlan& physical);
+
+}  // namespace soda
+
+#endif  // SODA_EXEC_PLAN_VERIFIER_H_

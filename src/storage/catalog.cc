@@ -6,7 +6,7 @@ namespace soda {
 
 Result<TablePtr> Catalog::CreateTable(const std::string& name, Schema schema) {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tables_.count(key)) {
     return Status::AlreadyExists("table already exists: " + key);
   }
@@ -16,7 +16,7 @@ Result<TablePtr> Catalog::CreateTable(const std::string& name, Schema schema) {
 }
 
 Status Catalog::RegisterTable(TablePtr table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::string& key = table->name();
   if (tables_.count(key)) {
     return Status::AlreadyExists("table already exists: " + key);
@@ -27,7 +27,7 @@ Status Catalog::RegisterTable(TablePtr table) {
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::KeyError("table not found: " + key);
@@ -36,13 +36,13 @@ Result<TablePtr> Catalog::GetTable(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tables_.count(ToLower(name)) > 0;
 }
 
 Status Catalog::DropTable(const std::string& name) {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!tables_.erase(key)) {
     return Status::KeyError("table not found: " + key);
   }
@@ -51,7 +51,7 @@ Status Catalog::DropTable(const std::string& name) {
 
 Status Catalog::ReplaceTable(const std::string& name, TablePtr table) {
   std::string key = ToLower(name);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::KeyError("table not found: " + key);
@@ -61,7 +61,7 @@ Status Catalog::ReplaceTable(const std::string& name, TablePtr table) {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
@@ -69,7 +69,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 size_t Catalog::TotalMemoryUsage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t bytes = 0;
   for (const auto& [_, t] : tables_) bytes += t->MemoryUsage();
   return bytes;

@@ -6,11 +6,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/table.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace soda {
@@ -44,8 +44,8 @@ class Catalog {
   size_t TotalMemoryUsage() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, TablePtr> tables_;
+  mutable Mutex mu_;
+  std::map<std::string, TablePtr> tables_ SODA_GUARDED_BY(mu_);
 };
 
 }  // namespace soda

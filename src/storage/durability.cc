@@ -93,7 +93,22 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
       new DurabilityManager(data_dir, std::move(wal)));
 }
 
+Status DurabilityManager::Commit(const std::function<Status()>& log,
+                                 const std::function<Status()>& publish) {
+  // commit_mu_ → Wal::mu_ (inside log) → released; then commit_mu_ →
+  // Catalog::mu_ (inside publish). See the lock-order comment in the
+  // header.
+  MutexLock lock(&commit_mu_);
+  SODA_RETURN_NOT_OK(log());
+  return publish();
+}
+
 Status DurabilityManager::Checkpoint(const Catalog& catalog) {
+  // Holding commit_mu_ makes snapshot + last_lsn + truncate atomic with
+  // respect to statement commits: every LSN at or below the recorded one
+  // has its effect in the snapshot, and no commit can slip between the
+  // snapshot and the truncate.
+  MutexLock lock(&commit_mu_);
   std::vector<TablePtr> tables;
   for (const std::string& name : catalog.TableNames()) {
     SODA_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(name));

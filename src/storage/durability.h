@@ -18,15 +18,32 @@
 #ifndef SODA_STORAGE_DURABILITY_H_
 #define SODA_STORAGE_DURABILITY_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "storage/catalog.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace soda {
 
+/// Lock order (enforced by the thread-safety annotations and documented
+/// here because it crosses three structures):
+///
+///   DurabilityManager::commit_mu_  →  Wal::mu_
+///   DurabilityManager::commit_mu_  →  Catalog::mu_
+///
+/// `commit_mu_` is the outermost lock: it serializes a statement's whole
+/// log→publish window (WAL append, then catalog mutation) against
+/// CHECKPOINT (catalog snapshot, checkpoint write, WAL truncate). The
+/// Wal and Catalog mutexes are leaf locks — they are never held while
+/// acquiring any other lock. Without `commit_mu_` there is a lost-commit
+/// race: a statement appends its WAL record, a concurrent checkpoint
+/// snapshots the catalog *before* the statement publishes, records the
+/// statement's LSN as covered, and truncates the log — the commit is then
+/// in neither the checkpoint nor the WAL.
 class DurabilityManager {
  public:
   /// Opens `data_dir` (created if missing), recovers `catalog` from the
@@ -38,6 +55,8 @@ class DurabilityManager {
 
   // --- Per-statement redo logging (called before the catalog mutation
   // --- is published; a failure means the statement must not commit). ----
+  // --- Call through Commit()/CommitDurable so the log→publish pair is
+  // --- atomic with respect to CHECKPOINT.
   Status LogCreateTable(const std::string& name, const Schema& schema) {
     return wal_->AppendCreateTable(name, schema);
   }
@@ -51,9 +70,17 @@ class DurabilityManager {
     return wal_->AppendTableImage(image);
   }
 
+  /// Runs one statement's commit unit under the commit lock: `log`
+  /// appends the redo record (log-before-publish), `publish` mutates the
+  /// catalog. A `log` failure skips `publish` — the statement fails with
+  /// neither the log nor memory touched.
+  Status Commit(const std::function<Status()>& log,
+                const std::function<Status()>& publish)
+      SODA_EXCLUDES(commit_mu_);
+
   /// CHECKPOINT: snapshots every catalog table atomically, then truncates
   /// the log. On failure the previous checkpoint + log remain valid.
-  Status Checkpoint(const Catalog& catalog);
+  Status Checkpoint(const Catalog& catalog) SODA_EXCLUDES(commit_mu_);
 
   void SetFsyncMode(WalFsyncMode mode, size_t group_bytes) {
     wal_->SetFsyncMode(mode, group_bytes);
@@ -68,7 +95,21 @@ class DurabilityManager {
 
   std::string data_dir_;
   std::unique_ptr<Wal> wal_;
+  /// Outermost lock of the durability layer; see the lock-order comment
+  /// at the top of this file. Guards no data directly — it serializes the
+  /// log→publish and snapshot→truncate critical sections.
+  Mutex commit_mu_;
 };
+
+/// Statement commit helper for engines that may be volatile: without a
+/// DurabilityManager the publish step runs alone; with one, log+publish
+/// run as a unit under the commit lock.
+inline Status CommitDurable(DurabilityManager* dur,
+                            const std::function<Status()>& log,
+                            const std::function<Status()>& publish) {
+  if (!dur) return publish();
+  return dur->Commit(log, publish);
+}
 
 /// Applies one recovered WAL record to the catalog (exposed for tests).
 Status ApplyWalRecord(Catalog* catalog, const WalRecord& record);

@@ -9,6 +9,7 @@
 
 #include "storage/serde.h"
 #include "util/crc32.h"
+#include "util/logging.h"
 #include "util/query_guard.h"
 
 namespace soda {
@@ -135,9 +136,15 @@ Wal::Wal(std::string path, int fd, uint64_t file_size, uint64_t last_lsn)
       last_lsn_(last_lsn) {}
 
 Wal::~Wal() {
+  MutexLock lock(&mu_);
   if (fd_ >= 0) {
     if (mode_ != WalFsyncMode::kOff && unsynced_bytes_ > 0) {
-      ::fsync(fd_);  // best effort: clean shutdown drains group commits
+      // Best effort: clean shutdown drains group commits. The destructor
+      // cannot fail, so a sync error is only logged.
+      if (::fsync(fd_) != 0) {
+        SODA_LOG(Warn) << "wal: final fsync failed for " << path_ << ": "
+                       << std::strerror(errno);
+      }
     }
     ::close(fd_);
   }
@@ -162,9 +169,18 @@ Status Wal::Commit(WalRecordType type, const std::string& body) {
 
   const std::string& bytes = frame.buffer();
   const off_t start = static_cast<off_t>(file_size_);
-  auto rollback = [&]() {
-    ::ftruncate(fd_, start);
-    ::lseek(fd_, start, SEEK_SET);
+  auto rollback = [&]() SODA_REQUIRES(mu_) {
+    // Rollback runs on a path that already reports a primary error; a
+    // failing rollback cannot change the outcome, only leave a torn tail
+    // that the next Open() will repair — so it is logged, not returned.
+    if (::ftruncate(fd_, start) != 0) {
+      SODA_LOG(Warn) << "wal: rollback ftruncate failed for " << path_
+                     << ": " << std::strerror(errno);
+    }
+    if (::lseek(fd_, start, SEEK_SET) < 0) {
+      SODA_LOG(Warn) << "wal: rollback lseek failed for " << path_ << ": "
+                     << std::strerror(errno);
+    }
   };
 
   size_t written = 0;
@@ -207,34 +223,40 @@ Status Wal::AppendCreateTable(const std::string& table, const Schema& schema) {
   BinaryWriter body;
   body.Str(table);
   WriteSchema(schema, &body);
+  MutexLock lock(&mu_);
   return Commit(WalRecordType::kCreateTable, body.buffer());
 }
 
 Status Wal::AppendDropTable(const std::string& table) {
   BinaryWriter body;
   body.Str(table);
+  MutexLock lock(&mu_);
   return Commit(WalRecordType::kDropTable, body.buffer());
 }
 
 Status Wal::AppendRows(const Table& rows) {
   BinaryWriter body;
   WriteTable(rows, &body);
+  MutexLock lock(&mu_);
   return Commit(WalRecordType::kAppendRows, body.buffer());
 }
 
 Status Wal::AppendTableImage(const Table& image) {
   BinaryWriter body;
   WriteTable(image, &body);
+  MutexLock lock(&mu_);
   return Commit(WalRecordType::kTableImage, body.buffer());
 }
 
 Status Wal::Sync() {
+  MutexLock lock(&mu_);
   if (::fsync(fd_) != 0) return IoError("fsync", path_);
   unsynced_bytes_ = 0;
   return Status::OK();
 }
 
 Status Wal::Truncate() {
+  MutexLock lock(&mu_);
   if (::ftruncate(fd_, 0) != 0) return IoError("ftruncate", path_);
   if (::lseek(fd_, 0, SEEK_SET) < 0) return IoError("lseek", path_);
   file_size_ = 0;

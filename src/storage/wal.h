@@ -30,6 +30,7 @@
 
 #include "storage/table.h"
 #include "types/schema.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace soda {
@@ -62,6 +63,13 @@ struct WalRecord {
   TablePtr rows;      ///< kAppendRows / kTableImage payload
 };
 
+/// Thread-safe: one internal mutex `mu_` guards the file descriptor, file
+/// size, LSN counter, and group-commit accounting, so concurrent appends
+/// (or an append racing a Sync) serialize cleanly. Cross-structure
+/// atomicity — "no checkpoint truncates a record whose catalog effect is
+/// not yet published" — is a stronger property that the WAL cannot
+/// provide alone; DurabilityManager's commit lock handles it (see
+/// storage/durability.h for the lock order).
 class Wal {
  public:
   /// Opens (creating if absent) the log at `path` and scans existing
@@ -77,46 +85,63 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  void SetFsyncMode(WalFsyncMode mode, size_t group_bytes) {
+  void SetFsyncMode(WalFsyncMode mode, size_t group_bytes)
+      SODA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     mode_ = mode;
     group_bytes_ = group_bytes;
   }
-  WalFsyncMode fsync_mode() const { return mode_; }
+  WalFsyncMode fsync_mode() const SODA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return mode_;
+  }
 
   /// LSN of the last record committed or recovered (0 = none).
-  uint64_t last_lsn() const { return last_lsn_; }
-  void set_last_lsn(uint64_t lsn) { last_lsn_ = lsn; }
+  uint64_t last_lsn() const SODA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return last_lsn_;
+  }
+  void set_last_lsn(uint64_t lsn) SODA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    last_lsn_ = lsn;
+  }
 
-  size_t size_bytes() const { return file_size_; }
+  size_t size_bytes() const SODA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return file_size_;
+  }
 
   // --- One call per statement; each is a self-contained commit. ----------
-  Status AppendCreateTable(const std::string& table, const Schema& schema);
-  Status AppendDropTable(const std::string& table);
+  Status AppendCreateTable(const std::string& table, const Schema& schema)
+      SODA_EXCLUDES(mu_);
+  Status AppendDropTable(const std::string& table) SODA_EXCLUDES(mu_);
   /// `rows` holds only the newly inserted rows (the staged side table).
-  Status AppendRows(const Table& rows);
+  Status AppendRows(const Table& rows) SODA_EXCLUDES(mu_);
   /// `image` is the complete post-statement table.
-  Status AppendTableImage(const Table& image);
+  Status AppendTableImage(const Table& image) SODA_EXCLUDES(mu_);
 
   /// Forces pending group-commit bytes to disk.
-  Status Sync();
+  Status Sync() SODA_EXCLUDES(mu_);
 
   /// Discards every record (after a successful checkpoint).
-  Status Truncate();
+  Status Truncate() SODA_EXCLUDES(mu_);
 
  private:
   Wal(std::string path, int fd, uint64_t file_size, uint64_t last_lsn);
 
   /// Frames, writes, and syncs one record; rolls the file back to its
   /// prior size on any failure.
-  Status Commit(WalRecordType type, const std::string& body);
+  Status Commit(WalRecordType type, const std::string& body)
+      SODA_REQUIRES(mu_);
 
-  std::string path_;
-  int fd_;
-  uint64_t file_size_;
-  uint64_t last_lsn_;
-  WalFsyncMode mode_ = WalFsyncMode::kOn;
-  size_t group_bytes_ = size_t{1} << 20;
-  size_t unsynced_bytes_ = 0;
+  const std::string path_;
+  mutable Mutex mu_;
+  int fd_ SODA_GUARDED_BY(mu_);
+  uint64_t file_size_ SODA_GUARDED_BY(mu_);
+  uint64_t last_lsn_ SODA_GUARDED_BY(mu_);
+  WalFsyncMode mode_ SODA_GUARDED_BY(mu_) = WalFsyncMode::kOn;
+  size_t group_bytes_ SODA_GUARDED_BY(mu_) = size_t{1} << 20;
+  size_t unsynced_bytes_ SODA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace soda

@@ -1,0 +1,51 @@
+/// \file first_error.h
+/// Thread-safe "first error wins" collector for parallel workers.
+///
+/// Several parallel stages (join build, aggregate merge, streaming
+/// pipelines) need the same tiny protocol: any worker may fail, the first
+/// failure is kept, the rest are dropped, and a cheap atomic flag lets
+/// other workers bail out early without taking the lock. This type
+/// centralizes that pattern with proper lock annotations.
+
+#ifndef SODA_UTIL_FIRST_ERROR_H_
+#define SODA_UTIL_FIRST_ERROR_H_
+
+#include <atomic>
+#include <utility>
+
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace soda {
+
+class FirstError {
+ public:
+  /// Records `status` if it is the first non-OK status seen. OK statuses
+  /// are ignored. Safe to call from any worker.
+  void Record(Status status) SODA_EXCLUDES(mu_) {
+    if (status.ok()) return;
+    MutexLock lock(&mu_);
+    if (first_.ok()) first_ = std::move(status);
+    failed_.store(true, std::memory_order_release);
+  }
+
+  /// Cheap check for "has anything failed yet" — workers poll this to
+  /// stop early without contending on the mutex.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Returns the first recorded error (OK if none). Takes the lock, so
+  /// it is safe even while workers are still recording.
+  Status Take() SODA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return first_;
+  }
+
+ private:
+  std::atomic<bool> failed_{false};
+  Mutex mu_;
+  Status first_ SODA_GUARDED_BY(mu_);
+};
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_FIRST_ERROR_H_

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
+
+#include "util/mutex.h"
 
 namespace soda {
 
@@ -34,12 +35,12 @@ struct ForState {
   /// First failure wins: either a guard probe Status or an exception from
   /// a worker body. `abort` makes the other workers stop pulling morsels.
   std::atomic<bool> abort{false};
-  std::mutex failure_mu;
-  Status guard_status;
-  std::exception_ptr exception;
+  Mutex failure_mu;
+  Status guard_status SODA_GUARDED_BY(failure_mu);
+  std::exception_ptr exception SODA_GUARDED_BY(failure_mu);
 
-  void Fail(Status status, std::exception_ptr eptr) {
-    std::lock_guard<std::mutex> lock(failure_mu);
+  void Fail(Status status, std::exception_ptr eptr) SODA_EXCLUDES(failure_mu) {
+    MutexLock lock(&failure_mu);
     if (guard_status.ok() && !exception) {
       guard_status = std::move(status);
       exception = eptr;
@@ -127,9 +128,17 @@ Status ParallelForImpl(QueryGuard* guard, bool guarded, size_t total,
 
   // Surface the first failure on the caller thread: a body exception is
   // rethrown (fixing the pool-thread std::terminate), a guard probe
-  // failure is returned as its Status.
-  if (state->exception) std::rethrow_exception(state->exception);
-  return state->guard_status;
+  // failure is returned as its Status. All helpers have finished, but take
+  // the lock anyway — it is uncontended and keeps the analysis exact.
+  std::exception_ptr eptr;
+  Status status;
+  {
+    MutexLock lock(&state->failure_mu);
+    eptr = state->exception;
+    status = state->guard_status;
+  }
+  if (eptr) std::rethrow_exception(eptr);
+  return status;
 }
 
 }  // namespace

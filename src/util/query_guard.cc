@@ -28,7 +28,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(const std::string& site, Kind kind, int64_t skip) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sites_[site] = Entry{kind, skip};
   armed_.store(true, std::memory_order_release);
 }
@@ -77,7 +77,7 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sites_.clear();
   armed_.store(false, std::memory_order_release);
 }
@@ -85,7 +85,7 @@ void FaultInjector::Reset() {
 Status FaultInjector::ProbeSlow(const char* site) {
   Kind kind;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = sites_.find(site);
     if (it == sites_.end()) return Status::OK();
     if (it->second.remaining_skips > 0) {

@@ -25,9 +25,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace soda {
@@ -92,11 +92,13 @@ class FaultInjector {
     int64_t remaining_skips;
   };
 
-  Status ProbeSlow(const char* site);
+  Status ProbeSlow(const char* site) SODA_EXCLUDES(mu_);
 
+  // armed_ is a lock-free hint for the disarmed fast path; sites_ holds
+  // the truth and is only touched under mu_.
   std::atomic<bool> armed_{false};
-  std::mutex mu_;
-  std::map<std::string, Entry> sites_;
+  Mutex mu_;
+  std::map<std::string, Entry> sites_ SODA_GUARDED_BY(mu_);
 };
 
 /// Limits a guard enforces; 0 means "unlimited" for both.

@@ -44,7 +44,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// `Status` is cheap to copy in the OK case (single pointer test); error
 /// state is heap-allocated since errors are rare.
-class Status {
+///
+/// `[[nodiscard]]`: silently dropping a Status swallows errors (a WAL fsync
+/// failure, a cancelled query). Callers that genuinely don't care must say
+/// so with a `(void)` cast.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
 
@@ -129,7 +133,7 @@ class Status {
 
 /// A value-or-error sum type, analogous to `arrow::Result<T>`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /* implicit */ Result(T value) : v_(std::move(value)) {}
   /* implicit */ Result(Status status) : v_(std::move(status)) {

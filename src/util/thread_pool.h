@@ -9,12 +9,12 @@
 #ifndef SODA_UTIL_THREAD_POOL_H_
 #define SODA_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace soda {
 
@@ -29,10 +29,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SODA_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished executing.
-  void WaitIdle();
+  void WaitIdle() SODA_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -42,15 +42,15 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SODA_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;        // signals work available / shutdown
-  std::condition_variable idle_cv_;   // signals all work drained
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;       // signals work available / shutdown
+  CondVar idle_cv_;  // signals all work drained
+  std::deque<std::function<void()>> queue_ SODA_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written only in ctor, joined in dtor
+  size_t active_ SODA_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SODA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace soda

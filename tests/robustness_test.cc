@@ -381,6 +381,8 @@ TEST_F(ResourceGovernorTest, FaultInjectionAtEachProbeSite) {
        "SELECT x.a, y.b FROM t x, t y", StatusCode::kCancelled},
       {"exec.agg_merge", FaultInjector::Kind::kError,
        "SELECT a, count(*) FROM t GROUP BY a", StatusCode::kInternal},
+      {"exec.verify_plan", FaultInjector::Kind::kError,
+       "SELECT a FROM t WHERE a > 0", StatusCode::kInternal},
   };
   for (const Case& c : cases) {
     FaultInjector::Global().Arm(c.site, c.kind);

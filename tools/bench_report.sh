@@ -12,6 +12,14 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 out="${1:-${repo_root}/BENCH_pr4.json}"
 build="${repo_root}/build"
 
+# Fail loudly up front rather than mid-run with a confusing error.
+for tool in cmake c++; do
+  if ! command -v "${tool}" >/dev/null 2>&1; then
+    echo "bench_report: FATAL: required tool '${tool}' not found in PATH" >&2
+    exit 1
+  fi
+done
+
 if [[ ! -x "${build}/bench/bench_join_agg" ]]; then
   cmake -S "${repo_root}" -B "${build}"
   cmake --build "${build}" -j "$(nproc)" --target bench_join_agg

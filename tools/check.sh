@@ -5,11 +5,22 @@
 # Usage:
 #   tools/check.sh              # tier-1 + address,undefined sanitizers
 #   tools/check.sh --fast       # tier-1 only (skip sanitizers)
+#   tools/check.sh --tsan       # tier-1 + ThreadSanitizer concurrency suites
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 fast=0
+tsan=0
 [[ "${1:-}" == "--fast" ]] && fast=1
+[[ "${1:-}" == "--tsan" ]] && tsan=1
+
+# Fail loudly up front rather than mid-run with a confusing error.
+for tool in cmake ctest c++; do
+  if ! command -v "${tool}" >/dev/null 2>&1; then
+    echo "check: FATAL: required tool '${tool}' not found in PATH" >&2
+    exit 1
+  fi
+done
 
 # Tier 1: the canonical build tree and test suite (ROADMAP.md).
 cmake -S "${repo_root}" -B "${repo_root}/build"
@@ -17,7 +28,15 @@ cmake --build "${repo_root}/build" -j "$(nproc)"
 ctest --test-dir "${repo_root}/build" -j "$(nproc)" --output-on-failure
 echo "check: tier-1 tests clean"
 
-if [[ "${fast}" == "0" ]]; then
+# Lint pipeline (grep rules always; clang-tidy when installed).
+"${repo_root}/tools/lint.sh"
+
+if [[ "${tsan}" == "1" ]]; then
+  # ThreadSanitizer leg: rebuilds in build-thread/ and runs the
+  # concurrency-heavy suites at SODA_THREADS=4 (see check_sanitize.sh).
+  "${repo_root}/tools/check_sanitize.sh" thread
+  echo "check: TSan concurrency suites clean"
+elif [[ "${fast}" == "0" ]]; then
   "${repo_root}/tools/check_sanitize.sh"
   # Crash-recovery suite, explicitly, under ASan/UBSan: the durability
   # layer's rollback and torn-tail paths shuffle raw file offsets and

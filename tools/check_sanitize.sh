@@ -21,5 +21,17 @@ cmake --build "${build_dir}" -j "$(nproc)"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 
-ctest --test-dir "${build_dir}" -j "$(nproc)" --output-on-failure
-echo "check_sanitize: all tests clean under ${sanitizers}"
+if [[ "${sanitizers}" == "thread" ]]; then
+  # TSan pass: the concurrency-heavy suites, forced to 4 workers so the
+  # morsel scheduler, join build, radix aggregate merge, and WAL group
+  # commit all actually interleave (SODA_THREADS would otherwise follow
+  # nproc, which is 1 on small CI boxes — zero interleaving, zero signal).
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+  SODA_THREADS=4 ctest --test-dir "${build_dir}" \
+    -R 'ParallelExec|Robustness|PhysicalPlan|Durability' \
+    -j "$(nproc)" --output-on-failure
+  echo "check_sanitize: concurrency suites clean under thread (SODA_THREADS=4)"
+else
+  ctest --test-dir "${build_dir}" -j "$(nproc)" --output-on-failure
+  echo "check_sanitize: all tests clean under ${sanitizers}"
+fi
