@@ -501,33 +501,55 @@ Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
   return Status::Internal("unknown statement kind");
 }
 
-/// One statement under a fresh QueryGuard built from the engine defaults
-/// overlaid with per-call ExecOptions. The guard is installed as the
-/// calling thread's MemoryScope so storage appends are charged; the
-/// guard-aware ParallelFor extends the scope to worker threads.
+/// One statement under a fresh QueryGuard built from the session (or
+/// engine) defaults overlaid with per-call ExecOptions. The guard is
+/// installed as the calling thread's MemoryScope so storage appends are
+/// charged; the guard-aware ParallelFor extends the scope to worker
+/// threads.
 Result<QueryResult> RunGoverned(const Statement& stmt, Catalog* catalog,
+                                Mutex* write_mu,
                                 EngineOptions* engine_options,
                                 DurabilityManager* dur,
                                 const ExecOptions& exec) {
+  // The session's SET state, when present, shadows the engine-global
+  // options for both reads (effective limits) and writes (SET).
+  EngineOptions* base =
+      exec.session_options ? exec.session_options : engine_options;
   if (stmt.kind == StatementKind::kSet) {
-    return ExecuteSet(*stmt.set, engine_options, dur);
+    return ExecuteSet(*stmt.set, base, dur);
   }
-  EngineOptions effective = *engine_options;
+  EngineOptions effective = *base;
   if (exec.max_iterations >= 0) {
     effective.max_iterations = static_cast<size_t>(exec.max_iterations);
   }
   QueryLimits limits;
-  limits.timeout_ms =
-      exec.timeout_ms >= 0 ? exec.timeout_ms : engine_options->timeout_ms;
+  limits.timeout_ms = exec.timeout_ms >= 0 ? exec.timeout_ms : base->timeout_ms;
   limits.memory_limit_bytes = exec.memory_limit_bytes >= 0
                                   ? exec.memory_limit_bytes
-                                  : engine_options->memory_limit_bytes;
+                                  : base->memory_limit_bytes;
   QueryGuard guard(limits, exec.cancel ? exec.cancel->token() : nullptr);
   QueryGuard::MemoryScope scope(&guard);
   // Probe once before any work so a pre-cancelled handle (or an already
   // expired deadline) aborts even plans that touch no other probe site,
   // e.g. a bare table scan that returns the catalog table directly.
   SODA_RETURN_NOT_OK(guard.Check("exec.statement"));
+
+  if (stmt.kind == StatementKind::kSelect ||
+      stmt.kind == StatementKind::kExplain) {
+    // Snapshot read: pin every table's current version for the whole
+    // statement. Concurrent DML swaps in new versions without disturbing
+    // us, and a statement scanning one table twice (self-join, CTE reuse)
+    // sees exactly one version. Readers take no lock beyond the O(#tables)
+    // map copy.
+    Catalog snapshot;
+    catalog->SnapshotInto(&snapshot);
+    return ExecuteStatement(stmt, &snapshot, effective, dur, &guard);
+  }
+
+  // Write statements are read-modify-swap over table versions; serialize
+  // them so concurrent UPDATEs cannot lose each other's swap. Lock order:
+  // write_mu_ → commit_mu_ → leaf mutexes (see engine.h).
+  MutexLock write_lock(write_mu);
   return ExecuteStatement(stmt, catalog, effective, dur, &guard);
 }
 
@@ -555,7 +577,8 @@ Result<QueryResult> Engine::Execute(const std::string& sql,
                                     const ExecOptions& exec) {
   SODA_RETURN_NOT_OK(startup_status_);
   SODA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return RunGoverned(stmt, &catalog_, &options_, durability_.get(), exec);
+  return RunGoverned(stmt, &catalog_, &write_mu_, &options_,
+                     durability_.get(), exec);
 }
 
 Result<QueryResult> Engine::ExecuteScript(const std::string& sql) {
@@ -566,8 +589,8 @@ Result<QueryResult> Engine::ExecuteScript(const std::string& sql) {
   for (const auto& stmt : stmts) {
     // SET takes effect for the remaining statements of the script.
     Result<QueryResult> r =
-        RunGoverned(stmt, &catalog_, &options_, durability_.get(),
-                    ExecOptions{});
+        RunGoverned(stmt, &catalog_, &write_mu_, &options_,
+                    durability_.get(), ExecOptions{});
     SODA_RETURN_NOT_OK(r.status());
     last = std::move(r.ValueOrDie());
   }

@@ -27,6 +27,7 @@
 #include "storage/catalog.h"
 #include "storage/durability.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/query_guard.h"
 #include "util/status.h"
 
@@ -90,6 +91,14 @@ struct ExecOptions {
   int64_t max_iterations = -1;
   /// Optional external cancellation; must outlive the Execute call.
   const CancelHandle* cancel = nullptr;
+  /// Per-session options (the session's SET state). When set, the
+  /// statement reads its defaults from here instead of the engine-global
+  /// options, and a SET statement writes here — so one server session's
+  /// knobs never leak into another's. The caller owns the object, must
+  /// keep it alive through the call, and must not run two statements
+  /// with the same session_options concurrently (the network server's
+  /// one-statement-per-connection loop guarantees this).
+  EngineOptions* session_options = nullptr;
 };
 
 class Engine {
@@ -107,6 +116,14 @@ class Engine {
   /// Executes one statement under per-call resource limits. A tripped
   /// limit surfaces as a clean Status (kCancelled / kDeadlineExceeded /
   /// kResourceExhausted); the catalog stays usable afterwards.
+  ///
+  /// Thread safety: Execute may be called from many threads at once
+  /// (the network server does). Reads (SELECT / EXPLAIN) pin a catalog
+  /// snapshot and never block; writers (DDL / DML / CHECKPOINT)
+  /// serialize on an internal statement lock, so concurrent UPDATEs
+  /// cannot lose each other's copy-on-write swaps. Engine-global SET
+  /// from concurrent callers is NOT synchronized — concurrent sessions
+  /// must use ExecOptions::session_options.
   Result<QueryResult> Execute(const std::string& sql,
                               const ExecOptions& exec);
 
@@ -138,6 +155,12 @@ class Engine {
   EngineOptions options_;
   std::unique_ptr<DurabilityManager> durability_;
   Status startup_status_;
+  /// Serializes write statements (DDL/DML/CHECKPOINT): each one is a
+  /// read-modify-swap over catalog table versions, so two running at
+  /// once would lose one of the swaps. Held across the whole statement.
+  /// Lock order: write_mu_ → DurabilityManager::commit_mu_ → leaf
+  /// mutexes (Wal::mu_, Catalog::mu_). See DESIGN.md §7.
+  Mutex write_mu_;
 };
 
 }  // namespace soda

@@ -456,6 +456,14 @@ class PhysicalPlanBuilder {
         fin.sink_op = shared_op;
         fin.finalize_sink = true;
         fin.inputs = child_idx;
+        // Every union funnels through this merge point, so probe here:
+        // the per-chunk probe above only covers transform-free children.
+        // The null display slot keeps the probe out of EXPLAIN output.
+        fin.prepares.push_back(
+            [](PhysicalPlan&, PhysicalPipeline&, ExecContext& ctx) {
+              return ctx.Probe("exec.union");
+            });
+        fin.prepare_ops.push_back(nullptr);
         return Push(std::move(fin));
       }
       case PlanKind::kRecursiveCte: {

@@ -7,6 +7,7 @@
 #include "analytics/stats.h"
 #include "exec/executor.h"
 #include "expr/lambda_kernel.h"
+#include "util/fault_sites.h"
 
 namespace soda {
 
@@ -14,7 +15,8 @@ bool IsTableFunction(const std::string& lower_name) {
   return lower_name == "kmeans" || lower_name == "pagerank" ||
          lower_name == "naive_bayes_train" ||
          lower_name == "naive_bayes_predict" || lower_name == "summarize" ||
-         lower_name == "connected_components";
+         lower_name == "connected_components" ||
+         lower_name == "soda_fault_sites";
 }
 
 Result<TableFunctionSignature> GetTableFunctionSignature(
@@ -40,6 +42,10 @@ Result<TableFunctionSignature> GetTableFunctionSignature(
   }
   if (name == "connected_components") {
     return TableFunctionSignature{1, 0, 0, 0, {}};
+  }
+  if (name == "soda_fault_sites") {
+    // Introspection: zero arguments, emits the fault-site registry.
+    return TableFunctionSignature{0, 0, 0, 0, {}};
   }
   return Status::KeyError("unknown table function: " + name);
 }
@@ -128,6 +134,10 @@ Result<Schema> InferTableFunctionSchema(
     }
     return NaiveBayesModelSchema();
   }
+  if (name == "soda_fault_sites") {
+    return Schema({Field("site", DataType::kVarchar),
+                   Field("description", DataType::kVarchar)});
+  }
   if (name == "naive_bayes_predict") {
     if (!relation_schemas[0].TypesEqual(NaiveBayesModelSchema())) {
       return Status::BindError(
@@ -210,6 +220,19 @@ Result<TablePtr> ExecuteTableFunctionWithInputs(const PlanNode& plan,
         RunConnectedComponents(*inputs[0], &stats, ctx.guard));
     ctx.stats.iterations_run += static_cast<size_t>(stats.iterations_run);
     return result;
+  }
+  if (name == "soda_fault_sites") {
+    // SELECT * FROM SODA_FAULT_SITES(): one row per registered fault
+    // site, straight from the compile-time registry. Keeps SQL-level
+    // introspection and the robustness-matrix coverage test honest.
+    auto table = std::make_shared<Table>(
+        "soda_fault_sites", Schema({Field("site", DataType::kVarchar),
+                                    Field("description", DataType::kVarchar)}));
+    for (const FaultSiteInfo& info : kFaultSites) {
+      SODA_RETURN_NOT_OK(table->AppendRow(
+          {Value::Varchar(info.site), Value::Varchar(info.description)}));
+    }
+    return table;
   }
   return Status::Internal("unknown table function at execution: " + name);
 }

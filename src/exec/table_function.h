@@ -13,6 +13,9 @@
 ///   NAIVE_BAYES_TRAIN((labeled))           -- first column = class label
 ///   NAIVE_BAYES_PREDICT((model), (data))
 ///   SUMMARIZE((labeled))                    -- stats building block (§6.2)
+///   SODA_FAULT_SITES()                      -- introspection: the fault
+///                                              injection registry
+///                                              (util/fault_sites.h)
 
 #ifndef SODA_EXEC_TABLE_FUNCTION_H_
 #define SODA_EXEC_TABLE_FUNCTION_H_

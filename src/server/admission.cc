@@ -1,0 +1,141 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace soda {
+
+AdmissionSlot& AdmissionSlot::operator=(AdmissionSlot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+void AdmissionSlot::Release() {
+  if (controller_) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {}
+
+Result<AdmissionSlot> AdmissionController::Admit() {
+  // The watermark consults the catalog outside mu_ so the lock order
+  // stays strictly admission.mu_ -> (nothing); Catalog::mu_ is a leaf
+  // that must never wait on us.
+  size_t resident = 0;
+  if (options_.memory_watermark_bytes > 0 && options_.memory_usage) {
+    resident = options_.memory_usage();
+  }
+
+  MutexLock lock(&mu_);
+  if (draining_) {
+    ++stats_.rejected_draining;
+    return Status::ResourceExhausted(
+        "server draining: no new statements admitted");
+  }
+  if (options_.memory_watermark_bytes > 0 &&
+      resident > options_.memory_watermark_bytes) {
+    ++stats_.shed_watermark;
+    return Status::ResourceExhausted(
+        "global memory watermark exceeded (" + std::to_string(resident) +
+        " of " + std::to_string(options_.memory_watermark_bytes) +
+        " bytes resident); statement shed");
+  }
+  if (active_ < options_.max_concurrent_statements) {
+    ++active_;
+    ++stats_.admitted;
+    return AdmissionSlot(this);
+  }
+  if (waiting_ >= options_.max_queued_statements) {
+    ++stats_.shed_queue_full;
+    return Status::ResourceExhausted(
+        "admission queue full (" +
+        std::to_string(options_.max_concurrent_statements) + " running, " +
+        std::to_string(waiting_) + " queued); statement shed");
+  }
+
+  // Bounded wait for a slot. WaitFor re-checks under the lock, so a
+  // spurious wakeup cannot over-admit.
+  ++waiting_;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.max_queue_wait_ms);
+  bool admitted = false;
+  while (true) {
+    if (draining_) break;
+    if (active_ < options_.max_concurrent_statements) {
+      admitted = true;
+      break;
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    (void)slot_free_.WaitFor(
+        &mu_, std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - now));
+  }
+  --waiting_;
+  if (!admitted) {
+    if (draining_) {
+      ++stats_.rejected_draining;
+      return Status::ResourceExhausted(
+          "server draining: no new statements admitted");
+    }
+    ++stats_.shed_queue_timeout;
+    return Status::ResourceExhausted(
+        "no admission slot freed within " +
+        std::to_string(options_.max_queue_wait_ms) + " ms; statement shed");
+  }
+  ++active_;
+  ++stats_.admitted;
+  return AdmissionSlot(this);
+}
+
+void AdmissionController::ReleaseSlot() {
+  MutexLock lock(&mu_);
+  --active_;
+  slot_free_.NotifyOne();
+  if (active_ == 0) quiesced_.NotifyAll();
+}
+
+void AdmissionController::BeginDrain() {
+  MutexLock lock(&mu_);
+  draining_ = true;
+  // Wake every queued waiter so it observes the drain and rejects.
+  slot_free_.NotifyAll();
+  if (active_ == 0) quiesced_.NotifyAll();
+}
+
+bool AdmissionController::draining() const {
+  MutexLock lock(&mu_);
+  return draining_;
+}
+
+size_t AdmissionController::AwaitQuiesce(int64_t timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(std::max<int64_t>(0, timeout_ms));
+  MutexLock lock(&mu_);
+  while (active_ > 0) {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    (void)quiesced_.WaitFor(
+        &mu_, std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - now));
+  }
+  return active_;
+}
+
+size_t AdmissionController::active() const {
+  MutexLock lock(&mu_);
+  return active_;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace soda

@@ -1,0 +1,130 @@
+/// \file admission.h
+/// Statement admission control: the server-side face of the PR-1 query
+/// governor.
+///
+/// The governor bounds what one statement may consume (deadline, memory
+/// budget); the admission controller bounds how many statements run at
+/// once and how many may wait. Together they turn overload into fast,
+/// typed rejections (kResourceExhausted + a retry-after hint) instead of
+/// an unbounded queue marching toward OOM:
+///
+///   admit  -> a slot is free (or frees within max_queue_wait_ms)
+///   shed   -> queue full, queue wait expired, or the global memory
+///             watermark is hit -> immediate kResourceExhausted
+///   drain  -> server shutting down -> kResourceExhausted("draining"),
+///             no retry hint (clients should fail over, not hammer)
+///
+/// State machine (DESIGN.md §7):
+///
+///     [accepting] --BeginDrain()--> [draining] --active==0--> quiesced
+///
+/// In `accepting`, Admit() hands out RAII slots; in `draining`, Admit()
+/// rejects everything while already-admitted statements run to
+/// completion (or are cancelled by the server once the drain deadline
+/// passes — that part is the server's job, see server.cc).
+
+#ifndef SODA_SERVER_ADMISSION_H_
+#define SODA_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace soda {
+
+struct AdmissionOptions {
+  /// Statements allowed to execute concurrently (the worker-slot pool).
+  size_t max_concurrent_statements = 4;
+  /// Statements allowed to wait for a slot; beyond this, shed instantly.
+  size_t max_queued_statements = 8;
+  /// How long one queued statement may wait before it is shed.
+  int64_t max_queue_wait_ms = 1000;
+  /// Global resident-memory watermark; 0 disables. Checked at admission
+  /// via `memory_usage` (typically Catalog::TotalMemoryUsage), so a
+  /// database already at the watermark sheds new work instead of letting
+  /// statements pile materializations on top.
+  size_t memory_watermark_bytes = 0;
+  std::function<size_t()> memory_usage;
+  /// Retry hint stamped into shed responses.
+  int64_t retry_after_ms = 100;
+};
+
+struct AdmissionStats {
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_queue_timeout = 0;
+  uint64_t shed_watermark = 0;
+  uint64_t rejected_draining = 0;
+};
+
+class AdmissionController;
+
+/// RAII statement slot: releasing it (destruction) wakes one queued
+/// waiter. Move-only; a default-constructed slot holds nothing.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  AdmissionSlot(AdmissionSlot&& other) noexcept
+      : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionSlot& operator=(AdmissionSlot&& other) noexcept;
+  ~AdmissionSlot() { Release(); }
+
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  bool held() const { return controller_ != nullptr; }
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  explicit AdmissionSlot(AdmissionController* c) : controller_(c) {}
+  AdmissionController* controller_ = nullptr;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Tries to admit one statement. Returns a held slot, or
+  /// kResourceExhausted when shed/draining (the message says which; use
+  /// `retry_after_hint_ms` for the wire hint). Blocks at most
+  /// `max_queue_wait_ms`.
+  Result<AdmissionSlot> Admit() SODA_EXCLUDES(mu_);
+
+  /// Stops admitting; already-held slots stay valid until released.
+  void BeginDrain() SODA_EXCLUDES(mu_);
+  bool draining() const SODA_EXCLUDES(mu_);
+
+  /// Blocks until every admitted statement released its slot or
+  /// `timeout_ms` elapsed; returns the number still active.
+  size_t AwaitQuiesce(int64_t timeout_ms) SODA_EXCLUDES(mu_);
+
+  size_t active() const SODA_EXCLUDES(mu_);
+  AdmissionStats stats() const SODA_EXCLUDES(mu_);
+
+  /// The hint stamped into shed responses (-1 when draining: the client
+  /// should fail over rather than retry here).
+  int64_t retry_after_hint_ms() const { return options_.retry_after_ms; }
+
+ private:
+  friend class AdmissionSlot;
+  void ReleaseSlot() SODA_EXCLUDES(mu_);
+
+  const AdmissionOptions options_;
+  mutable Mutex mu_;
+  CondVar slot_free_;  // signals: active_ dropped below the cap
+  CondVar quiesced_;   // signals: active_ reached 0
+  size_t active_ SODA_GUARDED_BY(mu_) = 0;
+  size_t waiting_ SODA_GUARDED_BY(mu_) = 0;
+  bool draining_ SODA_GUARDED_BY(mu_) = false;
+  AdmissionStats stats_ SODA_GUARDED_BY(mu_);
+};
+
+}  // namespace soda
+
+#endif  // SODA_SERVER_ADMISSION_H_

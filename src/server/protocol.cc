@@ -1,0 +1,140 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "storage/serde.h"
+
+namespace soda {
+
+namespace {
+
+/// StatusCode values cross the wire as u8; reject anything outside the
+/// enum so a corrupt frame cannot forge an impossible code.
+Result<StatusCode> StatusCodeFromWire(uint8_t v) {
+  if (v > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::ExecutionError("protocol: invalid status code " +
+                                  std::to_string(v));
+  }
+  return static_cast<StatusCode>(v);
+}
+
+}  // namespace
+
+Status WriteFrame(const Socket& sock, MsgType type, const std::string& body) {
+  // One contiguous buffer -> one send() on the fast path (no partial
+  // header/body interleaving for concurrent readers to misparse).
+  std::string wire;
+  wire.reserve(5 + body.size());
+  uint32_t len = static_cast<uint32_t>(body.size() + 1);
+  wire.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  wire.push_back(static_cast<char>(type));
+  wire.append(body);
+  return sock.WriteFull(wire.data(), wire.size());
+}
+
+Result<Frame> ReadFrame(const Socket& sock, size_t max_frame_bytes) {
+  uint32_t len = 0;
+  SODA_RETURN_NOT_OK(sock.ReadFull(&len, sizeof(len)));
+  if (len == 0) {
+    return Status::ExecutionError("protocol: empty frame");
+  }
+  if (len > max_frame_bytes) {
+    return Status::ExecutionError(
+        "protocol: frame of " + std::to_string(len) +
+        " bytes exceeds the " + std::to_string(max_frame_bytes) +
+        "-byte limit");
+  }
+  std::string payload(len, '\0');
+  SODA_RETURN_NOT_OK(sock.ReadFull(payload.data(), payload.size()));
+  Frame frame;
+  frame.type = static_cast<MsgType>(payload[0]);
+  frame.body = payload.substr(1);
+  return frame;
+}
+
+std::string EncodeQuery(const std::string& sql) {
+  BinaryWriter w;
+  w.Str(sql);
+  return w.Take();
+}
+
+Result<std::string> DecodeQuery(const Frame& frame) {
+  if (frame.type != MsgType::kQuery) {
+    return Status::ExecutionError(
+        "protocol: expected a query frame, got type " +
+        std::to_string(static_cast<int>(frame.type)));
+  }
+  BinaryReader r(frame.body);
+  SODA_ASSIGN_OR_RETURN(std::string sql, r.Str());
+  if (!r.AtEnd()) {
+    return Status::ExecutionError("protocol: trailing bytes after query");
+  }
+  return sql;
+}
+
+std::string EncodeHello(uint64_t session_id, const std::string& banner) {
+  BinaryWriter w;
+  w.U64(session_id);
+  w.Str(banner);
+  return w.Take();
+}
+
+std::string EncodeResult(const TablePtr& table) {
+  BinaryWriter w;
+  w.U8(table ? 1 : 0);
+  if (table) WriteTable(*table, &w);
+  return w.Take();
+}
+
+std::string EncodeError(const Status& status, int64_t retry_after_ms) {
+  BinaryWriter w;
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+  w.I64(retry_after_ms);
+  return w.Take();
+}
+
+std::string EncodeGoodbye(const std::string& reason) {
+  BinaryWriter w;
+  w.Str(reason);
+  return w.Take();
+}
+
+Result<ServerReply> DecodeServerReply(const Frame& frame) {
+  ServerReply reply;
+  reply.type = frame.type;
+  BinaryReader r(frame.body);
+  switch (frame.type) {
+    case MsgType::kHello: {
+      SODA_ASSIGN_OR_RETURN(reply.session_id, r.U64());
+      SODA_ASSIGN_OR_RETURN(reply.text, r.Str());
+      return reply;
+    }
+    case MsgType::kResult: {
+      SODA_ASSIGN_OR_RETURN(uint8_t has_table, r.U8());
+      if (has_table) {
+        SODA_ASSIGN_OR_RETURN(reply.table, ReadTable(&r));
+      }
+      return reply;
+    }
+    case MsgType::kError: {
+      SODA_ASSIGN_OR_RETURN(uint8_t code, r.U8());
+      SODA_ASSIGN_OR_RETURN(StatusCode sc, StatusCodeFromWire(code));
+      SODA_ASSIGN_OR_RETURN(std::string message, r.Str());
+      SODA_ASSIGN_OR_RETURN(reply.retry_after_ms, r.I64());
+      reply.status = Status(sc, message);
+      return reply;
+    }
+    case MsgType::kGoodbye: {
+      SODA_ASSIGN_OR_RETURN(reply.text, r.Str());
+      return reply;
+    }
+    case MsgType::kQuery:
+      break;
+  }
+  return Status::ExecutionError(
+      "protocol: unexpected server frame type " +
+      std::to_string(static_cast<int>(frame.type)));
+}
+
+}  // namespace soda

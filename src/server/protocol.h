@@ -1,0 +1,90 @@
+/// \file protocol.h
+/// soda's length-framed wire protocol (version 1).
+///
+/// Every message is one frame:
+///
+///   [u32 payload_len (LE)] [u8 msg_type] [payload ...]
+///
+/// payloads use the same bounds-checked binary codec as the WAL and
+/// checkpoints (storage/serde.h), so a truncated or hostile frame
+/// surfaces as a clean Status, never a crash. Frames larger than
+/// `max_frame_bytes` are rejected before any allocation.
+///
+/// Client -> server:
+///   kQuery    Str sql                       one SQL statement
+///
+/// Server -> client:
+///   kHello    U64 session_id, Str banner    sent once after accept
+///   kResult   U8 has_table [, Table]        statement succeeded
+///   kError    U8 status_code, Str message,
+///             I64 retry_after_ms            statement failed; a
+///                                           non-negative retry hint means
+///                                           "transient overload — retry"
+///   kGoodbye  Str reason                    server-initiated close (idle
+///                                           timeout, graceful drain)
+///
+/// Result tables reuse the columnar serde Table format byte-for-byte, so
+/// a client materializes a result with one ReadTable call.
+
+#ifndef SODA_SERVER_PROTOCOL_H_
+#define SODA_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/table.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace soda {
+
+enum class MsgType : uint8_t {
+  kQuery = 0x01,
+  kHello = 0x10,
+  kResult = 0x11,
+  kError = 0x12,
+  kGoodbye = 0x13,
+};
+
+/// Default cap on one frame's payload. Generous for result sets, small
+/// enough that a hostile length prefix cannot OOM the server.
+inline constexpr size_t kDefaultMaxFrameBytes = size_t{64} << 20;
+
+/// One decoded frame: the type byte plus the raw payload after it.
+struct Frame {
+  MsgType type;
+  std::string body;
+};
+
+/// Writes `[len][type][body]` as a single buffered send.
+Status WriteFrame(const Socket& sock, MsgType type, const std::string& body);
+
+/// Reads one frame; enforces `max_frame_bytes` before allocating.
+Result<Frame> ReadFrame(const Socket& sock, size_t max_frame_bytes);
+
+// --- typed encode/decode helpers -----------------------------------------
+
+std::string EncodeQuery(const std::string& sql);
+Result<std::string> DecodeQuery(const Frame& frame);
+
+std::string EncodeHello(uint64_t session_id, const std::string& banner);
+std::string EncodeResult(const TablePtr& table);  ///< null = row-less OK
+std::string EncodeError(const Status& status, int64_t retry_after_ms);
+std::string EncodeGoodbye(const std::string& reason);
+
+/// Everything a client learns from one server reply.
+struct ServerReply {
+  MsgType type;
+  Status status = Status::OK();  ///< non-OK only for kError
+  int64_t retry_after_ms = -1;   ///< >= 0: transient, retry after this
+  TablePtr table;                ///< non-null only for kResult with rows
+  uint64_t session_id = 0;       ///< kHello only
+  std::string text;              ///< banner (kHello) / reason (kGoodbye)
+};
+
+/// Decodes any server->client frame (client side).
+Result<ServerReply> DecodeServerReply(const Frame& frame);
+
+}  // namespace soda
+
+#endif  // SODA_SERVER_PROTOCOL_H_

@@ -1,0 +1,47 @@
+#include "server/session.h"
+
+#include "util/query_guard.h"
+
+namespace soda {
+
+Result<SessionPtr> SessionManager::Create(const std::string& peer,
+                                          const EngineOptions& defaults) {
+  SODA_RETURN_NOT_OK(FaultInjector::Global().Probe("server.session"));
+  MutexLock lock(&mu_);
+  if (sessions_.size() >= max_sessions_) {
+    return Status::ResourceExhausted(
+        "session limit reached (" + std::to_string(max_sessions_) +
+        " active); connection shed");
+  }
+  uint64_t id = next_id_++;
+  auto session = std::make_shared<Session>(id, peer, defaults);
+  sessions_.emplace(id, session);
+  return session;
+}
+
+void SessionManager::Remove(uint64_t id) {
+  MutexLock lock(&mu_);
+  sessions_.erase(id);
+}
+
+size_t SessionManager::count() const {
+  MutexLock lock(&mu_);
+  return sessions_.size();
+}
+
+void SessionManager::CancelAll() {
+  std::vector<SessionPtr> snapshot = Snapshot();
+  // Cancel outside mu_: CancelActiveStatement takes the session's own
+  // lock, and holding both invites an ordering knot for no benefit.
+  for (const SessionPtr& s : snapshot) s->CancelActiveStatement();
+}
+
+std::vector<SessionPtr> SessionManager::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<SessionPtr> out;
+  out.reserve(sessions_.size());
+  for (const auto& [_, s] : sessions_) out.push_back(s);
+  return out;
+}
+
+}  // namespace soda

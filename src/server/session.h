@@ -1,0 +1,126 @@
+/// \file session.h
+/// Server sessions: one per connected client, carrying the client's SET
+/// state, its in-flight statement's cancellation handle, and activity
+/// timestamps for idle harvesting.
+///
+/// A `Session` is shared between the connection-handler thread (the only
+/// writer of `options`) and controller threads (the server's drain path
+/// and the disconnect watcher), which only touch the thread-safe members
+/// (`Cancel*`, timestamps). Per-session `SET soda.*` state lives in
+/// `options`: the engine consults it via `ExecOptions::session_options`,
+/// so one tenant tightening its own budgets never affects another.
+
+#ifndef SODA_SERVER_SESSION_H_
+#define SODA_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace soda {
+
+class Session {
+ public:
+  Session(uint64_t id, std::string peer, EngineOptions options)
+      : id_(id), peer_(std::move(peer)), options_(std::move(options)) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& peer() const { return peer_; }
+
+  /// Per-session engine options (SET state). Only the session's own
+  /// connection thread reads or writes this — never share it.
+  EngineOptions& options() { return options_; }
+
+  /// Installs a fresh cancellation handle for the next statement and
+  /// returns it. The old handle is dropped (a tripped CancelToken stays
+  /// tripped forever, so handles are per-statement).
+  std::shared_ptr<CancelHandle> BeginStatement() SODA_EXCLUDES(mu_) {
+    auto handle = std::make_shared<CancelHandle>();
+    MutexLock lock(&mu_);
+    active_cancel_ = handle;
+    return handle;
+  }
+
+  void EndStatement() SODA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    active_cancel_.reset();
+  }
+
+  /// Trips the in-flight statement's cancel handle (no-op when idle).
+  /// Safe from any thread; used by disconnect detection and drain.
+  void CancelActiveStatement() SODA_EXCLUDES(mu_) {
+    std::shared_ptr<CancelHandle> handle;
+    {
+      MutexLock lock(&mu_);
+      handle = active_cancel_;
+    }
+    if (handle) handle->Cancel();
+  }
+
+  void Touch(int64_t now_ms) {
+    last_active_ms_.store(now_ms, std::memory_order_relaxed);
+  }
+  int64_t last_active_ms() const {
+    return last_active_ms_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t statements_run() const {
+    return statements_run_.load(std::memory_order_relaxed);
+  }
+  void CountStatement() {
+    statements_run_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  const uint64_t id_;
+  const std::string peer_;
+  EngineOptions options_;  // connection-thread-local; see class comment
+
+  mutable Mutex mu_;
+  std::shared_ptr<CancelHandle> active_cancel_ SODA_GUARDED_BY(mu_);
+  std::atomic<int64_t> last_active_ms_{0};
+  std::atomic<uint64_t> statements_run_{0};
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+/// Registry of live sessions. Admission of *sessions* happens here (the
+/// `max_sessions` cap and the `server.session` fault site); admission of
+/// *statements* is AdmissionController's job.
+class SessionManager {
+ public:
+  explicit SessionManager(size_t max_sessions)
+      : max_sessions_(max_sessions) {}
+
+  /// Registers a new session (probes the `server.session` fault site).
+  /// kResourceExhausted when the session cap is reached.
+  Result<SessionPtr> Create(const std::string& peer,
+                            const EngineOptions& defaults)
+      SODA_EXCLUDES(mu_);
+
+  void Remove(uint64_t id) SODA_EXCLUDES(mu_);
+
+  size_t count() const SODA_EXCLUDES(mu_);
+
+  /// Cancels every session's in-flight statement (drain deadline path).
+  void CancelAll() SODA_EXCLUDES(mu_);
+
+  std::vector<SessionPtr> Snapshot() const SODA_EXCLUDES(mu_);
+
+ private:
+  const size_t max_sessions_;
+  mutable Mutex mu_;
+  uint64_t next_id_ SODA_GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, SessionPtr> sessions_ SODA_GUARDED_BY(mu_);
+};
+
+}  // namespace soda
+
+#endif  // SODA_SERVER_SESSION_H_

@@ -68,6 +68,19 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
+void Catalog::SnapshotInto(Catalog* out) const {
+  // Copy under our lock, install under the target's: the two catalogs
+  // are distinct objects (a snapshot is always a fresh local), so the
+  // nested acquisition cannot deadlock and both maps stay consistent.
+  std::map<std::string, TablePtr> copy;
+  {
+    MutexLock lock(&mu_);
+    copy = tables_;
+  }
+  MutexLock lock(&out->mu_);
+  out->tables_ = std::move(copy);
+}
+
 size_t Catalog::TotalMemoryUsage() const {
   MutexLock lock(&mu_);
   size_t bytes = 0;

@@ -41,6 +41,15 @@ class Catalog {
   /// Sorted list of table names.
   std::vector<std::string> TableNames() const;
 
+  /// Copies the current name→table map into `out`, replacing its
+  /// contents. Tables are immutable once registered (mutation goes
+  /// through ReplaceTable's copy-on-write swap), so the copy is a
+  /// consistent point-in-time snapshot of the whole database at TablePtr
+  /// cost — no row data is copied. The engine pins one per SELECT so a
+  /// multi-scan statement (e.g. a self-join) never sees two versions of
+  /// the same table, even under concurrent DML (DESIGN.md §7).
+  void SnapshotInto(Catalog* out) const;
+
   size_t TotalMemoryUsage() const;
 
  private:

@@ -11,6 +11,7 @@
 #ifndef SODA_UTIL_MUTEX_H_
 #define SODA_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -75,6 +76,28 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock, std::move(pred));
     lock.release();
+  }
+
+  /// Timed wait: blocks until notified or `timeout` elapses. Returns
+  /// false on timeout. Used by the admission queue and graceful drain,
+  /// where a bounded wait is the whole point.
+  bool WaitFor(Mutex* mu, std::chrono::milliseconds timeout)
+      SODA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    bool notified = cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    lock.release();
+    return notified;
+  }
+
+  /// Timed predicate wait: returns the predicate's value on exit (false
+  /// means the deadline expired with the predicate still unsatisfied).
+  template <typename Pred>
+  bool WaitFor(Mutex* mu, std::chrono::milliseconds timeout, Pred pred)
+      SODA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    bool satisfied = cv_.wait_for(lock, timeout, std::move(pred));
+    lock.release();
+    return satisfied;
   }
 
   void NotifyOne() { cv_.notify_one(); }

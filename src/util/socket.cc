@@ -1,0 +1,195 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace soda {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::ExecutionError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<bool> Socket::WaitReadable(int timeout_ms) const {
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  if (rc == 0) return false;
+  // POLLHUP/POLLERR still count as readable: the next read returns the
+  // buffered bytes or a clean EOF/error, which is how callers find out.
+  return true;
+}
+
+bool Socket::PeerClosed() const {
+  char probe;
+  ssize_t n;
+  do {
+    n = ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  } while (n < 0 && errno == EINTR);
+  if (n == 0) return true;  // orderly shutdown from the peer
+  if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return true;
+  return false;  // pending data, or nothing to report yet
+}
+
+Status Socket::ReadFull(void* buf, size_t n) const {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t rc = ::read(fd_, p + got, n - got);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (rc == 0) {
+      if (got == 0) return Status::ExecutionError("connection closed");
+      return Status::ExecutionError(
+          "torn read: connection closed after " + std::to_string(got) +
+          " of " + std::to_string(n) + " bytes");
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteFull(const void* buf, size_t n) const {
+  const char* p = static_cast<const char*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+std::string Socket::PeerName() const {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+          0 ||
+      addr.sin_family != AF_INET) {
+    return "?";
+  }
+  char ip[INET_ADDRSTRLEN] = {0};
+  if (!::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip))) return "?";
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+Result<ListenSocket> ListenSocket::Bind(const std::string& host,
+                                        uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) return Errno("listen");
+
+  // Recover the kernel-assigned port when the caller asked for 0.
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  ListenSocket out;
+  out.sock_ = std::move(sock);
+  out.port_ = ntohs(addr.sin_port);
+  return out;
+}
+
+Result<Socket> ListenSocket::Accept() const {
+  int fd;
+  do {
+    fd = ::accept(sock_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("accept");
+  return Socket(fd);
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &res);
+  if (rc != 0) {
+    return Status::ExecutionError("cannot resolve " + host + ": " +
+                                  gai_strerror(rc));
+  }
+  Status last = Status::ExecutionError("no addresses for " + host);
+  for (struct addrinfo* ai = res; ai; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    Socket sock(fd);
+    int crc;
+    do {
+      crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (crc != 0 && errno == EINTR);
+    if (crc == 0) {
+      ::freeaddrinfo(res);
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    last = Errno("connect " + host + ":" + std::to_string(port));
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+}  // namespace soda

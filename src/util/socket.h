@@ -1,0 +1,106 @@
+/// \file socket.h
+/// RAII TCP sockets with EINTR-safe, partial-read-safe I/O — the only
+/// place in soda that touches raw file-descriptor networking.
+///
+/// Design rules (DESIGN.md §7):
+///  - every descriptor is owned by exactly one `Socket`/`ListenSocket`
+///    (move-only; closing twice is impossible by construction);
+///  - `ReadFull`/`WriteFull` loop over short reads/writes and retry
+///    EINTR, so callers never see a torn frame on a healthy connection;
+///  - writes use `send(MSG_NOSIGNAL)`: a dead peer surfaces as a clean
+///    Status (EPIPE), never a process-killing SIGPIPE;
+///  - blocking accept/read always goes through `WaitReadable`, a
+///    poll(2) with a bounded timeout, so server threads can observe
+///    shutdown flags instead of parking in the kernel forever.
+
+#ifndef SODA_UTIL_SOCKET_H_
+#define SODA_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace soda {
+
+/// Move-only owner of a connected TCP socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+
+  /// Blocks until the socket is readable (data or EOF pending) or
+  /// `timeout_ms` elapses. Returns true when readable, false on timeout;
+  /// a socket error surfaces as a non-OK Status.
+  Result<bool> WaitReadable(int timeout_ms) const;
+
+  /// True if the peer has closed the connection and no request bytes are
+  /// pending (a MSG_PEEK that returns 0). Used to detect a client
+  /// disconnect while its statement is still executing; never consumes
+  /// data. Errors other than would-block also count as disconnected.
+  bool PeerClosed() const;
+
+  /// Reads exactly `n` bytes, retrying EINTR and short reads. A clean
+  /// EOF before the first byte fails with message "connection closed";
+  /// EOF mid-buffer reports a torn read. Both are kExecutionError.
+  Status ReadFull(void* buf, size_t n) const;
+
+  /// Writes exactly `n` bytes (EINTR-safe, SIGPIPE-free).
+  Status WriteFull(const void* buf, size_t n) const;
+
+  /// The peer's address as "ip:port" (best effort; "?" on failure).
+  std::string PeerName() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Move-only owner of a listening TCP socket.
+class ListenSocket {
+ public:
+  /// Binds and listens on `host:port`. Port 0 binds an ephemeral port;
+  /// the actual port is reported by `port()`.
+  static Result<ListenSocket> Bind(const std::string& host, uint16_t port,
+                                   int backlog = 64);
+
+  ListenSocket() = default;
+  ListenSocket(ListenSocket&&) = default;
+  ListenSocket& operator=(ListenSocket&&) = default;
+
+  bool valid() const { return sock_.valid(); }
+  uint16_t port() const { return port_; }
+
+  /// Blocks until a connection is pending or `timeout_ms` elapses.
+  Result<bool> WaitAcceptable(int timeout_ms) const {
+    return sock_.WaitReadable(timeout_ms);
+  }
+
+  /// Accepts one pending connection (EINTR-safe). Call after
+  /// WaitAcceptable returned true, or be prepared to block.
+  Result<Socket> Accept() const;
+
+  void Close() { sock_.Close(); }
+
+ private:
+  Socket sock_;
+  uint16_t port_ = 0;
+};
+
+/// Connects to `host:port` (numeric IPv4 or a resolvable name).
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_SOCKET_H_

@@ -8,9 +8,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <set>
+#include <string>
 #include <thread>
 
 #include "tests/test_util.h"
+#include "util/fault_sites.h"
 #include "util/query_guard.h"
 
 namespace soda {
@@ -218,6 +221,94 @@ constexpr const char* kDivergentIterate =
     "(SELECT x + 1 x FROM iterate), "
     "(SELECT x FROM iterate WHERE x < 0))";
 
+/// One row of the fault matrix: arm `site` with `kind`, run `sql`, expect
+/// the statement to fail with `expected` — and the engine to stay usable.
+struct FaultCase {
+  const char* site;
+  FaultInjector::Kind kind;
+  const char* sql;
+  StatusCode expected;
+};
+
+/// The robustness matrix. Together with `kSitesCoveredElsewhere` it must
+/// cover every site in util/fault_sites.h — the RegistryCoverage test
+/// fails when a newly added probe site has no matrix row.
+const FaultCase kFaultMatrix[] = {
+    {"storage.append", FaultInjector::Kind::kOom,
+     "INSERT INTO t VALUES (3, 3.0)", StatusCode::kResourceExhausted},
+    {"exec.statement", FaultInjector::Kind::kCancel, "SELECT 1",
+     StatusCode::kCancelled},
+    {"exec.morsel", FaultInjector::Kind::kError,
+     "SELECT a FROM t WHERE a > 0", StatusCode::kInternal},
+    // exec.project guards the bulk column-copy fast path, which only fires
+    // for pure column selections feeding an analytics operator.
+    {"exec.project", FaultInjector::Kind::kOom,
+     "SELECT * FROM PAGERANK((SELECT a, a FROM t))",
+     StatusCode::kResourceExhausted},
+    {"exec.sort", FaultInjector::Kind::kOom,
+     "SELECT a FROM t ORDER BY a", StatusCode::kResourceExhausted},
+    {"exec.limit", FaultInjector::Kind::kOom,
+     "SELECT a FROM t WHERE a > 0 LIMIT 1", StatusCode::kResourceExhausted},
+    {"exec.union", FaultInjector::Kind::kError,
+     "SELECT a FROM t UNION ALL SELECT a FROM t", StatusCode::kInternal},
+    {"iterate.step", FaultInjector::Kind::kError,
+     "SELECT * FROM ITERATE((SELECT 1 x), (SELECT x + 1 x FROM iterate), "
+     "(SELECT x FROM iterate WHERE x > 5))",
+     StatusCode::kInternal},
+    {"kmeans.iteration", FaultInjector::Kind::kCancel,
+     "SELECT * FROM KMEANS((SELECT a, b FROM t), "
+     "(SELECT a, b FROM t LIMIT 1), 3)",
+     StatusCode::kCancelled},
+    {"cte.step", FaultInjector::Kind::kError,
+     "WITH RECURSIVE r (i) AS ((SELECT 1) UNION ALL "
+     "(SELECT i + 1 FROM r WHERE i < 5)) SELECT count(*) FROM r",
+     StatusCode::kInternal},
+    {"cte.append", FaultInjector::Kind::kOom,
+     "WITH RECURSIVE r (i) AS ((SELECT 1) UNION ALL "
+     "(SELECT i + 1 FROM r WHERE i < 5)) SELECT count(*) FROM r",
+     StatusCode::kResourceExhausted},
+    {"exec.dml", FaultInjector::Kind::kError,
+     "UPDATE t SET b = b + 1 WHERE a = 1", StatusCode::kInternal},
+    {"kmeans.densify", FaultInjector::Kind::kOom,
+     "SELECT * FROM KMEANS((SELECT a, b FROM t), "
+     "(SELECT a, b FROM t LIMIT 1), 3)",
+     StatusCode::kResourceExhausted},
+    {"pagerank.csr", FaultInjector::Kind::kOom,
+     "SELECT * FROM PAGERANK((SELECT a, a FROM t))",
+     StatusCode::kResourceExhausted},
+    {"pagerank.iteration", FaultInjector::Kind::kCancel,
+     "SELECT * FROM PAGERANK((SELECT a, a FROM t))", StatusCode::kCancelled},
+    {"cc.edges", FaultInjector::Kind::kOom,
+     "SELECT * FROM CONNECTED_COMPONENTS((SELECT a, a FROM t))",
+     StatusCode::kResourceExhausted},
+    {"cc.iteration", FaultInjector::Kind::kCancel,
+     "SELECT * FROM CONNECTED_COMPONENTS((SELECT a, a FROM t))",
+     StatusCode::kCancelled},
+    {"exec.join_build", FaultInjector::Kind::kCancel,
+     "SELECT x.a FROM t x JOIN t y ON x.a = y.a", StatusCode::kCancelled},
+    {"exec.cross_join", FaultInjector::Kind::kCancel,
+     "SELECT x.a, y.b FROM t x, t y", StatusCode::kCancelled},
+    {"exec.agg_merge", FaultInjector::Kind::kError,
+     "SELECT a, count(*) FROM t GROUP BY a", StatusCode::kInternal},
+    {"exec.verify_plan", FaultInjector::Kind::kError,
+     "SELECT a FROM t WHERE a > 0", StatusCode::kInternal},
+};
+
+/// Sites whose injection coverage lives in a dedicated suite rather than
+/// the matrix above (fault injection there needs process or I/O scaffolding
+/// this suite does not have).
+const char* const kSitesCoveredElsewhere[] = {
+    "checkpoint.rename",  // durability_test: CrashAtEverySite
+    "checkpoint.write",   // durability_test: CrashAtEverySite
+    "wal.append",         // durability_test: CrashAtEverySite
+    "wal.fsync",          // durability_test: CrashAtEverySite
+    "exec.pipeline",      // explain_test: pipeline-level fault rendering
+    "server.accept",      // server_test: ServerFaultSites
+    "server.read",        // server_test: ServerFaultSites
+    "server.session",     // server_test: ServerFaultSites
+    "server.write",       // server_test: ServerFaultSites
+};
+
 class ResourceGovernorTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -342,49 +433,7 @@ TEST_F(ResourceGovernorTest, MemoryBudgetViaExecOptionsIsPerCall) {
 }
 
 TEST_F(ResourceGovernorTest, FaultInjectionAtEachProbeSite) {
-  struct Case {
-    const char* site;
-    FaultInjector::Kind kind;
-    const char* sql;
-    StatusCode expected;
-  };
-  const Case cases[] = {
-      {"storage.append", FaultInjector::Kind::kOom,
-       "INSERT INTO t VALUES (3, 3.0)", StatusCode::kResourceExhausted},
-      {"exec.morsel", FaultInjector::Kind::kError,
-       "SELECT a FROM t WHERE a > 0", StatusCode::kInternal},
-      {"iterate.step", FaultInjector::Kind::kError,
-       "SELECT * FROM ITERATE((SELECT 1 x), (SELECT x + 1 x FROM iterate), "
-       "(SELECT x FROM iterate WHERE x > 5))",
-       StatusCode::kInternal},
-      {"kmeans.iteration", FaultInjector::Kind::kCancel,
-       "SELECT * FROM KMEANS((SELECT a, b FROM t), "
-       "(SELECT a, b FROM t LIMIT 1), 3)",
-       StatusCode::kCancelled},
-      {"cte.step", FaultInjector::Kind::kError,
-       "WITH RECURSIVE r (i) AS ((SELECT 1) UNION ALL "
-       "(SELECT i + 1 FROM r WHERE i < 5)) SELECT count(*) FROM r",
-       StatusCode::kInternal},
-      {"exec.dml", FaultInjector::Kind::kError,
-       "UPDATE t SET b = b + 1 WHERE a = 1", StatusCode::kInternal},
-      {"kmeans.densify", FaultInjector::Kind::kOom,
-       "SELECT * FROM KMEANS((SELECT a, b FROM t), "
-       "(SELECT a, b FROM t LIMIT 1), 3)",
-       StatusCode::kResourceExhausted},
-      {"pagerank.csr", FaultInjector::Kind::kOom,
-       "SELECT * FROM PAGERANK((SELECT a, a FROM t))",
-       StatusCode::kResourceExhausted},
-      {"exec.join_build", FaultInjector::Kind::kCancel,
-       "SELECT x.a FROM t x JOIN t y ON x.a = y.a",
-       StatusCode::kCancelled},
-      {"exec.cross_join", FaultInjector::Kind::kCancel,
-       "SELECT x.a, y.b FROM t x, t y", StatusCode::kCancelled},
-      {"exec.agg_merge", FaultInjector::Kind::kError,
-       "SELECT a, count(*) FROM t GROUP BY a", StatusCode::kInternal},
-      {"exec.verify_plan", FaultInjector::Kind::kError,
-       "SELECT a FROM t WHERE a > 0", StatusCode::kInternal},
-  };
-  for (const Case& c : cases) {
+  for (const FaultCase& c : kFaultMatrix) {
     FaultInjector::Global().Arm(c.site, c.kind);
     auto result = engine_.Execute(c.sql);
     ASSERT_FALSE(result.ok()) << "site " << c.site << " did not fire";
@@ -395,6 +444,47 @@ TEST_F(ResourceGovernorTest, FaultInjectionAtEachProbeSite) {
     // sites whose statement is side-effect free this re-runs identically).
     ExpectEngineUsable();
   }
+}
+
+TEST_F(ResourceGovernorTest, FaultMatrixCoversEveryRegisteredSite) {
+  // The registry (util/fault_sites.h) is the single source of truth; the
+  // matrix above plus the suites listed in kSitesCoveredElsewhere must
+  // cover it exactly. A probe site added to the engine without a matrix
+  // row — or a matrix row for a site that no longer exists — fails here.
+  std::set<std::string> covered;
+  for (const FaultCase& c : kFaultMatrix) covered.insert(c.site);
+  for (const char* site : kSitesCoveredElsewhere) {
+    EXPECT_FALSE(covered.count(site))
+        << site << " is in both the matrix and kSitesCoveredElsewhere";
+    covered.insert(site);
+  }
+  std::set<std::string> registered;
+  for (const FaultSiteInfo& info : kFaultSites) registered.insert(info.site);
+
+  for (const std::string& site : registered) {
+    EXPECT_TRUE(covered.count(site))
+        << "registered fault site '" << site
+        << "' has no robustness-matrix row and is not listed as covered "
+           "elsewhere";
+  }
+  for (const std::string& site : covered) {
+    EXPECT_TRUE(registered.count(site))
+        << "test covers '" << site
+        << "' which is not registered in util/fault_sites.h";
+  }
+}
+
+TEST_F(ResourceGovernorTest, FaultSiteTableFunctionMatchesRegistry) {
+  // SQL-level introspection must agree with the compile-time registry.
+  auto r = RunQuery(engine_,
+                    "SELECT count(*) FROM SODA_FAULT_SITES()");
+  EXPECT_EQ(r.GetInt(0, 0), static_cast<int64_t>(kNumFaultSites));
+  // Spot-check content and ordering-independence via a filter.
+  auto row = RunQuery(engine_,
+                      "SELECT site, description FROM SODA_FAULT_SITES() "
+                      "WHERE site = 'server.accept'");
+  ASSERT_EQ(row.num_rows(), 1u);
+  EXPECT_FALSE(row.GetString(0, 1).empty());
 }
 
 TEST_F(ResourceGovernorTest, InjectedFaultFiresExactlyOnce) {

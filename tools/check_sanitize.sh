@@ -28,7 +28,7 @@ if [[ "${sanitizers}" == "thread" ]]; then
   # nproc, which is 1 on small CI boxes — zero interleaving, zero signal).
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
   SODA_THREADS=4 ctest --test-dir "${build_dir}" \
-    -R 'ParallelExec|Robustness|PhysicalPlan|Durability' \
+    -R 'ParallelExec|Robustness|PhysicalPlan|Durability|Server' \
     -j "$(nproc)" --output-on-failure
   echo "check_sanitize: concurrency suites clean under thread (SODA_THREADS=4)"
 else

@@ -39,8 +39,13 @@ src_files() {
 # WaitIdle, and the TSan suite's worker accounting. Tests are exempt:
 # they legitimately race the engine from external threads (e.g. the
 # cross-thread canceller in robustness_test.cc), and the pool itself is
-# the system under test there.
+# the system under test there. src/server/ is exempt too: its threads
+# are control plane (accept loop, per-session handlers, disconnect
+# watchers), not query work — they block on sockets, must outlive any
+# single statement, and are joined by Server::Shutdown's own drain
+# protocol rather than the pool's WaitIdle.
 hits="$(src_files | grep -v '^src/util/thread_pool' | grep -v '^tests/' \
+        | grep -v '^src/server/' \
         | xargs grep -n 'std::thread\b' 2>/dev/null || true)"
 if [[ -n "${hits}" ]]; then
   fail "std::thread outside src/util/thread_pool.*" "${hits}"
@@ -49,10 +54,11 @@ fi
 # --- Rule 2: no raw mutex/condvar primitives outside util/mutex.h. ------
 # soda::Mutex carries the Clang capability annotations; std::mutex does
 # not, so locking through it silently opts out of the static analysis.
+# Comment lines are excluded — docs may (and do) name the banned types.
 hits="$(src_files | grep -v '^src/util/mutex\.h$' \
         | xargs grep -nE \
           'std::(mutex|recursive_mutex|shared_mutex|condition_variable)\b|std::(lock_guard|unique_lock|scoped_lock)\b' \
-          2>/dev/null || true)"
+          2>/dev/null | grep -vE '^[^:]+:[0-9]+:\s*//' || true)"
 if [[ -n "${hits}" ]]; then
   fail "raw std synchronization primitive outside src/util/mutex.h (use soda::Mutex / MutexLock / CondVar)" "${hits}"
 fi
@@ -75,6 +81,28 @@ hits="$(src_files | grep -v '^src/util/thread_annotations\.h$' \
         2>/dev/null || true)"
 if [[ -n "${hits}" ]]; then
   fail "raw thread-safety attribute (use the SODA_* macros from util/thread_annotations.h)" "${hits}"
+fi
+
+# --- Rule 5: every probe-site literal is registered. --------------------
+# Fault-injection sites are discoverable at runtime via
+# soda_fault_sites() and exhaustively exercised by the robustness
+# matrix — but only if they appear in src/util/fault_sites.h. A probe
+# with an unregistered site string would silently escape both. The
+# `soda.*` namespace is excluded: those are SET knob names, not sites.
+probe_sites="$(git ls-files 'src/**/*.cc' 'src/**/*.h' \
+        | grep -v '^src/util/fault_sites\.h$' \
+        | xargs grep -hoE '(GuardProbe|GuardReserve|Probe|Check)\([^)]*"[a-z_]+\.[a-z_.]+"' 2>/dev/null \
+        | grep -oE '"[a-z_]+\.[a-z_.]+"' | tr -d '"' \
+        | grep -v '^soda\.' | sort -u || true)"
+unregistered=""
+for site in ${probe_sites}; do
+  if ! grep -q "\"${site}\"" src/util/fault_sites.h; then
+    unregistered="${unregistered}${site}"$'\n'
+  fi
+done
+if [[ -n "${unregistered}" ]]; then
+  fail "probe site(s) not registered in src/util/fault_sites.h" \
+    ${unregistered}
 fi
 
 # --- clang-tidy over the compilation database. --------------------------

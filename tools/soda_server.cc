@@ -1,0 +1,165 @@
+/// \file soda_server.cc
+/// The soda network server binary.
+///
+///   soda_server [--host H] [--port P] [--data-dir DIR]
+///               [--max-sessions N] [--max-concurrent N] [--queue N]
+///               [--queue-wait-ms MS] [--idle-timeout-ms MS]
+///               [--drain-timeout-ms MS] [--mem-watermark-mb MB]
+///               [--statement-timeout-ms MS] [--statement-memory-mb MB]
+///
+/// Prints "soda_server listening on HOST:PORT" once ready (scripts key on
+/// this line). SIGTERM/SIGINT trigger a graceful drain: stop accepting,
+/// let in-flight statements finish within --drain-timeout-ms, cancel the
+/// stragglers, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "server/server.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: soda_server [--host H] [--port P] [--data-dir DIR]\n"
+      "                   [--max-sessions N] [--max-concurrent N]\n"
+      "                   [--queue N] [--queue-wait-ms MS]\n"
+      "                   [--idle-timeout-ms MS] [--drain-timeout-ms MS]\n"
+      "                   [--mem-watermark-mb MB]\n"
+      "                   [--statement-timeout-ms MS]\n"
+      "                   [--statement-memory-mb MB]\n");
+}
+
+int64_t ParseInt(const char* flag, const char* value) {
+  char* end = nullptr;
+  long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "soda_server: %s expects a non-negative integer\n",
+                 flag);
+    std::exit(2);
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  soda::EngineOptions engine_options;
+  soda::ServerOptions server_options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "soda_server: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      server_options.host = next("--host");
+    } else if (arg == "--port") {
+      server_options.port =
+          static_cast<uint16_t>(ParseInt("--port", next("--port")));
+    } else if (arg == "--data-dir") {
+      engine_options.data_dir = next("--data-dir");
+    } else if (arg == "--max-sessions") {
+      server_options.max_sessions = static_cast<size_t>(
+          ParseInt("--max-sessions", next("--max-sessions")));
+    } else if (arg == "--max-concurrent") {
+      server_options.admission.max_concurrent_statements = static_cast<size_t>(
+          ParseInt("--max-concurrent", next("--max-concurrent")));
+    } else if (arg == "--queue") {
+      server_options.admission.max_queued_statements =
+          static_cast<size_t>(ParseInt("--queue", next("--queue")));
+    } else if (arg == "--queue-wait-ms") {
+      server_options.admission.max_queue_wait_ms =
+          ParseInt("--queue-wait-ms", next("--queue-wait-ms"));
+    } else if (arg == "--idle-timeout-ms") {
+      server_options.idle_timeout_ms =
+          ParseInt("--idle-timeout-ms", next("--idle-timeout-ms"));
+    } else if (arg == "--drain-timeout-ms") {
+      server_options.drain_timeout_ms =
+          ParseInt("--drain-timeout-ms", next("--drain-timeout-ms"));
+    } else if (arg == "--mem-watermark-mb") {
+      server_options.admission.memory_watermark_bytes =
+          static_cast<size_t>(
+              ParseInt("--mem-watermark-mb", next("--mem-watermark-mb"))) *
+          (size_t{1} << 20);
+    } else if (arg == "--statement-timeout-ms") {
+      server_options.statement_timeout_ms =
+          ParseInt("--statement-timeout-ms", next("--statement-timeout-ms"));
+    } else if (arg == "--statement-memory-mb") {
+      server_options.statement_memory_limit_bytes =
+          ParseInt("--statement-memory-mb", next("--statement-memory-mb")) *
+          (int64_t{1024} * 1024);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "soda_server: unknown flag '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals before any thread spawns, so every thread
+  // inherits the mask and only the sigwait loop below sees them.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  sigaddset(&shutdown_signals, SIGTERM);
+  sigaddset(&shutdown_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
+
+  soda::Engine engine(engine_options);
+  if (!engine.startup_status().ok()) {
+    std::fprintf(stderr, "soda_server: recovery failed: %s\n",
+                 engine.startup_status().ToString().c_str());
+    return 1;
+  }
+  // Default watermark source: the catalog's resident footprint.
+  if (server_options.admission.memory_watermark_bytes > 0 &&
+      !server_options.admission.memory_usage) {
+    soda::Catalog* catalog = &engine.catalog();
+    server_options.admission.memory_usage = [catalog] {
+      return catalog->TotalMemoryUsage();
+    };
+  }
+
+  soda::Server server(&engine, server_options);
+  soda::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "soda_server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("soda_server listening on %s:%u\n", server_options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&shutdown_signals, &sig);
+  std::printf("soda_server: caught %s, draining...\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+
+  soda::Status stopped = server.Shutdown();
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "soda_server: shutdown failed: %s\n",
+                 stopped.ToString().c_str());
+    return 1;
+  }
+  const soda::ServerStats& stats = server.stats();
+  std::printf(
+      "soda_server: drained cleanly (%llu connections, %llu statements ok, "
+      "%llu shed, %llu cancelled in drain)\n",
+      static_cast<unsigned long long>(stats.connections_accepted.load()),
+      static_cast<unsigned long long>(stats.statements_ok.load()),
+      static_cast<unsigned long long>(stats.statements_shed.load()),
+      static_cast<unsigned long long>(stats.drain_cancels.load()));
+  return 0;
+}

@@ -2,11 +2,19 @@
 ///
 /// Usage:
 ///   ./build/tools/soda_shell [--data-dir <dir>] [script.sql ...]
+///   ./build/tools/soda_shell --connect <host:port> [script.sql ...]
 ///
 /// With --data-dir the shell opens a durable engine: the directory's
 /// checkpoint + write-ahead log are recovered on startup, every DDL/DML
 /// statement is logged, and `CHECKPOINT` compacts the log into a fresh
 /// snapshot (see DESIGN.md §Durability).
+///
+/// With --connect the shell is a network client: statements travel to a
+/// running soda_server over the length-framed wire protocol (DESIGN.md
+/// §7) and results come back as serialized relations. Transient overload
+/// replies (kResourceExhausted with a retry-after hint) are printed with
+/// the hint; the connection survives them. Only \q and \timing work as
+/// meta commands remotely — the rest need catalog access.
 ///
 /// Statements end with ';'. Meta commands:
 ///   \d             list tables
@@ -30,7 +38,9 @@
 #include <string>
 
 #include "core/engine.h"
+#include "server/protocol.h"
 #include "storage/csv.h"
+#include "util/socket.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -180,11 +190,145 @@ bool HandleMeta(soda::Engine& engine, const std::string& line, bool* timing) {
   return false;
 }
 
+/// Sends one statement to a remote server and prints the reply. Returns
+/// false when the connection is no longer usable (torn frame, goodbye).
+bool RunRemoteStatement(const soda::Socket& sock, const std::string& sql,
+                        bool timing) {
+  soda::Timer timer;
+  soda::Status sent =
+      soda::WriteFrame(sock, soda::MsgType::kQuery, soda::EncodeQuery(sql));
+  if (!sent.ok()) {
+    std::printf("connection lost: %s\n", sent.ToString().c_str());
+    return false;
+  }
+  auto frame = soda::ReadFrame(sock, soda::kDefaultMaxFrameBytes);
+  if (!frame.ok()) {
+    std::printf("connection lost: %s\n", frame.status().ToString().c_str());
+    return false;
+  }
+  auto reply = soda::DecodeServerReply(*frame);
+  if (!reply.ok()) {
+    std::printf("protocol error: %s\n", reply.status().ToString().c_str());
+    return false;
+  }
+  double seconds = timer.ElapsedSeconds();
+  switch (reply->type) {
+    case soda::MsgType::kResult:
+      if (reply->table) {
+        std::printf("%s",
+                    soda::QueryResult(reply->table, soda::ExecStats{})
+                        .ToString(40)
+                        .c_str());
+      } else {
+        std::printf("OK\n");
+      }
+      if (timing) std::printf("(%.3f s)\n", seconds);
+      return true;
+    case soda::MsgType::kError:
+      std::printf("%s\n", reply->status.ToString().c_str());
+      if (reply->retry_after_ms >= 0) {
+        std::printf("(transient overload — retry after %lld ms)\n",
+                    static_cast<long long>(reply->retry_after_ms));
+      }
+      return true;  // the session survives statement errors
+    case soda::MsgType::kGoodbye:
+      std::printf("server closed connection: %s\n", reply->text.c_str());
+      return false;
+    default:
+      std::printf("unexpected server frame (type %u)\n",
+                  static_cast<unsigned>(reply->type));
+      return false;
+  }
+}
+
+/// Client mode: speak the framed protocol to a soda_server.
+int RunRemoteShell(const std::string& host, uint16_t port,
+                   const std::vector<std::string>& scripts) {
+  auto sock = soda::ConnectTcp(host, port);
+  if (!sock.ok()) {
+    std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(),
+                 static_cast<unsigned>(port),
+                 sock.status().ToString().c_str());
+    return 1;
+  }
+  auto hello = soda::ReadFrame(*sock, soda::kDefaultMaxFrameBytes);
+  if (!hello.ok()) {
+    std::fprintf(stderr, "no hello from server: %s\n",
+                 hello.status().ToString().c_str());
+    return 1;
+  }
+  auto greeting = soda::DecodeServerReply(*hello);
+  if (!greeting.ok() || greeting->type != soda::MsgType::kHello) {
+    // A full server rejects the connection with a typed error instead
+    // of a hello; surface its message.
+    if (greeting.ok() && greeting->type == soda::MsgType::kError) {
+      std::fprintf(stderr, "server rejected connection: %s\n",
+                   greeting->status.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "unexpected server greeting\n");
+    }
+    return 1;
+  }
+
+  bool timing = false;
+  for (const std::string& path : scripts) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << file.rdbuf();
+    std::string script = ss.str();
+    for (const auto& stmt : DrainStatements(&script)) {
+      if (!RunRemoteStatement(*sock, stmt, timing)) return 1;
+    }
+  }
+
+  const bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("connected to soda_server at %s:%u (session %llu, %s)\n",
+                host.c_str(), static_cast<unsigned>(port),
+                static_cast<unsigned long long>(greeting->session_id),
+                greeting->text.c_str());
+  }
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf(buffer.empty() ? "soda> " : "  ...> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    std::string cmd(soda::Trim(line));
+    if (buffer.empty() && (cmd == "\\q" || cmd == "\\quit")) break;
+    if (buffer.empty() && cmd == "\\timing") {
+      timing = !timing;
+      std::printf("timing %s\n", timing ? "on" : "off");
+      continue;
+    }
+    if (buffer.empty() && !cmd.empty() && cmd[0] == '\\') {
+      std::printf("meta command %s is local-only; plain SQL travels to the "
+                  "server (\\q, \\timing work remotely)\n",
+                  cmd.c_str());
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    for (const auto& stmt : DrainStatements(&buffer)) {
+      if (!RunRemoteStatement(*sock, stmt, timing)) return 1;
+    }
+    if (soda::Trim(buffer).empty()) buffer.clear();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   soda::EngineOptions options;
   std::vector<std::string> scripts;
+  std::string connect;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--data-dir") {
@@ -195,12 +339,36 @@ int main(int argc, char** argv) {
       options.data_dir = argv[++i];
     } else if (arg.rfind("--data-dir=", 0) == 0) {
       options.data_dir = arg.substr(std::string("--data-dir=").size());
+    } else if (arg == "--connect") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--connect requires host:port\n");
+        return 1;
+      }
+      connect = argv[++i];
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect = arg.substr(std::string("--connect=").size());
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: soda_shell [--data-dir <dir>] [script.sql ...]\n");
+      std::printf(
+          "usage: soda_shell [--data-dir <dir>] [--connect host:port] "
+          "[script.sql ...]\n");
       return 0;
     } else {
       scripts.push_back(std::move(arg));
     }
+  }
+
+  if (!connect.empty()) {
+    size_t colon = connect.rfind(':');
+    long long port = colon == std::string::npos
+                         ? -1
+                         : std::atoll(connect.c_str() + colon + 1);
+    if (colon == std::string::npos || port <= 0 || port > 65535) {
+      std::fprintf(stderr, "--connect expects host:port, got '%s'\n",
+                   connect.c_str());
+      return 1;
+    }
+    return RunRemoteShell(connect.substr(0, colon),
+                          static_cast<uint16_t>(port), scripts);
   }
 
   soda::Engine engine(options);
