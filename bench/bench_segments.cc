@@ -1,0 +1,259 @@
+/// \file bench_segments.cc
+/// PR-7 storage benchmark: encoded columnar segments + partitioned tables
+/// versus the flat column layout (DESIGN.md §9).
+///
+/// Twin tables with identical rows — `flat` (mutable decoded columns) and
+/// `enc` (range-partitioned, sealed into dict/FOR/RLE segments) — are
+/// measured on:
+///   - full scans (decode bandwidth vs. plain reads),
+///   - filtered scans (zone-map skipping + partition pruning vs. the
+///     generic Filter transform),
+///   - grouped aggregation over a dict-friendly string key,
+///   - in-memory footprint (table-level and the string column alone),
+///   - checkpoint file size (serde writes sealed tables as segments).
+///
+/// Times are the min of 3 reps. `--json=path` dumps the series for
+/// tools/bench_report.sh → BENCH_pr7.json.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "storage/checkpoint.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace soda::bench {
+namespace {
+
+/// Builds the shared row set: a sequential partition key, a small-domain
+/// FOR-friendly value, an RLE-friendly run column, and a low-cardinality
+/// dictionary-friendly tag.
+TablePtr MakeSource(const std::string& name, size_t n) {
+  std::vector<int64_t> k(n), v(n), r(n);
+  std::vector<std::string> tag(n);
+  for (size_t i = 0; i < n; ++i) {
+    k[i] = static_cast<int64_t>(i);
+    v[i] = static_cast<int64_t>((i * 37) % 1000);
+    r[i] = static_cast<int64_t>(i / 64);
+    tag[i] = "tag_" + std::to_string(i % 64);
+  }
+  auto t = std::make_shared<Table>(
+      name, Schema({Field("k", DataType::kBigInt), Field("v", DataType::kBigInt),
+                    Field("r", DataType::kBigInt),
+                    Field("tag", DataType::kVarchar)}));
+  if (!t->SetColumn(0, Column::FromBigInts(std::move(k))).ok()) std::exit(1);
+  if (!t->SetColumn(1, Column::FromBigInts(std::move(v))).ok()) std::exit(1);
+  if (!t->SetColumn(2, Column::FromBigInts(std::move(r))).ok()) std::exit(1);
+  if (!t->SetColumn(3, Column::FromStrings(std::move(tag))).ok()) std::exit(1);
+  return t;
+}
+
+/// CREATE TABLE enc ... PARTITION BY RANGE(k) with `parts` equal-width
+/// partitions over [0, n), then bulk-loads it from `flat` (the INSERT ...
+/// SELECT path stages, clusters, and seals — the same route recovery and
+/// large DML take).
+void LoadEncoded(Engine& engine, size_t n, size_t parts) {
+  std::string ddl =
+      "CREATE TABLE enc (k BIGINT, v BIGINT, r BIGINT, tag VARCHAR) "
+      "PARTITION BY RANGE(k) (";
+  for (size_t p = 1; p < parts; ++p) {
+    if (p > 1) ddl += ", ";
+    ddl += std::to_string(n * p / parts);
+  }
+  ddl += ")";
+  auto st = engine.Execute(ddl);
+  if (!st.ok()) {
+    std::fprintf(stderr, "ddl failed: %s\n", st.status().ToString().c_str());
+    std::exit(1);
+  }
+  st = engine.Execute("INSERT INTO enc SELECT k, v, r, tag FROM flat");
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.status().ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Sums the sealed segment footprint of one column across all row groups.
+size_t SealedColumnBytes(const Table& t, size_t col) {
+  size_t bytes = 0;
+  for (size_t g = 0; g < t.num_row_groups(); ++g) {
+    bytes += t.group_segment(g, col)->MemoryUsage();
+  }
+  return bytes;
+}
+
+size_t FileBytes(const std::string& path) {
+  struct stat sb;
+  if (::stat(path.c_str(), &sb) != 0) {
+    std::fprintf(stderr, "stat failed: %s\n", path.c_str());
+    std::exit(1);
+  }
+  return static_cast<size_t>(sb.st_size);
+}
+
+struct JsonWriter {
+  std::vector<std::pair<std::string, double>> entries;
+  void Add(const std::string& name, double value) {
+    entries.emplace_back(name, value);
+  }
+};
+
+}  // namespace
+}  // namespace soda::bench
+
+int main(int argc, char** argv) {
+  using namespace soda;
+  using namespace soda::bench;
+
+  setenv("SODA_THREADS", "8", /*overwrite=*/0);
+
+  Scale scale = ParseScale(argc, argv);
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  const size_t N = 8'000'000 / scale.divisor;
+  const size_t kParts = 8;
+  std::printf("bench_segments scale=%s rows=%s partitions=%zu threads=%s\n\n",
+              scale.name, Human(N).c_str(), kParts, getenv("SODA_THREADS"));
+
+  Engine engine;
+  TablePtr flat = MakeSource("flat", N);
+  if (!engine.catalog().RegisterTable(flat).ok()) std::exit(1);
+  LoadEncoded(engine, N, kParts);
+  TablePtr enc = engine.catalog().GetTable("enc").ValueOrDie();
+  if (!enc->sealed() || enc->num_rows() != N) std::exit(1);
+
+  JsonWriter json;
+  PrintHeader({"case", "flat_s", "encoded_s", "encoded/flat"});
+  auto report = [&](const char* name, double flat_s, double enc_s) {
+    PrintCell(name);
+    PrintSeconds(flat_s);
+    PrintSeconds(enc_s);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", enc_s / flat_s);
+    PrintCell(buf);
+    EndRow();
+    json.Add(std::string(name) + ".flat", flat_s);
+    json.Add(std::string(name) + ".encoded", enc_s);
+  };
+
+  // Each case runs the identical query on both twins; results must agree
+  // (the partition suite proves that; here we just time).
+  auto time_pair = [&](const char* name, const std::string& q_flat,
+                       const std::string& q_enc) {
+    double f = 1e300, e = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      f = std::min(f, TimeQuery(engine, q_flat));
+      e = std::min(e, TimeQuery(engine, q_enc));
+    }
+    report(name, f, e);
+  };
+
+  // Full scan: every row of two int columns flows through the pipeline —
+  // decode bandwidth (FOR unpack + RLE expansion) vs. plain column reads.
+  time_pair("scan", "SELECT sum(v), sum(r) FROM flat",
+            "SELECT sum(v), sum(r) FROM enc");
+
+  // Pruned filter: the k-range keeps 1 of 8 partitions; the sealed side
+  // also evaluates the predicate on encoded payloads and zone maps.
+  {
+    const std::string cut = std::to_string(N / kParts);
+    time_pair("filter_pruned", "SELECT sum(v) FROM flat WHERE k < " + cut,
+              "SELECT sum(v) FROM enc WHERE k < " + cut);
+  }
+
+  // Selective filter with no partition help: v is not the partition key,
+  // so only segment stats + encoded-domain evaluation can save work.
+  time_pair("filter_selective", "SELECT count(*) FROM flat WHERE v = 7",
+            "SELECT count(*) FROM enc WHERE v = 7");
+
+  // Grouped aggregate over the dict-encoded string key.
+  time_pair("agg_by_tag",
+            "SELECT tag, count(*), sum(v) FROM flat GROUP BY tag",
+            "SELECT tag, count(*), sum(v) FROM enc GROUP BY tag");
+
+  // --- Footprint ---------------------------------------------------------
+  const size_t flat_bytes = flat->MemoryUsage();
+  const size_t enc_bytes = enc->MemoryUsage();
+  const size_t flat_tag_bytes = flat->column(3).MemoryUsage();
+  const size_t enc_tag_bytes = SealedColumnBytes(*enc, 3);
+  std::printf("\nmemory: table %s -> %s (%.2fx), tag column %s -> %s "
+              "(%.2fx)\n",
+              Human(flat_bytes).c_str(), Human(enc_bytes).c_str(),
+              double(flat_bytes) / double(enc_bytes),
+              Human(flat_tag_bytes).c_str(), Human(enc_tag_bytes).c_str(),
+              double(flat_tag_bytes) / double(enc_tag_bytes));
+  json.Add("memory.flat_bytes", double(flat_bytes));
+  json.Add("memory.encoded_bytes", double(enc_bytes));
+  json.Add("memory.tag_flat_bytes", double(flat_tag_bytes));
+  json.Add("memory.tag_encoded_bytes", double(enc_tag_bytes));
+
+  // --- Checkpoint size ---------------------------------------------------
+  // Two throwaway durable engines, one per layout; serde persists sealed
+  // tables as segments, so the file-size ratio tracks the encoding.
+  {
+    char flat_dir[] = "/tmp/soda_bench_flat_XXXXXX";
+    char enc_dir[] = "/tmp/soda_bench_enc_XXXXXX";
+    if (!mkdtemp(flat_dir) || !mkdtemp(enc_dir)) std::exit(1);
+
+    size_t ckpt_flat = 0, ckpt_enc = 0;
+    {
+      EngineOptions opts;
+      opts.data_dir = flat_dir;
+      Engine durable(opts);
+      if (!durable.startup_status().ok()) std::exit(1);
+      if (!durable.catalog().RegisterTable(MakeSource("flat", N)).ok()) {
+        std::exit(1);
+      }
+      if (!durable.Execute("CHECKPOINT").ok()) std::exit(1);
+      ckpt_flat = FileBytes(std::string(flat_dir) + "/" + kCheckpointFileName);
+    }
+    {
+      EngineOptions opts;
+      opts.data_dir = enc_dir;
+      Engine durable(opts);
+      if (!durable.startup_status().ok()) std::exit(1);
+      if (!durable.catalog().RegisterTable(MakeSource("flat", N)).ok()) {
+        std::exit(1);
+      }
+      LoadEncoded(durable, N, kParts);
+      if (!durable.Execute("DROP TABLE flat").ok()) std::exit(1);
+      if (!durable.Execute("CHECKPOINT").ok()) std::exit(1);
+      ckpt_enc = FileBytes(std::string(enc_dir) + "/" + kCheckpointFileName);
+    }
+    std::printf("checkpoint: flat %s -> encoded %s (%.2fx)\n",
+                Human(ckpt_flat).c_str(), Human(ckpt_enc).c_str(),
+                double(ckpt_flat) / double(ckpt_enc));
+    json.Add("checkpoint.flat_bytes", double(ckpt_flat));
+    json.Add("checkpoint.encoded_bytes", double(ckpt_enc));
+
+    std::string rm = "rm -rf ";
+    if (std::system((rm + flat_dir + " " + enc_dir).c_str()) != 0) {
+      std::fprintf(stderr, "warning: scratch cleanup failed\n");
+    }
+  }
+
+  if (json_path) {
+    std::ofstream out(json_path);
+    out << "{\"bench\": \"bench_segments\", \"scale\": \"" << scale.name
+        << "\", \"threads\": " << getenv("SODA_THREADS")
+        << ", \"rows\": " << N << ", \"partitions\": " << kParts
+        << ", \"results\": {";
+    for (size_t i = 0; i < json.entries.size(); ++i) {
+      if (i) out << ", ";
+      out << "\"" << json.entries[i].first << "\": " << json.entries[i].second;
+    }
+    out << "}}\n";
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <algorithm>
+
 #include "exec/executor.h"
 #include "exec/physical_plan.h"
 #include "exec/plan_verifier.h"
@@ -8,6 +10,8 @@
 #include "sql/binder.h"
 #include "sql/optimizer.h"
 #include "sql/parser.h"
+#include "storage/partition.h"
+#include "storage/segment.h"
 #include "util/string_util.h"
 
 namespace soda {
@@ -29,6 +33,192 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
   ctx.verify_plans = options.verify_plans;
   SODA_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(*plan, ctx));
   return QueryResult(std::move(result), ctx.stats);
+}
+
+/// Seals a freshly built (exclusively owned) DML result when the policy
+/// says encoding pays off. Partitioned tables always seal — pruning needs
+/// the partition-clustered layout.
+Status MaybeSeal(const EngineOptions& options, Table* table) {
+  if (table->sealed()) return Status::OK();
+  if (table->partition_spec().partitioned()) return table->Seal();
+  if (options.encode_segments && table->num_rows() >= kSealMinRows) {
+    return table->Seal();
+  }
+  return Status::OK();
+}
+
+/// Builds the CREATE TABLE partition spec from the parsed clause,
+/// resolving the column against `schema` and validating bounds.
+Result<PartitionSpec> BuildPartitionSpec(const CreateTableStmt& stmt,
+                                         const Schema& schema) {
+  PartitionSpec spec;
+  if (stmt.partition_kind == CreateTableStmt::PartitionKind::kNone) {
+    return spec;
+  }
+  SODA_ASSIGN_OR_RETURN(size_t col,
+                        schema.FindField(ToLower(stmt.partition_column)));
+  spec.column = ToLower(stmt.partition_column);
+  spec.column_index = col;
+  if (stmt.partition_kind == CreateTableStmt::PartitionKind::kHash) {
+    spec.kind = PartitionSpec::Kind::kHash;
+    if (stmt.partition_count < 1 || stmt.partition_count > 4096) {
+      return Status::InvalidArgument(
+          "PARTITION BY HASH: PARTITIONS must be in [1, 4096]");
+    }
+    spec.num_partitions = static_cast<size_t>(stmt.partition_count);
+    return spec;
+  }
+  spec.kind = PartitionSpec::Kind::kRange;
+  if (schema.field(col).type != DataType::kBigInt) {
+    return Status::InvalidArgument(
+        "PARTITION BY RANGE requires a BIGINT partition column");
+  }
+  if (stmt.partition_bounds.empty()) {
+    return Status::InvalidArgument(
+        "PARTITION BY RANGE: at least one bound required");
+  }
+  for (size_t i = 1; i < stmt.partition_bounds.size(); ++i) {
+    if (stmt.partition_bounds[i] <= stmt.partition_bounds[i - 1]) {
+      return Status::InvalidArgument(
+          "PARTITION BY RANGE: bounds must be strictly ascending");
+    }
+  }
+  spec.bounds = stmt.partition_bounds;
+  spec.num_partitions = spec.bounds.size() + 1;
+  return spec;
+}
+
+/// INSERT into a sealed table: every existing row group is shared by
+/// pointer into the new table version — only the staged rows are encoded
+/// (bucketed into their partitions first). The old image is never decoded.
+Result<TablePtr> AppendSealed(const Table& prev, const Table& staged) {
+  const PartitionSpec& spec = prev.partition_spec();
+  const auto& prev_offsets = prev.partition_offsets();
+  const size_t P = prev_offsets.size() - 1;
+
+  // Bucket staged rows by partition (single bucket when unpartitioned).
+  std::vector<std::vector<uint32_t>> buckets(P);
+  if (spec.partitioned() && spec.num_partitions == P) {
+    const Column& pcol = staged.column(spec.column_index);
+    for (size_t r = 0; r < staged.num_rows(); ++r) {
+      buckets[PartitionOfRow(spec, pcol, r)].push_back(
+          static_cast<uint32_t>(r));
+    }
+  } else {
+    buckets[0].resize(staged.num_rows());
+    for (size_t r = 0; r < staged.num_rows(); ++r) {
+      buckets[0][r] = static_cast<uint32_t>(r);
+    }
+  }
+
+  std::vector<std::vector<SegmentPtr>> groups;
+  std::vector<size_t> offsets{0};
+  size_t g = 0;
+  size_t total = 0;
+  for (size_t p = 0; p < P; ++p) {
+    while (g < prev.num_row_groups() &&
+           prev.group_offset(g) < prev_offsets[p + 1]) {
+      std::vector<SegmentPtr> group;
+      group.reserve(prev.num_columns());
+      for (size_t c = 0; c < prev.num_columns(); ++c) {
+        group.push_back(prev.group_segment(g, c));
+      }
+      total += prev.group_rows(g);
+      groups.push_back(std::move(group));
+      ++g;
+    }
+    if (!buckets[p].empty()) {
+      // Gather this partition's staged rows into flat columns, then
+      // encode them as fresh groups appended at the partition's end.
+      std::vector<Column> part;
+      part.reserve(staged.num_columns());
+      for (size_t c = 0; c < staged.num_columns(); ++c) {
+        Column col(staged.column(c).type());
+        col.Reserve(buckets[p].size());
+        col.AppendGather(staged.column(c), buckets[p].data(),
+                         buckets[p].size());
+        part.push_back(std::move(col));
+      }
+      const size_t rows = buckets[p].size();
+      for (size_t off = 0; off < rows; off += kSegmentRows) {
+        const size_t take = std::min(kSegmentRows, rows - off);
+        std::vector<SegmentPtr> group;
+        group.reserve(part.size());
+        for (const Column& col : part) {
+          SODA_ASSIGN_OR_RETURN(SegmentPtr seg,
+                                EncodeSegment(col, off, take));
+          group.push_back(std::move(seg));
+        }
+        groups.push_back(std::move(group));
+      }
+      total += rows;
+    }
+    offsets.push_back(total);
+  }
+
+  auto next = std::make_shared<Table>(prev.name(), prev.schema());
+  next->set_partition_spec(spec);
+  SODA_RETURN_NOT_OK(next->AdoptSealed(std::move(groups), std::move(offsets)));
+  return next;
+}
+
+/// Rebuilds a sealed table after DELETE/UPDATE, re-encoding only the
+/// partitions that contain touched rows; untouched partitions share their
+/// row groups with the previous version by pointer.
+///
+/// `next_flat` must hold the complete post-statement rows in the same
+/// partition-contiguous order as `prev` (DELETE removes rows in place;
+/// UPDATE replaces values in place — neither reorders, so partition p's
+/// rows occupy [new_offsets[p], new_offsets[p+1]) in `next_flat`).
+/// `touched[p]` marks partitions whose rows changed.
+Result<TablePtr> ResealReusing(const Table& prev, const Table& next_flat,
+                               const std::vector<uint8_t>& touched,
+                               const std::vector<size_t>& new_offsets) {
+  const size_t P = touched.size();
+  const auto& prev_offsets = prev.partition_offsets();
+  std::vector<std::vector<SegmentPtr>> groups;
+  std::vector<size_t> offsets{0};
+  size_t g = 0;
+  size_t total = 0;
+  for (size_t p = 0; p < P; ++p) {
+    if (!touched[p]) {
+      while (g < prev.num_row_groups() &&
+             prev.group_offset(g) < prev_offsets[p + 1]) {
+        std::vector<SegmentPtr> group;
+        group.reserve(prev.num_columns());
+        for (size_t c = 0; c < prev.num_columns(); ++c) {
+          group.push_back(prev.group_segment(g, c));
+        }
+        total += prev.group_rows(g);
+        groups.push_back(std::move(group));
+        ++g;
+      }
+    } else {
+      while (g < prev.num_row_groups() &&
+             prev.group_offset(g) < prev_offsets[p + 1]) {
+        ++g;  // skip the stale groups
+      }
+      for (size_t off = new_offsets[p]; off < new_offsets[p + 1];
+           off += kSegmentRows) {
+        const size_t take = std::min(kSegmentRows, new_offsets[p + 1] - off);
+        std::vector<SegmentPtr> group;
+        group.reserve(next_flat.num_columns());
+        for (size_t c = 0; c < next_flat.num_columns(); ++c) {
+          SODA_ASSIGN_OR_RETURN(
+              SegmentPtr seg,
+              EncodeSegment(next_flat.column(c), off, take));
+          group.push_back(std::move(seg));
+        }
+        groups.push_back(std::move(group));
+      }
+      total += new_offsets[p + 1] - new_offsets[p];
+    }
+    offsets.push_back(total);
+  }
+  auto next = std::make_shared<Table>(prev.name(), prev.schema());
+  next->set_partition_spec(prev.partition_spec());
+  SODA_RETURN_NOT_OK(next->AdoptSealed(std::move(groups), std::move(offsets)));
+  return next;
 }
 
 Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
@@ -64,6 +254,8 @@ Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
     for (size_t c = 0; c < src.num_columns(); ++c) {
       table->column(c).AppendSlice(src.column(c), 0, src.num_rows());
     }
+    // Seal before logging so the checkpoint/WAL image is the encoded one.
+    SODA_RETURN_NOT_OK(MaybeSeal(options, table.get()));
     SODA_RETURN_NOT_OK(CommitDurable(
         dur, [&] { return dur->LogTableImage(*table); },
         [&] { return catalog->RegisterTable(std::move(table)); }));
@@ -73,10 +265,18 @@ Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
   for (const auto& [name, type] : stmt.columns) {
     schema.AddField(Field(name, type));
   }
+  SODA_ASSIGN_OR_RETURN(PartitionSpec spec, BuildPartitionSpec(stmt, schema));
   SODA_RETURN_NOT_OK(CommitDurable(
-      dur, [&] { return dur->LogCreateTable(ToLower(stmt.name), schema); },
-      [&] {
-        return catalog->CreateTable(stmt.name, std::move(schema)).status();
+      dur,
+      [&] { return dur->LogCreateTable(ToLower(stmt.name), schema, spec); },
+      [&]() -> Status {
+        auto table = std::make_shared<Table>(ToLower(stmt.name), schema);
+        table->set_partition_spec(spec);
+        // Partitioned tables live sealed from birth: every later INSERT
+        // goes through the group-reuse append path (AppendSealed), which
+        // requires the clustered layout to already exist.
+        if (spec.partitioned()) SODA_RETURN_NOT_OK(table->Seal());
+        return catalog->RegisterTable(std::move(table));
       }));
   return QueryResult();
 }
@@ -112,6 +312,7 @@ Result<std::vector<uint8_t>> EvaluateRowMask(const Table& table,
 /// consistent snapshot). The new image is write-ahead-logged before the
 /// swap, so the statement commits to disk and memory together.
 Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog,
+                                  const EngineOptions& options,
                                   DurabilityManager* dur, QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
   SODA_ASSIGN_OR_RETURN(
@@ -121,14 +322,40 @@ Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog,
   // before touching it so budget failures leave the old snapshot intact.
   SODA_RETURN_NOT_OK(GuardReserve(guard, table->MemoryUsage(), "exec.dml"));
   auto next = std::make_shared<Table>(table->name(), table->schema());
+  next->set_partition_spec(table->partition_spec());
   for (size_t c = 0; c < table->num_columns(); ++c) {
     for (size_t r = 0; r < table->num_rows(); ++r) {
       if (!doomed[r]) next->column(c).AppendFrom(table->column(c), r);
     }
   }
+  TablePtr publish = next;
+  if (table->sealed() && table->partition_spec().partitioned()) {
+    // Surviving rows keep their clustered order (the rebuild filters in
+    // place), so partitions with no deleted row can share their encoded
+    // groups with the previous version; only touched partitions re-encode.
+    const auto& prev_offsets = table->partition_offsets();
+    const size_t P = prev_offsets.size() - 1;
+    std::vector<uint8_t> touched(P, 0);
+    std::vector<size_t> new_offsets(P + 1, 0);
+    for (size_t p = 0; p < P; ++p) {
+      size_t survivors = 0;
+      for (size_t r = prev_offsets[p]; r < prev_offsets[p + 1]; ++r) {
+        if (doomed[r]) {
+          touched[p] = 1;
+        } else {
+          ++survivors;
+        }
+      }
+      new_offsets[p + 1] = new_offsets[p] + survivors;
+    }
+    SODA_ASSIGN_OR_RETURN(publish,
+                          ResealReusing(*table, *next, touched, new_offsets));
+  } else {
+    SODA_RETURN_NOT_OK(MaybeSeal(options, next.get()));
+  }
   SODA_RETURN_NOT_OK(CommitDurable(
-      dur, [&] { return dur->LogTableImage(*next); },
-      [&] { return catalog->ReplaceTable(stmt.table, std::move(next)); }));
+      dur, [&] { return dur->LogTableImage(*publish); },
+      [&] { return catalog->ReplaceTable(stmt.table, std::move(publish)); }));
   return QueryResult();
 }
 
@@ -137,6 +364,7 @@ Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog,
 /// unselected row never executes), then the new values are scattered into
 /// a fresh table which is swapped in (copy-on-write).
 Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog,
+                                  const EngineOptions& options,
                                   DurabilityManager* dur, QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
   const Schema schema = table->schema().WithQualifier(table->name());
@@ -216,6 +444,7 @@ Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog,
   // The copy-on-write merge duplicates the table (see ExecuteDelete).
   SODA_RETURN_NOT_OK(GuardReserve(guard, table->MemoryUsage(), "exec.dml"));
   auto next = std::make_shared<Table>(table->name(), table->schema());
+  next->set_partition_spec(table->partition_spec());
   for (size_t c = 0; c < table->num_columns(); ++c) {
     const Column* updated = nullptr;
     for (size_t a = 0; a < assignments.size(); ++a) {
@@ -235,9 +464,40 @@ Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog,
       }
     }
   }
+  // Assigning the partition column can move rows between partitions, which
+  // invalidates the clustered order — only then is a full re-seal needed.
+  bool repartitions = false;
+  if (table->partition_spec().partitioned()) {
+    for (const auto& [col, expr] : assignments) {
+      if (col == table->partition_spec().column_index) repartitions = true;
+      (void)expr;
+    }
+  }
+  TablePtr publish = next;
+  if (table->sealed() && table->partition_spec().partitioned() &&
+      !repartitions) {
+    // In-place value replacement keeps row order and counts, so the new
+    // partition layout equals the old one; only partitions containing a
+    // selected row re-encode.
+    const auto& prev_offsets = table->partition_offsets();
+    const size_t P = prev_offsets.size() - 1;
+    std::vector<uint8_t> touched(P, 0);
+    for (size_t p = 0; p < P; ++p) {
+      for (size_t r = prev_offsets[p]; r < prev_offsets[p + 1]; ++r) {
+        if (selected[r]) {
+          touched[p] = 1;
+          break;
+        }
+      }
+    }
+    SODA_ASSIGN_OR_RETURN(publish,
+                          ResealReusing(*table, *next, touched, prev_offsets));
+  } else {
+    SODA_RETURN_NOT_OK(MaybeSeal(options, next.get()));
+  }
   SODA_RETURN_NOT_OK(CommitDurable(
-      dur, [&] { return dur->LogTableImage(*next); },
-      [&] { return catalog->ReplaceTable(stmt.table, std::move(next)); }));
+      dur, [&] { return dur->LogTableImage(*publish); },
+      [&] { return catalog->ReplaceTable(stmt.table, std::move(publish)); }));
   return QueryResult();
 }
 
@@ -339,12 +599,20 @@ Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
   SODA_RETURN_NOT_OK(GuardReserve(guard, table->MemoryUsage(), "exec.dml"));
   SODA_RETURN_NOT_OK(CommitDurable(
       dur, [&] { return dur->LogAppendRows(staged); },
-      [&] {
+      [&]() -> Status {
+        if (table->sealed()) {
+          // Group-reuse append: existing segments are shared by pointer
+          // into the new version; only the staged rows are encoded.
+          SODA_ASSIGN_OR_RETURN(TablePtr next, AppendSealed(*table, staged));
+          return catalog->ReplaceTable(table->name(), std::move(next));
+        }
         auto next = std::make_shared<Table>(table->name(), table->schema());
+        next->set_partition_spec(table->partition_spec());
         for (size_t c = 0; c < table->num_columns(); ++c) {
           next->column(c).AppendSlice(table->column(c), 0, table->num_rows());
           next->column(c).AppendSlice(staged.column(c), 0, staged.num_rows());
         }
+        SODA_RETURN_NOT_OK(MaybeSeal(options, next.get()));
         return catalog->ReplaceTable(table->name(), std::move(next));
       }));
   return QueryResult();
@@ -438,6 +706,15 @@ Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options,
     options->verify_plans = value == "on";
     return QueryResult();
   }
+  if (stmt.name == "soda.encode_segments") {
+    std::string value = stmt.has_text ? ToLower(stmt.text_value) : "";
+    if (value != "on" && value != "off") {
+      return Status::InvalidArgument(
+          "SET soda.encode_segments: expected on or off");
+    }
+    options->encode_segments = value == "on";
+    return QueryResult();
+  }
   if (stmt.has_text) {
     return Status::InvalidArgument("SET " + stmt.name +
                                    ": expected an integer value");
@@ -468,7 +745,7 @@ Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options,
         "unknown setting '" + stmt.name +
         "' (supported: soda.timeout_ms, soda.memory_limit_mb, "
         "soda.max_iterations, soda.wal_fsync, soda.wal_group_bytes, "
-        "soda.verify_plans)");
+        "soda.verify_plans, soda.encode_segments)");
   }
   return QueryResult();
 }
@@ -487,9 +764,9 @@ Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
     case StatementKind::kDropTable:
       return ExecuteDrop(*stmt.drop_table, catalog, dur);
     case StatementKind::kUpdate:
-      return ExecuteUpdate(*stmt.update, catalog, dur, guard);
+      return ExecuteUpdate(*stmt.update, catalog, options, dur, guard);
     case StatementKind::kDelete:
-      return ExecuteDelete(*stmt.del, catalog, dur, guard);
+      return ExecuteDelete(*stmt.del, catalog, options, dur, guard);
     case StatementKind::kExplain:
       return ExecuteExplain(*stmt.select, stmt.explain_analyze, catalog,
                             options, guard);

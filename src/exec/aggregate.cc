@@ -98,6 +98,147 @@ enum class AggOp : uint8_t {
   kGeneric,     ///< unknown function: maintain everything
 };
 
+// --- Compact per-spec accumulators -----------------------------------------
+// One struct per AggOp family, holding only the fields that op reads at
+// materialization. Groups store their specs' states packed back-to-back in
+// one byte block, so a GROUP BY row touches one short run of cache lines
+// instead of `num_specs` full 64-byte AggStates — at large group counts the
+// consume loop is bound by exactly those misses. Every struct leads with
+// `count`, so a spec defensively demoted to kCountArg (varchar argument)
+// still writes a valid prefix of whatever layout its slot was given.
+
+struct CountState {
+  int64_t count;
+};
+struct SumIntState {
+  int64_t count;
+  int64_t isum;
+};
+struct SumDoubleState {
+  int64_t count;
+  double sum;
+};
+struct MinMaxIntState {
+  int64_t count;
+  int64_t ival;
+};
+struct MinMaxDoubleState {
+  int64_t count;
+  double val;
+};
+struct VarState {
+  int64_t count;
+  double sum;
+  double sumsq;
+};
+
+size_t StateSize(AggOp op) {
+  switch (op) {
+    case AggOp::kCountStar:
+    case AggOp::kCountArg:
+      return sizeof(CountState);
+    case AggOp::kSumInt:
+      return sizeof(SumIntState);
+    case AggOp::kSumDouble:
+    case AggOp::kAvg:
+      return sizeof(SumDoubleState);
+    case AggOp::kMinInt:
+    case AggOp::kMaxInt:
+      return sizeof(MinMaxIntState);
+    case AggOp::kMinDouble:
+    case AggOp::kMaxDouble:
+      return sizeof(MinMaxDoubleState);
+    case AggOp::kVar:
+      return sizeof(VarState);
+    case AggOp::kGeneric:
+      return sizeof(AggState);
+  }
+  return sizeof(AggState);
+}
+
+/// Byte layout of one group's packed accumulator block. Shared by every
+/// GroupTable of a sink (workers and merge fragments alike); owned by the
+/// AggregateSink, which outlives them all.
+struct StateLayout {
+  std::vector<uint32_t> offsets;  ///< per-spec byte offset within a block
+  size_t stride = 0;              ///< bytes per group, 8-aligned
+
+  static StateLayout Make(const std::vector<AggOp>& ops) {
+    StateLayout l;
+    l.offsets.reserve(ops.size());
+    size_t off = 0;
+    for (AggOp op : ops) {
+      l.offsets.push_back(static_cast<uint32_t>(off));
+      off += StateSize(op);  // every state size is already 8-aligned
+    }
+    l.stride = off;
+    return l;
+  }
+};
+
+/// Folds `src` into `dst` (both pointers to the same op's state struct);
+/// the merge-side counterpart of the consume switch.
+void MergeSpecState(AggOp op, uint8_t* dst, const uint8_t* src) {
+  switch (op) {
+    case AggOp::kCountStar:
+    case AggOp::kCountArg:
+      reinterpret_cast<CountState*>(dst)->count +=
+          reinterpret_cast<const CountState*>(src)->count;
+      break;
+    case AggOp::kSumInt: {
+      auto* d = reinterpret_cast<SumIntState*>(dst);
+      const auto* s = reinterpret_cast<const SumIntState*>(src);
+      d->count += s->count;
+      d->isum += s->isum;
+      break;
+    }
+    case AggOp::kSumDouble:
+    case AggOp::kAvg: {
+      auto* d = reinterpret_cast<SumDoubleState*>(dst);
+      const auto* s = reinterpret_cast<const SumDoubleState*>(src);
+      d->count += s->count;
+      d->sum += s->sum;
+      break;
+    }
+    case AggOp::kMinInt:
+    case AggOp::kMaxInt: {
+      auto* d = reinterpret_cast<MinMaxIntState*>(dst);
+      const auto* s = reinterpret_cast<const MinMaxIntState*>(src);
+      if (s->count == 0) break;
+      if (d->count == 0 || (op == AggOp::kMinInt ? s->ival < d->ival
+                                                 : s->ival > d->ival)) {
+        d->ival = s->ival;
+      }
+      d->count += s->count;
+      break;
+    }
+    case AggOp::kMinDouble:
+    case AggOp::kMaxDouble: {
+      auto* d = reinterpret_cast<MinMaxDoubleState*>(dst);
+      const auto* s = reinterpret_cast<const MinMaxDoubleState*>(src);
+      if (s->count == 0) break;
+      if (d->count == 0 || (op == AggOp::kMinDouble ? s->val < d->val
+                                                    : s->val > d->val)) {
+        d->val = s->val;
+      }
+      d->count += s->count;
+      break;
+    }
+    case AggOp::kVar: {
+      auto* d = reinterpret_cast<VarState*>(dst);
+      const auto* s = reinterpret_cast<const VarState*>(src);
+      d->count += s->count;
+      d->sum += s->sum;
+      d->sumsq += s->sumsq;
+      break;
+    }
+    case AggOp::kGeneric:
+      reinterpret_cast<AggState*>(dst)->Merge(
+          *reinterpret_cast<const AggState*>(src));
+      break;
+  }
+}
+
 AggOp ClassifyAggOp(const AggregateSpec& spec) {
   if (spec.function == "count") {
     return spec.arg_index < 0 ? AggOp::kCountStar : AggOp::kCountArg;
@@ -128,9 +269,13 @@ AggOp ClassifyAggOp(const AggregateSpec& spec) {
 /// match.
 struct GroupTable {
   static constexpr size_t kInitialSlots = 1024;  // power of two
+  /// High half of a slot word: the key hash's top 32 bits, compared before
+  /// touching the group's key row. The probe loop stays within the slot
+  /// array on a miss — no dependent load into `hashes` per candidate.
+  static constexpr uint64_t kTagMask = 0xFFFFFFFF00000000ull;
 
-  explicit GroupTable(const Schema& key_schema, size_t num_specs)
-      : keys("keys", key_schema), num_specs(num_specs) {
+  GroupTable(const Schema& key_schema, const StateLayout* layout)
+      : keys("keys", key_schema), layout(layout) {
     slots.assign(kInitialSlots, 0);
     i64_keys = true;
     for (size_t c = 0; c < key_schema.num_fields(); ++c) {
@@ -141,38 +286,45 @@ struct GroupTable {
   }
 
   Table keys;  ///< one row per group: the group-by column values
-  std::vector<AggState> states;  ///< group-major [group * num_specs + spec]
+  /// Packed accumulator blocks, group-major: group g's state for spec s
+  /// lives at `states[g * layout->stride + layout->offsets[s]]`.
+  std::vector<uint8_t> states;
   std::vector<uint64_t> hashes;  ///< per-group combined key hash (radix merge)
-  std::vector<uint32_t> slots;   ///< open addressing: group id + 1, 0 = empty
+  /// Open addressing: `(hash & kTagMask) | (group id + 1)`, 0 = empty. The
+  /// inline tag makes a probe a single load; the full key row is only read
+  /// on a 32-bit tag match (the key comparison stays authoritative, so a
+  /// tag collision just falls through to the next candidate).
+  std::vector<uint64_t> slots;
   std::vector<Column*> key_cols;  ///< cached &keys.column(c)
   /// Per-chunk scratch reused across Consume calls — a GROUP BY over N
   /// chunks would otherwise pay N heap round-trips per buffer.
   std::vector<uint64_t> hash_scratch;
+  std::vector<uint32_t> group_scratch;
   std::vector<const Column*> col_scratch;
   std::vector<const Column*> arg_scratch;
   std::vector<AggOp> op_scratch;
 
-  size_t num_specs;
+  const StateLayout* layout;
   /// Every key column is i64-backed (BIGINT/BOOL): the verify loop can
   /// compare raw values inline instead of calling the out-of-line
   /// type-dispatched CellsEqual per candidate.
   bool i64_keys;
 
-  /// Number of groups; robust for the zero-key (global aggregate) case
-  /// where the key table has no columns and thus reports zero rows.
+  /// Number of groups; robust for the zero-spec (SELECT DISTINCT) case
+  /// where the state blocks are empty.
   size_t NumGroups() const {
-    return num_specs ? states.size() / num_specs : keys.num_rows();
+    return layout->stride ? states.size() / layout->stride : keys.num_rows();
   }
 
   /// Doubles the slot array and reinserts every group from its stored
   /// hash; keys never need rehashing.
   void GrowSlots() {
-    std::vector<uint32_t> next(slots.size() * 2, 0);
+    std::vector<uint64_t> next(slots.size() * 2, 0);
     const size_t mask = next.size() - 1;
     for (uint32_t g = 0; g < static_cast<uint32_t>(hashes.size()); ++g) {
       size_t pos = hashes[g] & mask;
       while (next[pos] != 0) pos = (pos + 1) & mask;
-      next[pos] = g + 1;
+      next[pos] = (hashes[g] & kTagMask) | (g + 1);
     }
     slots = std::move(next);
   }
@@ -183,11 +335,12 @@ struct GroupTable {
                       size_t row) {
     const size_t mask = slots.size() - 1;
     size_t pos = hash & mask;
+    const uint64_t tag = hash & kTagMask;
     for (;;) {
-      const uint32_t slot = slots[pos];
+      const uint64_t slot = slots[pos];
       if (slot == 0) break;
-      const uint32_t g = slot - 1;
-      if (hashes[g] == hash) {
+      if ((slot & kTagMask) == tag) {
+        const uint32_t g = static_cast<uint32_t>(slot) - 1;
         bool equal = true;
         if (i64_keys) {
           for (size_t c = 0; c < cols.size(); ++c) {
@@ -215,9 +368,9 @@ struct GroupTable {
     for (size_t c = 0; c < cols.size(); ++c) {
       keys.column(c).AppendFrom(*cols[c], row);
     }
-    states.resize(states.size() + num_specs);
+    states.resize(states.size() + layout->stride);  // zero = empty states
     hashes.push_back(hash);
-    slots[pos] = g + 1;
+    slots[pos] = tag | (g + 1);
     // Keep the load factor at or below 1/2 so probe sequences stay short.
     if (hashes.size() * 2 >= slots.size()) GrowSlots();
     return g;
@@ -233,13 +386,13 @@ class AggregateSink : public TableSink {
     for (const auto& spec : plan_.aggregates) {
       ops_.push_back(ClassifyAggOp(spec));
     }
+    layout_ = StateLayout::Make(ops_);
   }
 
   Status Consume(DataChunk& chunk, const SinkContext& sctx) override {
     auto& local = workers_[sctx.worker_id];
     if (!local) {
-      local = std::make_unique<GroupTable>(key_schema_,
-                                           plan_.aggregates.size());
+      local = std::make_unique<GroupTable>(key_schema_, &layout_);
     }
     const size_t g_cols = plan_.num_group_cols;
     const size_t n = chunk.num_rows();
@@ -273,72 +426,108 @@ class AggregateSink : public TableSink {
       }
     }
 
+    // Phase 1 — resolve every row's group id in one tight probe loop.
+    // With G groups >> cache, the slot load is a near-guaranteed miss; the
+    // chunk's hashes are known up front, so issue the load a few rows early.
+    std::vector<uint32_t>& groups = local->group_scratch;
+    groups.resize(n);
+    constexpr size_t kPrefetchAhead = 8;
     for (size_t row = 0; row < n; ++row) {
-      size_t g = local->FindOrCreate(need_hashes ? hashes[row] : kHashSeed,
-                                     key_cols, row);
-      // Zero aggregates (SELECT DISTINCT): the group's existence is the
-      // whole result, and `states` is empty — indexing it is UB.
-      if (num_specs == 0) continue;
-      AggState* states = &local->states[g * num_specs];
+      if (need_hashes && row + kPrefetchAhead < n) {
+        const size_t pmask = local->slots.size() - 1;
+        __builtin_prefetch(&local->slots[hashes[row + kPrefetchAhead] & pmask]);
+      }
+      groups[row] = static_cast<uint32_t>(local->FindOrCreate(
+          need_hashes ? hashes[row] : kHashSeed, key_cols, row));
+    }
+    // Zero aggregates (SELECT DISTINCT): the groups' existence is the
+    // whole result, and `states` is empty — indexing it is UB.
+    if (num_specs == 0) return Status::OK();
+
+    // Phase 2 — apply the updates row-major (a group's spec states are
+    // packed into one contiguous block, so one row touches one short run
+    // of lines). The group ids from phase 1 let us prefetch each row's
+    // block a few rows ahead — at large group counts those are the misses
+    // that dominate the consume loop.
+    uint8_t* const states = local->states.data();
+    const size_t stride = layout_.stride;
+    const uint32_t* const offs = layout_.offsets.data();
+    for (size_t row = 0; row < n; ++row) {
+      if (row + kPrefetchAhead < n) {
+        const char* line = reinterpret_cast<const char*>(
+            states + groups[row + kPrefetchAhead] * stride);
+        __builtin_prefetch(line);
+        if (stride > 64) __builtin_prefetch(line + stride - 1);
+      }
+      uint8_t* const base = states + groups[row] * stride;
       for (size_t s = 0; s < num_specs; ++s) {
-        AggState& st = states[s];
+        uint8_t* const st = base + offs[s];
         if (ops[s] == AggOp::kCountStar) {
-          st.count++;
+          reinterpret_cast<CountState*>(st)->count++;
           continue;
         }
         const Column& arg = *args[s];
         if (arg.IsNull(row)) continue;  // aggregates skip NULLs
         switch (ops[s]) {
           case AggOp::kCountArg:
-            st.count++;
+            reinterpret_cast<CountState*>(st)->count++;
             break;
-          case AggOp::kSumInt:
-            st.isum += arg.GetBigInt(row);
-            st.count++;
+          case AggOp::kSumInt: {
+            auto* sst = reinterpret_cast<SumIntState*>(st);
+            sst->isum += arg.GetBigInt(row);
+            sst->count++;
             break;
+          }
           case AggOp::kSumDouble:
-          case AggOp::kAvg:
-            st.sum += arg.GetNumeric(row);
-            st.count++;
+          case AggOp::kAvg: {
+            auto* sst = reinterpret_cast<SumDoubleState*>(st);
+            sst->sum += arg.GetNumeric(row);
+            sst->count++;
             break;
+          }
           case AggOp::kMinInt: {
-            int64_t iv = arg.GetBigInt(row);
-            if (st.count == 0 || iv < st.imin) st.imin = iv;
-            st.count++;
+            auto* sst = reinterpret_cast<MinMaxIntState*>(st);
+            const int64_t iv = arg.GetBigInt(row);
+            if (sst->count == 0 || iv < sst->ival) sst->ival = iv;
+            sst->count++;
             break;
           }
           case AggOp::kMaxInt: {
-            int64_t iv = arg.GetBigInt(row);
-            if (st.count == 0 || iv > st.imax) st.imax = iv;
-            st.count++;
+            auto* sst = reinterpret_cast<MinMaxIntState*>(st);
+            const int64_t iv = arg.GetBigInt(row);
+            if (sst->count == 0 || iv > sst->ival) sst->ival = iv;
+            sst->count++;
             break;
           }
           case AggOp::kMinDouble: {
-            double v = arg.GetNumeric(row);
-            if (st.count == 0 || v < st.min) st.min = v;
-            st.count++;
+            auto* sst = reinterpret_cast<MinMaxDoubleState*>(st);
+            const double v = arg.GetNumeric(row);
+            if (sst->count == 0 || v < sst->val) sst->val = v;
+            sst->count++;
             break;
           }
           case AggOp::kMaxDouble: {
-            double v = arg.GetNumeric(row);
-            if (st.count == 0 || v > st.max) st.max = v;
-            st.count++;
+            auto* sst = reinterpret_cast<MinMaxDoubleState*>(st);
+            const double v = arg.GetNumeric(row);
+            if (sst->count == 0 || v > sst->val) sst->val = v;
+            sst->count++;
             break;
           }
           case AggOp::kVar: {
-            double v = arg.GetNumeric(row);
-            st.sum += v;
-            st.sumsq += v * v;
-            st.count++;
+            auto* sst = reinterpret_cast<VarState*>(st);
+            const double v = arg.GetNumeric(row);
+            sst->sum += v;
+            sst->sumsq += v * v;
+            sst->count++;
             break;
           }
           case AggOp::kCountStar:
             break;  // handled above
           case AggOp::kGeneric: {
-            double v = arg.GetNumeric(row);
-            int64_t iv =
+            const double v = arg.GetNumeric(row);
+            const int64_t iv =
                 arg.type() == DataType::kDouble ? 0 : arg.GetBigInt(row);
-            st.UpdateNumeric(v, iv);
+            reinterpret_cast<AggState*>(st)->UpdateNumeric(v, iv);
             break;
           }
         }
@@ -366,7 +555,7 @@ class AggregateSink : public TableSink {
     if (locals.size() <= 1) {
       std::unique_ptr<GroupTable> merged =
           locals.empty()
-              ? std::make_unique<GroupTable>(key_schema_, num_specs)
+              ? std::make_unique<GroupTable>(key_schema_, &layout_)
               : std::move(locals[0]);
       fragments.push_back(std::move(merged));
     } else {
@@ -393,8 +582,7 @@ class AggregateSink : public TableSink {
                 first_error.Record(std::move(st));
                 return;
               }
-              auto frag = std::make_unique<GroupTable>(key_schema_,
-                                                       num_specs);
+              auto frag = std::make_unique<GroupTable>(key_schema_, &layout_);
               for (size_t l = 0; l < locals.size(); ++l) {
                 GroupTable& w = *locals[l];
                 std::vector<const Column*> cols(w.keys.num_columns());
@@ -403,9 +591,11 @@ class AggregateSink : public TableSink {
                 }
                 for (uint32_t g : buckets[l][p]) {
                   size_t target = frag->FindOrCreate(w.hashes[g], cols, g);
+                  uint8_t* dst = frag->states.data() + target * layout_.stride;
+                  const uint8_t* src = w.states.data() + g * layout_.stride;
                   for (size_t s = 0; s < num_specs; ++s) {
-                    frag->states[target * num_specs + s].Merge(
-                        w.states[g * num_specs + s]);
+                    MergeSpecState(ops_[s], dst + layout_.offsets[s],
+                                   src + layout_.offsets[s]);
                   }
                 }
               }
@@ -425,7 +615,7 @@ class AggregateSink : public TableSink {
       if (f) total_groups += f->NumGroups();
     }
     if (plan_.num_group_cols == 0 && total_groups == 0) {
-      fragments[0]->states.resize(num_specs);
+      fragments[0]->states.resize(layout_.stride);
       total_groups = fragments[0]->NumGroups();
     }
 
@@ -514,46 +704,70 @@ class AggregateSink : public TableSink {
       out->column(c).AppendSlice(frag.keys.column(c), 0, groups);
     }
     const size_t num_specs = plan_.aggregates.size();
+    const size_t stride = layout_.stride;
     for (size_t s = 0; s < num_specs; ++s) {
       const AggregateSpec& spec = plan_.aggregates[s];
+      const AggOp op = ops_[s];
       Column& col = out->column(plan_.num_group_cols + s);
+      const uint8_t* base = frag.states.data() + layout_.offsets[s];
       for (size_t g = 0; g < groups; ++g) {
-        const AggState& st = frag.states[g * num_specs + s];
-        if (spec.function == "count") {
-          col.AppendBigInt(st.count);
+        const uint8_t* st = base + g * stride;
+        // Every state struct leads with `count`.
+        const int64_t count =
+            reinterpret_cast<const CountState*>(st)->count;
+        if (op == AggOp::kCountStar || op == AggOp::kCountArg) {
+          col.AppendBigInt(count);
           continue;
         }
-        if (st.count == 0) {
+        if (op == AggOp::kGeneric) {
+          return Status::Internal("unknown aggregate: " + spec.function);
+        }
+        if (count == 0) {
           col.AppendNull();
           continue;
         }
-        if (spec.function == "sum") {
-          if (spec.result_type == DataType::kBigInt) {
-            col.AppendBigInt(st.isum);
-          } else {
-            col.AppendDouble(st.sum);
+        switch (op) {
+          case AggOp::kSumInt:
+            // BIGINT sum/min/max report the exactly-tracked integers;
+            // doubles beyond 2^53 would round (satellite fix, ISSUE 4).
+            col.AppendBigInt(
+                reinterpret_cast<const SumIntState*>(st)->isum);
+            break;
+          case AggOp::kSumDouble:
+            col.AppendDouble(
+                reinterpret_cast<const SumDoubleState*>(st)->sum);
+            break;
+          case AggOp::kAvg:
+            col.AppendDouble(
+                reinterpret_cast<const SumDoubleState*>(st)->sum /
+                static_cast<double>(count));
+            break;
+          case AggOp::kMinInt:
+          case AggOp::kMaxInt:
+            col.AppendBigInt(
+                reinterpret_cast<const MinMaxIntState*>(st)->ival);
+            break;
+          case AggOp::kMinDouble:
+          case AggOp::kMaxDouble:
+            col.AppendDouble(
+                reinterpret_cast<const MinMaxDoubleState*>(st)->val);
+            break;
+          case AggOp::kVar: {
+            if (count < 2) {
+              col.AppendNull();
+              break;
+            }
+            const auto* vs = reinterpret_cast<const VarState*>(st);
+            double n = static_cast<double>(count);
+            double var = (vs->sumsq - vs->sum * vs->sum / n) / (n - 1);
+            if (var < 0) var = 0;  // numeric noise
+            col.AppendDouble(spec.function == "var" ? var : std::sqrt(var));
+            break;
           }
-        } else if (spec.function == "avg") {
-          col.AppendDouble(st.sum / static_cast<double>(st.count));
-        } else if (spec.function == "min" || spec.function == "max") {
-          // BIGINT min/max report the exactly-tracked integer pair;
-          // doubles beyond 2^53 would round (satellite fix, ISSUE 4).
-          if (spec.result_type == DataType::kBigInt) {
-            col.AppendBigInt(spec.function == "min" ? st.imin : st.imax);
-          } else {
-            col.AppendDouble(spec.function == "min" ? st.min : st.max);
-          }
-        } else if (spec.function == "var" || spec.function == "stddev") {
-          if (st.count < 2) {
-            col.AppendNull();
-            continue;
-          }
-          double n = static_cast<double>(st.count);
-          double var = (st.sumsq - st.sum * st.sum / n) / (n - 1);
-          if (var < 0) var = 0;  // numeric noise
-          col.AppendDouble(spec.function == "var" ? var : std::sqrt(var));
-        } else {
-          return Status::Internal("unknown aggregate: " + spec.function);
+          case AggOp::kCountStar:
+          case AggOp::kCountArg:
+          case AggOp::kGeneric:
+            break;  // handled above
         }
       }
     }
@@ -563,6 +777,7 @@ class AggregateSink : public TableSink {
   const PlanNode& plan_;
   Schema key_schema_;
   std::vector<AggOp> ops_;  ///< per-spec update kind, classified once
+  StateLayout layout_;      ///< packed state layout shared by all tables
   std::vector<std::unique_ptr<GroupTable>> workers_;
   TablePtr result_;
 };

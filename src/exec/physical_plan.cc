@@ -105,7 +105,25 @@ Result<TablePtr> ExecuteValues(const PlanNode& plan) {
 }
 
 std::string SourceName(const PlanNode& node) {
-  if (node.kind == PlanKind::kScan) return "Scan " + node.table_name;
+  if (node.kind == PlanKind::kScan) {
+    std::string s = "Scan " + node.table_name;
+    if (!node.scan_predicates.empty()) {
+      s += " pushed[";
+      for (size_t i = 0; i < node.scan_predicates.size(); ++i) {
+        if (i) s += ", ";
+        const size_t c = node.scan_predicates[i].column;
+        s += node.scan_predicates[i].ToString(
+            c < node.schema.num_fields() ? node.schema.field(c).name
+                                         : "#" + std::to_string(c));
+      }
+      s += "]";
+    }
+    if (node.scan_total_partitions > 0) {
+      s += " [partitions: " + std::to_string(node.scan_partitions.size()) +
+           "/" + std::to_string(node.scan_total_partitions) + " scanned]";
+    }
+    return s;
+  }
   return "Binding " + node.binding_name;
 }
 
@@ -186,6 +204,7 @@ class PhysicalPlanBuilder {
       case PlanKind::kBindingRef: {
         PhysicalPipeline p;
         p.table_source = MakeSourceResolver(node);
+        if (node.kind == PlanKind::kScan) p.scan_node = &node;
         p.source_op = Op(SourceName(node));
         return p;
       }
@@ -198,6 +217,33 @@ class PhysicalPlanBuilder {
       }
       case PlanKind::kProject: {
         SODA_ASSIGN_OR_RETURN(PhysicalPipeline p, Stream(*node.children[0]));
+        // Pure column selections directly over a base relation fuse into
+        // the scan: the source materializes only the referenced columns,
+        // so sealed tables never decode dropped segments (the common
+        // aggregate-input shape `Project [args] over Scan`).
+        const PlanNode& child = *node.children[0];
+        bool all_refs =
+            (child.kind == PlanKind::kScan ||
+             child.kind == PlanKind::kBindingRef) &&
+            p.transforms.empty();
+        if (all_refs) {
+          for (const auto& e : node.exprs) {
+            if (e->kind != ExprKind::kColumnRef) {
+              all_refs = false;
+              break;
+            }
+          }
+        }
+        if (all_refs) {
+          p.scan_columns.clear();
+          p.scan_columns.reserve(node.exprs.size());
+          for (const auto& e : node.exprs) {
+            p.scan_columns.push_back(e->column_index);
+          }
+          p.source_op = Op(SourceName(child) + " project " +
+                          ExprListString(node.exprs));
+          return p;
+        }
         std::vector<ExprPtr> exprs;
         exprs.reserve(node.exprs.size());
         for (const auto& e : node.exprs) exprs.push_back(e->Clone());
@@ -349,7 +395,8 @@ class PhysicalPlanBuilder {
       }
       case PlanKind::kSort: {
         SODA_ASSIGN_OR_RETURN(PhysicalPipeline p, Stream(*node.children[0]));
-        if (p.transforms.empty() && p.prepares.empty()) {
+        if (p.transforms.empty() && p.prepares.empty() &&
+            p.scan_columns.empty()) {
           // Transform-free ORDER BY: sort the source relation directly
           // instead of copying it through a sink first.
           PhysicalPipeline q;
@@ -415,9 +462,11 @@ class PhysicalPlanBuilder {
             PhysicalPipeline q;
             q.inputs = cp.inputs;
             auto src = cp.table_source;
+            auto cols = std::make_shared<std::vector<size_t>>(
+                std::move(cp.scan_columns));
             const size_t in = cp.input_pipeline;
             q.op = Op("UnionAppend (" + cp.source_op->name + ")");
-            q.op_fn = [src, in, shared, shared_op](
+            q.op_fn = [src, in, cols, shared, shared_op](
                           PhysicalPlan& pp,
                           ExecContext& ctx) -> Result<TablePtr> {
               TablePtr t;
@@ -434,7 +483,8 @@ class PhysicalPlanBuilder {
               for (size_t off = 0; off < n; off += kChunkCapacity) {
                 SODA_RETURN_NOT_OK(ctx.Probe("exec.union"));
                 const size_t count = std::min(kChunkCapacity, n - off);
-                t->ScanSlice(off, count, &chunk);
+                t->ScanSlice(off, count, &chunk,
+                             cols->empty() ? nullptr : cols.get());
                 shared_op->metrics.rows_in.fetch_add(count, kRelaxed);
                 shared_op->metrics.chunks.fetch_add(1, kRelaxed);
                 SinkContext sctx;
@@ -587,7 +637,50 @@ Status PhysicalPlan::RunStreaming(PhysicalPipeline& p, ExecContext& ctx) {
     }
   }
   const Table& source = *source_table;
-  const size_t total = std::min(source.num_rows(), p.scan_limit);
+
+  // Partition pruning (sealed partitioned scans only): the scan iterates a
+  // *virtual* row space — the concatenation of the kept partitions'
+  // physical row ranges — so ParallelFor still sees one dense range and
+  // morsel distribution is unchanged. The plan's partition count must
+  // match the table's (it always does: SELECT pins one catalog snapshot
+  // for planning and execution); on mismatch pruning is skipped, which is
+  // merely slower, never wrong.
+  struct ScanRange {
+    size_t virt_begin;  // first virtual row of this range
+    size_t phys_begin;  // corresponding physical row
+    size_t rows;
+  };
+  std::vector<ScanRange> ranges;
+  bool pruned = false;
+  const PlanNode* scan = p.scan_node;
+  if (scan && scan->scan_total_partitions > 0 && source.sealed() &&
+      source.partition_offsets().size() == scan->scan_total_partitions + 1 &&
+      scan->scan_partitions.size() < scan->scan_total_partitions) {
+    SODA_RETURN_NOT_OK(ctx.Probe("storage.partition_prune"));
+    const auto& po = source.partition_offsets();
+    size_t virt = 0;
+    for (size_t part : scan->scan_partitions) {
+      const size_t rows = po[part + 1] - po[part];
+      if (rows == 0) continue;
+      ranges.push_back({virt, po[part], rows});
+      virt += rows;
+    }
+    pruned = true;
+  }
+  const size_t virt_rows =
+      pruned ? (ranges.empty() ? 0 : ranges.back().virt_begin +
+                                         ranges.back().rows)
+             : source.num_rows();
+  const size_t total = std::min(virt_rows, p.scan_limit);
+
+  // Pushed predicates evaluate on the encoded payload (dict codes, FOR
+  // data) before any decode; the downstream Filter re-checks the full
+  // predicate, so a scan that cannot use them just returns more rows.
+  const std::vector<ScanPredicate>* pushed =
+      scan && !scan->scan_predicates.empty() && source.sealed()
+          ? &scan->scan_predicates
+          : nullptr;
+
   Sink& sink = *p.sink;
 
   FirstError first_error;
@@ -599,18 +692,44 @@ Status PhysicalPlan::RunStreaming(PhysicalPipeline& p, ExecContext& ctx) {
       ctx.guard, total,
       [&](size_t begin, size_t end, size_t worker_id) {
         if (first_error.failed()) return;
-        for (size_t offset = begin; offset < end; offset += kChunkCapacity) {
+        if (source.sealed()) {
+          Status st = ctx.Probe("storage.segment_decode");
+          if (!st.ok()) {
+            first_error.Record(std::move(st));
+            return;
+          }
+        }
+        for (size_t offset = begin; offset < end;) {
           if (first_error.failed()) return;
           // Cross-worker early exit (LIMIT): enough rows collected, the
           // remaining source rows are never even scanned.
           if (sink.done()) return;
-          const size_t count = std::min(kChunkCapacity, end - offset);
+          size_t count = std::min(kChunkCapacity, end - offset);
+          size_t phys = offset;
+          if (pruned) {
+            // Map the virtual offset into its physical range; chunks never
+            // straddle a range boundary (partition boundaries are also
+            // row-group boundaries, so this keeps decodes group-local).
+            const auto it =
+                std::upper_bound(ranges.begin(), ranges.end(), offset,
+                                 [](size_t v, const ScanRange& r) {
+                                   return v < r.virt_begin;
+                                 }) -
+                1;
+            phys = it->phys_begin + (offset - it->virt_begin);
+            count = std::min(count, it->virt_begin + it->rows - offset);
+          }
           const uint64_t t0 = NowNanos();
           DataChunk chunk;
-          source.ScanSlice(offset, count, &chunk);
+          const std::vector<size_t>* proj =
+              p.scan_columns.empty() ? nullptr : &p.scan_columns;
+          if (!pushed ||
+              !source.ScanSliceFiltered(phys, count, *pushed, &chunk, proj)) {
+            source.ScanSlice(phys, count, &chunk, proj);
+          }
           if (p.source_op) {
             auto& m = p.source_op->metrics;
-            m.rows_out.fetch_add(count, kRelaxed);
+            m.rows_out.fetch_add(chunk.num_rows(), kRelaxed);
             m.chunks.fetch_add(1, kRelaxed);
             m.nanos.fetch_add(NowNanos() - t0, kRelaxed);
           }
@@ -650,6 +769,7 @@ Status PhysicalPlan::RunStreaming(PhysicalPipeline& p, ExecContext& ctx) {
             first_error.Record(std::move(st));
             return;
           }
+          offset += count;
         }
       },
       /*morsel_size=*/kChunkCapacity * 8);

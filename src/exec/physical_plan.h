@@ -87,6 +87,15 @@ struct PhysicalPipeline {
   /// Scan at most this many source rows (bounded LIMIT over a
   /// cardinality-preserving chain).
   size_t scan_limit = kUnbounded;
+  /// The logical scan node feeding this pipeline, when the source is a
+  /// base-table scan: carries pushed predicates and the pruned partition
+  /// set. Null for bindings and pipeline-fed sources. Points into the
+  /// logical plan (which must outlive the PhysicalPlan).
+  const PlanNode* scan_node = nullptr;
+  /// Fused scan projection: physical column indexes the scan materializes,
+  /// in output order (a pure-column-ref Project collapsed into the scan, so
+  /// sealed tables never decode dropped columns). Empty = all columns.
+  std::vector<size_t> scan_columns;
   PhysOpPtr source_op;
 
   /// The transform chain. Entries may be null until a `prepares` closure

@@ -111,6 +111,56 @@ Status VerifyLogicalPlan(const PlanNode& plan) {
       if (plan.table_name.empty()) {
         return Violation(where, "scan without a table name");
       }
+      for (const ScanPredicate& pred : plan.scan_predicates) {
+        if (pred.column >= plan.schema.num_fields()) {
+          return Violation(where,
+                           "pushed predicate on column #" +
+                               std::to_string(pred.column) +
+                               " out of bounds for " +
+                               std::to_string(plan.schema.num_fields()) +
+                               " columns");
+        }
+        if (pred.constant.is_null()) {
+          return Violation(where,
+                           "pushed predicate with a NULL constant (never "
+                           "matches; must not be pushed)");
+        }
+        // The storage layer evaluates pushed predicates on the encoded
+        // payload without coercion; the optimizer must have normalized
+        // the constant to the column's payload family.
+        const DataType col = plan.schema.field(pred.column).type;
+        const DataType want = col == DataType::kBool ? DataType::kBigInt : col;
+        if (pred.constant.type() != want) {
+          return Violation(
+              where, "pushed predicate constant typed " +
+                         std::string(DataTypeToString(pred.constant.type())) +
+                         " for column of type " + DataTypeToString(col));
+        }
+      }
+      if (plan.scan_total_partitions == 0) {
+        if (!plan.scan_partitions.empty()) {
+          return Violation(where,
+                           "partition list set but total partitions is 0");
+        }
+      } else {
+        size_t prev = 0;
+        bool first = true;
+        for (size_t p : plan.scan_partitions) {
+          if (p >= plan.scan_total_partitions) {
+            return Violation(where,
+                             "partition #" + std::to_string(p) +
+                                 " out of bounds for " +
+                                 std::to_string(plan.scan_total_partitions) +
+                                 " partitions");
+          }
+          if (!first && p <= prev) {
+            return Violation(where,
+                             "partition list is not strictly ascending");
+          }
+          prev = p;
+          first = false;
+        }
+      }
       break;
     }
     case PlanKind::kValues: {
@@ -312,6 +362,12 @@ Status VerifyLogicalPlan(const PlanNode& plan) {
       }
       break;
     }
+  }
+  if (plan.kind != PlanKind::kScan &&
+      (!plan.scan_predicates.empty() || !plan.scan_partitions.empty() ||
+       plan.scan_total_partitions != 0)) {
+    return Violation(where,
+                     "scan pushdown/pruning fields set on a non-scan node");
   }
   for (const PlanPtr& child : plan.children) {
     SODA_RETURN_NOT_OK(VerifyLogicalPlan(*child));

@@ -125,6 +125,15 @@ struct CreateTableStmt {
   std::vector<std::pair<std::string, DataType>> columns;
   bool if_not_exists = false;
   SelectPtr as_select;  ///< CREATE TABLE name AS <select> (columns empty)
+
+  /// PARTITION BY clause (column-list form only):
+  ///   PARTITION BY HASH(col) PARTITIONS n
+  ///   PARTITION BY RANGE(col) (b1, b2, ...)   -- ascending upper bounds
+  enum class PartitionKind { kNone, kHash, kRange };
+  PartitionKind partition_kind = PartitionKind::kNone;
+  std::string partition_column;
+  int64_t partition_count = 0;            ///< hash only
+  std::vector<int64_t> partition_bounds;  ///< range only
 };
 
 struct InsertStmt {

@@ -38,9 +38,25 @@ std::string PlanNode::ToString(int indent) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   std::string out = pad + PlanKindToString(kind);
   switch (kind) {
-    case PlanKind::kScan:
+    case PlanKind::kScan: {
       out += " " + table_name;
+      if (!scan_predicates.empty()) {
+        out += " pushed[";
+        for (size_t i = 0; i < scan_predicates.size(); ++i) {
+          if (i) out += ", ";
+          const size_t c = scan_predicates[i].column;
+          out += scan_predicates[i].ToString(
+              c < schema.num_fields() ? schema.field(c).name
+                                      : "#" + std::to_string(c));
+        }
+        out += "]";
+      }
+      if (scan_total_partitions > 0) {
+        out += " [partitions: " + std::to_string(scan_partitions.size()) +
+               "/" + std::to_string(scan_total_partitions) + " scanned]";
+      }
       break;
+    }
     case PlanKind::kValues:
       out += " (" + std::to_string(rows.size()) + " rows)";
       break;
@@ -123,6 +139,9 @@ PlanPtr PlanNode::Clone() const {
   auto n = std::make_unique<PlanNode>(kind);
   n->schema = schema;
   n->table_name = table_name;
+  n->scan_predicates = scan_predicates;
+  n->scan_partitions = scan_partitions;
+  n->scan_total_partitions = scan_total_partitions;
   n->rows = rows;
   if (predicate) n->predicate = predicate->Clone();
   n->exprs.reserve(exprs.size());

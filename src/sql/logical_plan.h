@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "expr/expression.h"
+#include "storage/segment.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -74,6 +75,16 @@ struct PlanNode {
 
   // kScan
   std::string table_name;
+  /// Pushed-down `col <op> constant` conjuncts (sql/optimizer.cc). The
+  /// scan uses them to skip/trim encoded segments; the originating Filter
+  /// stays in the plan and re-checks, so they are pure accelerators.
+  std::vector<ScanPredicate> scan_predicates;
+  /// Partition pruning result for scans of partitioned tables: the
+  /// (sorted, unique) partition ids the scan must read, out of
+  /// `scan_total_partitions`. total == 0 means the table is unpartitioned
+  /// (both fields stay empty/zero on every non-scan node).
+  std::vector<size_t> scan_partitions;
+  size_t scan_total_partitions = 0;
 
   // kValues
   std::vector<std::vector<Value>> rows;

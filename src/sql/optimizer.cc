@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "expr/fold.h"
+#include "storage/partition.h"
+#include "storage/segment.h"
+#include "storage/table.h"
 
 namespace soda {
 
@@ -108,6 +112,199 @@ void ClassifyJoinConjuncts(std::vector<ExprPtr> conjuncts, size_t left_width,
     }
     residual->push_back(std::move(c));
   }
+}
+
+// --- scan pushdown + partition pruning ------------------------------------
+
+/// Maps a comparison onto the storage CompareOp; `flipped` when the
+/// literal was on the left (`5 < x` reads as `x > 5`).
+bool ToCompareOp(BinaryOp op, bool flipped, CompareOp* out) {
+  switch (op) {
+    case BinaryOp::kEq:
+      *out = CompareOp::kEq;
+      return true;
+    case BinaryOp::kLt:
+      *out = flipped ? CompareOp::kGt : CompareOp::kLt;
+      return true;
+    case BinaryOp::kLe:
+      *out = flipped ? CompareOp::kGe : CompareOp::kLe;
+      return true;
+    case BinaryOp::kGt:
+      *out = flipped ? CompareOp::kLt : CompareOp::kGt;
+      return true;
+    case BinaryOp::kGe:
+      *out = flipped ? CompareOp::kLe : CompareOp::kGe;
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Converts a literal to the exact payload family the storage layer
+/// evaluates (Table::ScanSliceFiltered rejects anything else). Lossy
+/// conversions fail — the predicate then simply stays un-pushed and the
+/// Filter transform handles it.
+bool NormalizeConstant(const Value& literal, DataType col_type, Value* out) {
+  if (literal.is_null()) return false;
+  switch (col_type) {
+    case DataType::kBigInt:
+      if (literal.type() == DataType::kBigInt) {
+        *out = literal;
+        return true;
+      }
+      if (literal.type() == DataType::kDouble) {
+        const double d = literal.double_value();
+        if (d < -9.2e18 || d > 9.2e18) return false;
+        const int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) != d) return false;  // not integral
+        *out = Value::BigInt(i);
+        return true;
+      }
+      return false;
+    case DataType::kBool:
+      if (literal.type() == DataType::kBool) {
+        *out = Value::BigInt(literal.bool_value() ? 1 : 0);
+        return true;
+      }
+      if (literal.type() == DataType::kBigInt) {
+        *out = literal;
+        return true;
+      }
+      return false;
+    case DataType::kDouble:
+      if (literal.type() == DataType::kDouble) {
+        *out = literal;
+        return true;
+      }
+      if (literal.type() == DataType::kBigInt) {
+        *out = Value::Double(static_cast<double>(literal.bigint_value()));
+        return true;
+      }
+      return false;
+    case DataType::kVarchar:
+      if (literal.type() == DataType::kVarchar) {
+        *out = literal;
+        return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+void CollectConstConjuncts(const Expression& e,
+                           std::vector<const Expression*>* out) {
+  if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd) {
+    CollectConstConjuncts(*e.children[0], out);
+    CollectConstConjuncts(*e.children[1], out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+/// Harvests `col <op> literal` conjuncts of `pred` into the scan's pushed
+/// predicate list. The Filter keeps the full predicate — pushed copies are
+/// accelerators, never the source of truth.
+void ExtractScanPredicates(const Expression& pred, PlanNode* scan) {
+  std::vector<const Expression*> conjuncts;
+  CollectConstConjuncts(pred, &conjuncts);
+  scan->scan_predicates.clear();
+  for (const Expression* c : conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->children.size() != 2) continue;
+    const Expression* col = c->children[0].get();
+    const Expression* lit = c->children[1].get();
+    bool flipped = false;
+    if (col->kind == ExprKind::kLiteral && lit->kind == ExprKind::kColumnRef) {
+      std::swap(col, lit);
+      flipped = true;
+    }
+    if (col->kind != ExprKind::kColumnRef || lit->kind != ExprKind::kLiteral) {
+      continue;
+    }
+    CompareOp op;
+    if (!ToCompareOp(c->binary_op, flipped, &op)) continue;
+    if (col->column_index >= scan->schema.num_fields()) continue;
+    ScanPredicate sp;
+    sp.column = col->column_index;
+    sp.op = op;
+    if (!NormalizeConstant(lit->literal,
+                           scan->schema.field(col->column_index).type,
+                           &sp.constant)) {
+      continue;
+    }
+    scan->scan_predicates.push_back(std::move(sp));
+  }
+}
+
+/// Recomputes the scan's partition set from its pushed predicates. Hash
+/// layouts prune on equality only; range layouts prune on any comparison
+/// (the bounds are ascending, so a predicate selects a partition
+/// interval). Predicates on other columns are ignored.
+void PruneScanPartitions(PlanNode* scan, const PartitionSpec& spec) {
+  scan->scan_total_partitions = spec.num_partitions;
+  std::vector<uint8_t> keep(spec.num_partitions, 1);
+  for (const ScanPredicate& pred : scan->scan_predicates) {
+    if (pred.column != spec.column_index) continue;
+    std::vector<uint8_t> allow(spec.num_partitions, 0);
+    if (spec.kind == PartitionSpec::Kind::kHash) {
+      if (pred.op != CompareOp::kEq) continue;
+      allow[PartitionOfValue(spec, pred.constant)] = 1;
+    } else {
+      const int64_t v = pred.constant.AsBigInt();
+      size_t lo = 0;
+      size_t hi = spec.num_partitions - 1;
+      bool empty = false;
+      switch (pred.op) {
+        case CompareOp::kEq:
+          lo = hi = PartitionOfValue(spec, pred.constant);
+          break;
+        case CompareOp::kLe:
+          hi = PartitionOfValue(spec, pred.constant);
+          break;
+        case CompareOp::kLt:
+          if (v == INT64_MIN) {
+            empty = true;
+          } else {
+            hi = PartitionOfValue(spec, Value::BigInt(v - 1));
+          }
+          break;
+        case CompareOp::kGe:
+          lo = PartitionOfValue(spec, pred.constant);
+          break;
+        case CompareOp::kGt:
+          if (v == INT64_MAX) {
+            empty = true;
+          } else {
+            lo = PartitionOfValue(spec, Value::BigInt(v + 1));
+          }
+          break;
+      }
+      if (!empty) {
+        for (size_t p = lo; p <= hi && p < spec.num_partitions; ++p) {
+          allow[p] = 1;
+        }
+      }
+    }
+    for (size_t p = 0; p < keep.size(); ++p) keep[p] &= allow[p];
+  }
+  scan->scan_partitions.clear();
+  for (size_t p = 0; p < keep.size(); ++p) {
+    if (keep[p]) scan->scan_partitions.push_back(p);
+  }
+}
+
+/// Annotates a base-table scan: resolves the table's partition spec and
+/// prunes against whatever predicates have been pushed so far. Bare scans
+/// of partitioned tables report the full set (N/N scanned) so EXPLAIN
+/// always shows the pruning dimension.
+void AnnotateScan(PlanNode* scan, Catalog* catalog) {
+  if (!catalog) return;
+  Result<TablePtr> t = catalog->GetTable(scan->table_name);
+  if (!t.ok()) return;
+  const PartitionSpec& spec = (*t)->partition_spec();
+  if (!spec.partitioned() || spec.num_partitions == 0) return;
+  if (spec.column_index >= scan->schema.num_fields()) return;
+  PruneScanPartitions(scan, spec);
 }
 
 void FoldNodeExpressions(PlanNode* plan) {
@@ -231,10 +428,20 @@ PlanPtr OptimizeNode(PlanPtr plan, Catalog* catalog) {
         return RewriteJoin(std::move(plan->children[0]), std::move(conjuncts),
                            catalog);
       }
+      // Push `col <op> literal` conjuncts below a base-table scan and
+      // prune partitions with them. The Filter stays (pushed predicates
+      // are exact but the full predicate may have more conjuncts).
+      if (plan->children[0]->kind == PlanKind::kScan) {
+        ExtractScanPredicates(*plan->predicate, plan->children[0].get());
+        AnnotateScan(plan->children[0].get(), catalog);
+      }
       return plan;
     }
     case PlanKind::kJoin:
       return RewriteJoin(std::move(plan), {}, catalog);
+    case PlanKind::kScan:
+      AnnotateScan(plan.get(), catalog);
+      return plan;
     default:
       return plan;
   }

@@ -176,6 +176,39 @@ class Parser {
       stmt->columns.emplace_back(std::move(col), type);
     } while (Match(TokenType::kComma));
     SODA_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    if (MatchKeyword("partition")) {
+      SODA_RETURN_NOT_OK(ExpectKeyword("by"));
+      if (MatchKeyword("hash")) {
+        stmt->partition_kind = CreateTableStmt::PartitionKind::kHash;
+        SODA_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+        SODA_ASSIGN_OR_RETURN(stmt->partition_column,
+                              ParseIdentifier("partition column"));
+        SODA_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        SODA_RETURN_NOT_OK(ExpectKeyword("partitions"));
+        if (Peek().type != TokenType::kInteger) {
+          return Unexpected("a partition count");
+        }
+        stmt->partition_count = Advance().int_value;
+      } else if (MatchKeyword("range")) {
+        stmt->partition_kind = CreateTableStmt::PartitionKind::kRange;
+        SODA_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+        SODA_ASSIGN_OR_RETURN(stmt->partition_column,
+                              ParseIdentifier("partition column"));
+        SODA_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        SODA_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+        do {
+          const bool negative = Match(TokenType::kMinus);
+          if (Peek().type != TokenType::kInteger) {
+            return Unexpected("a range bound (integer)");
+          }
+          int64_t bound = Advance().int_value;
+          stmt->partition_bounds.push_back(negative ? -bound : bound);
+        } while (Match(TokenType::kComma));
+        SODA_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      } else {
+        return Unexpected("HASH or RANGE after PARTITION BY");
+      }
+    }
     return stmt;
   }
 

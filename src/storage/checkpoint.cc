@@ -17,7 +17,7 @@ namespace soda {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x4B434453;  // "SDCK"
-constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kCheckpointVersion = 2;  // v2: sealed-table payloads (serde table flags)
 
 Status IoError(const std::string& what, const std::string& path) {
   return Status::ExecutionError("checkpoint: " + what + " failed for " +

@@ -62,6 +62,38 @@ class Column {
     str_.push_back(std::move(v));
     if (!validity_.empty()) validity_.push_back(1);
   }
+  /// Bulk append of `n` non-null numeric values (segment-decode and
+  /// deserialization fast paths — one memcpy instead of n push_backs).
+  void AppendBigInts(const int64_t* data, size_t n) {
+    SODA_DCHECK(type_ == DataType::kBigInt || type_ == DataType::kBool);
+    i64_.insert(i64_.end(), data, data + n);
+    if (!validity_.empty()) validity_.insert(validity_.end(), n, 1);
+  }
+  void AppendDoubles(const double* data, size_t n) {
+    SODA_DCHECK(type_ == DataType::kDouble);
+    f64_.insert(f64_.end(), data, data + n);
+    if (!validity_.empty()) validity_.insert(validity_.end(), n, 1);
+  }
+  /// Appends `n` copies of one non-null value (RLE run expansion).
+  void AppendRunBigInt(int64_t v, size_t n) {
+    SODA_DCHECK(type_ == DataType::kBigInt || type_ == DataType::kBool);
+    i64_.insert(i64_.end(), n, v);
+    if (!validity_.empty()) validity_.insert(validity_.end(), n, 1);
+  }
+  void AppendRunDouble(double v, size_t n) {
+    SODA_DCHECK(type_ == DataType::kDouble);
+    f64_.insert(f64_.end(), n, v);
+    if (!validity_.empty()) validity_.insert(validity_.end(), n, 1);
+  }
+  /// Extends the int payload by `n` non-null slots and returns the write
+  /// pointer for them (FOR bit-unpacking decodes straight into place).
+  int64_t* ExtendI64(size_t n) {
+    SODA_DCHECK(type_ == DataType::kBigInt || type_ == DataType::kBool);
+    const size_t old = i64_.size();
+    i64_.resize(old + n);
+    if (!validity_.empty()) validity_.insert(validity_.end(), n, 1);
+    return i64_.data() + old;
+  }
   /// Appends a NULL (materializes the validity vector on first use).
   void AppendNull();
   /// Appends a boxed value; NULLs allowed; numeric payloads are coerced to

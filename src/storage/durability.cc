@@ -1,5 +1,6 @@
 #include "storage/durability.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -12,6 +13,7 @@ Status ApplyWalRecord(Catalog* catalog, const WalRecord& record) {
   switch (record.type) {
     case WalRecordType::kCreateTable: {
       auto table = std::make_shared<Table>(record.table, record.schema);
+      table->set_partition_spec(record.spec);
       if (catalog->HasTable(record.table)) {
         return catalog->ReplaceTable(record.table, std::move(table));
       }
@@ -31,7 +33,10 @@ Status ApplyWalRecord(Catalog* catalog, const WalRecord& record) {
             "wal replay: append arity mismatch for table " + record.table);
       }
       // Recovery is single-threaded and the catalog is private to this
-      // engine, so appending in place (no copy-on-write swap) is safe.
+      // engine, so appending in place (no copy-on-write swap) is safe. A
+      // sealed image (encoded checkpoint / kTableImage) is flattened
+      // first; Open() re-seals once the whole tail is applied.
+      SODA_RETURN_NOT_OK(table->EnsureFlat());
       for (size_t c = 0; c < table->num_columns(); ++c) {
         if (table->column(c).type() != record.rows->column(c).type()) {
           return Status::ExecutionError(
@@ -82,13 +87,35 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
   SODA_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
                         Wal::Open(data_dir + "/" + kWalFileName, &records));
   uint64_t last_lsn = checkpoint_lsn;
+  std::vector<std::string> flattened;
   for (const WalRecord& record : records) {
     if (record.lsn <= checkpoint_lsn) continue;  // already in the snapshot
+    if (record.type == WalRecordType::kAppendRows &&
+        catalog->HasTable(record.table)) {
+      SODA_ASSIGN_OR_RETURN(TablePtr t, catalog->GetTable(record.table));
+      if (t->sealed()) flattened.push_back(record.table);
+    }
     SODA_RETURN_NOT_OK(ApplyWalRecord(catalog, record));
     last_lsn = record.lsn;
   }
   wal->set_last_lsn(std::max(wal->last_lsn(), last_lsn));
   wal->SetFsyncMode(mode, group_bytes);
+
+  // Replay flattens sealed tables it appends into; restore the encoded
+  // representation so a recovered engine matches the pre-crash footprint.
+  // Partitioned tables are re-sealed unconditionally — pruning relies on
+  // the clustered layout. Tables checkpointed flat deliberately stay
+  // flat (recovery reproduces the stored representation, bit for bit).
+  for (const std::string& name : catalog->TableNames()) {
+    SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(name));
+    const bool was_flattened =
+        std::find(flattened.begin(), flattened.end(), name) !=
+        flattened.end();
+    if (!table->sealed() &&
+        (table->partition_spec().partitioned() || was_flattened)) {
+      SODA_RETURN_NOT_OK(table->Seal());
+    }
+  }
   return std::unique_ptr<DurabilityManager>(
       new DurabilityManager(data_dir, std::move(wal)));
 }

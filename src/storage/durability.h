@@ -57,8 +57,9 @@ class DurabilityManager {
   // --- is published; a failure means the statement must not commit). ----
   // --- Call through Commit()/CommitDurable so the log→publish pair is
   // --- atomic with respect to CHECKPOINT.
-  Status LogCreateTable(const std::string& name, const Schema& schema) {
-    return wal_->AppendCreateTable(name, schema);
+  Status LogCreateTable(const std::string& name, const Schema& schema,
+                        const PartitionSpec& spec = {}) {
+    return wal_->AppendCreateTable(name, schema, spec);
   }
   Status LogDropTable(const std::string& name) {
     return wal_->AppendDropTable(name);

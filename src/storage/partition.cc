@@ -1,0 +1,101 @@
+#include "storage/partition.h"
+
+#include <algorithm>
+
+namespace soda {
+
+std::string PartitionSpec::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "";
+    case Kind::kHash:
+      return "PARTITION BY HASH(" + column + ") PARTITIONS " +
+             std::to_string(num_partitions);
+    case Kind::kRange: {
+      std::string out = "PARTITION BY RANGE(" + column + ") (";
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(bounds[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "";
+}
+
+uint64_t PartitionHashI64(int64_t v) {
+  // splitmix64 finalizer — fixed constants, stable across builds.
+  uint64_t x = static_cast<uint64_t>(v);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t PartitionHashBytes(const void* data, size_t n) {
+  // FNV-1a, then a splitmix finalize for avalanche.
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return PartitionHashI64(static_cast<int64_t>(h));
+}
+
+size_t PartitionOfRow(const PartitionSpec& spec, const Column& col,
+                      size_t row) {
+  if (!spec.partitioned() || spec.num_partitions == 0) return 0;
+  if (col.IsNull(row)) return 0;
+  if (spec.kind == PartitionSpec::Kind::kRange) {
+    const int64_t v = col.GetBigInt(row);
+    return std::upper_bound(spec.bounds.begin(), spec.bounds.end(), v) -
+           spec.bounds.begin();
+  }
+  uint64_t h = 0;
+  switch (col.type()) {
+    case DataType::kVarchar: {
+      const std::string& s = col.GetString(row);
+      h = PartitionHashBytes(s.data(), s.size());
+      break;
+    }
+    case DataType::kDouble: {
+      const double d = col.GetDouble(row);
+      h = PartitionHashBytes(&d, sizeof(d));
+      break;
+    }
+    default:
+      h = PartitionHashI64(col.GetBigInt(row));
+      break;
+  }
+  return h % spec.num_partitions;
+}
+
+size_t PartitionOfValue(const PartitionSpec& spec, const Value& v) {
+  if (!spec.partitioned() || spec.num_partitions == 0) return 0;
+  if (v.is_null()) return 0;
+  if (spec.kind == PartitionSpec::Kind::kRange) {
+    const int64_t x = v.AsBigInt();
+    return std::upper_bound(spec.bounds.begin(), spec.bounds.end(), x) -
+           spec.bounds.begin();
+  }
+  uint64_t h = 0;
+  switch (v.type()) {
+    case DataType::kVarchar: {
+      const std::string& s = v.varchar_value();
+      h = PartitionHashBytes(s.data(), s.size());
+      break;
+    }
+    case DataType::kDouble: {
+      const double d = v.double_value();
+      h = PartitionHashBytes(&d, sizeof(d));
+      break;
+    }
+    default:
+      h = PartitionHashI64(v.AsBigInt());
+      break;
+  }
+  return h % spec.num_partitions;
+}
+
+}  // namespace soda

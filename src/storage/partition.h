@@ -1,0 +1,66 @@
+/// \file partition.h
+/// Table partitioning metadata (`CREATE TABLE ... PARTITION BY`).
+///
+/// A partitioned table physically clusters its rows by partition id when
+/// it is sealed (storage/table.h): partition p occupies the contiguous row
+/// range [partition_offsets[p], partition_offsets[p+1]), each made of
+/// whole row groups. The optimizer prunes partitions against pushed-down
+/// predicates (sql/optimizer.cc) and the scan skips the pruned row ranges
+/// entirely.
+///
+/// The row→partition mapping must be stable across process restarts —
+/// checkpoints persist partition offsets — so the hash below is a fixed
+/// splitmix64/FNV mix, never std::hash.
+
+#ifndef SODA_STORAGE_PARTITION_H_
+#define SODA_STORAGE_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "types/value.h"
+
+namespace soda {
+
+struct PartitionSpec {
+  enum class Kind : uint8_t { kNone = 0, kHash = 1, kRange = 2 };
+
+  Kind kind = Kind::kNone;
+  /// Partition column (lower-case name + resolved schema index).
+  std::string column;
+  size_t column_index = 0;
+  /// Hash: the declared partition count. Range: bounds.size() + 1.
+  size_t num_partitions = 0;
+  /// Range only: ascending upper-exclusive BIGINT bounds. Partition p
+  /// holds rows with bounds[p-1] <= v < bounds[p]; NULLs go to partition 0
+  /// (they never match a pruning predicate, so placement is free).
+  std::vector<int64_t> bounds;
+
+  bool partitioned() const { return kind != Kind::kNone; }
+
+  /// "PARTITION BY HASH(col) PARTITIONS 8" — EXPLAIN / error rendering.
+  std::string ToString() const;
+};
+
+/// Stable 64-bit mix used for hash partitioning (NOT the exec-layer hash:
+/// storage cannot depend on exec, and this one is pinned forever because
+/// checkpointed layouts depend on it).
+uint64_t PartitionHashI64(int64_t v);
+uint64_t PartitionHashBytes(const void* data, size_t n);
+
+/// Partition id of `col[row]` under `spec` (col must be the partition
+/// column). NULL rows map to partition 0.
+size_t PartitionOfRow(const PartitionSpec& spec, const Column& col,
+                      size_t row);
+
+/// Partition id of a constant under `spec` — the planner-side twin of
+/// PartitionOfRow, used to prune `col = literal` / range predicates. The
+/// value's type must match the partition column's storage family (the
+/// optimizer casts before calling); NULL maps to partition 0.
+size_t PartitionOfValue(const PartitionSpec& spec, const Value& v);
+
+}  // namespace soda
+
+#endif  // SODA_STORAGE_PARTITION_H_

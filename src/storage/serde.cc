@@ -144,9 +144,71 @@ Result<Column> ReadColumn(BinaryReader* r) {
   return column;
 }
 
+namespace {
+
+// Table payload flags (serde format v2): sealed tables persist their
+// encoded row groups verbatim — checkpoints shrink with the data and
+// recovery replays encoded, bit-identically.
+constexpr uint8_t kTableFlagSealed = 0x1;
+constexpr uint8_t kTableFlagPartitioned = 0x2;
+
+}  // namespace
+
+void WritePartitionSpec(const PartitionSpec& spec, BinaryWriter* w) {
+  w->U8(static_cast<uint8_t>(spec.kind));
+  w->Str(spec.column);
+  w->U32(static_cast<uint32_t>(spec.column_index));
+  w->U32(static_cast<uint32_t>(spec.num_partitions));
+  w->U32(static_cast<uint32_t>(spec.bounds.size()));
+  for (int64_t b : spec.bounds) w->I64(b);
+}
+
+Result<PartitionSpec> ReadPartitionSpec(BinaryReader* r) {
+  PartitionSpec spec;
+  SODA_ASSIGN_OR_RETURN(uint8_t kind, r->U8());
+  if (kind > static_cast<uint8_t>(PartitionSpec::Kind::kRange)) {
+    return Status::ExecutionError("serde: invalid partition kind");
+  }
+  spec.kind = static_cast<PartitionSpec::Kind>(kind);
+  SODA_ASSIGN_OR_RETURN(spec.column, r->Str());
+  SODA_ASSIGN_OR_RETURN(uint32_t col_idx, r->U32());
+  spec.column_index = col_idx;
+  SODA_ASSIGN_OR_RETURN(uint32_t num_parts, r->U32());
+  spec.num_partitions = num_parts;
+  SODA_ASSIGN_OR_RETURN(uint32_t num_bounds, r->U32());
+  if (num_bounds > r->remaining() / sizeof(int64_t)) {
+    return Status::ExecutionError("serde: truncated partition bounds");
+  }
+  spec.bounds.reserve(num_bounds);
+  for (uint32_t i = 0; i < num_bounds; ++i) {
+    SODA_ASSIGN_OR_RETURN(int64_t b, r->I64());
+    spec.bounds.push_back(b);
+  }
+  return spec;
+}
+
 void WriteTable(const Table& table, BinaryWriter* w) {
   w->Str(table.name());
   WriteSchema(table.schema(), w);
+  uint8_t flags = 0;
+  if (table.sealed()) flags |= kTableFlagSealed;
+  if (table.partition_spec().partitioned()) flags |= kTableFlagPartitioned;
+  w->U8(flags);
+  if (table.partition_spec().partitioned()) {
+    WritePartitionSpec(table.partition_spec(), w);
+  }
+  if (table.sealed()) {
+    w->U32(static_cast<uint32_t>(table.num_row_groups()));
+    const auto& offsets = table.partition_offsets();
+    w->U32(static_cast<uint32_t>(offsets.size()));
+    for (size_t o : offsets) w->U64(o);
+    for (size_t g = 0; g < table.num_row_groups(); ++g) {
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        WriteSegment(*table.group_segment(g, c), w);
+      }
+    }
+    return;
+  }
   for (size_t c = 0; c < table.num_columns(); ++c) {
     WriteColumn(table.column(c), w);
   }
@@ -156,6 +218,38 @@ Result<TablePtr> ReadTable(BinaryReader* r) {
   SODA_ASSIGN_OR_RETURN(std::string name, r->Str());
   SODA_ASSIGN_OR_RETURN(Schema schema, ReadSchema(r));
   auto table = std::make_shared<Table>(name, schema);
+  SODA_ASSIGN_OR_RETURN(uint8_t flags, r->U8());
+  if (flags & kTableFlagPartitioned) {
+    SODA_ASSIGN_OR_RETURN(PartitionSpec spec, ReadPartitionSpec(r));
+    table->set_partition_spec(std::move(spec));
+  }
+  if (flags & kTableFlagSealed) {
+    SODA_ASSIGN_OR_RETURN(uint32_t num_groups, r->U32());
+    SODA_ASSIGN_OR_RETURN(uint32_t num_offsets, r->U32());
+    if (num_offsets > r->remaining() / sizeof(uint64_t)) {
+      return Status::ExecutionError("serde: truncated partition offsets");
+    }
+    std::vector<size_t> offsets;
+    offsets.reserve(num_offsets);
+    for (uint32_t i = 0; i < num_offsets; ++i) {
+      SODA_ASSIGN_OR_RETURN(uint64_t o, r->U64());
+      offsets.push_back(o);
+    }
+    std::vector<std::vector<SegmentPtr>> groups;
+    groups.reserve(num_groups);
+    for (uint32_t g = 0; g < num_groups; ++g) {
+      std::vector<SegmentPtr> group;
+      group.reserve(schema.num_fields());
+      for (size_t c = 0; c < schema.num_fields(); ++c) {
+        SODA_ASSIGN_OR_RETURN(SegmentPtr seg, ReadSegment(r));
+        group.push_back(std::move(seg));
+      }
+      groups.push_back(std::move(group));
+    }
+    SODA_RETURN_NOT_OK(
+        table->AdoptSealed(std::move(groups), std::move(offsets)));
+    return table;
+  }
   size_t rows = 0;
   for (size_t c = 0; c < schema.num_fields(); ++c) {
     SODA_ASSIGN_OR_RETURN(Column column, ReadColumn(r));

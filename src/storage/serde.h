@@ -72,6 +72,9 @@ Result<Schema> ReadSchema(BinaryReader* r);
 void WriteColumn(const Column& column, BinaryWriter* w);
 Result<Column> ReadColumn(BinaryReader* r);
 
+void WritePartitionSpec(const PartitionSpec& spec, BinaryWriter* w);
+Result<PartitionSpec> ReadPartitionSpec(BinaryReader* r);
+
 /// Name + schema + all columns.
 void WriteTable(const Table& table, BinaryWriter* w);
 Result<TablePtr> ReadTable(BinaryReader* r);

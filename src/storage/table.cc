@@ -13,6 +13,10 @@ namespace {
 /// current query's memory budget under this name.
 constexpr char kAppendSite[] = "storage.append";
 
+/// Probe site for lazy segment decode (flat-cache materialization and
+/// EnsureFlat; the streaming scan path probes it per morsel in exec).
+constexpr char kDecodeSite[] = "storage.segment_decode";
+
 size_t ValueBytes(const Value& v) {
   if (v.is_null()) return 1;
   if (v.type() == DataType::kVarchar) {
@@ -38,6 +42,26 @@ Status ChargeAppend(size_t bytes) {
   return GuardReserve(QueryGuard::Current(), bytes, kAppendSite);
 }
 
+/// A pushed predicate is only evaluable on the encoded payload when the
+/// literal's type matches the column's payload family exactly — no silent
+/// coercion in the storage layer (the optimizer casts before pushing).
+bool PredicateEvaluable(const Schema& schema, const ScanPredicate& pred) {
+  if (pred.column >= schema.num_fields() || pred.constant.is_null()) {
+    return false;
+  }
+  switch (schema.field(pred.column).type) {
+    case DataType::kBigInt:
+    case DataType::kBool:
+      return pred.constant.type() == DataType::kBigInt;
+    case DataType::kDouble:
+      return pred.constant.type() == DataType::kDouble;
+    case DataType::kVarchar:
+      return pred.constant.type() == DataType::kVarchar;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 Table::Table(std::string name, Schema schema)
@@ -47,6 +71,10 @@ Table::Table(std::string name, Schema schema)
 }
 
 Status Table::AppendRow(const std::vector<Value>& row) {
+  if (sealed_) {
+    return Status::ExecutionError("append to sealed table '" + name_ +
+                                  "' (rebuild via stage-and-swap)");
+  }
   if (row.size() != columns_.size()) {
     return Status::InvalidArgument("row arity mismatch: expected " +
                                    std::to_string(columns_.size()) + ", got " +
@@ -75,6 +103,9 @@ Status Table::AppendRow(const std::vector<Value>& row) {
 }
 
 Status Table::AppendChunk(const DataChunk& chunk) {
+  if (sealed_) {
+    return Status::ExecutionError("append to sealed table '" + name_ + "'");
+  }
   if (chunk.num_columns() != columns_.size()) {
     return Status::InvalidArgument("chunk arity mismatch");
   }
@@ -95,20 +126,122 @@ Status Table::AppendChunk(const DataChunk& chunk) {
   return Status::OK();
 }
 
-void Table::ScanSlice(size_t offset, size_t count, DataChunk* out) const {
+namespace {
+
+/// Schema of a projected scan output: the selected fields in `cols` order.
+Schema ProjectedSchema(const Schema& schema, const std::vector<size_t>& cols) {
+  std::vector<Field> fields;
+  fields.reserve(cols.size());
+  for (size_t c : cols) fields.push_back(schema.field(c));
+  return Schema(std::move(fields));
+}
+
+}  // namespace
+
+void Table::ScanSlice(size_t offset, size_t count, DataChunk* out,
+                      const std::vector<size_t>* cols) const {
   if (out->num_columns() == 0) {
-    *out = DataChunk(schema_);
+    *out = DataChunk(cols ? ProjectedSchema(schema_, *cols) : schema_);
   } else {
     out->Clear();
   }
+  const size_t out_cols = cols ? cols->size() : num_columns();
   if (offset >= num_rows()) return;  // empty slice
   count = std::min(count, num_rows() - offset);
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    out->column(c).AppendSlice(columns_[c], offset, count);
+  if (sealed_ && !flat_ready_.load(std::memory_order_acquire)) {
+    // Decode the overlapping row groups straight into the chunk; the flat
+    // cache is never built on the streaming path. Only the projected
+    // columns are decoded — a fused projection skips whole segments.
+    size_t g = std::upper_bound(group_offsets_.begin(), group_offsets_.end(),
+                                offset) -
+               group_offsets_.begin() - 1;
+    size_t done = 0;
+    while (done < count) {
+      const size_t in_group = offset + done - group_offsets_[g];
+      const size_t take = std::min(count - done, group_rows(g) - in_group);
+      for (size_t c = 0; c < out_cols; ++c) {
+        const size_t phys = cols ? (*cols)[c] : c;
+        DecodeSegment(*groups_[g][phys], in_group, take, &out->column(c));
+      }
+      done += take;
+      ++g;
+    }
+    return;
+  }
+  for (size_t c = 0; c < out_cols; ++c) {
+    const size_t phys = cols ? (*cols)[c] : c;
+    out->column(c).AppendSlice(columns_[phys], offset, count);
   }
 }
 
+bool Table::ScanSliceFiltered(size_t offset, size_t count,
+                              const std::vector<ScanPredicate>& preds,
+                              DataChunk* out,
+                              const std::vector<size_t>* cols) const {
+  if (!sealed_ || preds.empty()) return false;
+  for (const auto& p : preds) {
+    if (!PredicateEvaluable(schema_, p)) return false;
+  }
+  if (out->num_columns() == 0) {
+    *out = DataChunk(cols ? ProjectedSchema(schema_, *cols) : schema_);
+  } else {
+    out->Clear();
+  }
+  const size_t out_cols = cols ? cols->size() : num_columns();
+  if (offset >= num_rows()) return true;  // empty slice
+  count = std::min(count, num_rows() - offset);
+  size_t g = std::upper_bound(group_offsets_.begin(), group_offsets_.end(),
+                              offset) -
+             group_offsets_.begin() - 1;
+  size_t done = 0;
+  std::vector<uint32_t> sel, next, merged;
+  while (done < count) {
+    const size_t in_group = offset + done - group_offsets_[g];
+    const size_t take = std::min(count - done, group_rows(g) - in_group);
+    done += take;
+    const size_t group = g++;
+    // Zone maps first: skip the whole segment when a footer rules it out.
+    bool may_match = true;
+    for (const auto& p : preds) {
+      if (!SegmentMayMatch(*groups_[group][p.column], p)) {
+        may_match = false;
+        break;
+      }
+    }
+    if (!may_match) continue;
+    // Row selection on the encoded payloads, intersecting predicates.
+    sel.clear();
+    SegmentMatchRows(*groups_[group][preds[0].column], in_group, take,
+                     preds[0], &sel);
+    for (size_t k = 1; k < preds.size() && !sel.empty(); ++k) {
+      next.clear();
+      SegmentMatchRows(*groups_[group][preds[k].column], in_group, take,
+                       preds[k], &next);
+      merged.clear();
+      std::set_intersection(sel.begin(), sel.end(), next.begin(), next.end(),
+                            std::back_inserter(merged));
+      sel.swap(merged);
+    }
+    if (sel.empty()) continue;
+    if (sel.size() == take) {
+      for (size_t c = 0; c < out_cols; ++c) {
+        const size_t phys = cols ? (*cols)[c] : c;
+        DecodeSegment(*groups_[group][phys], in_group, take,
+                      &out->column(c));
+      }
+    } else {
+      for (size_t c = 0; c < out_cols; ++c) {
+        const size_t phys = cols ? (*cols)[c] : c;
+        DecodeSegmentGather(*groups_[group][phys], sel.data(), sel.size(),
+                            &out->column(c));
+      }
+    }
+  }
+  return true;
+}
+
 Status Table::SetColumn(size_t i, Column column) {
+  if (sealed_) return Status::ExecutionError("SetColumn on sealed table");
   if (i >= columns_.size()) return Status::OutOfRange("column index");
   if (column.type() != columns_[i].type()) {
     return Status::TypeError("SetColumn type mismatch");
@@ -117,15 +250,32 @@ Status Table::SetColumn(size_t i, Column column) {
   return Status::OK();
 }
 
+void Table::Truncate() {
+  for (auto& c : columns_) c.Clear();
+  groups_.clear();
+  group_offsets_.clear();
+  partition_offsets_.clear();
+  sealed_ = false;
+  flat_ready_.store(false, std::memory_order_release);
+}
+
 std::vector<Value> Table::GetRow(size_t row) const {
   std::vector<Value> out;
-  out.reserve(columns_.size());
-  for (const auto& c : columns_) out.push_back(c.GetValue(row));
+  out.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out.push_back(column(c).GetValue(row));
+  }
   return out;
 }
 
 size_t Table::MemoryUsage() const {
   size_t bytes = 0;
+  if (sealed_) {
+    for (const auto& group : groups_) {
+      for (const auto& seg : group) bytes += seg->MemoryUsage();
+    }
+    if (!flat_ready_.load(std::memory_order_acquire)) return bytes;
+  }
   for (const auto& c : columns_) bytes += c.MemoryUsage();
   return bytes;
 }
@@ -138,7 +288,9 @@ std::string Table::ToString(size_t max_rows) const {
   size_t n = std::min(max_rows, num_rows());
   for (size_t r = 0; r < n; ++r) {
     std::vector<std::string> row;
-    for (const auto& c : columns_) row.push_back(c.GetValue(r).ToString());
+    for (size_t c = 0; c < num_columns(); ++c) {
+      row.push_back(column(c).GetValue(r).ToString());
+    }
     cells.push_back(std::move(row));
   }
   std::vector<size_t> widths(header.size(), 0);
@@ -166,6 +318,159 @@ std::string Table::ToString(size_t max_rows) const {
     out += "... (" + std::to_string(num_rows()) + " rows total)\n";
   }
   return out;
+}
+
+// --- Sealed representation -----------------------------------------------
+
+Status Table::Seal() {
+  if (sealed_) return Status::OK();
+  const size_t n = num_rows();
+  if (n > UINT32_MAX) {
+    return Status::ExecutionError("Seal: table too large to reorder");
+  }
+
+  // Partitioned tables cluster rows by partition id first (stable within a
+  // partition, so unpartitioned DML ordering semantics are unchanged —
+  // only PARTITION BY tables ever reorder).
+  std::vector<Column> gathered;
+  std::vector<const Column*> src(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) src[c] = &columns_[c];
+  std::vector<size_t> part_offsets;
+  if (spec_.partitioned() && spec_.num_partitions > 0) {
+    if (spec_.column_index >= columns_.size()) {
+      return Status::ExecutionError("Seal: partition column out of range");
+    }
+    const Column& pcol = columns_[spec_.column_index];
+    const size_t P = spec_.num_partitions;
+    std::vector<uint32_t> part(n);
+    std::vector<size_t> counts(P, 0);
+    for (size_t i = 0; i < n; ++i) {
+      part[i] = static_cast<uint32_t>(PartitionOfRow(spec_, pcol, i));
+      ++counts[part[i]];
+    }
+    part_offsets.assign(P + 1, 0);
+    for (size_t p = 0; p < P; ++p) {
+      part_offsets[p + 1] = part_offsets[p] + counts[p];
+    }
+    std::vector<size_t> cursor(part_offsets.begin(), part_offsets.end() - 1);
+    std::vector<uint32_t> perm(n);
+    for (size_t i = 0; i < n; ++i) {
+      perm[cursor[part[i]]++] = static_cast<uint32_t>(i);
+    }
+    gathered.reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      Column col(columns_[c].type());
+      col.Reserve(n);
+      col.AppendGather(columns_[c], perm.data(), n);
+      gathered.push_back(std::move(col));
+    }
+    for (size_t c = 0; c < columns_.size(); ++c) src[c] = &gathered[c];
+  } else {
+    part_offsets = {0, n};
+  }
+
+  // Encode kSegmentRows-row groups, never crossing a partition boundary.
+  std::vector<std::vector<SegmentPtr>> groups;
+  std::vector<size_t> group_offsets{0};
+  for (size_t p = 0; p + 1 < part_offsets.size(); ++p) {
+    for (size_t off = part_offsets[p]; off < part_offsets[p + 1];
+         off += kSegmentRows) {
+      const size_t take = std::min(kSegmentRows, part_offsets[p + 1] - off);
+      std::vector<SegmentPtr> group;
+      group.reserve(src.size());
+      for (const Column* col : src) {
+        SODA_ASSIGN_OR_RETURN(SegmentPtr seg,
+                              EncodeSegment(*col, off, take));
+        group.push_back(std::move(seg));
+      }
+      groups.push_back(std::move(group));
+      group_offsets.push_back(off + take);
+    }
+  }
+
+  groups_ = std::move(groups);
+  group_offsets_ = std::move(group_offsets);
+  partition_offsets_ = std::move(part_offsets);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c] = Column(schema_.field(c).type);
+  }
+  sealed_ = true;
+  flat_ready_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Table::EnsureFlat() {
+  if (!sealed_) return Status::OK();
+  SODA_RETURN_NOT_OK(GuardProbe(QueryGuard::Current(), kDecodeSite));
+  MaterializeFlat();
+  groups_.clear();
+  group_offsets_.clear();
+  partition_offsets_.clear();
+  sealed_ = false;
+  flat_ready_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Table::AdoptSealed(std::vector<std::vector<SegmentPtr>> groups,
+                          std::vector<size_t> partition_offsets) {
+  std::vector<size_t> offsets{0};
+  for (const auto& group : groups) {
+    if (group.size() != schema_.num_fields()) {
+      return Status::ExecutionError("AdoptSealed: group arity mismatch");
+    }
+    size_t rows = 0;
+    for (size_t c = 0; c < group.size(); ++c) {
+      if (group[c] == nullptr ||
+          group[c]->type != schema_.field(c).type) {
+        return Status::ExecutionError("AdoptSealed: segment type mismatch");
+      }
+      if (c == 0) {
+        rows = group[c]->row_count();
+      } else if (group[c]->row_count() != rows) {
+        return Status::ExecutionError("AdoptSealed: ragged row group");
+      }
+    }
+    offsets.push_back(offsets.back() + rows);
+  }
+  if (partition_offsets.empty()) {
+    partition_offsets = {0, offsets.back()};
+  }
+  if (partition_offsets.front() != 0 ||
+      partition_offsets.back() != offsets.back() ||
+      !std::is_sorted(partition_offsets.begin(), partition_offsets.end())) {
+    return Status::ExecutionError("AdoptSealed: bad partition offsets");
+  }
+  for (size_t po : partition_offsets) {
+    if (!std::binary_search(offsets.begin(), offsets.end(), po)) {
+      return Status::ExecutionError(
+          "AdoptSealed: partition offset not group-aligned");
+    }
+  }
+  groups_ = std::move(groups);
+  group_offsets_ = std::move(offsets);
+  partition_offsets_ = std::move(partition_offsets);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c] = Column(schema_.field(c).type);
+  }
+  sealed_ = true;
+  flat_ready_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+void Table::MaterializeFlat() const {
+  if (!sealed_ || flat_ready_.load(std::memory_order_acquire)) return;
+  MutexLock lock(&seal_mu_);
+  if (flat_ready_.load(std::memory_order_relaxed)) return;
+  const size_t n = num_rows();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Column col(schema_.field(c).type);
+    col.Reserve(n);
+    for (const auto& group : groups_) {
+      DecodeSegment(*group[c], 0, group[c]->row_count(), &col);
+    }
+    columns_[c] = std::move(col);
+  }
+  flat_ready_.store(true, std::memory_order_release);
 }
 
 }  // namespace soda

@@ -6,20 +6,41 @@
 /// ITERATE state, analytics operator inputs) use the same representation so
 /// layer-3 and layer-4 code paths share storage machinery — a prerequisite
 /// for the paper's layer-vs-layer comparisons to be apples-to-apples.
+///
+/// Tables have two physical states (DESIGN.md §9):
+///  - **flat**: one decoded `Column` per field — the mutable build format
+///    every DML staging path and intermediate relation uses.
+///  - **sealed**: rows live in immutable encoded row groups (one `Segment`
+///    per column per group, storage/segment.h), optionally clustered into
+///    partitions (storage/partition.h). Sealed tables decode lazily: scans
+///    stream segments straight into DataChunks, and random access
+///    materializes a flat cache on first touch (segments are kept — the
+///    table stays sealed). Sealing is invisible to SQL semantics; it only
+///    changes footprint and scan mechanics.
 
 #ifndef SODA_STORAGE_TABLE_H_
 #define SODA_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "storage/data_chunk.h"
+#include "storage/partition.h"
+#include "storage/segment.h"
 #include "types/schema.h"
 #include "types/value.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace soda {
+
+/// DML results below this row count stay flat — encoding tiny tables
+/// costs more than it saves. Partitioned tables always seal regardless
+/// (pruning needs the clustered layout). Engine + recovery share this
+/// threshold.
+inline constexpr size_t kSealMinRows = 4096;
 
 /// A named, schema-full, columnar relation.
 class Table {
@@ -27,15 +48,44 @@ class Table {
   Table() = default;
   Table(std::string name, Schema schema);
 
+  // Movable (operators hand whole result tables around); the seal mutex
+  // and flat-cache flag are per-object, so moves only transfer payload.
+  // Moving is only legal on exclusively-owned tables — registered catalog
+  // tables are shared and immutable.
+  Table(Table&& other) noexcept { *this = std::move(other); }
+  Table& operator=(Table&& other) noexcept {
+    name_ = std::move(other.name_);
+    schema_ = std::move(other.schema_);
+    spec_ = std::move(other.spec_);
+    columns_ = std::move(other.columns_);
+    sealed_ = other.sealed_;
+    groups_ = std::move(other.groups_);
+    group_offsets_ = std::move(other.group_offsets_);
+    partition_offsets_ = std::move(other.partition_offsets_);
+    flat_ready_.store(other.flat_ready_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   size_t num_rows() const {
+    if (sealed_) return group_offsets_.empty() ? 0 : group_offsets_.back();
     return columns_.empty() ? 0 : columns_[0].size();
   }
   size_t num_columns() const { return columns_.size(); }
 
-  Column& column(size_t i) { return columns_[i]; }
-  const Column& column(size_t i) const { return columns_[i]; }
+  /// Column access. On a sealed table this materializes the flat decode
+  /// cache on first touch (thread-safe; segments are kept). Mutating
+  /// through the non-const overload is only legal on flat tables.
+  Column& column(size_t i) {
+    MaterializeFlat();
+    return columns_[i];
+  }
+  const Column& column(size_t i) const {
+    MaterializeFlat();
+    return columns_[i];
+  }
 
   void Reserve(size_t n) {
     for (auto& c : columns_) c.Reserve(n);
@@ -45,24 +95,44 @@ class Table {
   /// Charges the growth to the calling thread's QueryGuard (if a
   /// MemoryScope is active) under the "storage.append" probe site; fails
   /// with kResourceExhausted — before mutating any column — when the
-  /// query's memory budget is exceeded.
+  /// query's memory budget is exceeded. Fails on sealed tables (DML goes
+  /// through stage-and-swap, never in-place appends).
   Status AppendRow(const std::vector<Value>& row);
 
   /// Appends all rows of a chunk (column types must match positionally).
-  /// Memory-accounted like AppendRow.
+  /// Memory-accounted like AppendRow; fails on sealed tables.
   Status AppendChunk(const DataChunk& chunk);
 
   /// Copies rows [offset, offset+count) into `out` (columns created to
-  /// match the schema if `out` is empty).
-  void ScanSlice(size_t offset, size_t count, DataChunk* out) const;
+  /// match the schema if `out` is empty). On a sealed table this decodes
+  /// straight from the segments without materializing the flat cache.
+  /// With `cols` set, only those physical columns are materialized, in the
+  /// given order (`out` gets one column per entry) — on sealed tables the
+  /// dropped columns are never decoded at all.
+  void ScanSlice(size_t offset, size_t count, DataChunk* out,
+                 const std::vector<size_t>* cols = nullptr) const;
 
-  /// Replaces the payload of column `i` wholesale (bulk loading).
+  /// Predicate-aware sealed scan: copies the rows of [offset,
+  /// offset+count) that satisfy every predicate in `preds`, evaluating on
+  /// the encoded payloads (dictionary codes / RLE runs / FOR frames) and
+  /// skipping whole segments the stats footers rule out. Returns false —
+  /// without touching `out` — when the table is not sealed or a predicate
+  /// is not evaluable here; the caller falls back to ScanSlice and the
+  /// regular Filter transform. `cols` projects the output like ScanSlice's
+  /// (predicates may reference columns outside the projection — they
+  /// evaluate on the encoded payloads either way).
+  bool ScanSliceFiltered(size_t offset, size_t count,
+                         const std::vector<ScanPredicate>& preds,
+                         DataChunk* out,
+                         const std::vector<size_t>* cols = nullptr) const;
+
+  /// Replaces the payload of column `i` wholesale (bulk loading; flat
+  /// tables only).
   Status SetColumn(size_t i, Column column);
 
-  /// Deletes all rows, keeping the schema.
-  void Truncate() {
-    for (auto& c : columns_) c.Clear();
-  }
+  /// Deletes all rows (and any sealed representation), keeping the schema
+  /// and partition spec.
+  void Truncate();
 
   std::vector<Value> GetRow(size_t row) const;
 
@@ -72,10 +142,69 @@ class Table {
   /// examples).
   std::string ToString(size_t max_rows = 20) const;
 
+  // --- Sealed representation ---------------------------------------------
+
+  bool sealed() const { return sealed_; }
+
+  const PartitionSpec& partition_spec() const { return spec_; }
+  /// Installs the partition clause (CREATE TABLE time, before any rows).
+  void set_partition_spec(PartitionSpec spec) { spec_ = std::move(spec); }
+
+  /// Encodes the flat columns into row groups of kSegmentRows rows,
+  /// clustering rows by partition first when a partition spec is set, and
+  /// drops the flat payload. No-op when already sealed. Fault site:
+  /// "storage.segment_encode".
+  Status Seal();
+
+  /// Materializes the flat columns and drops the sealed representation —
+  /// the table becomes flat and appendable again. Only legal on exclusively
+  /// owned tables (WAL replay, recovery); shared snapshot readers use the
+  /// keep-the-segments column() cache instead.
+  Status EnsureFlat();
+
+  /// Row ranges: partition p spans [partition_offsets()[p],
+  /// partition_offsets()[p+1]). Sealed tables always expose offsets — an
+  /// unpartitioned sealed table reports the single range [0, num_rows).
+  const std::vector<size_t>& partition_offsets() const {
+    return partition_offsets_;
+  }
+
+  size_t num_row_groups() const { return groups_.size(); }
+  size_t group_offset(size_t g) const { return group_offsets_[g]; }
+  size_t group_rows(size_t g) const {
+    return group_offsets_[g + 1] - group_offsets_[g];
+  }
+  const SegmentPtr& group_segment(size_t g, size_t c) const {
+    return groups_[g][c];
+  }
+
+  /// Installs an already-encoded representation wholesale (deserialization
+  /// and the engine's partition-reusing rebuild). `groups` is outer=group,
+  /// inner=column; `partition_offsets` must be group-aligned and span
+  /// [0, total rows]. Replaces any existing payload.
+  Status AdoptSealed(std::vector<std::vector<SegmentPtr>> groups,
+                     std::vector<size_t> partition_offsets);
+
  private:
+  /// Decodes all columns into the flat cache (keeps the segments). Safe
+  /// to race from many readers; first one in does the work.
+  void MaterializeFlat() const;
+
   std::string name_;
   Schema schema_;
-  std::vector<Column> columns_;
+  PartitionSpec spec_;
+
+  /// Flat payload; on a sealed table this is the lazily-built decode
+  /// cache (empty until flat_ready_).
+  mutable std::vector<Column> columns_;
+
+  bool sealed_ = false;
+  std::vector<std::vector<SegmentPtr>> groups_;  // [group][column]
+  std::vector<size_t> group_offsets_;            // groups_.size() + 1
+  std::vector<size_t> partition_offsets_;        // group-aligned
+
+  mutable Mutex seal_mu_;
+  mutable std::atomic<bool> flat_ready_{false};
 };
 
 using TablePtr = std::shared_ptr<Table>;

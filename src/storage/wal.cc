@@ -36,6 +36,7 @@ Result<WalRecord> DecodePayload(std::string_view payload) {
       rec.type = WalRecordType::kCreateTable;
       SODA_ASSIGN_OR_RETURN(rec.table, r.Str());
       SODA_ASSIGN_OR_RETURN(rec.schema, ReadSchema(&r));
+      SODA_ASSIGN_OR_RETURN(rec.spec, ReadPartitionSpec(&r));
       break;
     }
     case static_cast<uint8_t>(WalRecordType::kDropTable): {
@@ -219,10 +220,12 @@ Status Wal::Commit(WalRecordType type, const std::string& body) {
   return Status::OK();
 }
 
-Status Wal::AppendCreateTable(const std::string& table, const Schema& schema) {
+Status Wal::AppendCreateTable(const std::string& table, const Schema& schema,
+                              const PartitionSpec& spec) {
   BinaryWriter body;
   body.Str(table);
   WriteSchema(schema, &body);
+  WritePartitionSpec(spec, &body);
   MutexLock lock(&mu_);
   return Commit(WalRecordType::kCreateTable, body.buffer());
 }

@@ -58,9 +58,10 @@ enum class WalRecordType : uint8_t {
 struct WalRecord {
   uint64_t lsn = 0;
   WalRecordType type = WalRecordType::kCreateTable;
-  std::string table;  ///< target table name (lower-cased)
-  Schema schema;      ///< kCreateTable only
-  TablePtr rows;      ///< kAppendRows / kTableImage payload
+  std::string table;   ///< target table name (lower-cased)
+  Schema schema;       ///< kCreateTable only
+  PartitionSpec spec;  ///< kCreateTable only (PARTITION BY clause)
+  TablePtr rows;       ///< kAppendRows / kTableImage payload
 };
 
 /// Thread-safe: one internal mutex `mu_` guards the file descriptor, file
@@ -112,8 +113,8 @@ class Wal {
   }
 
   // --- One call per statement; each is a self-contained commit. ----------
-  Status AppendCreateTable(const std::string& table, const Schema& schema)
-      SODA_EXCLUDES(mu_);
+  Status AppendCreateTable(const std::string& table, const Schema& schema,
+                           const PartitionSpec& spec) SODA_EXCLUDES(mu_);
   Status AppendDropTable(const std::string& table) SODA_EXCLUDES(mu_);
   /// `rows` holds only the newly inserted rows (the staged side table).
   Status AppendRows(const Table& rows) SODA_EXCLUDES(mu_);

@@ -70,6 +70,10 @@ inline constexpr FaultSiteInfo kFaultSites[] = {
 
     // Storage & write-ahead log.
     {"storage.append", "Table::AppendRow/AppendChunk growth charge"},
+    {"storage.partition_prune", "scan: applying the pruned partition set"},
+    {"storage.segment_decode",
+     "sealed scan / EnsureFlat: decoding encoded segments"},
+    {"storage.segment_encode", "EncodeSegment: encoded payload charge"},
     {"wal.append", "WAL: logical record append"},
     {"wal.fsync", "WAL: fsync of the log tail"},
 };

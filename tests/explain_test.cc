@@ -64,7 +64,7 @@ TEST_F(ExplainTest, PlainExplainPrintsPipelineDecomposition) {
   // Plan tree (pre-existing behavior) plus the new pipeline section.
   EXPECT_NE(text.find("Scan t"), std::string::npos);
   EXPECT_NE(text.find("=== Pipelines ==="), std::string::npos);
-  EXPECT_NE(text.find("P0: Scan t -> Filter [(a#0 > 1)] -> "
+  EXPECT_NE(text.find("P0: Scan t pushed[a > 1] -> Filter [(a#0 > 1)] -> "
                       "Project [a#0] -> Materialize"),
             std::string::npos)
       << text;
@@ -73,13 +73,22 @@ TEST_F(ExplainTest, PlainExplainPrintsPipelineDecomposition) {
 }
 
 TEST_F(ExplainTest, UnionAllDecomposesIntoSharedSinkPipelines) {
+  // The pure-column-ref projections fuse into the scans, so both children
+  // qualify for the transform-free UnionAppend fast path.
   auto r = RunQuery(engine_,
                     "EXPLAIN SELECT a FROM t UNION ALL SELECT a FROM u");
   std::string text = ExplainText(r);
-  EXPECT_NE(text.find("UnionAll (materialize) (shared)"), std::string::npos)
+  EXPECT_NE(text.find("UnionAppend (Scan t project [a#0])"),
+            std::string::npos)
       << text;
   EXPECT_NE(text.find("P2 [<- P0, P1]: UnionAll (materialize)"),
             std::string::npos)
+      << text;
+  // A child with a real transform chain still feeds the shared sink.
+  r = RunQuery(engine_,
+               "EXPLAIN SELECT a + 1 FROM t UNION ALL SELECT a FROM u");
+  text = ExplainText(r);
+  EXPECT_NE(text.find("UnionAll (materialize) (shared)"), std::string::npos)
       << text;
 }
 

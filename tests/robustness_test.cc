@@ -292,6 +292,13 @@ const FaultCase kFaultMatrix[] = {
      "SELECT a, count(*) FROM t GROUP BY a", StatusCode::kInternal},
     {"exec.verify_plan", FaultInjector::Kind::kError,
      "SELECT a FROM t WHERE a > 0", StatusCode::kInternal},
+    // Encoded-segment sites fire on the partitioned (always sealed) table.
+    {"storage.segment_encode", FaultInjector::Kind::kOom,
+     "INSERT INTO pt VALUES (3, 'c')", StatusCode::kResourceExhausted},
+    {"storage.segment_decode", FaultInjector::Kind::kError,
+     "SELECT v FROM pt WHERE k < 5", StatusCode::kInternal},
+    {"storage.partition_prune", FaultInjector::Kind::kCancel,
+     "SELECT v FROM pt WHERE k < 5", StatusCode::kCancelled},
 };
 
 /// Sites whose injection coverage lives in a dedicated suite rather than
@@ -317,6 +324,15 @@ class ResourceGovernorTest : public ::testing::Test {
                   .status());
     ASSERT_OK(engine_.Execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)")
                   .status());
+    // Partitioned tables seal at creation, so scans of pt exercise the
+    // encoded-segment probe sites (decode / prune / encode-on-DML).
+    ASSERT_OK(engine_
+                  .Execute("CREATE TABLE pt (k BIGINT, v VARCHAR) "
+                           "PARTITION BY RANGE(k) (10)")
+                  .status());
+    ASSERT_OK(
+        engine_.Execute("INSERT INTO pt VALUES (1, 'a'), (20, 'b')")
+            .status());
   }
   void TearDown() override { FaultInjector::Global().Reset(); }
 

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Runs the PR-4 join/aggregate benchmark at ci and medium scale, at one
-# worker (vectorization effect in isolation) and eight workers (parallel
-# pipeline breakers), and assembles the per-run JSON blobs into a single
-# BENCH_pr4.json report.
+# Runs the PR benchmark suite and assembles the per-run JSON blobs into a
+# single report:
+#   - bench_join_agg (PR 4): join build/probe and aggregate consume/merge,
+#     at one worker (vectorization effect in isolation) and eight workers
+#     (parallel pipeline breakers).
+#   - bench_segments (PR 7): encoded columnar segments + partitioned
+#     tables vs. the flat layout (scan/filter/agg times, memory footprint,
+#     checkpoint file size).
+# Both run at ci and medium scale.
 #
 # Usage:
-#   tools/bench_report.sh [output.json]      # default: BENCH_pr4.json
+#   tools/bench_report.sh [output.json]      # default: BENCH_pr7.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-${repo_root}/BENCH_pr4.json}"
+out="${1:-${repo_root}/BENCH_pr7.json}"
 build="${repo_root}/build"
+report_name="$(basename "${out}" .json)"
 
 # Fail loudly up front rather than mid-run with a confusing error.
 for tool in cmake c++; do
@@ -20,27 +26,32 @@ for tool in cmake c++; do
   fi
 done
 
-if [[ ! -x "${build}/bench/bench_join_agg" ]]; then
-  cmake -S "${repo_root}" -B "${build}"
-  cmake --build "${build}" -j "$(nproc)" --target bench_join_agg
-fi
+benches=(bench_join_agg bench_segments)
+for bench in "${benches[@]}"; do
+  if [[ ! -x "${build}/bench/${bench}" ]]; then
+    cmake -S "${repo_root}" -B "${build}"
+    cmake --build "${build}" -j "$(nproc)" --target "${bench}"
+  fi
+done
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
 
 runs=()
-for scale in ci medium; do
-  for threads in 1 8; do
-    blob="${tmpdir}/${scale}_t${threads}.json"
-    echo "bench_report: scale=${scale} threads=${threads}"
-    SODA_THREADS="${threads}" "${build}/bench/bench_join_agg" \
-      "--scale=${scale}" "--json=${blob}"
-    runs+=("${blob}")
+for bench in "${benches[@]}"; do
+  for scale in ci medium; do
+    for threads in 1 8; do
+      blob="${tmpdir}/${bench}_${scale}_t${threads}.json"
+      echo "bench_report: bench=${bench} scale=${scale} threads=${threads}"
+      SODA_THREADS="${threads}" "${build}/bench/${bench}" \
+        "--scale=${scale}" "--json=${blob}"
+      runs+=("${blob}")
+    done
   done
 done
 
 {
-  echo '{"report": "BENCH_pr4", "runs": ['
+  echo "{\"report\": \"${report_name}\", \"runs\": ["
   first=1
   for blob in "${runs[@]}"; do
     [[ "${first}" == "0" ]] && echo ','

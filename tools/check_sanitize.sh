@@ -27,8 +27,10 @@ if [[ "${sanitizers}" == "thread" ]]; then
   # commit all actually interleave (SODA_THREADS would otherwise follow
   # nproc, which is 1 on small CI boxes — zero interleaving, zero signal).
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+  # Segment/Partition ride along: sealed scans decode concurrently and
+  # share the lazy flat-cache CAS in Table::MaterializeFlat.
   SODA_THREADS=4 ctest --test-dir "${build_dir}" \
-    -R 'ParallelExec|Robustness|PhysicalPlan|Durability|Server' \
+    -R 'ParallelExec|Robustness|PhysicalPlan|Durability|Server|Segment|Partition' \
     -j "$(nproc)" --output-on-failure
   echo "check_sanitize: concurrency suites clean under thread (SODA_THREADS=4)"
 else

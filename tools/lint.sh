@@ -105,6 +105,41 @@ if [[ -n "${unregistered}" ]]; then
     ${unregistered}
 fi
 
+# --- Rule 6: no raw column-buffer access outside src/storage/. ----------
+# Column::I64Data()/F64Data()/Strings() (and the Mutable* forms) hand out
+# the flat payload pointer, which silently bypasses the encoded-segment
+# representation: on a sealed table they force the full decode cache into
+# memory (storage/table.h), defeating the compressed format this layout
+# exists for. Readers go through ScanSlice/DataChunk; only the files
+# below may touch raw buffers:
+#   - src/exec/hash_kernels.cc, src/exec/operators.cc: the vectorized
+#     kernels — columnar hashing, gather, bulk append — are the bulk
+#     loops the raw accessors exist for; they only ever see DataChunk
+#     columns, which are always flat.
+#   - src/expr/evaluator.cc: vectorized expression evaluation over chunk
+#     columns (same flat-by-construction argument).
+#   - src/analytics/*.cc: the paper's layer-4 operators (k-means,
+#     PageRank, naive Bayes, CC) read materialized operator inputs in
+#     tight numeric loops — the zero-overhead raw array access is the
+#     paper's point (§3).
+#   - src/contenders/single_threaded_engine.cc: the frozen legacy
+#     baseline the benchmarks compare against.
+#   - bench/bench_micro_kernels.cc: measures exactly those raw loops.
+# Tests are exempt wholesale: storage/durability/property tests assert on
+# the physical layout itself.
+hits="$(src_files | grep -v '^src/storage/' | grep -v '^tests/' \
+        | grep -v '^src/exec/hash_kernels\.cc$' \
+        | grep -v '^src/exec/operators\.cc$' \
+        | grep -v '^src/expr/evaluator\.cc$' \
+        | grep -v '^src/analytics/' \
+        | grep -v '^src/contenders/single_threaded_engine\.cc$' \
+        | grep -v '^bench/bench_micro_kernels\.cc$' \
+        | xargs grep -nE '(\.|->)(I64Data|MutableI64Data|F64Data|MutableF64Data|Strings|Validity)\(\)' \
+        2>/dev/null | grep -vE '^[^:]+:[0-9]+:\s*//' || true)"
+if [[ -n "${hits}" ]]; then
+  fail "raw column-buffer access outside src/storage/ (go through ScanSlice/DataChunk, or document an exemption in this rule)" "${hits}"
+fi
+
 # --- clang-tidy over the compilation database. --------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   compdb="${repo_root}/build/compile_commands.json"
