@@ -18,9 +18,38 @@ namespace soda {
 
 namespace {
 
+/// Health counters for soda_status(): durability-layer numbers straight
+/// from the manager's atomics, quarantine extent from a walk over the
+/// catalog (the caller's snapshot for SELECTs, so the numbers are
+/// consistent with what the statement can see).
+EngineStatusSnapshot CollectEngineStatus(const Catalog* catalog,
+                                         DurabilityManager* dur) {
+  EngineStatusSnapshot s;
+  if (dur != nullptr) {
+    s.durable = true;
+    s.wal_bytes = static_cast<int64_t>(dur->wal()->size_bytes());
+    s.wal_records = static_cast<int64_t>(dur->wal()->record_count());
+    s.last_checkpoint_lsn = static_cast<int64_t>(dur->last_checkpoint_lsn());
+    s.checkpoint_count = static_cast<int64_t>(dur->checkpoint_count());
+    s.auto_checkpoint_count =
+        static_cast<int64_t>(dur->auto_checkpoint_count());
+    s.scrub_pass_count = static_cast<int64_t>(dur->scrub_pass_count());
+  }
+  for (const std::string& name : catalog->TableNames()) {
+    Result<TablePtr> t = catalog->GetTable(name);
+    if (!t.ok()) continue;
+    const TablePtr& table = t.ValueOrDie();
+    if (table->table_level_quarantined()) ++s.quarantined_tables;
+    for (size_t g = 0; g < table->num_row_groups(); ++g) {
+      if (table->group_quarantined(g)) ++s.quarantined_row_groups;
+    }
+  }
+  return s;
+}
+
 Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
                                   const EngineOptions& options,
-                                  QueryGuard* guard) {
+                                  DurabilityManager* dur, QueryGuard* guard) {
   Binder binder(catalog);
   SODA_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelectStatement(stmt));
   if (options.optimize) {
@@ -31,6 +60,9 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
   ctx.max_iterations = options.max_iterations;
   ctx.guard = guard;
   ctx.verify_plans = options.verify_plans;
+  ctx.status_provider = [catalog, dur] {
+    return CollectEngineStatus(catalog, dur);
+  };
   SODA_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(*plan, ctx));
   return QueryResult(std::move(result), ctx.stats);
 }
@@ -240,7 +272,7 @@ Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
     // table behind (in memory or on disk).
     SODA_ASSIGN_OR_RETURN(
         QueryResult result,
-        ExecuteSelect(*stmt.as_select, catalog, options, guard));
+        ExecuteSelect(*stmt.as_select, catalog, options, dur, guard));
     Schema schema;
     for (const auto& f : result.schema().fields()) {
       schema.AddField(Field(f.name, f.type));  // strip qualifiers
@@ -315,6 +347,9 @@ Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt, Catalog* catalog,
                                   const EngineOptions& options,
                                   DurabilityManager* dur, QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
+  // Writes must see the whole table (copy-on-write rebuild); quarantined
+  // payload would silently turn into all-NULL placeholder rows.
+  SODA_RETURN_NOT_OK(table->CheckReadable(0, table->num_rows()));
   SODA_ASSIGN_OR_RETURN(
       std::vector<uint8_t> doomed,
       EvaluateRowMask(*table, stmt.where.get(), catalog, guard));
@@ -367,6 +402,8 @@ Result<QueryResult> ExecuteUpdate(const UpdateStmt& stmt, Catalog* catalog,
                                   const EngineOptions& options,
                                   DurabilityManager* dur, QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
+  // See ExecuteDelete: no copy-on-write over quarantined payload.
+  SODA_RETURN_NOT_OK(table->CheckReadable(0, table->num_rows()));
   const Schema schema = table->schema().WithQualifier(table->name());
   Binder binder(catalog);
 
@@ -524,6 +561,10 @@ Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
                                   const EngineOptions& options,
                                   DurabilityManager* dur, QueryGuard* guard) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
+  // INSERT rebuilds (or group-reuse-appends to) the current payload; a
+  // quarantined table rejects the write rather than splice rows onto
+  // placeholder data. DROP TABLE and kTableImage recovery still work.
+  SODA_RETURN_NOT_OK(table->CheckReadable(0, table->num_rows()));
   Table staged(table->name(), table->schema());
 
   if (!stmt.values_rows.empty()) {
@@ -549,7 +590,7 @@ Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
     // INSERT .. SELECT.
     SODA_ASSIGN_OR_RETURN(
         QueryResult sub,
-        ExecuteSelect(*stmt.select, catalog, options, guard));
+        ExecuteSelect(*stmt.select, catalog, options, dur, guard));
     const Table& src = *sub.table();
     if (src.num_columns() != table->num_columns()) {
       return Status::BindError("INSERT .. SELECT arity mismatch");
@@ -618,6 +659,103 @@ Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
   return QueryResult();
 }
 
+/// Builds the background-maintenance thresholds from the engine knobs.
+MaintenanceOptions MaintenanceFromOptions(const EngineOptions& o) {
+  MaintenanceOptions m;
+  m.wal_auto_checkpoint_bytes = o.wal_auto_checkpoint_mb << 20;
+  m.wal_auto_checkpoint_records = o.wal_auto_checkpoint_records;
+  m.scrub_interval = std::chrono::milliseconds(
+      o.scrub_interval_ms > 0 ? o.scrub_interval_ms : 0);
+  return m;
+}
+
+/// One scrub pass (see Engine::RunScrub). The CRC sweep runs lock-free
+/// over a catalog snapshot; only quarantine publication takes the
+/// statement lock, and it re-verifies each suspect group against the
+/// then-current table version (DML may have swapped in a new one whose
+/// group indices differ).
+Status RunScrubPass(Catalog* catalog, Mutex* write_mu, DurabilityManager* dur,
+                    ScrubReport* report) {
+  std::vector<TablePtr> tables;
+  for (const std::string& name : catalog->TableNames()) {
+    Result<TablePtr> t = catalog->GetTable(name);
+    if (t.ok()) tables.push_back(std::move(t.ValueOrDie()));
+  }
+  auto publish = [catalog, write_mu](
+                     const std::string& name,
+                     const std::vector<size_t>& groups) -> Status {
+    MutexLock lock(write_mu);
+    Result<TablePtr> tr = catalog->GetTable(name);
+    if (!tr.ok()) return Status::OK();  // dropped since the sweep
+    const TablePtr& t = tr.ValueOrDie();
+    if (!t->sealed()) return Status::OK();  // replaced by a flat rebuild
+    // Copy-on-write clone sharing every segment pointer — readers keep
+    // their pinned version; only the quarantine flags change.
+    auto next = std::make_shared<Table>(t->name(), t->schema());
+    next->set_partition_spec(t->partition_spec());
+    std::vector<std::vector<SegmentPtr>> cloned;
+    cloned.reserve(t->num_row_groups());
+    for (size_t g = 0; g < t->num_row_groups(); ++g) {
+      std::vector<SegmentPtr> row;
+      row.reserve(t->num_columns());
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        row.push_back(t->group_segment(g, c));
+      }
+      cloned.push_back(std::move(row));
+    }
+    SODA_RETURN_NOT_OK(
+        next->AdoptSealed(std::move(cloned), t->partition_offsets()));
+    for (size_t g = 0; g < t->num_row_groups(); ++g) {
+      if (t->group_quarantined(g)) next->MarkGroupQuarantined(g);
+    }
+    bool newly_quarantined = false;
+    for (size_t g : groups) {
+      if (g >= next->num_row_groups() || next->group_quarantined(g)) continue;
+      bool corrupt = false;
+      for (size_t c = 0; c < next->num_columns() && !corrupt; ++c) {
+        const SegmentPtr& seg = next->group_segment(g, c);
+        corrupt = seg != nullptr && seg->crc != 0 &&
+                  ComputeSegmentCrc(*seg) != seg->crc;
+      }
+      if (corrupt) {
+        next->MarkGroupQuarantined(g);
+        newly_quarantined = true;
+      }
+    }
+    if (!newly_quarantined) return Status::OK();
+    return catalog->ReplaceTable(name, std::move(next));
+  };
+  SODA_RETURN_NOT_OK(ScrubTables(tables, publish, report));
+  if (dur) SODA_RETURN_NOT_OK(dur->VerifyAndHealCheckpoint(*catalog, report));
+  return Status::OK();
+}
+
+/// SCRUB: one synchronous integrity pass; the result relation reports
+/// what was checked and what was quarantined/healed.
+Result<QueryResult> ExecuteScrub(Catalog* catalog, Mutex* write_mu,
+                                 DurabilityManager* dur) {
+  ScrubReport report;
+  SODA_RETURN_NOT_OK(RunScrubPass(catalog, write_mu, dur, &report));
+  if (dur) dur->NoteScrubPass();
+  auto table = std::make_shared<Table>(
+      "scrub", Schema({Field("metric", DataType::kVarchar),
+                       Field("value", DataType::kBigInt)}));
+  const std::pair<const char*, int64_t> rows[] = {
+      {"tables_checked", static_cast<int64_t>(report.tables_checked)},
+      {"segments_checked", static_cast<int64_t>(report.segments_checked)},
+      {"corrupt_segments", static_cast<int64_t>(report.corrupt_segments)},
+      {"quarantined_groups", static_cast<int64_t>(report.quarantined_groups)},
+      {"checkpoint_present", report.checkpoint_present ? 1 : 0},
+      {"checkpoint_ok", report.checkpoint_ok ? 1 : 0},
+      {"checkpoint_rewritten", report.checkpoint_rewritten ? 1 : 0},
+  };
+  for (const auto& [metric, value] : rows) {
+    SODA_RETURN_NOT_OK(
+        table->AppendRow({Value::Varchar(metric), Value::BigInt(value)}));
+  }
+  return QueryResult(std::move(table), ExecStats{});
+}
+
 /// CHECKPOINT: persist every table atomically and truncate the WAL.
 Result<QueryResult> ExecuteCheckpoint(Catalog* catalog,
                                       DurabilityManager* dur) {
@@ -637,7 +775,7 @@ Result<QueryResult> ExecuteCheckpoint(Catalog* catalog,
 Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, bool analyze,
                                    Catalog* catalog,
                                    const EngineOptions& options,
-                                   QueryGuard* guard) {
+                                   DurabilityManager* dur, QueryGuard* guard) {
   Binder binder(catalog);
   SODA_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelectStatement(stmt));
   if (options.optimize) {
@@ -657,6 +795,9 @@ Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, bool analyze,
     ctx.max_iterations = options.max_iterations;
     ctx.guard = guard;
     ctx.verify_plans = false;  // already verified above
+    ctx.status_provider = [catalog, dur] {
+      return CollectEngineStatus(catalog, dur);
+    };
     SODA_RETURN_NOT_OK(physical.Execute(ctx));
     stats = ctx.stats;
   }
@@ -740,12 +881,23 @@ Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options,
     }
     options->wal_group_bytes = static_cast<size_t>(stmt.value);
     if (dur) dur->SetFsyncMode(options->wal_fsync, options->wal_group_bytes);
+  } else if (stmt.name == "soda.wal_auto_checkpoint_mb") {
+    options->wal_auto_checkpoint_mb = static_cast<size_t>(stmt.value);
+    if (dur) dur->ConfigureMaintenance(MaintenanceFromOptions(*options));
+  } else if (stmt.name == "soda.wal_auto_checkpoint_records") {
+    options->wal_auto_checkpoint_records = static_cast<size_t>(stmt.value);
+    if (dur) dur->ConfigureMaintenance(MaintenanceFromOptions(*options));
+  } else if (stmt.name == "soda.scrub_interval_ms") {
+    options->scrub_interval_ms = stmt.value;
+    if (dur) dur->ConfigureMaintenance(MaintenanceFromOptions(*options));
   } else {
     return Status::InvalidArgument(
         "unknown setting '" + stmt.name +
         "' (supported: soda.timeout_ms, soda.memory_limit_mb, "
         "soda.max_iterations, soda.wal_fsync, soda.wal_group_bytes, "
-        "soda.verify_plans, soda.encode_segments)");
+        "soda.verify_plans, soda.encode_segments, "
+        "soda.wal_auto_checkpoint_mb, soda.wal_auto_checkpoint_records, "
+        "soda.scrub_interval_ms)");
   }
   return QueryResult();
 }
@@ -756,7 +908,7 @@ Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
                                      QueryGuard* guard) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(*stmt.select, catalog, options, guard);
+      return ExecuteSelect(*stmt.select, catalog, options, dur, guard);
     case StatementKind::kCreateTable:
       return ExecuteCreate(*stmt.create_table, catalog, options, dur, guard);
     case StatementKind::kInsert:
@@ -769,11 +921,15 @@ Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
       return ExecuteDelete(*stmt.del, catalog, options, dur, guard);
     case StatementKind::kExplain:
       return ExecuteExplain(*stmt.select, stmt.explain_analyze, catalog,
-                            options, guard);
+                            options, dur, guard);
     case StatementKind::kCheckpoint:
       return ExecuteCheckpoint(catalog, dur);
     case StatementKind::kSet:
       return Status::Internal("SET must be handled by the engine");
+    case StatementKind::kScrub:
+      // Like SET: dispatched by RunGoverned before the write lock is
+      // taken — the scrub publisher acquires it itself.
+      return Status::Internal("SCRUB must be handled by the engine");
   }
   return Status::Internal("unknown statement kind");
 }
@@ -794,6 +950,12 @@ Result<QueryResult> RunGoverned(const Statement& stmt, Catalog* catalog,
       exec.session_options ? exec.session_options : engine_options;
   if (stmt.kind == StatementKind::kSet) {
     return ExecuteSet(*stmt.set, base, dur);
+  }
+  if (stmt.kind == StatementKind::kScrub) {
+    // Not under the write lock: the CRC sweep is read-only over pinned
+    // table versions, and the quarantine publisher takes write_mu itself
+    // for each copy-on-write swap.
+    return ExecuteScrub(catalog, write_mu, dur);
   }
   EngineOptions effective = *base;
   if (exec.max_iterations >= 0) {
@@ -842,9 +1004,24 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
     return;
   }
   durability_ = std::move(dur.ValueOrDie());
+  durability_->StartMaintenance(&catalog_, MaintenanceFromOptions(options_),
+                                [this] {
+                                  ScrubReport report;
+                                  return RunScrub(&report);
+                                });
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Members destroy in reverse declaration order, so write_mu_ (and the
+  // catalog the scrub closure captures) would be gone before durability_.
+  // Stop the maintenance thread while everything it touches is alive.
+  if (durability_) durability_->StopMaintenance();
+}
+
+Status Engine::RunScrub(ScrubReport* report) {
+  SODA_RETURN_NOT_OK(startup_status_);
+  return RunScrubPass(&catalog_, &write_mu_, durability_.get(), report);
+}
 
 Result<QueryResult> Engine::Execute(const std::string& sql) {
   return Execute(sql, ExecOptions{});

@@ -26,6 +26,7 @@
 #include "core/query_result.h"
 #include "storage/catalog.h"
 #include "storage/durability.h"
+#include "storage/scrub.h"
 #include "storage/wal.h"
 #include "util/mutex.h"
 #include "util/query_guard.h"
@@ -67,6 +68,17 @@ struct EngineOptions {
   /// partition pruning needs the clustered layout. Off = keep every table
   /// flat (ablation / debugging). SQL: `SET soda.encode_segments = on|off`.
   bool encode_segments = true;
+  /// Auto-checkpoint when the WAL exceeds this many megabytes (0 = off).
+  /// Runs on the background maintenance thread; the checkpoint rotates
+  /// the log, so sustained DML keeps the WAL bounded.
+  /// SQL: `SET soda.wal_auto_checkpoint_mb = <n>`.
+  size_t wal_auto_checkpoint_mb = 0;
+  /// ... or when the WAL holds this many records (0 = off).
+  /// SQL: `SET soda.wal_auto_checkpoint_records = <n>`.
+  size_t wal_auto_checkpoint_records = 0;
+  /// Periodic background scrub cadence in milliseconds (0 = off; run
+  /// SCRUB manually). SQL: `SET soda.scrub_interval_ms = <n>`.
+  int64_t scrub_interval_ms = 0;
 };
 
 /// Thread-safe cancellation handle. Create one, pass it via
@@ -154,6 +166,14 @@ class Engine {
 
   /// Null for volatile engines (no data_dir).
   DurabilityManager* durability() { return durability_.get(); }
+
+  /// Runs one full scrub pass synchronously (the SQL `SCRUB` statement
+  /// and the background maintenance thread both land here): re-verifies
+  /// every sealed segment's CRC, quarantines corrupt row groups
+  /// (copy-on-write under the statement lock), and — on a durable engine
+  /// — verifies the at-rest checkpoint, rewriting it from memory when
+  /// damaged. Safe to call concurrently with queries and DML.
+  Status RunScrub(ScrubReport* report);
 
  private:
   Catalog catalog_;

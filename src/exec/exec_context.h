@@ -7,6 +7,7 @@
 #define SODA_EXEC_EXEC_CONTEXT_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -33,6 +34,22 @@ struct ExecStats {
   }
 };
 
+/// Engine health counters served by the soda_status() table function
+/// (operations / self-healing storage, DESIGN.md §10). Filled by the
+/// engine's status provider; a volatile engine reports durable = false
+/// with the WAL/checkpoint fields zero.
+struct EngineStatusSnapshot {
+  bool durable = false;
+  int64_t wal_bytes = 0;
+  int64_t wal_records = 0;
+  int64_t last_checkpoint_lsn = 0;
+  int64_t checkpoint_count = 0;
+  int64_t auto_checkpoint_count = 0;
+  int64_t scrub_pass_count = 0;
+  int64_t quarantined_row_groups = 0;
+  int64_t quarantined_tables = 0;
+};
+
 /// Mutable state threaded through plan execution. Not thread-safe for
 /// concurrent binding mutation; pipelines only read bindings.
 struct ExecContext {
@@ -56,6 +73,11 @@ struct ExecContext {
   /// plan before executing it. On by default; `SET soda.verify_plans =
   /// off` clears it per session (debug builds verify regardless).
   bool verify_plans = true;
+
+  /// Supplies soda_status() rows; installed by the engine's SELECT path.
+  /// Null when executing outside an engine — the table function then
+  /// fails cleanly instead of reporting fabricated health.
+  std::function<EngineStatusSnapshot()> status_provider;
 
   /// Cooperative governance probe for executor loops.
   Status Probe(const char* site) { return GuardProbe(guard, site); }

@@ -638,6 +638,12 @@ Status PhysicalPlan::RunStreaming(PhysicalPipeline& p, ExecContext& ctx) {
   }
   const Table& source = *source_table;
 
+  // Whole-table quarantine gate, up front: a table-level quarantined stub
+  // has zero rows, so the per-chunk CheckReadable below would never run
+  // and `SELECT count(*)` would silently read 0 from lost data.
+  // CheckReadable(0, 0) reports table-level quarantine and nothing else.
+  SODA_RETURN_NOT_OK(source.CheckReadable(0, 0));
+
   // Partition pruning (sealed partitioned scans only): the scan iterates a
   // *virtual* row space — the concatenation of the kept partitions'
   // physical row ranges — so ParallelFor still sees one dense range and
@@ -718,6 +724,14 @@ Status PhysicalPlan::RunStreaming(PhysicalPipeline& p, ExecContext& ctx) {
                 1;
             phys = it->phys_begin + (offset - it->virt_begin);
             count = std::min(count, it->virt_begin + it->rows - offset);
+          }
+          // Quarantine gate, after the pruning remap: a query whose kept
+          // partitions are healthy proceeds even when another partition's
+          // row group is quarantined (degraded reads, DESIGN.md §10).
+          Status readable = source.CheckReadable(phys, count);
+          if (!readable.ok()) {
+            first_error.Record(std::move(readable));
+            return;
           }
           const uint64_t t0 = NowNanos();
           DataChunk chunk;

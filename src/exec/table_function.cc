@@ -16,7 +16,7 @@ bool IsTableFunction(const std::string& lower_name) {
          lower_name == "naive_bayes_train" ||
          lower_name == "naive_bayes_predict" || lower_name == "summarize" ||
          lower_name == "connected_components" ||
-         lower_name == "soda_fault_sites";
+         lower_name == "soda_fault_sites" || lower_name == "soda_status";
 }
 
 Result<TableFunctionSignature> GetTableFunctionSignature(
@@ -45,6 +45,10 @@ Result<TableFunctionSignature> GetTableFunctionSignature(
   }
   if (name == "soda_fault_sites") {
     // Introspection: zero arguments, emits the fault-site registry.
+    return TableFunctionSignature{0, 0, 0, 0, {}};
+  }
+  if (name == "soda_status") {
+    // Operations introspection: zero arguments, one row per health metric.
     return TableFunctionSignature{0, 0, 0, 0, {}};
   }
   return Status::KeyError("unknown table function: " + name);
@@ -137,6 +141,10 @@ Result<Schema> InferTableFunctionSchema(
   if (name == "soda_fault_sites") {
     return Schema({Field("site", DataType::kVarchar),
                    Field("description", DataType::kVarchar)});
+  }
+  if (name == "soda_status") {
+    return Schema({Field("metric", DataType::kVarchar),
+                   Field("value", DataType::kBigInt)});
   }
   if (name == "naive_bayes_predict") {
     if (!relation_schemas[0].TypesEqual(NaiveBayesModelSchema())) {
@@ -231,6 +239,34 @@ Result<TablePtr> ExecuteTableFunctionWithInputs(const PlanNode& plan,
     for (const FaultSiteInfo& info : kFaultSites) {
       SODA_RETURN_NOT_OK(table->AppendRow(
           {Value::Varchar(info.site), Value::Varchar(info.description)}));
+    }
+    return table;
+  }
+  if (name == "soda_status") {
+    // SELECT * FROM SODA_STATUS(): engine health counters (WAL size,
+    // checkpoint/scrub progress, quarantine extent) as metric/value rows.
+    if (!ctx.status_provider) {
+      return Status::InvalidArgument(
+          "soda_status() requires an engine execution context");
+    }
+    const EngineStatusSnapshot s = ctx.status_provider();
+    auto table = std::make_shared<Table>(
+        "soda_status", Schema({Field("metric", DataType::kVarchar),
+                               Field("value", DataType::kBigInt)}));
+    const std::pair<const char*, int64_t> metrics[] = {
+        {"durable", s.durable ? 1 : 0},
+        {"wal_bytes", s.wal_bytes},
+        {"wal_records", s.wal_records},
+        {"last_checkpoint_lsn", s.last_checkpoint_lsn},
+        {"checkpoint_count", s.checkpoint_count},
+        {"auto_checkpoint_count", s.auto_checkpoint_count},
+        {"scrub_pass_count", s.scrub_pass_count},
+        {"quarantined_row_groups", s.quarantined_row_groups},
+        {"quarantined_tables", s.quarantined_tables},
+    };
+    for (const auto& [metric, value] : metrics) {
+      SODA_RETURN_NOT_OK(table->AppendRow(
+          {Value::Varchar(metric), Value::BigInt(value)}));
     }
     return table;
   }

@@ -180,6 +180,7 @@ enum class StatementKind {
   kExplain,     ///< EXPLAIN [ANALYZE] <select>
   kSet,         ///< SET soda.<knob> = <value>
   kCheckpoint,  ///< CHECKPOINT — persist all tables, truncate the WAL
+  kScrub,       ///< SCRUB — verify segment + checkpoint checksums now
 };
 
 struct Statement {

@@ -126,6 +126,10 @@ class Parser {
       stmt.kind = StatementKind::kCheckpoint;
       return stmt;
     }
+    if (MatchKeyword("scrub")) {
+      stmt.kind = StatementKind::kScrub;
+      return stmt;
+    }
     if (MatchKeyword("explain")) {
       // "analyze" is a soft keyword: only special directly after EXPLAIN,
       // so it stays usable as an identifier elsewhere.
@@ -141,7 +145,7 @@ class Parser {
     }
     return Unexpected(
         "a statement (SELECT/WITH/CREATE/INSERT/DROP/EXPLAIN/SET/"
-        "CHECKPOINT)");
+        "CHECKPOINT/SCRUB)");
   }
 
   Result<std::unique_ptr<CreateTableStmt>> ParseCreateTable() {

@@ -9,7 +9,16 @@
 /// File layout (storage/serde.h encoding, native byte order):
 ///   u32 magic ("SDCK") | u32 version | u64 last_lsn
 ///   u32 crc32(body) | u64 body_len | body
-///   body = u32 num_tables | num_tables × serialized Table
+///   body  = u32 num_tables | num_tables × block
+///   block = Str name | Schema | u32 payload_len | u32 crc32(payload)
+///           | payload (serialized Table)
+///
+/// v3 wraps every table in its own CRC-framed block, with the name and
+/// schema duplicated *outside* the frame. A corrupt payload therefore
+/// degrades to a quarantined name+schema stub (reads fail with kDataLoss,
+/// the rest of the catalog recovers normally) instead of poisoning
+/// startup. Header/structural damage — bad magic, bad version, truncation
+/// — is still fatal: there is nothing trustworthy left to recover.
 
 #ifndef SODA_STORAGE_CHECKPOINT_H_
 #define SODA_STORAGE_CHECKPOINT_H_
@@ -36,12 +45,28 @@ Status WriteCheckpoint(const std::vector<TablePtr>& tables, uint64_t last_lsn,
                        const std::string& data_dir);
 
 /// Loads the checkpoint in `data_dir` into `tables`/`last_lsn`. Returns
-/// false (leaving the outputs untouched) when no checkpoint file exists;
-/// a present-but-corrupt checkpoint is a hard error — unlike a torn WAL
-/// tail it cannot arise from a crash, only from external damage.
+/// false (leaving the outputs untouched) when no checkpoint file exists.
+/// A structurally damaged file (bad magic/version, truncated) is a hard
+/// error — unlike a torn WAL tail it cannot arise from a crash, only from
+/// external damage. A table block whose payload fails its CRC loads as a
+/// quarantined name+schema stub instead (degraded reads, DESIGN.md §10).
 Result<bool> LoadCheckpoint(const std::string& data_dir,
                             std::vector<TablePtr>* tables,
                             uint64_t* last_lsn);
+
+/// At-rest verification summary for the scrub pass (storage/scrub.h).
+struct CheckpointScrubInfo {
+  bool present = false;       ///< a checkpoint file exists
+  bool structure_ok = false;  ///< magic/version/length framing parsed
+  bool body_crc_ok = false;   ///< whole-body CRC matched
+  uint32_t num_tables = 0;
+  std::vector<std::string> corrupt_tables;  ///< per-block CRC failures
+};
+
+/// Re-reads and checksum-verifies the checkpoint file without
+/// constructing any tables. Only I/O errors fail; corruption is reported
+/// in the returned summary.
+Result<CheckpointScrubInfo> VerifyCheckpoint(const std::string& data_dir);
 
 }  // namespace soda
 

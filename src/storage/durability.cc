@@ -6,6 +6,8 @@
 #include <filesystem>
 
 #include "storage/checkpoint.h"
+#include "util/logging.h"
+#include "util/query_guard.h"
 
 namespace soda {
 
@@ -28,6 +30,16 @@ Status ApplyWalRecord(Catalog* catalog, const WalRecord& record) {
     }
     case WalRecordType::kAppendRows: {
       SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(record.table));
+      if (table->quarantined()) {
+        // The base payload is damaged; splicing new rows into placeholder
+        // data would fabricate row positions. The appended rows stay in
+        // the WAL (it is not truncated past them until the table heals),
+        // and every read of the table already fails with kDataLoss —
+        // recovery stays lenient so the rest of the catalog comes up.
+        SODA_LOG(Warn) << "wal replay: skipping append to quarantined table "
+                       << record.table;
+        return Status::OK();
+      }
       if (table->num_columns() != record.rows->num_columns()) {
         return Status::ExecutionError(
             "wal replay: append arity mismatch for table " + record.table);
@@ -142,8 +154,123 @@ Status DurabilityManager::Checkpoint(const Catalog& catalog) {
     tables.push_back(std::move(table));
   }
   // Everything up to the current LSN is reflected in the snapshot.
-  SODA_RETURN_NOT_OK(WriteCheckpoint(tables, wal_->last_lsn(), data_dir_));
-  return wal_->Truncate();
+  const uint64_t lsn = wal_->last_lsn();
+  SODA_RETURN_NOT_OK(WriteCheckpoint(tables, lsn, data_dir_));
+  SODA_RETURN_NOT_OK(wal_->Rotate());
+  last_checkpoint_lsn_.store(lsn);
+  checkpoint_count_.fetch_add(1);
+  return Status::OK();
+}
+
+Status DurabilityManager::VerifyAndHealCheckpoint(const Catalog& catalog,
+                                                  ScrubReport* report) {
+  SODA_ASSIGN_OR_RETURN(CheckpointScrubInfo info, VerifyCheckpoint(data_dir_));
+  report->checkpoint_present = info.present;
+  if (!info.present) return Status::OK();
+  const bool corrupt =
+      !info.structure_ok || !info.body_crc_ok || !info.corrupt_tables.empty();
+  if (!corrupt) return Status::OK();
+  report->checkpoint_ok = false;
+  // A table-level quarantined stub holds no rows: rewriting the
+  // checkpoint from it would replace the (recoverable-from-backup)
+  // damaged block with a valid-but-empty table and silently drop the
+  // quarantine marker across restart. Leave the file alone until the
+  // operator DROPs or restores the table. Group-level quarantine is
+  // fine to rewrite — serde v3 persists the per-group bitmap.
+  for (const std::string& name : catalog.TableNames()) {
+    Result<TablePtr> t = catalog.GetTable(name);
+    if (t.ok() && t.ValueOrDie()->table_level_quarantined()) {
+      SODA_LOG(Warn) << "scrub: checkpoint in " << data_dir_
+                     << " is damaged but table '" << name
+                     << "' is quarantined; skipping rewrite (DROP or "
+                        "restore the table first)";
+      return Status::OK();
+    }
+  }
+  SODA_LOG(Warn) << "scrub: checkpoint in " << data_dir_
+                 << " failed verification (" << info.corrupt_tables.size()
+                 << " corrupt table blocks); rewriting from memory";
+  // Memory is authoritative while the engine is up: a full checkpoint
+  // replaces the damaged file atomically (temp + rename).
+  SODA_RETURN_NOT_OK(Checkpoint(catalog));
+  report->checkpoint_rewritten = true;
+  return Status::OK();
+}
+
+DurabilityManager::~DurabilityManager() { StopMaintenance(); }
+
+void DurabilityManager::StartMaintenance(const Catalog* catalog,
+                                         MaintenanceOptions opts,
+                                         std::function<Status()> scrub) {
+  StopMaintenance();
+  {
+    MutexLock lock(&maint_mu_);
+    maint_opts_ = opts;
+    maint_stop_ = false;
+  }
+  maint_catalog_ = catalog;
+  maint_scrub_ = std::move(scrub);
+  maint_thread_ = std::thread([this] { MaintenanceLoop(); });
+}
+
+void DurabilityManager::StopMaintenance() {
+  {
+    MutexLock lock(&maint_mu_);
+    maint_stop_ = true;
+  }
+  maint_cv_.NotifyAll();
+  if (maint_thread_.joinable()) maint_thread_.join();
+}
+
+void DurabilityManager::ConfigureMaintenance(const MaintenanceOptions& opts) {
+  {
+    MutexLock lock(&maint_mu_);
+    maint_opts_ = opts;
+  }
+  maint_cv_.NotifyAll();  // re-evaluate thresholds promptly
+}
+
+void DurabilityManager::MaintenanceLoop() {
+  std::chrono::milliseconds since_scrub{0};
+  for (;;) {
+    MaintenanceOptions opts;
+    {
+      MutexLock lock(&maint_mu_);
+      if (maint_stop_) return;
+      maint_cv_.WaitFor(&maint_mu_, maint_opts_.poll_interval);
+      if (maint_stop_) return;
+      opts = maint_opts_;
+    }
+    // Act with no maintenance lock held: Checkpoint takes commit_mu_ and
+    // the scrub closure takes the engine write lock — both are above
+    // maint_mu_ in no ordering at all (maint_mu_ is a leaf).
+    const bool checkpoint_due =
+        (opts.wal_auto_checkpoint_bytes > 0 &&
+         wal_->size_bytes() >= opts.wal_auto_checkpoint_bytes) ||
+        (opts.wal_auto_checkpoint_records > 0 &&
+         wal_->record_count() >= opts.wal_auto_checkpoint_records);
+    if (checkpoint_due && maint_catalog_ != nullptr) {
+      Status st = FaultInjector::Global().Probe("durability.auto_checkpoint");
+      if (st.ok()) st = Checkpoint(*maint_catalog_);
+      if (st.ok()) {
+        auto_checkpoint_count_.fetch_add(1);
+      } else {
+        // Next poll retries; the WAL keeps growing but stays correct.
+        SODA_LOG(Warn) << "auto-checkpoint failed: " << st.message();
+      }
+    }
+    since_scrub += opts.poll_interval;
+    if (opts.scrub_interval.count() > 0 && maint_scrub_ != nullptr &&
+        since_scrub >= opts.scrub_interval) {
+      since_scrub = std::chrono::milliseconds{0};
+      Status st = maint_scrub_();
+      if (st.ok()) {
+        scrub_pass_count_.fetch_add(1);
+      } else {
+        SODA_LOG(Warn) << "background scrub failed: " << st.message();
+      }
+    }
+  }
 }
 
 }  // namespace soda

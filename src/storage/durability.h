@@ -18,16 +18,30 @@
 #ifndef SODA_STORAGE_DURABILITY_H_
 #define SODA_STORAGE_DURABILITY_H_
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "storage/catalog.h"
+#include "storage/scrub.h"
 #include "storage/wal.h"
 #include "util/mutex.h"
 #include "util/status.h"
 
 namespace soda {
+
+/// Thresholds for the background maintenance thread. Zero disables the
+/// corresponding trigger. SQL: `SET soda.wal_auto_checkpoint_mb`,
+/// `SET soda.wal_auto_checkpoint_records`, `SET soda.scrub_interval_ms`.
+struct MaintenanceOptions {
+  size_t wal_auto_checkpoint_bytes = 0;    ///< checkpoint when WAL exceeds
+  size_t wal_auto_checkpoint_records = 0;  ///< ... or holds this many records
+  std::chrono::milliseconds scrub_interval{0};  ///< periodic scrub cadence
+  std::chrono::milliseconds poll_interval{25};  ///< threshold check cadence
+};
 
 /// Lock order (enforced by the thread-safety annotations and documented
 /// here because it crosses three structures):
@@ -79,9 +93,53 @@ class DurabilityManager {
                 const std::function<Status()>& publish)
       SODA_EXCLUDES(commit_mu_);
 
-  /// CHECKPOINT: snapshots every catalog table atomically, then truncates
-  /// the log. On failure the previous checkpoint + log remain valid.
+  /// CHECKPOINT: snapshots every catalog table atomically, then rotates
+  /// the log (old records are archived to wal.soda.1 — see Wal::Rotate).
+  /// On failure the previous checkpoint + log remain valid.
   Status Checkpoint(const Catalog& catalog) SODA_EXCLUDES(commit_mu_);
+
+  /// At-rest half of the scrub pass: re-reads the checkpoint file and
+  /// verifies its framing CRCs (storage/checkpoint.h, VerifyCheckpoint).
+  /// A damaged checkpoint is self-healed by rewriting it from the
+  /// in-memory catalog — the authoritative copy while the engine is up.
+  /// Sets the checkpoint_* fields of `report`.
+  Status VerifyAndHealCheckpoint(const Catalog& catalog, ScrubReport* report)
+      SODA_EXCLUDES(commit_mu_);
+
+  // --- Background maintenance (auto-checkpoint + periodic scrub) ----------
+
+  /// Starts the maintenance thread. `catalog` must outlive the manager;
+  /// `scrub` (may be null) runs one full scrub pass — the engine wires in
+  /// the in-memory CRC sweep + quarantine publishing. Idempotent: an
+  /// already-running thread is stopped first.
+  void StartMaintenance(const Catalog* catalog, MaintenanceOptions opts,
+                        std::function<Status()> scrub)
+      SODA_EXCLUDES(maint_mu_);
+
+  /// Stops and joins the maintenance thread (no-op when not running).
+  /// Called from the destructor; the engine also calls it explicitly
+  /// before tearing down structures the scrub closure touches.
+  void StopMaintenance() SODA_EXCLUDES(maint_mu_);
+
+  /// Updates thresholds at runtime (SET soda.wal_auto_checkpoint_*).
+  void ConfigureMaintenance(const MaintenanceOptions& opts)
+      SODA_EXCLUDES(maint_mu_);
+
+  MaintenanceOptions maintenance_options() const SODA_EXCLUDES(maint_mu_) {
+    MutexLock lock(&maint_mu_);
+    return maint_opts_;
+  }
+
+  // --- Health counters (soda_status() table function) ----------------------
+
+  uint64_t checkpoint_count() const { return checkpoint_count_.load(); }
+  uint64_t auto_checkpoint_count() const {
+    return auto_checkpoint_count_.load();
+  }
+  uint64_t last_checkpoint_lsn() const { return last_checkpoint_lsn_.load(); }
+  uint64_t scrub_pass_count() const { return scrub_pass_count_.load(); }
+  /// Manual SCRUB statements count as passes too (the engine calls this).
+  void NoteScrubPass() { scrub_pass_count_.fetch_add(1); }
 
   void SetFsyncMode(WalFsyncMode mode, size_t group_bytes) {
     wal_->SetFsyncMode(mode, group_bytes);
@@ -90,9 +148,13 @@ class DurabilityManager {
   const std::string& data_dir() const { return data_dir_; }
   Wal* wal() { return wal_.get(); }
 
+  ~DurabilityManager();
+
  private:
   DurabilityManager(std::string data_dir, std::unique_ptr<Wal> wal)
       : data_dir_(std::move(data_dir)), wal_(std::move(wal)) {}
+
+  void MaintenanceLoop() SODA_EXCLUDES(maint_mu_, commit_mu_);
 
   std::string data_dir_;
   std::unique_ptr<Wal> wal_;
@@ -100,6 +162,21 @@ class DurabilityManager {
   /// at the top of this file. Guards no data directly — it serializes the
   /// log→publish and snapshot→truncate critical sections.
   Mutex commit_mu_;
+
+  std::atomic<uint64_t> checkpoint_count_{0};
+  std::atomic<uint64_t> auto_checkpoint_count_{0};
+  std::atomic<uint64_t> last_checkpoint_lsn_{0};
+  std::atomic<uint64_t> scrub_pass_count_{0};
+
+  // Maintenance thread state. maint_mu_ is a leaf lock (never held while
+  // taking commit_mu_ — the loop copies the options out before acting).
+  mutable Mutex maint_mu_;
+  CondVar maint_cv_;
+  MaintenanceOptions maint_opts_ SODA_GUARDED_BY(maint_mu_);
+  bool maint_stop_ SODA_GUARDED_BY(maint_mu_) = false;
+  const Catalog* maint_catalog_ = nullptr;   // set before the thread starts
+  std::function<Status()> maint_scrub_;      // likewise
+  std::thread maint_thread_;
 };
 
 /// Statement commit helper for engines that may be volatile: without a

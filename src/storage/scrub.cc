@@ -1,0 +1,50 @@
+#include "storage/scrub.h"
+
+#include <sstream>
+
+#include "storage/segment.h"
+#include "util/query_guard.h"
+
+namespace soda {
+
+std::string ScrubReport::ToString() const {
+  std::ostringstream os;
+  os << "scrub: " << tables_checked << " tables, " << segments_checked
+     << " segments checked, " << corrupt_segments << " corrupt, "
+     << quarantined_groups << " row groups quarantined; checkpoint "
+     << (!checkpoint_present ? "absent"
+         : checkpoint_ok    ? "ok"
+         : checkpoint_rewritten ? "rewritten" : "CORRUPT");
+  return os.str();
+}
+
+Status ScrubTables(const std::vector<TablePtr>& tables,
+                   const QuarantinePublisher& publish, ScrubReport* report) {
+  for (const auto& table : tables) {
+    SODA_RETURN_NOT_OK(GuardProbe(QueryGuard::Current(), "storage.scrub"));
+    ++report->tables_checked;
+    if (!table->sealed()) continue;
+    std::vector<size_t> corrupt_groups;
+    for (size_t g = 0; g < table->num_row_groups(); ++g) {
+      if (table->group_quarantined(g)) continue;  // placeholder payload
+      bool group_corrupt = false;
+      for (size_t c = 0; c < table->num_columns(); ++c) {
+        const SegmentPtr& seg = table->group_segment(g, c);
+        if (seg == nullptr || seg->crc == 0) continue;  // CRC unknown
+        ++report->segments_checked;
+        if (ComputeSegmentCrc(*seg) != seg->crc) {
+          ++report->corrupt_segments;
+          group_corrupt = true;
+        }
+      }
+      if (group_corrupt) corrupt_groups.push_back(g);
+    }
+    if (!corrupt_groups.empty() && publish != nullptr) {
+      SODA_RETURN_NOT_OK(publish(table->name(), corrupt_groups));
+      report->quarantined_groups += corrupt_groups.size();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace soda

@@ -1,0 +1,62 @@
+/// \file scrub.h
+/// Background integrity verification for sealed tables and the checkpoint
+/// file (DESIGN.md §10, "Self-healing & operations").
+///
+/// Every sealed segment carries the CRC32 of its serialized form
+/// (Segment::crc, stamped at encode/load time). The scrub pass
+/// re-serializes each segment and compares checksums — a mismatch means
+/// the in-memory payload rotted (or was deliberately flipped by a test)
+/// after sealing. Corrupt row groups are reported to a caller-supplied
+/// publisher, which quarantines them under the engine's write lock; the
+/// scrub itself takes no locks beyond the table snapshot it is handed.
+///
+/// The at-rest half re-reads the checkpoint file and verifies its framing
+/// CRCs without deserializing any table (storage/checkpoint.h,
+/// VerifyCheckpoint). The durability manager self-heals a damaged
+/// checkpoint by rewriting it from healthy in-memory state.
+
+#ifndef SODA_STORAGE_SCRUB_H_
+#define SODA_STORAGE_SCRUB_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Outcome of one scrub pass, surfaced through soda_status() and the
+/// SCRUB statement's result table.
+struct ScrubReport {
+  size_t tables_checked = 0;
+  size_t segments_checked = 0;
+  size_t corrupt_segments = 0;    ///< CRC mismatches found this pass
+  size_t quarantined_groups = 0;  ///< row groups newly quarantined
+  bool checkpoint_present = false;
+  bool checkpoint_ok = true;       ///< at-rest framing + CRCs verified
+  bool checkpoint_rewritten = false;  ///< self-healed from memory
+
+  std::string ToString() const;
+};
+
+/// Called once per table that has corrupt row groups. Runs with no scrub
+/// locks held; the implementation republishes the table with those groups
+/// quarantined (copy-on-write + Catalog::ReplaceTable under the engine
+/// write lock). Returning an error aborts the pass.
+using QuarantinePublisher = std::function<Status(
+    const std::string& table_name, const std::vector<size_t>& groups)>;
+
+/// Verifies every sealed segment of `tables` against its stored CRC.
+/// Already-quarantined groups are skipped (their payload is a
+/// placeholder). Fault site: "storage.scrub" (probed once per table).
+/// `publish` may be null — corruption is then only counted, not
+/// quarantined (dry-run).
+Status ScrubTables(const std::vector<TablePtr>& tables,
+                   const QuarantinePublisher& publish, ScrubReport* report);
+
+}  // namespace soda
+
+#endif  // SODA_STORAGE_SCRUB_H_

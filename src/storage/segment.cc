@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "storage/serde.h"
+#include "util/crc32.h"
 #include "util/query_guard.h"
 
 namespace soda {
@@ -293,6 +294,29 @@ Result<SegmentPtr> EncodeSegment(const Column& src, size_t offset,
   }
   SODA_RETURN_NOT_OK(
       GuardReserve(QueryGuard::Current(), seg->MemoryUsage(), kEncodeSite));
+  seg->crc = ComputeSegmentCrc(*seg);
+  return SegmentPtr(std::move(seg));
+}
+
+SegmentPtr MakePlaceholderSegment(DataType type, size_t rows) {
+  auto seg = std::make_shared<Segment>();
+  seg->type = type;
+  seg->encoding = SegmentEncoding::kPlain;
+  seg->stats.row_count = rows;
+  seg->stats.null_count = rows;
+  switch (type) {
+    case DataType::kVarchar:
+      seg->strs.assign(rows, std::string());
+      break;
+    case DataType::kDouble:
+      seg->f64.assign(rows, 0.0);
+      break;
+    default:
+      seg->i64.assign(rows, 0);
+      break;
+  }
+  seg->validity.assign((rows + 63) / 64, 0);  // every row NULL
+  seg->crc = ComputeSegmentCrc(*seg);
   return SegmentPtr(std::move(seg));
 }
 
@@ -668,6 +692,12 @@ void WriteSegment(const Segment& seg, BinaryWriter* w) {
   w->Bytes(seg.validity.data(), seg.validity.size() * sizeof(uint64_t));
   w->U64(seg.strs.size());
   for (const auto& s : seg.strs) w->Str(s);
+}
+
+uint32_t ComputeSegmentCrc(const Segment& seg) {
+  BinaryWriter w;
+  WriteSegment(seg, &w);
+  return Crc32(w.buffer().data(), w.buffer().size());
 }
 
 namespace {

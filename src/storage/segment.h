@@ -82,6 +82,12 @@ struct Segment {
   uint8_t bit_width = 0;
   std::vector<uint64_t> validity;
 
+  /// CRC32 of the serialized payload, fixed at encode/load time. The scrub
+  /// pass (storage/scrub.h) re-serializes and compares, so in-memory bit
+  /// rot in a sealed segment is detectable long after sealing. 0 = unknown
+  /// (synthetic segments that never went through EncodeSegment/serde).
+  uint32_t crc = 0;
+
   size_t row_count() const { return stats.row_count; }
   /// Approximate heap footprint of the encoded form.
   size_t MemoryUsage() const;
@@ -147,6 +153,17 @@ class BinaryReader;
 
 void WriteSegment(const Segment& seg, BinaryWriter* w);
 Result<SegmentPtr> ReadSegment(BinaryReader* r);
+
+/// CRC32 of the segment's serialized payload (the exact bytes WriteSegment
+/// emits). Deterministic for a given in-memory state, so recomputing it and
+/// comparing against `seg.crc` detects in-memory corruption.
+uint32_t ComputeSegmentCrc(const Segment& seg);
+
+/// Builds a decode-safe stand-in for a quarantined segment: kPlain,
+/// `rows` all-NULL values of `type`, correct stats. Scans that are allowed
+/// to touch it (none, once the table is quarantined — but recovery and
+/// checkpoint rewrite still serialize it) never crash on it.
+SegmentPtr MakePlaceholderSegment(DataType type, size_t rows);
 
 }  // namespace soda
 

@@ -1,6 +1,9 @@
 #include "storage/serde.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "util/crc32.h"
 
 namespace soda {
 
@@ -48,6 +51,13 @@ Status BinaryReader::Bytes(void* out, size_t n) {
   std::memcpy(out, data_.data() + pos_, n);
   pos_ += n;
   return Status::OK();
+}
+
+Result<std::string_view> BinaryReader::View(size_t n) {
+  if (remaining() < n) return Truncated("view");
+  std::string_view v = data_.substr(pos_, n);
+  pos_ += n;
+  return v;
 }
 
 void WriteSchema(const Schema& schema, BinaryWriter* w) {
@@ -146,9 +156,12 @@ Result<Column> ReadColumn(BinaryReader* r) {
 
 namespace {
 
-// Table payload flags (serde format v2): sealed tables persist their
+// Table payload flags (serde format v3): sealed tables persist their
 // encoded row groups verbatim — checkpoints shrink with the data and
-// recovery replays encoded, bit-identically.
+// recovery replays encoded, bit-identically. v3 additionally frames every
+// segment as [u32 payload_len][u32 crc32][payload] with explicit group
+// offsets and a quarantine bitmap, so one corrupt segment costs one row
+// group (quarantined, degraded reads), not the whole table.
 constexpr uint8_t kTableFlagSealed = 0x1;
 constexpr uint8_t kTableFlagPartitioned = 0x2;
 
@@ -198,13 +211,29 @@ void WriteTable(const Table& table, BinaryWriter* w) {
     WritePartitionSpec(table.partition_spec(), w);
   }
   if (table.sealed()) {
-    w->U32(static_cast<uint32_t>(table.num_row_groups()));
+    const size_t num_groups = table.num_row_groups();
+    w->U32(static_cast<uint32_t>(num_groups));
+    // Explicit group offsets: with them, a group whose segments are
+    // corrupt still has a known row count, so its placeholder keeps the
+    // table's row addressing intact.
+    for (size_t g = 0; g <= num_groups; ++g) {
+      w->U64(table.group_offset(g));  // group_offsets has num_groups+1 entries
+    }
     const auto& offsets = table.partition_offsets();
     w->U32(static_cast<uint32_t>(offsets.size()));
     for (size_t o : offsets) w->U64(o);
-    for (size_t g = 0; g < table.num_row_groups(); ++g) {
+    // Quarantine bitmap: quarantine survives checkpoint + restart.
+    for (size_t g = 0; g < num_groups; ++g) {
+      w->U8(table.group_quarantined(g) ? 1 : 0);
+    }
+    BinaryWriter sw;
+    for (size_t g = 0; g < num_groups; ++g) {
       for (size_t c = 0; c < table.num_columns(); ++c) {
-        WriteSegment(*table.group_segment(g, c), w);
+        sw = BinaryWriter();
+        WriteSegment(*table.group_segment(g, c), &sw);
+        w->U32(static_cast<uint32_t>(sw.buffer().size()));
+        w->U32(Crc32(sw.buffer().data(), sw.buffer().size()));
+        w->Bytes(sw.buffer().data(), sw.buffer().size());
       }
     }
     return;
@@ -225,6 +254,19 @@ Result<TablePtr> ReadTable(BinaryReader* r) {
   }
   if (flags & kTableFlagSealed) {
     SODA_ASSIGN_OR_RETURN(uint32_t num_groups, r->U32());
+    if (uint64_t{num_groups} + 1 > r->remaining() / sizeof(uint64_t)) {
+      return Status::ExecutionError("serde: truncated group offsets");
+    }
+    std::vector<size_t> group_offsets;
+    group_offsets.reserve(num_groups + 1);
+    for (uint32_t g = 0; g <= num_groups; ++g) {
+      SODA_ASSIGN_OR_RETURN(uint64_t o, r->U64());
+      group_offsets.push_back(o);
+    }
+    if (group_offsets.front() != 0 ||
+        !std::is_sorted(group_offsets.begin(), group_offsets.end())) {
+      return Status::ExecutionError("serde: bad group offsets");
+    }
     SODA_ASSIGN_OR_RETURN(uint32_t num_offsets, r->U32());
     if (num_offsets > r->remaining() / sizeof(uint64_t)) {
       return Status::ExecutionError("serde: truncated partition offsets");
@@ -235,19 +277,50 @@ Result<TablePtr> ReadTable(BinaryReader* r) {
       SODA_ASSIGN_OR_RETURN(uint64_t o, r->U64());
       offsets.push_back(o);
     }
+    std::vector<uint8_t> quarantined(num_groups, 0);
+    if (num_groups > 0) {
+      SODA_RETURN_NOT_OK(r->Bytes(quarantined.data(), num_groups));
+    }
+    // Segments are length + CRC framed: a checksum failure costs exactly
+    // one row group — the group gets decode-safe all-NULL placeholders
+    // and a quarantine mark, and the read continues at the next frame.
     std::vector<std::vector<SegmentPtr>> groups;
     groups.reserve(num_groups);
     for (uint32_t g = 0; g < num_groups; ++g) {
+      const size_t group_rows = group_offsets[g + 1] - group_offsets[g];
       std::vector<SegmentPtr> group;
       group.reserve(schema.num_fields());
+      bool group_corrupt = false;
       for (size_t c = 0; c < schema.num_fields(); ++c) {
-        SODA_ASSIGN_OR_RETURN(SegmentPtr seg, ReadSegment(r));
+        SODA_ASSIGN_OR_RETURN(uint32_t payload_len, r->U32());
+        SODA_ASSIGN_OR_RETURN(uint32_t crc, r->U32());
+        SODA_ASSIGN_OR_RETURN(std::string_view payload, r->View(payload_len));
+        SegmentPtr seg;
+        if (Crc32(payload.data(), payload.size()) == crc) {
+          BinaryReader sr(payload);
+          auto parsed = ReadSegment(&sr);
+          if (parsed.ok() && (*parsed)->type == schema.field(c).type &&
+              (*parsed)->row_count() == group_rows) {
+            seg = parsed.MoveValueOrDie();
+            // Exclusively owned here (just parsed); stamp the verified
+            // frame CRC so the scrub pass can re-check it later.
+            const_cast<Segment*>(seg.get())->crc = crc;
+          }
+        }
+        if (seg == nullptr) {
+          group_corrupt = true;
+          seg = MakePlaceholderSegment(schema.field(c).type, group_rows);
+        }
         group.push_back(std::move(seg));
       }
+      if (group_corrupt) quarantined[g] = 1;
       groups.push_back(std::move(group));
     }
     SODA_RETURN_NOT_OK(
         table->AdoptSealed(std::move(groups), std::move(offsets)));
+    for (uint32_t g = 0; g < num_groups; ++g) {
+      if (quarantined[g]) table->MarkGroupQuarantined(g);
+    }
     return table;
   }
   size_t rows = 0;

@@ -58,6 +58,12 @@ class BinaryReader {
   Result<std::string> Str();
   Status Bytes(void* out, size_t n);
 
+  /// Returns a view of the next `n` bytes (no copy) and advances past
+  /// them — the CRC-then-parse idiom: checksum the raw slice, then hand a
+  /// sub-reader exactly that slice so a corrupt payload can be skipped by
+  /// length without derailing the outer stream.
+  Result<std::string_view> View(size_t n);
+
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }
 

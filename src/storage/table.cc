@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/query_guard.h"
+#include "util/retry.h"
 #include "util/string_util.h"
 
 namespace soda {
@@ -255,6 +256,8 @@ void Table::Truncate() {
   groups_.clear();
   group_offsets_.clear();
   partition_offsets_.clear();
+  group_quarantined_.clear();
+  table_quarantined_ = false;
   sealed_ = false;
   flat_ready_.store(false, std::memory_order_release);
 }
@@ -401,7 +404,14 @@ Status Table::Seal() {
 
 Status Table::EnsureFlat() {
   if (!sealed_) return Status::OK();
-  SODA_RETURN_NOT_OK(GuardProbe(QueryGuard::Current(), kDecodeSite));
+  // Flattening a quarantined table would bake the all-NULL placeholders
+  // into the flat payload as if they were real rows — refuse.
+  SODA_RETURN_NOT_OK(CheckReadable(0, num_rows()));
+  // Decode faults can be transient (injected kUnavailable) — retry with
+  // backoff before surfacing; see util/retry.h.
+  SODA_RETURN_NOT_OK(RetryTransient(DefaultIoRetryPolicy(), [] {
+    return GuardProbe(QueryGuard::Current(), kDecodeSite);
+  }));
   MaterializeFlat();
   groups_.clear();
   group_offsets_.clear();
@@ -449,11 +459,62 @@ Status Table::AdoptSealed(std::vector<std::vector<SegmentPtr>> groups,
   groups_ = std::move(groups);
   group_offsets_ = std::move(offsets);
   partition_offsets_ = std::move(partition_offsets);
+  group_quarantined_.clear();
+  table_quarantined_ = false;
   for (size_t c = 0; c < columns_.size(); ++c) {
     columns_[c] = Column(schema_.field(c).type);
   }
   sealed_ = true;
   flat_ready_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+// --- Quarantine ----------------------------------------------------------
+
+void Table::MarkGroupQuarantined(size_t g) {
+  if (g >= groups_.size()) return;
+  if (group_quarantined_.size() != groups_.size()) {
+    group_quarantined_.assign(groups_.size(), 0);
+  }
+  group_quarantined_[g] = 1;
+}
+
+bool Table::quarantined() const {
+  if (table_quarantined_) return true;
+  for (uint8_t q : group_quarantined_) {
+    if (q) return true;
+  }
+  return false;
+}
+
+size_t Table::num_quarantined_groups() const {
+  if (table_quarantined_) return groups_.empty() ? 1 : groups_.size();
+  size_t n = 0;
+  for (uint8_t q : group_quarantined_) n += q != 0;
+  return n;
+}
+
+Status Table::CheckReadable(size_t offset, size_t count) const {
+  if (table_quarantined_) {
+    return Status::DataLoss("table '" + name_ +
+                            "' is quarantined (corrupt checkpoint block); "
+                            "restore from a backup or DROP it");
+  }
+  if (group_quarantined_.empty() || count == 0) return Status::OK();
+  const size_t end = offset + count;
+  size_t g = std::upper_bound(group_offsets_.begin(), group_offsets_.end(),
+                              offset) -
+             group_offsets_.begin() - 1;
+  for (; g < groups_.size() && group_offsets_[g] < end; ++g) {
+    if (group_quarantined_[g]) {
+      return Status::DataLoss(
+          "table '" + name_ + "' row group " + std::to_string(g) + " (rows [" +
+          std::to_string(group_offsets_[g]) + ", " +
+          std::to_string(group_offsets_[g + 1]) +
+          ")) is quarantined after a checksum failure; scans of other "
+          "partitions still work");
+    }
+  }
   return Status::OK();
 }
 

@@ -62,6 +62,8 @@ class Table {
     groups_ = std::move(other.groups_);
     group_offsets_ = std::move(other.group_offsets_);
     partition_offsets_ = std::move(other.partition_offsets_);
+    group_quarantined_ = std::move(other.group_quarantined_);
+    table_quarantined_ = other.table_quarantined_;
     flat_ready_.store(other.flat_ready_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     return *this;
@@ -181,9 +183,50 @@ class Table {
   /// Installs an already-encoded representation wholesale (deserialization
   /// and the engine's partition-reusing rebuild). `groups` is outer=group,
   /// inner=column; `partition_offsets` must be group-aligned and span
-  /// [0, total rows]. Replaces any existing payload.
+  /// [0, total rows]. Replaces any existing payload (and clears any
+  /// quarantine flags — callers re-mark after adopting).
   Status AdoptSealed(std::vector<std::vector<SegmentPtr>> groups,
                      std::vector<size_t> partition_offsets);
+
+  // --- Quarantine (self-healing storage, DESIGN.md §10) --------------------
+  //
+  // A row group whose segment failed its CRC check is *quarantined*: its
+  // payload was replaced by a decode-safe all-NULL placeholder and reads
+  // that touch it must fail with kDataLoss instead of silently returning
+  // the placeholder. Scans of unaffected row groups / partitions proceed
+  // — degraded reads. A fully-quarantined table (its whole checkpoint
+  // block was corrupt) rejects every read.
+
+  /// Marks row group `g` of a sealed table as quarantined.
+  void MarkGroupQuarantined(size_t g);
+
+  /// Marks the entire table as quarantined (corrupt checkpoint block —
+  /// only name + schema survived).
+  void MarkTableQuarantined() { table_quarantined_ = true; }
+
+  /// True when any row group (or the whole table) is quarantined.
+  bool quarantined() const;
+
+  /// True only for whole-table quarantine (corrupt checkpoint block);
+  /// false when merely some row groups are quarantined. Whole-table
+  /// quarantine does not survive a checkpoint rewrite (the stub has no
+  /// rows), so heal paths must check this before rewriting.
+  bool table_level_quarantined() const { return table_quarantined_; }
+
+  /// Number of quarantined row groups (a fully-quarantined table counts
+  /// every group, or 1 when it has none).
+  size_t num_quarantined_groups() const;
+
+  bool group_quarantined(size_t g) const {
+    return table_quarantined_ ||
+           (g < group_quarantined_.size() && group_quarantined_[g] != 0);
+  }
+
+  /// Gate for readers: kDataLoss naming the table and first quarantined
+  /// row group when [offset, offset+count) touches quarantined data; OK
+  /// otherwise. Exec scans call this per morsel (after partition pruning,
+  /// so pruned queries keep working on the healthy partitions).
+  Status CheckReadable(size_t offset, size_t count) const;
 
  private:
   /// Decodes all columns into the flat cache (keeps the segments). Safe
@@ -202,6 +245,11 @@ class Table {
   std::vector<std::vector<SegmentPtr>> groups_;  // [group][column]
   std::vector<size_t> group_offsets_;            // groups_.size() + 1
   std::vector<size_t> partition_offsets_;        // group-aligned
+
+  /// Per-group quarantine flags (empty = none quarantined); see
+  /// MarkGroupQuarantined. table_quarantined_ overrides per-group state.
+  std::vector<uint8_t> group_quarantined_;
+  bool table_quarantined_ = false;
 
   mutable Mutex seal_mu_;
   mutable std::atomic<bool> flat_ready_{false};

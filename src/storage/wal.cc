@@ -11,6 +11,7 @@
 #include "util/crc32.h"
 #include "util/logging.h"
 #include "util/query_guard.h"
+#include "util/retry.h"
 
 namespace soda {
 
@@ -99,6 +100,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(std::string path,
   size_t pos = 0;
   size_t valid_end = 0;
   uint64_t last_lsn = 0;
+  size_t record_count = 0;
   while (pos + kFrameHeaderBytes <= data.size()) {
     uint32_t magic, crc, len;
     std::memcpy(&magic, data.data() + pos, 4);
@@ -111,6 +113,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(std::string path,
     auto rec = DecodePayload(payload);
     if (!rec.ok()) break;
     last_lsn = rec->lsn;
+    ++record_count;
     if (recovered) recovered->push_back(std::move(rec.ValueOrDie()));
     pos += kFrameHeaderBytes + len;
     valid_end = pos;
@@ -127,14 +130,16 @@ Result<std::unique_ptr<Wal>> Wal::Open(std::string path,
     return IoError("lseek", path);
   }
   return std::unique_ptr<Wal>(
-      new Wal(std::move(path), fd, valid_end, last_lsn));
+      new Wal(std::move(path), fd, valid_end, last_lsn, record_count));
 }
 
-Wal::Wal(std::string path, int fd, uint64_t file_size, uint64_t last_lsn)
+Wal::Wal(std::string path, int fd, uint64_t file_size, uint64_t last_lsn,
+         size_t record_count)
     : path_(std::move(path)),
       fd_(fd),
       file_size_(file_size),
-      last_lsn_(last_lsn) {}
+      last_lsn_(last_lsn),
+      record_count_(record_count) {}
 
 Wal::~Wal() {
   MutexLock lock(&mu_);
@@ -154,8 +159,11 @@ Wal::~Wal() {
 Status Wal::Commit(WalRecordType type, const std::string& body) {
   // The probe runs before any byte is written: an injected fault or a
   // tripped guard (deadline hit during execution, external cancel) aborts
-  // the commit with the log untouched.
-  SODA_RETURN_NOT_OK(GuardProbe(QueryGuard::Current(), "wal.append"));
+  // the commit with the log untouched. Transient failures (kUnavailable)
+  // are retried with backoff before giving up.
+  SODA_RETURN_NOT_OK(RetryTransient(DefaultIoRetryPolicy(), [&]() {
+    return GuardProbe(QueryGuard::Current(), "wal.append");
+  }));
 
   BinaryWriter payload;
   payload.U64(last_lsn_ + 1);
@@ -202,8 +210,16 @@ Status Wal::Commit(WalRecordType type, const std::string& body) {
     want_sync = unsynced_bytes_ >= group_bytes_;
   }
   if (want_sync) {
-    Status probe = GuardProbe(QueryGuard::Current(), "wal.fsync");
-    if (!probe.ok() || ::fsync(fd_) != 0) {
+    // Real fsync errors never retry (the page cache state is unknowable
+    // after a failed fsync); only injected/transient kUnavailable does.
+    int wal_fd = fd_;
+    const std::string& wal_path = path_;
+    Status synced = RetryTransient(DefaultIoRetryPolicy(), [&]() -> Status {
+      SODA_RETURN_NOT_OK(GuardProbe(QueryGuard::Current(), "wal.fsync"));
+      if (::fsync(wal_fd) != 0) return IoError("fsync", wal_path);
+      return Status::OK();
+    });
+    if (!synced.ok()) {
       // The record never became durable: undo it so the failed statement
       // is invisible to recovery (all-or-nothing at the log level too).
       file_size_ = static_cast<uint64_t>(start);
@@ -211,12 +227,13 @@ Status Wal::Commit(WalRecordType type, const std::string& body) {
         unsynced_bytes_ -= std::min<size_t>(unsynced_bytes_, bytes.size());
       }
       rollback();
-      return probe.ok() ? IoError("fsync", path_) : probe;
+      return synced;
     }
     unsynced_bytes_ = 0;
   }
 
   ++last_lsn_;
+  ++record_count_;
   return Status::OK();
 }
 
@@ -264,7 +281,42 @@ Status Wal::Truncate() {
   if (::lseek(fd_, 0, SEEK_SET) < 0) return IoError("lseek", path_);
   file_size_ = 0;
   unsynced_bytes_ = 0;
+  record_count_ = 0;
   if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  return Status::OK();
+}
+
+Status Wal::Rotate() {
+  MutexLock lock(&mu_);
+  SODA_RETURN_NOT_OK(RetryTransient(DefaultIoRetryPolicy(), [&]() {
+    return GuardProbe(QueryGuard::Current(), "wal.rotate");
+  }));
+  // Drain pending group-commit bytes so the archive is self-consistent.
+  if (unsynced_bytes_ > 0 && ::fsync(fd_) != 0) {
+    return IoError("fsync", path_);
+  }
+  const std::string archive = path_ + kWalArchiveSuffix;
+  if (::rename(path_.c_str(), archive.c_str()) != 0) {
+    return IoError("rename", archive);
+  }
+  int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    // Put the archive back so the live log stays usable; its own fd is
+    // still valid either way (rename does not disturb open descriptors).
+    if (::rename(archive.c_str(), path_.c_str()) != 0) {
+      SODA_LOG(Warn) << "wal: un-rotate rename failed for " << path_ << ": "
+                     << std::strerror(errno);
+    }
+    return IoError("open", path_);
+  }
+  ::close(fd_);
+  fd_ = fd;
+  file_size_ = 0;
+  unsynced_bytes_ = 0;
+  record_count_ = 0;
+  // last_lsn_ is intentionally preserved: the LSN sequence spans
+  // rotations, so checkpoint watermarks stay monotonic.
   return Status::OK();
 }
 

@@ -35,6 +35,10 @@
 
 namespace soda {
 
+/// Rotate() renames the live log to `<path><suffix>` (replacing any
+/// previous archive) before starting a fresh one.
+inline constexpr char kWalArchiveSuffix[] = ".1";
+
 /// When a committed WAL record is forced to stable storage.
 /// SQL: `SET soda.wal_fsync = on|off|group`.
 enum class WalFsyncMode {
@@ -112,6 +116,14 @@ class Wal {
     return file_size_;
   }
 
+  /// Records committed to the live log segment (resets on Truncate and
+  /// Rotate; recovered records count on Open). Auto-checkpoint triggers on
+  /// this or on size_bytes().
+  size_t record_count() const SODA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return record_count_;
+  }
+
   // --- One call per statement; each is a self-contained commit. ----------
   Status AppendCreateTable(const std::string& table, const Schema& schema,
                            const PartitionSpec& spec) SODA_EXCLUDES(mu_);
@@ -127,8 +139,18 @@ class Wal {
   /// Discards every record (after a successful checkpoint).
   Status Truncate() SODA_EXCLUDES(mu_);
 
+  /// Archives the live log to `<path>.1` (replacing any previous archive)
+  /// and starts a fresh one, preserving the LSN sequence — the
+  /// checkpoint+rotation flavor of Truncate(), keeping one generation of
+  /// log history for post-mortems. Pending group-commit bytes are synced
+  /// first so the archive is self-consistent. Fault site: "wal.rotate"
+  /// (before any file is touched). On failure the live log is left in
+  /// place and usable.
+  Status Rotate() SODA_EXCLUDES(mu_);
+
  private:
-  Wal(std::string path, int fd, uint64_t file_size, uint64_t last_lsn);
+  Wal(std::string path, int fd, uint64_t file_size, uint64_t last_lsn,
+      size_t record_count);
 
   /// Frames, writes, and syncs one record; rolls the file back to its
   /// prior size on any failure.
@@ -143,6 +165,7 @@ class Wal {
   WalFsyncMode mode_ SODA_GUARDED_BY(mu_) = WalFsyncMode::kOn;
   size_t group_bytes_ SODA_GUARDED_BY(mu_) = size_t{1} << 20;
   size_t unsynced_bytes_ SODA_GUARDED_BY(mu_) = 0;
+  size_t record_count_ SODA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace soda

@@ -43,6 +43,10 @@ inline constexpr FaultSiteInfo kFaultSites[] = {
     {"checkpoint.rename", "checkpoint: atomic tmp-file rename"},
     {"checkpoint.write", "checkpoint: serialized table write"},
 
+    // Background maintenance (storage/durability.cc).
+    {"durability.auto_checkpoint",
+     "maintenance thread: threshold-triggered auto-checkpoint"},
+
     // Iterative constructs (§5.1).
     {"cte.append", "recursive CTE: working-table append charge"},
     {"cte.step", "recursive CTE: per-step probe"},
@@ -71,11 +75,16 @@ inline constexpr FaultSiteInfo kFaultSites[] = {
     // Storage & write-ahead log.
     {"storage.append", "Table::AppendRow/AppendChunk growth charge"},
     {"storage.partition_prune", "scan: applying the pruned partition set"},
+    {"storage.scrub", "scrub pass: per-table CRC sweep"},
     {"storage.segment_decode",
      "sealed scan / EnsureFlat: decoding encoded segments"},
     {"storage.segment_encode", "EncodeSegment: encoded payload charge"},
     {"wal.append", "WAL: logical record append"},
     {"wal.fsync", "WAL: fsync of the log tail"},
+    {"wal.rotate", "WAL: archive-and-reset rotation during checkpoint"},
+
+    // Utilities (util/retry.h).
+    {"util.retry", "RetryTransient: probed before each backoff sleep"},
 };
 
 inline constexpr size_t kNumFaultSites =

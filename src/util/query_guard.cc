@@ -27,9 +27,11 @@ FaultInjector& FaultInjector::Global() {
   return *injector;
 }
 
-void FaultInjector::Arm(const std::string& site, Kind kind, int64_t skip) {
+void FaultInjector::Arm(const std::string& site, Kind kind, int64_t skip,
+                        int64_t fires) {
   MutexLock lock(&mu_);
-  sites_[site] = Entry{kind, skip};
+  if (fires < 1) fires = 1;
+  sites_[site] = Entry{kind, skip, fires};
   armed_.store(true, std::memory_order_release);
 }
 
@@ -43,15 +45,32 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
     if (entry.empty()) continue;
 
     int64_t skip = 0;
+    int64_t fires = 1;
     size_t colon = entry.find(':');
     if (colon != std::string::npos) {
+      std::string counts = entry.substr(colon + 1);
+      entry = entry.substr(0, colon);
+      std::string skip_str = counts;
+      size_t colon2 = counts.find(':');
+      if (colon2 != std::string::npos) {
+        skip_str = counts.substr(0, colon2);
+        try {
+          fires = std::stoll(counts.substr(colon2 + 1));
+        } catch (...) {
+          return Status::InvalidArgument("bad fire count in fault spec: " +
+                                         entry + ":" + counts);
+        }
+        if (fires < 1) {
+          return Status::InvalidArgument("fire count must be >= 1: " + entry +
+                                         ":" + counts);
+        }
+      }
       try {
-        skip = std::stoll(entry.substr(colon + 1));
+        skip = std::stoll(skip_str);
       } catch (...) {
         return Status::InvalidArgument("bad skip count in fault spec: " +
-                                       entry);
+                                       entry + ":" + counts);
       }
-      entry = entry.substr(0, colon);
     }
     Kind kind = Kind::kError;
     size_t eq = entry.find('=');
@@ -64,6 +83,8 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
         kind = Kind::kOom;
       } else if (kind_name == "cancel") {
         kind = Kind::kCancel;
+      } else if (kind_name == "transient") {
+        kind = Kind::kTransient;
       } else {
         return Status::InvalidArgument("unknown fault kind: " + kind_name);
       }
@@ -71,7 +92,7 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
     if (entry.empty()) {
       return Status::InvalidArgument("empty site name in fault spec");
     }
-    Arm(entry, kind, skip);
+    Arm(entry, kind, skip, fires);
   }
   return Status::OK();
 }
@@ -93,8 +114,10 @@ Status FaultInjector::ProbeSlow(const char* site) {
       return Status::OK();
     }
     kind = it->second.kind;
-    sites_.erase(it);  // fire once, then disarm
-    if (sites_.empty()) armed_.store(false, std::memory_order_release);
+    if (--it->second.remaining_fires <= 0) {
+      sites_.erase(it);  // fire budget spent — disarm
+      if (sites_.empty()) armed_.store(false, std::memory_order_release);
+    }
   }
   std::string where(site);
   switch (kind) {
@@ -103,6 +126,8 @@ Status FaultInjector::ProbeSlow(const char* site) {
                                        where);
     case Kind::kCancel:
       return Status::Cancelled("injected cancellation at " + where);
+    case Kind::kTransient:
+      return Status::Unavailable("injected transient fault at " + where);
     case Kind::kError:
       break;
   }

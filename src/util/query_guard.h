@@ -50,27 +50,30 @@ class CancelToken {
 ///
 /// Armed either programmatically (tests) or via the `SODA_FAULT_INJECT`
 /// environment variable, whose value is a comma-separated list of
-///   site[=kind][:skip]
+///   site[=kind][:skip[:fires]]
 /// entries: `kind` is one of `error` (default, kInternal), `oom`
-/// (kResourceExhausted), or `cancel` (kCancelled); `skip` is the number
-/// of probes of that site to let pass before firing (default 0 = first
-/// probe fires). Example:
-///   SODA_FAULT_INJECT="storage.append=oom:2,iterate.step=error"
-/// Each armed site fires exactly once, then disarms itself, so recovery
-/// paths are exercised too.
+/// (kResourceExhausted), `cancel` (kCancelled), or `transient`
+/// (kUnavailable — the retryable code util/retry.h reacts to); `skip` is
+/// the number of probes of that site to let pass before firing (default
+/// 0 = first probe fires); `fires` is how many consecutive probes fail
+/// once firing starts (default 1). Example:
+///   SODA_FAULT_INJECT="storage.append=oom:2,wal.fsync=transient:0:3"
+/// An armed site disarms itself after its fire budget is spent, so
+/// recovery (and retry-then-succeed) paths are exercised too.
 ///
 /// The disarmed fast path is a single relaxed atomic load; production
 /// queries pay no measurable cost.
 class FaultInjector {
  public:
-  enum class Kind { kError, kOom, kCancel };
+  enum class Kind { kError, kOom, kCancel, kTransient };
 
   /// Process-wide injector; reads SODA_FAULT_INJECT on first access.
   static FaultInjector& Global();
 
-  /// Arms one site. `skip` probes pass before the fault fires.
+  /// Arms one site. `skip` probes pass before the fault fires; the fault
+  /// then fires on `fires` consecutive probes before disarming.
   void Arm(const std::string& site, Kind kind = Kind::kError,
-           int64_t skip = 0);
+           int64_t skip = 0, int64_t fires = 1);
 
   /// Arms from a SODA_FAULT_INJECT-style spec; InvalidArgument on a
   /// malformed entry.
@@ -90,6 +93,7 @@ class FaultInjector {
   struct Entry {
     Kind kind;
     int64_t remaining_skips;
+    int64_t remaining_fires;
   };
 
   Status ProbeSlow(const char* site) SODA_EXCLUDES(mu_);

@@ -1,0 +1,68 @@
+/// \file retry.h
+/// Bounded retry with exponential backoff for transient failures.
+///
+/// The self-healing storage layer (DESIGN.md §10) distinguishes two
+/// failure classes at its I/O fault sites: permanent errors (a bad disk
+/// sector, checksum-verified corruption) that must surface immediately,
+/// and transient ones (an interrupted fsync, a momentarily unwritable
+/// page cache) that a short backoff usually cures. `RetryTransient`
+/// retries ONLY `kUnavailable` — every other code, including injected
+/// one-shot faults (kInternal) and real I/O errors (kExecutionError),
+/// keeps its fail-fast semantics, so the crash-recovery matrix is
+/// unaffected by the retry wrapper.
+///
+/// The FaultInjector's `transient` kind (util/query_guard.h) produces
+/// kUnavailable for N consecutive probes, letting tests pin down both the
+/// retry-then-succeed and the retry-exhausted path deterministically.
+
+#ifndef SODA_UTIL_RETRY_H_
+#define SODA_UTIL_RETRY_H_
+
+#include <chrono>
+#include <thread>
+
+#include "util/query_guard.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Backoff schedule: attempt n (0-based) sleeps
+/// min(initial_backoff_ms * multiplier^n, max_backoff_ms) before retrying.
+struct RetryPolicy {
+  int max_attempts = 4;          ///< total tries, including the first
+  int64_t initial_backoff_ms = 1;
+  int64_t max_backoff_ms = 50;
+  int multiplier = 4;
+};
+
+/// The durability layer's default schedule: 4 tries spanning ~20 ms —
+/// long enough to ride out an interrupted syscall, short enough that a
+/// commit never stalls noticeably.
+inline RetryPolicy DefaultIoRetryPolicy() { return RetryPolicy{}; }
+
+/// Runs `op` (any callable returning Status) up to
+/// `policy.max_attempts` times. Only kUnavailable triggers a retry; any
+/// other Status — OK or a permanent error — is returned immediately. The
+/// "util.retry" probe fires before each backoff sleep so tests can
+/// observe (or further perturb) the retry loop itself.
+template <typename Op>
+Status RetryTransient(const RetryPolicy& policy, Op&& op) {
+  Status last;
+  int64_t backoff_ms = policy.initial_backoff_ms;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    last = op();
+    if (!last.IsUnavailable()) return last;
+    if (attempt + 1 >= policy.max_attempts) break;
+    SODA_RETURN_NOT_OK(FaultInjector::Global().Probe("util.retry"));
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    backoff_ms = backoff_ms * policy.multiplier;
+    if (backoff_ms > policy.max_backoff_ms) backoff_ms = policy.max_backoff_ms;
+  }
+  return last;  // retries exhausted — surface the transient failure
+}
+
+}  // namespace soda
+
+#endif  // SODA_UTIL_RETRY_H_

@@ -35,6 +35,9 @@ enum class StatusCode {
   kCancelled,          ///< cooperative cancellation via CancelToken
   kDeadlineExceeded,   ///< wall-clock deadline (soda.timeout_ms) expired
   kResourceExhausted,  ///< memory budget (soda.memory_limit_mb) exceeded
+  // Self-healing storage codes (see storage/scrub.h, util/retry.h).
+  kDataLoss,     ///< checksum-verified corruption; names the quarantined data
+  kUnavailable,  ///< transient failure — safe to retry with backoff
 };
 
 /// Returns a human-readable name for a status code, e.g. "ParseError".
@@ -98,6 +101,12 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -122,6 +131,8 @@ class [[nodiscard]] Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
  private:
   struct Rep {

@@ -12,6 +12,7 @@
 #include <string>
 #include <thread>
 
+#include "storage/segment.h"
 #include "tests/test_util.h"
 #include "util/fault_sites.h"
 #include "util/query_guard.h"
@@ -299,6 +300,10 @@ const FaultCase kFaultMatrix[] = {
      "SELECT v FROM pt WHERE k < 5", StatusCode::kInternal},
     {"storage.partition_prune", FaultInjector::Kind::kCancel,
      "SELECT v FROM pt WHERE k < 5", StatusCode::kCancelled},
+    // The scrub pass probes once per table; an injected error aborts the
+    // pass cleanly without quarantining anything.
+    {"storage.scrub", FaultInjector::Kind::kError, "SCRUB",
+     StatusCode::kInternal},
 };
 
 /// Sites whose injection coverage lives in a dedicated suite rather than
@@ -314,6 +319,11 @@ const char* const kSitesCoveredElsewhere[] = {
     "server.read",        // server_test: ServerFaultSites
     "server.session",     // server_test: ServerFaultSites
     "server.write",       // server_test: ServerFaultSites
+    // Self-healing sites need a durable engine (data_dir) or the
+    // background maintenance thread, which this volatile fixture lacks.
+    "durability.auto_checkpoint",  // durability_test: AutoCheckpointBounds...
+    "util.retry",         // durability_test: TransientFaultsAreRetried...
+    "wal.rotate",         // durability_test: CheckpointRotatesWalIntoArchive
 };
 
 class ResourceGovernorTest : public ::testing::Test {
@@ -575,6 +585,83 @@ TEST_F(ResourceGovernorTest, SetAppliesMidScript) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
   EXPECT_NE(result.status().message().find("cap 5"), std::string::npos);
+}
+
+// --- scrub / quarantine (self-healing, DESIGN.md §10) ---------------------
+
+/// Value of `name` in a (metric VARCHAR, value BIGINT) result, or -1.
+int64_t Metric(const QueryResult& r, const std::string& name) {
+  for (size_t row = 0; row < r.num_rows(); ++row) {
+    if (r.GetString(row, 0) == name) return r.GetInt(row, 1);
+  }
+  return -1;
+}
+
+/// Flips bits in segment (g, c) of a sealed table, in place — simulated
+/// memory rot. The stats footer is serialized for every encoding, so
+/// flipping min_i64 always lands inside the CRC-covered bytes. Tests may
+/// touch the physical layout (lint rule 6 exempts them); the const_cast
+/// is confined to this helper.
+void CorruptSegment(const Table& t, size_t g, size_t c) {
+  auto* seg = const_cast<Segment*>(t.group_segment(g, c).get());
+  ASSERT_NE(seg, nullptr);
+  ASSERT_NE(seg->crc, 0u) << "segment never went through EncodeSegment";
+  seg->stats.min_i64 ^= 0x7f;
+}
+
+TEST_F(ResourceGovernorTest, ScrubDetectsBitFlipAndQuarantinesGroup) {
+  // pt = RANGE(k) (10) with rows (1,'a') and (20,'b'): one row group per
+  // partition. Rot partition 0's key segment.
+  {
+    auto table = engine_.catalog().GetTable("pt");
+    ASSERT_OK(table.status());
+    ASSERT_TRUE((*table)->sealed());
+    ASSERT_GE((*table)->num_row_groups(), 2u);
+    CorruptSegment(**table, 0, 0);
+  }
+  QueryResult scrub = RunQuery(engine_, "SCRUB");
+  EXPECT_GE(Metric(scrub, "corrupt_segments"), 1);
+  EXPECT_GE(Metric(scrub, "quarantined_groups"), 1);
+  // Degraded reads: partition pruning keeps the healthy partition fully
+  // queryable...
+  EXPECT_EQ(RunQuery(engine_, "SELECT v FROM pt WHERE k >= 10")
+                .GetString(0, 0),
+            "b");
+  // ...while anything touching the quarantined group fails with kDataLoss
+  // naming the table.
+  auto bad = engine_.Execute("SELECT v FROM pt WHERE k < 10");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss)
+      << bad.status().ToString();
+  EXPECT_NE(bad.status().message().find("pt"), std::string::npos)
+      << bad.status().ToString();
+  auto full = engine_.Execute("SELECT count(*) FROM pt");
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), StatusCode::kDataLoss);
+  // soda_status() surfaces the quarantined group; the rest of the engine
+  // is untouched.
+  QueryResult status = RunQuery(engine_, "SELECT * FROM soda_status()");
+  EXPECT_GE(Metric(status, "quarantined_row_groups"), 1);
+  EXPECT_EQ(Metric(status, "quarantined_tables"), 0);
+  ExpectEngineUsable();
+  // A second scrub is idempotent: the quarantined group is skipped, no
+  // new corruption reported.
+  QueryResult scrub2 = RunQuery(engine_, "SCRUB");
+  EXPECT_EQ(Metric(scrub2, "corrupt_segments"), 0);
+  EXPECT_EQ(Metric(scrub2, "quarantined_groups"), 0);
+}
+
+TEST_F(ResourceGovernorTest, SodaStatusOnVolatileEngine) {
+  QueryResult status = RunQuery(engine_, "SELECT * FROM soda_status()");
+  EXPECT_EQ(status.num_rows(), 9u);
+  EXPECT_EQ(Metric(status, "durable"), 0);
+  EXPECT_EQ(Metric(status, "wal_bytes"), 0);
+  EXPECT_EQ(Metric(status, "quarantined_row_groups"), 0);
+  EXPECT_EQ(Metric(status, "quarantined_tables"), 0);
+  // SCRUB works without a data dir too (checkpoint metrics just stay 0).
+  QueryResult scrub = RunQuery(engine_, "SCRUB");
+  EXPECT_GE(Metric(scrub, "tables_checked"), 2);
+  EXPECT_EQ(Metric(scrub, "checkpoint_present"), 0);
 }
 
 }  // namespace

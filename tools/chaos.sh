@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Crash-chaos smoke: randomized kill -9 / fault-injection cycles against
+# soda_server under concurrent DML (see tools/chaos_driver.cc). Every
+# acknowledged commit must survive recovery; any lost ACK exits non-zero.
+#
+# Usage:
+#   tools/chaos.sh                 # deterministic short run (CI smoke)
+#   tools/chaos.sh --full          # the 25-cycle acceptance run
+#   tools/chaos.sh --cycles N --seed S ...   # flags pass through
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+
+args=(--cycles 5 --seed 7)
+if [[ "${1:-}" == "--full" ]]; then
+  shift
+  args=(--cycles 25 --seed 7)
+fi
+if [[ $# -gt 0 ]]; then
+  args=("$@")
+fi
+
+if [[ ! -x "${build_dir}/tools/chaos_driver" || ! -x "${build_dir}/tools/soda_server" ]]; then
+  echo "chaos: building chaos_driver + soda_server" >&2
+  cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
+  cmake --build "${build_dir}" --target chaos_driver soda_server -j "$(nproc)"
+fi
+
+data_dir="$(mktemp -d "${TMPDIR:-/tmp}/soda-chaos.XXXXXX")"
+trap 'rm -rf "${data_dir}"' EXIT
+
+"${build_dir}/tools/chaos_driver" \
+  --server "${build_dir}/tools/soda_server" \
+  --data-dir "${data_dir}" \
+  "${args[@]}"

@@ -31,6 +31,12 @@ echo "check: tier-1 tests clean"
 # Lint pipeline (grep rules always; clang-tidy when installed).
 "${repo_root}/tools/lint.sh"
 
+# Crash-chaos smoke: a short deterministic-seed run of the kill -9 /
+# fault-injection harness (tools/chaos.sh); every ACKed commit must
+# survive recovery. The 25-cycle acceptance run is tools/chaos.sh --full.
+"${repo_root}/tools/chaos.sh"
+echo "check: chaos smoke clean"
+
 if [[ "${tsan}" == "1" ]]; then
   # ThreadSanitizer leg: rebuilds in build-thread/ and runs the
   # concurrency-heavy suites at SODA_THREADS=4 (see check_sanitize.sh).

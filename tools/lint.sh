@@ -43,9 +43,16 @@ src_files() {
 # are control plane (accept loop, per-session handlers, disconnect
 # watchers), not query work — they block on sockets, must outlive any
 # single statement, and are joined by Server::Shutdown's own drain
-# protocol rather than the pool's WaitIdle.
+# protocol rather than the pool's WaitIdle. src/storage/durability.* is
+# exempt for the same control-plane reason: the maintenance thread
+# (auto-checkpoint + periodic scrub) outlives every statement and is
+# joined by StopMaintenance. tools/chaos_driver.cc is exempt because its
+# writer threads must live outside the server process under test —
+# SIGKILLing the server cannot be allowed to take the harness down.
 hits="$(src_files | grep -v '^src/util/thread_pool' | grep -v '^tests/' \
         | grep -v '^src/server/' \
+        | grep -v '^src/storage/durability' \
+        | grep -v '^tools/chaos_driver\.cc$' \
         | xargs grep -n 'std::thread\b' 2>/dev/null || true)"
 if [[ -n "${hits}" ]]; then
   fail "std::thread outside src/util/thread_pool.*" "${hits}"

@@ -12,9 +12,11 @@
 /// With --connect the shell is a network client: statements travel to a
 /// running soda_server over the length-framed wire protocol (DESIGN.md
 /// §7) and results come back as serialized relations. Transient overload
-/// replies (kResourceExhausted with a retry-after hint) are printed with
-/// the hint; the connection survives them. Only \q and \timing work as
-/// meta commands remotely — the rest need catalog access.
+/// replies (kResourceExhausted with a retry-after hint) are retried
+/// automatically with bounded exponential backoff seeded by the server's
+/// hint (--no-retry disables this); the connection survives them. Only
+/// \q and \timing work as meta commands remotely — the rest need catalog
+/// access.
 ///
 /// Statements end with ';'. Meta commands:
 ///   \d             list tables
@@ -31,11 +33,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/engine.h"
 #include "server/protocol.h"
@@ -192,58 +197,81 @@ bool HandleMeta(soda::Engine& engine, const std::string& line, bool* timing) {
 
 /// Sends one statement to a remote server and prints the reply. Returns
 /// false when the connection is no longer usable (torn frame, goodbye).
+///
+/// Shed statements (a typed error carrying a retry-after hint, which the
+/// server sends under admission-control overload) are retried
+/// automatically: the server's hint seeds a bounded exponential backoff.
+/// `--no-retry` restores the old print-and-move-on behavior.
 bool RunRemoteStatement(const soda::Socket& sock, const std::string& sql,
-                        bool timing) {
-  soda::Timer timer;
-  soda::Status sent =
-      soda::WriteFrame(sock, soda::MsgType::kQuery, soda::EncodeQuery(sql));
-  if (!sent.ok()) {
-    std::printf("connection lost: %s\n", sent.ToString().c_str());
-    return false;
-  }
-  auto frame = soda::ReadFrame(sock, soda::kDefaultMaxFrameBytes);
-  if (!frame.ok()) {
-    std::printf("connection lost: %s\n", frame.status().ToString().c_str());
-    return false;
-  }
-  auto reply = soda::DecodeServerReply(*frame);
-  if (!reply.ok()) {
-    std::printf("protocol error: %s\n", reply.status().ToString().c_str());
-    return false;
-  }
-  double seconds = timer.ElapsedSeconds();
-  switch (reply->type) {
-    case soda::MsgType::kResult:
-      if (reply->table) {
-        std::printf("%s",
-                    soda::QueryResult(reply->table, soda::ExecStats{})
-                        .ToString(40)
-                        .c_str());
-      } else {
-        std::printf("OK\n");
-      }
-      if (timing) std::printf("(%.3f s)\n", seconds);
-      return true;
-    case soda::MsgType::kError:
-      std::printf("%s\n", reply->status.ToString().c_str());
-      if (reply->retry_after_ms >= 0) {
-        std::printf("(transient overload — retry after %lld ms)\n",
-                    static_cast<long long>(reply->retry_after_ms));
-      }
-      return true;  // the session survives statement errors
-    case soda::MsgType::kGoodbye:
-      std::printf("server closed connection: %s\n", reply->text.c_str());
+                        bool timing, bool auto_retry) {
+  constexpr int kMaxAttempts = 4;
+  constexpr long long kMaxBackoffMs = 2000;
+  for (int attempt = 1;; ++attempt) {
+    soda::Timer timer;
+    soda::Status sent =
+        soda::WriteFrame(sock, soda::MsgType::kQuery, soda::EncodeQuery(sql));
+    if (!sent.ok()) {
+      std::printf("connection lost: %s\n", sent.ToString().c_str());
       return false;
-    default:
-      std::printf("unexpected server frame (type %u)\n",
-                  static_cast<unsigned>(reply->type));
+    }
+    auto frame = soda::ReadFrame(sock, soda::kDefaultMaxFrameBytes);
+    if (!frame.ok()) {
+      std::printf("connection lost: %s\n", frame.status().ToString().c_str());
       return false;
+    }
+    auto reply = soda::DecodeServerReply(*frame);
+    if (!reply.ok()) {
+      std::printf("protocol error: %s\n", reply.status().ToString().c_str());
+      return false;
+    }
+    double seconds = timer.ElapsedSeconds();
+    switch (reply->type) {
+      case soda::MsgType::kResult:
+        if (reply->table) {
+          std::printf("%s",
+                      soda::QueryResult(reply->table, soda::ExecStats{})
+                          .ToString(40)
+                          .c_str());
+        } else {
+          std::printf("OK\n");
+        }
+        if (timing) std::printf("(%.3f s)\n", seconds);
+        return true;
+      case soda::MsgType::kError:
+        if (reply->retry_after_ms >= 0 && auto_retry &&
+            attempt < kMaxAttempts) {
+          // Hint × 2^(attempt-1), capped: the server knows its drain rate,
+          // the doubling keeps a persistently overloaded server from being
+          // hammered at a fixed cadence.
+          long long wait =
+              std::max<long long>(reply->retry_after_ms, 1) << (attempt - 1);
+          wait = std::min(wait, kMaxBackoffMs);
+          std::printf("(overloaded — retrying in %lld ms, attempt %d/%d)\n",
+                      wait, attempt, kMaxAttempts);
+          std::fflush(stdout);
+          std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+          continue;
+        }
+        std::printf("%s\n", reply->status.ToString().c_str());
+        if (reply->retry_after_ms >= 0) {
+          std::printf("(transient overload — retry after %lld ms)\n",
+                      static_cast<long long>(reply->retry_after_ms));
+        }
+        return true;  // the session survives statement errors
+      case soda::MsgType::kGoodbye:
+        std::printf("server closed connection: %s\n", reply->text.c_str());
+        return false;
+      default:
+        std::printf("unexpected server frame (type %u)\n",
+                    static_cast<unsigned>(reply->type));
+        return false;
+    }
   }
 }
 
 /// Client mode: speak the framed protocol to a soda_server.
 int RunRemoteShell(const std::string& host, uint16_t port,
-                   const std::vector<std::string>& scripts) {
+                   const std::vector<std::string>& scripts, bool auto_retry) {
   auto sock = soda::ConnectTcp(host, port);
   if (!sock.ok()) {
     std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(),
@@ -281,7 +309,7 @@ int RunRemoteShell(const std::string& host, uint16_t port,
     ss << file.rdbuf();
     std::string script = ss.str();
     for (const auto& stmt : DrainStatements(&script)) {
-      if (!RunRemoteStatement(*sock, stmt, timing)) return 1;
+      if (!RunRemoteStatement(*sock, stmt, timing, auto_retry)) return 1;
     }
   }
 
@@ -316,7 +344,7 @@ int RunRemoteShell(const std::string& host, uint16_t port,
     buffer += line;
     buffer += '\n';
     for (const auto& stmt : DrainStatements(&buffer)) {
-      if (!RunRemoteStatement(*sock, stmt, timing)) return 1;
+      if (!RunRemoteStatement(*sock, stmt, timing, auto_retry)) return 1;
     }
     if (soda::Trim(buffer).empty()) buffer.clear();
   }
@@ -329,9 +357,12 @@ int main(int argc, char** argv) {
   soda::EngineOptions options;
   std::vector<std::string> scripts;
   std::string connect;
+  bool auto_retry = true;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--data-dir") {
+    if (arg == "--no-retry") {
+      auto_retry = false;
+    } else if (arg == "--data-dir") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--data-dir requires a directory argument\n");
         return 1;
@@ -350,7 +381,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: soda_shell [--data-dir <dir>] [--connect host:port] "
-          "[script.sql ...]\n");
+          "[--no-retry] [script.sql ...]\n"
+          "  --no-retry   do not auto-retry statements the server sheds "
+          "under overload\n");
       return 0;
     } else {
       scripts.push_back(std::move(arg));
@@ -368,7 +401,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     return RunRemoteShell(connect.substr(0, colon),
-                          static_cast<uint16_t>(port), scripts);
+                          static_cast<uint16_t>(port), scripts, auto_retry);
   }
 
   soda::Engine engine(options);
