@@ -19,6 +19,10 @@ namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x4B434453;  // "SDCK"
 constexpr uint32_t kCheckpointVersion = 3;  // v3: per-table CRC-framed blocks
+// Read-compat floor: v2 files (previous release; unframed table payloads,
+// single whole-body CRC) still load, and the next checkpoint rewrites
+// them as v3. Writing always uses kCheckpointVersion.
+constexpr uint32_t kCheckpointVersionLegacy = 2;
 
 Status IoError(const std::string& what, const std::string& path) {
   return Status::ExecutionError("checkpoint: " + what + " failed for " +
@@ -121,7 +125,9 @@ Result<bool> LoadCheckpoint(const std::string& data_dir,
   BinaryReader r(data);
   SODA_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
   SODA_ASSIGN_OR_RETURN(uint32_t version, r.U32());
-  if (magic != kCheckpointMagic || version != kCheckpointVersion) {
+  if (magic != kCheckpointMagic ||
+      (version != kCheckpointVersion &&
+       version != kCheckpointVersionLegacy)) {
     return Status::ExecutionError("checkpoint: bad magic/version in " + path);
   }
   SODA_ASSIGN_OR_RETURN(uint64_t lsn, r.U64());
@@ -129,6 +135,23 @@ Result<bool> LoadCheckpoint(const std::string& data_dir,
   SODA_ASSIGN_OR_RETURN(uint64_t body_len, r.U64());
   if (body_len != r.remaining()) {
     return Status::ExecutionError("checkpoint: truncated body in " + path);
+  }
+  if (version == kCheckpointVersionLegacy) {
+    // v2 has no per-table frames: the single body CRC is all-or-nothing,
+    // so (unlike v3 below) a mismatch is fatal.
+    if (Crc32(data.data() + (data.size() - body_len), body_len) != crc) {
+      return Status::ExecutionError("checkpoint: CRC mismatch in " + path);
+    }
+    SODA_ASSIGN_OR_RETURN(uint32_t num_tables, r.U32());
+    std::vector<TablePtr> loaded;
+    loaded.reserve(num_tables);
+    for (uint32_t i = 0; i < num_tables; ++i) {
+      SODA_ASSIGN_OR_RETURN(TablePtr table, ReadTableLegacyV2(&r));
+      loaded.push_back(std::move(table));
+    }
+    *tables = std::move(loaded);
+    *last_lsn = lsn;
+    return true;
   }
   // A body-CRC mismatch alone is NOT fatal in v3: the per-table frames
   // below localize the damage. Structural parse failures past this point
@@ -183,7 +206,9 @@ Result<CheckpointScrubInfo> VerifyCheckpoint(const std::string& data_dir) {
   auto structural = [&]() -> Status {
     SODA_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
     SODA_ASSIGN_OR_RETURN(uint32_t version, r.U32());
-    if (magic != kCheckpointMagic || version != kCheckpointVersion) {
+    if (magic != kCheckpointMagic ||
+        (version != kCheckpointVersion &&
+         version != kCheckpointVersionLegacy)) {
       return Status::DataLoss("checkpoint: bad magic/version in " + path);
     }
     SODA_ASSIGN_OR_RETURN(uint64_t lsn, r.U64());
@@ -197,6 +222,12 @@ Result<CheckpointScrubInfo> VerifyCheckpoint(const std::string& data_dir) {
         Crc32(data.data() + (data.size() - body_len), body_len) == body_crc;
     SODA_ASSIGN_OR_RETURN(uint32_t num_tables, r.U32());
     info.num_tables = num_tables;
+    if (version == kCheckpointVersionLegacy) {
+      // v2 blocks are unframed — the body CRC above is the only at-rest
+      // check (a mismatch triggers the rewrite-from-memory heal, which
+      // also upgrades the file to v3).
+      return Status::OK();
+    }
     for (uint32_t i = 0; i < num_tables; ++i) {
       SODA_ASSIGN_OR_RETURN(std::string name, r.Str());
       SODA_ASSIGN_OR_RETURN(Schema schema, ReadSchema(&r));

@@ -151,6 +151,22 @@ Status DurabilityManager::Checkpoint(const Catalog& catalog) {
   std::vector<TablePtr> tables;
   for (const std::string& name : catalog.TableNames()) {
     SODA_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(name));
+    // A table-level quarantined stub holds no rows, and WriteTable has no
+    // way to persist whole-table quarantine (only the sealed per-group
+    // bitmap). Snapshotting it would replace the damaged-but-recoverable
+    // block with a valid empty table, rotate away the WAL records that
+    // ApplyWalRecord deliberately keeps for the table, and make the next
+    // restart load it as healthy-and-empty. Refuse — manual CHECKPOINT
+    // and the auto-checkpoint both stop here until the operator DROPs or
+    // restores the table. (Group-level quarantine is fine: it survives
+    // serialization.)
+    if (table->table_level_quarantined()) {
+      return Status::DataLoss(
+          "checkpoint: table '" + name +
+          "' is quarantined at table level (corrupt checkpoint block); "
+          "DROP or restore it before checkpointing — rewriting now would "
+          "persist it as a valid empty table and discard the WAL tail");
+    }
     tables.push_back(std::move(table));
   }
   // Everything up to the current LSN is reflected in the snapshot.
@@ -232,6 +248,8 @@ void DurabilityManager::ConfigureMaintenance(const MaintenanceOptions& opts) {
 
 void DurabilityManager::MaintenanceLoop() {
   std::chrono::milliseconds since_scrub{0};
+  std::string last_checkpoint_error;
+  auto last_wake = std::chrono::steady_clock::now();
   for (;;) {
     MaintenanceOptions opts;
     {
@@ -254,12 +272,25 @@ void DurabilityManager::MaintenanceLoop() {
       if (st.ok()) st = Checkpoint(*maint_catalog_);
       if (st.ok()) {
         auto_checkpoint_count_.fetch_add(1);
+        last_checkpoint_error.clear();
       } else {
-        // Next poll retries; the WAL keeps growing but stays correct.
-        SODA_LOG(Warn) << "auto-checkpoint failed: " << st.message();
+        // Next poll retries; the WAL keeps growing but stays correct. A
+        // persistent failure (e.g. a quarantined table) would otherwise
+        // repeat every poll — log only when the message changes.
+        if (st.message() != last_checkpoint_error) {
+          last_checkpoint_error = st.message();
+          SODA_LOG(Warn) << "auto-checkpoint failed: " << st.message();
+        }
       }
     }
-    since_scrub += opts.poll_interval;
+    // Scrub cadence tracks wall time actually elapsed: WaitFor can return
+    // well before poll_interval (ConfigureMaintenance notifies the CV on
+    // every SET), so counting a full interval per wakeup would fire
+    // scrubs early under frequent reconfiguration.
+    const auto now = std::chrono::steady_clock::now();
+    since_scrub += std::chrono::duration_cast<std::chrono::milliseconds>(
+        now - last_wake);
+    last_wake = now;
     if (opts.scrub_interval.count() > 0 && maint_scrub_ != nullptr &&
         since_scrub >= opts.scrub_interval) {
       since_scrub = std::chrono::milliseconds{0};

@@ -95,7 +95,11 @@ class DurabilityManager {
 
   /// CHECKPOINT: snapshots every catalog table atomically, then rotates
   /// the log (old records are archived to wal.soda.1 — see Wal::Rotate).
-  /// On failure the previous checkpoint + log remain valid.
+  /// On failure the previous checkpoint + log remain valid. Refuses with
+  /// kDataLoss while any table is table_level_quarantined: its stub holds
+  /// no rows and the quarantine marker does not serialize, so rewriting
+  /// would persist a valid-but-empty table and rotate away the WAL
+  /// records kept for it (DROP or restore the table first).
   Status Checkpoint(const Catalog& catalog) SODA_EXCLUDES(commit_mu_);
 
   /// At-rest half of the scrub pass: re-reads the checkpoint file and

@@ -157,6 +157,7 @@ Wal::~Wal() {
 }
 
 Status Wal::Commit(WalRecordType type, const std::string& body) {
+  SODA_RETURN_NOT_OK(poisoned_);
   // The probe runs before any byte is written: an injected fault or a
   // tripped guard (deadline hit during execution, external cancel) aborts
   // the commit with the log untouched. Transient failures (kUnavailable)
@@ -270,6 +271,7 @@ Status Wal::AppendTableImage(const Table& image) {
 
 Status Wal::Sync() {
   MutexLock lock(&mu_);
+  SODA_RETURN_NOT_OK(poisoned_);
   if (::fsync(fd_) != 0) return IoError("fsync", path_);
   unsynced_bytes_ = 0;
   return Status::OK();
@@ -277,6 +279,7 @@ Status Wal::Sync() {
 
 Status Wal::Truncate() {
   MutexLock lock(&mu_);
+  SODA_RETURN_NOT_OK(poisoned_);
   if (::ftruncate(fd_, 0) != 0) return IoError("ftruncate", path_);
   if (::lseek(fd_, 0, SEEK_SET) < 0) return IoError("lseek", path_);
   file_size_ = 0;
@@ -288,6 +291,7 @@ Status Wal::Truncate() {
 
 Status Wal::Rotate() {
   MutexLock lock(&mu_);
+  SODA_RETURN_NOT_OK(poisoned_);
   SODA_RETURN_NOT_OK(RetryTransient(DefaultIoRetryPolicy(), [&]() {
     return GuardProbe(QueryGuard::Current(), "wal.rotate");
   }));
@@ -302,13 +306,22 @@ Status Wal::Rotate() {
   int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
                   0644);
   if (fd < 0) {
+    Status open_err = IoError("open", path_);
     // Put the archive back so the live log stays usable; its own fd is
     // still valid either way (rename does not disturb open descriptors).
     if (::rename(archive.c_str(), path_.c_str()) != 0) {
-      SODA_LOG(Warn) << "wal: un-rotate rename failed for " << path_ << ": "
-                     << std::strerror(errno);
+      // The live path is gone and could not be restored: fd_ now points
+      // at the archive, which recovery never reads. Accepting further
+      // appends would acknowledge commits that vanish on restart, so the
+      // log poisons itself instead.
+      poisoned_ = Status::DataLoss(
+          "wal: live log lost during rotation (" + open_err.message() +
+          "; un-rotate rename also failed: " + std::strerror(errno) +
+          ") — refusing further commits, restart required");
+      SODA_LOG(Error) << poisoned_.message();
+      return poisoned_;
     }
-    return IoError("open", path_);
+    return open_err;
   }
   ::close(fd_);
   fd_ = fd;

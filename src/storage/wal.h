@@ -145,7 +145,12 @@ class Wal {
   /// log history for post-mortems. Pending group-commit bytes are synced
   /// first so the archive is self-consistent. Fault site: "wal.rotate"
   /// (before any file is touched). On failure the live log is left in
-  /// place and usable.
+  /// place and usable — except in one unrecoverable corner: if opening
+  /// the fresh log fails AND the un-rotate rename fails, the live path is
+  /// gone and fd_ points at the archive, which recovery never reads. The
+  /// log then poisons itself: every later append/sync fails with
+  /// kDataLoss instead of acknowledging commits that would vanish on
+  /// restart.
   Status Rotate() SODA_EXCLUDES(mu_);
 
  private:
@@ -166,6 +171,9 @@ class Wal {
   size_t group_bytes_ SODA_GUARDED_BY(mu_) = size_t{1} << 20;
   size_t unsynced_bytes_ SODA_GUARDED_BY(mu_) = 0;
   size_t record_count_ SODA_GUARDED_BY(mu_) = 0;
+  /// Non-OK once the log reaches a state recovery cannot read (the live
+  /// path was lost during rotation); every later mutation returns it.
+  Status poisoned_ SODA_GUARDED_BY(mu_);
 };
 
 }  // namespace soda

@@ -21,8 +21,11 @@
 
 #include "storage/checkpoint.h"
 #include "storage/durability.h"
+#include "storage/segment.h"
+#include "storage/serde.h"
 #include "storage/wal.h"
 #include "tests/test_util.h"
+#include "util/crc32.h"
 #include "util/query_guard.h"
 
 namespace soda {
@@ -740,6 +743,147 @@ TEST_F(DurabilityTest, KillAndRecoverPartitionedSealedWithDecodeFaults) {
   // And the recovered engine keeps taking writes.
   ASSERT_OK(e2.Execute("INSERT INTO pt VALUES (11, 'k')").status());
   EXPECT_EQ(RunQuery(e2, "SELECT count(*) FROM pt").GetInt(0, 0), 11);
+}
+
+TEST_F(DurabilityTest, CheckpointRefusedWhileTableQuarantined) {
+  std::string dir = Dir("d");
+  {
+    Engine e(Opts(dir));
+    ASSERT_OK(e.ExecuteScript("CREATE TABLE aaa (a INTEGER);"
+                              "INSERT INTO aaa VALUES (1), (2);"
+                              "CREATE TABLE zzz (z INTEGER);"
+                              "INSERT INTO zzz VALUES (9);"
+                              "CHECKPOINT")
+                  .status());
+  }
+  // Corrupt the last table block's payload so reopening quarantines one
+  // table (whole-table stub — its rows are unrecoverable from this file).
+  FlipByteNearEnd(dir + "/" + kCheckpointFileName, 2);
+  std::string good_name, bad_name;
+  int64_t good_rows = 0;
+  {
+    Engine e(Opts(dir));
+    ASSERT_OK(e.startup_status());
+    const bool aaa_ok = e.Execute("SELECT count(*) FROM aaa").ok();
+    good_name = aaa_ok ? "aaa" : "zzz";
+    bad_name = aaa_ok ? "zzz" : "aaa";
+    good_rows = (aaa_ok ? 2 : 1) + 1;
+    // A commit lands in the WAL behind the damaged checkpoint...
+    ASSERT_OK(
+        e.Execute("INSERT INTO " + good_name + " VALUES (7)").status());
+    // ...and CHECKPOINT must refuse while the stub is live: rewriting
+    // would persist it as a valid empty table and rotate away the WAL
+    // tail kept for it.
+    auto ck = e.Execute("CHECKPOINT");
+    ASSERT_FALSE(ck.ok());
+    EXPECT_EQ(ck.status().code(), StatusCode::kDataLoss)
+        << ck.status().ToString();
+    EXPECT_NE(ck.status().message().find(bad_name), std::string::npos)
+        << "refusal must name the quarantined table: "
+        << ck.status().ToString();
+  }
+  // Nothing was rewritten: a fresh open still sees the quarantine AND the
+  // post-damage commit.
+  Engine e2(Opts(dir));
+  ASSERT_OK(e2.startup_status());
+  EXPECT_EQ(e2.Execute("SELECT count(*) FROM " + bad_name).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(RunQuery(e2, "SELECT count(*) FROM " + good_name).GetInt(0, 0),
+            good_rows);
+  // DROP clears the quarantine; checkpointing works again.
+  ASSERT_OK(e2.Execute("DROP TABLE " + bad_name).status());
+  ASSERT_OK(e2.Execute("CHECKPOINT").status());
+}
+
+/// Serializes `t` in the pre-v3 (checkpoint format v2) table layout: same
+/// header, but sealed payloads are raw segments — no frame CRCs, group
+/// offsets, or quarantine bitmap.
+void WriteTableV2(const Table& t, BinaryWriter* w) {
+  w->Str(t.name());
+  WriteSchema(t.schema(), w);
+  uint8_t flags = 0;
+  if (t.sealed()) flags |= 0x1;
+  if (t.partition_spec().partitioned()) flags |= 0x2;
+  w->U8(flags);
+  if (t.partition_spec().partitioned()) {
+    WritePartitionSpec(t.partition_spec(), w);
+  }
+  if (t.sealed()) {
+    w->U32(static_cast<uint32_t>(t.num_row_groups()));
+    w->U32(static_cast<uint32_t>(t.partition_offsets().size()));
+    for (size_t o : t.partition_offsets()) w->U64(o);
+    for (size_t g = 0; g < t.num_row_groups(); ++g) {
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        WriteSegment(*t.group_segment(g, c), w);
+      }
+    }
+    return;
+  }
+  for (size_t c = 0; c < t.num_columns(); ++c) WriteColumn(t.column(c), w);
+}
+
+TEST_F(DurabilityTest, LegacyV2CheckpointLoadsAndUpgrades) {
+  std::string dir = Dir("d");
+  ASSERT_TRUE(fs::create_directories(dir));
+  // One flat and one sealed table, laid out exactly as the previous
+  // release's checkpoint writer emitted them.
+  Table flat("flat", Schema({Field("a", DataType::kBigInt)}));
+  ASSERT_OK(flat.AppendRow({Value::BigInt(1)}));
+  ASSERT_OK(flat.AppendRow({Value::BigInt(2)}));
+  Table sealed("sealed", Schema({Field("k", DataType::kBigInt),
+                                 Field("v", DataType::kVarchar)}));
+  ASSERT_OK(sealed.AppendRow({Value::BigInt(7), Value::Varchar("x")}));
+  ASSERT_OK(sealed.AppendRow({Value::BigInt(8), Value::Varchar("y")}));
+  ASSERT_OK(sealed.Seal());
+
+  BinaryWriter body;
+  body.U32(2);
+  WriteTableV2(flat, &body);
+  WriteTableV2(sealed, &body);
+  BinaryWriter file;
+  file.U32(0x4B434453);  // kCheckpointMagic ("SDCK")
+  file.U32(2);           // legacy format version
+  file.U64(0);           // last_lsn
+  file.U32(Crc32(body.buffer().data(), body.buffer().size()));
+  file.U64(body.buffer().size());
+  file.Bytes(body.buffer().data(), body.buffer().size());
+  {
+    std::ofstream out(dir + "/" + kCheckpointFileName,
+                      std::ios::binary | std::ios::trunc);
+    out.write(file.buffer().data(),
+              static_cast<std::streamsize>(file.buffer().size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  std::string expected;
+  {
+    Engine e(Opts(dir));
+    ASSERT_OK(e.startup_status());
+    EXPECT_EQ(RunQuery(e, "SELECT count(*) FROM flat").GetInt(0, 0), 2);
+    EXPECT_EQ(RunQuery(e, "SELECT v FROM sealed WHERE k = 8").GetString(0, 0),
+              "y");
+    // Scrub accepts the legacy file as healthy — no spurious rewrite.
+    QueryResult scrub = RunQuery(e, "SCRUB");
+    EXPECT_EQ(Metric(scrub, "checkpoint_ok"), 1);
+    EXPECT_EQ(Metric(scrub, "checkpoint_rewritten"), 0);
+    // The engine keeps taking writes, and the next checkpoint upgrades
+    // the file to the current format.
+    ASSERT_OK(e.Execute("INSERT INTO flat VALUES (3)").status());
+    ASSERT_OK(e.Execute("CHECKPOINT").status());
+    expected = DumpCatalog(e);
+  }
+  {
+    std::ifstream in(dir + "/" + kCheckpointFileName, std::ios::binary);
+    uint32_t magic = 0, version = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char*>(&version), sizeof(version));
+    ASSERT_TRUE(in.good());
+    EXPECT_EQ(magic, 0x4B434453u);
+    EXPECT_EQ(version, 3u);  // rewritten in the current format
+  }
+  Engine e2(Opts(dir));
+  ASSERT_OK(e2.startup_status());
+  EXPECT_EQ(DumpCatalog(e2), expected);
 }
 
 }  // namespace
