@@ -1,0 +1,226 @@
+/// \file bench_repeat.cc
+/// Cold-vs-warm harness for PR 9's repeated-traffic caches: the plan
+/// cache (ad-hoc statement memoization), the join hash-table recycler
+/// (build-fragment reuse), and PREPARE/EXECUTE (no lex/parse/bind/
+/// optimize on re-execution).
+///
+/// Each case runs the *same* statement stream twice through one engine:
+///
+///   cold  — every cache cleared before every iteration, so each run
+///           pays the full first-execution cost (the pre-PR behavior);
+///   warm  — caches left alone, so repeated traffic reuses plans and
+///           completed hash-table builds.
+///
+/// Reuse is proven, not assumed: the warm pass records the hit-counter
+/// deltas (plan_cache hits, ht_cache hits) and the harness exits loudly
+/// if a warm pass did not actually hit its cache on every iteration.
+///
+/// `--json=PATH` additionally writes machine-readable results (consumed
+/// by tools/bench_report.sh).
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "storage/table.h"
+#include "types/value.h"
+
+namespace soda::bench {
+namespace {
+
+/// Registers a two-BIGINT-column table directly with the catalog (bulk
+/// loading through INSERT text would swamp the numbers we care about).
+void RegisterTable(Engine& engine, const std::string& name,
+                   const std::string& c0, std::vector<int64_t> v0,
+                   const std::string& c1, std::vector<int64_t> v1) {
+  auto table = std::make_shared<Table>(
+      name, Schema({Field(c0, DataType::kBigInt),
+                    Field(c1, DataType::kBigInt)}));
+  if (!table->SetColumn(0, Column::FromBigInts(std::move(v0))).ok() ||
+      !table->SetColumn(1, Column::FromBigInts(std::move(v1))).ok() ||
+      !engine.catalog().RegisterTable(std::move(table)).ok()) {
+    std::fprintf(stderr, "bench_repeat: table registration failed\n");
+    std::exit(1);
+  }
+}
+
+/// An ad-hoc statement whose cost is dominated by lex/parse/bind/optimize
+/// rather than by data volume: a long disjunctive predicate over an empty
+/// table, so the measured difference is purely statement handling. This
+/// is the dashboard-query shape the plan cache targets.
+std::string PointQuery(const std::string& extra_predicate) {
+  std::string sql = "SELECT count(*), sum(v), min(v), max(v) FROM small "
+                    "WHERE (";
+  for (int i = 0; i < 192; ++i) {
+    if (i) sql += " OR ";
+    sql += "k = " + std::to_string(i * 3);
+  }
+  sql += ")";
+  if (!extra_predicate.empty()) sql += " AND " + extra_predicate;
+  return sql;
+}
+
+void ClearAll(Engine& engine) {
+  engine.plan_cache().Clear();
+  engine.ht_recycler().EvictAll();
+}
+
+struct JsonWriter {
+  std::vector<std::pair<std::string, double>> entries;
+  void Add(const std::string& name, double v) { entries.emplace_back(name, v); }
+};
+
+}  // namespace
+}  // namespace soda::bench
+
+int main(int argc, char** argv) {
+  using namespace soda;
+  using namespace soda::bench;
+
+  Scale scale = ParseScale(argc, argv);
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  const size_t B = 2'000'000 / scale.divisor;  // fact rows behind the build
+  const size_t G = 512;                        // aggregate groups
+  const size_t P = 1024;                       // probe rows
+  const int kAdHocIters = 200;                 // plan-cache / prepared reps
+  const int kJoinIters = 10;                   // recycler reps
+  std::printf("bench_repeat scale=%s fact=%s groups=%zu probe=%zu\n\n",
+              scale.name, Human(B).c_str(), G, P);
+
+  Engine engine;
+  {
+    RegisterTable(engine, "small", "k", {}, "v", {});
+    std::vector<int64_t> bg(B), bv(B), pg(P), pv(P);
+    for (size_t i = 0; i < B; ++i) {
+      bg[i] = static_cast<int64_t>(i % G);
+      bv[i] = static_cast<int64_t>(i % 997);
+    }
+    for (size_t i = 0; i < P; ++i) {
+      pg[i] = static_cast<int64_t>(i % G);
+      pv[i] = static_cast<int64_t>(i);
+    }
+    RegisterTable(engine, "big", "g", std::move(bg), "v", std::move(bv));
+    RegisterTable(engine, "probe", "g", std::move(pg), "pv", std::move(pv));
+  }
+
+  JsonWriter json;
+  PrintHeader({"case", "cold_s", "warm_s", "speedup", "warm hits"});
+
+  auto report = [&](const char* name, double cold, double warm,
+                    int64_t hits, int64_t expected_hits) {
+    if (hits < expected_hits) {
+      std::fprintf(stderr,
+                   "bench_repeat: %s warm pass hit the cache %lld/%lld "
+                   "times — reuse broken, numbers meaningless\n",
+                   name, static_cast<long long>(hits),
+                   static_cast<long long>(expected_hits));
+      std::exit(1);
+    }
+    PrintCell(name);
+    PrintSeconds(cold);
+    PrintSeconds(warm);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", cold / warm);
+    PrintCell(buf);
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(hits));
+    PrintCell(buf);
+    EndRow();
+    json.Add(std::string(name) + ".cold", cold);
+    json.Add(std::string(name) + ".warm", warm);
+    json.Add(std::string(name) + ".speedup", cold / warm);
+    json.Add(std::string(name) + ".warm_hits", static_cast<double>(hits));
+  };
+
+  // --- Plan cache: the same ad-hoc SELECT, over and over ----------------
+  {
+    const std::string sql = PointQuery("");
+    ClearAll(engine);
+    double cold = 0;
+    for (int i = 0; i < kAdHocIters; ++i) {
+      engine.plan_cache().Clear();
+      cold += TimeQuery(engine, sql);
+    }
+    TimeQuery(engine, sql);  // populate
+    int64_t hits0 = engine.plan_cache().stats().hits;
+    double warm = 0;
+    for (int i = 0; i < kAdHocIters; ++i) warm += TimeQuery(engine, sql);
+    report("plan_cache", cold, warm,
+           engine.plan_cache().stats().hits - hits0, kAdHocIters);
+  }
+
+  // --- Hash-table recycler: a join whose build side is an expensive
+  // derived aggregate. Cold re-aggregates the fact table on every run;
+  // warm recycles the completed hash table and only probes. -------------
+  {
+    const std::string sql =
+        "SELECT p.g, d.s FROM probe p JOIN "
+        "(SELECT g, sum(v) AS s, count(*) AS c FROM big GROUP BY g) d "
+        "ON p.g = d.g";
+    double cold = 0;
+    for (int i = 0; i < kJoinIters; ++i) {
+      ClearAll(engine);
+      cold += TimeQuery(engine, sql);
+    }
+    TimeQuery(engine, sql);  // populate both caches
+    int64_t hits0 = engine.ht_recycler().stats().hits;
+    double warm = 0;
+    for (int i = 0; i < kJoinIters; ++i) warm += TimeQuery(engine, sql);
+    report("ht_recycle", cold, warm,
+           engine.ht_recycler().stats().hits - hits0, kJoinIters);
+  }
+
+  // --- PREPARE/EXECUTE vs. re-sending full SQL text. The argument varies
+  // per iteration, so the cold side is honest ad-hoc traffic (a different
+  // statement each time — the plan cache could not have served it) and
+  // the warm side exercises parameter substitution, not plan memoization.
+  {
+    auto prep = engine.Execute("PREPARE q (BIGINT) AS " + PointQuery("v > $1"));
+    if (!prep.ok()) {
+      std::fprintf(stderr, "PREPARE failed: %s\n",
+                   prep.status().ToString().c_str());
+      return 1;
+    }
+    ClearAll(engine);
+    double cold = 0;
+    for (int i = 0; i < kAdHocIters; ++i) {
+      engine.plan_cache().Clear();
+      cold += TimeQuery(engine, PointQuery("v > " + std::to_string(i)));
+    }
+    // Warm side drives the wire-protocol fast path: typed parameters
+    // straight into the prepared plan, no SQL text at all.
+    ExecOptions exec;
+    double warm = 0;
+    int64_t executed = 0;
+    for (int i = 0; i < kAdHocIters; ++i) {
+      warm += TimeCall([&] {
+        auto r = engine.ExecutePrepared("q", {Value::BigInt(i)}, exec);
+        if (r.ok()) ++executed;
+        return r;
+      });
+    }
+    report("prepared", cold, warm, executed, kAdHocIters);
+  }
+
+  if (json_path) {
+    std::ofstream out(json_path);
+    const char* threads = std::getenv("SODA_THREADS");
+    out << "{\"bench\": \"bench_repeat\", \"scale\": \"" << scale.name
+        << "\", \"threads\": " << (threads ? threads : "0")
+        << ", \"fact_rows\": " << B << ", \"probe_rows\": " << P
+        << ", \"ad_hoc_iters\": " << kAdHocIters
+        << ", \"join_iters\": " << kJoinIters << ", \"results\": {";
+    for (size_t i = 0; i < json.entries.size(); ++i) {
+      if (i) out << ", ";
+      out << "\"" << json.entries[i].first << "\": " << json.entries[i].second;
+    }
+    out << "}}\n";
+  }
+  return 0;
+}

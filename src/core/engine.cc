@@ -1,9 +1,13 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cctype>
 
+#include "core/plan_cache.h"
 #include "exec/executor.h"
+#include "exec/ht_recycler.h"
 #include "exec/physical_plan.h"
+#include "exec/plan_fingerprint.h"
 #include "exec/plan_verifier.h"
 #include "expr/evaluator.h"
 #include "expr/fold.h"
@@ -18,13 +22,55 @@ namespace soda {
 
 namespace {
 
+/// The engine's repeated-traffic caches plus the raw statement text,
+/// threaded from Engine::Execute into the SELECT/EXPLAIN/PREPARE paths
+/// (DESIGN.md §11). All pointers may be null (tests calling helpers
+/// directly, inner selects of CTAS / INSERT..SELECT that have no
+/// statement-level SQL key).
+struct CacheCtx {
+  PlanCache* plan_cache = nullptr;
+  HtRecycler* ht_recycler = nullptr;
+  PreparedRegistry* prepared = nullptr;
+  const std::string* sql = nullptr;  ///< raw text of the outer statement
+};
+
+/// The plan-cache key: trimmed statement text plus the optimize flag (a
+/// plan-shape test flipping soda's optimizer off must not be served an
+/// optimized plan cached moments earlier).
+std::string PlanCacheKey(const std::string& sql, bool optimize) {
+  return std::string(Trim(sql)) + (optimize ? "|opt" : "|raw");
+}
+
+/// A CacheCtx for a nested select (CTAS / INSERT..SELECT body): the
+/// recycler still applies, but there is no statement-level SQL text to
+/// key a plan-cache entry by, and prepared names are out of scope.
+CacheCtx InnerCacheCtx(const CacheCtx& cc) {
+  CacheCtx inner;
+  inner.ht_recycler = cc.ht_recycler;
+  return inner;
+}
+
 /// Health counters for soda_status(): durability-layer numbers straight
 /// from the manager's atomics, quarantine extent from a walk over the
 /// catalog (the caller's snapshot for SELECTs, so the numbers are
 /// consistent with what the statement can see).
 EngineStatusSnapshot CollectEngineStatus(const Catalog* catalog,
-                                         DurabilityManager* dur) {
+                                         DurabilityManager* dur,
+                                         const CacheCtx& cc) {
   EngineStatusSnapshot s;
+  if (cc.plan_cache != nullptr) {
+    const PlanCache::Stats ps = cc.plan_cache->stats();
+    s.plan_cache_hits = ps.hits;
+    s.plan_cache_misses = ps.misses;
+    s.plan_cache_entries = ps.entries;
+  }
+  if (cc.ht_recycler != nullptr) {
+    const HtRecycler::Stats hs = cc.ht_recycler->stats();
+    s.ht_cache_hits = hs.hits;
+    s.ht_cache_misses = hs.misses;
+    s.ht_cache_evictions = hs.evictions;
+    s.ht_cache_bytes = hs.bytes;
+  }
   if (dur != nullptr) {
     s.durable = true;
     s.wal_bytes = static_cast<int64_t>(dur->wal()->size_bytes());
@@ -47,22 +93,66 @@ EngineStatusSnapshot CollectEngineStatus(const Catalog* catalog,
   return s;
 }
 
-Result<QueryResult> ExecuteSelect(const SelectStmt& stmt, Catalog* catalog,
+/// Fills the per-statement ExecContext fields shared by SELECT, EXPLAIN
+/// ANALYZE, and EXECUTE.
+void InitExecContext(ExecContext* ctx, Catalog* catalog,
+                     const EngineOptions& options, DurabilityManager* dur,
+                     QueryGuard* guard, const CacheCtx& cc) {
+  ctx->catalog = catalog;
+  ctx->max_iterations = options.max_iterations;
+  ctx->guard = guard;
+  ctx->verify_plans = options.verify_plans;
+  ctx->ht_recycler = cc.ht_recycler;
+  ctx->status_provider = [catalog, dur, cc] {
+    return CollectEngineStatus(catalog, dur, cc);
+  };
+}
+
+/// `stmt` may be null when the engine's pre-parse fast path fired (a
+/// Peek on the plan cache proved this text keyed a SELECT): the hit path
+/// then runs with no AST at all, and the miss path (entry went stale or
+/// was evicted in the meantime) re-parses the text lazily.
+Result<QueryResult> ExecuteSelect(const SelectStmt* stmt, Catalog* catalog,
                                   const EngineOptions& options,
-                                  DurabilityManager* dur, QueryGuard* guard) {
-  Binder binder(catalog);
-  SODA_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelectStatement(stmt));
-  if (options.optimize) {
-    plan = OptimizePlan(std::move(plan), catalog);
+                                  DurabilityManager* dur, QueryGuard* guard,
+                                  const CacheCtx& cc) {
+  // Plan-cache consult: keyed by the raw SQL text, validated against the
+  // pinned snapshot's table versions. A hit skips lex/parse/bind/optimize
+  // entirely.
+  std::shared_ptr<const PlanNode> plan;
+  std::string key;
+  const bool cacheable = cc.plan_cache != nullptr && cc.sql != nullptr;
+  if (cacheable) {
+    key = PlanCacheKey(*cc.sql, options.optimize);
+    SODA_ASSIGN_OR_RETURN(plan, cc.plan_cache->Lookup(key, *catalog, guard));
+  }
+  Statement reparsed;  // owns the lazily parsed AST when `stmt` was null
+  if (plan == nullptr) {
+    if (stmt == nullptr) {
+      SODA_ASSIGN_OR_RETURN(reparsed, ParseStatement(*cc.sql));
+      if (reparsed.kind != StatementKind::kSelect ||
+          reparsed.select == nullptr) {
+        return Status::Internal(
+            "plan-cache fast path keyed non-SELECT text: " + *cc.sql);
+      }
+      stmt = reparsed.select.get();
+    }
+    Binder binder(catalog);
+    SODA_ASSIGN_OR_RETURN(PlanPtr fresh, binder.BindSelectStatement(*stmt));
+    if (options.optimize) {
+      fresh = OptimizePlan(std::move(fresh), catalog);
+    }
+    plan = std::shared_ptr<const PlanNode>(std::move(fresh));
+    if (cacheable) {
+      CachedPlan entry;
+      entry.plan = plan;
+      entry.fingerprint = FingerprintPlan(*plan, *catalog, &entry.deps);
+      entry.catalog_version = catalog->catalog_version();
+      cc.plan_cache->Insert(key, std::move(entry));
+    }
   }
   ExecContext ctx;
-  ctx.catalog = catalog;
-  ctx.max_iterations = options.max_iterations;
-  ctx.guard = guard;
-  ctx.verify_plans = options.verify_plans;
-  ctx.status_provider = [catalog, dur] {
-    return CollectEngineStatus(catalog, dur);
-  };
+  InitExecContext(&ctx, catalog, options, dur, guard, cc);
   SODA_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(*plan, ctx));
   return QueryResult(std::move(result), ctx.stats);
 }
@@ -256,7 +346,8 @@ Result<TablePtr> ResealReusing(const Table& prev, const Table& next_flat,
 Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
                                   Catalog* catalog,
                                   const EngineOptions& options,
-                                  DurabilityManager* dur, QueryGuard* guard) {
+                                  DurabilityManager* dur, QueryGuard* guard,
+                                  const CacheCtx& cc) {
   if (stmt.if_not_exists && catalog->HasTable(stmt.name)) {
     return QueryResult();
   }
@@ -272,7 +363,8 @@ Result<QueryResult> ExecuteCreate(const CreateTableStmt& stmt,
     // table behind (in memory or on disk).
     SODA_ASSIGN_OR_RETURN(
         QueryResult result,
-        ExecuteSelect(*stmt.as_select, catalog, options, dur, guard));
+        ExecuteSelect(stmt.as_select.get(), catalog, options, dur, guard,
+                      InnerCacheCtx(cc)));
     Schema schema;
     for (const auto& f : result.schema().fields()) {
       schema.AddField(Field(f.name, f.type));  // strip qualifiers
@@ -559,7 +651,8 @@ Result<QueryResult> ExecuteDrop(const DropTableStmt& stmt, Catalog* catalog,
 /// the table — in memory and on disk — exactly as it was.
 Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
                                   const EngineOptions& options,
-                                  DurabilityManager* dur, QueryGuard* guard) {
+                                  DurabilityManager* dur, QueryGuard* guard,
+                                  const CacheCtx& cc) {
   SODA_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(stmt.table));
   // INSERT rebuilds (or group-reuse-appends to) the current payload; a
   // quarantined table rejects the write rather than splice rows onto
@@ -590,7 +683,8 @@ Result<QueryResult> ExecuteInsert(const InsertStmt& stmt, Catalog* catalog,
     // INSERT .. SELECT.
     SODA_ASSIGN_OR_RETURN(
         QueryResult sub,
-        ExecuteSelect(*stmt.select, catalog, options, dur, guard));
+        ExecuteSelect(stmt.select.get(), catalog, options, dur, guard,
+                      InnerCacheCtx(cc)));
     const Table& src = *sub.table();
     if (src.num_columns() != table->num_columns()) {
       return Status::BindError("INSERT .. SELECT arity mismatch");
@@ -772,14 +866,56 @@ Result<QueryResult> ExecuteCheckpoint(Catalog* catalog,
 /// decomposition, rendered as a one-column relation, one row per line.
 /// With ANALYZE the plan is executed (under the statement's QueryGuard)
 /// and every pipeline operator reports rows/chunks/time.
+/// Strips the leading EXPLAIN [ANALYZE] keywords from the raw statement
+/// text, leaving the SELECT text a bare execution of the same query would
+/// present — so EXPLAIN shares the SELECT's plan-cache entry and can
+/// report whether the plan was served from cache.
+std::string StripExplainPrefix(const std::string& sql) {
+  std::string_view s = Trim(sql);
+  auto strip_word = [&s](std::string_view word) {
+    if (s.size() >= word.size() &&
+        EqualsIgnoreCase(s.substr(0, word.size()), word) &&
+        (s.size() == word.size() ||
+         std::isspace(static_cast<unsigned char>(s[word.size()])))) {
+      s = Trim(s.substr(word.size()));
+      return true;
+    }
+    return false;
+  };
+  if (strip_word("explain")) strip_word("analyze");
+  return std::string(s);
+}
+
 Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, bool analyze,
                                    Catalog* catalog,
                                    const EngineOptions& options,
-                                   DurabilityManager* dur, QueryGuard* guard) {
-  Binder binder(catalog);
-  SODA_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelectStatement(stmt));
-  if (options.optimize) {
-    plan = OptimizePlan(std::move(plan), catalog);
+                                   DurabilityManager* dur, QueryGuard* guard,
+                                   const CacheCtx& cc) {
+  // EXPLAIN consults (and fills) the same plan-cache slot the bare SELECT
+  // uses, so `EXPLAIN ANALYZE <q>` after `<q>` reports "plan: cached".
+  std::shared_ptr<const PlanNode> plan;
+  std::string key;
+  bool from_cache = false;
+  const bool cacheable = cc.plan_cache != nullptr && cc.sql != nullptr;
+  if (cacheable) {
+    key = PlanCacheKey(StripExplainPrefix(*cc.sql), options.optimize);
+    SODA_ASSIGN_OR_RETURN(plan, cc.plan_cache->Lookup(key, *catalog, guard));
+    from_cache = plan != nullptr;
+  }
+  if (plan == nullptr) {
+    Binder binder(catalog);
+    SODA_ASSIGN_OR_RETURN(PlanPtr fresh, binder.BindSelectStatement(stmt));
+    if (options.optimize) {
+      fresh = OptimizePlan(std::move(fresh), catalog);
+    }
+    plan = std::shared_ptr<const PlanNode>(std::move(fresh));
+    if (cacheable) {
+      CachedPlan entry;
+      entry.plan = plan;
+      entry.fingerprint = FingerprintPlan(*plan, *catalog, &entry.deps);
+      entry.catalog_version = catalog->catalog_version();
+      cc.plan_cache->Insert(key, std::move(entry));
+    }
   }
   SODA_ASSIGN_OR_RETURN(PhysicalPlan physical, LowerPlan(*plan));
   // EXPLAIN always reports the verifier verdict, even when the session
@@ -791,13 +927,8 @@ Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, bool analyze,
       SODA_RETURN_NOT_OK(verdict);
     }
     ExecContext ctx;
-    ctx.catalog = catalog;
-    ctx.max_iterations = options.max_iterations;
-    ctx.guard = guard;
+    InitExecContext(&ctx, catalog, options, dur, guard, cc);
     ctx.verify_plans = false;  // already verified above
-    ctx.status_provider = [catalog, dur] {
-      return CollectEngineStatus(catalog, dur);
-    };
     SODA_RETURN_NOT_OK(physical.Execute(ctx));
     stats = ctx.stats;
   }
@@ -807,6 +938,11 @@ Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, bool analyze,
   if (!text.empty() && text.back() != '\n') text += "\n";
   text += "=== Pipelines ===\n" + physical.ToString(analyze);
   if (!text.empty() && text.back() != '\n') text += "\n";
+  text += std::string("plan: ") + (from_cache ? "cached" : "fresh") + "\n";
+  if (analyze) {
+    text += std::string("join build: ") +
+            (stats.recycled_joins > 0 ? "recycled" : "built") + "\n";
+  }
   text += verdict.ok() ? "Verifier: OK"
                        : "Verifier: FAILED — " + verdict.ToString();
   size_t start = 0;
@@ -826,7 +962,16 @@ Result<QueryResult> ExecuteExplain(const SelectStmt& stmt, bool analyze,
 /// (soda.wal_fsync, soda.wal_group_bytes) additionally apply to the live
 /// log immediately.
 Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options,
-                               DurabilityManager* dur) {
+                               DurabilityManager* dur, const CacheCtx& cc) {
+  if (stmt.name == "soda.plan_cache") {
+    std::string value = stmt.has_text ? ToLower(stmt.text_value) : "";
+    if (value != "on" && value != "off") {
+      return Status::InvalidArgument(
+          "SET soda.plan_cache: expected on or off");
+    }
+    if (cc.plan_cache) cc.plan_cache->SetEnabled(value == "on");
+    return QueryResult();
+  }
   if (stmt.name == "soda.wal_fsync") {
     if (!stmt.has_text) {
       return Status::InvalidArgument(
@@ -890,6 +1035,10 @@ Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options,
   } else if (stmt.name == "soda.scrub_interval_ms") {
     options->scrub_interval_ms = stmt.value;
     if (dur) dur->ConfigureMaintenance(MaintenanceFromOptions(*options));
+  } else if (stmt.name == "soda.ht_cache_mb") {
+    if (cc.ht_recycler) {
+      cc.ht_recycler->SetBudget(static_cast<size_t>(stmt.value) << 20);
+    }
   } else {
     return Status::InvalidArgument(
         "unknown setting '" + stmt.name +
@@ -897,22 +1046,236 @@ Result<QueryResult> ExecuteSet(const SetStmt& stmt, EngineOptions* options,
         "soda.max_iterations, soda.wal_fsync, soda.wal_group_bytes, "
         "soda.verify_plans, soda.encode_segments, "
         "soda.wal_auto_checkpoint_mb, soda.wal_auto_checkpoint_records, "
-        "soda.scrub_interval_ms)");
+        "soda.scrub_interval_ms, soda.plan_cache, soda.ht_cache_mb)");
   }
   return QueryResult();
 }
 
-Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
+// --- PREPARE / EXECUTE / DEALLOCATE (DESIGN.md §11) -----------------------
+
+/// Grows `types` to cover every $n slot the parse tree references
+/// (undeclared slots stay kInvalid until inference fills them).
+void ScanParseParams(const ParseExpr& e, std::vector<DataType>* types) {
+  if (e.kind == ParseExprKind::kParameter && types->size() < e.param_index) {
+    types->resize(e.param_index, DataType::kInvalid);
+  }
+  for (const auto& c : e.children) ScanParseParams(*c, types);
+}
+
+/// Deep-clones a parse expression, replacing $n placeholders with literal
+/// nodes from `args` (already cast to the declared parameter types).
+Result<ParseExprPtr> CloneParseSubst(const ParseExpr& e,
+                                     const std::vector<Value>& args) {
+  if (e.kind == ParseExprKind::kParameter) {
+    if (e.param_index == 0 || e.param_index > args.size()) {
+      return Status::InvalidArgument(
+          "EXECUTE provides " + std::to_string(args.size()) +
+          " parameter(s) but the statement references $" +
+          std::to_string(e.param_index));
+    }
+    auto lit = std::make_unique<ParseExpr>(ParseExprKind::kLiteral);
+    lit->literal = args[e.param_index - 1];
+    return lit;
+  }
+  auto out = std::make_unique<ParseExpr>(e.kind);
+  out->literal = e.literal;
+  out->qualifier = e.qualifier;
+  out->name = e.name;
+  out->binary_op = e.binary_op;
+  out->unary_op = e.unary_op;
+  out->case_has_else = e.case_has_else;
+  out->cast_type = e.cast_type;
+  out->lambda_params = e.lambda_params;
+  out->source_text = e.source_text;
+  out->param_index = e.param_index;
+  for (const auto& c : e.children) {
+    SODA_ASSIGN_OR_RETURN(ParseExprPtr child, CloneParseSubst(*c, args));
+    out->children.push_back(std::move(child));
+  }
+  return out;
+}
+
+/// Binds + optimizes a prepared SELECT body against `catalog`, filling
+/// `entry`'s plan, deps, parameter types, and validation version. Used at
+/// PREPARE and again whenever EXECUTE finds the dependencies stale.
+Status BindPreparedSelect(PreparedStatement* entry, Catalog* catalog,
+                          const EngineOptions& options) {
+  Binder binder(catalog);
+  binder.set_param_types(&entry->param_types);
+  SODA_ASSIGN_OR_RETURN(PlanPtr plan,
+                        binder.BindSelectStatement(*entry->body->select));
+  if (options.optimize) {
+    plan = OptimizePlan(std::move(plan), catalog);
+  }
+  entry->plan = std::shared_ptr<const PlanNode>(std::move(plan));
+  entry->deps.clear();
+  FingerprintPlan(*entry->plan, *catalog, &entry->deps);
+  entry->catalog_version = catalog->catalog_version();
+  return Status::OK();
+}
+
+/// PREPARE name [(types)] AS body: resolves parameter types now (declared
+/// list, then inference from the body), binds SELECT bodies to an
+/// optimized parameterized plan, and registers the result. Re-preparing
+/// an existing name replaces it (divergence from Postgres' error — it
+/// keeps the shell's shed-retry loop idempotent).
+Result<QueryResult> ExecutePrepare(PrepareStmt& stmt, Catalog* catalog,
+                                   const EngineOptions& options,
+                                   const CacheCtx& cc) {
+  if (cc.prepared == nullptr) {
+    return Status::InvalidArgument(
+        "PREPARE requires an engine-managed session");
+  }
+  if (stmt.body == nullptr) {
+    return Status::Internal("PREPARE without a body");
+  }
+  auto entry = std::make_shared<PreparedStatement>();
+  entry->name = ToLower(stmt.name);
+  entry->param_types = stmt.param_types;
+  entry->body = std::shared_ptr<const Statement>(std::move(stmt.body));
+  if (entry->body->kind == StatementKind::kSelect) {
+    SODA_RETURN_NOT_OK(BindPreparedSelect(entry.get(), catalog, options));
+  } else if (entry->body->kind == StatementKind::kInsert) {
+    const InsertStmt& ins = *entry->body->insert;
+    for (const auto& row : ins.values_rows) {
+      for (const auto& cell : row) ScanParseParams(*cell, &entry->param_types);
+    }
+    // Undeclared parameters standing directly in a VALUES cell take the
+    // target column's type; nested occurrences ($1 + 1) stay untyped and
+    // pass through uncast (the INSERT path coerces on append).
+    Result<TablePtr> t = catalog->GetTable(ins.table);
+    if (t.ok()) {
+      const Schema& schema = (*t)->schema();
+      for (const auto& row : ins.values_rows) {
+        for (size_t c = 0; c < row.size() && c < schema.num_fields(); ++c) {
+          if (row[c]->kind != ParseExprKind::kParameter) continue;
+          DataType& slot = entry->param_types[row[c]->param_index - 1];
+          if (slot == DataType::kInvalid) slot = schema.field(c).type;
+        }
+      }
+    }
+  } else {
+    return Status::InvalidArgument(
+        "PREPARE supports SELECT and INSERT statements only");
+  }
+  cc.prepared->Put(std::move(entry));
+  return QueryResult();
+}
+
+/// Evaluates EXECUTE's constant arguments and casts each to the prepared
+/// statement's parameter type. Arity and cast failures are reported with
+/// the 1-based slot number.
+Result<std::vector<Value>> EvaluateExecuteArgs(const ExecuteStmt& stmt,
+                                               const PreparedStatement& prep,
+                                               Catalog* catalog) {
+  if (stmt.args.size() != prep.param_types.size()) {
+    return Status::InvalidArgument(
+        "prepared statement '" + prep.name + "' expects " +
+        std::to_string(prep.param_types.size()) + " parameter(s), got " +
+        std::to_string(stmt.args.size()));
+  }
+  Binder binder(catalog);
+  std::vector<Value> args;
+  args.reserve(stmt.args.size());
+  for (size_t i = 0; i < stmt.args.size(); ++i) {
+    SODA_ASSIGN_OR_RETURN(ExprPtr bound,
+                          binder.BindScalar(*stmt.args[i], Schema()));
+    SODA_ASSIGN_OR_RETURN(Value v, EvaluateConstantExpression(*bound));
+    const DataType want = prep.param_types[i];
+    if (want != DataType::kInvalid) {
+      Result<Value> cast = v.CastTo(want);
+      if (!cast.ok()) {
+        return Status::TypeError("parameter $" + std::to_string(i + 1) +
+                                 ": " + cast.status().message());
+      }
+      v = std::move(cast.ValueOrDie());
+    }
+    args.push_back(std::move(v));
+  }
+  return args;
+}
+
+/// EXECUTE name [(args)]: SELECT bodies clone the prepared plan and
+/// substitute literals — skipping lex/parse/bind/optimize; when a
+/// dependency went stale (DML/DDL republished a table) the body is
+/// transparently re-bound first. INSERT bodies clone the VALUES parse
+/// rows with parameters substituted and run the normal INSERT path.
+Result<QueryResult> ExecuteExecute(const ExecuteStmt& stmt, Catalog* catalog,
+                                   const EngineOptions& options,
+                                   DurabilityManager* dur, QueryGuard* guard,
+                                   const CacheCtx& cc) {
+  if (cc.prepared == nullptr) {
+    return Status::InvalidArgument(
+        "EXECUTE requires an engine-managed session");
+  }
+  PreparedPtr prep = cc.prepared->Get(ToLower(stmt.name));
+  if (prep == nullptr) {
+    return Status::KeyError("unknown prepared statement: " +
+                            ToLower(stmt.name));
+  }
+  SODA_ASSIGN_OR_RETURN(std::vector<Value> args,
+                        EvaluateExecuteArgs(stmt, *prep, catalog));
+  if (prep->body->kind == StatementKind::kSelect) {
+    if (prep->catalog_version != catalog->catalog_version() &&
+        !DepsStillValid(prep->deps, *catalog)) {
+      auto fresh = std::make_shared<PreparedStatement>(*prep);
+      fresh->param_types = prep->param_types;
+      SODA_RETURN_NOT_OK(BindPreparedSelect(fresh.get(), catalog, options));
+      cc.prepared->Put(fresh);
+      prep = std::move(fresh);
+    }
+    PlanPtr instance = prep->plan->Clone();
+    SODA_RETURN_NOT_OK(SubstituteParams(instance.get(), args));
+    ExecContext ctx;
+    InitExecContext(&ctx, catalog, options, dur, guard, cc);
+    SODA_ASSIGN_OR_RETURN(TablePtr result, ExecutePlan(*instance, ctx));
+    return QueryResult(std::move(result), ctx.stats);
+  }
+  const InsertStmt& ins = *prep->body->insert;
+  if (ins.values_rows.empty()) {
+    // INSERT .. SELECT body: nothing to substitute (parameters inside the
+    // select are rejected at bind time), execute the stored AST directly.
+    return ExecuteInsert(ins, catalog, options, dur, guard,
+                         InnerCacheCtx(cc));
+  }
+  InsertStmt sub;
+  sub.table = ins.table;
+  sub.values_rows.reserve(ins.values_rows.size());
+  for (const auto& row : ins.values_rows) {
+    std::vector<ParseExprPtr> out;
+    out.reserve(row.size());
+    for (const auto& cell : row) {
+      SODA_ASSIGN_OR_RETURN(ParseExprPtr e, CloneParseSubst(*cell, args));
+      out.push_back(std::move(e));
+    }
+    sub.values_rows.push_back(std::move(out));
+  }
+  return ExecuteInsert(sub, catalog, options, dur, guard, InnerCacheCtx(cc));
+}
+
+Result<QueryResult> ExecuteDeallocate(const DeallocateStmt& stmt,
+                                      const CacheCtx& cc) {
+  if (cc.prepared == nullptr) {
+    return Status::InvalidArgument(
+        "DEALLOCATE requires an engine-managed session");
+  }
+  SODA_RETURN_NOT_OK(cc.prepared->Remove(ToLower(stmt.name)));
+  return QueryResult();
+}
+
+Result<QueryResult> ExecuteStatement(Statement& stmt, Catalog* catalog,
                                      const EngineOptions& options,
                                      DurabilityManager* dur,
-                                     QueryGuard* guard) {
+                                     QueryGuard* guard, const CacheCtx& cc) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(*stmt.select, catalog, options, dur, guard);
+      return ExecuteSelect(stmt.select.get(), catalog, options, dur, guard,
+                           cc);
     case StatementKind::kCreateTable:
-      return ExecuteCreate(*stmt.create_table, catalog, options, dur, guard);
+      return ExecuteCreate(*stmt.create_table, catalog, options, dur, guard,
+                           cc);
     case StatementKind::kInsert:
-      return ExecuteInsert(*stmt.insert, catalog, options, dur, guard);
+      return ExecuteInsert(*stmt.insert, catalog, options, dur, guard, cc);
     case StatementKind::kDropTable:
       return ExecuteDrop(*stmt.drop_table, catalog, dur);
     case StatementKind::kUpdate:
@@ -921,9 +1284,24 @@ Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
       return ExecuteDelete(*stmt.del, catalog, options, dur, guard);
     case StatementKind::kExplain:
       return ExecuteExplain(*stmt.select, stmt.explain_analyze, catalog,
-                            options, dur, guard);
-    case StatementKind::kCheckpoint:
-      return ExecuteCheckpoint(catalog, dur);
+                            options, dur, guard, cc);
+    case StatementKind::kCheckpoint: {
+      Result<QueryResult> r = ExecuteCheckpoint(catalog, dur);
+      if (r.ok()) {
+        // CHECKPOINT doubles as the operator's "drop all caches" lever;
+        // correctness never depends on it (fingerprints embed versions),
+        // but it gives tests and ops a deterministic cold state.
+        if (cc.ht_recycler) cc.ht_recycler->EvictAll();
+        if (cc.plan_cache) cc.plan_cache->Clear();
+      }
+      return r;
+    }
+    case StatementKind::kPrepare:
+      return ExecutePrepare(*stmt.prepare, catalog, options, cc);
+    case StatementKind::kExecute:
+      return ExecuteExecute(*stmt.execute, catalog, options, dur, guard, cc);
+    case StatementKind::kDeallocate:
+      return ExecuteDeallocate(*stmt.deallocate, cc);
     case StatementKind::kSet:
       return Status::Internal("SET must be handled by the engine");
     case StatementKind::kScrub:
@@ -939,17 +1317,17 @@ Result<QueryResult> ExecuteStatement(const Statement& stmt, Catalog* catalog,
 /// installed as the calling thread's MemoryScope so storage appends are
 /// charged; the guard-aware ParallelFor extends the scope to worker
 /// threads.
-Result<QueryResult> RunGoverned(const Statement& stmt, Catalog* catalog,
+Result<QueryResult> RunGoverned(Statement& stmt, Catalog* catalog,
                                 Mutex* write_mu,
                                 EngineOptions* engine_options,
                                 DurabilityManager* dur,
-                                const ExecOptions& exec) {
+                                const ExecOptions& exec, const CacheCtx& cc) {
   // The session's SET state, when present, shadows the engine-global
   // options for both reads (effective limits) and writes (SET).
   EngineOptions* base =
       exec.session_options ? exec.session_options : engine_options;
   if (stmt.kind == StatementKind::kSet) {
-    return ExecuteSet(*stmt.set, base, dur);
+    return ExecuteSet(*stmt.set, base, dur, cc);
   }
   if (stmt.kind == StatementKind::kScrub) {
     // Not under the write lock: the CRC sweep is read-only over pinned
@@ -973,8 +1351,21 @@ Result<QueryResult> RunGoverned(const Statement& stmt, Catalog* catalog,
   // e.g. a bare table scan that returns the catalog table directly.
   SODA_RETURN_NOT_OK(guard.Check("exec.statement"));
 
+  // EXECUTE routes by the prepared body's kind: SELECT bodies are snapshot
+  // reads, INSERT bodies must serialize with other writers. An unknown
+  // name falls through to the read path and errors there.
+  bool execute_is_write = false;
+  if (stmt.kind == StatementKind::kExecute && cc.prepared != nullptr) {
+    PreparedPtr prep = cc.prepared->Get(ToLower(stmt.execute->name));
+    execute_is_write =
+        prep != nullptr && prep->body->kind == StatementKind::kInsert;
+  }
+
   if (stmt.kind == StatementKind::kSelect ||
-      stmt.kind == StatementKind::kExplain) {
+      stmt.kind == StatementKind::kExplain ||
+      stmt.kind == StatementKind::kPrepare ||
+      stmt.kind == StatementKind::kDeallocate ||
+      (stmt.kind == StatementKind::kExecute && !execute_is_write)) {
     // Snapshot read: pin every table's current version for the whole
     // statement. Concurrent DML swaps in new versions without disturbing
     // us, and a statement scanning one table twice (self-join, CTE reuse)
@@ -982,19 +1373,26 @@ Result<QueryResult> RunGoverned(const Statement& stmt, Catalog* catalog,
     // map copy.
     Catalog snapshot;
     catalog->SnapshotInto(&snapshot);
-    return ExecuteStatement(stmt, &snapshot, effective, dur, &guard);
+    return ExecuteStatement(stmt, &snapshot, effective, dur, &guard, cc);
   }
 
   // Write statements are read-modify-swap over table versions; serialize
   // them so concurrent UPDATEs cannot lose each other's swap. Lock order:
   // write_mu_ → commit_mu_ → leaf mutexes (see engine.h).
   MutexLock write_lock(write_mu);
-  return ExecuteStatement(stmt, catalog, effective, dur, &guard);
+  return ExecuteStatement(stmt, catalog, effective, dur, &guard, cc);
 }
 
 }  // namespace
 
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  // Any catalog change (DML/DDL/quarantine/recovery replay) invalidates
+  // recycled hash tables built over that table. Installed before recovery
+  // so replayed writes also flow through (harmless on the empty cache).
+  // The listener fires outside Catalog::mu_, and HtRecycler::mu_ is a
+  // leaf, so this cannot deadlock (see the lock order in engine.h).
+  catalog_.SetChangeListener(
+      [this](const std::string& table) { ht_recycler_.InvalidateTable(table); });
   if (options_.data_dir.empty()) return;
   Result<std::unique_ptr<DurabilityManager>> dur = DurabilityManager::Open(
       options_.data_dir, &catalog_, options_.wal_fsync,
@@ -1030,9 +1428,49 @@ Result<QueryResult> Engine::Execute(const std::string& sql) {
 Result<QueryResult> Engine::Execute(const std::string& sql,
                                     const ExecOptions& exec) {
   SODA_RETURN_NOT_OK(startup_status_);
+  CacheCtx cc;
+  cc.plan_cache = &plan_cache_;
+  cc.ht_recycler = &ht_recycler_;
+  cc.prepared = exec.prepared ? exec.prepared : &prepared_;
+  cc.sql = &sql;
+  // Repeated ad-hoc text: an entry under this exact trimmed text proves
+  // the statement is a SELECT (only SELECTs are ever inserted), so the
+  // lexer and parser are skipped entirely — the read path's real Lookup
+  // revalidates the plan against the statement's pinned snapshot, and
+  // re-parses lazily if the entry went stale in between (ExecuteSelect).
+  if (plan_cache_.Peek(PlanCacheKey(sql, options_.optimize))) {
+    Statement select_only;
+    select_only.kind = StatementKind::kSelect;
+    return RunGoverned(select_only, &catalog_, &write_mu_, &options_,
+                       durability_.get(), exec, cc);
+  }
   SODA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   return RunGoverned(stmt, &catalog_, &write_mu_, &options_,
-                     durability_.get(), exec);
+                     durability_.get(), exec, cc);
+}
+
+Result<QueryResult> Engine::ExecutePrepared(const std::string& name,
+                                            const std::vector<Value>& params,
+                                            const ExecOptions& exec) {
+  SODA_RETURN_NOT_OK(startup_status_);
+  // Synthesize the EXECUTE AST directly from the typed values — the whole
+  // point of the wire fast path is that no SQL text exists to lex/parse.
+  Statement stmt;
+  stmt.kind = StatementKind::kExecute;
+  stmt.execute = std::make_unique<ExecuteStmt>();
+  stmt.execute->name = name;
+  stmt.execute->args.reserve(params.size());
+  for (const Value& v : params) {
+    auto lit = std::make_unique<ParseExpr>(ParseExprKind::kLiteral);
+    lit->literal = v;
+    stmt.execute->args.push_back(std::move(lit));
+  }
+  CacheCtx cc;
+  cc.plan_cache = &plan_cache_;
+  cc.ht_recycler = &ht_recycler_;
+  cc.prepared = exec.prepared ? exec.prepared : &prepared_;
+  return RunGoverned(stmt, &catalog_, &write_mu_, &options_,
+                     durability_.get(), exec, cc);
 }
 
 Result<QueryResult> Engine::ExecuteScript(const std::string& sql) {
@@ -1040,11 +1478,16 @@ Result<QueryResult> Engine::ExecuteScript(const std::string& sql) {
   SODA_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(sql));
   if (stmts.empty()) return QueryResult();
   QueryResult last;
-  for (const auto& stmt : stmts) {
+  for (auto& stmt : stmts) {
+    // Script statements skip the plan cache (no per-statement SQL text is
+    // recovered from the split); PREPARE/EXECUTE still work.
+    CacheCtx cc;
+    cc.ht_recycler = &ht_recycler_;
+    cc.prepared = &prepared_;
     // SET takes effect for the remaining statements of the script.
     Result<QueryResult> r =
         RunGoverned(stmt, &catalog_, &write_mu_, &options_,
-                    durability_.get(), ExecOptions{});
+                    durability_.get(), ExecOptions{}, cc);
     SODA_RETURN_NOT_OK(r.status());
     last = std::move(r.ValueOrDie());
   }

@@ -22,8 +22,13 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "types/value.h"
+
+#include "core/plan_cache.h"
 #include "core/query_result.h"
+#include "exec/ht_recycler.h"
 #include "storage/catalog.h"
 #include "storage/durability.h"
 #include "storage/scrub.h"
@@ -116,6 +121,12 @@ struct ExecOptions {
   /// with the same session_options concurrently (the network server's
   /// one-statement-per-connection loop guarantees this).
   EngineOptions* session_options = nullptr;
+  /// Per-session prepared statements (PREPARE/EXECUTE/DEALLOCATE). When
+  /// set, the statement resolves names here; null uses the engine-global
+  /// registry (single-process embedding). The network server gives each
+  /// session its own registry so one connection's statements are
+  /// invisible to another's, and harvests it with the session.
+  PreparedRegistry* prepared = nullptr;
 };
 
 class Engine {
@@ -143,6 +154,14 @@ class Engine {
   /// must use ExecOptions::session_options.
   Result<QueryResult> Execute(const std::string& sql,
                               const ExecOptions& exec);
+
+  /// Executes a prepared statement directly from typed parameter values —
+  /// no SQL text, no lexing or parsing. This is the network server's
+  /// kExecutePrepared entry point; `name` resolves in
+  /// `exec.prepared` (or the engine-global registry when null).
+  Result<QueryResult> ExecutePrepared(const std::string& name,
+                                      const std::vector<Value>& params,
+                                      const ExecOptions& exec);
 
   /// Executes a ';'-separated script, discarding intermediate results;
   /// returns the last statement's result. SET statements take effect for
@@ -175,6 +194,16 @@ class Engine {
   /// damaged. Safe to call concurrently with queries and DML.
   Status RunScrub(ScrubReport* report);
 
+  /// Repeated-traffic caches (DESIGN.md §11): memoized optimized plans
+  /// keyed by SQL text, and completed join build hash tables keyed by
+  /// build-fragment fingerprint. Exposed for tests and benchmarks (cold
+  /// runs call Clear()/EvictAll()).
+  PlanCache& plan_cache() { return plan_cache_; }
+  HtRecycler& ht_recycler() { return ht_recycler_; }
+  /// The engine-global prepared-statement registry (used when
+  /// ExecOptions::prepared is null).
+  PreparedRegistry& prepared_statements() { return prepared_; }
+
  private:
   Catalog catalog_;
   EngineOptions options_;
@@ -184,8 +213,13 @@ class Engine {
   /// read-modify-swap over catalog table versions, so two running at
   /// once would lose one of the swaps. Held across the whole statement.
   /// Lock order: write_mu_ → DurabilityManager::commit_mu_ → leaf
-  /// mutexes (Wal::mu_, Catalog::mu_). See DESIGN.md §7.
+  /// mutexes (Wal::mu_, Catalog::mu_, PlanCache::mu_, HtRecycler::mu_,
+  /// PreparedRegistry::mu_). The cache mutexes are leaves: no callback,
+  /// catalog call, or I/O runs under them. See DESIGN.md §7/§11.
   Mutex write_mu_;
+  PlanCache plan_cache_;
+  HtRecycler ht_recycler_;
+  PreparedRegistry prepared_;
 };
 
 }  // namespace soda

@@ -17,6 +17,8 @@
 
 namespace soda {
 
+class HtRecycler;
+
 /// Default iteration cap for ITERATE / recursive CTEs; overridable per
 /// engine (EngineOptions::max_iterations) and per session
 /// (SET soda.max_iterations).
@@ -28,6 +30,7 @@ struct ExecStats {
   size_t cumulative_materialized_tuples = 0;  ///< total tuples written to intermediates
   size_t peak_bound_tuples = 0;   ///< max tuples live in iteration bindings + accumulated results
   size_t iterations_run = 0;      ///< iterations across all iterative constructs
+  size_t recycled_joins = 0;      ///< join builds served from the hash-table recycler
 
   void AccountBoundTuples(size_t tuples) {
     if (tuples > peak_bound_tuples) peak_bound_tuples = tuples;
@@ -48,6 +51,14 @@ struct EngineStatusSnapshot {
   int64_t scrub_pass_count = 0;
   int64_t quarantined_row_groups = 0;
   int64_t quarantined_tables = 0;
+  // Repeated-traffic caches (DESIGN.md §11).
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_entries = 0;
+  int64_t ht_cache_hits = 0;
+  int64_t ht_cache_misses = 0;
+  int64_t ht_cache_evictions = 0;
+  int64_t ht_cache_bytes = 0;
 };
 
 /// Mutable state threaded through plan execution. Not thread-safe for
@@ -73,6 +84,11 @@ struct ExecContext {
   /// plan before executing it. On by default; `SET soda.verify_plans =
   /// off` clears it per session (debug builds verify regardless).
   bool verify_plans = true;
+
+  /// Engine-owned join hash-table recycler (exec/ht_recycler.h). Null
+  /// outside an engine or with caching disabled; the join lowering then
+  /// always builds fresh.
+  HtRecycler* ht_recycler = nullptr;
 
   /// Supplies soda_status() rows; installed by the engine's SELECT path.
   /// Null when executing outside an engine — the table function then

@@ -50,6 +50,16 @@ class JoinHashTable {
   const Table& build_table() const { return *build_; }
   size_t num_buckets() const { return head_.size(); }
 
+  /// Bytes retained by this table: bucket/chain/hash arrays plus the
+  /// pinned build-side table. This is what the hash-table recycler
+  /// charges against its byte budget, because a cached entry keeps the
+  /// build table alive even after the catalog republishes it.
+  size_t MemoryUsage() const {
+    return head_.capacity() * sizeof(uint32_t) +
+           next_.capacity() * sizeof(uint32_t) +
+           hashes_.capacity() * sizeof(uint64_t) + build_->MemoryUsage();
+  }
+
  private:
   TablePtr build_;
   std::vector<size_t> key_cols_;

@@ -1,0 +1,92 @@
+#include "exec/ht_recycler.h"
+
+namespace soda {
+
+Result<std::shared_ptr<const JoinHashTable>> HtRecycler::Lookup(
+    uint64_t key, QueryGuard* guard) {
+  // Inline literal so lint rule 5 ties this probe to the registry.
+  SODA_RETURN_NOT_OK(GuardProbe(guard, "cache.ht_recycle"));
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::shared_ptr<const JoinHashTable>();
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->table;
+}
+
+void HtRecycler::Publish(uint64_t key,
+                         std::shared_ptr<const JoinHashTable> table,
+                         std::vector<PlanDependency> deps) {
+  if (table == nullptr) return;
+  for (const PlanDependency& d : deps) {
+    // A recycled table bypasses the per-morsel CheckReadable gate, so a
+    // quarantined build side must never enter the cache.
+    if (d.quarantined) return;
+  }
+  const size_t bytes = table->MemoryUsage();
+  MutexLock lock(&mu_);
+  if (bytes > budget_) return;
+  if (index_.count(key) != 0) return;  // lost a publish race; keep first
+  EvictDownToLocked(budget_ - bytes);
+  lru_.push_front(Entry{key, std::move(table), std::move(deps), bytes});
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+}
+
+void HtRecycler::InvalidateTable(const std::string& table) {
+  MutexLock lock(&mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    bool depends = false;
+    for (const PlanDependency& d : it->deps) {
+      if (d.table == table) {
+        depends = true;
+        break;
+      }
+    }
+    if (depends) {
+      bytes_ -= it->bytes;
+      ++evictions_;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HtRecycler::EvictAll() {
+  MutexLock lock(&mu_);
+  EvictDownToLocked(0);
+}
+
+void HtRecycler::SetBudget(size_t bytes) {
+  MutexLock lock(&mu_);
+  budget_ = bytes;
+  EvictDownToLocked(budget_);
+}
+
+HtRecycler::Stats HtRecycler::stats() const {
+  MutexLock lock(&mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.bytes = static_cast<int64_t>(bytes_);
+  s.entries = static_cast<int64_t>(lru_.size());
+  return s;
+}
+
+void HtRecycler::EvictDownToLocked(size_t cap) {
+  while (bytes_ > cap && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    ++evictions_;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace soda

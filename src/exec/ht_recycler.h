@@ -1,0 +1,104 @@
+/// \file ht_recycler.h
+/// Join hash-table recycler: a bounded, byte-charged LRU of completed
+/// build-side hash tables keyed by build-fragment fingerprint
+/// (DESIGN.md §11).
+///
+/// A morsel-parallel join build is the dominant cost of repeated join
+/// traffic; once a build completes, its immutable JoinHashTable is
+/// published here under `fingerprint(build subtree) ⊕ right_keys`. The
+/// fingerprint embeds every scanned table's catalog publication version
+/// and schema hash, so any DML/DDL that republishes a base table
+/// changes the key and the stale entry simply stops matching —
+/// eviction (InvalidateTable / EvictAll / LRU pressure) only frees
+/// memory, it is never load-bearing for correctness. Quarantined build
+/// sides are refused at publish time because a recycled table would
+/// bypass the per-morsel CheckReadable gate.
+///
+/// Locking: `mu_` is a leaf in the engine lock order (write_mu_ →
+/// commit_mu_ → leaves); no callback or catalog call is made under it.
+
+#ifndef SODA_EXEC_HT_RECYCLER_H_
+#define SODA_EXEC_HT_RECYCLER_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/hash_join.h"
+#include "exec/plan_fingerprint.h"
+#include "util/mutex.h"
+#include "util/query_guard.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// Default recycler budget (64 MiB); overridable per session with
+/// `SET soda.ht_cache_mb`.
+inline constexpr size_t kDefaultHtCacheBytes = 64ull << 20;
+
+class HtRecycler {
+ public:
+  /// Counter snapshot for soda_status().
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t bytes = 0;
+    int64_t entries = 0;
+  };
+
+  explicit HtRecycler(size_t budget_bytes = kDefaultHtCacheBytes)
+      : budget_(budget_bytes) {}
+
+  /// Looks up a completed build by fragment key. Probes `guard` (may be
+  /// null) under "cache.ht_recycle" so lookups are fault-injectable and
+  /// cancellable. Returns nullptr on miss; hits refresh LRU recency.
+  Result<std::shared_ptr<const JoinHashTable>> Lookup(uint64_t key,
+                                                      QueryGuard* guard);
+
+  /// Publishes a completed build. Refused (silently) when any dependency
+  /// is quarantined or the entry alone exceeds the budget. Evicts
+  /// least-recently-used entries until the budget holds.
+  void Publish(uint64_t key, std::shared_ptr<const JoinHashTable> table,
+               std::vector<PlanDependency> deps);
+
+  /// Drops every entry whose build side read `table` (catalog change
+  /// listener hook — frees memory eagerly; key mismatch already
+  /// guarantees the stale entries could never be served).
+  void InvalidateTable(const std::string& table);
+
+  /// Drops everything (CHECKPOINT, SET soda.ht_cache_mb, tests).
+  void EvictAll();
+
+  /// Re-budgets the cache, evicting down to the new cap.
+  void SetBudget(size_t bytes);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    std::shared_ptr<const JoinHashTable> table;
+    std::vector<PlanDependency> deps;
+    size_t bytes = 0;
+  };
+
+  void EvictDownToLocked(size_t cap) SODA_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  size_t budget_ SODA_GUARDED_BY(mu_);
+  /// MRU at front; LRU evicted from the back.
+  std::list<Entry> lru_ SODA_GUARDED_BY(mu_);
+  std::map<uint64_t, std::list<Entry>::iterator> index_ SODA_GUARDED_BY(mu_);
+  size_t bytes_ SODA_GUARDED_BY(mu_) = 0;
+  int64_t hits_ SODA_GUARDED_BY(mu_) = 0;
+  int64_t misses_ SODA_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ SODA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace soda
+
+#endif  // SODA_EXEC_HT_RECYCLER_H_

@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "exec/hash_join.h"
+#include "exec/ht_recycler.h"
+#include "exec/plan_fingerprint.h"
 #include "expr/evaluator.h"
 #include "util/first_error.h"
 #include "util/parallel.h"
@@ -166,6 +168,46 @@ std::string JoinProbeName(const PlanNode& node) {
   return s + "]";
 }
 
+// --- join hash-table recycling (DESIGN.md §11) ----------------------------
+
+/// Per-execution hand-off between a build pipeline's skip gate and the
+/// probe pipeline's prepare closure. Both capture the same slot; the gate
+/// fills it, the prepare consumes it. A PhysicalPlan executes at most
+/// once, so the slot carries no cross-execution state.
+struct RecycleSlot {
+  bool checked = false;  ///< the gate ran and computed key/deps
+  uint64_t key = 0;
+  std::vector<PlanDependency> deps;
+  std::shared_ptr<const JoinHashTable> ht;  ///< non-null on a cache hit
+};
+
+/// A build fragment is recyclable only when its result is a pure function
+/// of versioned catalog state: runtime bindings (CTE working tables,
+/// ITERATE state) and table functions vary per execution and must never
+/// be served across queries.
+bool RecyclableBuild(const PlanNode& node) {
+  if (node.kind == PlanKind::kBindingRef ||
+      node.kind == PlanKind::kTableFunction ||
+      node.kind == PlanKind::kRecursiveCte || node.kind == PlanKind::kIterate) {
+    return false;
+  }
+  for (const PlanPtr& c : node.children) {
+    if (!RecyclableBuild(*c)) return false;
+  }
+  return true;
+}
+
+/// Folds the join's build-key columns into the fragment fingerprint: two
+/// joins over the same build subtree with different key sets need
+/// different hash tables.
+uint64_t MixJoinKeys(uint64_t h, const std::vector<size_t>& keys) {
+  for (size_t k : keys) {
+    h ^= k + 0x9e3779b97f4a7c15ULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 std::string FormatTime(uint64_t nanos) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3fms",
@@ -259,6 +301,35 @@ class PhysicalPlanBuilder {
         // slot stays null until the prepare closure builds the hash table
         // from the build pipeline's result.
         SODA_ASSIGN_OR_RETURN(size_t build_idx, Complete(*node.children[1]));
+        // Hash-join builds over recyclable fragments get a skip gate on
+        // the build pipeline: a recycler hit elides both the build-side
+        // materialization and the morsel-parallel exec.join_build pass.
+        auto recycle = std::make_shared<RecycleSlot>();
+        if (!node.left_keys.empty() && RecyclableBuild(*node.children[1])) {
+          plan_.pipelines_[build_idx].skip_if =
+              [&node, recycle](ExecContext& ctx) -> Result<bool> {
+            if (ctx.ht_recycler == nullptr || ctx.catalog == nullptr) {
+              return false;
+            }
+            std::vector<PlanDependency> deps;
+            uint64_t key =
+                FingerprintPlan(*node.children[1], *ctx.catalog, &deps);
+            key = MixJoinKeys(key, node.right_keys);
+            for (const PlanDependency& d : deps) {
+              // Quarantined build sides neither hit nor publish: a
+              // recycled table would bypass the CheckReadable gate.
+              if (d.quarantined) return false;
+            }
+            SODA_ASSIGN_OR_RETURN(
+                std::shared_ptr<const JoinHashTable> ht,
+                ctx.ht_recycler->Lookup(key, ctx.guard));
+            recycle->checked = true;
+            recycle->key = key;
+            recycle->deps = std::move(deps);
+            recycle->ht = std::move(ht);
+            return recycle->ht != nullptr;
+          };
+        }
         SODA_ASSIGN_OR_RETURN(PhysicalPipeline p, Stream(*node.children[0]));
         const size_t slot = p.transforms.size();
         p.transforms.push_back(nullptr);
@@ -267,9 +338,16 @@ class PhysicalPlanBuilder {
         Schema concat =
             node.children[0]->schema.Concat(node.children[1]->schema);
         p.prepares.push_back(
-            [&node, build_idx, slot, prep_idx, concat](
+            [&node, build_idx, slot, prep_idx, concat, recycle](
                 PhysicalPlan& pp, PhysicalPipeline& self,
                 ExecContext& ctx) -> Status {
+              if (recycle->ht) {
+                self.transforms[slot] =
+                    std::make_shared<HashJoinProbeTransform>(
+                        recycle->ht, node.left_keys, concat);
+                ++ctx.stats.recycled_joins;
+                return Status::OK();
+              }
               TablePtr build = pp.pipeline(build_idx).result;
               if (!build) {
                 return Status::Internal("join build input not materialized");
@@ -286,6 +364,10 @@ class PhysicalPlanBuilder {
                     std::shared_ptr<JoinHashTable> ht,
                     JoinHashTable::Build(std::move(build), node.right_keys,
                                          ctx.guard));
+                if (ctx.ht_recycler != nullptr && recycle->checked) {
+                  ctx.ht_recycler->Publish(recycle->key, ht,
+                                           std::move(recycle->deps));
+                }
                 self.transforms[slot] =
                     std::make_shared<HashJoinProbeTransform>(
                         std::move(ht), node.left_keys, concat);
@@ -575,8 +657,44 @@ Result<PhysicalPlan> LowerPlan(const PlanNode& plan) {
 // --- scheduling -----------------------------------------------------------
 
 Status PhysicalPlan::Execute(ExecContext& ctx) {
+  // Evaluate the recycler gates before anything runs: gates depend only
+  // on the context (a cache lookup), never on upstream results, and a
+  // skipped build pipeline also skips every earlier pipeline that feeds
+  // skipped pipelines exclusively. That elides the *whole* derived build
+  // subtree — a recycled build over `(SELECT ... GROUP BY ...)` skips the
+  // aggregation of the base table, not just the final hash-table pass.
+  std::vector<char> skipped(pipelines_.size(), 0);
+  bool any_skipped = false;
+  for (size_t i = 0; i < pipelines_.size(); ++i) {
+    if (!pipelines_[i].skip_if) continue;
+    SODA_ASSIGN_OR_RETURN(bool skip, pipelines_[i].skip_if(ctx));
+    skipped[i] = skip ? 1 : 0;
+    any_skipped |= skip;
+  }
+  if (any_skipped) {
+    // Consumers always have a larger index (pipelines are in dependency
+    // order), so one backward sweep settles the transitive closure: a
+    // pipeline with consumers, all of which are skipped, is dead.
+    for (size_t i = pipelines_.size(); i-- > 0;) {
+      if (skipped[i]) continue;
+      bool has_consumer = false;
+      bool has_live_consumer = false;
+      for (size_t k = i + 1; k < pipelines_.size() && !has_live_consumer;
+           ++k) {
+        const PhysicalPipeline& c = pipelines_[k];
+        bool consumes = c.input_pipeline == i;
+        for (size_t in : c.inputs) consumes |= in == i;
+        if (!consumes) continue;
+        has_consumer = true;
+        has_live_consumer = !skipped[k];
+      }
+      if (has_consumer && !has_live_consumer) skipped[i] = 1;
+    }
+  }
+  size_t index = 0;
   for (auto& p : pipelines_) {
     SODA_RETURN_NOT_OK(ctx.Probe("exec.pipeline"));
+    if (skipped[index++]) continue;
     const uint64_t bytes_before =
         ctx.guard ? ctx.guard->bytes_reserved() : 0;
     for (size_t j = 0; j < p.prepares.size(); ++j) {

@@ -126,6 +126,16 @@ struct PhysicalPipeline {
   std::function<Result<TablePtr>(PhysicalPlan&, ExecContext&)> op_fn;
   PhysOpPtr op;
 
+  /// Pre-execution gate, evaluated once before *any* pipeline runs:
+  /// returning true skips the whole pipeline (its `result` stays null)
+  /// and, transitively, every earlier pipeline feeding skipped pipelines
+  /// exclusively. Installed on hash-join build pipelines whose table may
+  /// come from the recycler — the dependent probe prepare knows how to
+  /// proceed without the result, and the build's upstream subtree (e.g.
+  /// an aggregation producing a derived build side) is elided with it.
+  /// Gates must depend only on the context, never on pipeline results.
+  std::function<Result<bool>(ExecContext&)> skip_if;
+
   /// Pipelines whose results this one reads (join builds, table-function
   /// inputs); shown by EXPLAIN. Always indices of earlier pipelines.
   std::vector<size_t> inputs;

@@ -1,0 +1,185 @@
+#include "exec/plan_fingerprint.h"
+
+namespace soda {
+
+namespace {
+
+/// FNV-1a, the same shape the executor's hash kernels use for strings —
+/// cheap, order-sensitive, and stable across runs (no pointer mixing).
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+class Mixer {
+ public:
+  void Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= kFnvPrime;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void I64(int64_t v) { Bytes(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  uint64_t hash() const { return h_; }
+
+ private:
+  uint64_t h_ = kFnvOffset;
+};
+
+void MixValue(Mixer& m, const Value& v) {
+  m.U64(static_cast<uint64_t>(v.type()));
+  m.U64(v.is_null() ? 1 : 0);
+  if (!v.is_null()) m.Str(v.ToString());
+}
+
+void MixExpr(Mixer& m, const Expression& e) {
+  // The bound rendering is already canonical: column references print as
+  // name#index, literals as values, parameters as $n.
+  m.Str(e.ToString());
+  m.U64(static_cast<uint64_t>(e.type));
+}
+
+void MixNode(Mixer& m, const PlanNode& node, const Catalog& snapshot,
+             std::vector<PlanDependency>* deps) {
+  m.U64(static_cast<uint64_t>(node.kind));
+  m.U64(HashSchema(node.schema));
+
+  if (node.kind == PlanKind::kScan) {
+    m.Str(node.table_name);
+    uint64_t version = 0;
+    uint64_t schema_hash = 0;
+    bool quarantined = false;
+    Result<TablePtr> t = snapshot.GetTable(node.table_name);
+    if (t.ok()) {
+      version = (*t)->version();
+      schema_hash = HashSchema((*t)->schema());
+      quarantined = (*t)->quarantined();
+    }
+    m.U64(version);
+    m.U64(schema_hash);
+    if (deps != nullptr) {
+      bool seen = false;
+      for (const PlanDependency& d : *deps) {
+        if (d.table == node.table_name) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        deps->push_back({node.table_name, version, schema_hash, quarantined});
+      }
+    }
+  }
+  for (const ScanPredicate& p : node.scan_predicates) {
+    m.U64(p.column);
+    m.U64(static_cast<uint64_t>(p.op));
+    MixValue(m, p.constant);
+  }
+  m.U64(node.scan_total_partitions);
+  for (size_t p : node.scan_partitions) m.U64(p);
+
+  m.U64(node.rows.size());
+  for (const auto& row : node.rows) {
+    for (const Value& v : row) MixValue(m, v);
+  }
+
+  if (node.predicate) MixExpr(m, *node.predicate);
+  m.U64(node.exprs.size());
+  for (const ExprPtr& e : node.exprs) MixExpr(m, *e);
+
+  for (size_t k : node.left_keys) m.U64(k);
+  m.U64(node.left_keys.size());
+  for (size_t k : node.right_keys) m.U64(k);
+  m.U64(node.right_keys.size());
+
+  m.U64(node.num_group_cols);
+  for (const AggregateSpec& a : node.aggregates) {
+    m.Str(a.function);
+    m.I64(a.arg_index);
+    m.U64(static_cast<uint64_t>(a.result_type));
+  }
+  for (const SortKey& k : node.sort_keys) {
+    MixExpr(m, *k.expr);
+    m.U64(k.descending ? 1 : 0);
+  }
+  m.I64(node.limit);
+  m.I64(node.offset);
+
+  m.Str(node.binding_name);
+  m.Str(node.function_name);
+  for (const Value& v : node.scalar_args) MixValue(m, v);
+  for (const BoundLambda& l : node.lambdas) {
+    MixExpr(m, *l.body);
+    m.U64(l.a_width);
+  }
+
+  m.U64(node.children.size());
+  for (const PlanPtr& c : node.children) MixNode(m, *c, snapshot, deps);
+}
+
+Status SubstituteInExpr(Expression* e, const std::vector<Value>& args) {
+  if (e->kind == ExprKind::kParameter) {
+    const size_t slot = e->column_index;
+    if (slot == 0 || slot > args.size()) {
+      return Status::InvalidArgument(
+          "EXECUTE provides " + std::to_string(args.size()) +
+          " parameter(s) but the statement references $" +
+          std::to_string(slot));
+    }
+    const DataType type = e->type;
+    e->kind = ExprKind::kLiteral;
+    e->literal = args[slot - 1];
+    e->type = type;  // the value was cast to the bound type at EXECUTE
+    e->column_index = 0;
+    return Status::OK();
+  }
+  for (const ExprPtr& c : e->children) {
+    SODA_RETURN_NOT_OK(SubstituteInExpr(c.get(), args));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t HashSchema(const Schema& schema) {
+  Mixer m;
+  m.U64(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    m.Str(f.name);
+    m.U64(static_cast<uint64_t>(f.type));
+    m.Str(f.qualifier);
+  }
+  return m.hash();
+}
+
+uint64_t FingerprintPlan(const PlanNode& plan, const Catalog& snapshot,
+                         std::vector<PlanDependency>* deps) {
+  Mixer m;
+  MixNode(m, plan, snapshot, deps);
+  return m.hash();
+}
+
+Status SubstituteParams(PlanNode* plan, const std::vector<Value>& args) {
+  if (plan->predicate) {
+    SODA_RETURN_NOT_OK(SubstituteInExpr(plan->predicate.get(), args));
+  }
+  for (const ExprPtr& e : plan->exprs) {
+    SODA_RETURN_NOT_OK(SubstituteInExpr(e.get(), args));
+  }
+  for (const SortKey& k : plan->sort_keys) {
+    SODA_RETURN_NOT_OK(SubstituteInExpr(k.expr.get(), args));
+  }
+  for (const BoundLambda& l : plan->lambdas) {
+    SODA_RETURN_NOT_OK(SubstituteInExpr(l.body.get(), args));
+  }
+  for (const PlanPtr& c : plan->children) {
+    SODA_RETURN_NOT_OK(SubstituteParams(c.get(), args));
+  }
+  return Status::OK();
+}
+
+}  // namespace soda

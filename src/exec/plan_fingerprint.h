@@ -1,0 +1,64 @@
+/// \file plan_fingerprint.h
+/// Canonical fingerprints of logical plan DAGs (DESIGN.md §11).
+///
+/// The fingerprint is the cache key shared by the plan cache and the join
+/// hash-table recycler (mirroring OmniSciDB's DataRecycler keying: hashed
+/// query-plan DAG → cached artifact). It folds in, per node:
+///   - the node kind and every execution-relevant scalar field (keys,
+///     group counts, limits, scalar args, pushed predicates, pruned
+///     partitions),
+///   - the bound expression shapes (rendered with column indices and $n
+///     parameter slots — two queries differing only in parameter VALUES
+///     share a fingerprint, differing in parameter POSITIONS do not),
+///   - for every base-table scan: the table name, its catalog publication
+///     version, and a hash of its schema. DML/DDL republishes tables with
+///     fresh versions (stage-and-swap ReplaceTable), and DROP+CREATE with
+///     a different schema changes the schema hash even if versions were
+///     ever reused — so stale artifacts can never be served by key match.
+
+#ifndef SODA_EXEC_PLAN_FINGERPRINT_H_
+#define SODA_EXEC_PLAN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/logical_plan.h"
+#include "storage/catalog.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace soda {
+
+/// One base table a fingerprinted plan reads. `version` and `schema_hash`
+/// pin the exact published incarnation; `quarantined` records whether any
+/// part of it was quarantined at fingerprint time (quarantined tables are
+/// never served from caches — a recycled hash table would bypass the
+/// per-morsel CheckReadable gate).
+struct PlanDependency {
+  std::string table;
+  uint64_t version = 0;
+  uint64_t schema_hash = 0;
+  bool quarantined = false;
+};
+
+/// Order-sensitive structural hash of a schema (field names, types,
+/// qualifiers).
+uint64_t HashSchema(const Schema& schema);
+
+/// Fingerprints `plan` against `snapshot` (the statement's pinned catalog
+/// snapshot — versions come from the tables the statement will actually
+/// read). Appends one PlanDependency per distinct scanned table to `deps`
+/// (may be null).
+uint64_t FingerprintPlan(const PlanNode& plan, const Catalog& snapshot,
+                         std::vector<PlanDependency>* deps);
+
+/// Replaces every kParameter expression in `plan` (in place — callers
+/// clone the shared cached plan first) with a literal from `args`, whose
+/// slot i value must already be cast to the parameter's bound type.
+/// Fails with InvalidArgument when a slot exceeds args.size().
+Status SubstituteParams(PlanNode* plan, const std::vector<Value>& args);
+
+}  // namespace soda
+
+#endif  // SODA_EXEC_PLAN_FINGERPRINT_H_

@@ -64,6 +64,14 @@ Status VerifyExpr(const Expression& expr, const Schema& input,
     }
     case ExprKind::kFunction:
       break;
+    case ExprKind::kParameter:
+      // Prepared-plan placeholder: legal in a stored plan (it is replaced
+      // by a literal before execution) as long as it carries a concrete
+      // type — the kInvalid check above already rejects untyped ones.
+      if (!expr.children.empty()) {
+        return Violation(where, "parameter with children");
+      }
+      break;
     case ExprKind::kCase: {
       // children = [when1, then1, ..., else]; the else branch is always
       // bound, so the count is odd.

@@ -263,6 +263,13 @@ Result<TablePtr> ExecuteTableFunctionWithInputs(const PlanNode& plan,
         {"scrub_pass_count", s.scrub_pass_count},
         {"quarantined_row_groups", s.quarantined_row_groups},
         {"quarantined_tables", s.quarantined_tables},
+        {"plan_cache_hits", s.plan_cache_hits},
+        {"plan_cache_misses", s.plan_cache_misses},
+        {"plan_cache_entries", s.plan_cache_entries},
+        {"ht_cache_hits", s.ht_cache_hits},
+        {"ht_cache_misses", s.ht_cache_misses},
+        {"ht_cache_evictions", s.ht_cache_evictions},
+        {"ht_cache_bytes", s.ht_cache_bytes},
     };
     for (const auto& [metric, value] : metrics) {
       SODA_RETURN_NOT_OK(table->AppendRow(

@@ -500,6 +500,12 @@ Status EvaluateExpression(const Expression& expr, const DataChunk& input,
       SODA_RETURN_NOT_OK(EvaluateExpression(*expr.children[0], input, &c));
       return EvalCast(expr, c, n, out);
     }
+    case ExprKind::kParameter:
+      // EXECUTE substitutes literals into a clone of the prepared plan
+      // before lowering; a parameter reaching the evaluator is a bug.
+      return Status::Internal("unsubstituted parameter $" +
+                              std::to_string(expr.column_index) +
+                              " reached execution");
   }
   return Status::Internal("unknown expression kind");
 }

@@ -121,6 +121,14 @@ ExprPtr Expression::Cast(ExprPtr child, DataType target) {
   return e;
 }
 
+ExprPtr Expression::Parameter(size_t slot, DataType type) {
+  auto e = std::make_unique<Expression>();
+  e->kind = ExprKind::kParameter;
+  e->type = type;
+  e->column_index = slot;
+  return e;
+}
+
 ExprPtr Expression::Clone() const {
   auto e = std::make_unique<Expression>();
   e->kind = kind;
@@ -172,12 +180,17 @@ std::string Expression::ToString() const {
     case ExprKind::kCast:
       return "CAST(" + children[0]->ToString() + " AS " +
              DataTypeToString(type) + ")";
+    case ExprKind::kParameter:
+      return "$" + std::to_string(column_index);
   }
   return "?";
 }
 
 bool Expression::IsConstant() const {
-  if (kind == ExprKind::kColumnRef) return false;
+  // Parameters are not foldable: their value arrives at EXECUTE time.
+  if (kind == ExprKind::kColumnRef || kind == ExprKind::kParameter) {
+    return false;
+  }
   for (const auto& c : children) {
     if (!c->IsConstant()) return false;
   }

@@ -28,6 +28,8 @@ enum class ExprKind {
   kFunction,   ///< scalar function call by name
   kCase,       ///< CASE WHEN ... THEN ... [ELSE ...] END
   kCast,       ///< CAST(child AS type)
+  kParameter,  ///< typed $n placeholder in a prepared plan (never executed:
+               ///< EXECUTE substitutes a literal before the plan runs)
 };
 
 enum class BinaryOp {
@@ -62,7 +64,7 @@ struct Expression {
   ExprKind kind;
   DataType type = DataType::kInvalid;
 
-  // kColumnRef
+  // kColumnRef; kParameter reuses this field as the 1-based $n slot
   size_t column_index = 0;
   std::string column_name;  ///< for diagnostics / output naming
 
@@ -90,6 +92,7 @@ struct Expression {
                           DataType type);
   static ExprPtr Case(std::vector<ExprPtr> children, DataType type);
   static ExprPtr Cast(ExprPtr child, DataType target);
+  static ExprPtr Parameter(size_t slot, DataType type);
 
   ExprPtr Clone() const;
   std::string ToString() const;

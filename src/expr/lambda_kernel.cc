@@ -68,6 +68,8 @@ Status LambdaKernel::Emit(const Expression& e, size_t a_width, size_t* depth) {
       Push(e.unary_op == UnaryOp::kNegate ? Op::kNeg : Op::kNot, 0, depth, 0);
       return Status::OK();
     }
+    case ExprKind::kParameter:
+      return Status::TypeError("parameters not supported in lambdas");
     case ExprKind::kFunction: {
       const std::string& fn = e.function_name;
       if (fn == "least" || fn == "greatest") {

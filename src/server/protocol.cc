@@ -72,6 +72,109 @@ Result<std::string> DecodeQuery(const Frame& frame) {
   return sql;
 }
 
+std::string EncodePrepare(const std::string& name, const std::string& sql) {
+  BinaryWriter w;
+  w.Str(name);
+  w.Str(sql);
+  return w.Take();
+}
+
+Result<PrepareRequest> DecodePrepare(const Frame& frame) {
+  if (frame.type != MsgType::kPrepare) {
+    return Status::ExecutionError(
+        "protocol: expected a prepare frame, got type " +
+        std::to_string(static_cast<int>(frame.type)));
+  }
+  BinaryReader r(frame.body);
+  PrepareRequest req;
+  SODA_ASSIGN_OR_RETURN(req.name, r.Str());
+  SODA_ASSIGN_OR_RETURN(req.sql, r.Str());
+  if (!r.AtEnd()) {
+    return Status::ExecutionError("protocol: trailing bytes after prepare");
+  }
+  return req;
+}
+
+std::string EncodeExecutePrepared(const std::string& name,
+                                  const std::vector<Value>& params) {
+  BinaryWriter w;
+  w.Str(name);
+  w.U32(static_cast<uint32_t>(params.size()));
+  for (const Value& v : params) {
+    if (v.is_null()) {
+      w.U8(0);
+    } else if (v.type() == DataType::kDouble) {
+      w.U8(2);
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      w.U64(bits);
+    } else if (v.type() == DataType::kVarchar) {
+      w.U8(3);
+      w.Str(v.varchar_value());
+    } else if (v.type() == DataType::kBool) {
+      w.U8(4);
+      w.U8(v.bool_value() ? 1 : 0);
+    } else {
+      // Integers (and anything else the shell parsed numerically) travel
+      // as bigint; the server casts to the declared parameter type.
+      w.U8(1);
+      w.I64(v.AsBigInt());
+    }
+  }
+  return w.Take();
+}
+
+Result<ExecutePreparedRequest> DecodeExecutePrepared(const Frame& frame) {
+  if (frame.type != MsgType::kExecutePrepared) {
+    return Status::ExecutionError(
+        "protocol: expected an execute frame, got type " +
+        std::to_string(static_cast<int>(frame.type)));
+  }
+  BinaryReader r(frame.body);
+  ExecutePreparedRequest req;
+  SODA_ASSIGN_OR_RETURN(req.name, r.Str());
+  SODA_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  req.params.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SODA_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
+    switch (tag) {
+      case 0:
+        req.params.push_back(Value::Null());
+        break;
+      case 1: {
+        SODA_ASSIGN_OR_RETURN(int64_t v, r.I64());
+        req.params.push_back(Value::BigInt(v));
+        break;
+      }
+      case 2: {
+        SODA_ASSIGN_OR_RETURN(uint64_t bits, r.U64());
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        req.params.push_back(Value::Double(d));
+        break;
+      }
+      case 3: {
+        SODA_ASSIGN_OR_RETURN(std::string s, r.Str());
+        req.params.push_back(Value::Varchar(std::move(s)));
+        break;
+      }
+      case 4: {
+        SODA_ASSIGN_OR_RETURN(uint8_t b, r.U8());
+        req.params.push_back(Value::Bool(b != 0));
+        break;
+      }
+      default:
+        return Status::ExecutionError("protocol: invalid parameter tag " +
+                                      std::to_string(tag));
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::ExecutionError("protocol: trailing bytes after execute");
+  }
+  return req;
+}
+
 std::string EncodeHello(uint64_t session_id, const std::string& banner) {
   BinaryWriter w;
   w.U64(session_id);
@@ -130,6 +233,8 @@ Result<ServerReply> DecodeServerReply(const Frame& frame) {
       return reply;
     }
     case MsgType::kQuery:
+    case MsgType::kPrepare:
+    case MsgType::kExecutePrepared:
       break;
   }
   return Status::ExecutionError(

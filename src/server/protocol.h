@@ -12,6 +12,15 @@
 ///
 /// Client -> server:
 ///   kQuery    Str sql                       one SQL statement
+///   kPrepare  Str name, Str sql             register a PREPARE under this
+///                                           session (sql is the full
+///                                           PREPARE statement text)
+///   kExecutePrepared
+///             Str name, U32 n,              execute a prepared statement
+///             n x [U8 tag, payload]         with typed parameter values:
+///                                           tag 0 = null (no payload),
+///                                           1 = I64 bigint, 2 = F64 double,
+///                                           3 = Str varchar, 4 = U8 bool
 ///
 /// Server -> client:
 ///   kHello    U64 session_id, Str banner    sent once after accept
@@ -31,8 +40,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "storage/table.h"
+#include "types/value.h"
 #include "util/socket.h"
 #include "util/status.h"
 
@@ -40,6 +51,8 @@ namespace soda {
 
 enum class MsgType : uint8_t {
   kQuery = 0x01,
+  kPrepare = 0x02,
+  kExecutePrepared = 0x03,
   kHello = 0x10,
   kResult = 0x11,
   kError = 0x12,
@@ -66,6 +79,26 @@ Result<Frame> ReadFrame(const Socket& sock, size_t max_frame_bytes);
 
 std::string EncodeQuery(const std::string& sql);
 Result<std::string> DecodeQuery(const Frame& frame);
+
+/// PREPARE over the wire: the statement name (for the client's own
+/// bookkeeping) plus the full PREPARE statement text the server runs.
+std::string EncodePrepare(const std::string& name, const std::string& sql);
+struct PrepareRequest {
+  std::string name;
+  std::string sql;
+};
+Result<PrepareRequest> DecodePrepare(const Frame& frame);
+
+/// EXECUTE over the wire: the statement name plus typed parameter values
+/// (null / bigint / double / varchar / bool — the engine casts to the
+/// prepared statement's declared types server-side).
+std::string EncodeExecutePrepared(const std::string& name,
+                                  const std::vector<Value>& params);
+struct ExecutePreparedRequest {
+  std::string name;
+  std::vector<Value> params;
+};
+Result<ExecutePreparedRequest> DecodeExecutePrepared(const Frame& frame);
 
 std::string EncodeHello(uint64_t session_id, const std::string& banner);
 std::string EncodeResult(const TablePtr& table);  ///< null = row-less OK

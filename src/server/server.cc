@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "sql/parser.h"
 #include "util/query_guard.h"
 
 namespace soda {
@@ -123,21 +124,40 @@ void Server::SessionLoop(SessionPtr session, std::shared_ptr<Socket> sock) {
     }
     auto frame = ReadFrame(*sock, options_.max_frame_bytes);
     if (!frame.ok()) break;  // clean EOF or torn frame: close
-    if (frame->type != MsgType::kQuery) {
+    session->Touch(NowMs());
+    bool keep_going;
+    if (frame->type == MsgType::kQuery) {
+      auto sql = DecodeQuery(*frame);
+      if (!sql.ok()) {
+        st = WriteFrame(*sock, MsgType::kError,
+                        EncodeError(sql.status(), /*retry_after_ms=*/-1));
+        continue;
+      }
+      keep_going = RunStatement(session, *sock, *sql);
+    } else if (frame->type == MsgType::kPrepare) {
+      auto req = DecodePrepare(*frame);
+      if (!req.ok()) {
+        st = WriteFrame(*sock, MsgType::kError,
+                        EncodeError(req.status(), /*retry_after_ms=*/-1));
+        continue;
+      }
+      keep_going = RunPrepare(session, *sock, *req);
+    } else if (frame->type == MsgType::kExecutePrepared) {
+      auto req = DecodeExecutePrepared(*frame);
+      if (!req.ok()) {
+        st = WriteFrame(*sock, MsgType::kError,
+                        EncodeError(req.status(), /*retry_after_ms=*/-1));
+        continue;
+      }
+      keep_going = RunExecutePrepared(session, *sock, *req);
+    } else {
       st = WriteFrame(
           *sock, MsgType::kError,
           EncodeError(Status::InvalidArgument("expected a query frame"),
                       /*retry_after_ms=*/-1));
       continue;
     }
-    auto sql = DecodeQuery(*frame);
-    if (!sql.ok()) {
-      st = WriteFrame(*sock, MsgType::kError,
-                      EncodeError(sql.status(), /*retry_after_ms=*/-1));
-      continue;
-    }
-    session->Touch(NowMs());
-    if (!RunStatement(session, *sock, *sql)) break;
+    if (!keep_going) break;
     session->Touch(NowMs());
   }
   sessions_.Remove(session->id());
@@ -146,6 +166,48 @@ void Server::SessionLoop(SessionPtr session, std::shared_ptr<Socket> sock) {
 
 bool Server::RunStatement(const SessionPtr& session, const Socket& sock,
                           const std::string& sql) {
+  return RunAdmitted(session, sock, [&](const ExecOptions& exec) {
+    return engine_->Execute(sql, exec);
+  });
+}
+
+bool Server::RunPrepare(const SessionPtr& session, const Socket& sock,
+                        const PrepareRequest& req) {
+  // Unadmitted, so only PREPARE (parse + bind, no execution) may travel
+  // in this frame — anything else must go through kQuery's admission.
+  auto stmt = ParseStatement(req.sql);
+  Status st = stmt.status();
+  if (st.ok() && stmt->kind != StatementKind::kPrepare) {
+    st = Status::InvalidArgument(
+        "kPrepare frame must carry a PREPARE statement");
+  }
+  if (st.ok()) {
+    ExecOptions exec;
+    exec.session_options = &session->options();
+    exec.prepared = &session->prepared();
+    st = engine_->Execute(req.sql, exec).status();
+  }
+  session->CountStatement();
+  if (st.ok()) {
+    stats_.statements_ok.fetch_add(1, std::memory_order_relaxed);
+    return WriteFrame(sock, MsgType::kResult, EncodeResult(nullptr)).ok();
+  }
+  stats_.statements_error.fetch_add(1, std::memory_order_relaxed);
+  return WriteFrame(sock, MsgType::kError,
+                    EncodeError(st, /*retry_after_ms=*/-1))
+      .ok();
+}
+
+bool Server::RunExecutePrepared(const SessionPtr& session, const Socket& sock,
+                                const ExecutePreparedRequest& req) {
+  return RunAdmitted(session, sock, [&](const ExecOptions& exec) {
+    return engine_->ExecutePrepared(req.name, req.params, exec);
+  });
+}
+
+bool Server::RunAdmitted(
+    const SessionPtr& session, const Socket& sock,
+    const std::function<Result<QueryResult>(const ExecOptions&)>& run) {
   auto slot = admission_.Admit();
   if (!slot.ok()) {
     stats_.statements_shed.fetch_add(1, std::memory_order_relaxed);
@@ -161,6 +223,7 @@ bool Server::RunStatement(const SessionPtr& session, const Socket& sock,
   ExecOptions exec;
   exec.cancel = handle.get();
   exec.session_options = &session->options();
+  exec.prepared = &session->prepared();
 
   // Disconnect watcher: while the statement runs, poll the socket so an
   // abandoned query is cancelled promptly and its slot + budgets are
@@ -186,7 +249,7 @@ bool Server::RunStatement(const SessionPtr& session, const Socket& sock,
     }
   });
 
-  auto result = engine_->Execute(sql, exec);
+  auto result = run(exec);
 
   {
     MutexLock lock(&watch.mu);

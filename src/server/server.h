@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -122,6 +123,19 @@ class Server {
   /// connection must close (peer gone or the reply could not be sent).
   bool RunStatement(const SessionPtr& session, const Socket& sock,
                     const std::string& sql);
+  /// kPrepare frame: registers a prepared statement in the session's
+  /// registry. Runs WITHOUT admission — it is pure metadata work (parse +
+  /// bind, no execution), so a loaded server can still prepare.
+  bool RunPrepare(const SessionPtr& session, const Socket& sock,
+                  const PrepareRequest& req);
+  /// kExecutePrepared frame: admitted + watched like RunStatement, but
+  /// enters the engine through ExecutePrepared (no SQL text).
+  bool RunExecutePrepared(const SessionPtr& session, const Socket& sock,
+                          const ExecutePreparedRequest& req);
+  /// Shared admission + disconnect-watcher + reply plumbing.
+  bool RunAdmitted(
+      const SessionPtr& session, const Socket& sock,
+      const std::function<Result<QueryResult>(const ExecOptions&)>& run);
 
   void NoteThreadFinished(uint64_t session_id) SODA_EXCLUDES(threads_mu_);
   void ReapFinishedThreads() SODA_EXCLUDES(threads_mu_);

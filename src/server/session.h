@@ -38,6 +38,13 @@ class Session {
   /// connection thread reads or writes this — never share it.
   EngineOptions& options() { return options_; }
 
+  /// Per-session prepared statements (PREPARE/EXECUTE over the wire).
+  /// Passed to the engine via ExecOptions::prepared, so one connection's
+  /// statements are invisible to another's; harvested with the session.
+  /// PreparedRegistry is internally synchronized, but like `options_`
+  /// only the session's own connection thread uses it.
+  PreparedRegistry& prepared() { return prepared_; }
+
   /// Installs a fresh cancellation handle for the next statement and
   /// returns it. The old handle is dropped (a tripped CancelToken stays
   /// tripped forever, so handles are per-statement).
@@ -82,6 +89,7 @@ class Session {
   const uint64_t id_;
   const std::string peer_;
   EngineOptions options_;  // connection-thread-local; see class comment
+  PreparedRegistry prepared_;  // connection-thread-local; see accessor
 
   mutable Mutex mu_;
   std::shared_ptr<CancelHandle> active_cancel_ SODA_GUARDED_BY(mu_);

@@ -28,6 +28,7 @@ enum class ParseExprKind {
   kCase,
   kCast,
   kLambda,     ///< λ(p1[, p2]) body  (table function arguments only)
+  kParameter,  ///< $n placeholder (PREPARE bodies only)
 };
 
 struct ParseExpr;
@@ -45,6 +46,7 @@ struct ParseExpr {
   DataType cast_type = DataType::kInvalid;  // kCast
   std::vector<std::string> lambda_params;   // kLambda
   std::string source_text;             // kLambda: original text for messages
+  size_t param_index = 0;              // kParameter: 1-based $n slot
 
   explicit ParseExpr(ParseExprKind k) : kind(k) {}
 };
@@ -170,6 +172,29 @@ struct SetStmt {
   bool has_text = false;
 };
 
+struct Statement;
+
+/// PREPARE name [(TYPE, ...)] AS <select | insert>. Parameter types may be
+/// declared up front; undeclared slots are inferred at bind time from the
+/// expression context ($n = col takes col's type).
+struct PrepareStmt {
+  std::string name;
+  std::vector<DataType> param_types;  ///< declared types (may be empty)
+  std::unique_ptr<Statement> body;    ///< kSelect or kInsert only
+};
+
+/// EXECUTE name [(expr, ...)]. Arguments are constant expressions, folded
+/// and cast to the prepared statement's parameter types at execute time.
+struct ExecuteStmt {
+  std::string name;
+  std::vector<ParseExprPtr> args;
+};
+
+/// DEALLOCATE [PREPARE] name.
+struct DeallocateStmt {
+  std::string name;
+};
+
 enum class StatementKind {
   kSelect,
   kCreateTable,
@@ -181,6 +206,9 @@ enum class StatementKind {
   kSet,         ///< SET soda.<knob> = <value>
   kCheckpoint,  ///< CHECKPOINT — persist all tables, truncate the WAL
   kScrub,       ///< SCRUB — verify segment + checkpoint checksums now
+  kPrepare,     ///< PREPARE name [(types)] AS <stmt>
+  kExecute,     ///< EXECUTE name [(args)]
+  kDeallocate,  ///< DEALLOCATE [PREPARE] name
 };
 
 struct Statement {
@@ -195,6 +223,9 @@ struct Statement {
   std::unique_ptr<UpdateStmt> update;
   std::unique_ptr<DeleteStmt> del;
   std::unique_ptr<SetStmt> set;
+  std::unique_ptr<PrepareStmt> prepare;
+  std::unique_ptr<ExecuteStmt> execute;
+  std::unique_ptr<DeallocateStmt> deallocate;
 };
 
 }  // namespace soda

@@ -635,7 +635,29 @@ Result<ExprPtr> Binder::BindExpr(const ParseExpr& expr, const Schema& schema) {
     }
     case ParseExprKind::kStar:
       return Status::BindError("'*' is only allowed in the select list");
+    case ParseExprKind::kParameter: {
+      if (param_types_ == nullptr) {
+        return Status::BindError(
+            "parameter placeholders ($n) are only allowed inside PREPARE");
+      }
+      const size_t slot = expr.param_index;
+      if (slot > param_types_->size()) {
+        param_types_->resize(slot, DataType::kInvalid);
+      }
+      const DataType t = (*param_types_)[slot - 1];
+      if (t == DataType::kInvalid) {
+        return Status::BindError(
+            "cannot infer the type of parameter $" + std::to_string(slot) +
+            "; declare it (PREPARE name (TYPE, ...) AS ...) or cast it "
+            "(CAST($" + std::to_string(slot) + " AS TYPE))");
+      }
+      return Expression::Parameter(slot, t);
+    }
     case ParseExprKind::kBinary: {
+      // An undeclared parameter takes the type of its peer operand:
+      // `a = $1` types $1 as a's type before the slot is bound.
+      InferParamFromPeer(*expr.children[0], *expr.children[1], schema);
+      InferParamFromPeer(*expr.children[1], *expr.children[0], schema);
       SODA_ASSIGN_OR_RETURN(ExprPtr l, BindExpr(*expr.children[0], schema));
       SODA_ASSIGN_OR_RETURN(ExprPtr r, BindExpr(*expr.children[1], schema));
       SODA_ASSIGN_OR_RETURN(DataType t,
@@ -698,6 +720,9 @@ Result<ExprPtr> Binder::BindExpr(const ParseExpr& expr, const Schema& schema) {
       return Expression::Case(std::move(children), result);
     }
     case ParseExprKind::kCast: {
+      // CAST($n AS T) is the explicit escape hatch for typing a slot no
+      // peer operand can type.
+      SetParamType(*expr.children[0], expr.cast_type);
       SODA_ASSIGN_OR_RETURN(ExprPtr c, BindExpr(*expr.children[0], schema));
       return Expression::Cast(std::move(c), expr.cast_type);
     }
@@ -707,6 +732,36 @@ Result<ExprPtr> Binder::BindExpr(const ParseExpr& expr, const Schema& schema) {
           "arguments (paper §7)");
   }
   return Status::Internal("unknown parse expression kind");
+}
+
+void Binder::SetParamType(const ParseExpr& expr, DataType type) {
+  if (param_types_ == nullptr || expr.kind != ParseExprKind::kParameter ||
+      type == DataType::kInvalid) {
+    return;
+  }
+  const size_t slot = expr.param_index;
+  if (slot > param_types_->size()) {
+    param_types_->resize(slot, DataType::kInvalid);
+  }
+  if ((*param_types_)[slot - 1] == DataType::kInvalid) {
+    (*param_types_)[slot - 1] = type;
+  }
+}
+
+void Binder::InferParamFromPeer(const ParseExpr& param, const ParseExpr& peer,
+                                const Schema& schema) {
+  if (param_types_ == nullptr || param.kind != ParseExprKind::kParameter) {
+    return;
+  }
+  const size_t slot = param.param_index;
+  if (slot <= param_types_->size() &&
+      (*param_types_)[slot - 1] != DataType::kInvalid) {
+    return;  // already declared or inferred
+  }
+  // Best-effort: a peer that fails to bind (or is itself untyped) leaves
+  // the slot unknown; the kParameter case reports the actionable error.
+  auto bound = BindExpr(peer, schema);
+  if (bound.ok()) SetParamType(param, (*bound)->type);
 }
 
 Result<ExprPtr> Binder::BindAggScopeExpr(const ParseExpr& expr,
@@ -796,6 +851,10 @@ Result<ExprPtr> Binder::BindAggScopeExpr(const ParseExpr& expr,
       SODA_ASSIGN_OR_RETURN(ExprPtr c, BindAggScopeExpr(*expr.children[0], agg));
       return Expression::Cast(std::move(c), expr.cast_type);
     }
+    case ParseExprKind::kParameter:
+      // Parameters are scalars; bind them like any non-grouped constant
+      // (HAVING count(*) > $1).
+      return BindExpr(expr, *agg.input_schema);
     case ParseExprKind::kColumnRef:
       return Status::BindError(
           "column '" + expr.name +

@@ -33,6 +33,14 @@ class Binder {
   /// and tests). Aggregates are rejected.
   Result<ExprPtr> BindScalar(const ParseExpr& expr, const Schema& schema);
 
+  /// Enables $n parameter placeholders (PREPARE bodies). `types` holds the
+  /// declared parameter types by 1-based slot (kInvalid = undeclared); the
+  /// binder grows it on demand and writes back types it infers from
+  /// context ($n = col takes col's type, CAST($n AS T) takes T). Without
+  /// this call, parameters are rejected with a bind error. The pointer
+  /// must outlive the bind.
+  void set_param_types(std::vector<DataType>* types) { param_types_ = types; }
+
  private:
   struct AggContext;
 
@@ -46,12 +54,20 @@ class Binder {
   Result<ExprPtr> BindExpr(const ParseExpr& expr, const Schema& schema);
   Result<ExprPtr> BindAggScopeExpr(const ParseExpr& expr, AggContext& agg);
 
+  /// Records `type` for an undeclared parameter slot (no-op otherwise).
+  void SetParamType(const ParseExpr& expr, DataType type);
+  /// Types an undeclared parameter operand from its peer (`a = $1`).
+  void InferParamFromPeer(const ParseExpr& param, const ParseExpr& peer,
+                          const Schema& schema);
+
   Catalog* catalog_;
   /// CTE definitions in scope: plans cloned per reference. Shared pointers
   /// so the scope map is copyable for save/restore around nested queries.
   std::map<std::string, std::shared_ptr<PlanNode>> ctes_;
   /// Relations bound at runtime (recursive CTE working table, `iterate`).
   std::map<std::string, Schema> runtime_bindings_;
+  /// Parameter slot types ($n placeholders); null outside PREPARE.
+  std::vector<DataType>* param_types_ = nullptr;
 };
 
 }  // namespace soda

@@ -102,6 +102,30 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       continue;
     }
 
+    // $n parameter placeholder (PREPARE bodies). The slot is 1-based and
+    // must be all digits; a bare '$' is rejected here rather than in the
+    // parser so the error names the offset.
+    if (c == '$') {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j == i + 1) {
+        return Status::ParseError(
+            "expected digits after '$' at offset " + std::to_string(start));
+      }
+      std::string num = sql.substr(i + 1, j - i - 1);
+      Token tok;
+      tok.type = TokenType::kParam;
+      tok.offset = start;
+      tok.text = "$" + num;
+      tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      if (tok.int_value < 1) {
+        return Status::ParseError("parameter slots are 1-based: $" + num);
+      }
+      tokens.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+
     if (c == '\'') {
       std::string text;
       size_t j = i + 1;
@@ -203,6 +227,8 @@ std::string TokenToString(const Token& token) {
       return "string '" + token.text + "'";
     case TokenType::kLambda:
       return "λ";
+    case TokenType::kParam:
+      return "parameter '" + token.text + "'";
     case TokenType::kLParen: return "'('";
     case TokenType::kRParen: return "')'";
     case TokenType::kComma: return "','";

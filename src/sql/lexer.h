@@ -23,6 +23,7 @@ enum class TokenType {
   kFloat,
   kString,     ///< 'string literal'
   kLambda,     ///< λ or the keyword lambda
+  kParam,      ///< $n parameter placeholder (1-based slot in `int_value`)
   // punctuation / operators
   kLParen,
   kRParen,

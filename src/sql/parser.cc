@@ -138,6 +138,21 @@ class Parser {
       stmt.kind = StatementKind::kExplain;
       return stmt;
     }
+    if (PeekKeyword("prepare")) {
+      SODA_ASSIGN_OR_RETURN(stmt.prepare, ParsePrepare());
+      stmt.kind = StatementKind::kPrepare;
+      return stmt;
+    }
+    if (PeekKeyword("execute")) {
+      SODA_ASSIGN_OR_RETURN(stmt.execute, ParseExecute());
+      stmt.kind = StatementKind::kExecute;
+      return stmt;
+    }
+    if (PeekKeyword("deallocate")) {
+      SODA_ASSIGN_OR_RETURN(stmt.deallocate, ParseDeallocate());
+      stmt.kind = StatementKind::kDeallocate;
+      return stmt;
+    }
     if (PeekKeyword("select") || PeekKeyword("with")) {
       SODA_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
       stmt.kind = StatementKind::kSelect;
@@ -145,7 +160,58 @@ class Parser {
     }
     return Unexpected(
         "a statement (SELECT/WITH/CREATE/INSERT/DROP/EXPLAIN/SET/"
-        "CHECKPOINT/SCRUB)");
+        "CHECKPOINT/SCRUB/PREPARE/EXECUTE/DEALLOCATE)");
+  }
+
+  /// PREPARE name [(TYPE, ...)] AS <select | insert>.
+  Result<std::unique_ptr<PrepareStmt>> ParsePrepare() {
+    SODA_RETURN_NOT_OK(ExpectKeyword("prepare"));
+    auto stmt = std::make_unique<PrepareStmt>();
+    SODA_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("statement name"));
+    if (Match(TokenType::kLParen)) {
+      do {
+        SODA_ASSIGN_OR_RETURN(std::string type_name,
+                              ParseIdentifier("parameter type name"));
+        SODA_ASSIGN_OR_RETURN(DataType type, DataTypeFromString(type_name));
+        stmt->param_types.push_back(type);
+      } while (Match(TokenType::kComma));
+      SODA_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    }
+    SODA_RETURN_NOT_OK(ExpectKeyword("as"));
+    SODA_ASSIGN_OR_RETURN(Statement body, ParseStatementImpl());
+    if (body.kind != StatementKind::kSelect &&
+        body.kind != StatementKind::kInsert) {
+      return Status::ParseError(
+          "PREPARE supports SELECT and INSERT statements only");
+    }
+    stmt->body = std::make_unique<Statement>(std::move(body));
+    return stmt;
+  }
+
+  /// EXECUTE name [(expr, ...)].
+  Result<std::unique_ptr<ExecuteStmt>> ParseExecute() {
+    SODA_RETURN_NOT_OK(ExpectKeyword("execute"));
+    auto stmt = std::make_unique<ExecuteStmt>();
+    SODA_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("statement name"));
+    if (Match(TokenType::kLParen)) {
+      if (Peek().type != TokenType::kRParen) {
+        do {
+          SODA_ASSIGN_OR_RETURN(ParseExprPtr arg, ParseExpression());
+          stmt->args.push_back(std::move(arg));
+        } while (Match(TokenType::kComma));
+      }
+      SODA_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    }
+    return stmt;
+  }
+
+  /// DEALLOCATE [PREPARE] name.
+  Result<std::unique_ptr<DeallocateStmt>> ParseDeallocate() {
+    SODA_RETURN_NOT_OK(ExpectKeyword("deallocate"));
+    MatchKeyword("prepare");  // optional noise word, as in Postgres
+    auto stmt = std::make_unique<DeallocateStmt>();
+    SODA_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("statement name"));
+    return stmt;
   }
 
   Result<std::unique_ptr<CreateTableStmt>> ParseCreateTable() {
@@ -775,6 +841,13 @@ class Parser {
       }
       case TokenType::kLambda:
         return ParseLambda();
+      case TokenType::kParam: {
+        Advance();
+        auto e = std::make_unique<ParseExpr>(ParseExprKind::kParameter);
+        e->param_index = static_cast<size_t>(tok.int_value);
+        e->name = tok.text;  // "$n", for error messages
+        return e;
+      }
       case TokenType::kQuotedIdent: {
         Advance();
         auto e = std::make_unique<ParseExpr>(ParseExprKind::kColumnRef);
@@ -946,6 +1019,7 @@ class Parser {
     out->cast_type = e.cast_type;
     out->lambda_params = e.lambda_params;
     out->source_text = e.source_text;
+    out->param_index = e.param_index;
     for (const auto& c : e.children) {
       out->children.push_back(CloneParseExpr(*c));
     }

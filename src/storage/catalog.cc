@@ -6,22 +6,38 @@ namespace soda {
 
 Result<TablePtr> Catalog::CreateTable(const std::string& name, Schema schema) {
   std::string key = ToLower(name);
-  MutexLock lock(&mu_);
-  if (tables_.count(key)) {
-    return Status::AlreadyExists("table already exists: " + key);
+  TablePtr table;
+  std::function<void(const std::string&)> notify;
+  {
+    MutexLock lock(&mu_);
+    if (tables_.count(key)) {
+      return Status::AlreadyExists("table already exists: " + key);
+    }
+    table = std::make_shared<Table>(key, std::move(schema));
+    table->set_version(++next_table_version_);
+    tables_[key] = table;
+    ++catalog_version_;
+    notify = listener_;
   }
-  auto table = std::make_shared<Table>(key, std::move(schema));
-  tables_[key] = table;
+  if (notify) notify(key);
   return table;
 }
 
 Status Catalog::RegisterTable(TablePtr table) {
-  MutexLock lock(&mu_);
-  const std::string& key = table->name();
-  if (tables_.count(key)) {
-    return Status::AlreadyExists("table already exists: " + key);
+  std::string key;
+  std::function<void(const std::string&)> notify;
+  {
+    MutexLock lock(&mu_);
+    key = table->name();
+    if (tables_.count(key)) {
+      return Status::AlreadyExists("table already exists: " + key);
+    }
+    table->set_version(++next_table_version_);
+    tables_[key] = std::move(table);
+    ++catalog_version_;
+    notify = listener_;
   }
-  tables_[key] = std::move(table);
+  if (notify) notify(key);
   return Status::OK();
 }
 
@@ -42,21 +58,37 @@ bool Catalog::HasTable(const std::string& name) const {
 
 Status Catalog::DropTable(const std::string& name) {
   std::string key = ToLower(name);
-  MutexLock lock(&mu_);
-  if (!tables_.erase(key)) {
-    return Status::KeyError("table not found: " + key);
+  std::function<void(const std::string&)> notify;
+  {
+    MutexLock lock(&mu_);
+    if (!tables_.erase(key)) {
+      return Status::KeyError("table not found: " + key);
+    }
+    ++catalog_version_;
+    notify = listener_;
   }
+  if (notify) notify(key);
   return Status::OK();
 }
 
 Status Catalog::ReplaceTable(const std::string& name, TablePtr table) {
   std::string key = ToLower(name);
-  MutexLock lock(&mu_);
-  auto it = tables_.find(key);
-  if (it == tables_.end()) {
-    return Status::KeyError("table not found: " + key);
+  std::function<void(const std::string&)> notify;
+  {
+    MutexLock lock(&mu_);
+    auto it = tables_.find(key);
+    if (it == tables_.end()) {
+      return Status::KeyError("table not found: " + key);
+    }
+    // Stamp before the swap makes the table shared: the old TablePtr keeps
+    // its old version for snapshot readers, the new one is distinct, so
+    // every fingerprint built against the old contents goes stale.
+    table->set_version(++next_table_version_);
+    it->second = std::move(table);
+    ++catalog_version_;
+    notify = listener_;
   }
-  it->second = std::move(table);
+  if (notify) notify(key);
   return Status::OK();
 }
 
@@ -73,12 +105,17 @@ void Catalog::SnapshotInto(Catalog* out) const {
   // are distinct objects (a snapshot is always a fresh local), so the
   // nested acquisition cannot deadlock and both maps stay consistent.
   std::map<std::string, TablePtr> copy;
+  uint64_t version;
   {
     MutexLock lock(&mu_);
     copy = tables_;
+    version = catalog_version_;
   }
   MutexLock lock(&out->mu_);
   out->tables_ = std::move(copy);
+  // The snapshot remembers when it was taken; cache validation compares
+  // this against the version a cached plan was built at.
+  out->catalog_version_ = version;
 }
 
 size_t Catalog::TotalMemoryUsage() const {
@@ -86,6 +123,17 @@ size_t Catalog::TotalMemoryUsage() const {
   size_t bytes = 0;
   for (const auto& [_, t] : tables_) bytes += t->MemoryUsage();
   return bytes;
+}
+
+uint64_t Catalog::catalog_version() const {
+  MutexLock lock(&mu_);
+  return catalog_version_;
+}
+
+void Catalog::SetChangeListener(
+    std::function<void(const std::string&)> listener) {
+  MutexLock lock(&mu_);
+  listener_ = std::move(listener);
 }
 
 }  // namespace soda

@@ -4,6 +4,7 @@
 #ifndef SODA_STORAGE_CATALOG_H_
 #define SODA_STORAGE_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -16,6 +17,15 @@
 namespace soda {
 
 /// Owns all base tables of a database instance.
+///
+/// Versioning (DESIGN.md §11): the catalog owns a global monotonic version
+/// counter. Every publication — CreateTable, RegisterTable, ReplaceTable —
+/// stamps the table with a fresh version before it becomes visible, and
+/// every publication or drop bumps the catalog version. Plan-cache and
+/// hash-table-recycler fingerprints embed (table name, table version,
+/// schema), so any stage-and-swap mutation invalidates them by
+/// construction; the optional change listener exists purely for eager
+/// memory hygiene (evicting doomed cache entries promptly).
 class Catalog {
  public:
   /// Creates an empty table. Fails with AlreadyExists on a name clash.
@@ -52,9 +62,23 @@ class Catalog {
 
   size_t TotalMemoryUsage() const;
 
+  /// Monotonic counter bumped on every Create/Register/Replace/Drop. A
+  /// snapshot carries the version it was taken at, so cache validation can
+  /// short-circuit ("nothing changed since this entry was built").
+  uint64_t catalog_version() const;
+
+  /// Installs a callback invoked with the (lower-cased) table name after
+  /// every publication or drop. Fired OUTSIDE the catalog mutex, so the
+  /// listener may take its own (leaf) locks freely; it must not call back
+  /// into the catalog's mutating API. One listener; engine-owned.
+  void SetChangeListener(std::function<void(const std::string&)> listener);
+
  private:
   mutable Mutex mu_;
   std::map<std::string, TablePtr> tables_ SODA_GUARDED_BY(mu_);
+  uint64_t catalog_version_ SODA_GUARDED_BY(mu_) = 0;
+  uint64_t next_table_version_ SODA_GUARDED_BY(mu_) = 0;
+  std::function<void(const std::string&)> listener_ SODA_GUARDED_BY(mu_);
 };
 
 }  // namespace soda

@@ -64,6 +64,7 @@ class Table {
     partition_offsets_ = std::move(other.partition_offsets_);
     group_quarantined_ = std::move(other.group_quarantined_);
     table_quarantined_ = other.table_quarantined_;
+    version_ = other.version_;
     flat_ready_.store(other.flat_ready_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     return *this;
@@ -228,6 +229,23 @@ class Table {
   /// so pruned queries keep working on the healthy partitions).
   Status CheckReadable(size_t offset, size_t count) const;
 
+  // --- Versioning (plan cache / hash-table recycler, DESIGN.md §11) --------
+  //
+  // Every table published through the catalog carries a version drawn from
+  // the catalog's global monotonic counter. DML/DDL goes through the
+  // stage-and-swap ReplaceTable path, so any change to a base table's
+  // contents installs a fresh Table object with a fresh version — cached
+  // plans and recycled hash tables embed (name, version, schema) in their
+  // fingerprints and go stale automatically.
+
+  /// Version stamped by the catalog at publication; 0 = never published
+  /// (intermediate relation).
+  uint64_t version() const { return version_; }
+
+  /// Catalog-only: stamps the publication version. Legal only before the
+  /// table becomes shared (tables are immutable once registered).
+  void set_version(uint64_t v) { version_ = v; }
+
  private:
   /// Decodes all columns into the flat cache (keeps the segments). Safe
   /// to race from many readers; first one in does the work.
@@ -250,6 +268,8 @@ class Table {
   /// MarkGroupQuarantined. table_quarantined_ overrides per-group state.
   std::vector<uint8_t> group_quarantined_;
   bool table_quarantined_ = false;
+
+  uint64_t version_ = 0;  ///< catalog publication version (see version())
 
   mutable Mutex seal_mu_;
   mutable std::atomic<bool> flat_ready_{false};

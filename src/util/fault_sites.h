@@ -47,6 +47,10 @@ inline constexpr FaultSiteInfo kFaultSites[] = {
     {"durability.auto_checkpoint",
      "maintenance thread: threshold-triggered auto-checkpoint"},
 
+    // Caches (plan cache + join hash-table recycler, DESIGN.md §11).
+    {"cache.ht_recycle", "hash-table recycler: build-fragment lookup"},
+    {"cache.plan_lookup", "plan cache: SELECT plan lookup/validation"},
+
     // Iterative constructs (§5.1).
     {"cte.append", "recursive CTE: working-table append charge"},
     {"cte.step", "recursive CTE: per-step probe"},

@@ -1,0 +1,283 @@
+/// Repeated-traffic caches (DESIGN.md §11): the plan cache and the join
+/// hash-table recycler. The invariants under test:
+///
+///  - repeated statements hit (counters prove reuse, results stay right);
+///  - every write to a dependency — INSERT, UPDATE, DELETE, DROP,
+///    CHECKPOINT, scrub-quarantine — invalidates dependent entries;
+///  - quarantined tables are never served from either cache;
+///  - the recycler's byte budget evicts LRU entries under pressure;
+///  - cancellation during a recycler lookup tears down cleanly.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "storage/segment.h"
+#include "tests/test_util.h"
+#include "util/query_guard.h"
+
+namespace soda {
+namespace {
+
+using testing::ExpectError;
+using testing::RunQuery;
+
+constexpr const char* kJoin =
+    "SELECT x.a, y.b FROM t x JOIN t y ON x.a = y.a";
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Reset();
+    ASSERT_OK(engine_.Execute("CREATE TABLE t (a INTEGER, b FLOAT)")
+                  .status());
+    ASSERT_OK(engine_.Execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)")
+                  .status());
+  }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  int64_t PlanHits() { return engine_.plan_cache().stats().hits; }
+  int64_t HtHits() { return engine_.ht_recycler().stats().hits; }
+  int64_t HtEntries() { return engine_.ht_recycler().stats().entries; }
+
+  /// Runs the join once and reports whether the build was recycled. The
+  /// self-join is on the unique column a, so it must return exactly one
+  /// row per row of t — recycled or not.
+  bool JoinRecycled() {
+    int64_t expected =
+        RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0);
+    int64_t before = HtHits();
+    QueryResult r = RunQuery(engine_, kJoin);
+    EXPECT_EQ(static_cast<int64_t>(r.num_rows()), expected);
+    return HtHits() == before + 1;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(CacheTest, RepeatedSelectHitsThePlanCache) {
+  RunQuery(engine_, "SELECT a FROM t WHERE a = 1");
+  int64_t hits = PlanHits();
+  QueryResult r = RunQuery(engine_, "SELECT a FROM t WHERE a = 1");
+  EXPECT_EQ(r.GetInt(0, 0), 1);
+  EXPECT_EQ(PlanHits(), hits + 1);
+  // Whitespace-only variation shares the slot (the key is trimmed SQL).
+  RunQuery(engine_, "  SELECT a FROM t WHERE a = 1  ");
+  EXPECT_EQ(PlanHits(), hits + 2);
+  // A different statement does not.
+  RunQuery(engine_, "SELECT a FROM t WHERE a = 2");
+  EXPECT_EQ(PlanHits(), hits + 2);
+}
+
+TEST_F(CacheTest, RepeatedJoinRecyclesTheBuildTable) {
+  EXPECT_FALSE(JoinRecycled()) << "cold run must build";
+  EXPECT_TRUE(JoinRecycled()) << "warm run must recycle";
+  EXPECT_TRUE(JoinRecycled());
+  EXPECT_GE(engine_.ht_recycler().stats().bytes, 1);
+}
+
+TEST_F(CacheTest, InvalidationMatrixEveryWriteEvictsTheBuild) {
+  const char* writes[] = {
+      "INSERT INTO t VALUES (3, 3.0)",
+      "UPDATE t SET b = b + 1 WHERE a = 1",
+      "DELETE FROM t WHERE a = 3",
+  };
+  for (const char* write : writes) {
+    EXPECT_GE(RunQuery(engine_, kJoin).num_rows(), 2u);
+    EXPECT_TRUE(JoinRecycled()) << "warm before " << write;
+    ASSERT_OK(engine_.Execute(write).status());
+    EXPECT_FALSE(JoinRecycled())
+        << write << " must evict the recycled build";
+    EXPECT_TRUE(JoinRecycled()) << "recycling resumes after " << write;
+  }
+  // DROP evicts too — and the rebuilt table starts cold.
+  ASSERT_OK(engine_.Execute("DROP TABLE t").status());
+  ASSERT_OK(engine_.Execute("CREATE TABLE t (a INTEGER, b FLOAT)").status());
+  ASSERT_OK(engine_.Execute("INSERT INTO t VALUES (9, 9.0)").status());
+  EXPECT_FALSE(JoinRecycled());
+}
+
+TEST(CacheDurableTest, CheckpointEvictsBothCaches) {
+  char tmpl[] = "/tmp/soda_cache_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  {
+    EngineOptions o;
+    o.data_dir = dir;
+    Engine engine(o);
+    ASSERT_OK(engine.startup_status());
+    ASSERT_OK(engine.Execute("CREATE TABLE t (a INTEGER, b FLOAT)").status());
+    ASSERT_OK(
+        engine.Execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)").status());
+    RunQuery(engine, kJoin);
+    RunQuery(engine, kJoin);
+    EXPECT_GE(engine.plan_cache().stats().entries, 1);
+    EXPECT_GE(engine.ht_recycler().stats().entries, 1);
+    ASSERT_OK(engine.Execute("CHECKPOINT").status());
+    EXPECT_EQ(engine.plan_cache().stats().entries, 0);
+    EXPECT_EQ(engine.ht_recycler().stats().entries, 0);
+    // And everything still answers correctly cold.
+    EXPECT_EQ(RunQuery(engine, kJoin).num_rows(), 2u);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST_F(CacheTest, PlanCacheInvalidatesOnDependencyChange) {
+  RunQuery(engine_, "SELECT count(*) FROM t");
+  int64_t hits = PlanHits();
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0), 2);
+  EXPECT_EQ(PlanHits(), hits + 1);
+  ASSERT_OK(engine_.Execute("INSERT INTO t VALUES (3, 3.0)").status());
+  // Never a stale row count: the plan may be reused (its shape is still
+  // valid), but it must scan the new table version.
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0), 3);
+}
+
+TEST_F(CacheTest, DropCreateWithDifferentSchemaNeverServesTheOldPlan) {
+  // Regression: key on schema hash, not just name+version. The old plan
+  // projected (a INTEGER, b FLOAT); after DROP+CREATE with a different
+  // shape the same SQL must re-bind, not crash or mis-project.
+  QueryResult before = RunQuery(engine_, "SELECT * FROM t");
+  EXPECT_EQ(before.num_columns(), 2u);
+  ASSERT_OK(engine_.Execute("DROP TABLE t").status());
+  ASSERT_OK(engine_
+                .Execute("CREATE TABLE t (s VARCHAR, a INTEGER, z FLOAT)")
+                .status());
+  ASSERT_OK(engine_.Execute("INSERT INTO t VALUES ('x', 7, 0.5)").status());
+  QueryResult after = RunQuery(engine_, "SELECT * FROM t");
+  EXPECT_EQ(after.num_columns(), 3u);
+  EXPECT_EQ(after.GetString(0, 0), "x");
+  // And a cached aggregate over a dropped-then-recreated column re-binds.
+  RunQuery(engine_, "SELECT a FROM t");
+  ASSERT_OK(engine_.Execute("DROP TABLE t").status());
+  ASSERT_OK(engine_.Execute("CREATE TABLE t (a VARCHAR)").status());
+  ASSERT_OK(engine_.Execute("INSERT INTO t VALUES ('only')").status());
+  EXPECT_EQ(RunQuery(engine_, "SELECT a FROM t").GetString(0, 0), "only");
+}
+
+TEST_F(CacheTest, SetPlanCacheOffDisablesAndClears) {
+  RunQuery(engine_, "SELECT a FROM t");
+  ASSERT_OK(engine_.Execute("SET soda.plan_cache = off").status());
+  EXPECT_EQ(engine_.plan_cache().stats().entries, 0);
+  int64_t hits = PlanHits();
+  RunQuery(engine_, "SELECT a FROM t");
+  RunQuery(engine_, "SELECT a FROM t");
+  EXPECT_EQ(PlanHits(), hits) << "disabled cache must not serve hits";
+  ASSERT_OK(engine_.Execute("SET soda.plan_cache = on").status());
+  RunQuery(engine_, "SELECT a FROM t");
+  RunQuery(engine_, "SELECT a FROM t");
+  EXPECT_EQ(PlanHits(), hits + 1);
+}
+
+TEST_F(CacheTest, ByteBudgetEvictsLeastRecentlyUsedBuilds) {
+  // Shrink the budget to zero: every publish is refused, nothing cached.
+  ASSERT_OK(engine_.Execute("SET soda.ht_cache_mb = 0").status());
+  EXPECT_FALSE(JoinRecycled());
+  EXPECT_FALSE(JoinRecycled());
+  EXPECT_EQ(HtEntries(), 0);
+  // Restore a real budget: recycling resumes.
+  ASSERT_OK(engine_.Execute("SET soda.ht_cache_mb = 64").status());
+  EXPECT_FALSE(JoinRecycled());
+  EXPECT_TRUE(JoinRecycled());
+  // Shrinking the budget under live entries evicts them immediately.
+  int64_t evictions = engine_.ht_recycler().stats().evictions;
+  ASSERT_OK(engine_.Execute("SET soda.ht_cache_mb = 0").status());
+  EXPECT_EQ(HtEntries(), 0);
+  EXPECT_GT(engine_.ht_recycler().stats().evictions, evictions);
+}
+
+TEST_F(CacheTest, QuarantinedTablesAreNeverServed) {
+  ASSERT_OK(engine_
+                .Execute("CREATE TABLE pt (k BIGINT, v VARCHAR) "
+                         "PARTITION BY RANGE(k) (10)")
+                .status());
+  ASSERT_OK(
+      engine_.Execute("INSERT INTO pt VALUES (1, 'a'), (20, 'b')").status());
+  const char* pt_join =
+      "SELECT x.k FROM pt x JOIN pt y ON x.k = y.k";
+  EXPECT_EQ(RunQuery(engine_, pt_join).num_rows(), 2u);
+  EXPECT_GE(HtEntries(), 1);
+
+  // Rot one sealed segment and scrub: the quarantine republishes pt,
+  // which must evict its recycled build and its cached plans.
+  {
+    auto table = engine_.catalog().GetTable("pt");
+    ASSERT_OK(table.status());
+    auto* seg = const_cast<Segment*>((*table)->group_segment(0, 0).get());
+    ASSERT_NE(seg, nullptr);
+    seg->stats.min_i64 ^= 0x7f;
+  }
+  ASSERT_OK(engine_.Execute("SCRUB").status());
+  int64_t hits = HtHits();
+  auto degraded = engine_.Execute(pt_join);
+  // Whatever the degraded outcome (kDataLoss from the quarantined group),
+  // it must not come from a recycled pre-corruption hash table.
+  EXPECT_EQ(HtHits(), hits);
+  ASSERT_FALSE(degraded.ok());
+  EXPECT_EQ(degraded.status().code(), StatusCode::kDataLoss)
+      << degraded.status().ToString();
+  // The healthy base table is unaffected.
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").GetInt(0, 0), 2);
+}
+
+TEST_F(CacheTest, CancellationDuringRecyclerLookupTearsDownCleanly) {
+  RunQuery(engine_, kJoin);  // warm the recycler
+  FaultInjector::Global().Arm("cache.ht_recycle",
+                              FaultInjector::Kind::kCancel);
+  ExpectError(engine_, kJoin, StatusCode::kCancelled);
+  FaultInjector::Global().Reset();
+  // No half-built state: the next run recycles (the entry survived) and
+  // returns correct rows.
+  EXPECT_TRUE(JoinRecycled());
+}
+
+TEST_F(CacheTest, PlanLookupFaultAbortsCleanly) {
+  RunQuery(engine_, "SELECT a FROM t");
+  FaultInjector::Global().Arm("cache.plan_lookup",
+                              FaultInjector::Kind::kError);
+  ExpectError(engine_, "SELECT a FROM t", StatusCode::kInternal);
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(RunQuery(engine_, "SELECT a FROM t").num_rows(), 2u);
+}
+
+TEST_F(CacheTest, ExplainReportsCacheAndRecyclerState) {
+  QueryResult cold = RunQuery(engine_, std::string("EXPLAIN ANALYZE ") + kJoin);
+  std::string cold_text = cold.ToString(100);
+  EXPECT_NE(cold_text.find("plan: fresh"), std::string::npos) << cold_text;
+  EXPECT_NE(cold_text.find("join build: built"), std::string::npos)
+      << cold_text;
+  QueryResult warm = RunQuery(engine_, std::string("EXPLAIN ANALYZE ") + kJoin);
+  std::string warm_text = warm.ToString(100);
+  EXPECT_NE(warm_text.find("plan: cached"), std::string::npos) << warm_text;
+  EXPECT_NE(warm_text.find("join build: recycled"), std::string::npos)
+      << warm_text;
+  // EXPLAIN shares the bare statement's slot: the SELECT itself now hits.
+  int64_t hits = PlanHits();
+  RunQuery(engine_, kJoin);
+  EXPECT_EQ(PlanHits(), hits + 1);
+}
+
+TEST_F(CacheTest, StatusCountersTrackBothCaches) {
+  RunQuery(engine_, kJoin);
+  RunQuery(engine_, kJoin);
+  QueryResult status = RunQuery(engine_, "SELECT * FROM soda_status()");
+  auto metric = [&](const std::string& name) -> int64_t {
+    for (size_t row = 0; row < status.num_rows(); ++row) {
+      if (status.GetString(row, 0) == name) return status.GetInt(row, 1);
+    }
+    return -1;
+  };
+  EXPECT_GE(metric("plan_cache_hits"), 1);
+  EXPECT_GE(metric("plan_cache_misses"), 1);
+  EXPECT_GE(metric("plan_cache_entries"), 1);
+  EXPECT_GE(metric("ht_cache_hits"), 1);
+  EXPECT_GE(metric("ht_cache_misses"), 1);
+  EXPECT_GE(metric("ht_cache_bytes"), 1);
+  EXPECT_EQ(metric("ht_cache_evictions"), 0);
+}
+
+}  // namespace
+}  // namespace soda

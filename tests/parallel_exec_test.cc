@@ -250,6 +250,9 @@ TEST_F(ParallelExecTest, FaultInjectionCoversJoinAndMergeSites) {
        "SELECT a, count(*) FROM s GROUP BY a", StatusCode::kInternal},
   };
   for (const Case& c : cases) {
+    // A prior case's retry publishes its hash table into the recycler;
+    // evict so the build site actually runs (and the fault can fire).
+    engine_.ht_recycler().EvictAll();
     FaultInjector::Global().Arm(c.site, c.kind);
     auto result = engine_.Execute(c.sql);
     ASSERT_FALSE(result.ok()) << "site " << c.site << " did not fire";

@@ -1,0 +1,192 @@
+/// PREPARE / EXECUTE / DEALLOCATE (DESIGN.md §11): parameter typing at
+/// prepare time, literal substitution into a pre-optimized plan at
+/// execute time, transparent re-preparation on staleness, and strict
+/// per-session isolation of statement names.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace soda {
+namespace {
+
+using testing::ExpectError;
+using testing::RunQuery;
+
+class PreparedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(engine_.Execute("CREATE TABLE t (a INTEGER, b FLOAT)")
+                  .status());
+    ASSERT_OK(
+        engine_.Execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5)")
+            .status());
+  }
+  Engine engine_;
+};
+
+TEST_F(PreparedTest, PrepareExecuteDeallocateRoundTrip) {
+  ASSERT_OK(engine_
+                .Execute("PREPARE q (INTEGER) AS "
+                         "SELECT a, b FROM t WHERE a = $1")
+                .status());
+  QueryResult r = RunQuery(engine_, "EXECUTE q (2)");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetInt(0, 0), 2);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 1), 2.5);
+  // Different argument, same plan.
+  EXPECT_EQ(RunQuery(engine_, "EXECUTE q (3)").GetInt(0, 0), 3);
+  // No match is an empty relation, not an error.
+  EXPECT_EQ(RunQuery(engine_, "EXECUTE q (99)").num_rows(), 0u);
+  ASSERT_OK(engine_.Execute("DEALLOCATE q").status());
+  ExpectError(engine_, "EXECUTE q (1)", StatusCode::kKeyError);
+  ExpectError(engine_, "DEALLOCATE q", StatusCode::kKeyError);
+}
+
+TEST_F(PreparedTest, ParameterTypesAreInferredFromContext) {
+  // No declared types: $1 takes a's column type from the comparison.
+  ASSERT_OK(engine_.Execute("PREPARE q AS SELECT b FROM t WHERE a = $1")
+                .status());
+  EXPECT_DOUBLE_EQ(RunQuery(engine_, "EXECUTE q (1)").GetDouble(0, 0), 1.5);
+}
+
+TEST_F(PreparedTest, ArityMismatchIsACleanError) {
+  ASSERT_OK(engine_
+                .Execute("PREPARE q (INTEGER) AS SELECT a FROM t "
+                         "WHERE a = $1")
+                .status());
+  ExpectError(engine_, "EXECUTE q", StatusCode::kInvalidArgument);
+  ExpectError(engine_, "EXECUTE q (1, 2)", StatusCode::kInvalidArgument);
+}
+
+TEST_F(PreparedTest, TypeMismatchIsACleanTypeError) {
+  ASSERT_OK(engine_
+                .Execute("PREPARE q (INTEGER) AS SELECT a FROM t "
+                         "WHERE a = $1")
+                .status());
+  auto bad = engine_.Execute("EXECUTE q ('not a number')");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError)
+      << bad.status().ToString();
+  // The error names the offending slot.
+  EXPECT_NE(bad.status().message().find("$1"), std::string::npos)
+      << bad.status().ToString();
+  // Numeric widening casts are fine: bigint literal into INTEGER slot,
+  // and the statement keeps working after the failed attempt.
+  EXPECT_EQ(RunQuery(engine_, "EXECUTE q (2)").GetInt(0, 0), 2);
+}
+
+TEST_F(PreparedTest, ParametersOutsidePrepareAreRejected) {
+  ExpectError(engine_, "SELECT a FROM t WHERE a = $1",
+              StatusCode::kBindError);
+}
+
+TEST_F(PreparedTest, PreparedInsertSubstitutesValues) {
+  ASSERT_OK(engine_
+                .Execute("PREPARE add_row (INTEGER, FLOAT) AS "
+                         "INSERT INTO t VALUES ($1, $2)")
+                .status());
+  ASSERT_OK(engine_.Execute("EXECUTE add_row (10, 10.5)").status());
+  ASSERT_OK(engine_.Execute("EXECUTE add_row (11, 11.5)").status());
+  QueryResult r =
+      RunQuery(engine_, "SELECT b FROM t WHERE a >= 10 ORDER BY a");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(r.GetDouble(0, 0), 10.5);
+  EXPECT_DOUBLE_EQ(r.GetDouble(1, 0), 11.5);
+}
+
+TEST_F(PreparedTest, ExecuteSurvivesDmlOnDependencies) {
+  ASSERT_OK(engine_
+                .Execute("PREPARE q AS SELECT count(*) FROM t WHERE a <= $1")
+                .status());
+  EXPECT_EQ(RunQuery(engine_, "EXECUTE q (100)").GetInt(0, 0), 3);
+  ASSERT_OK(engine_.Execute("INSERT INTO t VALUES (4, 4.5)").status());
+  // The dependency version moved; EXECUTE transparently re-binds and
+  // sees the new row.
+  EXPECT_EQ(RunQuery(engine_, "EXECUTE q (100)").GetInt(0, 0), 4);
+}
+
+TEST_F(PreparedTest, ExecuteRepreparesAfterDropCreate) {
+  ASSERT_OK(engine_.Execute("PREPARE q AS SELECT a FROM t WHERE a = $1")
+                .status());
+  EXPECT_EQ(RunQuery(engine_, "EXECUTE q (1)").GetInt(0, 0), 1);
+  ASSERT_OK(engine_.Execute("DROP TABLE t").status());
+  ASSERT_OK(
+      engine_.Execute("CREATE TABLE t (z VARCHAR, a INTEGER)").status());
+  ASSERT_OK(engine_.Execute("INSERT INTO t VALUES ('v', 7)").status());
+  // Same statement, new schema: re-prepared against the new shape.
+  EXPECT_EQ(RunQuery(engine_, "EXECUTE q (7)").GetInt(0, 0), 7);
+  // And a body referencing a column the new table lacks errs at PREPARE.
+  ExpectError(engine_, "PREPARE qb AS SELECT b FROM t WHERE a = $1",
+              StatusCode::kBindError);
+}
+
+TEST_F(PreparedTest, RePrepareReplacesTheStatement) {
+  ASSERT_OK(engine_.Execute("PREPARE q AS SELECT 1").status());
+  ASSERT_OK(engine_.Execute("PREPARE q AS SELECT 2").status());
+  EXPECT_EQ(RunQuery(engine_, "EXECUTE q").GetInt(0, 0), 2);
+}
+
+TEST_F(PreparedTest, OnlySelectAndInsertBodies) {
+  ExpectError(engine_, "PREPARE q AS DROP TABLE t",
+              StatusCode::kParseError);
+}
+
+TEST_F(PreparedTest, CrossSessionIsolation) {
+  // Two sessions with private registries: names do not leak.
+  PreparedRegistry session_a;
+  PreparedRegistry session_b;
+  ExecOptions a;
+  a.prepared = &session_a;
+  ExecOptions b;
+  b.prepared = &session_b;
+  ASSERT_OK(
+      engine_.Execute("PREPARE q AS SELECT count(*) FROM t", a).status());
+  auto leak = engine_.Execute("EXECUTE q", b);
+  ASSERT_FALSE(leak.ok()) << "session B must not see session A's q";
+  EXPECT_EQ(leak.status().code(), StatusCode::kKeyError);
+  EXPECT_EQ(RunQuery(engine_, "SELECT count(*) FROM t").num_rows(), 1u);
+  // Same name, different bodies, no interference.
+  ASSERT_OK(engine_.Execute("PREPARE q AS SELECT min(a) FROM t", b).status());
+  auto ra = engine_.Execute("EXECUTE q", a);
+  auto rb = engine_.Execute("EXECUTE q", b);
+  ASSERT_OK(ra.status());
+  ASSERT_OK(rb.status());
+  EXPECT_EQ(ra->GetInt(0, 0), 3);
+  EXPECT_EQ(rb->GetInt(0, 0), 1);
+  // The engine-global registry (null exec.prepared) is a third namespace.
+  ExpectError(engine_, "EXECUTE q", StatusCode::kKeyError);
+}
+
+TEST_F(PreparedTest, NamesAreCaseInsensitive) {
+  ASSERT_OK(engine_.Execute("PREPARE MyQuery AS SELECT 42").status());
+  EXPECT_EQ(RunQuery(engine_, "EXECUTE myquery").GetInt(0, 0), 42);
+  ASSERT_OK(engine_.Execute("DEALLOCATE MYQUERY").status());
+}
+
+TEST_F(PreparedTest, ExecuteRecyclesJoinBuilds) {
+  // The parameter lives above the join, in the projection: both join
+  // inputs are bare scans of t, so the build-side fingerprint is
+  // identical across EXECUTEs with different arguments. (A parameter in a
+  // WHERE clause would be pushed into a scan, and the optimizer builds on
+  // the filtered — smaller — side, giving each argument its own build.)
+  ASSERT_OK(engine_
+                .Execute("PREPARE j (INTEGER) AS "
+                         "SELECT x.a + $1 FROM t x JOIN t y ON x.a = y.a "
+                         "ORDER BY x.a")
+                .status());
+  int64_t hits = engine_.ht_recycler().stats().hits;
+  QueryResult r1 = RunQuery(engine_, "EXECUTE j (10)");
+  ASSERT_EQ(r1.num_rows(), 3u);
+  EXPECT_EQ(r1.GetInt(0, 0), 11);
+  QueryResult r2 = RunQuery(engine_, "EXECUTE j (20)");
+  ASSERT_EQ(r2.num_rows(), 3u);
+  EXPECT_EQ(r2.GetInt(0, 0), 21);
+  EXPECT_GE(engine_.ht_recycler().stats().hits, hits + 1);
+}
+
+}  // namespace
+}  // namespace soda

@@ -304,6 +304,13 @@ const FaultCase kFaultMatrix[] = {
     // pass cleanly without quarantining anything.
     {"storage.scrub", FaultInjector::Kind::kError, "SCRUB",
      StatusCode::kInternal},
+    // Repeated-traffic caches (DESIGN.md §11): the plan cache probes on
+    // every ad-hoc SELECT; the recycler probes on every equi-join build
+    // lookup, hit or miss.
+    {"cache.plan_lookup", FaultInjector::Kind::kCancel,
+     "SELECT a FROM t WHERE a > 0", StatusCode::kCancelled},
+    {"cache.ht_recycle", FaultInjector::Kind::kError,
+     "SELECT x.a FROM t x JOIN t y ON x.a = y.a", StatusCode::kInternal},
 };
 
 /// Sites whose injection coverage lives in a dedicated suite rather than
@@ -653,7 +660,7 @@ TEST_F(ResourceGovernorTest, ScrubDetectsBitFlipAndQuarantinesGroup) {
 
 TEST_F(ResourceGovernorTest, SodaStatusOnVolatileEngine) {
   QueryResult status = RunQuery(engine_, "SELECT * FROM soda_status()");
-  EXPECT_EQ(status.num_rows(), 9u);
+  EXPECT_EQ(status.num_rows(), 16u);
   EXPECT_EQ(Metric(status, "durable"), 0);
   EXPECT_EQ(Metric(status, "wal_bytes"), 0);
   EXPECT_EQ(Metric(status, "quarantined_row_groups"), 0);

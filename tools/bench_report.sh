@@ -7,14 +7,18 @@
 #   - bench_segments (PR 7): encoded columnar segments + partitioned
 #     tables vs. the flat layout (scan/filter/agg times, memory footprint,
 #     checkpoint file size).
-# Both run at ci and medium scale.
+#   - bench_repeat (PR 9): cold vs. warm repeated traffic — the plan
+#     cache, the join hash-table recycler, and PREPARE/EXECUTE (hit
+#     counters are checked by the harness itself; a warm pass that fails
+#     to reuse its cache aborts the run).
+# All run at ci and medium scale.
 #
 # Usage:
-#   tools/bench_report.sh [output.json]      # default: BENCH_pr7.json
+#   tools/bench_report.sh [output.json]      # default: BENCH_pr9.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-${repo_root}/BENCH_pr7.json}"
+out="${1:-${repo_root}/BENCH_pr9.json}"
 build="${repo_root}/build"
 report_name="$(basename "${out}" .json)"
 
@@ -26,7 +30,7 @@ for tool in cmake c++; do
   fi
 done
 
-benches=(bench_join_agg bench_segments)
+benches=(bench_join_agg bench_segments bench_repeat)
 for bench in "${benches[@]}"; do
   if [[ ! -x "${build}/bench/${bench}" ]]; then
     cmake -S "${repo_root}" -B "${build}"

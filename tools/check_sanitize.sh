@@ -30,7 +30,7 @@ if [[ "${sanitizers}" == "thread" ]]; then
   # Segment/Partition ride along: sealed scans decode concurrently and
   # share the lazy flat-cache CAS in Table::MaterializeFlat.
   SODA_THREADS=4 ctest --test-dir "${build_dir}" \
-    -R 'ParallelExec|Robustness|PhysicalPlan|Durability|Server|Segment|Partition' \
+    -R 'ParallelExec|Robustness|PhysicalPlan|Durability|Server|Segment|Partition|Cache|Prepared' \
     -j "$(nproc)" --output-on-failure
   echo "check_sanitize: concurrency suites clean under thread (SODA_THREADS=4)"
 else

@@ -44,6 +44,7 @@
 
 #include "core/engine.h"
 #include "server/protocol.h"
+#include "sql/parser.h"
 #include "storage/csv.h"
 #include "util/socket.h"
 #include "util/string_util.h"
@@ -195,21 +196,77 @@ bool HandleMeta(soda::Engine& engine, const std::string& line, bool* timing) {
   return false;
 }
 
+/// Resolves a constant EXECUTE argument client-side: literals and a
+/// negated numeric literal. Anything richer falls back to raw SQL.
+bool ParseArgValue(const soda::ParseExpr& e, soda::Value* out) {
+  if (e.kind == soda::ParseExprKind::kLiteral) {
+    *out = e.literal;
+    return true;
+  }
+  if (e.kind == soda::ParseExprKind::kUnary &&
+      e.unary_op == soda::UnaryOp::kNegate && e.children.size() == 1 &&
+      e.children[0]->kind == soda::ParseExprKind::kLiteral) {
+    const soda::Value& v = e.children[0]->literal;
+    if (v.type() == soda::DataType::kBigInt) {
+      *out = soda::Value::BigInt(-v.bigint_value());
+      return true;
+    }
+    if (v.type() == soda::DataType::kDouble) {
+      *out = soda::Value::Double(-v.double_value());
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Picks the wire frame for one statement. PREPARE travels as a kPrepare
+/// frame and EXECUTE with constant arguments as a typed kExecutePrepared
+/// frame — so the retry loop below re-sends the prepared-statement frame,
+/// never re-parsed raw SQL. Everything else (including EXECUTE with
+/// non-literal argument expressions) goes through kQuery.
+void BuildRemoteFrame(const std::string& sql, soda::MsgType* type,
+                      std::string* body) {
+  *type = soda::MsgType::kQuery;
+  *body = soda::EncodeQuery(sql);
+  auto stmt = soda::ParseStatement(sql);
+  if (!stmt.ok()) return;  // let the server report the parse error
+  if (stmt->kind == soda::StatementKind::kPrepare) {
+    *type = soda::MsgType::kPrepare;
+    *body = soda::EncodePrepare(stmt->prepare->name, sql);
+    return;
+  }
+  if (stmt->kind == soda::StatementKind::kExecute) {
+    std::vector<soda::Value> params;
+    params.reserve(stmt->execute->args.size());
+    for (const auto& arg : stmt->execute->args) {
+      soda::Value v;
+      if (!ParseArgValue(*arg, &v)) return;  // non-constant: raw SQL
+      params.push_back(std::move(v));
+    }
+    *type = soda::MsgType::kExecutePrepared;
+    *body = soda::EncodeExecutePrepared(stmt->execute->name, params);
+  }
+}
+
 /// Sends one statement to a remote server and prints the reply. Returns
 /// false when the connection is no longer usable (torn frame, goodbye).
 ///
 /// Shed statements (a typed error carrying a retry-after hint, which the
 /// server sends under admission-control overload) are retried
 /// automatically: the server's hint seeds a bounded exponential backoff.
-/// `--no-retry` restores the old print-and-move-on behavior.
+/// The frame is encoded once up front, so a retried EXECUTE re-sends the
+/// prepared-statement frame rather than re-parsed SQL text. `--no-retry`
+/// restores the old print-and-move-on behavior.
 bool RunRemoteStatement(const soda::Socket& sock, const std::string& sql,
                         bool timing, bool auto_retry) {
   constexpr int kMaxAttempts = 4;
   constexpr long long kMaxBackoffMs = 2000;
+  soda::MsgType type;
+  std::string body;
+  BuildRemoteFrame(sql, &type, &body);
   for (int attempt = 1;; ++attempt) {
     soda::Timer timer;
-    soda::Status sent =
-        soda::WriteFrame(sock, soda::MsgType::kQuery, soda::EncodeQuery(sql));
+    soda::Status sent = soda::WriteFrame(sock, type, body);
     if (!sent.ok()) {
       std::printf("connection lost: %s\n", sent.ToString().c_str());
       return false;
