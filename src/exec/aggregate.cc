@@ -432,6 +432,7 @@ class AggregateSink : public TableSink {
     std::vector<uint32_t>& groups = local->group_scratch;
     groups.resize(n);
     constexpr size_t kPrefetchAhead = 8;
+    // analyze:allow(guard-probe: n is one morsel chunk; ParallelFor probes exec.morsel)
     for (size_t row = 0; row < n; ++row) {
       if (need_hashes && row + kPrefetchAhead < n) {
         const size_t pmask = local->slots.size() - 1;
@@ -452,6 +453,7 @@ class AggregateSink : public TableSink {
     uint8_t* const states = local->states.data();
     const size_t stride = layout_.stride;
     const uint32_t* const offs = layout_.offsets.data();
+    // analyze:allow(guard-probe: n is one morsel chunk; ParallelFor probes exec.morsel)
     for (size_t row = 0; row < n; ++row) {
       if (row + kPrefetchAhead < n) {
         const char* line = reinterpret_cast<const char*>(

@@ -154,6 +154,7 @@ Status HashJoinProbeTransform::Apply(DataChunk& chunk,
   };
 
   std::vector<uint32_t> matches;
+  // analyze:allow(guard-probe: n is one morsel chunk; ParallelFor probes exec.morsel)
   for (size_t row = 0; row < n; ++row) {
     matches.clear();
     table_->ProbeRow(hashes[row], chunk, probe_keys_, row, &matches);

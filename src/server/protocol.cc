@@ -46,8 +46,10 @@ Result<Frame> ReadFrame(const Socket& sock, size_t max_frame_bytes) {
   }
   std::string payload(len, '\0');
   SODA_RETURN_NOT_OK(sock.ReadFull(payload.data(), payload.size()));
+  BinaryReader r(payload);
+  SODA_ASSIGN_OR_RETURN(uint8_t type, r.U8());
   Frame frame;
-  frame.type = static_cast<MsgType>(payload[0]);
+  frame.type = static_cast<MsgType>(type);
   frame.body = payload.substr(1);
   return frame;
 }

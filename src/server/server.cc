@@ -27,6 +27,7 @@ Server::Server(Engine* engine, ServerOptions options)
       sessions_(options_.max_sessions) {}
 
 Server::~Server() {
+  // analyze:allow(status: dtor cannot propagate; Shutdown is OK here)
   if (running()) (void)Shutdown();
 }
 
@@ -60,6 +61,7 @@ void Server::AcceptLoop() {
     auto ready = listener_.WaitAcceptable(options_.poll_interval_ms);
     if (!ready.ok()) break;  // listener broken; drain path still works
     if (!*ready) continue;
+    // analyze:allow(status: injected-fault message is synthetic; stats_ counts it)
     if (!FaultInjector::Global().Probe("server.accept").ok()) {
       // Injected accept failure: count it and carry on. The pending
       // connection stays in the backlog and is picked up next round —
@@ -76,6 +78,7 @@ void Server::AcceptLoop() {
       // Reject fast with a typed reply; the frame is tiny, so this
       // cannot stall the accept thread on a slow client.
       stats_.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
+      // analyze:allow(status: best-effort reject notice; peer may be gone)
       (void)WriteFrame(*sock, MsgType::kError,
                        EncodeError(session.status(),
                                    admission_.retry_after_hint_ms()));
@@ -101,12 +104,14 @@ void Server::SessionLoop(SessionPtr session, std::shared_ptr<Socket> sock) {
                          EncodeHello(session->id(), kBanner));
   while (st.ok()) {
     if (stopping_.load(std::memory_order_acquire)) {
+      // analyze:allow(status: farewell frame is best-effort; session ends anyway)
       (void)WriteFrame(*sock, MsgType::kGoodbye,
                        EncodeGoodbye("server draining"));
       break;
     }
     if (options_.idle_timeout_ms > 0 &&
         NowMs() - session->last_active_ms() > options_.idle_timeout_ms) {
+      // analyze:allow(status: farewell frame is best-effort; session ends anyway)
       (void)WriteFrame(*sock, MsgType::kGoodbye,
                        EncodeGoodbye("idle timeout"));
       break;
@@ -115,6 +120,7 @@ void Server::SessionLoop(SessionPtr session, std::shared_ptr<Socket> sock) {
     if (!readable.ok()) break;
     if (!*readable) continue;
 
+    // analyze:allow(status: injected-fault message is synthetic; stats_ counts it)
     if (!FaultInjector::Global().Probe("server.read").ok()) {
       // Injected torn read: the request boundary is lost, so the only
       // safe recovery is to drop the connection. The session object is
@@ -190,9 +196,11 @@ bool Server::RunPrepare(const SessionPtr& session, const Socket& sock,
   session->CountStatement();
   if (st.ok()) {
     stats_.statements_ok.fetch_add(1, std::memory_order_relaxed);
+    // analyze:allow(status: bool is the keep-session signal; failed write = peer gone)
     return WriteFrame(sock, MsgType::kResult, EncodeResult(nullptr)).ok();
   }
   stats_.statements_error.fetch_add(1, std::memory_order_relaxed);
+  // analyze:allow(status: bool is the keep-session signal; failed write = peer gone)
   return WriteFrame(sock, MsgType::kError,
                     EncodeError(st, /*retry_after_ms=*/-1))
       .ok();
@@ -215,6 +223,7 @@ bool Server::RunAdmitted(
         admission_.draining() ? -1 : admission_.retry_after_hint_ms();
     // A shed statement does not end the session: the client may retry
     // after the hint on the same connection.
+    // analyze:allow(status: bool is the keep-session signal; failed write = peer gone)
     return WriteFrame(sock, MsgType::kError, EncodeError(slot.status(), hint))
         .ok();
   }
@@ -275,6 +284,7 @@ bool Server::RunAdmitted(
     }
   }
 
+  // analyze:allow(status: injected-fault message is synthetic; stats_ counts it)
   if (!FaultInjector::Global().Probe("server.write").ok()) {
     // Injected torn write: the reply boundary is lost mid-frame; close
     // so the client re-syncs on reconnect rather than misparse.
@@ -285,6 +295,7 @@ bool Server::RunAdmitted(
                          ? EncodeResult(result->table())
                          : EncodeError(result.status(), /*retry_after_ms=*/-1);
   MsgType type = result.ok() ? MsgType::kResult : MsgType::kError;
+  // analyze:allow(status: bool is the keep-session signal; failed write = peer gone)
   return WriteFrame(sock, type, body).ok();
 }
 

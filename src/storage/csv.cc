@@ -72,6 +72,7 @@ bool LooksLikeDouble(const std::string& s) {
 DataType InferColumnType(const std::vector<std::vector<std::string>>& rows,
                          size_t col) {
   bool all_int = true, all_double = true, any_value = false;
+  // analyze:allow(guard-probe: rows is the bounded inference sample)
   for (const auto& row : rows) {
     if (col >= row.size() || row[col].empty()) continue;
     any_value = true;
@@ -161,6 +162,7 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& table_name,
       names.push_back("c" + std::to_string(c + 1));
     }
   }
+  // analyze:allow(guard-probe: arity validation; every row then lands in AppendRow, which charges storage.append)
   for (size_t r = 0; r < rows.size(); ++r) {
     if (rows[r].size() != num_cols) {
       return Status::InvalidArgument(
@@ -182,12 +184,14 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& table_name,
   SODA_ASSIGN_OR_RETURN(TablePtr table,
                         catalog->CreateTable(table_name, schema));
   table->Reserve(rows.size());
+  // analyze:allow(guard-probe: AppendRow charges the guard under storage.append per row)
   for (const auto& record : rows) {
     std::vector<Value> row;
     row.reserve(num_cols);
     for (size_t c = 0; c < num_cols; ++c) {
       auto v = ParseCell(record[c], schema.field(c).type);
       if (!v.ok()) {
+        // analyze:allow(status: best-effort cleanup; the parse error is what matters)
         (void)catalog->DropTable(table_name);
         return v.status();
       }
@@ -195,6 +199,7 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& table_name,
     }
     Status st = table->AppendRow(row);
     if (!st.ok()) {
+      // analyze:allow(status: best-effort cleanup; the append error is what matters)
       (void)catalog->DropTable(table_name);
       return st;
     }
@@ -215,6 +220,7 @@ Status ExportCsv(const Table& table, const std::string& path,
     file << QuoteField(schema.field(c).name, options.delimiter);
   }
   file << '\n';
+  // analyze:allow(guard-probe: export writes to a file; no query guard in scope)
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t c = 0; c < table.num_columns(); ++c) {
       if (c) file << options.delimiter;

@@ -100,6 +100,7 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
                         Wal::Open(data_dir + "/" + kWalFileName, &records));
   uint64_t last_lsn = checkpoint_lsn;
   std::vector<std::string> flattened;
+  // analyze:allow(guard-probe: WAL replay during recovery; no query guard in scope)
   for (const WalRecord& record : records) {
     if (record.lsn <= checkpoint_lsn) continue;  // already in the snapshot
     if (record.type == WalRecordType::kAppendRows &&

@@ -1,0 +1,15 @@
+// Fixture: a row loop with no QueryGuard probe anywhere in reach.
+// Never compiled — parsed by analyze_test only.
+
+struct Chunk {
+  unsigned long num_rows;
+  double* values;
+};
+
+double SumRows(const Chunk& chunk) {
+  double total = 0;
+  for (unsigned long row = 0; row < chunk.num_rows; ++row) {  // line 11
+    total += chunk.values[row];
+  }
+  return total;
+}

@@ -1,0 +1,30 @@
+// Fixture: probed and annotated row loops. Must produce no findings.
+
+struct Status {
+  bool ok() const;
+};
+struct QueryGuard;
+Status GuardProbe(QueryGuard* guard, const char* site);
+
+struct Chunk {
+  unsigned long num_rows;
+  double* values;
+};
+
+Status SumRows(const Chunk& chunk, QueryGuard* guard, double* total) {
+  Status st = GuardProbe(guard, "exec.fixture");
+  if (!st.ok()) return st;
+  for (unsigned long row = 0; row < chunk.num_rows; ++row) {
+    *total += chunk.values[row];
+  }
+  return st;
+}
+
+double Rendered(const Chunk& chunk) {
+  double total = 0;
+  // analyze:allow(guard-probe: fixture twin; rendering path)
+  for (unsigned long row = 0; row < chunk.num_rows; ++row) {
+    total += chunk.values[row];
+  }
+  return total;
+}

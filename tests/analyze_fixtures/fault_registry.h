@@ -1,0 +1,12 @@
+// Fixture registry mirroring src/util/fault_sites.h's shape.
+// "demo.used" is probed and tested; "demo.orphan" is neither.
+
+struct FaultSiteInfo {
+  const char* site;
+  const char* description;
+};
+
+inline constexpr FaultSiteInfo kFaultSites[] = {
+    {"demo.used", "probed from sites_code.cc and named in site_tests.cc"},
+    {"demo.orphan", "registered but never probed or tested"},  // line 11
+};

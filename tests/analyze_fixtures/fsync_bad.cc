@@ -1,0 +1,10 @@
+// Fixture: sync results dropped in statement position.
+// Never compiled — parsed by analyze_test only.
+
+int fsync(int fd);
+int ftruncate(int fd, long length);
+
+void Sloppy(int fd) {
+  fsync(fd);          // line 8: fsync-discard
+  ftruncate(fd, 0);   // line 9: fsync-discard
+}

@@ -1,0 +1,14 @@
+// Fixture: sync results checked or annotated. Must produce no findings.
+
+int fsync(int fd);
+int errno_of(int rc);
+
+int Careful(int fd) {
+  if (fsync(fd) != 0) {
+    return errno_of(-1);
+  }
+  int rc = fsync(fd);
+  // analyze:allow(fsync: fixture twin; result recorded above)
+  fsync(fd);
+  return rc;
+}

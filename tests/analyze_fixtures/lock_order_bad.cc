@@ -1,0 +1,25 @@
+// Fixture: lock-order inversion. The documented order is
+// write_mu_ (rank 0) -> commit_mu_ (rank 1); Commit() below acquires
+// them backwards. Also exercises the MutexLock-temporary diagnostic.
+// Never compiled — parsed by analyze_test only.
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+struct Engine {
+  Mutex write_mu_;
+  Mutex commit_mu_;
+  void Commit();
+  void Tempting();
+};
+
+void Engine::Commit() {
+  MutexLock commit_lock(&commit_mu_);
+  MutexLock write_lock(&write_mu_);  // line 20: inversion (1 -> 0)
+}
+
+void Engine::Tempting() {
+  MutexLock(&write_mu_);  // line 24: temporary, releases immediately
+}

@@ -1,0 +1,27 @@
+// Fixture: the same two locks taken in the documented order, plus a
+// scoped release before re-acquisition. Must produce no findings.
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+struct Engine {
+  Mutex write_mu_;
+  Mutex commit_mu_;
+  void Commit();
+  void Staged();
+};
+
+void Engine::Commit() {
+  MutexLock write_lock(&write_mu_);
+  MutexLock commit_lock(&commit_mu_);
+}
+
+void Engine::Staged() {
+  {
+    MutexLock commit_lock(&commit_mu_);
+  }
+  // commit_mu_ released at the brace: no edge back up to write_mu_.
+  MutexLock write_lock(&write_mu_);
+}

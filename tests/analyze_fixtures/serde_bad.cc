@@ -1,0 +1,20 @@
+// Fixture: raw payload access outside the bounds-checked codec.
+// Never compiled — parsed by analyze_test only.
+
+typedef unsigned long size_t;
+void* memcpy(void* dst, const void* src, size_t n);
+
+struct Buffer {
+  const char* data() const;
+  size_t size() const;
+};
+
+long DecodeHeader(const Buffer& payload, size_t off) {
+  long v = 0;
+  memcpy(&v, payload.data() + off, sizeof(v));  // line 14: raw offset copy
+  return v;
+}
+
+char PeekType(const char* body) {
+  return body[0];  // line 19: raw subscript
+}

@@ -1,0 +1,42 @@
+// Fixture: payload access through the codec, the codec itself, and
+// struct-punning memcpy with no offset math. Must produce no findings.
+
+typedef unsigned long size_t;
+void* memcpy(void* dst, const void* src, size_t n);
+
+struct Status {
+  bool ok() const;
+};
+
+// The codec class is exempt: this is where the bounds check lives.
+class BinaryReader {
+ public:
+  Status Bytes(void* out, size_t n) {
+    if (pos_ + n > size_) return Truncated();
+    memcpy(out, data_ + pos_, n);  // exempt inside the codec... but note:
+    pos_ += n;
+    return Status();
+  }
+
+  unsigned char U8Unchecked() {
+    return data_[pos_++];  // subscript is fine inside the codec class
+  }
+
+ private:
+  Status Truncated();
+  const char* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+double BitsToDouble(unsigned long bits) {
+  double d = 0;
+  memcpy(&d, &bits, sizeof(d));  // type punning, no offset: clean
+  return d;
+}
+
+long DecodeHeader(BinaryReader* r) {
+  long v = 0;
+  Status st = r->Bytes(&v, sizeof(v));
+  return st.ok() ? v : 0;
+}

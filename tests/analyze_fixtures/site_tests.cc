@@ -1,0 +1,6 @@
+// Fixture "test tree" for the fault-site check: names every site the
+// robustness matrix covers. "demo.orphan" is deliberately absent.
+
+const char* kCoveredSites[] = {
+    "demo.used",
+};

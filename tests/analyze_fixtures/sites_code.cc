@@ -1,0 +1,14 @@
+// Fixture: probe call sites for the fault-site check. "demo.used" is
+// registered; "demo.rogue" is not and must be flagged.
+
+struct Status {
+  bool ok() const;
+};
+struct QueryGuard;
+Status GuardProbe(QueryGuard* guard, const char* site);
+
+Status Touch(QueryGuard* guard) {
+  Status st = GuardProbe(guard, "demo.used");
+  if (!st.ok()) return st;
+  return GuardProbe(guard, "demo.rogue");  // line 13: unregistered
+}

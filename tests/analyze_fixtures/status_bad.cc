@@ -1,0 +1,23 @@
+// Fixture: every Status-discipline violation in one file.
+// Never compiled — parsed by analyze_test only.
+
+struct Status {
+  bool ok() const;
+  static Status DataLoss(const char* msg);
+};
+
+Status Flush() { return Status(); }
+
+void Discards() {
+  (void)Flush();  // line 12: status-discard
+}
+
+void Collapses() {
+  if (Flush().ok()) {  // line 16: status-collapse
+    return;
+  }
+}
+
+Status Fabricates() {
+  return Status::DataLoss("not my layer");  // line 22: status-provenance
+}

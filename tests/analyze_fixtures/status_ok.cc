@@ -1,0 +1,21 @@
+// Fixture: disciplined Status handling and annotated exceptions.
+// Must produce no findings.
+
+struct Status {
+  bool ok() const;
+  const char* message() const;
+};
+
+Status Flush() { return Status(); }
+void Log(const char* msg);
+
+Status Propagates() {
+  Status st = Flush();
+  if (!st.ok()) Log(st.message());
+  return st;
+}
+
+void Annotated() {
+  // analyze:allow(status: fixture twin; discard is deliberate here)
+  (void)Flush();
+}

@@ -1,0 +1,181 @@
+#include "compile_commands.h"
+
+#include <climits>
+#include <cstdlib>
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace soda::analyze {
+
+namespace {
+
+std::string ScanJsonString(const std::string& s, size_t* i) {
+  std::string out;
+  ++*i;  // opening quote
+  while (*i < s.size() && s[*i] != '"') {
+    if (s[*i] == '\\' && *i + 1 < s.size()) {
+      char e = s[*i + 1];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        default: out += e;  // \" \\ \/ all map to themselves
+      }
+      *i += 2;
+      continue;
+    }
+    out += s[(*i)++];
+  }
+  if (*i < s.size()) ++*i;
+  return out;
+}
+
+/// Collapses "a/./b" and "a/x/../b"; keeps the path lexical.
+std::string NormalizePath(const std::string& path) {
+  std::vector<std::string> parts;
+  bool absolute = !path.empty() && path[0] == '/';
+  std::stringstream ss(path);
+  std::string part;
+  while (std::getline(ss, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(part);
+  }
+  std::string out = absolute ? "/" : "";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += "/";
+    out += parts[i];
+  }
+  return out;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> TranslationUnitsFromCompDb(
+    const std::string& compdb_path, const std::string& root) {
+  std::string content;
+  if (!ReadFile(compdb_path, &content)) {
+    return Status::InvalidArgument("cannot read compile database: " +
+                                   compdb_path);
+  }
+  // The database holds absolute paths; canonicalize the root to match.
+  std::string root_abs = root;
+  char resolved[PATH_MAX];
+  if (::realpath(root.c_str(), resolved) != nullptr) root_abs = resolved;
+  const std::string root_norm = NormalizePath(root_abs);
+  std::set<std::string> units;
+  size_t i = 0;
+  std::string directory, file;
+  while (i < content.size()) {
+    if (content[i] == '{') {
+      directory.clear();
+      file.clear();
+    }
+    if (content[i] == '"') {
+      std::string key = ScanJsonString(content, &i);
+      while (i < content.size() &&
+             std::isspace(static_cast<unsigned char>(content[i]))) {
+        ++i;
+      }
+      if (i < content.size() && content[i] == ':') {
+        ++i;
+        while (i < content.size() &&
+               std::isspace(static_cast<unsigned char>(content[i]))) {
+          ++i;
+        }
+        if (i < content.size() && content[i] == '"') {
+          std::string value = ScanJsonString(content, &i);
+          if (key == "directory") directory = value;
+          if (key == "file") file = value;
+        }
+      }
+      continue;
+    }
+    if (content[i] == '}' && !file.empty()) {
+      std::string abs = file[0] == '/' ? file : directory + "/" + file;
+      abs = NormalizePath(abs);
+      if (abs.compare(0, root_norm.size() + 1, root_norm + "/") == 0) {
+        std::string rel = abs.substr(root_norm.size() + 1);
+        if (rel.compare(0, 6, "build/") != 0) units.insert(rel);
+      }
+      file.clear();
+    }
+    ++i;
+  }
+  if (units.empty()) {
+    return Status::InvalidArgument(
+        "compile database lists no translation units under " + root_norm +
+        " (is it from this repo's build tree?)");
+  }
+  return std::vector<std::string>(units.begin(), units.end());
+}
+
+Result<std::vector<TokenStream>> LoadAnalysisSet(
+    const std::string& root, const std::vector<std::string>& rel_paths) {
+  std::string root_norm = NormalizePath(root);
+  if (root_norm.empty()) root_norm = ".";  // "." normalizes to nothing
+  std::vector<TokenStream> streams;
+  std::set<std::string> seen;
+  std::deque<std::pair<std::string, bool>> queue;  // (rel path, required)
+  for (const std::string& p : rel_paths) {
+    queue.emplace_back(NormalizePath(p), true);
+  }
+  while (!queue.empty()) {
+    auto [rel, required] = queue.front();
+    queue.pop_front();
+    if (!seen.insert(rel).second) continue;
+    std::string content;
+    if (!ReadFile(root_norm + "/" + rel, &content)) {
+      if (required) {
+        return Status::InvalidArgument("listed source not readable: " + rel);
+      }
+      continue;
+    }
+    TokenStream stream = Tokenize(rel, content);
+    for (const std::string& inc : stream.includes) {
+      // Resolution order: includer-relative, repo root, src/.
+      for (const std::string& base :
+           {DirName(rel), std::string(), std::string("src")}) {
+        std::string candidate =
+            NormalizePath(base.empty() ? inc : base + "/" + inc);
+        if (candidate.empty() || candidate[0] == '/' ||
+            candidate.compare(0, 3, "../") == 0) {
+          continue;
+        }
+        std::ifstream probe(root_norm + "/" + candidate);
+        if (probe) {
+          queue.emplace_back(candidate, false);
+          break;
+        }
+      }
+    }
+    streams.push_back(std::move(stream));
+  }
+  std::sort(streams.begin(), streams.end(),
+            [](const TokenStream& a, const TokenStream& b) {
+              return a.path < b.path;
+            });
+  return streams;
+}
+
+}  // namespace soda::analyze

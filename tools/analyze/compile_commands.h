@@ -1,0 +1,38 @@
+/// \file compile_commands.h
+/// Analysis-set construction for soda-analyze.
+///
+/// The driver starts from `compile_commands.json` (CMake writes it into
+/// the build tree; CMAKE_EXPORT_COMPILE_COMMANDS is already ON for this
+/// repo), keeps every translation unit that lives under the repo root,
+/// and then chases quoted `#include` targets so headers — where the lock
+/// annotations, the fault-site registry, and most inline methods live —
+/// join the set even though the database only names .cc files.
+
+#ifndef SODA_TOOLS_ANALYZE_COMPILE_COMMANDS_H_
+#define SODA_TOOLS_ANALYZE_COMPILE_COMMANDS_H_
+
+#include <string>
+#include <vector>
+
+#include "tokenizer.h"
+#include "util/status.h"
+
+namespace soda::analyze {
+
+/// Parses a compile_commands.json and returns the repo-relative paths of
+/// every translation unit under `root`. Paths under build/ or outside
+/// the root are dropped; results are sorted and deduplicated.
+Result<std::vector<std::string>> TranslationUnitsFromCompDb(
+    const std::string& compdb_path, const std::string& root);
+
+/// Reads and tokenizes `rel_paths` (relative to `root`), then follows
+/// quoted includes breadth-first: each target is resolved against the
+/// includer's directory, then `root`, then `root`/src, and joins the set
+/// if it resolves inside the root. Missing listed files are an error;
+/// unresolvable includes (system or generated headers) are skipped.
+Result<std::vector<TokenStream>> LoadAnalysisSet(
+    const std::string& root, const std::vector<std::string>& rel_paths);
+
+}  // namespace soda::analyze
+
+#endif  // SODA_TOOLS_ANALYZE_COMPILE_COMMANDS_H_

@@ -1,0 +1,257 @@
+/// \file main.cc
+/// soda-analyze CLI.
+///
+///   soda-analyze --compdb build/compile_commands.json [--root .]
+///   soda-analyze --files src/a.cc,src/b.h --root .
+///
+/// Modes:
+///   default            print findings, exit 1 if any
+///   --diff-baseline    compare against --baseline; only NEW findings
+///                      (not in the committed baseline) fail the run
+///   --write-baseline   rewrite the baseline file from current findings
+///
+/// Output: --format text|json|sarif, --output PATH (stdout by default).
+/// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "checks.h"
+#include "compile_commands.h"
+#include "report.h"
+#include "source_model.h"
+
+namespace soda::analyze {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: soda-analyze (--compdb PATH | --files a.cc,b.h) [options]\n"
+    "\n"
+    "input:\n"
+    "  --compdb PATH           compile_commands.json to read TUs from\n"
+    "  --files LIST            comma-separated repo-relative sources\n"
+    "  --root DIR              repo root (default: .)\n"
+    "\n"
+    "checks & scope:\n"
+    "  --checks LIST           run only these check ids\n"
+    "  --engine-prefixes LIST  override engine-code path prefixes\n"
+    "  --skip-prefixes LIST    override skipped path prefixes\n"
+    "  --probe-prefixes LIST   override guard-probe loop directories\n"
+    "  --serde-prefixes LIST   override serde-bounds file prefixes\n"
+    "  --registry-suffix S     override fault-site registry path suffix\n"
+    "  --tests-prefix S        override test-tree prefix for fault sites\n"
+    "\n"
+    "baseline:\n"
+    "  --baseline PATH         baseline file (default:\n"
+    "                          ROOT/tools/analyze/baseline.json)\n"
+    "  --diff-baseline         fail only on findings absent from baseline\n"
+    "  --write-baseline        rewrite the baseline from current findings\n"
+    "\n"
+    "output:\n"
+    "  --format text|json|sarif   (default: text)\n"
+    "  --output PATH              write report there instead of stdout\n";
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+struct Options {
+  std::string root = ".";
+  std::string compdb;
+  std::vector<std::string> files;
+  std::set<std::string> checks;
+  std::string baseline;  // resolved after --root is known
+  bool diff_baseline = false;
+  bool write_baseline = false;
+  std::string format = "text";
+  std::string output;
+  AnalyzerConfig config;
+};
+
+/// Returns 0/2; on 2 the caller exits with a usage error already printed.
+int ParseArgs(int argc, char** argv, Options* opt) {
+  auto fail = [](const std::string& msg) {
+    std::cerr << "soda-analyze: " << msg << "\n\n" << kUsage;
+    return 2;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    bool has_value = false;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto need_value = [&]() -> bool {
+      if (has_value) return true;
+      if (i + 1 < argc) {
+        value = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else if (arg == "--root") {
+      if (!need_value()) return fail("--root needs a value");
+      opt->root = value;
+    } else if (arg == "--compdb") {
+      if (!need_value()) return fail("--compdb needs a value");
+      opt->compdb = value;
+    } else if (arg == "--files") {
+      if (!need_value()) return fail("--files needs a value");
+      for (std::string& f : SplitCommas(value)) {
+        opt->files.push_back(std::move(f));
+      }
+    } else if (arg == "--checks") {
+      if (!need_value()) return fail("--checks needs a value");
+      for (const std::string& c : SplitCommas(value)) opt->checks.insert(c);
+    } else if (arg == "--engine-prefixes") {
+      if (!has_value && i + 1 < argc) value = argv[++i];
+      opt->config.engine_prefixes = SplitCommas(value);
+    } else if (arg == "--skip-prefixes") {
+      if (!has_value && i + 1 < argc) value = argv[++i];
+      opt->config.skip_prefixes = SplitCommas(value);
+    } else if (arg == "--probe-prefixes") {
+      if (!has_value && i + 1 < argc) value = argv[++i];
+      opt->config.probe_loop_prefixes = SplitCommas(value);
+    } else if (arg == "--serde-prefixes") {
+      if (!has_value && i + 1 < argc) value = argv[++i];
+      opt->config.serde_prefixes = SplitCommas(value);
+    } else if (arg == "--registry-suffix") {
+      if (!need_value()) return fail("--registry-suffix needs a value");
+      opt->config.registry_suffix = value;
+    } else if (arg == "--tests-prefix") {
+      if (!need_value()) return fail("--tests-prefix needs a value");
+      opt->config.tests_prefix = value;
+    } else if (arg == "--baseline") {
+      if (!need_value()) return fail("--baseline needs a value");
+      opt->baseline = value;
+    } else if (arg == "--diff-baseline") {
+      opt->diff_baseline = true;
+    } else if (arg == "--write-baseline") {
+      opt->write_baseline = true;
+    } else if (arg == "--format") {
+      if (!need_value()) return fail("--format needs a value");
+      if (value != "text" && value != "json" && value != "sarif") {
+        return fail("unknown --format '" + value + "'");
+      }
+      opt->format = value;
+    } else if (arg == "--output") {
+      if (!need_value()) return fail("--output needs a value");
+      opt->output = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      return fail("unknown flag '" + arg + "'");
+    } else {
+      opt->files.push_back(arg);
+    }
+  }
+  if (opt->compdb.empty() && opt->files.empty()) {
+    return fail("need --compdb or --files");
+  }
+  if (opt->baseline.empty()) {
+    opt->baseline = opt->root + "/tools/analyze/baseline.json";
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Options opt;
+  if (int rc = ParseArgs(argc, argv, &opt); rc != 0) return rc;
+
+  std::vector<std::string> files = opt.files;
+  if (!opt.compdb.empty()) {
+    auto tus = TranslationUnitsFromCompDb(opt.compdb, opt.root);
+    if (!tus.ok()) {
+      std::cerr << "soda-analyze: " << tus.status().ToString() << "\n";
+      return 2;
+    }
+    for (const std::string& tu : tus.ValueOrDie()) files.push_back(tu);
+  }
+  auto streams = LoadAnalysisSet(opt.root, files);
+  if (!streams.ok()) {
+    std::cerr << "soda-analyze: " << streams.status().ToString() << "\n";
+    return 2;
+  }
+  SourceModel model;
+  model.Build(streams.MoveValueOrDie());
+
+  std::vector<Finding> findings = RunChecks(model, opt.config, opt.checks);
+
+  if (opt.write_baseline) {
+    std::ofstream out(opt.baseline, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "soda-analyze: cannot write " << opt.baseline << "\n";
+      return 2;
+    }
+    out << RenderBaseline(findings);
+    std::cerr << "soda-analyze: wrote " << findings.size()
+              << " baseline entr" << (findings.size() == 1 ? "y" : "ies")
+              << " to " << opt.baseline << "\n";
+    return 0;
+  }
+
+  std::vector<Finding> report = findings;
+  size_t baselined = 0;
+  if (opt.diff_baseline) {
+    std::ifstream in(opt.baseline, std::ios::binary);
+    if (!in) {
+      std::cerr << "soda-analyze: cannot read baseline " << opt.baseline
+                << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto keys = ParseBaseline(ss.str());
+    if (!keys.ok()) {
+      std::cerr << "soda-analyze: " << keys.status().ToString() << "\n";
+      return 2;
+    }
+    std::vector<Finding> fresh, suppressed;
+    DiffBaseline(findings, keys.ValueOrDie(), &fresh, &suppressed);
+    baselined = suppressed.size();
+    report = std::move(fresh);
+  }
+
+  std::string rendered;
+  if (opt.format == "json") {
+    rendered = RenderJson(report);
+  } else if (opt.format == "sarif") {
+    rendered = RenderSarif(report);
+  } else {
+    rendered = RenderText(report);
+  }
+  if (opt.output.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out(opt.output, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "soda-analyze: cannot write " << opt.output << "\n";
+      return 2;
+    }
+    out << rendered;
+  }
+  std::cerr << "soda-analyze: " << model.files().size() << " files, "
+            << model.functions().size() << " functions indexed; "
+            << report.size() << " finding" << (report.size() == 1 ? "" : "s");
+  if (opt.diff_baseline) std::cerr << " (" << baselined << " baselined)";
+  std::cerr << "\n";
+  return report.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace soda::analyze
+
+int main(int argc, char** argv) { return soda::analyze::Run(argc, argv); }

@@ -1,0 +1,214 @@
+#include "report.h"
+
+#include <algorithm>
+#include <map>
+
+namespace soda::analyze {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Scans one JSON string starting at the opening quote `i`; returns the
+/// unescaped value and leaves `i` past the closing quote.
+std::string ScanJsonString(const std::string& s, size_t* i) {
+  std::string out;
+  ++*i;  // opening quote
+  while (*i < s.size() && s[*i] != '"') {
+    if (s[*i] == '\\' && *i + 1 < s.size()) {
+      char e = s[*i + 1];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u':
+          // Findings never contain non-ASCII; keep the escape verbatim so
+          // round-trips stay stable.
+          out += s.substr(*i, 6);
+          *i += 4;
+          break;
+        default: out += e;
+      }
+      *i += 2;
+      continue;
+    }
+    out += s[(*i)++];
+  }
+  if (*i < s.size()) ++*i;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+std::string RenderText(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.check + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"version\": 1,\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"check\": \"" + JsonEscape(f.check) + "\", \"file\": \"" +
+           JsonEscape(f.file) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"message\": \"" + JsonEscape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string RenderSarif(const std::vector<Finding>& findings) {
+  // Collect the distinct rule ids actually fired.
+  std::map<std::string, size_t> rule_index;
+  for (const Finding& f : findings) {
+    rule_index.emplace(f.check, rule_index.size());
+  }
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"soda-analyze\",\n"
+      "          \"informationUri\": "
+      "\"https://github.com/soda/soda/tree/main/tools/analyze\",\n"
+      "          \"rules\": [";
+  bool first = true;
+  for (const auto& r : rule_index) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "            {\"id\": \"" + JsonEscape(r.first) + "\"}";
+  }
+  out += rule_index.empty() ? "]\n" : "\n          ]\n";
+  out +=
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "        {\"ruleId\": \"" + JsonEscape(f.check) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           JsonEscape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           JsonEscape(f.file) +
+           "\"}, \"region\": {\"startLine\": " +
+           std::to_string(f.line > 0 ? f.line : 1) + "}}}]}";
+  }
+  out += findings.empty() ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+std::string RenderBaseline(const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"version\": 1,\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"check\": \"" + JsonEscape(f.check) + "\", \"file\": \"" +
+           JsonEscape(f.file) + "\", \"message\": \"" +
+           JsonEscape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+Result<std::set<std::string>> ParseBaseline(const std::string& content) {
+  std::set<std::string> keys;
+  size_t i = content.find("\"findings\"");
+  if (i == std::string::npos) {
+    return Status::InvalidArgument(
+        "baseline: no \"findings\" array (expected the format "
+        "soda-analyze --write-baseline emits)");
+  }
+  i = content.find('[', i);
+  if (i == std::string::npos) {
+    return Status::InvalidArgument("baseline: malformed findings array");
+  }
+  while (i < content.size()) {
+    size_t obj = content.find('{', i);
+    size_t end = content.find(']', i);
+    if (obj == std::string::npos || (end != std::string::npos && end < obj)) {
+      break;
+    }
+    std::string check, file, message;
+    size_t j = obj + 1;
+    while (j < content.size() && content[j] != '}') {
+      if (content[j] == '"') {
+        std::string field = ScanJsonString(content, &j);
+        while (j < content.size() &&
+               (content[j] == ':' || std::isspace(
+                                         static_cast<unsigned char>(content[j])))) {
+          ++j;
+        }
+        std::string value;
+        if (j < content.size() && content[j] == '"') {
+          value = ScanJsonString(content, &j);
+        } else {
+          while (j < content.size() && content[j] != ',' &&
+                 content[j] != '}') {
+            value += content[j++];
+          }
+        }
+        if (field == "check") check = value;
+        if (field == "file") file = value;
+        if (field == "message") message = value;
+        continue;
+      }
+      ++j;
+    }
+    if (check.empty() || file.empty()) {
+      return Status::InvalidArgument(
+          "baseline: finding entry missing \"check\" or \"file\"");
+    }
+    keys.insert(check + "|" + file + "|" + message);
+    i = j + 1;
+  }
+  return keys;
+}
+
+void DiffBaseline(const std::vector<Finding>& findings,
+                  const std::set<std::string>& baseline,
+                  std::vector<Finding>* fresh,
+                  std::vector<Finding>* suppressed) {
+  for (const Finding& f : findings) {
+    (baseline.count(f.Key()) != 0 ? suppressed : fresh)->push_back(f);
+  }
+}
+
+}  // namespace soda::analyze

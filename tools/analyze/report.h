@@ -1,0 +1,62 @@
+/// \file report.h
+/// Findings, output renderers (text / JSON / SARIF), and the committed
+/// baseline workflow for soda-analyze.
+///
+/// A finding's identity for baseline purposes is (check, file, message)
+/// — deliberately not the line number, so unrelated edits above a
+/// baselined finding don't resurrect it. `tools/analyze/baseline.json`
+/// is committed (and kept empty: new findings are fixed or annotated,
+/// not baselined, unless a migration genuinely needs staging).
+
+#ifndef SODA_TOOLS_ANALYZE_REPORT_H_
+#define SODA_TOOLS_ANALYZE_REPORT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace soda::analyze {
+
+struct Finding {
+  std::string check;    ///< check id, e.g. "lock-order"
+  std::string file;     ///< repo-relative path
+  int line = 0;
+  std::string message;
+
+  std::string Key() const { return check + "|" + file + "|" + message; }
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (check != o.check) return check < o.check;
+    return message < o.message;
+  }
+};
+
+/// One line per finding: `file:line: [check] message`.
+std::string RenderText(const std::vector<Finding>& findings);
+
+/// {"version":1,"findings":[{"check":...,"file":...,"line":N,"message":...}]}
+std::string RenderJson(const std::vector<Finding>& findings);
+
+/// Minimal SARIF 2.1.0 document (one run, one rule per check id) for the
+/// CI artifact upload.
+std::string RenderSarif(const std::vector<Finding>& findings);
+
+/// Serializes baseline identities (line-less) for --write-baseline.
+std::string RenderBaseline(const std::vector<Finding>& findings);
+
+/// Parses a baseline file's finding keys. Tolerant of the exact JSON the
+/// tool itself writes; anything unrecognizable is an error.
+Result<std::set<std::string>> ParseBaseline(const std::string& content);
+
+/// Splits `findings` into (new, baselined) against `baseline` keys.
+void DiffBaseline(const std::vector<Finding>& findings,
+                  const std::set<std::string>& baseline,
+                  std::vector<Finding>* fresh,
+                  std::vector<Finding>* suppressed);
+
+}  // namespace soda::analyze
+
+#endif  // SODA_TOOLS_ANALYZE_REPORT_H_

@@ -1,0 +1,510 @@
+#include "source_model.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace soda::analyze {
+
+namespace {
+
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdent; }
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// Uppercase-with-underscores identifier — the macro spelling convention
+/// (SODA_GUARDED_BY, SODA_CAPABILITY, ...). Used to skip attribute-style
+/// macro groups when recovering declaration shapes.
+bool LooksLikeMacro(const std::string& s) {
+  if (s.empty() || !std::isupper(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+const char* const kTypeQualifiers[] = {
+    "const",    "static", "mutable", "constexpr", "inline", "volatile",
+    "unsigned", "signed", "long",    "short",     "struct", "class",
+    "typename", "auto",   "virtual", "explicit",  "friend", "extern",
+};
+
+bool IsTypeQualifier(const std::string& s) {
+  for (const char* q : kTypeQualifiers) {
+    if (s == q) return true;
+  }
+  return false;
+}
+
+/// Best-effort element type of a declaration's type tokens: the last
+/// plain identifier, which for the repo's idiom is the payload type even
+/// through smart-pointer/container wrappers (`std::unique_ptr<Wal>` ->
+/// Wal, `std::map<std::string, Entry>` -> Entry, `Mutex` -> Mutex).
+std::string ExtractTypeName(const std::vector<Token>& toks, size_t begin,
+                            size_t end) {
+  std::string last;
+  for (size_t i = begin; i < end; ++i) {
+    if (!IsIdent(toks[i])) continue;
+    if (toks[i].text == "std" || IsTypeQualifier(toks[i].text)) continue;
+    last = toks[i].text;
+  }
+  return last;
+}
+
+/// Scans backward from `from` (inclusive) collecting the statement-head
+/// region: stops at `;`, `{`, or `}` (skipping backward over balanced
+/// paren/bracket/brace groups). Returns token indices in forward order.
+std::vector<size_t> StatementHead(const std::vector<Token>& toks,
+                                  size_t from) {
+  std::vector<size_t> rev;
+  size_t budget = 512;  // statement heads are short; cap pathological scans
+  long i = static_cast<long>(from);
+  while (i >= 0 && budget-- > 0) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      break;
+    }
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ")" || t.text == "]")) {
+      // Skip the balanced group (member-init args, macro attrs, array
+      // extents) but keep its boundary tokens so shape tests like
+      // "ident followed by (" still work on the head.
+      const char open = t.text == ")" ? '(' : '[';
+      const char close = t.text == ")" ? ')' : ']';
+      int depth = 0;
+      long j = i;
+      while (j >= 0) {
+        if (toks[j].kind == TokKind::kPunct) {
+          if (toks[j].text[0] == close && toks[j].text.size() == 1) ++depth;
+          if (toks[j].text[0] == open && toks[j].text.size() == 1) {
+            if (--depth == 0) break;
+          }
+        }
+        --j;
+      }
+      if (j < 0) break;
+      rev.push_back(static_cast<size_t>(i));   // closer
+      rev.push_back(static_cast<size_t>(j));   // opener
+      i = j - 1;
+      continue;
+    }
+    rev.push_back(static_cast<size_t>(i));
+    --i;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kOther } kind;
+  std::string name;        // class name for kClass
+  size_t func_index = 0;   // into functions_ for kFunction
+};
+
+}  // namespace
+
+void SourceModel::Build(std::vector<TokenStream> streams) {
+  files_ = std::move(streams);
+  for (size_t f = 0; f < files_.size(); ++f) {
+    ParseFile(static_cast<int>(f));
+  }
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    by_name_.emplace(functions_[i].name, i);
+    if (!functions_[i].class_name.empty()) {
+      known_classes_[functions_[i].class_name] = true;
+    }
+  }
+  for (const auto& cls : members_) known_classes_[cls.first] = true;
+}
+
+void SourceModel::ParseFile(int file_index) {
+  const std::vector<Token>& toks = files_[file_index].tokens;
+  std::vector<Scope> scopes;
+  // Statement start at class scope, for member-declaration recovery.
+  size_t stmt_start = 0;
+
+  auto innermost_class = [&scopes]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->name;
+      if (it->kind == Scope::kFunction || it->kind == Scope::kOther) break;
+    }
+    return "";
+  };
+  auto in_function_or_other = [&scopes]() {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kFunction || it->kind == Scope::kOther) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto at_class_scope = [&scopes]() {
+    return !scopes.empty() && scopes.back().kind == Scope::kClass;
+  };
+
+  // Records `class -> member -> type` for the statement [stmt_start, semi).
+  auto index_member = [&](size_t begin, size_t end,
+                          const std::string& cls) {
+    if (cls.empty() || end <= begin) return;
+    long last = static_cast<long>(end) - 1;
+    // 1. Strip trailing balanced groups: `{...}` brace-init, and `(...)`
+    //    only when introduced by a macro (SODA_GUARDED_BY(..)). A plain
+    //    paren group in tail position is a function declaration.
+    while (last > static_cast<long>(begin)) {
+      const Token& t = toks[last];
+      if (IsPunct(t, "}") || IsPunct(t, ")")) {
+        const char* open = IsPunct(t, "}") ? "{" : "(";
+        const char* close = IsPunct(t, "}") ? "}" : ")";
+        int depth = 0;
+        long j = last;
+        while (j >= static_cast<long>(begin)) {
+          if (IsPunct(toks[j], close)) ++depth;
+          if (IsPunct(toks[j], open) && --depth == 0) break;
+          --j;
+        }
+        if (j <= static_cast<long>(begin)) return;
+        if (IsPunct(t, ")")) {
+          if (!(IsIdent(toks[j - 1]) && LooksLikeMacro(toks[j - 1].text))) {
+            return;  // genuine parameter list: a function declaration
+          }
+          last = j - 2;  // drop macro name too
+        } else {
+          last = j - 1;
+        }
+        continue;
+      }
+      break;
+    }
+    // 2. Truncate a `= initializer` tail (also rejects `= default/delete`,
+    //    which strips down to a function shape and fails step 3).
+    for (long j = static_cast<long>(begin); j <= last; ++j) {
+      if (IsPunct(toks[j], "=")) {
+        last = j - 1;
+        break;
+      }
+    }
+    if (last <= static_cast<long>(begin)) return;
+    const Token& name_tok = toks[last];
+    if (!IsIdent(name_tok) || IsTypeQualifier(name_tok.text)) return;
+    // 3. A name directly preceded by type-ish tokens.
+    const Token& prev = toks[last - 1];
+    bool type_ish = IsIdent(prev) || IsPunct(prev, ">") ||
+                    IsPunct(prev, "*") || IsPunct(prev, "&");
+    if (!type_ish) return;
+    std::string type = ExtractTypeName(toks, begin, last);
+    if (type.empty() || type == name_tok.text) return;
+    members_[cls][name_tok.text] = type;
+  };
+
+  // Parses the parameter list opening at `lparen` into name -> type.
+  auto parse_params = [&](size_t lparen, FunctionInfo* fn) {
+    int depth = 0;
+    size_t part_start = lparen + 1;
+    auto flush = [&](size_t end) {
+      if (end <= part_start) return;
+      size_t stop = end;
+      for (size_t j = part_start; j < end; ++j) {
+        if (IsPunct(toks[j], "=")) {
+          stop = j;  // drop default argument
+          break;
+        }
+      }
+      long last = static_cast<long>(stop) - 1;
+      if (last < static_cast<long>(part_start)) return;
+      if (!IsIdent(toks[last])) return;
+      std::string type = ExtractTypeName(toks, part_start, last);
+      if (!type.empty() && type != toks[last].text) {
+        fn->param_types[toks[last].text] = type;
+      }
+      part_start = end + 1;
+    };
+    for (size_t j = lparen; j < toks.size(); ++j) {
+      if (IsPunct(toks[j], "(") || IsPunct(toks[j], "<")) ++depth;
+      if (IsPunct(toks[j], ">")) --depth;
+      if (IsPunct(toks[j], ")")) {
+        if (--depth == 0) {
+          flush(j);
+          return;
+        }
+      }
+      if (IsPunct(toks[j], ",") && depth == 1) {
+        flush(j);
+        part_start = j + 1;
+      }
+    }
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (IsPunct(t, "}")) {
+      if (!scopes.empty()) {
+        if (scopes.back().kind == Scope::kFunction) {
+          functions_[scopes.back().func_index].body_end = i;
+        }
+        scopes.pop_back();
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+    if (IsPunct(t, ";")) {
+      if (at_class_scope()) index_member(stmt_start, i, innermost_class());
+      stmt_start = i + 1;
+      continue;
+    }
+    if (IsPunct(t, ":") && at_class_scope() && i > 0 && IsIdent(toks[i - 1]) &&
+        (toks[i - 1].text == "public" || toks[i - 1].text == "private" ||
+         toks[i - 1].text == "protected")) {
+      stmt_start = i + 1;  // access specifier, not part of a declaration
+      continue;
+    }
+    if (!IsPunct(t, "{")) continue;
+
+    // ---- classify this '{' --------------------------------------------
+    stmt_start = i + 1;
+    if (in_function_or_other()) {
+      scopes.push_back({Scope::kOther, "", 0});
+      continue;
+    }
+    std::vector<size_t> head = StatementHead(toks, i - 1);
+    auto head_has = [&](const char* kw) {
+      for (size_t h : head) {
+        if (IsIdent(toks[h]) && toks[h].text == kw) return true;
+      }
+      return false;
+    };
+    if (head.empty()) {
+      scopes.push_back({Scope::kOther, "", 0});
+      continue;
+    }
+    if (head_has("namespace")) {
+      scopes.push_back({Scope::kNamespace, "", 0});
+      continue;
+    }
+    if (head_has("enum")) {
+      scopes.push_back({Scope::kOther, "", 0});
+      continue;
+    }
+
+    // Class definition: `class|struct [attrs] Name [final] [: bases] {`.
+    if (head_has("class") || head_has("struct")) {
+      size_t kw_pos = 0;
+      for (size_t h = 0; h < head.size(); ++h) {
+        const Token& ht = toks[head[h]];
+        if (IsIdent(ht) && (ht.text == "class" || ht.text == "struct")) {
+          kw_pos = h;
+        }
+      }
+      std::string cls_name;
+      size_t h = kw_pos + 1;
+      while (h < head.size()) {
+        const Token& ht = toks[head[h]];
+        if (IsIdent(ht) && LooksLikeMacro(ht.text)) {
+          // Macro attribute, with or without an argument group.
+          if (h + 1 < head.size() && IsPunct(toks[head[h + 1]], "(")) {
+            h += 3;  // heads keep only group boundaries: ident ( )
+          } else {
+            h += 1;
+          }
+          continue;
+        }
+        if (IsPunct(ht, "[")) {  // [[attr]]
+          while (h < head.size() && !IsPunct(toks[head[h]], "]")) ++h;
+          ++h;
+          continue;
+        }
+        if (IsIdent(ht)) {
+          cls_name = ht.text;
+          ++h;
+          break;
+        }
+        break;
+      }
+      bool is_class = !cls_name.empty();
+      if (is_class && h < head.size()) {
+        const Token& after = toks[head[h]];
+        is_class = (IsIdent(after) && after.text == "final") ||
+                   IsPunct(after, ":") || IsPunct(after, "<");
+      }
+      if (is_class) {
+        scopes.push_back({Scope::kClass, cls_name, 0});
+        continue;
+      }
+      // fall through: e.g. `struct Entry MakeEntry(...) {`
+    }
+
+    // Function definition: first `ident (` in the head names it.
+    FunctionInfo fn;
+    size_t name_pos = head.size();
+    size_t lparen_head = head.size();
+    for (size_t h = 0; h + 1 < head.size(); ++h) {
+      const Token& ht = toks[head[h]];
+      if (!IsIdent(ht)) continue;
+      if (ht.text == "operator") {
+        std::string op;
+        size_t j = h + 1;
+        if (j + 2 < head.size() && IsPunct(toks[head[j]], "(") &&
+            IsPunct(toks[head[j + 1]], ")") &&
+            IsPunct(toks[head[j + 2]], "(")) {
+          op = "()";
+          j += 2;
+        } else {
+          while (j < head.size() && toks[head[j]].kind == TokKind::kPunct &&
+                 !IsPunct(toks[head[j]], "(")) {
+            op += toks[head[j]].text;
+            ++j;
+          }
+        }
+        if (j < head.size() && IsPunct(toks[head[j]], "(")) {
+          fn.name = "operator" + op;
+          name_pos = h;
+          lparen_head = j;
+        }
+        break;
+      }
+      if (IsPunct(toks[head[h + 1]], "(")) {
+        fn.name = ht.text;
+        if (h > 0 && IsPunct(toks[head[h - 1]], "~")) {
+          fn.name = "~" + fn.name;
+        }
+        name_pos = h;
+        lparen_head = h + 1;
+        break;
+      }
+    }
+    if (name_pos == head.size()) {
+      scopes.push_back({Scope::kOther, "", 0});
+      continue;
+    }
+
+    // Qualification: `Class :: Name` chain directly before the name.
+    {
+      size_t h = name_pos;
+      if (h > 0 && IsPunct(toks[head[h - 1]], "~")) --h;
+      if (h >= 2 && IsPunct(toks[head[h - 1]], "::") &&
+          IsIdent(toks[head[h - 2]])) {
+        fn.class_name = toks[head[h - 2]].text;
+      } else {
+        fn.class_name = innermost_class();
+      }
+    }
+    // Return type: tokens before the (possibly qualified) name.
+    {
+      size_t type_end = name_pos;
+      while (type_end >= 2 && IsPunct(toks[head[type_end - 1]], "::")) {
+        type_end -= 2;
+      }
+      if (type_end > 0 && IsPunct(toks[head[type_end - 1]], "~")) --type_end;
+      for (size_t h = 0; h < type_end; ++h) {
+        const Token& ht = toks[head[h]];
+        if (!IsIdent(ht)) continue;
+        bool ref = h + 1 < type_end && (IsPunct(toks[head[h + 1]], "&") ||
+                                        IsPunct(toks[head[h + 1]], "*"));
+        if (ht.text == "Status" && !ref) fn.returns_status = true;
+        if (ht.text == "Result") fn.returns_result = true;
+      }
+    }
+    fn.qualified =
+        fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+    fn.file_index = file_index;
+    fn.line = t.line;
+    fn.body_begin = i;
+    fn.body_end = toks.size();  // patched when the scope pops
+    parse_params(head[lparen_head], &fn);
+    functions_.push_back(std::move(fn));
+    scopes.push_back({Scope::kFunction, "", functions_.size() - 1});
+  }
+}
+
+const FunctionInfo* SourceModel::EnclosingFunction(int file_index,
+                                                   size_t tok) const {
+  for (const FunctionInfo& fn : functions_) {
+    if (fn.file_index == file_index && tok > fn.body_begin &&
+        tok < fn.body_end) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+std::string SourceModel::MemberType(const std::string& class_name,
+                                    const std::string& member) const {
+  auto cls = members_.find(class_name);
+  if (cls == members_.end()) return "";
+  auto it = cls->second.find(member);
+  return it == cls->second.end() ? "" : it->second;
+}
+
+std::vector<const FunctionInfo*> SourceModel::Lookup(
+    const std::string& cls, const std::string& name) const {
+  std::vector<const FunctionInfo*> out;
+  auto range = by_name_.equal_range(name);
+  for (auto it = range.first; it != range.second; ++it) {
+    const FunctionInfo& fn = functions_[it->second];
+    if (fn.class_name == cls) out.push_back(&fn);
+  }
+  return out;
+}
+
+std::string SourceModel::VarType(const FunctionInfo& func,
+                                 const std::string& name) const {
+  if (name == "this") return func.class_name;
+  auto p = func.param_types.find(name);
+  if (p != func.param_types.end()) return p->second;
+  if (!func.class_name.empty()) {
+    std::string t = MemberType(func.class_name, name);
+    if (!t.empty()) return t;
+  }
+  // Simple local declarations: `Type[*&]* name [=;({,]` with Type a
+  // known class.
+  const std::vector<Token>& toks = files_[func.file_index].tokens;
+  for (size_t i = func.body_begin; i + 1 < func.body_end; ++i) {
+    if (!IsIdent(toks[i]) || toks[i].text != name) continue;
+    size_t j = i + 1;
+    bool terminator = toks[j].kind == TokKind::kPunct &&
+                      (toks[j].text == "=" || toks[j].text == ";" ||
+                       toks[j].text == "(" || toks[j].text == "{" ||
+                       toks[j].text == "," || toks[j].text == ")");
+    if (!terminator) continue;
+    long k = static_cast<long>(i) - 1;
+    while (k > static_cast<long>(func.body_begin) &&
+           (IsPunct(toks[k], "*") || IsPunct(toks[k], "&") ||
+            (IsIdent(toks[k]) && toks[k].text == "const"))) {
+      --k;
+    }
+    if (k > static_cast<long>(func.body_begin) && IsIdent(toks[k]) &&
+        known_classes_.count(toks[k].text) != 0) {
+      return toks[k].text;
+    }
+  }
+  return "";
+}
+
+std::vector<const FunctionInfo*> SourceModel::ResolveCall(
+    const FunctionInfo& caller, size_t tok) const {
+  std::vector<const FunctionInfo*> out;
+  const std::vector<Token>& toks = files_[caller.file_index].tokens;
+  if (tok >= toks.size() || !IsIdent(toks[tok])) return out;
+  const std::string& name = toks[tok].text;
+
+  if (tok >= 2 && (IsPunct(toks[tok - 1], ".") ||
+                   IsPunct(toks[tok - 1], "->"))) {
+    if (!IsIdent(toks[tok - 2])) return out;  // chained call: give up
+    std::string type = VarType(caller, toks[tok - 2].text);
+    if (type.empty()) return out;
+    return Lookup(type, name);
+  }
+  if (tok >= 2 && IsPunct(toks[tok - 1], "::")) {
+    if (!IsIdent(toks[tok - 2]) || toks[tok - 2].text == "std") return out;
+    return Lookup(toks[tok - 2].text, name);
+  }
+  if (!caller.class_name.empty()) {
+    out = Lookup(caller.class_name, name);
+    if (!out.empty()) return out;
+  }
+  return Lookup("", name);
+}
+
+}  // namespace soda::analyze

@@ -1,0 +1,97 @@
+/// \file source_model.h
+/// Cross-TU declaration/call index for soda-analyze.
+///
+/// A light structural parse over the token streams — not a C++ frontend.
+/// It recovers exactly the shapes the project grammar guarantees and the
+/// checks need:
+///
+///  - function definitions (qualified name, class, body token range,
+///    whether the return type is `Status` / `Result<T>` by value);
+///  - class member declarations with a best-effort element type
+///    (`std::unique_ptr<Wal> wal_` -> Wal), for receiver resolution;
+///  - function parameter types, for the same purpose;
+///  - call resolution: `recv->Method(...)` through the receiver's
+///    indexed type, bare calls through the enclosing class or a unique
+///    free function. Unresolvable calls resolve to nothing — the checks
+///    are built to stay conservative rather than guess.
+///
+/// The parse is scope-driven: one linear pass per file classifies every
+/// `{` as namespace / class / function / other using the statement-head
+/// tokens before it, which is unambiguous for the repo's idiom (control
+/// braces are keyword-led, function bodies only open at class or
+/// namespace scope).
+
+#ifndef SODA_TOOLS_ANALYZE_SOURCE_MODEL_H_
+#define SODA_TOOLS_ANALYZE_SOURCE_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tokenizer.h"
+
+namespace soda::analyze {
+
+struct FunctionInfo {
+  std::string name;        ///< "Append", "~Wal", "operator=" ...
+  std::string class_name;  ///< empty for free functions
+  std::string qualified;   ///< "Wal::Append" or "ExecuteStatement"
+  int file_index = -1;     ///< into SourceModel::files
+  int line = 0;            ///< line of the body's opening brace
+  size_t body_begin = 0;   ///< token index of '{'
+  size_t body_end = 0;     ///< token index of the matching '}'
+  bool returns_status = false;  ///< returns `Status` by value
+  bool returns_result = false;  ///< returns `Result<...>` by value
+  /// parameter name -> type name (best effort)
+  std::map<std::string, std::string> param_types;
+};
+
+class SourceModel {
+ public:
+  /// Parses every stream and builds the global index. Streams are moved
+  /// in; access them via files().
+  void Build(std::vector<TokenStream> streams);
+
+  const std::vector<TokenStream>& files() const { return files_; }
+  const std::vector<FunctionInfo>& functions() const { return functions_; }
+
+  /// Functions whose body contains token index `tok` in `file_index`
+  /// (functions never nest, so at most one).
+  const FunctionInfo* EnclosingFunction(int file_index, size_t tok) const;
+
+  /// Member element type, e.g. ("Engine", "wal_") -> "Wal"; empty if
+  /// unknown.
+  std::string MemberType(const std::string& class_name,
+                         const std::string& member) const;
+
+  /// All indexed overloads of `cls::name` (empty cls = free functions).
+  std::vector<const FunctionInfo*> Lookup(const std::string& cls,
+                                          const std::string& name) const;
+
+  /// Resolves the call whose callee identifier is at `tok` (the token
+  /// before a '('), in the context of `caller`. Returns the candidate
+  /// definitions (empty when unresolvable).
+  std::vector<const FunctionInfo*> ResolveCall(const FunctionInfo& caller,
+                                               size_t tok) const;
+
+  /// Type of variable `name` as seen from `func`: parameters, then the
+  /// enclosing class's members, then simple local declarations in the
+  /// body (`Type[*&] name ...` where Type names an indexed class).
+  std::string VarType(const FunctionInfo& func, const std::string& name) const;
+
+ private:
+  void ParseFile(int file_index);
+
+  std::vector<TokenStream> files_;
+  std::vector<FunctionInfo> functions_;
+  /// class -> member -> type
+  std::map<std::string, std::map<std::string, std::string>> members_;
+  /// function name -> indices into functions_
+  std::multimap<std::string, size_t> by_name_;
+  /// class names that have at least one indexed method or member
+  std::map<std::string, bool> known_classes_;
+};
+
+}  // namespace soda::analyze
+
+#endif  // SODA_TOOLS_ANALYZE_SOURCE_MODEL_H_

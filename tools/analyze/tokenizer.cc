@@ -1,0 +1,207 @@
+#include "tokenizer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace soda::analyze {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the checks care about. Everything else is
+/// emitted one character at a time (good enough: the checks never need
+/// to distinguish `<` `<` from `<<` beyond these).
+const char* const kPuncts[] = {
+    "::", "->", "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=",  "-=",  "*=", "/=", "++", "--", "...",
+};
+
+}  // namespace
+
+bool TokenStream::HasAllowAnnotation(int line, const std::string& key) const {
+  const std::string needle = "analyze:allow(" + key + ":";
+  for (int l : {line, line - 1}) {
+    auto it = comments.find(l);
+    if (it == comments.end()) continue;
+    size_t pos = it->second.find(needle);
+    if (pos == std::string::npos) continue;
+    // Require a non-empty reason between the ':' and the ')'.
+    size_t start = pos + needle.size();
+    size_t close = it->second.find(')', start);
+    if (close == std::string::npos) close = it->second.size();
+    for (size_t i = start; i < close; ++i) {
+      if (!std::isspace(static_cast<unsigned char>(it->second[i]))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TokenStream Tokenize(const std::string& path, const std::string& src) {
+  TokenStream out;
+  out.path = path;
+  size_t i = 0;
+  const size_t n = src.size();
+  int line = 1;
+
+  auto record_comment = [&out](int first_line, int last_line,
+                               const std::string& text) {
+    for (int l = first_line; l <= last_line; ++l) {
+      std::string& slot = out.comments[l];
+      if (!slot.empty()) slot += ' ';
+      slot += text;
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      record_comment(line, line, src.substr(start, i - start));
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      int first = line;
+      size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      record_comment(first, line, src.substr(start, i - start));
+      continue;
+    }
+
+    // Preprocessor directive: consume the logical line (honouring `\`
+    // continuations); record quoted-include targets.
+    if (c == '#') {
+      size_t start = i;
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      std::string directive = src.substr(start, i - start);
+      size_t inc = directive.find("include");
+      if (inc != std::string::npos) {
+        size_t q1 = directive.find('"', inc);
+        if (q1 != std::string::npos) {
+          size_t q2 = directive.find('"', q1 + 1);
+          if (q2 != std::string::npos) {
+            out.includes.push_back(directive.substr(q1 + 1, q2 - q1 - 1));
+          }
+        }
+      }
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t dstart = i + 2;
+      size_t dpos = src.find('(', dstart);
+      if (dpos != std::string::npos) {
+        std::string close = ")" + src.substr(dstart, dpos - dstart) + "\"";
+        size_t end = src.find(close, dpos + 1);
+        if (end == std::string::npos) end = n;
+        std::string body = src.substr(dpos + 1, end - dpos - 1);
+        int start_line = line;
+        for (char bc : body) {
+          if (bc == '\n') ++line;
+        }
+        out.tokens.push_back({TokKind::kString, body, start_line});
+        i = (end == n) ? n : end + close.size();
+        continue;
+      }
+    }
+
+    // String / char literal (escape-aware, unquoted into token text).
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string value;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          value += src[i];
+          value += src[i + 1];
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;  // unterminated; be lenient
+        value += src[i++];
+      }
+      if (i < n) ++i;  // closing quote
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, value, line});
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      out.tokens.push_back({TokKind::kIdent, src.substr(start, i - start),
+                            line});
+      continue;
+    }
+
+    // Number (int, float, hex; dotted/exponent forms and suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t start = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(start, i - start),
+                            line});
+      continue;
+    }
+
+    // Punctuation: longest match from kPuncts, else single char.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      size_t len = std::strlen(p);
+      if (src.compare(i, len, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace soda::analyze

@@ -1,0 +1,63 @@
+/// \file tokenizer.h
+/// C++ tokenizer for soda-analyze (tools/analyze/).
+///
+/// Produces a flat token stream — identifiers, literals, punctuation —
+/// with line numbers, plus two side channels the checks need:
+///
+///  - comments, indexed by every line they touch, so the
+///    `// analyze:allow(<check>: <reason>)` annotation convention can be
+///    resolved against a finding's line (same line or the line above);
+///  - `#include "..."` targets, so the driver can pull project headers
+///    into the analysis set even though compile_commands.json only
+///    names translation units.
+///
+/// This is deliberately not a preprocessor: macros are left as plain
+/// identifier/paren tokens (the project grammar — SODA_GUARDED_BY,
+/// GuardProbe, SODA_RETURN_NOT_OK — is regular enough that the checks
+/// pattern-match the unexpanded spelling, which is also what a human
+/// reviewer reads).
+
+#ifndef SODA_TOOLS_ANALYZE_TOKENIZER_H_
+#define SODA_TOOLS_ANALYZE_TOKENIZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace soda::analyze {
+
+enum class TokKind {
+  kIdent,   ///< identifiers and keywords (checks distinguish by text)
+  kNumber,  ///< numeric literal (int/float/hex, suffixes included)
+  kString,  ///< string literal; text holds the *unquoted* value
+  kChar,    ///< character literal, text unquoted
+  kPunct,   ///< operator/punctuation; multi-char for ::, ->, etc.
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// One tokenized source file.
+struct TokenStream {
+  std::string path;  ///< repo-relative path
+  std::vector<Token> tokens;
+  /// line number -> concatenated comment text touching that line.
+  std::map<int, std::string> comments;
+  /// quoted-include targets, verbatim (e.g. "util/status.h").
+  std::vector<std::string> includes;
+
+  /// True if `line` or `line - 1` carries a comment containing
+  /// `analyze:allow(<key>:` with a non-empty reason.
+  bool HasAllowAnnotation(int line, const std::string& key) const;
+};
+
+/// Tokenizes `source`; never fails (unterminated constructs are clipped
+/// at end of file). `path` is recorded verbatim into the stream.
+TokenStream Tokenize(const std::string& path, const std::string& source);
+
+}  // namespace soda::analyze
+
+#endif  // SODA_TOOLS_ANALYZE_TOKENIZER_H_

@@ -31,6 +31,17 @@ echo "check: tier-1 tests clean"
 # Lint pipeline (grep rules always; clang-tidy when installed).
 "${repo_root}/tools/lint.sh"
 
+# Project static analysis: soda-analyze over the compilation database.
+# Fails only on findings absent from tools/analyze/baseline.json (which
+# is empty — the tree is expected to stay clean; annotate intentional
+# exceptions with `// analyze:allow(<check>: reason)` instead of
+# growing the baseline).
+cmake --build "${repo_root}/build" -j "$(nproc)" --target soda_analyze
+"${repo_root}/build/tools/soda-analyze" \
+  --compdb "${repo_root}/build/compile_commands.json" \
+  --root "${repo_root}" --diff-baseline
+echo "check: soda-analyze clean"
+
 # Crash-chaos smoke: a short deterministic-seed run of the kill -9 /
 # fault-injection harness (tools/chaos.sh); every ACKed commit must
 # survive recovery. The 25-cycle acceptance run is tools/chaos.sh --full.

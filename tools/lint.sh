@@ -70,15 +70,15 @@ if [[ -n "${hits}" ]]; then
   fail "raw std synchronization primitive outside src/util/mutex.h (use soda::Mutex / MutexLock / CondVar)" "${hits}"
 fi
 
-# --- Rule 3: no discarded fsync()/ftruncate() results. ------------------
-# A swallowed fsync error is a silent durability hole (the WAL thinks a
-# commit is stable when the kernel never wrote it). Flag statements that
-# call either without consuming the return value.
-hits="$(src_files | xargs grep -nE '^\s*(::)?(fsync|fdatasync|ftruncate)\(' \
-        2>/dev/null || true)"
-if [[ -n "${hits}" ]]; then
-  fail "fsync/ftruncate return value discarded (check it or log the failure)" "${hits}"
-fi
+# --- Rule 3: moved into soda-analyze (fsync-discard). -------------------
+# The old grep ('^\s*(::)?(fsync|fdatasync|ftruncate)\(') only saw calls
+# that started a line, so a discard behind `} fsync(fd);` or after a
+# label slipped through, and an indented-but-checked call needed careful
+# anchoring. tools/analyze/checks.cc now does this token-exactly: any
+# fsync/fdatasync/ftruncate call in statement position (preceded by
+# ';', '{', or '}') is a finding unless annotated
+# `// analyze:allow(fsync-discard: reason)`. Run via tools/check.sh or
+#   build/tools/soda-analyze --compdb build/compile_commands.json
 
 # --- Rule 4: thread-safety annotations only via the SODA_ macros. -------
 # Raw __attribute__((guarded_by(...))) spellings break the GCC no-op
@@ -90,27 +90,12 @@ if [[ -n "${hits}" ]]; then
   fail "raw thread-safety attribute (use the SODA_* macros from util/thread_annotations.h)" "${hits}"
 fi
 
-# --- Rule 5: every probe-site literal is registered. --------------------
-# Fault-injection sites are discoverable at runtime via
-# soda_fault_sites() and exhaustively exercised by the robustness
-# matrix — but only if they appear in src/util/fault_sites.h. A probe
-# with an unregistered site string would silently escape both. The
-# `soda.*` namespace is excluded: those are SET knob names, not sites.
-probe_sites="$(git ls-files 'src/**/*.cc' 'src/**/*.h' \
-        | grep -v '^src/util/fault_sites\.h$' \
-        | xargs grep -hoE '(GuardProbe|GuardReserve|Probe|Check)\([^)]*"[a-z_]+\.[a-z_.]+"' 2>/dev/null \
-        | grep -oE '"[a-z_]+\.[a-z_.]+"' | tr -d '"' \
-        | grep -v '^soda\.' | sort -u || true)"
-unregistered=""
-for site in ${probe_sites}; do
-  if ! grep -q "\"${site}\"" src/util/fault_sites.h; then
-    unregistered="${unregistered}${site}"$'\n'
-  fi
-done
-if [[ -n "${unregistered}" ]]; then
-  fail "probe site(s) not registered in src/util/fault_sites.h" \
-    ${unregistered}
-fi
+# --- Rule 5: subsumed by soda-analyze (fault-site). ---------------------
+# The old grep checked one direction only (probed site -> registry).
+# tools/analyze/checks.cc now verifies full set-equality: every probed
+# site is registered, every registered site has a reachable probe call,
+# and every registered site is referenced from the test tree. Runs in
+# tools/check.sh and the static-analysis CI job.
 
 # --- Rule 6: no raw column-buffer access outside src/storage/. ----------
 # Column::I64Data()/F64Data()/Strings() (and the Mutable* forms) hand out
